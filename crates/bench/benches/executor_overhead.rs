@@ -1,0 +1,100 @@
+//! Executor overhead: per-op dispatch and per-frame (InvokeOp) cost —
+//! the constants behind every throughput number in the paper tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdg_core::prelude::*;
+use std::sync::Arc;
+
+/// A chain of `n` trivial ops in the main graph: measures scheduler +
+/// dispatch cost per op with zero kernel work.
+fn chain_module(n: usize) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let mut x = mb.const_f32(1.0);
+    for _ in 0..n {
+        x = mb.add_const(x, 1.0).expect("add");
+    }
+    mb.set_outputs(&[x]).expect("outputs");
+    mb.finish().expect("finish")
+}
+
+/// A chain of `n` nested identity SubGraph invocations: measures per-frame
+/// overhead (spawn + argument passing + return delivery).
+fn invoke_chain_module(n: usize) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let id = mb
+        .subgraph("ident", &[DType::F32], &[DType::F32], |b| {
+            let x = b.input(0)?;
+            Ok(vec![b.add_const(x, 1.0)?])
+        })
+        .expect("subgraph");
+    let mut x = mb.const_f32(0.0);
+    for _ in 0..n {
+        x = mb.invoke(&id, &[x]).expect("invoke")[0];
+    }
+    mb.set_outputs(&[x]).expect("outputs");
+    mb.finish().expect("finish")
+}
+
+fn dispatch_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch");
+    g.sample_size(20);
+    let exec = Executor::with_threads(2);
+    for n in [100usize, 1000] {
+        let sess = Session::new(Arc::clone(&exec), chain_module(n)).expect("session");
+        g.bench_with_input(BenchmarkId::new("op_chain", n), &n, |b, _| {
+            b.iter(|| sess.run(vec![]).expect("run"))
+        });
+        let sess = Session::new(Arc::clone(&exec), invoke_chain_module(n)).expect("session");
+        g.bench_with_input(BenchmarkId::new("invoke_chain", n), &n, |b, _| {
+            b.iter(|| sess.run(vec![]).expect("run"))
+        });
+    }
+    g.finish();
+}
+
+fn scheduler_bench(c: &mut Criterion) {
+    // FIFO (the paper's design) vs depth-priority (its §4.1.2 future-work
+    // idea) on a parallel recursion.
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    let module = {
+        let mut mb = ModuleBuilder::new();
+        let h = mb.declare_subgraph("fib", &[DType::I32], &[DType::I32]);
+        mb.define_subgraph(&h, |b| {
+            let n = b.input(0)?;
+            let one = b.const_i32(1);
+            let p = b.ile(n, one)?;
+            let out = b.cond1(
+                p,
+                DType::I32,
+                |b| b.identity(n),
+                |b| {
+                    let one = b.const_i32(1);
+                    let two = b.const_i32(2);
+                    let a = b.isub(n, one)?;
+                    let c2 = b.isub(n, two)?;
+                    let fa = b.invoke(&h, &[a])?[0];
+                    let fb = b.invoke(&h, &[c2])?[0];
+                    b.iadd(fa, fb)
+                },
+            )?;
+            Ok(vec![out])
+        })
+        .expect("define");
+        let s = mb.const_i32(13);
+        let out = mb.invoke(&h, &[s]).expect("invoke");
+        mb.set_outputs(&[out[0]]).expect("outputs");
+        mb.finish().expect("finish")
+    };
+    for (name, kind) in
+        [("fifo", SchedulerKind::Fifo), ("depth_priority", SchedulerKind::DepthPriority)]
+    {
+        let exec = Executor::new(2, kind);
+        let sess = Session::new(exec, module.clone()).expect("session");
+        g.bench_function(name, |b| b.iter(|| sess.run(vec![]).expect("run")));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, dispatch_bench, scheduler_bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Folding's defining overhead: depth-wise regrouping (gather/concat/
+//! scatter) versus the batched kernel it enables (paper §6.4: "the
+//! ungrouping and regrouping of tree nodes across multiple depths lead to
+//! numerous memory reallocations and copies").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdg_core::fold::FoldPlan;
+use rdg_core::prelude::*;
+use rdg_core::tensor::{ops, Tensor};
+
+fn plan_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fold_plan");
+    g.sample_size(20);
+    let data = Dataset::generate(DatasetConfig {
+        vocab: 500,
+        n_train: 25,
+        n_valid: 0,
+        min_len: 16,
+        max_len: 32,
+        seed: 21,
+        ..DatasetConfig::default()
+    });
+    let batch = data.split(Split::Train).to_vec();
+    g.bench_function("plan_25_trees", |b| b.iter(|| FoldPlan::build(&batch)));
+    g.finish();
+}
+
+fn regroup_vs_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fold_level");
+    g.sample_size(20);
+    // A representative level: 64 nodes, hidden 168 (TreeLSTM-sized).
+    let d = 168usize;
+    let n_level = 64usize;
+    let state = Tensor::full([1000, d], 0.1);
+    let li = Tensor::from_i32([n_level], (0..n_level as i32).collect()).expect("ids");
+    let ri =
+        Tensor::from_i32([n_level], (0..n_level as i32).map(|i| i + 100).collect()).expect("ids");
+    let w = Tensor::full([2 * d, d], 0.01);
+
+    g.bench_function("regroup_gather_concat", |b| {
+        b.iter(|| {
+            let hl = ops::gather_rows(&state, &li).expect("gather");
+            let hr = ops::gather_rows(&state, &ri).expect("gather");
+            ops::concat_cols(&hl, &hr).expect("concat")
+        })
+    });
+    let hl = ops::gather_rows(&state, &li).expect("gather");
+    let hr = ops::gather_rows(&state, &ri).expect("gather");
+    let x = ops::concat_cols(&hl, &hr).expect("concat");
+    g.bench_function("batched_matmul_64x336x168", |b| {
+        b.iter(|| ops::matmul(&x, &w).expect("matmul"))
+    });
+    g.bench_function("per_node_matmuls_64", |b| {
+        // What the non-batched engines do: 64 separate [1,336]×[336,168].
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for r in 0..n_level {
+                let row = ops::slice_cols(
+                    &x.reshape([n_level, 2 * d]).expect("reshape"),
+                    0,
+                    2 * d,
+                )
+                .expect("slice");
+                let row1 = ops::gather_rows(
+                    &row,
+                    &Tensor::from_i32([1], vec![r as i32]).expect("id"),
+                )
+                .expect("gather");
+                let y = ops::matmul(&row1, &w).expect("matmul");
+                acc += y.f32s().expect("f32")[0];
+            }
+            acc
+        })
+    });
+    let scatter_src = ops::matmul(&x, &w).expect("matmul");
+    let ni =
+        Tensor::from_i32([n_level], (0..n_level as i32).map(|i| i + 500).collect()).expect("ids");
+    g.bench_function("scatter_back", |b| {
+        b.iter(|| {
+            let mut dst = Tensor::zeros([1000, d]);
+            ops::scatter_add_rows(&mut dst, &ni, &scatter_src).expect("scatter");
+            dst
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, plan_build, regroup_vs_kernel);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablation: what does expressing iteration as tail recursion cost?
+//!
+//! `while_loop` is sugar over `W(s) = Cond(p, W(body(s)), s)` (DESIGN.md §4).
+//! This bench compares N loop iterations against the same N body ops laid
+//! out as a static chain — the difference is pure recursion machinery
+//! (frames, conds, argument passing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdg_core::prelude::*;
+use std::sync::Arc;
+
+fn loop_module(n: i32) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let i0 = mb.const_i32(0);
+    let x0 = mb.const_f32(0.0);
+    let limit = mb.const_i32(n);
+    let outs = mb
+        .while_loop(
+            "acc",
+            &[i0, x0],
+            |b, s| b.ilt(s[0], limit),
+            |b, s| {
+                let one = b.const_i32(1);
+                let i = b.iadd(s[0], one)?;
+                let x = b.add_const(s[1], 1.5)?;
+                Ok(vec![i, x])
+            },
+        )
+        .expect("while");
+    mb.set_outputs(&[outs[1]]).expect("outputs");
+    mb.finish().expect("finish")
+}
+
+fn unrolled_module(n: i32) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let mut x = mb.const_f32(0.0);
+    for _ in 0..n {
+        x = mb.add_const(x, 1.5).expect("add");
+    }
+    mb.set_outputs(&[x]).expect("outputs");
+    mb.finish().expect("finish")
+}
+
+fn loop_vs_unrolled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("while_as_recursion");
+    g.sample_size(10);
+    let exec = Executor::with_threads(2);
+    for n in [50i32, 200] {
+        let sess = Session::new(Arc::clone(&exec), loop_module(n)).expect("session");
+        g.bench_with_input(BenchmarkId::new("tail_recursive_loop", n), &n, |b, _| {
+            b.iter(|| sess.run(vec![]).expect("run"))
+        });
+        let sess = Session::new(Arc::clone(&exec), unrolled_module(n)).expect("session");
+        g.bench_with_input(BenchmarkId::new("static_chain", n), &n, |b, _| {
+            b.iter(|| sess.run(vec![]).expect("run"))
+        });
+    }
+    g.finish();
+}
+
+fn capture_fixup_cost(c: &mut Criterion) {
+    // Builder-side ablation: module construction cost with deep capture
+    // chains (the price of the automatic outer-reference mechanism).
+    let mut g = c.benchmark_group("builder");
+    g.sample_size(10);
+    g.bench_function("treelstm_module_build_batch10", |b| {
+        b.iter(|| {
+            let cfg = ModelConfig::paper_default(ModelKind::TreeLstm, 10);
+            build_recursive(&cfg).expect("build")
+        })
+    });
+    g.bench_function("treelstm_autodiff_batch10", |b| {
+        let cfg = ModelConfig::paper_default(ModelKind::TreeLstm, 10);
+        let m = build_recursive(&cfg).expect("build");
+        b.iter(|| build_training_module(&m, m.main.outputs[0]).expect("ad"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, loop_vs_unrolled, capture_fixup_cost);
+criterion_main!(benches);

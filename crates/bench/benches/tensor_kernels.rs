@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the tensor kernels that dominate model time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdg_core::tensor::{ops, Tensor};
+
+fn matmul_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    g.sample_size(20);
+    for &(m, k, n) in &[(1usize, 128usize, 128usize), (1, 336, 168), (25, 336, 168), (64, 64, 64)]
+    {
+        let a = Tensor::full([m, k], 0.5);
+        let b = Tensor::full([k, n], 0.25);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{k}x{n}")),
+            &(a, b),
+            |bench, (a, b)| bench.iter(|| ops::matmul(a, b).expect("matmul")),
+        );
+    }
+    g.finish();
+}
+
+fn elementwise_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elementwise");
+    g.sample_size(20);
+    let x = Tensor::full([25, 168], 0.3);
+    g.bench_function("tanh_25x168", |b| b.iter(|| ops::tanh(&x).expect("tanh")));
+    g.bench_function("sigmoid_25x168", |b| b.iter(|| ops::sigmoid(&x).expect("sigmoid")));
+    let y = Tensor::full([25, 168], 0.7);
+    g.bench_function("mul_25x168", |b| b.iter(|| ops::mul(&x, &y).expect("mul")));
+    g.finish();
+}
+
+fn gather_scatter_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather_scatter");
+    g.sample_size(20);
+    let table = Tensor::full([2000, 64], 0.1);
+    let ids = Tensor::from_i32([64], (0..64).map(|i| (i * 31) % 2000).collect()).expect("ids");
+    g.bench_function("gather_64_rows_of_64", |b| {
+        b.iter(|| ops::gather_rows(&table, &ids).expect("gather"))
+    });
+    let src = Tensor::full([64, 64], 0.5);
+    g.bench_function("scatter_add_64_rows", |b| {
+        b.iter(|| {
+            let mut dst = Tensor::zeros([2000, 64]);
+            ops::scatter_add_rows(&mut dst, &ids, &src).expect("scatter");
+            dst
+        })
+    });
+    g.finish();
+}
+
+fn bilinear_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bilinear");
+    g.sample_size(10);
+    // RNTN-sized: 32 slices of 64×64.
+    let x = Tensor::full([1, 64], 0.2);
+    let v = Tensor::full([32, 64, 64], 0.01);
+    g.bench_function("rntn_1x64_v32", |b| b.iter(|| ops::bilinear(&x, &v).expect("bilinear")));
+    g.finish();
+}
+
+criterion_group!(benches, matmul_bench, elementwise_bench, gather_scatter_bench, bilinear_bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Runs every figure/table harness in sequence (quick mode unless
+//! overridden), collecting all outputs under `results/`.
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "table3"];
+    let quick = std::env::var("RDG_QUICK").unwrap_or_else(|_| "1".into());
+    println!("running all experiments (RDG_QUICK={quick})");
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::PathBuf::from));
+    for bin in bins {
+        println!("\n##### {bin} #####");
+        let status = match &exe_dir {
+            // Prefer sibling binaries (same build profile)…
+            Some(dir) if dir.join(bin).exists() => {
+                Command::new(dir.join(bin)).env("RDG_QUICK", &quick).status()
+            }
+            // …fall back to cargo for odd layouts.
+            _ => Command::new("cargo")
+                .args(["run", "--release", "-p", "rdg-bench", "--bin", bin])
+                .env("RDG_QUICK", &quick)
+                .status(),
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => eprintln!("{bin} exited with {s}"),
+            Err(e) => eprintln!("failed to launch {bin}: {e}"),
+        }
+    }
+    println!("\nall experiment outputs appended under results/");
+}

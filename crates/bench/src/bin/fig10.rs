@@ -1,0 +1,80 @@
+//! Figure 10 — TreeLSTM training throughput under data parallelism on
+//! 1/2/4/8 machines (paper: 1.00× / 1.85× / 3.65× / 7.34×).
+//!
+//! Two modes are reported:
+//! * **real threads** — honest wall-clock on this host (scaling saturates at
+//!   the physical core count; the paper had 8 × 36-core machines);
+//! * **virtual time** — compute times calibrated from the real 1-machine
+//!   run, synchronous-step makespan modeled as straggler max + parameter-
+//!   server network cost (the documented hardware substitution).
+
+use rdg_bench::{fmt_thr, record, BenchOpts, Table};
+use rdg_core::cluster::{run_real, run_virtual, ClusterConfig, NetModel};
+use rdg_core::prelude::*;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let machines = [1usize, 2, 4, 8];
+    let data = Dataset::generate(DatasetConfig {
+        vocab: 500,
+        n_train: 128,
+        n_valid: 0,
+        min_len: 4,
+        max_len: if opts.quick { 10 } else { 20 },
+        seed: 10,
+        ..DatasetConfig::default()
+    });
+    let mut model = if opts.quick {
+        ModelConfig::tiny(ModelKind::TreeLstm, 2)
+    } else {
+        let mut m = ModelConfig::paper_default(ModelKind::TreeLstm, 4);
+        m.hidden = 96; // keep per-step time moderate on small hosts
+        m
+    };
+    model.vocab = 500;
+    let steps = if opts.quick { 2 } else { 4 };
+
+    println!(
+        "Figure 10: TreeLSTM data-parallel training, per-machine batch {}, {} steps{}",
+        model.batch,
+        steps,
+        if opts.quick { " [quick]" } else { "" }
+    );
+
+    // Parameter volume for the network model.
+    let m = build_recursive(&model).expect("build");
+    let param_bytes: f64 =
+        m.params.iter().map(|p| p.init.numel() as f64 * 4.0).sum();
+    println!("parameter volume: {:.2} MB", param_bytes / 1e6);
+
+    let mut table = Table::new(
+        "Fig 10: training throughput vs machines",
+        &["machines", "real inst/s", "real speedup", "virtual inst/s", "virtual speedup"],
+    );
+    let mut base_real = None;
+    let mut base_virt = None;
+    for &n in &machines {
+        let cfg = ClusterConfig {
+            n_machines: n,
+            threads_per_machine: 1,
+            model: model.clone(),
+            steps,
+            lr: 0.01,
+        };
+        let real = run_real(&cfg, &data).expect("real cluster run");
+        let virt =
+            run_virtual(&cfg, &data, &NetModel::default(), param_bytes).expect("virtual run");
+        let br = *base_real.get_or_insert(real.instances_per_sec);
+        let bv = *base_virt.get_or_insert(virt.instances_per_sec);
+        table.row(&[
+            n.to_string(),
+            fmt_thr(real.instances_per_sec),
+            format!("{:.2}x", real.instances_per_sec / br),
+            fmt_thr(virt.instances_per_sec),
+            format!("{:.2}x", virt.instances_per_sec / bv),
+        ]);
+    }
+    table.emit("fig10");
+    println!("paper reference speedups: 1.00x / 1.85x / 3.65x / 7.34x");
+    record("fig10", &format!("threads=1/machine quick={}\n", opts.quick));
+}

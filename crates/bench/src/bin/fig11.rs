@@ -1,0 +1,131 @@
+//! Figure 11 — Per-instance processing time vs sentence length for the
+//! TreeLSTM model, recursive vs iterative, training and inference.
+//!
+//! The iterative implementation is O(N) by construction; the recursive one
+//! approaches O(height) = O(log N) when workers are plentiful. Wall-clock
+//! rows show this host's truncated parallelism; the virtual-time rows replay
+//! the same dataflow on a 36-worker machine (the paper's testbed width),
+//! where the logarithmic inference trend is visible.
+
+use rdg_bench::{record, time_once, BenchOpts, Table};
+use rdg_core::exec::sim::SimExecutor;
+use rdg_core::exec::ModulePlan;
+use rdg_core::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let lengths: &[usize] =
+        if opts.quick { &[10, 40, 120] } else { &[10, 25, 50, 100, 150, 200, 250] };
+    let mut cfg = ModelConfig::paper_default(ModelKind::TreeLstm, 1);
+    if opts.quick {
+        cfg.hidden = 48;
+    }
+
+    println!(
+        "Figure 11: per-instance time vs sentence length (TreeLSTM, balanced parses), {} threads{}",
+        opts.threads,
+        if opts.quick { " [quick]" } else { "" }
+    );
+
+    let mut table = Table::new(
+        "Fig 11: per-instance time (ms) vs words",
+        &[
+            "words",
+            "train rec",
+            "train iter",
+            "infer rec",
+            "infer iter",
+            "sim36 rec",
+            "sim36 iter",
+        ],
+    );
+
+    let exec = Executor::with_threads(opts.threads);
+    for &len in lengths {
+        let data = Dataset::generate_fixed_length(
+            DatasetConfig {
+                vocab: cfg.vocab,
+                n_train: 2,
+                n_valid: 0,
+                shape: TreeShape::Balanced,
+                seed: 11,
+                ..DatasetConfig::default()
+            },
+            len,
+        );
+        let insts = data.split(Split::Train)[..1].to_vec();
+        let feeds = Dataset::feeds_for(&insts);
+
+        let m_rec = build_recursive(&cfg).expect("build");
+        let m_itr = build_iterative(&cfg).expect("build");
+        let t_rec = build_training_module(&m_rec, m_rec.main.outputs[0]).expect("ad");
+        let t_itr = build_training_module(&m_itr, m_itr.main.outputs[0]).expect("ad");
+
+        let s_rec = Session::new(Arc::clone(&exec), m_rec.clone()).expect("session");
+        let s_itr = Session::with_params(
+            Arc::clone(&exec),
+            m_itr.clone(),
+            Arc::clone(s_rec.params()),
+        )
+        .expect("session");
+        let st_rec =
+            Session::with_params(Arc::clone(&exec), t_rec, Arc::clone(s_rec.params()))
+                .expect("session");
+        let st_itr =
+            Session::with_params(Arc::clone(&exec), t_itr, Arc::clone(s_rec.params()))
+                .expect("session");
+
+        // Warm-ups, then single-shot timings (medians over 3).
+        let med = |f: &mut dyn FnMut() -> f64| -> f64 {
+            let mut v = [f(), f(), f()];
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            v[1]
+        };
+        let feeds2 = feeds.clone();
+        let tr_rec = med(&mut || time_once(|| {
+            st_rec.run_training(feeds2.clone()).expect("run");
+        }));
+        let feeds2 = feeds.clone();
+        let tr_itr = med(&mut || time_once(|| {
+            st_itr.run_training(feeds2.clone()).expect("run");
+        }));
+        let feeds2 = feeds.clone();
+        let in_rec = med(&mut || time_once(|| {
+            s_rec.run(feeds2.clone()).expect("run");
+        }));
+        let feeds2 = feeds.clone();
+        let in_itr = med(&mut || time_once(|| {
+            s_itr.run(feeds2.clone()).expect("run");
+        }));
+
+        // Virtual-time inference on a 36-worker machine.
+        let sim = SimExecutor::new(36);
+        let plan_rec = ModulePlan::new(Arc::new(m_rec)).expect("plan");
+        let plan_itr = ModulePlan::new(Arc::new(m_itr)).expect("plan");
+        let sim_rec = sim
+            .run(&plan_rec, s_rec.params(), feeds.clone(), None, None)
+            .expect("sim")
+            .seconds();
+        let sim_itr = sim
+            .run(&plan_itr, s_rec.params(), feeds.clone(), None, None)
+            .expect("sim")
+            .seconds();
+
+        table.row(&[
+            len.to_string(),
+            format!("{:.1}", tr_rec * 1e3),
+            format!("{:.1}", tr_itr * 1e3),
+            format!("{:.1}", in_rec * 1e3),
+            format!("{:.1}", in_itr * 1e3),
+            format!("{:.2}", sim_rec * 1e3),
+            format!("{:.2}", sim_itr * 1e3),
+        ]);
+    }
+    table.emit("fig11");
+    println!(
+        "expected shape: iterative columns grow ~linearly with words; the \
+         sim36 recursive column grows ~logarithmically (tree height)."
+    );
+    record("fig11", &format!("threads={} quick={}\n", opts.threads, opts.quick));
+}

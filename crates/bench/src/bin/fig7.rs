@@ -1,0 +1,82 @@
+//! Figure 7 — Training throughput for TreeRNN, RNTN, and TreeLSTM with the
+//! synthetic Large Movie Review stand-in: recursive vs iterative vs
+//! static-unrolling, batch sizes {1, 10, 25}.
+
+use rdg_bench::{fmt_thr, record, throughput, BenchOpts, Table};
+use rdg_core::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let window = Duration::from_secs_f64(opts.seconds);
+    let batches: &[usize] = if opts.quick { &[1, 10] } else { &[1, 10, 25] };
+    let kinds = [ModelKind::TreeRnn, ModelKind::Rntn, ModelKind::TreeLstm];
+
+    println!(
+        "Figure 7: training throughput (instances/s), {} threads, window {:.1}s{}",
+        opts.threads,
+        opts.seconds,
+        if opts.quick { " [quick]" } else { "" }
+    );
+
+    for kind in kinds {
+        let mut table = Table::new(
+            format!("Fig 7 ({kind:?}) training throughput"),
+            &["batch", "Recursive", "Iterative", "Unrolling"],
+        );
+        for &batch in batches {
+            let cfg = ModelConfig::paper_default(kind, batch);
+            let data = Dataset::generate(DatasetConfig {
+                vocab: cfg.vocab,
+                n_train: batch.max(8) * 4,
+                n_valid: 0,
+                min_len: 4,
+                max_len: if opts.quick { 16 } else { 32 },
+                seed: 7,
+                ..DatasetConfig::default()
+            });
+            let insts: Vec<Instance> = data.split(Split::Train)[..batch].to_vec();
+            let feeds = Dataset::feeds_for(&insts);
+
+            // Recursive.
+            let m = build_recursive(&cfg).expect("build recursive");
+            let t = build_training_module(&m, m.main.outputs[0]).expect("autodiff");
+            let exec = Executor::with_threads(opts.threads);
+            let sess = Session::new(Arc::clone(&exec), t).expect("session");
+            let mut opt = Adagrad::new(0.01);
+            let rec = throughput(batch, window, || {
+                sess.run_training(feeds.clone()).expect("train step");
+                opt.step(sess.params(), sess.grads()).expect("update");
+            });
+
+            // Iterative.
+            let m = build_iterative(&cfg).expect("build iterative");
+            let t = build_training_module(&m, m.main.outputs[0]).expect("autodiff");
+            let sess = Session::new(Arc::clone(&exec), t).expect("session");
+            let mut opt = Adagrad::new(0.01);
+            let itr = throughput(batch, window, || {
+                sess.run_training(feeds.clone()).expect("train step");
+                opt.step(sess.params(), sess.grads()).expect("update");
+            });
+
+            // Unrolling (fresh graph per instance, sequential dispatch).
+            let unr_model = UnrolledModel::new(cfg.clone()).expect("build unrolled");
+            let grads = rdg_core::exec::GradStore::new(unr_model.params().len());
+            let mut opt = Adagrad::new(0.01);
+            let unr = throughput(batch, window, || {
+                unr_model.run_training(&insts, &grads).expect("train step");
+                opt.step(unr_model.params(), &grads).expect("update");
+            });
+
+            table.row(&[
+                batch.to_string(),
+                fmt_thr(rec),
+                fmt_thr(itr),
+                fmt_thr(unr),
+            ]);
+        }
+        table.emit("fig7");
+    }
+    record("fig7", &format!("threads={} quick={}\n", opts.threads, opts.quick));
+}

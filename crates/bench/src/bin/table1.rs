@@ -1,0 +1,65 @@
+//! Table 1 — TreeRNN training throughput on the recursive implementation
+//! with balanced / moderately-balanced / linear parse trees, batch {1,10,25}.
+//!
+//! Balancedness bounds the exploitable concurrency: a full binary tree over
+//! N leaves admits (N+1)/2-way parallelism, a comb admits ~1.
+
+use rdg_bench::{fmt_thr, record, throughput, BenchOpts, Table};
+use rdg_core::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let window = Duration::from_secs_f64(opts.seconds);
+    let batches: &[usize] = if opts.quick { &[1, 10] } else { &[1, 10, 25] };
+    let shapes = [
+        ("Balanced", TreeShape::Balanced),
+        ("Moderate", TreeShape::Moderate),
+        ("Linear", TreeShape::Linear),
+    ];
+
+    println!(
+        "Table 1: TreeRNN recursive training throughput vs tree balancedness, {} threads{}",
+        opts.threads,
+        if opts.quick { " [quick]" } else { "" }
+    );
+
+    let mut table = Table::new(
+        "Table 1: throughput (instances/s)",
+        &["batch", "Balanced", "Moderate", "Linear"],
+    );
+    let exec = Executor::with_threads(opts.threads);
+    for &batch in batches {
+        let cfg = ModelConfig::paper_default(ModelKind::TreeRnn, batch);
+        let mut cells = vec![batch.to_string()];
+        for (_, shape) in shapes {
+            let data = Dataset::generate(DatasetConfig {
+                vocab: cfg.vocab,
+                n_train: batch.max(4) * 2,
+                n_valid: 0,
+                min_len: if opts.quick { 12 } else { 24 },
+                max_len: if opts.quick { 12 } else { 24 },
+                shape,
+                seed: 12,
+                ..DatasetConfig::default()
+            });
+            let insts: Vec<Instance> = data.split(Split::Train)[..batch].to_vec();
+            let feeds = Dataset::feeds_for(&insts);
+            let m = build_recursive(&cfg).expect("build");
+            let t = build_training_module(&m, m.main.outputs[0]).expect("ad");
+            let sess = Session::new(Arc::clone(&exec), t).expect("session");
+            let mut opt = Adagrad::new(0.01);
+            let thr = throughput(batch, window, || {
+                sess.run_training(feeds.clone()).expect("step");
+                opt.step(sess.params(), sess.grads()).expect("update");
+            });
+            cells.push(fmt_thr(thr));
+        }
+        table.row(&cells);
+    }
+    table.emit("table1");
+    println!("paper shape: Balanced > Moderate > Linear at every batch size;");
+    println!("Linear gains the most from batching (unused threads get work).");
+    record("table1", &format!("threads={} quick={}\n", opts.threads, opts.quick));
+}

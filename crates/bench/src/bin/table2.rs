@@ -1,0 +1,99 @@
+//! Table 2 — TreeLSTM inference and training throughput: iterative vs
+//! recursive vs folding (depth-wise dynamic batching), batch {1, 10, 25}.
+//!
+//! The paper's crossover: recursion wins on inference (no regrouping
+//! overhead, cheap parallelism), folding wins on training at larger batches
+//! (batched kernels amortize; the paper additionally had a GPU — our fold
+//! runs batched CPU kernels, see EXPERIMENTS.md for the gap discussion).
+
+use rdg_bench::{fmt_thr, record, throughput, BenchOpts, Table};
+use rdg_core::fold::FoldEngine;
+use rdg_core::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let opts = BenchOpts::from_env();
+    let window = Duration::from_secs_f64(opts.seconds);
+    let batches: &[usize] = if opts.quick { &[1, 10] } else { &[1, 10, 25] };
+
+    println!(
+        "Table 2: TreeLSTM iterative/recursive/folding, {} threads{}",
+        opts.threads,
+        if opts.quick { " [quick]" } else { "" }
+    );
+
+    let mut inf_table = Table::new(
+        "Table 2 (inference, instances/s)",
+        &["batch", "Iter", "Recur", "Fold"],
+    );
+    let mut trn_table = Table::new(
+        "Table 2 (training, instances/s)",
+        &["batch", "Iter", "Recur", "Fold"],
+    );
+
+    let exec = Executor::with_threads(opts.threads);
+    for &batch in batches {
+        let mut cfg = ModelConfig::paper_default(ModelKind::TreeLstm, batch);
+        if opts.quick {
+            cfg.hidden = 64;
+        }
+        let data = Dataset::generate(DatasetConfig {
+            vocab: cfg.vocab,
+            n_train: batch.max(4) * 2,
+            n_valid: 0,
+            min_len: 4,
+            max_len: if opts.quick { 16 } else { 32 },
+            seed: 13,
+            ..DatasetConfig::default()
+        });
+        let insts: Vec<Instance> = data.split(Split::Train)[..batch].to_vec();
+        let feeds = Dataset::feeds_for(&insts);
+
+        // Sessions with shared parameters.
+        let m_rec = build_recursive(&cfg).expect("build");
+        let m_itr = build_iterative(&cfg).expect("build");
+        let t_rec = build_training_module(&m_rec, m_rec.main.outputs[0]).expect("ad");
+        let t_itr = build_training_module(&m_itr, m_itr.main.outputs[0]).expect("ad");
+        let s_rec = Session::new(Arc::clone(&exec), m_rec).expect("session");
+        let s_itr = Session::with_params(Arc::clone(&exec), m_itr, Arc::clone(s_rec.params()))
+            .expect("session");
+        let st_rec =
+            Session::with_params(Arc::clone(&exec), t_rec, Arc::clone(s_rec.params()))
+                .expect("session");
+        let st_itr =
+            Session::with_params(Arc::clone(&exec), t_itr, Arc::clone(s_rec.params()))
+                .expect("session");
+        let mut fold = FoldEngine::new(cfg).expect("build fold");
+        fold.set_params(Arc::clone(s_rec.params()));
+
+        // Inference.
+        let i_itr = throughput(batch, window, || {
+            s_itr.run(feeds.clone()).expect("run");
+        });
+        let i_rec = throughput(batch, window, || {
+            s_rec.run(feeds.clone()).expect("run");
+        });
+        let i_fold = throughput(batch, window, || {
+            fold.infer(&insts).expect("run");
+        });
+        inf_table.row(&[batch.to_string(), fmt_thr(i_itr), fmt_thr(i_rec), fmt_thr(i_fold)]);
+
+        // Training (no optimizer application — measuring fwd+bwd as in §6.4).
+        let t_itr = throughput(batch, window, || {
+            st_itr.run_training(feeds.clone()).expect("run");
+        });
+        let t_rec = throughput(batch, window, || {
+            st_rec.run_training(feeds.clone()).expect("run");
+        });
+        let grads = rdg_core::exec::GradStore::new(fold.params().len());
+        let t_fold = throughput(batch, window, || {
+            fold.train_step(&insts, &grads).expect("run");
+        });
+        trn_table.row(&[batch.to_string(), fmt_thr(t_itr), fmt_thr(t_rec), fmt_thr(t_fold)]);
+    }
+    inf_table.emit("table2");
+    trn_table.emit("table2");
+    println!("paper shape: Recur dominates inference; Fold overtakes on training as batch grows.");
+    record("table2", &format!("threads={} quick={}\n", opts.threads, opts.quick));
+}

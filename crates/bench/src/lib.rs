@@ -1,0 +1,182 @@
+//! Shared benchmark harness: timing, table printing, result recording.
+//!
+//! Every figure/table binary follows the same protocol:
+//!
+//! 1. Read [`BenchOpts`] from the environment (`RDG_QUICK=1` shrinks
+//!    workloads for smoke runs, `RDG_THREADS=n` pins the worker count,
+//!    `RDG_SECONDS=s` adjusts the measurement window).
+//! 2. Measure throughput with [`throughput`] (timed window after a warm-up).
+//! 3. Print a paper-format table with [`Table`] and append a
+//!    machine-readable record under `results/`.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Benchmark options from the environment.
+#[derive(Clone, Debug)]
+pub struct BenchOpts {
+    /// Shrink workloads (CI / smoke runs).
+    pub quick: bool,
+    /// Executor worker threads.
+    pub threads: usize,
+    /// Measurement window per cell, seconds.
+    pub seconds: f64,
+}
+
+impl BenchOpts {
+    /// Reads `RDG_QUICK`, `RDG_THREADS`, `RDG_SECONDS`.
+    pub fn from_env() -> Self {
+        let quick = std::env::var("RDG_QUICK").map(|v| v != "0").unwrap_or(false);
+        let threads = std::env::var("RDG_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+            });
+        let seconds = std::env::var("RDG_SECONDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 0.8 } else { 3.0 });
+        BenchOpts { quick, threads, seconds }
+    }
+}
+
+/// Runs `f` (which processes `batch` instances per call) repeatedly for the
+/// measurement window after one warm-up call; returns instances/second.
+pub fn throughput(batch: usize, window: Duration, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (also pays one-time planning costs outside the window)
+    let t0 = Instant::now();
+    let mut calls = 0usize;
+    while t0.elapsed() < window {
+        f();
+        calls += 1;
+    }
+    (calls * batch) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Times a single invocation of `f` in seconds.
+pub fn time_once(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+/// A fixed-width text table in the paper's row/column format.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(c.len());
+                }
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "== {} ==", self.title);
+        let line = |s: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(c.len());
+                let _ = write!(s, "{c:>w$}  ");
+            }
+            let _ = writeln!(s);
+        };
+        line(&mut s, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(s, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut s, row);
+        }
+        s
+    }
+
+    /// Prints to stdout and appends to `results/<name>.txt`.
+    pub fn emit(&self, name: &str) {
+        let rendered = self.render();
+        println!("{rendered}");
+        record(name, &rendered);
+    }
+}
+
+/// Appends `content` (with a timestamp header) to `results/<name>.txt`.
+pub fn record(name: &str, content: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.txt"));
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(
+            f,
+            "# run at unix {}\n{content}",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0)
+        );
+    }
+}
+
+/// Formats a throughput value the way the paper annotates bars.
+pub fn fmt_thr(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["model", "batch 1", "batch 10"]);
+        t.row(&["treernn".into(), "46.6".into(), "125.2".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("treernn"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn throughput_counts_instances() {
+        let rate = throughput(10, Duration::from_millis(50), || {
+            std::thread::sleep(Duration::from_millis(5));
+        });
+        // ~10 calls in 50 ms → ~2000 instances/s, very loose bounds.
+        assert!(rate > 200.0 && rate < 20_000.0, "rate {rate}");
+    }
+
+    #[test]
+    fn fmt_thr_scales_precision() {
+        assert_eq!(fmt_thr(129.7), "130");
+        assert_eq!(fmt_thr(46.64), "46.6");
+        assert_eq!(fmt_thr(4.82), "4.82");
+    }
+}

@@ -1,0 +1,216 @@
+//! Reproducible synthetic corpora with splits and batching.
+
+use crate::encode::TreeTensors;
+use crate::sentiment::SentimentModel;
+use crate::trees::{sample_length, Tree, TreeShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdg_tensor::Tensor;
+
+/// Which half of a dataset to read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Split {
+    /// Training instances.
+    Train,
+    /// Held-out validation instances.
+    Valid,
+}
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct DatasetConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Number of training instances.
+    pub n_train: usize,
+    /// Number of validation instances.
+    pub n_valid: usize,
+    /// Minimum sentence length (words).
+    pub min_len: usize,
+    /// Maximum sentence length (words).
+    pub max_len: usize,
+    /// Parse-tree shape regime.
+    pub shape: TreeShape,
+    /// Master seed (teacher + sentences).
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            vocab: 2000,
+            n_train: 512,
+            n_valid: 128,
+            min_len: 4,
+            max_len: 64,
+            shape: TreeShape::Moderate,
+            seed: 42,
+        }
+    }
+}
+
+/// One labeled instance.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The parse tree.
+    pub tree: Tree,
+    /// Tensor encoding of the tree.
+    pub tensors: TreeTensors,
+    /// Binary sentiment label.
+    pub label: i32,
+}
+
+/// A reproducible synthetic corpus.
+pub struct Dataset {
+    /// Generation parameters.
+    pub config: DatasetConfig,
+    /// The labeling teacher.
+    pub teacher: SentimentModel,
+    train: Vec<Instance>,
+    valid: Vec<Instance>,
+}
+
+impl Dataset {
+    /// Generates the corpus deterministically from `config.seed`.
+    pub fn generate(config: DatasetConfig) -> Dataset {
+        let teacher = SentimentModel::new(config.vocab, config.seed ^ 0x7ea7);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut gen = |count: usize, salt: u64| -> Vec<Instance> {
+            (0..count)
+                .map(|i| {
+                    let n = sample_length(&mut rng, config.min_len, config.max_len);
+                    let words: Vec<i32> =
+                        (0..n).map(|_| rng.gen_range(0..config.vocab as i32)).collect();
+                    let tree = Tree::build(&words, config.shape, &mut rng);
+                    let label = teacher.label(&tree, salt.wrapping_add(i as u64));
+                    let tensors = TreeTensors::encode(&tree);
+                    Instance { tree, tensors, label }
+                })
+                .collect()
+        };
+        let train = gen(config.n_train, 0x1000_0000);
+        let valid = gen(config.n_valid, 0x2000_0000);
+        Dataset { config, teacher, train, valid }
+    }
+
+    /// Generates a corpus where every sentence has exactly `len` words
+    /// (Figure 11's per-length measurements).
+    pub fn generate_fixed_length(mut config: DatasetConfig, len: usize) -> Dataset {
+        config.min_len = len;
+        config.max_len = len;
+        Dataset::generate(config)
+    }
+
+    /// Instances of a split.
+    pub fn split(&self, split: Split) -> &[Instance] {
+        match split {
+            Split::Train => &self.train,
+            Split::Valid => &self.valid,
+        }
+    }
+
+    /// Consecutive batches of `batch` instances (last partial batch
+    /// dropped, as in the paper's fixed-batch measurements).
+    pub fn batches(&self, split: Split, batch: usize) -> impl Iterator<Item = &[Instance]> {
+        self.split(split).chunks_exact(batch)
+    }
+
+    /// Flattens a batch into the main-graph feed list models expect:
+    /// per instance `(words, left, right, is_leaf, root)`, then all labels
+    /// as one `i32[batch]` tensor.
+    pub fn feeds_for(batch: &[Instance]) -> Vec<Tensor> {
+        let mut feeds = Vec::with_capacity(batch.len() * TreeTensors::N_FEEDS + 1);
+        for inst in batch {
+            feeds.extend(inst.tensors.feeds());
+        }
+        let labels: Vec<i32> = batch.iter().map(|i| i.label).collect();
+        feeds.push(Tensor::from_i32([labels.len()], labels).expect("len matches"));
+        feeds
+    }
+
+    /// Mean sentence length of a split (diagnostics / reporting).
+    pub fn mean_len(&self, split: Split) -> f32 {
+        let s = self.split(split);
+        if s.is_empty() {
+            return 0.0;
+        }
+        s.iter().map(|i| i.tree.n_leaves()).sum::<usize>() as f32 / s.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> DatasetConfig {
+        DatasetConfig {
+            vocab: 100,
+            n_train: 32,
+            n_valid: 16,
+            min_len: 2,
+            max_len: 12,
+            shape: TreeShape::Moderate,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(small());
+        let b = Dataset::generate(small());
+        for (x, y) in a.split(Split::Train).iter().zip(b.split(Split::Train)) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.tree.nodes, y.tree.nodes);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Dataset::generate(small());
+        let mut cfg = small();
+        cfg.seed = 2;
+        let b = Dataset::generate(cfg);
+        let same = a
+            .split(Split::Train)
+            .iter()
+            .zip(b.split(Split::Train))
+            .filter(|(x, y)| x.tree.nodes == y.tree.nodes)
+            .count();
+        assert!(same < 8, "different seeds should give different trees");
+    }
+
+    #[test]
+    fn splits_have_requested_sizes() {
+        let d = Dataset::generate(small());
+        assert_eq!(d.split(Split::Train).len(), 32);
+        assert_eq!(d.split(Split::Valid).len(), 16);
+    }
+
+    #[test]
+    fn batches_and_feeds() {
+        let d = Dataset::generate(small());
+        let batches: Vec<_> = d.batches(Split::Train, 10).collect();
+        assert_eq!(batches.len(), 3, "32 / 10 → 3 full batches");
+        let feeds = Dataset::feeds_for(batches[0]);
+        assert_eq!(feeds.len(), 10 * TreeTensors::N_FEEDS + 1);
+        let labels = &feeds[feeds.len() - 1];
+        assert_eq!(labels.i32s().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn fixed_length_corpus() {
+        let d = Dataset::generate_fixed_length(small(), 9);
+        for inst in d.split(Split::Train) {
+            assert_eq!(inst.tree.n_leaves(), 9);
+        }
+    }
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let d = Dataset::generate(small());
+        for inst in d.split(Split::Train).iter().chain(d.split(Split::Valid)) {
+            let n = inst.tree.n_leaves();
+            assert!((2..=12).contains(&n));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Tensor encoding of parse trees.
+
+use crate::trees::{Tree, TreeNode};
+use rdg_tensor::Tensor;
+
+/// A tree flattened into the tensor tables models consume.
+///
+/// All index tables follow the tree's topological order, so the iterative
+/// baseline can simply process nodes `0..n` (paper Figure 1) while the
+/// recursive implementation indexes `left`/`right` on demand (Figure 2).
+#[derive(Clone, Debug)]
+pub struct TreeTensors {
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// `i32[n]`: word id at leaves, `-1` at internal nodes.
+    pub words: Tensor,
+    /// `i32[n]`: left child index, `-1` at leaves.
+    pub left: Tensor,
+    /// `i32[n]`: right child index, `-1` at leaves.
+    pub right: Tensor,
+    /// `i32[n]`: `1` at leaves, `0` at internal nodes.
+    pub is_leaf: Tensor,
+    /// `i32` scalar: root index.
+    pub root: Tensor,
+    /// `i32` scalar: node count.
+    pub n_nodes_scalar: Tensor,
+}
+
+impl TreeTensors {
+    /// Encodes a tree.
+    pub fn encode(tree: &Tree) -> TreeTensors {
+        let n = tree.len();
+        let mut words = vec![-1i32; n];
+        let mut left = vec![-1i32; n];
+        let mut right = vec![-1i32; n];
+        let mut is_leaf = vec![0i32; n];
+        for (i, node) in tree.nodes.iter().enumerate() {
+            match *node {
+                TreeNode::Leaf { word } => {
+                    words[i] = word;
+                    is_leaf[i] = 1;
+                }
+                TreeNode::Internal { left: l, right: r } => {
+                    left[i] = l as i32;
+                    right[i] = r as i32;
+                }
+            }
+        }
+        TreeTensors {
+            n_nodes: n,
+            words: Tensor::from_i32([n], words).expect("len matches"),
+            left: Tensor::from_i32([n], left).expect("len matches"),
+            right: Tensor::from_i32([n], right).expect("len matches"),
+            is_leaf: Tensor::from_i32([n], is_leaf).expect("len matches"),
+            root: Tensor::scalar_i32(tree.root() as i32),
+            n_nodes_scalar: Tensor::scalar_i32(n as i32),
+        }
+    }
+
+    /// The five per-instance feed tensors in canonical order
+    /// `(words, left, right, is_leaf, root)`.
+    pub fn feeds(&self) -> Vec<Tensor> {
+        vec![
+            self.words.clone(),
+            self.left.clone(),
+            self.right.clone(),
+            self.is_leaf.clone(),
+            self.root.clone(),
+        ]
+    }
+
+    /// Number of feed tensors per instance (see [`TreeTensors::feeds`]).
+    pub const N_FEEDS: usize = 5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees::TreeShape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encoding_round_trips_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = Tree::build(&[10, 20, 30], TreeShape::Moderate, &mut rng);
+        let tt = TreeTensors::encode(&tree);
+        assert_eq!(tt.n_nodes, 5);
+        let words = tt.words.i32s().unwrap();
+        let left = tt.left.i32s().unwrap();
+        let right = tt.right.i32s().unwrap();
+        let is_leaf = tt.is_leaf.i32s().unwrap();
+        for (i, n) in tree.nodes.iter().enumerate() {
+            match *n {
+                TreeNode::Leaf { word } => {
+                    assert_eq!(words[i], word);
+                    assert_eq!(is_leaf[i], 1);
+                    assert_eq!(left[i], -1);
+                }
+                TreeNode::Internal { left: l, right: r } => {
+                    assert_eq!(words[i], -1);
+                    assert_eq!(is_leaf[i], 0);
+                    assert_eq!(left[i], l as i32);
+                    assert_eq!(right[i], r as i32);
+                }
+            }
+        }
+        assert_eq!(tt.root.as_i32_scalar().unwrap(), tree.root() as i32);
+    }
+
+    #[test]
+    fn feeds_have_canonical_arity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = Tree::build(&[1, 2], TreeShape::Balanced, &mut rng);
+        let tt = TreeTensors::encode(&tree);
+        assert_eq!(tt.feeds().len(), TreeTensors::N_FEEDS);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = Tree::build(&[42], TreeShape::Linear, &mut rng);
+        let tt = TreeTensors::encode(&tree);
+        assert_eq!(tt.n_nodes, 1);
+        assert_eq!(tt.root.as_i32_scalar().unwrap(), 0);
+        assert_eq!(tt.is_leaf.i32s().unwrap(), &[1]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic movie-review data: the Large Movie Review stand-in.
+//!
+//! The paper evaluates on the Large Movie Review dataset (Maas et al.,
+//! 2011) parsed into binary trees and labeled by a pre-trained network. The
+//! corpus itself is immaterial to every experiment — what matters is
+//! (a) the *shape distribution* of the parse trees (sentence lengths,
+//! balancedness — Figures 7/8/11, Table 1) and (b) that the labels are
+//! *learnable*, so convergence curves (Figure 9) are meaningful.
+//!
+//! This crate substitutes both:
+//!
+//! * [`trees`] — binary-tree generators over synthetic token sequences, with
+//!   an IMDB-like sentence-length distribution and the paper's three shape
+//!   regimes (balanced / moderate / linear, Table 1).
+//! * [`sentiment`] — a fixed-seed *compositional teacher*: every vocabulary
+//!   word carries a latent polarity, a small set of words act as negators
+//!   that flip their sibling subtree, and a node's sentiment is the
+//!   (possibly flipped) sum of its children. Root labels stand in for the
+//!   paper's "pre-trained network used to label all nodes": deterministic,
+//!   structured, and learnable by all three model families.
+//! * [`encode`] — the tensor encoding models consume (topologically indexed
+//!   node tables, as required by the iterative baseline in the paper's
+//!   Figure 1).
+//! * [`dataset`] — reproducible corpora with train/validation splits and
+//!   batching.
+
+pub mod dataset;
+pub mod encode;
+pub mod sentiment;
+pub mod trees;
+
+pub use dataset::{Dataset, DatasetConfig, Instance, Split};
+pub use encode::TreeTensors;
+pub use sentiment::SentimentModel;
+pub use trees::{Tree, TreeNode, TreeShape};

@@ -1,0 +1,183 @@
+//! The compositional sentiment teacher.
+//!
+//! Stands in for the paper's "pre-trained network (for each model) to label
+//! all nodes": a deterministic, seeded generative model that assigns every
+//! tree node a sentiment score with genuinely *compositional* structure
+//! (negator words flip their sibling subtree), so learning it requires the
+//! tree computation the evaluated models perform — a bag-of-words shortcut
+//! misclassifies negated subtrees.
+
+use crate::trees::{Tree, TreeNode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The teacher: per-word polarities plus a negator set.
+pub struct SentimentModel {
+    polarity: Vec<f32>,
+    negator: Vec<bool>,
+    /// Fraction of labels flipped at random (label noise).
+    pub noise: f32,
+}
+
+impl SentimentModel {
+    /// Builds a teacher for a vocabulary of `vocab` words from a seed.
+    ///
+    /// ~6% of words are negators; the rest carry polarity in `[-1, 1]`.
+    pub fn new(vocab: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut polarity: Vec<f32> = (0..vocab).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        // Center the polarities: otherwise the per-word bias accumulates
+        // with sentence length and long sentences all share one label.
+        let mean = polarity.iter().sum::<f32>() / vocab.max(1) as f32;
+        for p in &mut polarity {
+            *p -= mean;
+        }
+        let negator: Vec<bool> = (0..vocab).map(|_| rng.gen_bool(0.06)).collect();
+        SentimentModel { polarity, negator, noise: 0.02 }
+    }
+
+    /// Whether `word` is a negator.
+    pub fn is_negator(&self, word: i32) -> bool {
+        self.negator.get(word as usize).copied().unwrap_or(false)
+    }
+
+    /// Per-node sentiment scores, in the tree's topological order.
+    ///
+    /// * Leaf: the word's polarity (0 for negators).
+    /// * Internal: `s_l + s_r`, except when the left child is a negator
+    ///   leaf, in which case the right subtree is flipped and amplified:
+    ///   `-1.5·s_r`.
+    pub fn scores(&self, tree: &Tree) -> Vec<f32> {
+        let mut s = vec![0.0f32; tree.len()];
+        for (i, n) in tree.nodes.iter().enumerate() {
+            s[i] = match *n {
+                TreeNode::Leaf { word } => {
+                    if self.is_negator(word) {
+                        0.0
+                    } else {
+                        self.polarity.get(word as usize).copied().unwrap_or(0.0)
+                    }
+                }
+                TreeNode::Internal { left, right } => {
+                    let left_is_negator = matches!(
+                        tree.nodes[left],
+                        TreeNode::Leaf { word } if self.is_negator(word)
+                    );
+                    if left_is_negator {
+                        -1.5 * s[right]
+                    } else {
+                        s[left] + s[right]
+                    }
+                }
+            };
+        }
+        s
+    }
+
+    /// Binary root label (1 = positive), with optional label noise driven by
+    /// a per-tree deterministic hash so datasets stay reproducible.
+    pub fn label(&self, tree: &Tree, tree_seed: u64) -> i32 {
+        let s = self.scores(tree);
+        let clean = (s[tree.root()] > 0.0) as i32;
+        if self.noise > 0.0 {
+            let mut rng = StdRng::seed_from_u64(tree_seed ^ 0x5eed_1abe1);
+            if rng.gen_bool(self.noise as f64) {
+                return 1 - clean;
+            }
+        }
+        clean
+    }
+
+    /// Binary labels for every node (the paper labels all nodes).
+    pub fn node_labels(&self, tree: &Tree) -> Vec<i32> {
+        self.scores(tree).iter().map(|&x| (x > 0.0) as i32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees::TreeShape;
+    use rand::rngs::StdRng;
+
+    fn teacher() -> SentimentModel {
+        let mut t = SentimentModel::new(100, 7);
+        t.noise = 0.0;
+        t
+    }
+
+    #[test]
+    fn scores_are_deterministic() {
+        let t = teacher();
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = Tree::build(&[1, 2, 3, 4, 5], TreeShape::Moderate, &mut rng);
+        assert_eq!(t.scores(&tree), t.scores(&tree));
+        assert_eq!(t.label(&tree, 9), t.label(&tree, 9));
+    }
+
+    #[test]
+    fn sum_composition_holds_without_negators() {
+        let t = teacher();
+        // Pick three non-negator words.
+        let ws: Vec<i32> = (0..100).filter(|&w| !t.is_negator(w)).take(3).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = Tree::build(&ws, TreeShape::Linear, &mut rng);
+        let s = t.scores(&tree);
+        let want: f32 = ws.iter().map(|&w| t.polarity[w as usize]).sum();
+        assert!((s[tree.root()] - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negator_flips_sibling() {
+        let t = teacher();
+        let neg = (0..100).find(|&w| t.is_negator(w)).expect("some negator") as i32;
+        let pos = (0..100)
+            .find(|&w| !t.is_negator(w) && t.polarity[w as usize] > 0.3)
+            .expect("some positive word") as i32;
+        // Tree: (neg pos) — leaf neg is the left child.
+        let tree = Tree {
+            nodes: vec![
+                TreeNode::Leaf { word: neg },
+                TreeNode::Leaf { word: pos },
+                TreeNode::Internal { left: 0, right: 1 },
+            ],
+        };
+        let s = t.scores(&tree);
+        assert!(s[2] < 0.0, "negated positive must be negative: {s:?}");
+        assert!((s[2] + 1.5 * s[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn labels_roughly_balanced() {
+        let t = teacher();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut pos = 0;
+        for i in 0..500 {
+            let n = crate::trees::sample_length(&mut rng, 2, 60);
+            let words: Vec<i32> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+            let tree = Tree::build(&words, TreeShape::Moderate, &mut rng);
+            pos += t.label(&tree, i);
+        }
+        assert!(
+            (150..350).contains(&pos),
+            "labels should be roughly balanced, got {pos}/500 positive"
+        );
+    }
+
+    #[test]
+    fn noise_flips_some_labels() {
+        let mut noisy = SentimentModel::new(100, 7);
+        noisy.noise = 0.5;
+        let clean = teacher();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut diff = 0;
+        for i in 0..200 {
+            let words: Vec<i32> = (0..8).map(|_| rng.gen_range(0..100)).collect();
+            let tree = Tree::build(&words, TreeShape::Moderate, &mut rng);
+            if noisy.label(&tree, i) != clean.label(&tree, i) {
+                diff += 1;
+            }
+        }
+        assert!(diff > 50, "50% noise must flip many labels, flipped {diff}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Binary parse trees and their generators.
+
+use rand::Rng;
+
+/// One node of a binary parse tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeNode {
+    /// A word (leaf).
+    Leaf {
+        /// Vocabulary id.
+        word: i32,
+    },
+    /// An internal node combining two children.
+    Internal {
+        /// Index of the left child (always `<` this node's index).
+        left: usize,
+        /// Index of the right child (always `<` this node's index).
+        right: usize,
+    },
+}
+
+/// A binary parse tree stored in **topological order**: every child index
+/// precedes its parent, and the root is the last node.
+///
+/// This is exactly the preprocessing the paper's iterative implementation
+/// requires (§2.2: "the input tree must be preprocessed so that its nodes
+/// are assigned with topologically sorted indices"); the recursive
+/// implementation only needs `left`/`right` and exploits the parent-child
+/// structure instead.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    /// Nodes, children before parents.
+    pub nodes: Vec<TreeNode>,
+}
+
+/// Shape regime of generated parse trees (paper Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeShape {
+    /// Complete/balanced binary trees: maximal parallelism.
+    Balanced,
+    /// Uniformly random split points: moderately balanced (the natural
+    /// parse-tree-like regime).
+    Moderate,
+    /// Left-spine combs: each internal node pairs one leaf with the rest —
+    /// strictly sequential dependencies.
+    Linear,
+}
+
+impl Tree {
+    /// Number of leaves (words).
+    pub fn n_leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, TreeNode::Leaf { .. })).count()
+    }
+
+    /// Total node count (`2·leaves − 1` for binary trees).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` for the empty tree (never produced by generators).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Root node index (last in topological order).
+    pub fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Height of the tree (leaf = 1).
+    pub fn height(&self) -> usize {
+        let mut h = vec![0usize; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            h[i] = match n {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Internal { left, right } => 1 + h[*left].max(h[*right]),
+            };
+        }
+        h[self.root()]
+    }
+
+    /// Validates the topological-order invariant.
+    pub fn check(&self) -> bool {
+        self.nodes.iter().enumerate().all(|(i, n)| match n {
+            TreeNode::Leaf { .. } => true,
+            TreeNode::Internal { left, right } => *left < i && *right < i && left != right,
+        })
+    }
+
+    /// Builds a parse tree over `words` with the given shape.
+    pub fn build(words: &[i32], shape: TreeShape, rng: &mut impl Rng) -> Tree {
+        assert!(!words.is_empty(), "cannot parse an empty sentence");
+        let mut nodes = Vec::with_capacity(2 * words.len() - 1);
+        build_span(words, shape, rng, &mut nodes);
+        let t = Tree { nodes };
+        debug_assert!(t.check());
+        t
+    }
+}
+
+/// Recursively builds the span `words`, returning the root node index.
+fn build_span(
+    words: &[i32],
+    shape: TreeShape,
+    rng: &mut impl Rng,
+    nodes: &mut Vec<TreeNode>,
+) -> usize {
+    if words.len() == 1 {
+        nodes.push(TreeNode::Leaf { word: words[0] });
+        return nodes.len() - 1;
+    }
+    let split = match shape {
+        TreeShape::Balanced => words.len() / 2,
+        TreeShape::Linear => 1,
+        TreeShape::Moderate => rng.gen_range(1..words.len()),
+    };
+    let left = build_span(&words[..split], shape, rng, nodes);
+    let right = build_span(&words[split..], shape, rng, nodes);
+    nodes.push(TreeNode::Internal { left, right });
+    nodes.len() - 1
+}
+
+/// Samples an IMDB-like sentence length: log-normal-ish, clamped to
+/// `[min_len, max_len]`.
+pub fn sample_length(rng: &mut impl Rng, min_len: usize, max_len: usize) -> usize {
+    // Sum of uniforms approximates a normal in log space: exp(N(3.0, 0.7))
+    // has median ~20 words, long right tail like review sentences.
+    let z: f32 = (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).sum::<f32>() * 0.5;
+    let len = (3.0 + 0.7 * z).exp();
+    (len as usize).clamp(min_len, max_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn words(n: usize) -> Vec<i32> {
+        (0..n as i32).collect()
+    }
+
+    #[test]
+    fn trees_have_binary_structure() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for shape in [TreeShape::Balanced, TreeShape::Moderate, TreeShape::Linear] {
+            for n in [1usize, 2, 3, 7, 20, 63] {
+                let t = Tree::build(&words(n), shape, &mut rng);
+                assert_eq!(t.n_leaves(), n, "{shape:?} n={n}");
+                assert_eq!(t.len(), 2 * n - 1, "binary tree node count");
+                assert!(t.check(), "topological invariant");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_trees_are_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Tree::build(&words(64), TreeShape::Balanced, &mut rng);
+        assert_eq!(t.height(), 7, "complete tree over 64 leaves");
+    }
+
+    #[test]
+    fn linear_trees_are_combs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tree::build(&words(10), TreeShape::Linear, &mut rng);
+        assert_eq!(t.height(), 10, "comb height = leaf count");
+    }
+
+    #[test]
+    fn moderate_between_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 128;
+        let hb = Tree::build(&words(n), TreeShape::Balanced, &mut rng).height();
+        let hm = Tree::build(&words(n), TreeShape::Moderate, &mut rng).height();
+        let hl = Tree::build(&words(n), TreeShape::Linear, &mut rng).height();
+        assert!(hb <= hm && hm <= hl, "heights ordered: {hb} <= {hm} <= {hl}");
+        assert!(hm < hl, "moderate strictly better than linear");
+    }
+
+    #[test]
+    fn leaf_order_preserves_sentence() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = vec![5, 9, 2, 7];
+        let t = Tree::build(&w, TreeShape::Moderate, &mut rng);
+        // In-order traversal must recover the sentence.
+        fn inorder(t: &Tree, i: usize, out: &mut Vec<i32>) {
+            match t.nodes[i] {
+                TreeNode::Leaf { word } => out.push(word),
+                TreeNode::Internal { left, right } => {
+                    inorder(t, left, out);
+                    inorder(t, right, out);
+                }
+            }
+        }
+        let mut got = Vec::new();
+        inorder(&t, t.root(), &mut got);
+        assert_eq!(got, w);
+    }
+
+    #[test]
+    fn sampled_lengths_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut total = 0usize;
+        for _ in 0..1000 {
+            let l = sample_length(&mut rng, 2, 250);
+            assert!((2..=250).contains(&l));
+            total += l;
+        }
+        let mean = total as f32 / 1000.0;
+        assert!(mean > 8.0 && mean < 40.0, "review-like mean length, got {mean}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Runtime errors raised by the executor.
+
+use rdg_graph::GraphError;
+use rdg_tensor::TensorError;
+use std::fmt;
+
+/// Errors surfaced by graph execution.
+#[derive(Debug, Clone)]
+pub enum ExecError {
+    /// A tensor kernel failed; carries graph context.
+    Kernel {
+        /// Graph name (main or SubGraph).
+        graph: String,
+        /// Node name.
+        node: String,
+        /// The underlying kernel error.
+        source: TensorError,
+    },
+    /// Structural graph problem detected at run time.
+    Graph(GraphError),
+    /// The run was fed the wrong number (or dtype) of inputs.
+    BadFeed {
+        /// Description of the mismatch.
+        msg: String,
+    },
+    /// A `FwdValue`/`FwdZeros` lookup missed the backprop cache.
+    CacheMiss {
+        /// Description with key context.
+        msg: String,
+    },
+    /// The executor has shut down.
+    Shutdown,
+    /// Something impossible happened (internal invariant violation).
+    Internal {
+        /// Description.
+        msg: String,
+    },
+}
+
+impl ExecError {
+    /// Internal-invariant error helper.
+    pub fn internal(msg: impl fmt::Display) -> Self {
+        ExecError::Internal { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Kernel { graph, node, source } => {
+                write!(f, "kernel failure at {graph}/{node}: {source}")
+            }
+            ExecError::Graph(e) => write!(f, "graph error: {e}"),
+            ExecError::BadFeed { msg } => write!(f, "bad feed: {msg}"),
+            ExecError::CacheMiss { msg } => write!(f, "backprop cache miss: {msg}"),
+            ExecError::Shutdown => write!(f, "executor has shut down"),
+            ExecError::Internal { msg } => write!(f, "internal executor error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Kernel { source, .. } => Some(source),
+            ExecError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ExecError {
+    fn from(e: GraphError) -> Self {
+        ExecError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = ExecError::Kernel {
+            graph: "TreeLSTM".into(),
+            node: "matmul_7".into(),
+            source: TensorError::invalid("boom"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("TreeLSTM") && s.contains("matmul_7") && s.contains("boom"));
+    }
+
+    #[test]
+    fn graph_errors_convert() {
+        let ge = GraphError::invalid("x");
+        let ee: ExecError = ge.into();
+        assert!(matches!(ee, ExecError::Graph(_)));
+    }
+}

@@ -1,0 +1,490 @@
+//! The parallel dataflow executor (paper §4.1, Figure 4).
+//!
+//! The execution model matches the paper's description of embedded-control-
+//! flow frameworks:
+//!
+//! 1. A run submits the main graph as the **root frame**; nodes with no
+//!    unresolved inputs enter the global ready queue.
+//! 2. Idle **execution threads** dequeue operations and run their kernels;
+//!    when an operation completes, the dependents whose inputs are now all
+//!    resolved are enqueued behind the existing work (FIFO).
+//! 3. When an **InvokeOp** is dequeued, its associated SubGraph "is passed
+//!    to and processed by the master, similar to step (1)": a child frame is
+//!    spawned and its source nodes join the *same* ready queue, served by
+//!    the *same* workers. The InvokeOp itself completes when the child frame
+//!    delivers its outputs — no thread ever blocks waiting, so recursion
+//!    depth is bounded by memory, not by threads or stack.
+//! 4. Frames form a **tree**, not a stack (paper §4.1.2 "graph execution
+//!    stack"): each frame holds a parent link (its return location), and one
+//!    frame can have many live children executing concurrently — that is
+//!    where the parallel speedup on recursive models comes from.
+
+use crate::cache::{BackpropCache, CacheKey};
+use crate::error::ExecError;
+use crate::kernel::{self, KernelCtx};
+use crate::params::{GradStore, ParamStore};
+use crate::path::PathKey;
+use crate::plan::ModulePlan;
+use crate::queue::{ReadyQueue, SchedulerKind};
+use crate::stats::ExecStats;
+use crossbeam_channel::{bounded, Sender};
+use parking_lot::Mutex;
+use rdg_graph::{GraphRef, NodeId, OpKind, PortRef};
+use rdg_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One output slot: values plus the number of reads still expected.
+///
+/// The counter implements consumer refcounting: the final read *moves* the
+/// tensor out instead of cloning, which is what lets copy-on-write kernels
+/// downstream mutate buffers in place.
+struct SlotInner {
+    outs: Option<Vec<Option<Tensor>>>,
+    takes_left: i64,
+}
+
+/// Link from a child frame back to the Invoke/Cond node awaiting its result.
+struct ParentLink {
+    frame: Arc<Frame>,
+    node: NodeId,
+}
+
+/// One activation of a graph: the paper's unit of (recursive) execution.
+pub struct Frame {
+    gref: GraphRef,
+    path: PathKey,
+    depth: u32,
+    args: Vec<Tensor>,
+    pending: Vec<AtomicU32>,
+    slots: Vec<Mutex<SlotInner>>,
+    nodes_left: AtomicUsize,
+    parent: Option<ParentLink>,
+}
+
+/// A schedulable unit: one node of one frame.
+pub struct Task {
+    run: Arc<RunState>,
+    frame: Arc<Frame>,
+    node: NodeId,
+}
+
+/// Shared state of one `run()` call.
+pub struct RunState {
+    plan: Arc<ModulePlan>,
+    params: Arc<ParamStore>,
+    grads: Option<Arc<GradStore>>,
+    cache: Option<Arc<BackpropCache>>,
+    finished: AtomicBool,
+    cancelled: AtomicBool,
+    done_tx: Sender<Result<Vec<Tensor>, ExecError>>,
+    queue: Arc<ReadyQueue<Task>>,
+    stats: Arc<ExecStats>,
+}
+
+impl RunState {
+    fn fail(&self, e: ExecError) {
+        self.cancelled.store(true, Ordering::Release);
+        if !self.finished.swap(true, Ordering::AcqRel) {
+            let _ = self.done_tx.send(Err(e));
+        }
+    }
+
+    fn finish_ok(&self, outs: Vec<Tensor>) {
+        if !self.finished.swap(true, Ordering::AcqRel) {
+            let _ = self.done_tx.send(Ok(outs));
+        }
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// The shared worker pool plus its ready queue.
+///
+/// One executor serves any number of concurrent runs and sessions, exactly
+/// like a framework runtime: tasks carry their run state with them.
+pub struct Executor {
+    queue: Arc<ReadyQueue<Task>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ExecStats>,
+    n_threads: usize,
+}
+
+impl Executor {
+    /// Spawns `n_threads` execution threads with the given scheduler.
+    pub fn new(n_threads: usize, kind: SchedulerKind) -> Arc<Self> {
+        let n_threads = n_threads.max(1);
+        let queue = Arc::new(ReadyQueue::new(kind));
+        let stats = Arc::new(ExecStats::new());
+        let workers = (0..n_threads)
+            .map(|i| {
+                let q = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("rdg-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(task) = q.pop() {
+                            execute_task(task);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Arc::new(Executor { queue, workers, stats, n_threads })
+    }
+
+    /// FIFO executor with `n_threads` workers.
+    pub fn with_threads(n_threads: usize) -> Arc<Self> {
+        Self::new(n_threads, SchedulerKind::Fifo)
+    }
+
+    /// Number of execution threads.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &Arc<ExecStats> {
+        &self.stats
+    }
+
+    /// Runs a planned module to completion.
+    ///
+    /// `feeds` are the main graph's inputs, positionally. Training runs pass
+    /// `grads` and `cache`; inference runs pass `None` for both.
+    pub fn run(
+        &self,
+        plan: &Arc<ModulePlan>,
+        params: &Arc<ParamStore>,
+        feeds: Vec<Tensor>,
+        grads: Option<Arc<GradStore>>,
+        cache: Option<Arc<BackpropCache>>,
+    ) -> Result<Vec<Tensor>, ExecError> {
+        let main = &plan.module.main;
+        if feeds.len() != main.input_nodes.len() {
+            return Err(ExecError::BadFeed {
+                msg: format!(
+                    "main graph has {} inputs, {} fed",
+                    main.input_nodes.len(),
+                    feeds.len()
+                ),
+            });
+        }
+        for (i, (&nid, t)) in main.input_nodes.iter().zip(feeds.iter()).enumerate() {
+            let want = main.out_dtypes[nid.0 as usize][0];
+            if t.dtype() != want {
+                return Err(ExecError::BadFeed {
+                    msg: format!("input {i} expects {want}, fed {}", t.dtype()),
+                });
+            }
+        }
+        let (done_tx, done_rx) = bounded(1);
+        let run = Arc::new(RunState {
+            plan: Arc::clone(plan),
+            params: Arc::clone(params),
+            grads,
+            cache,
+            finished: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            done_tx,
+            queue: Arc::clone(&self.queue),
+            stats: Arc::clone(&self.stats),
+        });
+        spawn_frame(&run, GraphRef::Main, PathKey::root(), feeds, None, 0);
+        done_rx
+            .recv()
+            .map_err(|_| ExecError::internal("run channel closed without a result"))?
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.queue.stop(self.workers.len());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Spawns a frame and enqueues its source nodes.
+fn spawn_frame(
+    run: &Arc<RunState>,
+    gref: GraphRef,
+    path: PathKey,
+    args: Vec<Tensor>,
+    parent: Option<ParentLink>,
+    depth: u32,
+) {
+    let plan = run.plan.plan(gref);
+    let g = run.plan.module.graph(gref);
+    run.stats.frames_spawned.fetch_add(1, Ordering::Relaxed);
+    run.stats.observe_depth(depth as u64);
+    let frame = Arc::new(Frame {
+        gref,
+        path,
+        depth,
+        args,
+        pending: plan.pending.iter().map(|&c| AtomicU32::new(c)).collect(),
+        slots: plan
+            .fetch_counts
+            .iter()
+            .map(|&fc| Mutex::new(SlotInner { outs: None, takes_left: fc as i64 }))
+            .collect(),
+        nodes_left: AtomicUsize::new(g.len()),
+        parent,
+    });
+    if g.is_empty() {
+        // Degenerate empty graph: deliver empty outputs immediately.
+        match &frame.parent {
+            None => run.finish_ok(Vec::new()),
+            Some(link) => finish_node(run, link.frame.clone(), link.node, Vec::new()),
+        }
+        return;
+    }
+    for &s in &plan.sources {
+        run.queue.push(
+            depth as u64,
+            Task { run: Arc::clone(run), frame: Arc::clone(&frame), node: s },
+        );
+    }
+}
+
+/// Reads one input port, implementing last-reader-takes semantics.
+fn fetch(frame: &Frame, p: PortRef) -> Result<Tensor, ExecError> {
+    let mut guard = frame.slots[p.node.0 as usize].lock();
+    let inner = &mut *guard;
+    if inner.outs.is_none() {
+        return Err(ExecError::internal(format!(
+            "value of {p} read before it was produced"
+        )));
+    }
+    inner.takes_left -= 1;
+    if inner.takes_left <= 0 {
+        let mut v = inner.outs.take().expect("checked above");
+        v.get_mut(p.port as usize)
+            .and_then(Option::take)
+            .ok_or_else(|| ExecError::internal(format!("port {p} taken twice")))
+    } else {
+        inner.outs.as_ref().expect("checked above")[p.port as usize]
+            .clone()
+            .ok_or_else(|| ExecError::internal(format!("port {p} missing")))
+    }
+}
+
+/// Executes one scheduled node.
+fn execute_task(task: Task) {
+    let Task { run, frame, node } = task;
+    if run.cancelled() {
+        run.stats.cancelled_tasks.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let graph = run.plan.module.graph(frame.gref);
+    let n = graph.node(node);
+
+    let mut inputs = Vec::with_capacity(n.inputs.len());
+    for &p in &n.inputs {
+        match fetch(&frame, p) {
+            Ok(t) => inputs.push(t),
+            Err(e) => {
+                run.fail(e);
+                return;
+            }
+        }
+    }
+    run.stats.ops_executed.fetch_add(1, Ordering::Relaxed);
+
+    match &n.op {
+        OpKind::Invoke { sub, site, .. } => {
+            let child_path = frame.path.child(*site);
+            let depth = frame.depth + 1;
+            let link = ParentLink { frame: Arc::clone(&frame), node };
+            spawn_frame(&run, GraphRef::Sub(*sub), child_path, inputs, Some(link), depth);
+        }
+        OpKind::Cond { sub_then, sub_else, site_then, site_else, n_then_in, .. } => {
+            let pred = match inputs[0].as_i32_scalar() {
+                Ok(v) => v,
+                Err(e) => {
+                    run.fail(ExecError::Kernel {
+                        graph: run.plan.module.graph_name(frame.gref),
+                        node: n.name.clone(),
+                        source: e,
+                    });
+                    return;
+                }
+            };
+            let mut rest = inputs.split_off(1);
+            let else_args = rest.split_off(*n_then_in as usize);
+            let (sub, site, args) = if pred != 0 {
+                (*sub_then, *site_then, rest)
+            } else {
+                (*sub_else, *site_else, else_args)
+            };
+            let child_path = frame.path.child(site);
+            let depth = frame.depth + 1;
+            let link = ParentLink { frame: Arc::clone(&frame), node };
+            spawn_frame(&run, GraphRef::Sub(sub), child_path, args, Some(link), depth);
+        }
+        OpKind::FwdValue { of } => {
+            let out = read_fwd(&run, &frame, *of, false);
+            match out {
+                Ok(t) => finish_node(&run, frame, node, vec![t]),
+                Err(e) => run.fail(e),
+            }
+        }
+        OpKind::FwdZeros { of } => {
+            let out = read_fwd(&run, &frame, *of, true);
+            match out {
+                Ok(t) => finish_node(&run, frame, node, vec![t]),
+                Err(e) => run.fail(e),
+            }
+        }
+        op => {
+            let kctx = KernelCtx {
+                args: &frame.args,
+                params: &run.params,
+                grads: run.grads.as_deref(),
+                stats: &run.stats,
+            };
+            let result = if run.stats.profiling() {
+                let t0 = std::time::Instant::now();
+                let r = kernel::execute(op, inputs, &kctx);
+                run.stats.record_kernel(op.mnemonic(), t0.elapsed());
+                r
+            } else {
+                kernel::execute(op, inputs, &kctx)
+            };
+            match result {
+                Ok(outs) => finish_node(&run, frame, node, outs),
+                Err(e) => run.fail(ExecError::Kernel {
+                    graph: run.plan.module.graph_name(frame.gref),
+                    node: n.name.clone(),
+                    source: e,
+                }),
+            }
+        }
+    }
+}
+
+/// Resolves a `FwdValue`/`FwdZeros` read against the backprop cache.
+fn read_fwd(
+    run: &Arc<RunState>,
+    frame: &Frame,
+    of: PortRef,
+    zeros: bool,
+) -> Result<Tensor, ExecError> {
+    let fwd_gref = match frame.gref {
+        GraphRef::Sub(id) => {
+            let sg = run.plan.module.subgraph(id);
+            GraphRef::Sub(sg.grad_of.ok_or_else(|| {
+                ExecError::internal(format!(
+                    "FwdValue in non-gradient SubGraph '{}'",
+                    sg.name
+                ))
+            })?)
+        }
+        GraphRef::Main => {
+            return Err(ExecError::internal("FwdValue in the main graph"));
+        }
+    };
+    let cache = run
+        .cache
+        .as_ref()
+        .ok_or_else(|| ExecError::internal("FwdValue outside a training run"))?;
+    let key = CacheKey { gref: fwd_gref, path: frame.path.clone(), node: of.node, port: of.port };
+    run.stats.cache_reads.fetch_add(1, Ordering::Relaxed);
+    if zeros {
+        let shape = cache.shapes.get(&key).ok_or_else(|| ExecError::CacheMiss {
+            msg: format!("shape of {of} at path {}", frame.path),
+        })?;
+        Ok(Tensor::zeros(shape))
+    } else {
+        cache.values.get(&key).ok_or_else(|| ExecError::CacheMiss {
+            msg: format!("value of {of} at path {}", frame.path),
+        })
+    }
+}
+
+/// Publishes a node's outputs, notifies dependents, and cascades frame
+/// completions up the frame tree (iteratively — tail-recursive frames can be
+/// thousands deep).
+fn finish_node(run: &Arc<RunState>, mut frame: Arc<Frame>, mut node: NodeId, mut outs: Vec<Tensor>) {
+    loop {
+        let plan = run.plan.plan(frame.gref);
+        // Backprop cache writes (training mode only).
+        if let Some(cache) = &run.cache {
+            let ni = node.0 as usize;
+            if plan.keep_value[ni] {
+                for (port, t) in outs.iter().enumerate() {
+                    cache.values.insert(
+                        CacheKey {
+                            gref: frame.gref,
+                            path: frame.path.clone(),
+                            node,
+                            port: port as u16,
+                        },
+                        t.clone(),
+                    );
+                    run.stats.cache_writes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if plan.keep_shape[ni] {
+                for (port, t) in outs.iter().enumerate() {
+                    cache.shapes.insert(
+                        CacheKey {
+                            gref: frame.gref,
+                            path: frame.path.clone(),
+                            node,
+                            port: port as u16,
+                        },
+                        t.shape().clone(),
+                    );
+                }
+            }
+        }
+        // Publish outputs.
+        {
+            let mut guard = frame.slots[node.0 as usize].lock();
+            guard.outs = Some(outs.into_iter().map(Some).collect());
+        }
+        // Notify dependents whose inputs are now fully resolved.
+        for &c in &plan.consumers[node.0 as usize] {
+            if frame.pending[c.0 as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                run.queue.push(
+                    frame.depth as u64,
+                    Task { run: Arc::clone(run), frame: Arc::clone(&frame), node: c },
+                );
+            }
+        }
+        // Frame countdown.
+        if frame.nodes_left.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        // Frame complete: gather its outputs and deliver to the parent
+        // Invoke/Cond node (its "return location"), or finish the run.
+        let g = run.plan.module.graph(frame.gref);
+        let mut fouts = Vec::with_capacity(g.outputs.len());
+        for &p in &g.outputs {
+            match fetch(&frame, p) {
+                Ok(t) => fouts.push(t),
+                Err(e) => {
+                    run.fail(e);
+                    return;
+                }
+            }
+        }
+        match &frame.parent {
+            None => {
+                run.finish_ok(fouts);
+                return;
+            }
+            Some(link) => {
+                let parent_frame = Arc::clone(&link.frame);
+                node = link.node;
+                outs = fouts;
+                frame = parent_frame;
+            }
+        }
+    }
+}

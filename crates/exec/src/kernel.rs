@@ -1,0 +1,292 @@
+//! Kernel dispatch: maps non-structural [`OpKind`]s onto tensor kernels.
+//!
+//! Structural ops (`Invoke`, `Cond`, `FwdValue`, `FwdZeros`) are interpreted
+//! by the executor itself because they need frames, paths, and the backprop
+//! cache; everything else funnels through [`execute`].
+
+use crate::params::{GradStore, ParamStore};
+use crate::stats::ExecStats;
+use rdg_graph::OpKind;
+use rdg_tensor::{ops, Tensor, TensorError};
+use std::sync::atomic::Ordering;
+
+/// Ambient state a kernel may need besides its tensor inputs.
+pub struct KernelCtx<'a> {
+    /// The enclosing frame's arguments (serves `Input` nodes).
+    pub args: &'a [Tensor],
+    /// Trainable parameters (serves `Param` nodes).
+    pub params: &'a ParamStore,
+    /// Gradient accumulators (serves `GradSink*`; absent during inference).
+    pub grads: Option<&'a GradStore>,
+    /// Statistics sink.
+    pub stats: &'a ExecStats,
+}
+
+/// Executes a non-structural op.
+///
+/// Inputs are passed *by value*: the executor's consumer refcounting hands
+/// the last consumer the original tensor, letting copy-on-write kernels
+/// (`SetRow`) mutate in place.
+pub fn execute(
+    op: &OpKind,
+    mut inputs: Vec<Tensor>,
+    ctx: &KernelCtx<'_>,
+) -> Result<Vec<Tensor>, TensorError> {
+    let one = |t: Tensor| -> Result<Vec<Tensor>, TensorError> { Ok(vec![t]) };
+    match op {
+        OpKind::Input { index, dtype } => {
+            let v = ctx.args.get(*index).ok_or_else(|| {
+                TensorError::invalid(format!("frame has no argument {index}"))
+            })?;
+            if v.dtype() != *dtype {
+                return Err(TensorError::DTypeMismatch {
+                    expected: *dtype,
+                    got: v.dtype(),
+                    ctx: "Input",
+                });
+            }
+            one(v.clone())
+        }
+        OpKind::Const(t) => one(t.clone()),
+        OpKind::Param(p) => one(ctx.params.read(*p)),
+        OpKind::Identity => one(inputs.remove(0)),
+
+        OpKind::Add => one(ops::add(&inputs[0], &inputs[1])?),
+        OpKind::Sub => one(ops::sub(&inputs[0], &inputs[1])?),
+        OpKind::Mul => one(ops::mul(&inputs[0], &inputs[1])?),
+        OpKind::Div => one(ops::div(&inputs[0], &inputs[1])?),
+        OpKind::Neg => one(ops::neg(&inputs[0])?),
+        OpKind::Scale(s) => one(ops::scale(&inputs[0], *s)?),
+        OpKind::AddConst(c) => one(ops::add_const(&inputs[0], *c)?),
+        OpKind::ScalarMul => one(ops::scalar_mul(&inputs[0], &inputs[1])?),
+        OpKind::MatMul => one(ops::matmul(&inputs[0], &inputs[1])?),
+        OpKind::MatMulAT => one(ops::matmul_at(&inputs[0], &inputs[1])?),
+        OpKind::MatMulBT => one(ops::matmul_bt(&inputs[0], &inputs[1])?),
+        OpKind::AddBias => one(ops::add_bias(&inputs[0], &inputs[1])?),
+        OpKind::Bilinear => one(ops::bilinear(&inputs[0], &inputs[1])?),
+
+        OpKind::Tanh => one(ops::tanh(&inputs[0])?),
+        OpKind::Sigmoid => one(ops::sigmoid(&inputs[0])?),
+        OpKind::Relu => one(ops::relu(&inputs[0])?),
+        OpKind::Softmax => one(ops::softmax(&inputs[0])?),
+        OpKind::LogSoftmax => one(ops::log_softmax(&inputs[0])?),
+
+        OpKind::ConcatCols => one(ops::concat_cols(&inputs[0], &inputs[1])?),
+        OpKind::SliceCols { lo, hi } => one(ops::slice_cols(&inputs[0], *lo, *hi)?),
+        OpKind::Transpose => one(ops::transpose2d(&inputs[0])?),
+        OpKind::StackRows => {
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            one(ops::stack_rows(&refs)?)
+        }
+
+        OpKind::SumAll => one(ops::sum_all(&inputs[0])?),
+        OpKind::MeanAll => one(ops::mean_all(&inputs[0])?),
+        OpKind::SumAxis0 => one(ops::sum_axis0(&inputs[0])?),
+
+        OpKind::GatherRows => one(ops::gather_rows(&inputs[0], &inputs[1])?),
+        OpKind::GetRow => one(ops::get_row(&inputs[0], &inputs[1])?),
+        OpKind::SetRow => {
+            let row = inputs.pop().expect("setrow arity");
+            let i = inputs.pop().expect("setrow arity");
+            let mat = inputs.pop().expect("setrow arity");
+            if mat.is_unique() {
+                ctx.stats.inplace_updates.fetch_add(1, Ordering::Relaxed);
+            }
+            one(ops::set_row(mat, &i, &row)?)
+        }
+        OpKind::OneHot { classes } => one(ops::onehot(&inputs[0], *classes)?),
+        OpKind::ArgmaxRows => one(ops::argmax_rows(&inputs[0])?),
+        OpKind::SoftmaxXent => one(ops::softmax_xent(&inputs[0], &inputs[1])?),
+
+        OpKind::IAdd => one(ops::iadd(&inputs[0], &inputs[1])?),
+        OpKind::ISub => one(ops::isub(&inputs[0], &inputs[1])?),
+        OpKind::IMul => one(ops::imul(&inputs[0], &inputs[1])?),
+        OpKind::IDiv => one(ops::idiv(&inputs[0], &inputs[1])?),
+        OpKind::ILt => one(ops::ilt(&inputs[0], &inputs[1])?),
+        OpKind::ILe => one(ops::ile(&inputs[0], &inputs[1])?),
+        OpKind::IGt => one(ops::igt(&inputs[0], &inputs[1])?),
+        OpKind::IGe => one(ops::ige(&inputs[0], &inputs[1])?),
+        OpKind::IEq => one(ops::ieq(&inputs[0], &inputs[1])?),
+        OpKind::And => one(ops::logical_and(&inputs[0], &inputs[1])?),
+        OpKind::Or => one(ops::logical_or(&inputs[0], &inputs[1])?),
+        OpKind::Not => one(ops::logical_not(&inputs[0])?),
+        OpKind::GatherScalarI32 => one(ops::gather_scalar_i32(&inputs[0], &inputs[1])?),
+        OpKind::Len => one(Tensor::scalar_i32(inputs[0].numel() as i32)),
+        OpKind::FGtConst(c) => {
+            one(Tensor::scalar_i32((inputs[0].as_f32_scalar()? > *c) as i32))
+        }
+        OpKind::ZerosDyn { cols } => {
+            let n = inputs[0].as_i32_scalar()?;
+            if n < 0 {
+                return Err(TensorError::invalid("ZerosDyn: negative row count"));
+            }
+            one(Tensor::zeros([n as usize, *cols]))
+        }
+
+        OpKind::GradSink { param } => {
+            let gs = ctx
+                .grads
+                .ok_or_else(|| TensorError::invalid("GradSink outside a training run"))?;
+            gs.accumulate(*param, &inputs[0])?;
+            one(Tensor::scalar_f32(0.0))
+        }
+        OpKind::GradSinkRows { param } => {
+            let gs = ctx
+                .grads
+                .ok_or_else(|| TensorError::invalid("GradSinkRows outside a training run"))?;
+            let like = ctx.params.read(*param);
+            gs.accumulate_rows(*param, &like, &inputs[0], &inputs[1])?;
+            one(Tensor::scalar_f32(0.0))
+        }
+        OpKind::ZerosLike => one(Tensor::zeros_like(&inputs[0])),
+        OpKind::OnesLike => one(Tensor::full(inputs[0].shape().clone(), 1.0)),
+
+        OpKind::TanhGrad => one(ops::tanh_grad(&inputs[0], &inputs[1])?),
+        OpKind::SigmoidGrad => one(ops::sigmoid_grad(&inputs[0], &inputs[1])?),
+        OpKind::ReluGrad => one(ops::relu_grad(&inputs[0], &inputs[1])?),
+        OpKind::SoftmaxGrad => one(ops::softmax_grad(&inputs[0], &inputs[1])?),
+        OpKind::LogSoftmaxGrad => one(ops::log_softmax_grad(&inputs[0], &inputs[1])?),
+        OpKind::SoftmaxXentGrad => {
+            one(ops::softmax_xent_grad(&inputs[0], &inputs[1], &inputs[2])?)
+        }
+        OpKind::MeanAllGrad => one(ops::mean_all_grad(&inputs[0], &inputs[1])?),
+        OpKind::FillLike => one(ops::fill_like(&inputs[0], &inputs[1])?),
+        OpKind::BroadcastRowsLike => one(ops::broadcast_rows_like(&inputs[0], &inputs[1])?),
+        OpKind::PadColsLike { lo } => one(ops::pad_cols_like(&inputs[0], &inputs[1], *lo)?),
+        OpKind::SliceColsLike { take_second } => {
+            let wa = inputs[0]
+                .shape()
+                .as_matrix()
+                .ok_or_else(|| TensorError::invalid("SliceColsLike: rank-2 witness required"))?
+                .1;
+            let wb = inputs[1]
+                .shape()
+                .as_matrix()
+                .ok_or_else(|| TensorError::invalid("SliceColsLike: rank-2 witness required"))?
+                .1;
+            let dy = &inputs[2];
+            if *take_second {
+                one(ops::slice_cols(dy, wa, wa + wb)?)
+            } else {
+                one(ops::slice_cols(dy, 0, wa)?)
+            }
+        }
+        OpKind::ScatterRowsLike => {
+            one(ops::scatter_rows_like(&inputs[0], &inputs[1], &inputs[2])?)
+        }
+        OpKind::ScatterRowLike => {
+            // (mat_like, i, dy_row): zero matrix with one row set.
+            let zeros = Tensor::zeros_like(&inputs[0]);
+            one(ops::set_row(zeros, &inputs[1], &inputs[2])?)
+        }
+        OpKind::BilinearGradX => one(ops::bilinear_grad_x(&inputs[0], &inputs[1], &inputs[2])?),
+        OpKind::BilinearGradV => one(ops::bilinear_grad_v(&inputs[0], &inputs[1], &inputs[2])?),
+
+        OpKind::Invoke { .. }
+        | OpKind::Cond { .. }
+        | OpKind::FwdValue { .. }
+        | OpKind::FwdZeros { .. } => Err(TensorError::invalid(format!(
+            "structural op {} reached the kernel dispatcher",
+            op.mnemonic()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdg_graph::{Module, ParamId};
+    use rdg_tensor::DType;
+
+    fn ctx_fixture() -> (ParamStore, GradStore, ExecStats, Vec<Tensor>) {
+        let mut module = Module::default();
+        module.params.push(rdg_graph::ParamSpec {
+            name: "w".into(),
+            init: Tensor::from_f32([2], vec![5.0, 6.0]).unwrap(),
+        });
+        let ps = ParamStore::from_module(&module);
+        let gs = GradStore::new(1);
+        let stats = ExecStats::new();
+        let args = vec![Tensor::scalar_f32(42.0)];
+        (ps, gs, stats, args)
+    }
+
+    #[test]
+    fn input_const_param_identity() {
+        let (ps, gs, stats, args) = ctx_fixture();
+        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
+
+        let v = execute(&OpKind::Input { index: 0, dtype: DType::F32 }, vec![], &ctx).unwrap();
+        assert_eq!(v[0].as_f32_scalar().unwrap(), 42.0);
+
+        let v = execute(&OpKind::Const(Tensor::scalar_i32(7)), vec![], &ctx).unwrap();
+        assert_eq!(v[0].as_i32_scalar().unwrap(), 7);
+
+        let v = execute(&OpKind::Param(ParamId(0)), vec![], &ctx).unwrap();
+        assert_eq!(v[0].f32s().unwrap(), &[5.0, 6.0]);
+
+        let v = execute(&OpKind::Identity, vec![Tensor::scalar_f32(1.5)], &ctx).unwrap();
+        assert_eq!(v[0].as_f32_scalar().unwrap(), 1.5);
+    }
+
+    #[test]
+    fn input_dtype_checked() {
+        let (ps, gs, stats, args) = ctx_fixture();
+        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
+        let r = execute(&OpKind::Input { index: 0, dtype: DType::I32 }, vec![], &ctx);
+        assert!(r.is_err());
+        let r = execute(&OpKind::Input { index: 5, dtype: DType::F32 }, vec![], &ctx);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn gradsink_accumulates_and_requires_training() {
+        let (ps, gs, stats, args) = ctx_fixture();
+        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
+        execute(
+            &OpKind::GradSink { param: ParamId(0) },
+            vec![Tensor::from_f32([2], vec![1.0, 2.0]).unwrap()],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(gs.get(ParamId(0)).unwrap().f32s().unwrap(), &[1.0, 2.0]);
+
+        let ctx_inf = KernelCtx { args: &args, params: &ps, grads: None, stats: &stats };
+        let r = execute(
+            &OpKind::GradSink { param: ParamId(0) },
+            vec![Tensor::zeros([2])],
+            &ctx_inf,
+        );
+        assert!(r.is_err(), "GradSink must fail outside training");
+    }
+
+    #[test]
+    fn structural_ops_rejected() {
+        let (ps, gs, stats, args) = ctx_fixture();
+        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
+        let op = OpKind::FwdValue { of: rdg_graph::PortRef { node: rdg_graph::NodeId(0), port: 0 } };
+        assert!(execute(&op, vec![], &ctx).is_err());
+    }
+
+    #[test]
+    fn setrow_tracks_inplace() {
+        let (ps, gs, stats, args) = ctx_fixture();
+        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
+        let mat = Tensor::zeros([2, 2]);
+        let i = Tensor::scalar_i32(0);
+        let row = Tensor::ones([2]);
+        execute(&OpKind::SetRow, vec![mat, i, row], &ctx).unwrap();
+        assert_eq!(stats.inplace_updates.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scatter_row_like_zeroes_everything_else() {
+        let (ps, gs, stats, args) = ctx_fixture();
+        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
+        let like = Tensor::ones([2, 2]);
+        let i = Tensor::scalar_i32(1);
+        let row = Tensor::from_f32([2], vec![3.0, 4.0]).unwrap();
+        let out = execute(&OpKind::ScatterRowLike, vec![like, i, row], &ctx).unwrap();
+        assert_eq!(out[0].f32s().unwrap(), &[0.0, 0.0, 3.0, 4.0]);
+    }
+}

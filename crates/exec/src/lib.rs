@@ -1,0 +1,45 @@
+//! The `rdg` runtime: a parallel dataflow executor with first-class
+//! support for recursive graphs.
+//!
+//! This crate implements the system-design half of the EuroSys '18 paper
+//! "Improving the Expressiveness of Deep Learning Frameworks with
+//! Recursion" (§4–§5):
+//!
+//! * [`executor::Executor`] — master/worker execution: a global ready queue
+//!   ([`queue::ReadyQueue`]) feeding a pool of execution threads, with
+//!   dependency-count scheduling. `InvokeOp` execution spawns a child frame
+//!   whose operations join the *same* queue — recursive graphs run on the
+//!   unmodified machinery (paper §4.1.2).
+//! * [`path::PathKey`] — invocation paths (call-site chains), the keys of
+//!   the backprop cache.
+//! * [`cache::BackpropCache`] — the concurrent hash table that carries
+//!   forward activations to the mirrored backward frames (paper §5,
+//!   Figure 6), sharded for concurrent insert/lookup.
+//! * [`params::ParamStore`] / [`params::GradStore`] — parameters live
+//!   outside the graph; gradients accumulate concurrently from many frames.
+//! * [`session::Session`] — a planned module bound to parameters.
+//! * [`sim`] — a virtual-time (discrete-event) twin of the executor used to
+//!   reproduce the paper's resource-dependent results on hardware smaller
+//!   than the authors' 36-core testbed.
+
+pub mod cache;
+pub mod error;
+pub mod executor;
+pub mod kernel;
+pub mod params;
+pub mod path;
+pub mod plan;
+pub mod queue;
+pub mod session;
+pub mod sim;
+pub mod stats;
+
+pub use cache::{BackpropCache, CacheKey, ShardedMap};
+pub use error::ExecError;
+pub use executor::Executor;
+pub use params::{GradStore, ParamStore};
+pub use path::PathKey;
+pub use plan::ModulePlan;
+pub use queue::SchedulerKind;
+pub use session::Session;
+pub use stats::ExecStats;

@@ -1,0 +1,237 @@
+//! Parameter and gradient stores.
+//!
+//! Parameters live outside the dataflow graphs (like TensorFlow variables):
+//! `Param` nodes read them, `GradSink` / `GradSinkRows` nodes accumulate
+//! gradients, and optimizers apply updates between steps. Because many
+//! frames of a recursive graph read and contribute gradients to the *same*
+//! parameter concurrently, reads are lock-free clones of `Arc`-backed
+//! tensors and accumulation takes a short per-parameter mutex.
+
+use parking_lot::{Mutex, RwLock};
+use rdg_graph::{Module, ParamId};
+use rdg_tensor::{ops, Tensor, TensorError};
+
+/// Shared storage for trainable parameters.
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<RwLock<Tensor>>,
+}
+
+impl ParamStore {
+    /// Initializes the store from a module's parameter specs.
+    pub fn from_module(m: &Module) -> Self {
+        ParamStore {
+            names: m.params.iter().map(|p| p.name.clone()).collect(),
+            values: m.params.iter().map(|p| RwLock::new(p.init.clone())).collect(),
+        }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Cheap snapshot read (clones the `Arc`, not the data).
+    pub fn read(&self, p: ParamId) -> Tensor {
+        self.values[p.0 as usize].read().clone()
+    }
+
+    /// Replaces a parameter value (optimizer updates).
+    pub fn write(&self, p: ParamId, t: Tensor) {
+        *self.values[p.0 as usize].write() = t;
+    }
+
+    /// Parameter name (diagnostics).
+    pub fn name(&self, p: ParamId) -> &str {
+        &self.names[p.0 as usize]
+    }
+
+    /// Iterates over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len() as u32).map(ParamId)
+    }
+
+    /// Total number of scalar elements across all parameters.
+    pub fn total_elems(&self) -> usize {
+        self.values.iter().map(|v| v.read().numel()).sum()
+    }
+}
+
+/// Gradient accumulation buffers, one per parameter.
+///
+/// Accumulation happens concurrently from many frames; each slot has its own
+/// mutex and is lazily initialized to zeros on first contribution.
+pub struct GradStore {
+    slots: Vec<Mutex<Option<Tensor>>>,
+}
+
+impl GradStore {
+    /// Creates an empty store sized for `n` parameters.
+    pub fn new(n: usize) -> Self {
+        GradStore { slots: (0..n).map(|_| Mutex::new(None)).collect() }
+    }
+
+    /// Number of parameter slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when sized for zero parameters.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Adds a dense gradient contribution for `p`.
+    pub fn accumulate(&self, p: ParamId, g: &Tensor) -> Result<(), TensorError> {
+        let mut slot = self.slots[p.0 as usize].lock();
+        match slot.as_mut() {
+            None => {
+                *slot = Some(g.clone());
+            }
+            Some(acc) => {
+                if acc.shape() != g.shape() {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: acc.shape().clone(),
+                        rhs: g.shape().clone(),
+                        ctx: "GradStore::accumulate",
+                    });
+                }
+                // In-place add: the accumulator is uniquely owned by the slot
+                // unless a snapshot was taken mid-step (then CoW copies).
+                let gv = g.f32s()?;
+                let av = acc.make_f32_mut()?;
+                for (a, &x) in av.iter_mut().zip(gv.iter()) {
+                    *a += x;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a row-sparse gradient contribution (embedding tables).
+    ///
+    /// `like` provides the dense shape for lazy initialization.
+    pub fn accumulate_rows(
+        &self,
+        p: ParamId,
+        like: &Tensor,
+        ids: &Tensor,
+        rows: &Tensor,
+    ) -> Result<(), TensorError> {
+        let mut slot = self.slots[p.0 as usize].lock();
+        if slot.is_none() {
+            *slot = Some(Tensor::zeros(like.shape().clone()));
+        }
+        let acc = slot.as_mut().expect("just initialized");
+        ops::scatter_add_rows(acc, ids, rows)
+    }
+
+    /// Reads the accumulated gradient for `p` (zero contributions ⇒ `None`).
+    pub fn get(&self, p: ParamId) -> Option<Tensor> {
+        self.slots[p.0 as usize].lock().clone()
+    }
+
+    /// Clears all accumulators (start of a step).
+    pub fn clear(&self) {
+        for s in &self.slots {
+            *s.lock() = None;
+        }
+    }
+
+    /// Takes all gradients out, leaving the store cleared.
+    pub fn take_all(&self) -> Vec<Option<Tensor>> {
+        self.slots.iter().map(|s| s.lock().take()).collect()
+    }
+
+    /// Global L2 norm over all accumulated gradients.
+    pub fn global_norm(&self) -> f32 {
+        let mut acc = 0.0f64;
+        for s in &self.slots {
+            if let Some(g) = s.lock().as_ref() {
+                if let Ok(v) = g.f32s() {
+                    acc += v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+                }
+            }
+        }
+        acc.sqrt() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn dense_accumulation_sums() {
+        let gs = GradStore::new(1);
+        let p = ParamId(0);
+        gs.accumulate(p, &Tensor::from_f32([2], vec![1.0, 2.0]).unwrap()).unwrap();
+        gs.accumulate(p, &Tensor::from_f32([2], vec![10.0, 20.0]).unwrap()).unwrap();
+        let g = gs.get(p).unwrap();
+        assert_eq!(g.f32s().unwrap(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let gs = GradStore::new(1);
+        let p = ParamId(0);
+        gs.accumulate(p, &Tensor::zeros([2])).unwrap();
+        assert!(gs.accumulate(p, &Tensor::zeros([3])).is_err());
+    }
+
+    #[test]
+    fn sparse_rows_accumulate() {
+        let gs = GradStore::new(1);
+        let p = ParamId(0);
+        let like = Tensor::zeros([4, 2]);
+        let ids = Tensor::from_i32([2], vec![1, 1]).unwrap();
+        let rows = Tensor::from_f32([2, 2], vec![1.0, 1.0, 2.0, 2.0]).unwrap();
+        gs.accumulate_rows(p, &like, &ids, &rows).unwrap();
+        let g = gs.get(p).unwrap();
+        assert_eq!(g.f32s().unwrap(), &[0.0, 0.0, 3.0, 3.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn concurrent_accumulation_is_complete() {
+        let gs = Arc::new(GradStore::new(1));
+        let p = ParamId(0);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let gs = Arc::clone(&gs);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    gs.accumulate(p, &Tensor::ones([4])).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let g = gs.get(p).unwrap();
+        assert!(g.f32s().unwrap().iter().all(|&x| x == 800.0));
+    }
+
+    #[test]
+    fn take_all_clears() {
+        let gs = GradStore::new(2);
+        gs.accumulate(ParamId(1), &Tensor::ones([1])).unwrap();
+        let all = gs.take_all();
+        assert!(all[0].is_none());
+        assert!(all[1].is_some());
+        assert!(gs.get(ParamId(1)).is_none());
+    }
+
+    #[test]
+    fn global_norm_is_l2() {
+        let gs = GradStore::new(2);
+        gs.accumulate(ParamId(0), &Tensor::from_f32([2], vec![3.0, 0.0]).unwrap()).unwrap();
+        gs.accumulate(ParamId(1), &Tensor::from_f32([1], vec![4.0]).unwrap()).unwrap();
+        assert!((gs.global_norm() - 5.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,147 @@
+//! Precomputed scheduling metadata, one plan per graph.
+//!
+//! A [`ModulePlan`] is computed once per module and shared by all frames:
+//! consumer lists (who to notify on completion), pending counts (how many
+//! distinct producers each node waits on), fetch counts (how many times each
+//! node's outputs will be read — the consumer-refcounting that enables
+//! in-place copy-on-write updates), source nodes (enqueued at frame spawn),
+//! and keep flags (which nodes the training mode must cache).
+
+use rdg_graph::{GraphRef, Module, NodeId, SubGraphId};
+use std::sync::Arc;
+
+/// Per-graph scheduling metadata.
+pub struct GraphPlan {
+    /// For each node, the distinct nodes consuming any of its outputs.
+    pub consumers: Vec<Vec<NodeId>>,
+    /// For each node, the number of distinct producers it waits on.
+    pub pending: Vec<u32>,
+    /// For each node, the total number of value fetches it will receive
+    /// (input references across all consumers plus graph-output reads).
+    pub fetch_counts: Vec<u32>,
+    /// Nodes with no producers: enqueued when the frame spawns.
+    pub sources: Vec<NodeId>,
+    /// Nodes whose output values must be written to the backprop cache.
+    pub keep_value: Vec<bool>,
+    /// Nodes whose output shapes must be written to the shape cache.
+    pub keep_shape: Vec<bool>,
+}
+
+impl GraphPlan {
+    fn build(module: &Module, gref: GraphRef) -> Self {
+        let g = module.graph(gref);
+        let n = g.len();
+        let consumers = g.consumers();
+        let pending = g.pending_counts();
+        let mut fetch_counts = vec![0u32; n];
+        for node in &g.nodes {
+            for inp in &node.inputs {
+                fetch_counts[inp.node.0 as usize] += 1;
+            }
+        }
+        for out in &g.outputs {
+            fetch_counts[out.node.0 as usize] += 1;
+        }
+        let sources =
+            (0..n).filter(|&i| pending[i] == 0).map(|i| NodeId(i as u32)).collect();
+        let mut keep_value = vec![false; n];
+        if let Some(set) = module.keep_sets.get(&gref) {
+            for &(node, _port) in set {
+                keep_value[node.0 as usize] = true;
+            }
+        }
+        let mut keep_shape = vec![false; n];
+        if let Some(set) = module.shape_keep_sets.get(&gref) {
+            for &(node, _port) in set {
+                keep_shape[node.0 as usize] = true;
+            }
+        }
+        GraphPlan { consumers, pending, fetch_counts, sources, keep_value, keep_shape }
+    }
+}
+
+/// All plans for a module, plus the module itself.
+pub struct ModulePlan {
+    /// The planned module.
+    pub module: Arc<Module>,
+    main: GraphPlan,
+    subs: Vec<GraphPlan>,
+}
+
+impl ModulePlan {
+    /// Validates the module and computes every graph's plan.
+    pub fn new(module: Arc<Module>) -> rdg_graph::Result<Arc<Self>> {
+        module.validate()?;
+        let main = GraphPlan::build(&module, GraphRef::Main);
+        let subs = (0..module.subgraphs.len())
+            .map(|i| GraphPlan::build(&module, GraphRef::Sub(SubGraphId(i as u32))))
+            .collect();
+        Ok(Arc::new(ModulePlan { module, main, subs }))
+    }
+
+    /// The plan for one graph.
+    pub fn plan(&self, gref: GraphRef) -> &GraphPlan {
+        match gref {
+            GraphRef::Main => &self.main,
+            GraphRef::Sub(id) => &self.subs[id.0 as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdg_graph::ModuleBuilder;
+    use rdg_tensor::Tensor;
+
+    #[test]
+    fn plan_counts_match_simple_graph() {
+        let mut mb = ModuleBuilder::new();
+        let a = mb.const_f32(1.0);
+        let b = mb.const_f32(2.0);
+        let c = mb.add(a, b).unwrap();
+        let d = mb.mul(c, c).unwrap(); // two references to c, one consumer
+        mb.set_outputs(&[d]).unwrap();
+        let m = Arc::new(mb.finish().unwrap());
+        let plan = ModulePlan::new(m).unwrap();
+        let p = plan.plan(GraphRef::Main);
+        // a, b are sources.
+        assert_eq!(p.sources.len(), 2);
+        // c has one distinct consumer (d) but two fetches.
+        assert_eq!(p.consumers[2].len(), 1);
+        assert_eq!(p.fetch_counts[2], 2);
+        // d is fetched once: as the graph output.
+        assert_eq!(p.fetch_counts[3], 1);
+        assert_eq!(p.pending[3], 1, "d waits on one distinct producer");
+    }
+
+    #[test]
+    fn keep_flags_come_from_module() {
+        let mut mb = ModuleBuilder::new();
+        let a = mb.const_f32(1.0);
+        let b = mb.neg(a).unwrap();
+        mb.set_outputs(&[b]).unwrap();
+        let mut m = mb.finish().unwrap();
+        m.keep_sets
+            .entry(GraphRef::Main)
+            .or_default()
+            .insert((NodeId(0), 0));
+        let plan = ModulePlan::new(Arc::new(m)).unwrap();
+        let p = plan.plan(GraphRef::Main);
+        assert!(p.keep_value[0]);
+        assert!(!p.keep_value[1]);
+    }
+
+    #[test]
+    fn invalid_module_is_rejected() {
+        let mut m = Module::default();
+        // Forge an invalid main graph: op referencing a dangling node.
+        m.main.push_node(
+            rdg_graph::OpKind::Neg,
+            vec![rdg_graph::PortRef { node: NodeId(9), port: 0 }],
+            vec![rdg_tensor::DType::F32],
+        );
+        assert!(ModulePlan::new(Arc::new(m)).is_err());
+        let _ = Tensor::zeros([1]); // silence unused import in some cfgs
+    }
+}

@@ -1,0 +1,240 @@
+//! The worker ready queue (paper Figure 4).
+//!
+//! Two scheduling policies are provided:
+//!
+//! * [`SchedulerKind::Fifo`] — the paper's policy: operations enter a global
+//!   FIFO ready queue as their dependencies resolve and idle execution
+//!   threads dequeue from the front.
+//! * [`SchedulerKind::DepthPriority`] — the paper's §4.1.2 *future work*
+//!   suggestion, implemented here as an extension: deeper frames first, so
+//!   inner recursive work that unblocks many outer operations is preferred
+//!   when threads are scarce. An ablation bench compares the two.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BinaryHeap;
+
+/// Scheduling policy selector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulerKind {
+    /// Global FIFO ready queue (the paper's design).
+    #[default]
+    Fifo,
+    /// Deeper-frame-first priority queue (paper's future-work extension).
+    DepthPriority,
+}
+
+/// Items carried by the queue: a task payload with a scheduling priority.
+pub struct Prioritized<T> {
+    /// Larger = scheduled earlier under `DepthPriority`.
+    pub priority: u64,
+    /// Monotone sequence number: FIFO tie-break inside a priority class.
+    pub seq: u64,
+    /// The payload.
+    pub item: T,
+}
+
+impl<T> PartialEq for Prioritized<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Prioritized<T> {}
+impl<T> PartialOrd for Prioritized<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Prioritized<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on priority; FIFO (smaller seq first) within a class.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+enum Impl<T> {
+    Fifo {
+        tx: Sender<Msg<T>>,
+        rx: Receiver<Msg<T>>,
+    },
+    Prio {
+        heap: Mutex<PrioState<T>>,
+        cond: Condvar,
+    },
+}
+
+struct PrioState<T> {
+    heap: BinaryHeap<Prioritized<T>>,
+    next_seq: u64,
+    stop_tokens: usize,
+}
+
+enum Msg<T> {
+    Task(T),
+    Stop,
+}
+
+/// A multi-producer multi-consumer ready queue with blocking pop.
+pub struct ReadyQueue<T> {
+    inner: Impl<T>,
+}
+
+impl<T> ReadyQueue<T> {
+    /// Creates a queue with the given policy.
+    pub fn new(kind: SchedulerKind) -> Self {
+        let inner = match kind {
+            SchedulerKind::Fifo => {
+                let (tx, rx) = unbounded();
+                Impl::Fifo { tx, rx }
+            }
+            SchedulerKind::DepthPriority => Impl::Prio {
+                heap: Mutex::new(PrioState {
+                    heap: BinaryHeap::new(),
+                    next_seq: 0,
+                    stop_tokens: 0,
+                }),
+                cond: Condvar::new(),
+            },
+        };
+        ReadyQueue { inner }
+    }
+
+    /// Enqueues a task with a scheduling priority (ignored under FIFO).
+    pub fn push(&self, priority: u64, item: T) {
+        match &self.inner {
+            Impl::Fifo { tx, .. } => {
+                let _ = tx.send(Msg::Task(item));
+            }
+            Impl::Prio { heap, cond } => {
+                let mut st = heap.lock();
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.heap.push(Prioritized { priority, seq, item });
+                drop(st);
+                cond.notify_one();
+            }
+        }
+    }
+
+    /// Blocking pop; `None` means a stop token was consumed (worker exits).
+    pub fn pop(&self) -> Option<T> {
+        match &self.inner {
+            Impl::Fifo { rx, .. } => match rx.recv() {
+                Ok(Msg::Task(t)) => Some(t),
+                Ok(Msg::Stop) | Err(_) => None,
+            },
+            Impl::Prio { heap, cond } => {
+                let mut st = heap.lock();
+                loop {
+                    if let Some(p) = st.heap.pop() {
+                        return Some(p.item);
+                    }
+                    if st.stop_tokens > 0 {
+                        st.stop_tokens -= 1;
+                        return None;
+                    }
+                    cond.wait(&mut st);
+                }
+            }
+        }
+    }
+
+    /// Sends `n` stop tokens, releasing `n` blocked workers.
+    pub fn stop(&self, n: usize) {
+        match &self.inner {
+            Impl::Fifo { tx, .. } => {
+                for _ in 0..n {
+                    let _ = tx.send(Msg::Stop);
+                }
+            }
+            Impl::Prio { heap, cond } => {
+                heap.lock().stop_tokens += n;
+                cond.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_preserves_order() {
+        let q = ReadyQueue::new(SchedulerKind::Fifo);
+        q.push(0, 1);
+        q.push(9, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn priority_pops_deepest_first() {
+        let q = ReadyQueue::new(SchedulerKind::DepthPriority);
+        q.push(1, "shallow");
+        q.push(5, "deep");
+        q.push(3, "mid");
+        assert_eq!(q.pop(), Some("deep"));
+        assert_eq!(q.pop(), Some("mid"));
+        assert_eq!(q.pop(), Some("shallow"));
+    }
+
+    #[test]
+    fn priority_is_fifo_within_class() {
+        let q = ReadyQueue::new(SchedulerKind::DepthPriority);
+        q.push(2, "a");
+        q.push(2, "b");
+        q.push(2, "c");
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), Some("c"));
+    }
+
+    #[test]
+    fn stop_tokens_release_workers() {
+        for kind in [SchedulerKind::Fifo, SchedulerKind::DepthPriority] {
+            let q = Arc::new(ReadyQueue::<u32>::new(kind));
+            let q2 = Arc::clone(&q);
+            let h = std::thread::spawn(move || q2.pop());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.stop(1);
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_drain_everything() {
+        let q = Arc::new(ReadyQueue::<u64>::new(SchedulerKind::Fifo));
+        let mut producers = Vec::new();
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    q.push(0, t * 1000 + i);
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                while q.pop().is_some() {
+                    got += 1;
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.stop(4);
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 400);
+    }
+}

@@ -1,0 +1,365 @@
+//! [`Session`]: a planned module bound to parameters and an executor.
+
+use crate::cache::BackpropCache;
+use crate::error::ExecError;
+use crate::executor::Executor;
+use crate::params::{GradStore, ParamStore};
+use crate::plan::ModulePlan;
+use rdg_graph::Module;
+use rdg_tensor::Tensor;
+use std::sync::Arc;
+
+/// A module ready to run: plan + parameter store + gradient machinery.
+///
+/// Sessions are cheap to clone conceptually (everything is `Arc`-shared);
+/// several sessions may share one [`ParamStore`] — that is how the
+/// equivalence tests run the recursive and iterative implementations on
+/// identical weights, and how data-parallel replicas share nothing but
+/// parameters.
+pub struct Session {
+    exec: Arc<Executor>,
+    plan: Arc<ModulePlan>,
+    params: Arc<ParamStore>,
+    grads: Arc<GradStore>,
+    cache: Arc<BackpropCache>,
+}
+
+impl Session {
+    /// Plans `module` and initializes fresh parameters from its specs.
+    pub fn new(exec: Arc<Executor>, module: Module) -> Result<Self, ExecError> {
+        let plan = ModulePlan::new(Arc::new(module))?;
+        let params = Arc::new(ParamStore::from_module(&plan.module));
+        Ok(Self::assemble(exec, plan, params))
+    }
+
+    /// Plans `module` but shares an existing parameter store.
+    ///
+    /// The store must have matching parameter count/shapes (same specs).
+    pub fn with_params(
+        exec: Arc<Executor>,
+        module: Module,
+        params: Arc<ParamStore>,
+    ) -> Result<Self, ExecError> {
+        let plan = ModulePlan::new(Arc::new(module))?;
+        if params.len() != plan.module.params.len() {
+            return Err(ExecError::BadFeed {
+                msg: format!(
+                    "shared ParamStore has {} params, module declares {}",
+                    params.len(),
+                    plan.module.params.len()
+                ),
+            });
+        }
+        Ok(Self::assemble(exec, plan, params))
+    }
+
+    fn assemble(exec: Arc<Executor>, plan: Arc<ModulePlan>, params: Arc<ParamStore>) -> Self {
+        let n = plan.module.params.len();
+        Session {
+            exec,
+            plan,
+            params,
+            grads: Arc::new(GradStore::new(n)),
+            cache: Arc::new(BackpropCache::new()),
+        }
+    }
+
+    /// The planned module.
+    pub fn module(&self) -> &Arc<Module> {
+        &self.plan.module
+    }
+
+    /// The parameter store.
+    pub fn params(&self) -> &Arc<ParamStore> {
+        &self.params
+    }
+
+    /// The gradient store (filled by training runs).
+    pub fn grads(&self) -> &Arc<GradStore> {
+        &self.grads
+    }
+
+    /// The backprop cache (diagnostics).
+    pub fn cache(&self) -> &Arc<BackpropCache> {
+        &self.cache
+    }
+
+    /// The executor this session runs on.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.exec
+    }
+
+    /// Inference run: no gradient accumulation, no activation caching.
+    pub fn run(&self, feeds: Vec<Tensor>) -> Result<Vec<Tensor>, ExecError> {
+        self.exec.run(&self.plan, &self.params, feeds, None, None)
+    }
+
+    /// Training run: clears gradients and cache, executes with activation
+    /// caching and gradient sinks enabled, then drops cached activations.
+    ///
+    /// Accumulated gradients stay in [`Session::grads`] for the optimizer.
+    pub fn run_training(&self, feeds: Vec<Tensor>) -> Result<Vec<Tensor>, ExecError> {
+        self.grads.clear();
+        self.cache.clear();
+        let out = self.exec.run(
+            &self.plan,
+            &self.params,
+            feeds,
+            Some(Arc::clone(&self.grads)),
+            Some(Arc::clone(&self.cache)),
+        );
+        self.cache.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdg_graph::ModuleBuilder;
+    use rdg_tensor::DType;
+
+    fn exec() -> Arc<Executor> {
+        Executor::with_threads(2)
+    }
+
+    #[test]
+    fn arithmetic_main_graph() {
+        let mut mb = ModuleBuilder::new();
+        let a = mb.const_f32(2.0);
+        let b = mb.const_f32(3.0);
+        let c = mb.add(a, b).unwrap();
+        let d = mb.mul(c, c).unwrap();
+        mb.set_outputs(&[d]).unwrap();
+        let s = Session::new(exec(), mb.finish().unwrap()).unwrap();
+        let out = s.run(vec![]).unwrap();
+        assert_eq!(out[0].as_f32_scalar().unwrap(), 25.0);
+    }
+
+    #[test]
+    fn feeds_are_validated() {
+        let mut mb = ModuleBuilder::new();
+        let mut g = rdg_graph::Graph::new();
+        let i = g.push_node(
+            rdg_graph::OpKind::Input { index: 0, dtype: DType::F32 },
+            vec![],
+            vec![DType::F32],
+        );
+        g.outputs.push(rdg_graph::PortRef::of(i));
+        // Hand-assemble a module whose main graph has one input.
+        let mut m = mb.finish().unwrap();
+        m.main = g;
+        let s = Session::new(exec(), m).unwrap();
+        assert!(s.run(vec![]).is_err(), "missing feed");
+        assert!(s.run(vec![Tensor::scalar_i32(1)]).is_err(), "wrong dtype");
+        let out = s.run(vec![Tensor::scalar_f32(9.0)]).unwrap();
+        assert_eq!(out[0].as_f32_scalar().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn subgraph_invocation_and_captures() {
+        let mut mb = ModuleBuilder::new();
+        let bias = mb.const_f32(100.0);
+        let sg = mb
+            .subgraph("affine", &[DType::F32], &[DType::F32], |b| {
+                let x = b.input(0)?;
+                let y = b.scale(x, 2.0)?;
+                Ok(vec![b.add(y, bias)?]) // captures `bias`
+            })
+            .unwrap();
+        let a = mb.const_f32(5.0);
+        let out = mb.invoke(&sg, &[a]).unwrap();
+        mb.set_outputs(&[out[0]]).unwrap();
+        let s = Session::new(exec(), mb.finish().unwrap()).unwrap();
+        let out = s.run(vec![]).unwrap();
+        assert_eq!(out[0].as_f32_scalar().unwrap(), 110.0);
+    }
+
+    #[test]
+    fn recursion_countdown() {
+        // sum(n) = n == 0 ? 0 : n + sum(n-1), computed on i32 scalars.
+        let mut mb = ModuleBuilder::new();
+        let h = mb.declare_subgraph("sum", &[DType::I32], &[DType::I32]);
+        mb.define_subgraph(&h, |b| {
+            let n = b.input(0)?;
+            let zero = b.const_i32(0);
+            let p = b.igt(n, zero)?;
+            let out = b.cond1(
+                p,
+                DType::I32,
+                |b| {
+                    let one = b.const_i32(1);
+                    let m = b.isub(n, one)?;
+                    let rec = b.invoke(&h, &[m])?[0];
+                    b.iadd(n, rec)
+                },
+                |b| b.identity(zero),
+            )?;
+            Ok(vec![out])
+        })
+        .unwrap();
+        let start = mb.const_i32(10);
+        let out = mb.invoke(&h, &[start]).unwrap();
+        mb.set_outputs(&[out[0]]).unwrap();
+        let s = Session::new(exec(), mb.finish().unwrap()).unwrap();
+        let out = s.run(vec![]).unwrap();
+        assert_eq!(out[0].as_i32_scalar().unwrap(), 55);
+    }
+
+    #[test]
+    fn deep_recursion_does_not_overflow_stack() {
+        // Tail recursion 20_000 deep: frames are heap objects and the
+        // completion cascade is iterative, so this must succeed on a
+        // 2-thread pool with default stack sizes.
+        let mut mb = ModuleBuilder::new();
+        let h = mb.declare_subgraph("down", &[DType::I32], &[DType::I32]);
+        mb.define_subgraph(&h, |b| {
+            let n = b.input(0)?;
+            let zero = b.const_i32(0);
+            let p = b.igt(n, zero)?;
+            let out = b.cond1(
+                p,
+                DType::I32,
+                |b| {
+                    let one = b.const_i32(1);
+                    let m = b.isub(n, one)?;
+                    Ok(b.invoke(&h, &[m])?[0])
+                },
+                |b| b.identity(n),
+            )?;
+            Ok(vec![out])
+        })
+        .unwrap();
+        let start = mb.const_i32(20_000);
+        let out = mb.invoke(&h, &[start]).unwrap();
+        mb.set_outputs(&[out[0]]).unwrap();
+        let s = Session::new(exec(), mb.finish().unwrap()).unwrap();
+        let out = s.run(vec![]).unwrap();
+        assert_eq!(out[0].as_i32_scalar().unwrap(), 0);
+        assert!(
+            s.executor().stats().max_depth.load(std::sync::atomic::Ordering::Relaxed) >= 20_000
+        );
+    }
+
+    #[test]
+    fn cond_is_lazy() {
+        // The else-branch divides by zero; with a true predicate it must
+        // never execute.
+        let mut mb = ModuleBuilder::new();
+        let t = mb.const_i32(1);
+        let out = mb
+            .cond1(
+                t,
+                DType::I32,
+                |b| Ok(b.const_i32(7)),
+                |b| {
+                    let one = b.const_i32(1);
+                    let zero = b.const_i32(0);
+                    b.idiv(one, zero)
+                },
+            )
+            .unwrap();
+        mb.set_outputs(&[out]).unwrap();
+        let s = Session::new(exec(), mb.finish().unwrap()).unwrap();
+        let out = s.run(vec![]).unwrap();
+        assert_eq!(out[0].as_i32_scalar().unwrap(), 7);
+    }
+
+    #[test]
+    fn kernel_errors_propagate() {
+        let mut mb = ModuleBuilder::new();
+        let one = mb.const_i32(1);
+        let zero = mb.const_i32(0);
+        let bad = mb.idiv(one, zero).unwrap();
+        mb.set_outputs(&[bad]).unwrap();
+        let s = Session::new(exec(), mb.finish().unwrap()).unwrap();
+        let err = s.run(vec![]).unwrap_err();
+        assert!(matches!(err, ExecError::Kernel { .. }), "{err}");
+    }
+
+    #[test]
+    fn while_loop_executes() {
+        let mut mb = ModuleBuilder::new();
+        let i0 = mb.const_i32(0);
+        let acc0 = mb.const_f32(0.0);
+        let limit = mb.const_i32(100);
+        let outs = mb
+            .while_loop(
+                "accumulate",
+                &[i0, acc0],
+                |b, s| b.ilt(s[0], limit),
+                |b, s| {
+                    let one = b.const_i32(1);
+                    let i = b.iadd(s[0], one)?;
+                    let acc = b.add_const(s[1], 0.5)?;
+                    Ok(vec![i, acc])
+                },
+            )
+            .unwrap();
+        mb.set_outputs(&[outs[0], outs[1]]).unwrap();
+        let s = Session::new(exec(), mb.finish().unwrap()).unwrap();
+        let out = s.run(vec![]).unwrap();
+        assert_eq!(out[0].as_i32_scalar().unwrap(), 100);
+        assert!((out[1].as_f32_scalar().unwrap() - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn parallel_siblings_both_execute() {
+        // fib-style double recursion: checks that sibling frames fan out and
+        // rejoin correctly. fib(10) = 55 with fib(0)=0, fib(1)=1.
+        let mut mb = ModuleBuilder::new();
+        let h = mb.declare_subgraph("fib", &[DType::I32], &[DType::I32]);
+        mb.define_subgraph(&h, |b| {
+            let n = b.input(0)?;
+            let one = b.const_i32(1);
+            let p = b.ile(n, one)?;
+            let out = b.cond1(
+                p,
+                DType::I32,
+                |b| b.identity(n),
+                |b| {
+                    let one = b.const_i32(1);
+                    let two = b.const_i32(2);
+                    let n1 = b.isub(n, one)?;
+                    let n2 = b.isub(n, two)?;
+                    let f1 = b.invoke(&h, &[n1])?[0];
+                    let f2 = b.invoke(&h, &[n2])?[0];
+                    b.iadd(f1, f2)
+                },
+            )?;
+            Ok(vec![out])
+        })
+        .unwrap();
+        let start = mb.const_i32(10);
+        let out = mb.invoke(&h, &[start]).unwrap();
+        mb.set_outputs(&[out[0]]).unwrap();
+        let s = Session::new(exec(), mb.finish().unwrap()).unwrap();
+        let out = s.run(vec![]).unwrap();
+        assert_eq!(out[0].as_i32_scalar().unwrap(), 55);
+        // fib spawns an exponential number of frames; make sure we saw them.
+        let frames = s
+            .executor()
+            .stats()
+            .frames_spawned
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(frames > 100, "fib(10) must spawn many frames, saw {frames}");
+    }
+
+    #[test]
+    fn shared_params_are_visible_across_sessions() {
+        let mut mb = ModuleBuilder::new();
+        let w = mb.param_wire("w", Tensor::scalar_f32(3.0)).unwrap();
+        let x = mb.const_f32(2.0);
+        let y = mb.mul(w, x).unwrap();
+        mb.set_outputs(&[y]).unwrap();
+        let m = mb.finish().unwrap();
+
+        let e = exec();
+        let s1 = Session::new(Arc::clone(&e), m.clone()).unwrap();
+        let s2 = Session::with_params(e, m, Arc::clone(s1.params())).unwrap();
+        assert_eq!(s1.run(vec![]).unwrap()[0].as_f32_scalar().unwrap(), 6.0);
+        // Mutate through the shared store; both sessions see it.
+        s1.params().write(rdg_graph::ParamId(0), Tensor::scalar_f32(5.0));
+        assert_eq!(s2.run(vec![]).unwrap()[0].as_f32_scalar().unwrap(), 10.0);
+    }
+}

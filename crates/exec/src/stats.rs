@@ -1,0 +1,113 @@
+//! Executor statistics: cheap atomic counters plus optional kernel profiling.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters describing one executor's lifetime activity.
+#[derive(Default)]
+pub struct ExecStats {
+    /// Operations executed (kernels, including structural ops).
+    pub ops_executed: AtomicU64,
+    /// Frames spawned (InvokeOp and Cond branch activations).
+    pub frames_spawned: AtomicU64,
+    /// Deepest frame depth observed.
+    pub max_depth: AtomicU64,
+    /// Values written to the backprop cache.
+    pub cache_writes: AtomicU64,
+    /// Values read from the backprop cache.
+    pub cache_reads: AtomicU64,
+    /// In-place buffer reuses observed by copy-on-write kernels.
+    pub inplace_updates: AtomicU64,
+    /// Tasks that were dropped because the run was cancelled by an error.
+    pub cancelled_tasks: AtomicU64,
+    /// Optional per-op-kind wall time, enabled by [`ExecStats::enable_profiling`].
+    profile: Mutex<Option<HashMap<&'static str, (Duration, u64)>>>,
+    profile_on: std::sync::atomic::AtomicBool,
+}
+
+impl ExecStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns on per-op-kind timing (used to calibrate the virtual-time
+    /// executor; adds a mutex acquisition per op, so keep it off for
+    /// benchmark runs).
+    pub fn enable_profiling(&self) {
+        *self.profile.lock() = Some(HashMap::new());
+        self.profile_on.store(true, Ordering::Release);
+    }
+
+    /// Whether profiling is enabled (single atomic load; hot path safe).
+    pub fn profiling(&self) -> bool {
+        self.profile_on.load(Ordering::Acquire)
+    }
+
+    /// Records one kernel execution time.
+    pub fn record_kernel(&self, op: &'static str, d: Duration) {
+        if let Some(map) = self.profile.lock().as_mut() {
+            let e = map.entry(op).or_insert((Duration::ZERO, 0));
+            e.0 += d;
+            e.1 += 1;
+        }
+    }
+
+    /// Snapshot of per-op-kind `(total time, count)`.
+    pub fn kernel_profile(&self) -> HashMap<&'static str, (Duration, u64)> {
+        self.profile.lock().clone().unwrap_or_default()
+    }
+
+    /// Raises `max_depth` to at least `d`.
+    pub fn observe_depth(&self, d: u64) {
+        self.max_depth.fetch_max(d, Ordering::Relaxed);
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "ops={} frames={} max_depth={} cache_w={} cache_r={} inplace={}",
+            self.ops_executed.load(Ordering::Relaxed),
+            self.frames_spawned.load(Ordering::Relaxed),
+            self.max_depth.load(Ordering::Relaxed),
+            self.cache_writes.load(Ordering::Relaxed),
+            self.cache_reads.load(Ordering::Relaxed),
+            self.inplace_updates.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let s = ExecStats::new();
+        assert_eq!(s.ops_executed.load(Ordering::Relaxed), 0);
+        assert!(s.summary().contains("ops=0"));
+    }
+
+    #[test]
+    fn depth_is_monotonic_max() {
+        let s = ExecStats::new();
+        s.observe_depth(5);
+        s.observe_depth(3);
+        assert_eq!(s.max_depth.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn profiling_accumulates() {
+        let s = ExecStats::new();
+        s.record_kernel("MatMul", Duration::from_micros(5)); // ignored: off
+        assert!(s.kernel_profile().is_empty());
+        s.enable_profiling();
+        s.record_kernel("MatMul", Duration::from_micros(5));
+        s.record_kernel("MatMul", Duration::from_micros(7));
+        let p = s.kernel_profile();
+        assert_eq!(p["MatMul"].1, 2);
+        assert_eq!(p["MatMul"].0, Duration::from_micros(12));
+    }
+}

@@ -1,0 +1,155 @@
+//! Virtual-time executor: correctness and scheduling-model properties on
+//! model-shaped workloads.
+
+use rdg_exec::sim::{CostModel, SimExecutor};
+use rdg_exec::{Executor, ModulePlan, ParamStore, Session};
+use rdg_graph::{GraphRef, Module, ModuleBuilder};
+use rdg_tensor::{DType, Tensor};
+use std::sync::Arc;
+
+/// Balanced binary recursion over f32 work (tanh per node).
+fn tree_module(depth: i32) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let h = mb.declare_subgraph("t", &[DType::I32, DType::F32], &[DType::F32]);
+    mb.define_subgraph(&h, |b| {
+        let d = b.input(0)?;
+        let x = b.input(1)?;
+        let zero = b.const_i32(0);
+        let p = b.igt(d, zero)?;
+        let out = b.cond1(
+            p,
+            DType::F32,
+            |b| {
+                let one = b.const_i32(1);
+                let d2 = b.isub(d, one)?;
+                let xl = b.scale(x, 0.3)?;
+                let xr = b.scale(x, 0.7)?;
+                let l = b.invoke(&h, &[d2, xl])?[0];
+                let r = b.invoke(&h, &[d2, xr])?[0];
+                b.add(l, r)
+            },
+            |b| b.tanh(x),
+        )?;
+        Ok(vec![out])
+    })
+    .unwrap();
+    let d0 = mb.const_i32(depth);
+    let x0 = mb.const_f32(0.9);
+    let out = mb.invoke(&h, &[d0, x0]).unwrap();
+    mb.set_outputs(&[out[0]]).unwrap();
+    mb.finish().unwrap()
+}
+
+/// Linear (chain) recursion of the same total node count order.
+fn chain_module(len: i32) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let limit = mb.const_i32(len);
+    let i0 = mb.const_i32(0);
+    let x0 = mb.const_f32(0.9);
+    let outs = mb
+        .while_loop(
+            "chain",
+            &[i0, x0],
+            |b, s| b.ilt(s[0], limit),
+            |b, s| {
+                let one = b.const_i32(1);
+                let i = b.iadd(s[0], one)?;
+                let x = b.tanh(s[1])?;
+                Ok(vec![i, x])
+            },
+        )
+        .unwrap();
+    mb.set_outputs(&[outs[1]]).unwrap();
+    mb.finish().unwrap()
+}
+
+#[test]
+fn sim_matches_real_executor_values() {
+    let m = tree_module(6);
+    let plan = ModulePlan::new(Arc::new(m.clone())).unwrap();
+    let params = Arc::new(ParamStore::from_module(&plan.module));
+    let sim = SimExecutor::new(4);
+    let sim_out = sim.run(&plan, &params, vec![], None, None).unwrap();
+
+    let sess = Session::new(Executor::with_threads(2), m).unwrap();
+    let real_out = sess.run(vec![]).unwrap();
+    assert_eq!(
+        sim_out.outputs[0].as_f32_scalar().unwrap().to_bits(),
+        real_out[0].as_f32_scalar().unwrap().to_bits(),
+        "virtual-time execution must compute identical values"
+    );
+}
+
+#[test]
+fn tree_scales_with_workers_chain_does_not() {
+    // The paper's whole story in one assertion: extra workers speed up
+    // the tree recursion but cannot help the chain.
+    let tree = ModulePlan::new(Arc::new(tree_module(8))).unwrap();
+    let chain = ModulePlan::new(Arc::new(chain_module(255))).unwrap();
+    let params_t = Arc::new(ParamStore::from_module(&tree.module));
+    let params_c = Arc::new(ParamStore::from_module(&chain.module));
+
+    let run = |plan: &Arc<ModulePlan>, params: &Arc<ParamStore>, w: usize| {
+        SimExecutor::new(w).run(plan, params, vec![], None, None).unwrap().virtual_ns
+    };
+    let tree_1 = run(&tree, &params_t, 1);
+    let tree_32 = run(&tree, &params_t, 32);
+    let chain_1 = run(&chain, &params_c, 1);
+    let chain_32 = run(&chain, &params_c, 32);
+
+    let tree_speedup = tree_1 / tree_32;
+    let chain_speedup = chain_1 / chain_32;
+    assert!(tree_speedup > 4.0, "tree speedup with 32 workers: {tree_speedup:.2}");
+    // The loop body contains two independent chains (counter and value), so
+    // the chain enjoys a small constant speedup — but it must stay bounded
+    // while the tree's grows with the frontier.
+    assert!(chain_speedup < 3.0, "chain speedup must be bounded: {chain_speedup:.2}");
+    assert!(
+        tree_speedup > 1.5 * chain_speedup,
+        "tree must out-scale chain: {tree_speedup:.2} vs {chain_speedup:.2}"
+    );
+}
+
+#[test]
+fn cost_model_charges_matmul_by_macs() {
+    let cm = CostModel::default();
+    let a_small = Tensor::zeros([1, 8]);
+    let b_small = Tensor::zeros([8, 8]);
+    let out_small = Tensor::zeros([1, 8]);
+    let a_big = Tensor::zeros([1, 128]);
+    let b_big = Tensor::zeros([128, 128]);
+    let out_big = Tensor::zeros([1, 128]);
+    let small = cm.op_cost(&rdg_graph::OpKind::MatMul, &[a_small, b_small], &[out_small]);
+    let big = cm.op_cost(&rdg_graph::OpKind::MatMul, &[a_big, b_big], &[out_big]);
+    // 128³/8³-ish MAC ratio on the work term; dispatch floor keeps the
+    // ratio below the raw 4096×.
+    assert!(big > small * 4.0, "big {big} vs small {small}");
+    let tiny = cm.op_cost(&rdg_graph::OpKind::Identity, &[], &[]);
+    assert!(tiny >= cm.dispatch_ns, "every op pays dispatch");
+}
+
+#[test]
+fn sim_work_is_invariant_to_worker_count() {
+    let plan = ModulePlan::new(Arc::new(tree_module(7))).unwrap();
+    let params = Arc::new(ParamStore::from_module(&plan.module));
+    let w1 = SimExecutor::new(1).run(&plan, &params, vec![], None, None).unwrap();
+    let w16 = SimExecutor::new(16).run(&plan, &params, vec![], None, None).unwrap();
+    assert_eq!(w1.ops, w16.ops, "same schedule, same op count");
+    assert!((w1.total_work_ns - w16.total_work_ns).abs() < 1e-6);
+    assert!(w16.parallelism() > w1.parallelism());
+}
+
+#[test]
+fn fairness_across_graph_refs() {
+    // Main-graph-only modules run under the sim too (no frames beyond root).
+    let mut mb = ModuleBuilder::new();
+    let a = mb.const_f32(2.0);
+    let b = mb.tanh(a).unwrap();
+    mb.set_outputs(&[b]).unwrap();
+    let plan = ModulePlan::new(Arc::new(mb.finish().unwrap())).unwrap();
+    let params = Arc::new(ParamStore::from_module(&plan.module));
+    let r = SimExecutor::new(2).run(&plan, &params, vec![], None, None).unwrap();
+    assert_eq!(r.frames, 1, "root frame only");
+    assert_eq!(r.outputs[0].as_f32_scalar().unwrap(), 2.0f32.tanh());
+    let _ = GraphRef::Main; // silence unused-import style lints in old rustc
+}

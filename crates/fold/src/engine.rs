@@ -1,0 +1,391 @@
+//! The batched Fold executor: level-by-level forward and backward.
+
+use crate::plan::FoldPlan;
+use rdg_data::Instance;
+use rdg_exec::{GradStore, ParamStore};
+use rdg_graph::{GraphError, ModuleBuilder};
+use rdg_models::params::{Cell, ModelParams};
+use rdg_models::ModelConfig;
+use rdg_nn::Linear;
+use rdg_tensor::{ops, Tensor, TensorError};
+use std::sync::Arc;
+
+/// Saved activations of one level (the Fold equivalent of the backprop
+/// cache: values are retained per level, not per node).
+enum LevelTape {
+    /// TreeRNN / RNTN: gathered input and level output.
+    Simple {
+        x: Tensor,
+        h: Tensor,
+    },
+    /// TreeLSTM: gate activations plus child cell states.
+    Lstm {
+        x: Tensor,
+        i: Tensor,
+        o: Tensor,
+        u: Tensor,
+        tc: Tensor,
+        /// Internal levels only: forget gates and gathered child cells.
+        fl: Option<(Tensor, Tensor)>, // (F_l, C_l)
+        fr: Option<(Tensor, Tensor)>,
+    },
+}
+
+/// Everything the backward pass needs from one forward pass.
+pub struct Tape {
+    leaf: LevelTape,
+    levels: Vec<LevelTape>,
+    roots_h: Tensor,
+    logits: Tensor,
+}
+
+/// Depth-wise batched executor for the three sentiment models.
+pub struct FoldEngine {
+    cfg: ModelConfig,
+    mp: ModelParams,
+    params: Arc<ParamStore>,
+}
+
+fn ids(v: &[i32]) -> Tensor {
+    Tensor::from_i32([v.len()], v.to_vec()).expect("length matches")
+}
+
+impl FoldEngine {
+    /// Creates an engine with freshly initialized parameters.
+    pub fn new(cfg: ModelConfig) -> Result<Self, GraphError> {
+        let mut mb = ModuleBuilder::new();
+        let mp = ModelParams::register(&mut mb, &cfg);
+        let c = mb.const_f32(0.0);
+        mb.set_outputs(&[c])?;
+        let module = mb.finish()?;
+        let params = Arc::new(ParamStore::from_module(&module));
+        Ok(FoldEngine { cfg, mp, params })
+    }
+
+    /// Shares an existing parameter store (e.g. the recursive session's).
+    pub fn set_params(&mut self, params: Arc<ParamStore>) {
+        self.params = params;
+    }
+
+    /// The parameter store.
+    pub fn params(&self) -> &Arc<ParamStore> {
+        &self.params
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn lin(&self, l: Linear, x: &Tensor) -> Result<Tensor, TensorError> {
+        let w = self.params.read(l.w);
+        let b = self.params.read(l.b);
+        ops::add_bias(&ops::matmul(x, &w)?, &b)
+    }
+
+    /// Batched forward pass over a plan: returns `(mean loss, logits, tape)`.
+    pub fn forward(&self, plan: &FoldPlan) -> Result<(f32, Tensor, Tape), TensorError> {
+        let d = self.cfg.hidden;
+        let n = plan.total_nodes;
+        let mut h_buf = Tensor::zeros([n, d]);
+        let mut c_buf = Tensor::zeros([n, d]); // used by LSTM only
+
+        // Level 0: all leaves, one batched lookup + cell.
+        let words = ids(&plan.leaf_words);
+        let leaf_ids = ids(&plan.leaf_nodes);
+        let emb = self.params.read(self.mp.embedding.table);
+        let e = ops::gather_rows(&emb, &words)?;
+        let _keep_e = &e;
+        let leaf_tape = match &self.mp.cell {
+            Cell::Rnn(cell) => {
+                let h = ops::tanh(&self.lin(cell.leaf, &e)?)?;
+                ops::scatter_add_rows(&mut h_buf, &leaf_ids, &h)?;
+                LevelTape::Simple { x: e.clone(), h }
+            }
+            Cell::Rntn(cell) => {
+                let h = ops::tanh(&self.lin(cell.leaf, &e)?)?;
+                ops::scatter_add_rows(&mut h_buf, &leaf_ids, &h)?;
+                LevelTape::Simple { x: e.clone(), h }
+            }
+            Cell::Lstm(cell) => {
+                let i = ops::sigmoid(&self.lin(cell.leaf_i, &e)?)?;
+                let o = ops::sigmoid(&self.lin(cell.leaf_o, &e)?)?;
+                let u = ops::tanh(&self.lin(cell.leaf_u, &e)?)?;
+                let c = ops::mul(&i, &u)?;
+                let tc = ops::tanh(&c)?;
+                let h = ops::mul(&o, &tc)?;
+                ops::scatter_add_rows(&mut h_buf, &leaf_ids, &h)?;
+                ops::scatter_add_rows(&mut c_buf, &leaf_ids, &c)?;
+                let _ = c;
+                LevelTape::Lstm { x: e.clone(), i, o, u, tc, fl: None, fr: None }
+            }
+        };
+
+        // Internal levels: gather children, one batched cell per level.
+        let mut level_tapes = Vec::with_capacity(plan.levels.len());
+        for level in &plan.levels {
+            let li = ids(&level.left);
+            let ri = ids(&level.right);
+            let ni = ids(&level.nodes);
+            let hl = ops::gather_rows(&h_buf, &li)?;
+            let hr = ops::gather_rows(&h_buf, &ri)?;
+            let x = ops::concat_cols(&hl, &hr)?;
+            let tape = match &self.mp.cell {
+                Cell::Rnn(cell) => {
+                    let h = ops::tanh(&self.lin(cell.combine, &x)?)?;
+                    ops::scatter_add_rows(&mut h_buf, &ni, &h)?;
+                    LevelTape::Simple { x, h }
+                }
+                Cell::Rntn(cell) => {
+                    let v = self.params.read(cell.v);
+                    let bil = ops::bilinear(&x, &v)?;
+                    let lin = self.lin(cell.combine, &x)?;
+                    let h = ops::tanh(&ops::add(&bil, &lin)?)?;
+                    ops::scatter_add_rows(&mut h_buf, &ni, &h)?;
+                    LevelTape::Simple { x, h }
+                }
+                Cell::Lstm(cell) => {
+                    let cl = ops::gather_rows(&c_buf, &li)?;
+                    let cr = ops::gather_rows(&c_buf, &ri)?;
+                    let i = ops::sigmoid(&self.lin(cell.int_i, &x)?)?;
+                    let fl = ops::sigmoid(&self.lin(cell.int_fl, &x)?)?;
+                    let fr = ops::sigmoid(&self.lin(cell.int_fr, &x)?)?;
+                    let o = ops::sigmoid(&self.lin(cell.int_o, &x)?)?;
+                    let u = ops::tanh(&self.lin(cell.int_u, &x)?)?;
+                    let c = ops::add(
+                        &ops::add(&ops::mul(&i, &u)?, &ops::mul(&fl, &cl)?)?,
+                        &ops::mul(&fr, &cr)?,
+                    )?;
+                    let tc = ops::tanh(&c)?;
+                    let h = ops::mul(&o, &tc)?;
+                    ops::scatter_add_rows(&mut h_buf, &ni, &h)?;
+                    ops::scatter_add_rows(&mut c_buf, &ni, &c)?;
+                    let _ = c;
+                    LevelTape::Lstm { x, i, o, u, tc, fl: Some((fl, cl)), fr: Some((fr, cr)) }
+                }
+            };
+            level_tapes.push(tape);
+        }
+
+        // Classifier head over all roots at once.
+        let roots = ids(&plan.roots);
+        let labels = ids(&plan.labels);
+        let roots_h = ops::gather_rows(&h_buf, &roots)?;
+        let logits = self.lin(self.mp.classifier, &roots_h)?;
+        let losses = ops::softmax_xent(&logits, &labels)?;
+        let loss = ops::mean_all(&losses)?.as_f32_scalar()?;
+        Ok((
+            loss,
+            logits.clone(),
+            Tape { leaf: leaf_tape, levels: level_tapes, roots_h, logits },
+        ))
+    }
+
+    /// Batched backward pass, accumulating parameter gradients into `grads`.
+    pub fn backward(
+        &self,
+        plan: &FoldPlan,
+        tape: &Tape,
+        grads: &GradStore,
+    ) -> Result<(), TensorError> {
+        let d = self.cfg.hidden;
+        let n = plan.total_nodes;
+        let b = plan.roots.len();
+
+        // Head: d(mean CE)/d(logits).
+        let labels = ids(&plan.labels);
+        let dy = Tensor::full([b], 1.0 / b as f32);
+        let dlogits = ops::softmax_xent_grad(&tape.logits, &labels, &dy)?;
+        self.lin_backward(self.mp.classifier, &tape.roots_h, &dlogits, grads)?;
+        let d_roots = ops::matmul_bt(&dlogits, &self.params.read(self.mp.classifier.w))?;
+
+        let mut dh = Tensor::zeros([n, d]);
+        let mut dc = Tensor::zeros([n, d]);
+        ops::scatter_add_rows(&mut dh, &ids(&plan.roots), &d_roots)?;
+
+        // Internal levels, deepest first.
+        for (level, tape_l) in plan.levels.iter().zip(tape.levels.iter()).rev() {
+            let ni = ids(&level.nodes);
+            let li = ids(&level.left);
+            let ri = ids(&level.right);
+            let dh_l = ops::gather_rows(&dh, &ni)?;
+            match (&self.mp.cell, tape_l) {
+                (Cell::Rnn(cell), LevelTape::Simple { x, h }) => {
+                    let da = ops::tanh_grad(h, &dh_l)?;
+                    self.lin_backward(cell.combine, x, &da, grads)?;
+                    let dx = ops::matmul_bt(&da, &self.params.read(cell.combine.w))?;
+                    let dhl = ops::slice_cols(&dx, 0, d)?;
+                    let dhr = ops::slice_cols(&dx, d, 2 * d)?;
+                    ops::scatter_add_rows(&mut dh, &li, &dhl)?;
+                    ops::scatter_add_rows(&mut dh, &ri, &dhr)?;
+                }
+                (Cell::Rntn(cell), LevelTape::Simple { x, h }) => {
+                    let da = ops::tanh_grad(h, &dh_l)?;
+                    let v = self.params.read(cell.v);
+                    self.lin_backward(cell.combine, x, &da, grads)?;
+                    grads.accumulate(cell.v, &ops::bilinear_grad_v(x, &v, &da)?)?;
+                    let dx_lin = ops::matmul_bt(&da, &self.params.read(cell.combine.w))?;
+                    let dx_bil = ops::bilinear_grad_x(x, &v, &da)?;
+                    let dx = ops::add(&dx_lin, &dx_bil)?;
+                    let dhl = ops::slice_cols(&dx, 0, d)?;
+                    let dhr = ops::slice_cols(&dx, d, 2 * d)?;
+                    ops::scatter_add_rows(&mut dh, &li, &dhl)?;
+                    ops::scatter_add_rows(&mut dh, &ri, &dhr)?;
+                }
+                (Cell::Lstm(cell), LevelTape::Lstm { x, i, o, u, tc, fl, fr }) => {
+                    let dc_l = ops::gather_rows(&dc, &ni)?;
+                    let (f_l, c_l) = fl.as_ref().expect("internal level");
+                    let (f_r, c_r) = fr.as_ref().expect("internal level");
+                    // dH → dO, dC.
+                    let do_ = ops::mul(&dh_l, tc)?;
+                    let dtc = ops::mul(&dh_l, o)?;
+                    let dcv = ops::add(&dc_l, &ops::tanh_grad(tc, &dtc)?)?;
+                    // Gate gradients.
+                    let di = ops::mul(&dcv, u)?;
+                    let du = ops::mul(&dcv, i)?;
+                    let dfl = ops::mul(&dcv, c_l)?;
+                    let dfr = ops::mul(&dcv, c_r)?;
+                    let dcl = ops::mul(&dcv, f_l)?;
+                    let dcr = ops::mul(&dcv, f_r)?;
+                    ops::scatter_add_rows(&mut dc, &li, &dcl)?;
+                    ops::scatter_add_rows(&mut dc, &ri, &dcr)?;
+                    // Pre-activation gradients and dX.
+                    let mut dx = Tensor::zeros([level.len(), 2 * d]);
+                    for (lin, act, dact) in [
+                        (cell.int_i, i, &di),
+                        (cell.int_fl, f_l, &dfl),
+                        (cell.int_fr, f_r, &dfr),
+                        (cell.int_o, o, &do_),
+                    ] {
+                        let da = ops::sigmoid_grad(act, dact)?;
+                        self.lin_backward(lin, x, &da, grads)?;
+                        dx = ops::add(&dx, &ops::matmul_bt(&da, &self.params.read(lin.w))?)?;
+                    }
+                    let dau = ops::tanh_grad(u, &du)?;
+                    self.lin_backward(cell.int_u, x, &dau, grads)?;
+                    dx = ops::add(&dx, &ops::matmul_bt(&dau, &self.params.read(cell.int_u.w))?)?;
+                    let dhl = ops::slice_cols(&dx, 0, d)?;
+                    let dhr = ops::slice_cols(&dx, d, 2 * d)?;
+                    ops::scatter_add_rows(&mut dh, &li, &dhl)?;
+                    ops::scatter_add_rows(&mut dh, &ri, &dhr)?;
+                }
+                _ => return Err(TensorError::invalid("fold: tape/cell mismatch")),
+            }
+        }
+
+        // Leaf level.
+        let leaf_ids = ids(&plan.leaf_nodes);
+        let words = ids(&plan.leaf_words);
+        let dh_leaf = ops::gather_rows(&dh, &leaf_ids)?;
+        let de = match (&self.mp.cell, &tape.leaf) {
+            (Cell::Rnn(cell), LevelTape::Simple { x: e, h }) => {
+                let da = ops::tanh_grad(h, &dh_leaf)?;
+                self.lin_backward(cell.leaf, e, &da, grads)?;
+                ops::matmul_bt(&da, &self.params.read(cell.leaf.w))?
+            }
+            (Cell::Rntn(cell), LevelTape::Simple { x: e, h }) => {
+                let da = ops::tanh_grad(h, &dh_leaf)?;
+                self.lin_backward(cell.leaf, e, &da, grads)?;
+                ops::matmul_bt(&da, &self.params.read(cell.leaf.w))?
+            }
+            (Cell::Lstm(cell), LevelTape::Lstm { x: e, i, o, u, tc, .. }) => {
+                let dc_leaf = ops::gather_rows(&dc, &leaf_ids)?;
+                let do_ = ops::mul(&dh_leaf, tc)?;
+                let dtc = ops::mul(&dh_leaf, o)?;
+                let dcv = ops::add(&dc_leaf, &ops::tanh_grad(tc, &dtc)?)?;
+                let di = ops::mul(&dcv, u)?;
+                let du = ops::mul(&dcv, i)?;
+                let mut de = Tensor::zeros([plan.leaf_words.len(), self.cfg.embed]);
+                for (lin, act, dact) in [(cell.leaf_i, i, &di), (cell.leaf_o, o, &do_)] {
+                    let da = ops::sigmoid_grad(act, dact)?;
+                    self.lin_backward(lin, e, &da, grads)?;
+                    de = ops::add(&de, &ops::matmul_bt(&da, &self.params.read(lin.w))?)?;
+                }
+                let dau = ops::tanh_grad(u, &du)?;
+                self.lin_backward(cell.leaf_u, e, &dau, grads)?;
+                de = ops::add(&de, &ops::matmul_bt(&dau, &self.params.read(cell.leaf_u.w))?)?;
+                de
+            }
+            _ => return Err(TensorError::invalid("fold: leaf tape/cell mismatch")),
+        };
+        // Row-sparse embedding gradient.
+        let table_like = self.params.read(self.mp.embedding.table);
+        grads.accumulate_rows(self.mp.embedding.table, &table_like, &words, &de)?;
+        Ok(())
+    }
+
+    fn lin_backward(
+        &self,
+        l: Linear,
+        x: &Tensor,
+        da: &Tensor,
+        grads: &GradStore,
+    ) -> Result<(), TensorError> {
+        grads.accumulate(l.w, &ops::matmul_at(x, da)?)?;
+        grads.accumulate(l.b, &ops::sum_axis0(da)?)?;
+        Ok(())
+    }
+
+    /// Inference over a batch: plan + batched forward.
+    pub fn infer(&self, batch: &[Instance]) -> Result<(f32, Tensor), TensorError> {
+        let plan = FoldPlan::build(batch);
+        let (loss, logits, _) = self.forward(&plan)?;
+        Ok((loss, logits))
+    }
+
+    /// One training step (no parameter update): plan + forward + backward.
+    pub fn train_step(&self, batch: &[Instance], grads: &GradStore) -> Result<f32, TensorError> {
+        grads.clear();
+        let plan = FoldPlan::build(batch);
+        let (loss, _, tape) = self.forward(&plan)?;
+        self.backward(&plan, &tape, grads)?;
+        Ok(loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdg_data::{Dataset, DatasetConfig, Split};
+    use rdg_models::ModelKind;
+
+    fn batch(n: usize) -> Vec<Instance> {
+        let cfg = DatasetConfig {
+            vocab: 100,
+            n_train: n,
+            n_valid: 0,
+            min_len: 3,
+            max_len: 10,
+            ..DatasetConfig::default()
+        };
+        Dataset::generate(cfg).split(Split::Train).to_vec()
+    }
+
+    #[test]
+    fn fold_forward_runs_all_kinds() {
+        for kind in [ModelKind::TreeRnn, ModelKind::Rntn, ModelKind::TreeLstm] {
+            let engine = FoldEngine::new(ModelConfig::tiny(kind, 4)).unwrap();
+            let (loss, logits) = engine.infer(&batch(4)).unwrap();
+            assert!(loss.is_finite() && loss > 0.0, "{kind:?}");
+            assert_eq!(logits.shape().dims(), &[4, 2]);
+        }
+    }
+
+    #[test]
+    fn fold_training_accumulates_all_gradients() {
+        for kind in [ModelKind::TreeRnn, ModelKind::Rntn, ModelKind::TreeLstm] {
+            let engine = FoldEngine::new(ModelConfig::tiny(kind, 4)).unwrap();
+            let grads = GradStore::new(engine.params().len());
+            let loss = engine.train_step(&batch(4), &grads).unwrap();
+            assert!(loss.is_finite(), "{kind:?}");
+            let with_grads =
+                engine.params().ids().filter(|&p| grads.get(p).is_some()).count();
+            assert!(
+                with_grads >= engine.params().len() - 1,
+                "{kind:?}: {}/{} params got gradients",
+                with_grads,
+                engine.params().len()
+            );
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Depth-wise dynamic batching: the TensorFlow Fold stand-in (paper §6.4).
+//!
+//! Fold-style execution takes a *batch of trees*, groups nodes of the same
+//! depth and operation across all instances, and runs each group as one
+//! batched kernel (one big matmul per level instead of one small matmul per
+//! node). The paper's characterization, which this crate reproduces
+//! faithfully:
+//!
+//! * the batching decision is made **depth-wise**, requiring the tree
+//!   structure *before* execution (which is why Table 3's dynamically
+//!   structured TD-TreeLSTM is unsupported);
+//! * "the ungrouping and regrouping of tree nodes across multiple depths
+//!   lead to numerous memory reallocations and copies" — the gathers and
+//!   scatters in [`FoldEngine::forward`]/[`FoldEngine::backward`] are real
+//!   copies whose cost shows up in the measurements;
+//! * in exchange, per-node scheduling overhead disappears and kernels are
+//!   large — the regime where batching hardware (the paper's GPU) wins.
+//!
+//! The engine bypasses the dataflow graph entirely (Fold is its own
+//! runtime), but shares parameters with the graph-based implementations
+//! through the same [`rdg_exec::ParamStore`], so outputs are directly
+//! comparable.
+
+pub mod engine;
+pub mod plan;
+
+pub use engine::FoldEngine;
+pub use plan::{FoldPlan, Level};

@@ -1,0 +1,201 @@
+//! Static analysis of modules: work, span, and parallelism bounds.
+//!
+//! The paper's performance story is Brent's law applied to dataflow: a
+//! recursive graph over a tree exposes `work / span` parallelism (≈ N/log N
+//! for balanced trees), while the iterative encoding's span *equals* its
+//! work (a chain). These estimators compute both quantities for a module by
+//! unfolding its call structure to a bounded depth, and are used by the
+//! benches to report the theoretical ceiling next to measured speedups.
+
+use crate::graph::{Graph, NodeId};
+use crate::module::{GraphRef, Module};
+use crate::op::OpKind;
+use std::collections::HashMap;
+
+/// Work/span estimate for one graph or module unfolding.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkSpan {
+    /// Total operations executed (unit cost each).
+    pub work: f64,
+    /// Critical-path length (operations, unit cost each).
+    pub span: f64,
+}
+
+impl WorkSpan {
+    /// Average available parallelism (`work / span`).
+    pub fn parallelism(&self) -> f64 {
+        if self.span > 0.0 {
+            self.work / self.span
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-opkind histogram of a single graph (no unfolding).
+pub fn op_histogram(g: &Graph) -> HashMap<&'static str, usize> {
+    let mut h = HashMap::new();
+    for n in &g.nodes {
+        *h.entry(n.op.mnemonic()).or_insert(0) += 1;
+    }
+    h
+}
+
+/// Estimates work and span of executing `gref`, unfolding `Invoke`s and
+/// assuming *both* branches of every `Cond` are explored to depth
+/// `max_depth` (beyond it, calls count as a single op).
+///
+/// This is an upper bound on the real execution (which takes one branch),
+/// but ratios between encodings of the same model are meaningful: a
+/// recursive tree unfolds with `span ≈ depth · per-node-span` while a
+/// tail-recursive loop unfolds with `span ≈ work`.
+pub fn work_span(m: &Module, gref: GraphRef, max_depth: usize) -> WorkSpan {
+    let mut memo: HashMap<(GraphRef, usize), WorkSpan> = HashMap::new();
+    ws_graph(m, gref, max_depth, &mut memo)
+}
+
+fn ws_graph(
+    m: &Module,
+    gref: GraphRef,
+    depth: usize,
+    memo: &mut HashMap<(GraphRef, usize), WorkSpan>,
+) -> WorkSpan {
+    if let Some(&v) = memo.get(&(gref, depth)) {
+        return v;
+    }
+    // Pre-insert a conservative placeholder to cut infinite recursion on
+    // depth-0 self reference (shouldn't occur: depth decreases per call).
+    let g = m.graph(gref);
+    let order = match g.topo_order("ws") {
+        Ok(o) => o,
+        Err(_) => {
+            return WorkSpan { work: f64::INFINITY, span: f64::INFINITY };
+        }
+    };
+    let mut work = 0.0f64;
+    let mut dist: HashMap<NodeId, f64> = HashMap::new();
+    let mut max_span = 0.0f64;
+    for nid in order {
+        let node = g.node(nid);
+        let (w, s) = match &node.op {
+            OpKind::Invoke { sub, .. } => {
+                if depth == 0 {
+                    (1.0, 1.0)
+                } else {
+                    let inner = ws_graph(m, GraphRef::Sub(*sub), depth - 1, memo);
+                    (1.0 + inner.work, 1.0 + inner.span)
+                }
+            }
+            OpKind::Cond { sub_then, sub_else, .. } => {
+                if depth == 0 {
+                    (1.0, 1.0)
+                } else {
+                    let t = ws_graph(m, GraphRef::Sub(*sub_then), depth - 1, memo);
+                    let e = ws_graph(m, GraphRef::Sub(*sub_else), depth - 1, memo);
+                    // Upper bound: the heavier branch.
+                    (1.0 + t.work.max(e.work), 1.0 + t.span.max(e.span))
+                }
+            }
+            _ => (1.0, 1.0),
+        };
+        work += w;
+        let in_span = node
+            .inputs
+            .iter()
+            .map(|p| dist.get(&p.node).copied().unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+        let d = in_span + s;
+        max_span = max_span.max(d);
+        dist.insert(nid, d);
+    }
+    let v = WorkSpan { work, span: max_span };
+    memo.insert((gref, depth), v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use rdg_tensor::DType;
+
+    fn chain(n: usize) -> Module {
+        let mut mb = ModuleBuilder::new();
+        let mut x = mb.const_f32(0.0);
+        for _ in 0..n {
+            x = mb.add_const(x, 1.0).unwrap();
+        }
+        mb.set_outputs(&[x]).unwrap();
+        mb.finish().unwrap()
+    }
+
+    #[test]
+    fn chain_span_equals_work() {
+        let m = chain(10);
+        let ws = work_span(&m, GraphRef::Main, 4);
+        assert_eq!(ws.work, 11.0);
+        assert_eq!(ws.span, 11.0);
+        assert!((ws.parallelism() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diamond_has_parallelism() {
+        let mut mb = ModuleBuilder::new();
+        let a = mb.const_f32(1.0);
+        let l = mb.tanh(a).unwrap();
+        let r = mb.sigmoid(a).unwrap();
+        let j = mb.add(l, r).unwrap();
+        mb.set_outputs(&[j]).unwrap();
+        let m = mb.finish().unwrap();
+        let ws = work_span(&m, GraphRef::Main, 0);
+        assert_eq!(ws.work, 4.0);
+        assert_eq!(ws.span, 3.0, "a → (l | r) → j");
+        assert!(ws.parallelism() > 1.3);
+    }
+
+    /// A binary recursion unfolds with work 2^d but span ~d — the statics
+    /// behind the paper's Figure 11.
+    #[test]
+    fn binary_recursion_work_grows_faster_than_span() {
+        let mut mb = ModuleBuilder::new();
+        let h = mb.declare_subgraph("t", &[DType::I32], &[DType::I32]);
+        mb.define_subgraph(&h, |b| {
+            let n = b.input(0)?;
+            let zero = b.const_i32(0);
+            let p = b.igt(n, zero)?;
+            let out = b.cond1(
+                p,
+                DType::I32,
+                |b| {
+                    let one = b.const_i32(1);
+                    let m2 = b.isub(n, one)?;
+                    let l = b.invoke(&h, &[m2])?[0];
+                    let r = b.invoke(&h, &[m2])?[0];
+                    b.iadd(l, r)
+                },
+                |b| b.identity(n),
+            )?;
+            Ok(vec![out])
+        })
+        .unwrap();
+        let s = mb.const_i32(6);
+        let out = mb.invoke(&h, &[s]).unwrap();
+        mb.set_outputs(&[out[0]]).unwrap();
+        let m = mb.finish().unwrap();
+
+        let shallow = work_span(&m, GraphRef::Main, 4);
+        let deep = work_span(&m, GraphRef::Main, 10);
+        // Work roughly doubles per extra unfold level; span adds a constant.
+        assert!(deep.work / shallow.work > 8.0, "work ratio {}", deep.work / shallow.work);
+        assert!(deep.span / shallow.span < 4.0, "span ratio {}", deep.span / shallow.span);
+        assert!(deep.parallelism() > shallow.parallelism());
+    }
+
+    #[test]
+    fn histogram_counts_ops() {
+        let m = chain(3);
+        let h = op_histogram(&m.main);
+        assert_eq!(h["AddConst"], 3);
+        assert_eq!(h["Const"], 1);
+    }
+}

@@ -1,0 +1,1282 @@
+//! The module-construction DSL: scopes, captures, forward declarations.
+//!
+//! The builder mirrors the paper's client API (Figure 2):
+//!
+//! ```text
+//! with SubGraph() as TreeLSTM:          |  let h = mb.declare_subgraph(..);
+//!     idx = TreeLSTM.input(int32)       |  mb.define_subgraph(&h, |b| {
+//!     ...                               |      let idx = b.input(0)?; ...
+//!     left = TreeLSTM(left_idx)         |      let l = b.invoke(&h, &[li])?;
+//!     TreeLSTM.output(if(..., a, b))    |      let o = b.cond(p, .., .., ..)?;
+//!                                       |      Ok(vec![o[0]]) });
+//! root = TreeLSTM(root_idx)             |  let r = mb.invoke(&h, &[ri])?;
+//! ```
+//!
+//! Two paper-critical mechanisms live here:
+//!
+//! * **Forward declaration** (§5): [`ModuleBuilder::declare_subgraph`] mints
+//!   the signature before the body exists, so the body may invoke itself
+//!   (direct recursion) or a not-yet-defined sibling (mutual recursion).
+//! * **Outer-reference capture** (§5): using a [`Wire`] from an enclosing
+//!   scope inside a SubGraph body silently appends a capture input to the
+//!   SubGraph — transitively through nested scopes — and a final fixup pass
+//!   rewires every invoke site with the captured arguments (to fixpoint,
+//!   because capturing can itself introduce new captures in mutual
+//!   recursion).
+
+use crate::graph::{Graph, GraphError, NodeId, PortRef};
+use crate::module::{Module, ParamSpec};
+use crate::op::{CallSiteId, OpKind, ParamId};
+use crate::subgraph::{SubGraph, SubGraphId};
+use crate::Result;
+use rdg_tensor::{DType, Tensor};
+use std::collections::HashMap;
+
+/// An opaque handle to one output value during graph construction.
+///
+/// Wires are tagged with the graph they belong to; using a wire inside a
+/// nested scope triggers automatic capture.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Wire {
+    graph_uid: u32,
+    node: NodeId,
+    port: u16,
+    dtype: DType,
+}
+
+impl Wire {
+    /// Element type carried by this wire.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+}
+
+/// Handle returned by [`ModuleBuilder::declare_subgraph`].
+#[derive(Clone, Debug)]
+pub struct SubGraphHandle {
+    slot: usize,
+    in_dtypes: Vec<DType>,
+    out_dtypes: Vec<DType>,
+}
+
+impl SubGraphHandle {
+    /// The id the defined SubGraph will have in the finished module.
+    pub fn id(&self) -> SubGraphId {
+        SubGraphId(self.slot as u32)
+    }
+}
+
+/// One graph under (or after) construction.
+struct GraphCtx {
+    #[allow(dead_code)] // Diagnostic identity; parent_uid drives resolution.
+    uid: u32,
+    parent_uid: Option<u32>,
+    graph: Graph,
+    /// Capture sources, in capture-input order; each wire lives in an
+    /// ancestor scope (usually the immediate lexical parent).
+    captures: Vec<Wire>,
+    capture_map: HashMap<Wire, NodeId>,
+    /// `None` for the main graph, `Some(slot)` for a SubGraph body.
+    sg_slot: Option<usize>,
+}
+
+/// Declaration/definition state of one SubGraph slot.
+struct SgSlot {
+    name: String,
+    in_dtypes: Vec<DType>,
+    out_dtypes: Vec<DType>,
+    /// Uid of the GraphCtx holding the body, once defined.
+    body_uid: Option<u32>,
+}
+
+/// Record of an `Invoke` node, kept for the capture-fixup pass.
+struct InvokeRecord {
+    graph_uid: u32,
+    node: NodeId,
+    target_slot: usize,
+    explicit_ports: Vec<PortRef>,
+}
+
+/// Record of a `Cond` node, kept for the capture-fixup pass.
+struct CondRecord {
+    graph_uid: u32,
+    node: NodeId,
+    pred_port: PortRef,
+    then_slot: usize,
+    else_slot: usize,
+}
+
+/// Builds a [`Module`]: main graph, SubGraph library, parameters.
+pub struct ModuleBuilder {
+    ctxs: HashMap<u32, GraphCtx>,
+    stack: Vec<u32>,
+    next_uid: u32,
+    slots: Vec<SgSlot>,
+    params: Vec<ParamSpec>,
+    next_site: u32,
+    invokes: Vec<InvokeRecord>,
+    conds: Vec<CondRecord>,
+}
+
+impl Default for ModuleBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModuleBuilder {
+    /// Creates a builder with an empty main graph.
+    pub fn new() -> Self {
+        let main = GraphCtx {
+            uid: 0,
+            parent_uid: None,
+            graph: Graph::new(),
+            captures: Vec::new(),
+            capture_map: HashMap::new(),
+            sg_slot: None,
+        };
+        let mut ctxs = HashMap::new();
+        ctxs.insert(0, main);
+        ModuleBuilder {
+            ctxs,
+            stack: vec![0],
+            next_uid: 1,
+            slots: Vec::new(),
+            params: Vec::new(),
+            next_site: 0,
+            invokes: Vec::new(),
+            conds: Vec::new(),
+        }
+    }
+
+    fn top_uid(&self) -> u32 {
+        *self.stack.last().expect("builder stack never empty")
+    }
+
+    fn fresh_site(&mut self) -> CallSiteId {
+        let s = CallSiteId(self.next_site);
+        self.next_site += 1;
+        s
+    }
+
+    /// Resolves `w` to a port in graph `uid`, creating capture inputs along
+    /// the lexical parent chain as needed.
+    fn resolve_in(&mut self, uid: u32, w: Wire) -> Result<PortRef> {
+        if w.graph_uid == uid {
+            return Ok(PortRef { node: w.node, port: w.port });
+        }
+        // Find the chain from `uid` up to the wire's graph.
+        let mut chain = Vec::new();
+        let mut cur = uid;
+        loop {
+            chain.push(cur);
+            let ctx = self.ctxs.get(&cur).ok_or_else(|| GraphError::OutOfScope {
+                wire: format!("{w:?}"),
+            })?;
+            match ctx.parent_uid {
+                Some(p) if p == w.graph_uid => break,
+                Some(p) => cur = p,
+                None => {
+                    return Err(GraphError::OutOfScope { wire: format!("{w:?} (graph {uid})") })
+                }
+            }
+        }
+        // Capture from outermost to innermost: chain is [uid, ..., child-of-w].
+        let mut src = w;
+        for &level in chain.iter().rev() {
+            src = self.capture_into(level, src);
+        }
+        Ok(PortRef { node: src.node, port: src.port })
+    }
+
+    /// Ensures `src` (a wire in `level`'s lexical parent) is available inside
+    /// graph `level` as a capture input; returns the wire of that input.
+    fn capture_into(&mut self, level: u32, src: Wire) -> Wire {
+        let ctx = self.ctxs.get_mut(&level).expect("level exists");
+        if let Some(&nid) = ctx.capture_map.get(&src) {
+            return Wire { graph_uid: level, node: nid, port: 0, dtype: src.dtype };
+        }
+        let index = ctx.graph.input_nodes.len();
+        let nid = ctx
+            .graph
+            .push_node(OpKind::Input { index, dtype: src.dtype }, vec![], vec![src.dtype]);
+        ctx.captures.push(src);
+        ctx.capture_map.insert(src, nid);
+        Wire { graph_uid: level, node: nid, port: 0, dtype: src.dtype }
+    }
+
+    /// Adds a node to the current graph, resolving wires (captures included).
+    fn push(&mut self, op: OpKind, inputs: &[Wire], dtypes: Vec<DType>) -> Result<Vec<Wire>> {
+        let uid = self.top_uid();
+        let mut ports = Vec::with_capacity(inputs.len());
+        for &w in inputs {
+            ports.push(self.resolve_in(uid, w)?);
+        }
+        let ctx = self.ctxs.get_mut(&uid).expect("top ctx exists");
+        let nid = ctx.graph.push_node(op, ports, dtypes.clone());
+        Ok(dtypes
+            .into_iter()
+            .enumerate()
+            .map(|(i, dt)| Wire { graph_uid: uid, node: nid, port: i as u16, dtype: dt })
+            .collect())
+    }
+
+    fn push1(&mut self, op: OpKind, inputs: &[Wire], dt: DType) -> Result<Wire> {
+        Ok(self.push(op, inputs, vec![dt])?[0])
+    }
+
+    fn want(&self, w: Wire, dt: DType, ctx: &'static str) -> Result<()> {
+        if w.dtype != dt {
+            return Err(GraphError::invalid(format!(
+                "{ctx}: expected {dt} wire, got {}",
+                w.dtype
+            )));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+    // ------------------------------------------------------------------
+
+    /// Registers a trainable parameter and returns its id.
+    pub fn param(&mut self, name: impl Into<String>, init: Tensor) -> ParamId {
+        let id = ParamId(self.params.len() as u32);
+        self.params.push(ParamSpec { name: name.into(), init });
+        id
+    }
+
+    /// Reads a parameter in the *current* scope.
+    pub fn param_read(&mut self, p: ParamId) -> Result<Wire> {
+        if p.0 as usize >= self.params.len() {
+            return Err(GraphError::invalid(format!("unknown parameter id {}", p.0)));
+        }
+        self.push1(OpKind::Param(p), &[], DType::F32)
+    }
+
+    /// Registers a parameter and immediately reads it in the current scope.
+    pub fn param_wire(&mut self, name: impl Into<String>, init: Tensor) -> Result<Wire> {
+        let p = self.param(name, init);
+        self.param_read(p)
+    }
+
+    /// Forward-declares a SubGraph: fixes its explicit signature so bodies
+    /// (including its own) can invoke it before it is defined.
+    pub fn declare_subgraph(
+        &mut self,
+        name: impl Into<String>,
+        in_dtypes: &[DType],
+        out_dtypes: &[DType],
+    ) -> SubGraphHandle {
+        let slot = self.slots.len();
+        self.slots.push(SgSlot {
+            name: name.into(),
+            in_dtypes: in_dtypes.to_vec(),
+            out_dtypes: out_dtypes.to_vec(),
+            body_uid: None,
+        });
+        SubGraphHandle { slot, in_dtypes: in_dtypes.to_vec(), out_dtypes: out_dtypes.to_vec() }
+    }
+
+    /// Defines the body of a declared SubGraph.
+    ///
+    /// The closure builds nodes in a fresh scope; wires from enclosing
+    /// scopes are captured automatically. It returns the output wires, which
+    /// must match the declared output dtypes.
+    pub fn define_subgraph(
+        &mut self,
+        h: &SubGraphHandle,
+        f: impl FnOnce(&mut ModuleBuilder) -> Result<Vec<Wire>>,
+    ) -> Result<()> {
+        if self.slots[h.slot].body_uid.is_some() {
+            return Err(GraphError::invalid(format!(
+                "SubGraph '{}' defined twice",
+                self.slots[h.slot].name
+            )));
+        }
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        let parent = self.top_uid();
+        let mut graph = Graph::new();
+        for (i, &dt) in h.in_dtypes.iter().enumerate() {
+            graph.push_node(OpKind::Input { index: i, dtype: dt }, vec![], vec![dt]);
+        }
+        self.ctxs.insert(
+            uid,
+            GraphCtx {
+                uid,
+                parent_uid: Some(parent),
+                graph,
+                captures: Vec::new(),
+                capture_map: HashMap::new(),
+                sg_slot: Some(h.slot),
+            },
+        );
+        self.stack.push(uid);
+        let result = f(self);
+        // Always pop, even on error, to keep the builder usable.
+        let outs = match result {
+            Ok(outs) => outs,
+            Err(e) => {
+                self.stack.pop();
+                return Err(e);
+            }
+        };
+        if outs.len() != h.out_dtypes.len() {
+            self.stack.pop();
+            return Err(GraphError::SignatureMismatch {
+                msg: format!(
+                    "SubGraph '{}' declared {} outputs, body returned {}",
+                    self.slots[h.slot].name,
+                    h.out_dtypes.len(),
+                    outs.len()
+                ),
+            });
+        }
+        for (i, (&w, &dt)) in outs.iter().zip(h.out_dtypes.iter()).enumerate() {
+            if w.dtype != dt {
+                self.stack.pop();
+                return Err(GraphError::SignatureMismatch {
+                    msg: format!(
+                        "SubGraph '{}' output {i} declared {dt}, body produced {}",
+                        self.slots[h.slot].name, w.dtype
+                    ),
+                });
+            }
+        }
+        let mut out_ports = Vec::with_capacity(outs.len());
+        for &w in &outs {
+            out_ports.push(self.resolve_in(uid, w)?);
+        }
+        self.stack.pop();
+        let ctx = self.ctxs.get_mut(&uid).expect("ctx exists");
+        ctx.graph.outputs = out_ports;
+        self.slots[h.slot].body_uid = Some(uid);
+        Ok(())
+    }
+
+    /// Declares and defines a non-recursive SubGraph in one step.
+    pub fn subgraph(
+        &mut self,
+        name: impl Into<String>,
+        in_dtypes: &[DType],
+        out_dtypes: &[DType],
+        f: impl FnOnce(&mut ModuleBuilder) -> Result<Vec<Wire>>,
+    ) -> Result<SubGraphHandle> {
+        let h = self.declare_subgraph(name, in_dtypes, out_dtypes);
+        self.define_subgraph(&h, f)?;
+        Ok(h)
+    }
+
+    // ------------------------------------------------------------------
+    // Structural ops
+    // ------------------------------------------------------------------
+
+    /// The `index`-th declared input of the SubGraph being defined.
+    pub fn input(&mut self, index: usize) -> Result<Wire> {
+        let uid = self.top_uid();
+        let ctx = &self.ctxs[&uid];
+        let slot = ctx.sg_slot.ok_or_else(|| {
+            GraphError::invalid("input() is only valid inside define_subgraph")
+        })?;
+        let n = self.slots[slot].in_dtypes.len();
+        if index >= n {
+            return Err(GraphError::invalid(format!(
+                "input index {index} out of range ({n} declared)"
+            )));
+        }
+        let nid = ctx.graph.input_nodes[index];
+        let dt = ctx.graph.out_dtypes[nid.0 as usize][0];
+        Ok(Wire { graph_uid: uid, node: nid, port: 0, dtype: dt })
+    }
+
+    /// Declares a main-graph input (placeholder) fed positionally at run
+    /// time. Returns a main-scope wire; using it inside a SubGraph body
+    /// captures it like any other outer reference.
+    pub fn main_input(&mut self, dtype: DType) -> Wire {
+        let ctx = self.ctxs.get_mut(&0).expect("main ctx exists");
+        let index = ctx.graph.input_nodes.len();
+        let nid = ctx
+            .graph
+            .push_node(OpKind::Input { index, dtype }, vec![], vec![dtype]);
+        Wire { graph_uid: 0, node: nid, port: 0, dtype }
+    }
+
+    /// Embeds a constant tensor in the current scope.
+    pub fn constant(&mut self, t: Tensor) -> Wire {
+        let dt = t.dtype();
+        self.push1(OpKind::Const(t), &[], dt).expect("const push cannot fail")
+    }
+
+    /// Scalar `i32` constant convenience.
+    pub fn const_i32(&mut self, v: i32) -> Wire {
+        self.constant(Tensor::scalar_i32(v))
+    }
+
+    /// Scalar `f32` constant convenience.
+    pub fn const_f32(&mut self, v: f32) -> Wire {
+        self.constant(Tensor::scalar_f32(v))
+    }
+
+    /// Invokes a SubGraph — the paper's `InvokeOp`.
+    ///
+    /// `args` are the explicit arguments; capture arguments are wired
+    /// automatically by the fixup pass in [`ModuleBuilder::finish`].
+    pub fn invoke(&mut self, h: &SubGraphHandle, args: &[Wire]) -> Result<Vec<Wire>> {
+        if args.len() != h.in_dtypes.len() {
+            return Err(GraphError::SignatureMismatch {
+                msg: format!(
+                    "invoke of '{}': {} args passed, {} declared",
+                    self.slots[h.slot].name,
+                    args.len(),
+                    h.in_dtypes.len()
+                ),
+            });
+        }
+        for (i, (&w, &dt)) in args.iter().zip(h.in_dtypes.iter()).enumerate() {
+            if w.dtype != dt {
+                return Err(GraphError::SignatureMismatch {
+                    msg: format!(
+                        "invoke of '{}': arg {i} is {}, declared {dt}",
+                        self.slots[h.slot].name, w.dtype
+                    ),
+                });
+            }
+        }
+        let uid = self.top_uid();
+        let mut ports = Vec::with_capacity(args.len());
+        for &w in args {
+            ports.push(self.resolve_in(uid, w)?);
+        }
+        let site = self.fresh_site();
+        let op = OpKind::Invoke {
+            sub: SubGraphId(h.slot as u32),
+            site,
+            n_out: h.out_dtypes.len() as u16,
+            mirror: false,
+        };
+        let ctx = self.ctxs.get_mut(&uid).expect("top ctx");
+        let nid = ctx.graph.push_node(op, ports.clone(), h.out_dtypes.clone());
+        self.invokes.push(InvokeRecord {
+            graph_uid: uid,
+            node: nid,
+            target_slot: h.slot,
+            explicit_ports: ports,
+        });
+        Ok(h
+            .out_dtypes
+            .iter()
+            .enumerate()
+            .map(|(i, &dt)| Wire { graph_uid: uid, node: nid, port: i as u16, dtype: dt })
+            .collect())
+    }
+
+    /// Functional conditional: executes exactly one branch SubGraph.
+    ///
+    /// `pred` is an `i32` scalar (non-zero ⇒ then-branch). Both closures
+    /// build anonymous branch SubGraphs whose inputs are entirely captures;
+    /// they must produce `out_dtypes`.
+    pub fn cond(
+        &mut self,
+        pred: Wire,
+        out_dtypes: &[DType],
+        then_f: impl FnOnce(&mut ModuleBuilder) -> Result<Vec<Wire>>,
+        else_f: impl FnOnce(&mut ModuleBuilder) -> Result<Vec<Wire>>,
+    ) -> Result<Vec<Wire>> {
+        self.want(pred, DType::I32, "cond predicate")?;
+        let then_h = self.declare_subgraph("cond_then", &[], out_dtypes);
+        self.define_subgraph(&then_h, then_f)?;
+        let else_h = self.declare_subgraph("cond_else", &[], out_dtypes);
+        self.define_subgraph(&else_h, else_f)?;
+
+        let uid = self.top_uid();
+        let pred_port = self.resolve_in(uid, pred)?;
+        let site_then = self.fresh_site();
+        let site_else = self.fresh_site();
+        let op = OpKind::Cond {
+            sub_then: SubGraphId(then_h.slot as u32),
+            sub_else: SubGraphId(else_h.slot as u32),
+            site_then,
+            site_else,
+            n_then_in: 0, // finalized by fixup
+            n_out: out_dtypes.len() as u16,
+            mirror: false,
+        };
+        let ctx = self.ctxs.get_mut(&uid).expect("top ctx");
+        let nid = ctx.graph.push_node(op, vec![pred_port], out_dtypes.to_vec());
+        self.conds.push(CondRecord {
+            graph_uid: uid,
+            node: nid,
+            pred_port,
+            then_slot: then_h.slot,
+            else_slot: else_h.slot,
+        });
+        Ok(out_dtypes
+            .iter()
+            .enumerate()
+            .map(|(i, &dt)| Wire { graph_uid: uid, node: nid, port: i as u16, dtype: dt })
+            .collect())
+    }
+
+    /// Single-output convenience wrapper over [`ModuleBuilder::cond`].
+    pub fn cond1(
+        &mut self,
+        pred: Wire,
+        out_dtype: DType,
+        then_f: impl FnOnce(&mut ModuleBuilder) -> Result<Wire>,
+        else_f: impl FnOnce(&mut ModuleBuilder) -> Result<Wire>,
+    ) -> Result<Wire> {
+        Ok(self.cond(
+            pred,
+            &[out_dtype],
+            |b| Ok(vec![then_f(b)?]),
+            |b| Ok(vec![else_f(b)?]),
+        )?[0])
+    }
+
+    /// Iterative loop construct, expressed as tail recursion.
+    ///
+    /// `while_loop(init, cond, body)` builds a SubGraph
+    /// `W(s) = if cond(s) { W(body(s)) } else { s }` and invokes it with
+    /// `init` — taking the paper's observation literally: iteration is the
+    /// special case, recursion the general mechanism. The loop-carried state
+    /// is a tuple of tensors whose dtypes are fixed by `init`.
+    pub fn while_loop(
+        &mut self,
+        name: &str,
+        init: &[Wire],
+        cond_f: impl FnOnce(&mut ModuleBuilder, &[Wire]) -> Result<Wire>,
+        body_f: impl FnOnce(&mut ModuleBuilder, &[Wire]) -> Result<Vec<Wire>>,
+    ) -> Result<Vec<Wire>> {
+        let dtypes: Vec<DType> = init.iter().map(|w| w.dtype).collect();
+        let w_h = self.declare_subgraph(name, &dtypes, &dtypes);
+        let w_h2 = w_h.clone();
+        let dt2 = dtypes.clone();
+        self.define_subgraph(&w_h, move |b| {
+            let state: Vec<Wire> = (0..dt2.len()).map(|i| b.input(i)).collect::<Result<_>>()?;
+            let p = cond_f(b, &state)?;
+            b.want(p, DType::I32, "while_loop condition")?;
+            let state_then = state.clone();
+            let state_else = state.clone();
+            b.cond(
+                p,
+                &dt2,
+                move |b| {
+                    let next = body_f(b, &state_then)?;
+                    if next.len() != state_then.len() {
+                        return Err(GraphError::SignatureMismatch {
+                            msg: format!(
+                                "while_loop body returned {} states, expected {}",
+                                next.len(),
+                                state_then.len()
+                            ),
+                        });
+                    }
+                    b.invoke(&w_h2, &next)
+                },
+                move |b| {
+                    // Terminal case: pass the state through unchanged. The
+                    // identity nodes give the branch its own output ports.
+                    state_else
+                        .iter()
+                        .map(|&s| b.push1(OpKind::Identity, &[s], s.dtype()))
+                        .collect()
+                },
+            )
+        })?;
+        self.invoke(&w_h, init)
+    }
+
+    /// Sets the outputs of the main graph.
+    pub fn set_outputs(&mut self, outs: &[Wire]) -> Result<()> {
+        let mut ports = Vec::with_capacity(outs.len());
+        for &w in outs {
+            ports.push(self.resolve_in(0, w)?);
+        }
+        self.ctxs.get_mut(&0).expect("main ctx").graph.outputs = ports;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Math / tensor ops (dtype-checked conveniences)
+    // ------------------------------------------------------------------
+
+    fn bin_f32(&mut self, op: OpKind, a: Wire, b: Wire) -> Result<Wire> {
+        self.want(a, DType::F32, "f32 binary op lhs")?;
+        self.want(b, DType::F32, "f32 binary op rhs")?;
+        self.push1(op, &[a, b], DType::F32)
+    }
+
+    fn un_f32(&mut self, op: OpKind, a: Wire) -> Result<Wire> {
+        self.want(a, DType::F32, "f32 unary op")?;
+        self.push1(op, &[a], DType::F32)
+    }
+
+    fn bin_i32(&mut self, op: OpKind, a: Wire, b: Wire) -> Result<Wire> {
+        self.want(a, DType::I32, "i32 binary op lhs")?;
+        self.want(b, DType::I32, "i32 binary op rhs")?;
+        self.push1(op, &[a, b], DType::I32)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_f32(OpKind::Add, a, b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_f32(OpKind::Sub, a, b)
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_f32(OpKind::Mul, a, b)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_f32(OpKind::Div, a, b)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Wire) -> Result<Wire> {
+        self.un_f32(OpKind::Neg, a)
+    }
+
+    /// Multiplication by a static constant.
+    pub fn scale(&mut self, a: Wire, s: f32) -> Result<Wire> {
+        self.un_f32(OpKind::Scale(s), a)
+    }
+
+    /// Addition of a static constant.
+    pub fn add_const(&mut self, a: Wire, c: f32) -> Result<Wire> {
+        self.un_f32(OpKind::AddConst(c), a)
+    }
+
+    /// Multiplication by a runtime scalar.
+    pub fn scalar_mul(&mut self, a: Wire, s: Wire) -> Result<Wire> {
+        self.bin_f32(OpKind::ScalarMul, a, s)
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_f32(OpKind::MatMul, a, b)
+    }
+
+    /// Row-broadcast bias addition.
+    pub fn add_bias(&mut self, a: Wire, bias: Wire) -> Result<Wire> {
+        self.bin_f32(OpKind::AddBias, a, bias)
+    }
+
+    /// Bilinear tensor product (RNTN).
+    pub fn bilinear(&mut self, x: Wire, v: Wire) -> Result<Wire> {
+        self.bin_f32(OpKind::Bilinear, x, v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Wire) -> Result<Wire> {
+        self.un_f32(OpKind::Tanh, a)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Wire) -> Result<Wire> {
+        self.un_f32(OpKind::Sigmoid, a)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Wire) -> Result<Wire> {
+        self.un_f32(OpKind::Relu, a)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(&mut self, a: Wire) -> Result<Wire> {
+        self.un_f32(OpKind::Softmax, a)
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax(&mut self, a: Wire) -> Result<Wire> {
+        self.un_f32(OpKind::LogSoftmax, a)
+    }
+
+    /// Column concatenation.
+    pub fn concat_cols(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_f32(OpKind::ConcatCols, a, b)
+    }
+
+    /// Column slice `[lo, hi)`.
+    pub fn slice_cols(&mut self, a: Wire, lo: usize, hi: usize) -> Result<Wire> {
+        self.un_f32(OpKind::SliceCols { lo, hi }, a)
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Wire) -> Result<Wire> {
+        self.un_f32(OpKind::Transpose, a)
+    }
+
+    /// Stacks row vectors into a matrix.
+    pub fn stack_rows(&mut self, rows: &[Wire]) -> Result<Wire> {
+        for &r in rows {
+            self.want(r, DType::F32, "stack_rows")?;
+        }
+        self.push1(OpKind::StackRows, rows, DType::F32)
+    }
+
+    /// Sum of all elements.
+    pub fn sum_all(&mut self, a: Wire) -> Result<Wire> {
+        self.un_f32(OpKind::SumAll, a)
+    }
+
+    /// Mean of all elements.
+    pub fn mean_all(&mut self, a: Wire) -> Result<Wire> {
+        self.un_f32(OpKind::MeanAll, a)
+    }
+
+    /// Column sums.
+    pub fn sum_axis0(&mut self, a: Wire) -> Result<Wire> {
+        self.un_f32(OpKind::SumAxis0, a)
+    }
+
+    /// Row gather from a table by `i32` ids.
+    pub fn gather_rows(&mut self, table: Wire, ids: Wire) -> Result<Wire> {
+        self.want(table, DType::F32, "gather_rows table")?;
+        self.want(ids, DType::I32, "gather_rows ids")?;
+        self.push1(OpKind::GatherRows, &[table, ids], DType::F32)
+    }
+
+    /// Single-row extraction by scalar index.
+    pub fn get_row(&mut self, mat: Wire, i: Wire) -> Result<Wire> {
+        self.want(mat, DType::F32, "get_row matrix")?;
+        self.want(i, DType::I32, "get_row index")?;
+        self.push1(OpKind::GetRow, &[mat, i], DType::F32)
+    }
+
+    /// Functional row replacement.
+    pub fn set_row(&mut self, mat: Wire, i: Wire, row: Wire) -> Result<Wire> {
+        self.want(mat, DType::F32, "set_row matrix")?;
+        self.want(i, DType::I32, "set_row index")?;
+        self.want(row, DType::F32, "set_row row")?;
+        self.push1(OpKind::SetRow, &[mat, i, row], DType::F32)
+    }
+
+    /// One-hot encoding.
+    pub fn onehot(&mut self, ids: Wire, classes: usize) -> Result<Wire> {
+        self.want(ids, DType::I32, "onehot ids")?;
+        self.push1(OpKind::OneHot { classes }, &[ids], DType::F32)
+    }
+
+    /// Row-wise argmax.
+    pub fn argmax_rows(&mut self, a: Wire) -> Result<Wire> {
+        self.want(a, DType::F32, "argmax_rows")?;
+        self.push1(OpKind::ArgmaxRows, &[a], DType::I32)
+    }
+
+    /// Fused softmax cross-entropy.
+    pub fn softmax_xent(&mut self, logits: Wire, labels: Wire) -> Result<Wire> {
+        self.want(logits, DType::F32, "softmax_xent logits")?;
+        self.want(labels, DType::I32, "softmax_xent labels")?;
+        self.push1(OpKind::SoftmaxXent, &[logits, labels], DType::F32)
+    }
+
+    /// Scalar integer addition.
+    pub fn iadd(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_i32(OpKind::IAdd, a, b)
+    }
+
+    /// Scalar integer subtraction.
+    pub fn isub(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_i32(OpKind::ISub, a, b)
+    }
+
+    /// Scalar integer multiplication.
+    pub fn imul(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_i32(OpKind::IMul, a, b)
+    }
+
+    /// Scalar integer division.
+    pub fn idiv(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_i32(OpKind::IDiv, a, b)
+    }
+
+    /// Scalar `<`.
+    pub fn ilt(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_i32(OpKind::ILt, a, b)
+    }
+
+    /// Scalar `<=`.
+    pub fn ile(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_i32(OpKind::ILe, a, b)
+    }
+
+    /// Scalar `>`.
+    pub fn igt(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_i32(OpKind::IGt, a, b)
+    }
+
+    /// Scalar `>=`.
+    pub fn ige(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_i32(OpKind::IGe, a, b)
+    }
+
+    /// Scalar `==`.
+    pub fn ieq(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_i32(OpKind::IEq, a, b)
+    }
+
+    /// Logical AND.
+    pub fn and(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_i32(OpKind::And, a, b)
+    }
+
+    /// Logical OR.
+    pub fn or(&mut self, a: Wire, b: Wire) -> Result<Wire> {
+        self.bin_i32(OpKind::Or, a, b)
+    }
+
+    /// Logical NOT.
+    pub fn not(&mut self, a: Wire) -> Result<Wire> {
+        self.want(a, DType::I32, "not")?;
+        self.push1(OpKind::Not, &[a], DType::I32)
+    }
+
+    /// Element gather from a rank-1 `i32` tensor.
+    pub fn gather_scalar_i32(&mut self, vec: Wire, i: Wire) -> Result<Wire> {
+        self.want(vec, DType::I32, "gather_scalar_i32 vec")?;
+        self.want(i, DType::I32, "gather_scalar_i32 index")?;
+        self.push1(OpKind::GatherScalarI32, &[vec, i], DType::I32)
+    }
+
+    /// Element count of any tensor as an `i32` scalar.
+    pub fn len_of(&mut self, t: Wire) -> Result<Wire> {
+        self.push1(OpKind::Len, &[t], DType::I32)
+    }
+
+    /// `f32` scalar threshold predicate `x > c` (runtime-value control flow).
+    pub fn fgt_const(&mut self, x: Wire, c: f32) -> Result<Wire> {
+        self.want(x, DType::F32, "fgt_const")?;
+        self.push1(OpKind::FGtConst(c), &[x], DType::I32)
+    }
+
+    /// Zeros of runtime row count: `[n, cols]`.
+    pub fn zeros_dyn(&mut self, n: Wire, cols: usize) -> Result<Wire> {
+        self.want(n, DType::I32, "zeros_dyn")?;
+        self.push1(OpKind::ZerosDyn { cols }, &[n], DType::F32)
+    }
+
+    /// Identity pass-through.
+    pub fn identity(&mut self, a: Wire) -> Result<Wire> {
+        self.push1(OpKind::Identity, &[a], a.dtype)
+    }
+
+    /// Zeros with the shape of `a`.
+    pub fn zeros_like(&mut self, a: Wire) -> Result<Wire> {
+        self.want(a, DType::F32, "zeros_like")?;
+        self.push1(OpKind::ZerosLike, &[a], DType::F32)
+    }
+
+    /// Ones with the shape of `a`.
+    pub fn ones_like(&mut self, a: Wire) -> Result<Wire> {
+        self.want(a, DType::F32, "ones_like")?;
+        self.push1(OpKind::OnesLike, &[a], DType::F32)
+    }
+
+    // ------------------------------------------------------------------
+    // Finish: capture fixup + assembly
+    // ------------------------------------------------------------------
+
+    /// Finalizes the module: checks that every declared SubGraph was
+    /// defined, runs the capture-fixup fixpoint (wiring capture arguments at
+    /// every invoke and cond site), assembles, and validates.
+    pub fn finish(mut self) -> Result<Module> {
+        if self.stack.len() != 1 {
+            return Err(GraphError::invalid("finish() called inside define_subgraph"));
+        }
+        for slot in &self.slots {
+            if slot.body_uid.is_none() {
+                return Err(GraphError::Undefined { name: slot.name.clone() });
+            }
+        }
+
+        // --- capture fixpoint -------------------------------------------------
+        // Wiring a SubGraph's captures at an invoke site inside another
+        // SubGraph can force *that* SubGraph to capture more — iterate until
+        // no graph changes. Each pass rebuilds invoke/cond input lists from
+        // the target's current capture list.
+        let slot_uid: Vec<u32> =
+            self.slots.iter().map(|s| s.body_uid.expect("checked defined")).collect();
+        loop {
+            let mut changed = false;
+            for rec_i in 0..self.invokes.len() {
+                let (graph_uid, node, target_slot, explicit) = {
+                    let r = &self.invokes[rec_i];
+                    (r.graph_uid, r.node, r.target_slot, r.explicit_ports.clone())
+                };
+                let caps: Vec<Wire> = self.ctxs[&slot_uid[target_slot]].captures.clone();
+                let mut inputs = explicit;
+                for cap in caps {
+                    inputs.push(self.resolve_in(graph_uid, cap)?);
+                }
+                let g = &mut self.ctxs.get_mut(&graph_uid).expect("ctx").graph;
+                let n = &mut g.nodes[node.0 as usize];
+                if n.inputs != inputs {
+                    n.inputs = inputs;
+                    changed = true;
+                }
+            }
+            for rec_i in 0..self.conds.len() {
+                let (graph_uid, node, pred, then_slot, else_slot) = {
+                    let r = &self.conds[rec_i];
+                    (r.graph_uid, r.node, r.pred_port, r.then_slot, r.else_slot)
+                };
+                let then_caps: Vec<Wire> = self.ctxs[&slot_uid[then_slot]].captures.clone();
+                let else_caps: Vec<Wire> = self.ctxs[&slot_uid[else_slot]].captures.clone();
+                let n_then = then_caps.len() as u16;
+                let mut inputs = vec![pred];
+                for cap in then_caps.into_iter().chain(else_caps) {
+                    inputs.push(self.resolve_in(graph_uid, cap)?);
+                }
+                let g = &mut self.ctxs.get_mut(&graph_uid).expect("ctx").graph;
+                let n = &mut g.nodes[node.0 as usize];
+                let need_update = n.inputs != inputs
+                    || !matches!(n.op, OpKind::Cond { n_then_in, .. } if n_then_in == n_then);
+                if need_update {
+                    n.inputs = inputs;
+                    if let OpKind::Cond { n_then_in, .. } = &mut n.op {
+                        *n_then_in = n_then;
+                    }
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // --- assembly ----------------------------------------------------------
+        let mut module = Module {
+            subgraphs: Vec::with_capacity(self.slots.len()),
+            main: Graph::new(),
+            params: std::mem::take(&mut self.params),
+            n_sites: self.next_site,
+            keep_sets: HashMap::new(),
+            shape_keep_sets: HashMap::new(),
+        };
+        for (i, slot) in self.slots.iter().enumerate() {
+            let uid = slot_uid[i];
+            let ctx = self.ctxs.remove(&uid).expect("slot ctx");
+            let mut input_dtypes = slot.in_dtypes.clone();
+            input_dtypes.extend(ctx.captures.iter().map(|w| w.dtype));
+            module.subgraphs.push(SubGraph {
+                id: SubGraphId(i as u32),
+                name: slot.name.clone(),
+                graph: ctx.graph,
+                input_dtypes,
+                explicit_inputs: slot.in_dtypes.len(),
+                output_dtypes: slot.out_dtypes.clone(),
+                grad_of: None,
+                grad_input_map: Vec::new(),
+            });
+        }
+        module.main = self.ctxs.remove(&0).expect("main ctx").graph;
+        module.validate()?;
+        Ok(module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::GraphRef;
+
+    #[test]
+    fn straight_line_main_graph() {
+        let mut mb = ModuleBuilder::new();
+        let a = mb.const_f32(2.0);
+        let b = mb.const_f32(3.0);
+        let c = mb.add(a, b).unwrap();
+        mb.set_outputs(&[c]).unwrap();
+        let m = mb.finish().unwrap();
+        assert_eq!(m.main.len(), 3);
+        assert_eq!(m.main.outputs.len(), 1);
+    }
+
+    #[test]
+    fn dtype_mismatch_is_rejected_at_build_time() {
+        let mut mb = ModuleBuilder::new();
+        let a = mb.const_f32(2.0);
+        let i = mb.const_i32(1);
+        assert!(mb.add(a, i).is_err());
+        assert!(mb.iadd(a, i).is_err());
+        assert!(mb.cond1(a, DType::F32, |b| Ok(b.const_f32(0.0)), |b| Ok(b.const_f32(1.0))).is_err());
+    }
+
+    #[test]
+    fn simple_subgraph_and_invoke() {
+        let mut mb = ModuleBuilder::new();
+        let sq = mb
+            .subgraph("square", &[DType::F32], &[DType::F32], |b| {
+                let x = b.input(0)?;
+                Ok(vec![b.mul(x, x)?])
+            })
+            .unwrap();
+        let c = mb.const_f32(4.0);
+        let out = mb.invoke(&sq, &[c]).unwrap();
+        mb.set_outputs(&[out[0]]).unwrap();
+        let m = mb.finish().unwrap();
+        assert_eq!(m.subgraphs.len(), 1);
+        assert_eq!(m.subgraphs[0].n_captures(), 0);
+    }
+
+    #[test]
+    fn capture_from_main_into_subgraph() {
+        let mut mb = ModuleBuilder::new();
+        let outer = mb.const_f32(10.0);
+        let sg = mb
+            .subgraph("addouter", &[DType::F32], &[DType::F32], |b| {
+                let x = b.input(0)?;
+                // `outer` is a main-graph wire: must become a capture.
+                Ok(vec![b.add(x, outer)?])
+            })
+            .unwrap();
+        let c = mb.const_f32(1.0);
+        let out = mb.invoke(&sg, &[c]).unwrap();
+        mb.set_outputs(&[out[0]]).unwrap();
+        let m = mb.finish().unwrap();
+        let s = &m.subgraphs[0];
+        assert_eq!(s.explicit_inputs, 1);
+        assert_eq!(s.n_captures(), 1);
+        assert_eq!(s.n_inputs(), 2);
+        // The invoke node must have been rewired with the capture argument.
+        let inv = m
+            .main
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, OpKind::Invoke { .. }))
+            .expect("invoke exists");
+        assert_eq!(inv.inputs.len(), 2);
+    }
+
+    #[test]
+    fn capture_is_deduplicated() {
+        let mut mb = ModuleBuilder::new();
+        let outer = mb.const_f32(10.0);
+        let sg = mb
+            .subgraph("twice", &[], &[DType::F32], |b| {
+                let s = b.add(outer, outer)?;
+                Ok(vec![s])
+            })
+            .unwrap();
+        let out = mb.invoke(&sg, &[]).unwrap();
+        mb.set_outputs(&[out[0]]).unwrap();
+        let m = mb.finish().unwrap();
+        assert_eq!(m.subgraphs[0].n_captures(), 1, "same wire captured once");
+    }
+
+    #[test]
+    fn self_recursion_with_captures() {
+        // countdown(n) = if n > 0 { countdown(n - step) } else { n }
+        // where `step` is captured from main.
+        let mut mb = ModuleBuilder::new();
+        let step = mb.const_i32(1);
+        let h = mb.declare_subgraph("countdown", &[DType::I32], &[DType::I32]);
+        mb.define_subgraph(&h, |b| {
+            let n = b.input(0)?;
+            let zero = b.const_i32(0);
+            let p = b.igt(n, zero)?;
+            let out = b.cond1(
+                p,
+                DType::I32,
+                |b| {
+                    let next = b.isub(n, step)?; // captures `step` transitively
+                    Ok(b.invoke(&h, &[next])?[0])
+                },
+                |b| b.identity(n),
+            )?;
+            Ok(vec![out])
+        })
+        .unwrap();
+        let start = mb.const_i32(5);
+        let out = mb.invoke(&h, &[start]).unwrap();
+        mb.set_outputs(&[out[0]]).unwrap();
+        let m = mb.finish().unwrap();
+        // countdown captured `step` (via the then-branch chain).
+        let cd = &m.subgraphs[0];
+        assert_eq!(cd.name, "countdown");
+        assert_eq!(cd.explicit_inputs, 1);
+        assert!(cd.n_captures() >= 1, "step must be captured");
+        // The self-invoke inside the then-branch must pass all inputs.
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn mutual_recursion_fixup_converges() {
+        // even(n) = n == 0 ? 1 : odd(n - 1)
+        // odd(n)  = n == 0 ? 0 : even(n - 1)
+        let mut mb = ModuleBuilder::new();
+        let even = mb.declare_subgraph("even", &[DType::I32], &[DType::I32]);
+        let odd = mb.declare_subgraph("odd", &[DType::I32], &[DType::I32]);
+        let one = mb.const_i32(1); // captured from main by both bodies
+        mb.define_subgraph(&even, |b| {
+            let n = b.input(0)?;
+            let zero = b.const_i32(0);
+            let p = b.ieq(n, zero)?;
+            let out = b.cond1(
+                p,
+                DType::I32,
+                |b| b.identity(one),
+                |b| {
+                    let m = b.isub(n, one)?;
+                    Ok(b.invoke(&odd, &[m])?[0])
+                },
+            )?;
+            Ok(vec![out])
+        })
+        .unwrap();
+        mb.define_subgraph(&odd, |b| {
+            let n = b.input(0)?;
+            let zero = b.const_i32(0);
+            let p = b.ieq(n, zero)?;
+            let out = b.cond1(
+                p,
+                DType::I32,
+                |b| b.identity(zero),
+                |b| {
+                    let m = b.isub(n, one)?;
+                    Ok(b.invoke(&even, &[m])?[0])
+                },
+            )?;
+            Ok(vec![out])
+        })
+        .unwrap();
+        let start = mb.const_i32(4);
+        let out = mb.invoke(&even, &[start]).unwrap();
+        mb.set_outputs(&[out[0]]).unwrap();
+        let m = mb.finish().unwrap();
+        m.validate().unwrap();
+        assert!(m.subgraphs.len() >= 2);
+    }
+
+    #[test]
+    fn while_loop_builds_and_validates() {
+        let mut mb = ModuleBuilder::new();
+        let i0 = mb.const_i32(0);
+        let acc0 = mb.const_f32(0.0);
+        let limit = mb.const_i32(10);
+        let outs = mb
+            .while_loop(
+                "sumloop",
+                &[i0, acc0],
+                |b, state| b.ilt(state[0], limit),
+                |b, state| {
+                    let one = b.const_i32(1);
+                    let i2 = b.iadd(state[0], one)?;
+                    let acc2 = b.add_const(state[1], 1.0)?;
+                    Ok(vec![i2, acc2])
+                },
+            )
+            .unwrap();
+        mb.set_outputs(&[outs[1]]).unwrap();
+        let m = mb.finish().unwrap();
+        m.validate().unwrap();
+        // while_loop makes at least 3 SubGraphs: W, cond_then, cond_else.
+        assert!(m.subgraphs.len() >= 3);
+    }
+
+    #[test]
+    fn out_of_scope_wire_is_rejected() {
+        let mut mb = ModuleBuilder::new();
+        // Build one subgraph, keep a wire local to it.
+        let mut leaked = None;
+        let _a = mb
+            .subgraph("a", &[], &[DType::F32], |b| {
+                let c = b.const_f32(1.0);
+                leaked = Some(c);
+                Ok(vec![c])
+            })
+            .unwrap();
+        // Using the leaked wire in a *sibling* subgraph must fail:
+        let res = mb.subgraph("b", &[], &[DType::F32], |b| {
+            let l = leaked.unwrap();
+            Ok(vec![b.identity(l)?])
+        });
+        assert!(matches!(res, Err(GraphError::OutOfScope { .. })));
+    }
+
+    #[test]
+    fn double_definition_and_undefined_are_rejected() {
+        let mut mb = ModuleBuilder::new();
+        let h = mb.declare_subgraph("f", &[], &[DType::F32]);
+        mb.define_subgraph(&h, |b| Ok(vec![b.const_f32(0.0)])).unwrap();
+        assert!(mb.define_subgraph(&h, |b| Ok(vec![b.const_f32(1.0)])).is_err());
+
+        let mut mb2 = ModuleBuilder::new();
+        let _h = mb2.declare_subgraph("ghost", &[], &[DType::F32]);
+        let c = mb2.const_f32(0.0);
+        mb2.set_outputs(&[c]).unwrap();
+        assert!(matches!(mb2.finish(), Err(GraphError::Undefined { .. })));
+    }
+
+    #[test]
+    fn output_arity_and_dtype_checked() {
+        let mut mb = ModuleBuilder::new();
+        let h = mb.declare_subgraph("f", &[], &[DType::F32, DType::F32]);
+        let r = mb.define_subgraph(&h, |b| Ok(vec![b.const_f32(0.0)]));
+        assert!(r.is_err(), "arity mismatch");
+
+        let mut mb = ModuleBuilder::new();
+        let h = mb.declare_subgraph("g", &[], &[DType::F32]);
+        let r = mb.define_subgraph(&h, |b| Ok(vec![b.const_i32(0)]));
+        assert!(r.is_err(), "dtype mismatch");
+    }
+
+    #[test]
+    fn invoke_arg_checking() {
+        let mut mb = ModuleBuilder::new();
+        let h = mb
+            .subgraph("id", &[DType::F32], &[DType::F32], |b| {
+                let x = b.input(0)?;
+                Ok(vec![x])
+            })
+            .unwrap();
+        let i = mb.const_i32(0);
+        assert!(mb.invoke(&h, &[]).is_err(), "missing arg");
+        assert!(mb.invoke(&h, &[i]).is_err(), "wrong dtype");
+    }
+
+    #[test]
+    fn keep_sets_default_empty() {
+        let mut mb = ModuleBuilder::new();
+        let c = mb.const_f32(0.0);
+        mb.set_outputs(&[c]).unwrap();
+        let m = mb.finish().unwrap();
+        assert!(m.keep_sets.get(&GraphRef::Main).is_none());
+    }
+
+    #[test]
+    fn nested_cond_transitive_capture() {
+        // A wire from main used two scopes deep (sg -> cond branch) must
+        // appear as a capture at *both* levels.
+        let mut mb = ModuleBuilder::new();
+        let outer = mb.const_f32(7.0);
+        let sg = mb
+            .subgraph("nest", &[DType::I32], &[DType::F32], |b| {
+                let p = b.input(0)?;
+                let out = b.cond1(
+                    p,
+                    DType::F32,
+                    |b| b.add(outer, outer),
+                    |b| Ok(b.const_f32(0.0)),
+                )?;
+                Ok(vec![out])
+            })
+            .unwrap();
+        let flag = mb.const_i32(1);
+        let out = mb.invoke(&sg, &[flag]).unwrap();
+        mb.set_outputs(&[out[0]]).unwrap();
+        let m = mb.finish().unwrap();
+        m.validate().unwrap();
+        let nest = m.subgraphs.iter().find(|s| s.name == "nest").unwrap();
+        assert_eq!(nest.n_captures(), 1, "main wire captured into sg");
+        let then_b = m.subgraphs.iter().find(|s| s.name == "cond_then").unwrap();
+        assert_eq!(then_b.n_captures(), 1, "sg capture captured into branch");
+    }
+}

@@ -1,0 +1,368 @@
+//! The [`Graph`] container: port-addressed nodes forming a DAG.
+
+use crate::op::OpKind;
+use rdg_tensor::DType;
+use std::fmt;
+
+/// Index of a node within one [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// A reference to one output port of a node (TensorFlow-style edges).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PortRef {
+    /// The producing node.
+    pub node: NodeId,
+    /// Which of its outputs (0 for single-output ops).
+    pub port: u16,
+}
+
+impl PortRef {
+    /// Port 0 of `node` — the common single-output case.
+    pub fn of(node: NodeId) -> Self {
+        PortRef { node, port: 0 }
+    }
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}:{}", self.node.0, self.port)
+    }
+}
+
+/// One operation node: an op kind plus its input edges.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// What the node computes.
+    pub op: OpKind,
+    /// Input edges, in kernel-argument order.
+    pub inputs: Vec<PortRef>,
+    /// Debug name (auto-generated unless overridden).
+    pub name: String,
+}
+
+/// Errors raised during graph construction and validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge referenced a node id that does not exist.
+    DanglingNode {
+        /// The offending id.
+        node: u32,
+        /// Where it was referenced.
+        ctx: String,
+    },
+    /// An edge referenced an output port beyond the producer's arity.
+    BadPort {
+        /// The offending reference.
+        port: String,
+        /// The producer's actual output arity.
+        arity: usize,
+    },
+    /// The graph contains a dependency cycle (within one graph — recursion
+    /// between SubGraphs is fine, cycles between *nodes* are not).
+    Cycle {
+        /// Graph name for diagnostics.
+        graph: String,
+    },
+    /// A wire was used in a scope where its defining graph is not visible.
+    OutOfScope {
+        /// Description of the wire.
+        wire: String,
+    },
+    /// An invoke/cond signature didn't match its SubGraph.
+    SignatureMismatch {
+        /// Description of the mismatch.
+        msg: String,
+    },
+    /// A forward-declared SubGraph was never defined.
+    Undefined {
+        /// The SubGraph's name.
+        name: String,
+    },
+    /// Catch-all for builder misuse.
+    Invalid {
+        /// Description.
+        msg: String,
+    },
+}
+
+impl GraphError {
+    /// Creates an [`GraphError::Invalid`] from anything displayable.
+    pub fn invalid(msg: impl fmt::Display) -> Self {
+        GraphError::Invalid { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DanglingNode { node, ctx } => {
+                write!(f, "dangling node id n{node} referenced from {ctx}")
+            }
+            GraphError::BadPort { port, arity } => {
+                write!(f, "port {port} out of range (producer has {arity} outputs)")
+            }
+            GraphError::Cycle { graph } => write!(f, "graph '{graph}' contains a cycle"),
+            GraphError::OutOfScope { wire } => write!(f, "wire {wire} is not in scope"),
+            GraphError::SignatureMismatch { msg } => write!(f, "signature mismatch: {msg}"),
+            GraphError::Undefined { name } => {
+                write!(f, "SubGraph '{name}' was declared but never defined")
+            }
+            GraphError::Invalid { msg } => write!(f, "invalid graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A DAG of operation nodes with typed output ports.
+///
+/// `Graph` is a pure data container; construction goes through
+/// [`crate::builder::ModuleBuilder`], execution through `rdg-exec`.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    /// All nodes, indexed by [`NodeId`].
+    pub nodes: Vec<Node>,
+    /// Output dtypes of each node, parallel to `nodes`.
+    pub out_dtypes: Vec<Vec<DType>>,
+    /// The graph's result ports, delivered to the caller on completion.
+    pub outputs: Vec<PortRef>,
+    /// Nodes with `OpKind::Input`, ordered by input index.
+    pub input_nodes: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids; ids created by the builder are always
+    /// valid for the graph that created them.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Output arity of a node.
+    pub fn n_outputs(&self, id: NodeId) -> usize {
+        self.nodes[id.0 as usize].op.n_outputs()
+    }
+
+    /// Dtype of an output port.
+    pub fn port_dtype(&self, p: PortRef) -> DType {
+        self.out_dtypes[p.node.0 as usize][p.port as usize]
+    }
+
+    /// Appends a node (builder-internal; does not validate edges).
+    pub fn push_node(&mut self, op: OpKind, inputs: Vec<PortRef>, dtypes: Vec<DType>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let name = format!("{}_{}", op.mnemonic().to_lowercase(), id.0);
+        if let OpKind::Input { .. } = op {
+            self.input_nodes.push(id);
+        }
+        self.nodes.push(Node { op, inputs, name });
+        self.out_dtypes.push(dtypes);
+        id
+    }
+
+    /// Per-node consumer lists: `consumers[n]` = nodes that take any output
+    /// of `n` as input (deduplicated, with multiplicity collapsed).
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut cons: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let this = NodeId(i as u32);
+            for inp in &node.inputs {
+                let list = &mut cons[inp.node.0 as usize];
+                if list.last() != Some(&this) {
+                    list.push(this);
+                }
+            }
+        }
+        cons
+    }
+
+    /// Number of *distinct producer nodes* each node waits on.
+    ///
+    /// Multiple edges from the same producer count once, matching the
+    /// executor's notify-once-per-producer completion protocol.
+    pub fn pending_counts(&self) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                let mut prods: Vec<u32> = n.inputs.iter().map(|p| p.node.0).collect();
+                prods.sort_unstable();
+                prods.dedup();
+                prods.len() as u32
+            })
+            .collect()
+    }
+
+    /// Topological order of the nodes, or a [`GraphError::Cycle`].
+    pub fn topo_order(&self, name: &str) -> crate::Result<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indeg = self.pending_counts();
+        let cons = self.consumers();
+        let mut queue: Vec<NodeId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(|i| NodeId(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            for &c in &cons[id.0 as usize] {
+                indeg[c.0 as usize] -= 1;
+                if indeg[c.0 as usize] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(GraphError::Cycle { graph: name.to_string() });
+        }
+        Ok(order)
+    }
+
+    /// Structural validation: every edge must reference an existing node and
+    /// a valid port, and the graph must be acyclic.
+    pub fn validate(&self, name: &str) -> crate::Result<()> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            for inp in &node.inputs {
+                let pid = inp.node.0 as usize;
+                if pid >= self.nodes.len() {
+                    return Err(GraphError::DanglingNode {
+                        node: inp.node.0,
+                        ctx: format!("{name}/{}", node.name),
+                    });
+                }
+                let arity = self.nodes[pid].op.n_outputs();
+                if inp.port as usize >= arity {
+                    return Err(GraphError::BadPort { port: inp.to_string(), arity });
+                }
+            }
+            // Output dtype table must be consistent with arity.
+            if self.out_dtypes[i].len() != node.op.n_outputs() {
+                return Err(GraphError::invalid(format!(
+                    "{name}/{}: dtype table has {} entries for {} outputs",
+                    node.name,
+                    self.out_dtypes[i].len(),
+                    node.op.n_outputs()
+                )));
+            }
+        }
+        for out in &self.outputs {
+            if out.node.0 as usize >= self.nodes.len() {
+                return Err(GraphError::DanglingNode {
+                    node: out.node.0,
+                    ctx: format!("{name}/outputs"),
+                });
+            }
+            let arity = self.nodes[out.node.0 as usize].op.n_outputs();
+            if out.port as usize >= arity {
+                return Err(GraphError::BadPort { port: out.to_string(), arity });
+            }
+        }
+        self.topo_order(name)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdg_tensor::{DType, Tensor};
+
+    fn leaf(g: &mut Graph, v: f32) -> NodeId {
+        g.push_node(OpKind::Const(Tensor::scalar_f32(v)), vec![], vec![DType::F32])
+    }
+
+    #[test]
+    fn push_and_consume() {
+        let mut g = Graph::new();
+        let a = leaf(&mut g, 1.0);
+        let b = leaf(&mut g, 2.0);
+        let c = g.push_node(
+            OpKind::Add,
+            vec![PortRef::of(a), PortRef::of(b)],
+            vec![DType::F32],
+        );
+        g.outputs.push(PortRef::of(c));
+        assert!(g.validate("t").is_ok());
+        let cons = g.consumers();
+        assert_eq!(cons[a.0 as usize], vec![c]);
+        assert_eq!(cons[b.0 as usize], vec![c]);
+        assert!(cons[c.0 as usize].is_empty());
+    }
+
+    #[test]
+    fn pending_counts_dedupe_same_producer() {
+        let mut g = Graph::new();
+        let a = leaf(&mut g, 1.0);
+        // b uses a twice: still waits on one producer.
+        let b = g.push_node(
+            OpKind::Mul,
+            vec![PortRef::of(a), PortRef::of(a)],
+            vec![DType::F32],
+        );
+        let counts = g.pending_counts();
+        assert_eq!(counts[a.0 as usize], 0);
+        assert_eq!(counts[b.0 as usize], 1);
+    }
+
+    #[test]
+    fn topo_order_respects_deps() {
+        let mut g = Graph::new();
+        let a = leaf(&mut g, 1.0);
+        let b = g.push_node(OpKind::Neg, vec![PortRef::of(a)], vec![DType::F32]);
+        let c = g.push_node(OpKind::Neg, vec![PortRef::of(b)], vec![DType::F32]);
+        let order = g.topo_order("t").unwrap();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a) < pos(b) && pos(b) < pos(c));
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let mut g = Graph::new();
+        // Forge a cycle manually: n0 <- n1 <- n0.
+        let a = g.push_node(OpKind::Neg, vec![PortRef { node: NodeId(1), port: 0 }], vec![DType::F32]);
+        let _b = g.push_node(OpKind::Neg, vec![PortRef::of(a)], vec![DType::F32]);
+        assert!(matches!(g.validate("cyc"), Err(GraphError::Cycle { .. })));
+    }
+
+    #[test]
+    fn dangling_and_bad_port_detected() {
+        let mut g = Graph::new();
+        let _ = g.push_node(OpKind::Neg, vec![PortRef { node: NodeId(7), port: 0 }], vec![DType::F32]);
+        assert!(matches!(g.validate("t"), Err(GraphError::DanglingNode { .. })));
+
+        let mut g = Graph::new();
+        let a = leaf(&mut g, 0.0);
+        let _ = g.push_node(OpKind::Neg, vec![PortRef { node: a, port: 3 }], vec![DType::F32]);
+        assert!(matches!(g.validate("t"), Err(GraphError::BadPort { .. })));
+    }
+
+    #[test]
+    fn input_nodes_are_tracked() {
+        let mut g = Graph::new();
+        let i0 = g.push_node(OpKind::Input { index: 0, dtype: DType::I32 }, vec![], vec![DType::I32]);
+        let i1 = g.push_node(OpKind::Input { index: 1, dtype: DType::F32 }, vec![], vec![DType::F32]);
+        assert_eq!(g.input_nodes, vec![i0, i1]);
+        assert_eq!(g.port_dtype(PortRef::of(i0)), DType::I32);
+    }
+}

@@ -1,0 +1,162 @@
+//! [`SubGraph`]: the paper's unit of recursion.
+
+use crate::graph::Graph;
+use rdg_tensor::DType;
+
+/// Identifier of a [`SubGraph`] within a [`crate::Module`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SubGraphId(pub u32);
+
+/// A graph fragment with a typed signature — semantically a function.
+///
+/// A SubGraph's inputs are its formal parameters. The first
+/// `explicit_inputs` of them were declared by the user; the rest are
+/// *captures*: outer references the builder detected in the body and
+/// appended automatically (§5 of the paper). At every invoke site the
+/// builder wires the captured outer values as extra arguments, so the
+/// executor never distinguishes explicit arguments from captures.
+///
+/// A SubGraph may contain `Invoke` nodes referring to any SubGraph in the
+/// module *including itself* — that self-reference is what expresses
+/// recursion in an otherwise static dataflow graph.
+#[derive(Clone, Debug)]
+pub struct SubGraph {
+    /// This SubGraph's id (position in the module table).
+    pub id: SubGraphId,
+    /// Debug name (e.g. `"TreeLSTM"` or `"∇TreeLSTM"`).
+    pub name: String,
+    /// The body.
+    pub graph: Graph,
+    /// Input dtypes: explicit parameters first, then captures.
+    pub input_dtypes: Vec<DType>,
+    /// How many of `input_dtypes` are explicit (non-capture) parameters.
+    pub explicit_inputs: usize,
+    /// Output dtypes, parallel to `graph.outputs`.
+    pub output_dtypes: Vec<DType>,
+    /// For gradient SubGraphs: the forward SubGraph this one differentiates.
+    ///
+    /// `FwdValue` nodes in this body read cached activations of that forward
+    /// twin at the mirrored invocation path.
+    pub grad_of: Option<SubGraphId>,
+    /// For gradient SubGraphs: maps each *forward input index* to the output
+    /// port of this gradient SubGraph that carries its gradient (if any).
+    pub grad_input_map: Vec<Option<usize>>,
+}
+
+impl SubGraph {
+    /// Number of inputs (explicit + captures).
+    pub fn n_inputs(&self) -> usize {
+        self.input_dtypes.len()
+    }
+
+    /// Number of outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.output_dtypes.len()
+    }
+
+    /// Number of capture inputs.
+    pub fn n_captures(&self) -> usize {
+        self.input_dtypes.len() - self.explicit_inputs
+    }
+
+    /// Signature-level validation plus body validation.
+    pub fn validate(&self) -> crate::Result<()> {
+        self.graph.validate(&self.name)?;
+        if self.graph.input_nodes.len() != self.input_dtypes.len() {
+            return Err(crate::GraphError::SignatureMismatch {
+                msg: format!(
+                    "SubGraph '{}' declares {} inputs but body has {} Input nodes",
+                    self.name,
+                    self.input_dtypes.len(),
+                    self.graph.input_nodes.len()
+                ),
+            });
+        }
+        if self.graph.outputs.len() != self.output_dtypes.len() {
+            return Err(crate::GraphError::SignatureMismatch {
+                msg: format!(
+                    "SubGraph '{}' declares {} outputs but body wires {}",
+                    self.name,
+                    self.output_dtypes.len(),
+                    self.graph.outputs.len()
+                ),
+            });
+        }
+        // Input node dtypes must match the signature.
+        for (i, &nid) in self.graph.input_nodes.iter().enumerate() {
+            let got = self.graph.out_dtypes[nid.0 as usize][0];
+            if got != self.input_dtypes[i] {
+                return Err(crate::GraphError::SignatureMismatch {
+                    msg: format!(
+                        "SubGraph '{}' input {} is {:?} in body, {:?} in signature",
+                        self.name, i, got, self.input_dtypes[i]
+                    ),
+                });
+            }
+        }
+        // Output port dtypes must match the signature.
+        for (i, &port) in self.graph.outputs.iter().enumerate() {
+            let got = self.graph.port_dtype(port);
+            if got != self.output_dtypes[i] {
+                return Err(crate::GraphError::SignatureMismatch {
+                    msg: format!(
+                        "SubGraph '{}' output {} is {:?} in body, {:?} in signature",
+                        self.name, i, got, self.output_dtypes[i]
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PortRef;
+    use crate::op::OpKind;
+
+    fn trivial_sg() -> SubGraph {
+        let mut g = Graph::new();
+        let i = g.push_node(OpKind::Input { index: 0, dtype: DType::F32 }, vec![], vec![DType::F32]);
+        let n = g.push_node(OpKind::Neg, vec![PortRef::of(i)], vec![DType::F32]);
+        g.outputs.push(PortRef::of(n));
+        SubGraph {
+            id: SubGraphId(0),
+            name: "neg".into(),
+            graph: g,
+            input_dtypes: vec![DType::F32],
+            explicit_inputs: 1,
+            output_dtypes: vec![DType::F32],
+            grad_of: None,
+            grad_input_map: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn valid_subgraph_passes() {
+        assert!(trivial_sg().validate().is_ok());
+        assert_eq!(trivial_sg().n_captures(), 0);
+    }
+
+    #[test]
+    fn input_count_mismatch_rejected() {
+        let mut sg = trivial_sg();
+        sg.input_dtypes.push(DType::I32);
+        assert!(sg.validate().is_err());
+    }
+
+    #[test]
+    fn output_dtype_mismatch_rejected() {
+        let mut sg = trivial_sg();
+        sg.output_dtypes = vec![DType::I32];
+        assert!(sg.validate().is_err());
+    }
+
+    #[test]
+    fn input_dtype_mismatch_rejected() {
+        let mut sg = trivial_sg();
+        sg.input_dtypes = vec![DType::I32];
+        assert!(sg.validate().is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Model family and hyperparameters.
+
+/// Which recursive sentiment model to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// `h = tanh(W[h_l; h_r] + b)` — lightest per-node compute.
+    TreeRnn,
+    /// TreeRNN plus the bilinear tensor term — an order of magnitude more
+    /// work per node.
+    Rntn,
+    /// Binary TreeLSTM with per-child forget gates — heaviest per node.
+    TreeLstm,
+}
+
+impl ModelKind {
+    /// Short lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::TreeRnn => "treernn",
+            ModelKind::Rntn => "rntn",
+            ModelKind::TreeLstm => "treelstm",
+        }
+    }
+}
+
+/// Hyperparameters shared by all implementations of a model.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Model family.
+    pub kind: ModelKind,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Word-embedding width.
+    pub embed: usize,
+    /// Hidden-state width.
+    pub hidden: usize,
+    /// Output classes (2 for binary sentiment).
+    pub classes: usize,
+    /// Instances per step (the module is built for a fixed batch).
+    pub batch: usize,
+    /// Parameter-initialization seed.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// Paper-flavoured defaults: per-node compute ordered
+    /// TreeRNN < RNTN < TreeLSTM, as in the original papers' dimensions.
+    pub fn paper_default(kind: ModelKind, batch: usize) -> Self {
+        let (embed, hidden) = match kind {
+            ModelKind::TreeRnn => (32, 32),
+            ModelKind::Rntn => (32, 32),
+            ModelKind::TreeLstm => (64, 168),
+        };
+        ModelConfig { kind, vocab: 2000, embed, hidden, classes: 2, batch, seed: 20180423 }
+    }
+
+    /// Small dimensions for fast tests.
+    pub fn tiny(kind: ModelKind, batch: usize) -> Self {
+        ModelConfig { kind, vocab: 100, embed: 6, hidden: 5, classes: 2, batch, seed: 7 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_order_compute_weight() {
+        let rnn = ModelConfig::paper_default(ModelKind::TreeRnn, 1);
+        let lstm = ModelConfig::paper_default(ModelKind::TreeLstm, 1);
+        assert!(lstm.hidden > rnn.hidden);
+        assert_eq!(rnn.classes, 2);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ModelKind::TreeRnn.name(), "treernn");
+        assert_eq!(ModelKind::Rntn.name(), "rntn");
+        assert_eq!(ModelKind::TreeLstm.name(), "treelstm");
+    }
+}

@@ -1,0 +1,172 @@
+//! The iterative baseline (paper Figure 1: TensorFlow `while_loop` style).
+//!
+//! Nodes are processed one by one in topological index order; a `[n, d]`
+//! state matrix carries every node's hidden state, updated by functional row
+//! writes. The topological preprocessing has erased parent-child structure,
+//! so execution is *strictly sequential per instance* — the defining
+//! performance property of this baseline (§2.2: "the iterative execution is
+//! inherently sequential and thus is incapable of computing multiple nodes
+//! in parallel"). Different batch instances still run concurrently.
+//!
+//! `while_loop` is sugar over tail recursion (see
+//! `rdg_graph::ModuleBuilder::while_loop`), so this baseline exercises the
+//! same executor machinery — only the dependency structure differs.
+
+use crate::config::ModelConfig;
+use crate::params::{Cell, ModelParams};
+use rdg_graph::{Module, ModuleBuilder, Result, Wire};
+use rdg_tensor::DType;
+
+/// Builds the iterative module for `cfg` (same conventions as recursive).
+pub fn build_iterative(cfg: &ModelConfig) -> Result<Module> {
+    let mut mb = ModuleBuilder::new();
+    let params = ModelParams::register(&mut mb, cfg);
+
+    let mut instances = Vec::with_capacity(cfg.batch);
+    for _ in 0..cfg.batch {
+        let words = mb.main_input(DType::I32);
+        let left = mb.main_input(DType::I32);
+        let right = mb.main_input(DType::I32);
+        let is_leaf = mb.main_input(DType::I32);
+        let root = mb.main_input(DType::I32);
+        instances.push((words, left, right, is_leaf, root));
+    }
+    let labels = mb.main_input(DType::I32);
+
+    let mut logit_rows = Vec::with_capacity(cfg.batch);
+    for (b, &(words, left, right, is_leaf, root)) in instances.iter().enumerate() {
+        let n = mb.len_of(words)?;
+        let i0 = mb.const_i32(0);
+        let h0 = mb.zeros_dyn(n, cfg.hidden)?;
+        let cell = params.cell;
+        let embedding = params.embedding;
+
+        // Loop state: (i, h_state[, c_state]).
+        let mut init: Vec<Wire> = vec![i0, h0];
+        if matches!(cell, Cell::Lstm(_)) {
+            init.push(mb.zeros_dyn(n, cfg.hidden)?);
+        }
+        let outs = mb.while_loop(
+            &format!("iter_{b}"),
+            &init,
+            |b, s| b.ilt(s[0], n),
+            move |b, s| {
+                let i = s[0];
+                let h_state = s[1];
+                let leaf_flag = b.gather_scalar_i32(is_leaf, i)?;
+                let one = b.const_i32(1);
+                let i2 = b.iadd(i, one)?;
+                match cell {
+                    Cell::Rnn(_) | Cell::Rntn(_) => {
+                        let h_row = b.cond1(
+                            leaf_flag,
+                            DType::F32,
+                            |b| {
+                                let w = b.gather_scalar_i32(words, i)?;
+                                let e = embedding.lookup(b, w)?;
+                                match &cell {
+                                    Cell::Rnn(c) => c.leaf(b, e),
+                                    Cell::Rntn(c) => c.leaf(b, e),
+                                    Cell::Lstm(_) => unreachable!("matched above"),
+                                }
+                            },
+                            |b| {
+                                let li = b.gather_scalar_i32(left, i)?;
+                                let ri = b.gather_scalar_i32(right, i)?;
+                                let hl = b.get_row(h_state, li)?;
+                                let hr = b.get_row(h_state, ri)?;
+                                match &cell {
+                                    Cell::Rnn(c) => c.internal(b, hl, hr),
+                                    Cell::Rntn(c) => c.internal(b, hl, hr),
+                                    Cell::Lstm(_) => unreachable!("matched above"),
+                                }
+                            },
+                        )?;
+                        let h2 = b.set_row(h_state, i, h_row)?;
+                        Ok(vec![i2, h2])
+                    }
+                    Cell::Lstm(c) => {
+                        let c_state = s[2];
+                        let rows = b.cond(
+                            leaf_flag,
+                            &[DType::F32, DType::F32],
+                            |b| {
+                                let w = b.gather_scalar_i32(words, i)?;
+                                let e = embedding.lookup(b, w)?;
+                                let (hh, cc) = c.leaf(b, e)?;
+                                Ok(vec![hh, cc])
+                            },
+                            |b| {
+                                let li = b.gather_scalar_i32(left, i)?;
+                                let ri = b.gather_scalar_i32(right, i)?;
+                                let hl = b.get_row(h_state, li)?;
+                                let cl = b.get_row(c_state, li)?;
+                                let hr = b.get_row(h_state, ri)?;
+                                let cr = b.get_row(c_state, ri)?;
+                                let (hh, cc) = c.internal(b, hl, cl, hr, cr)?;
+                                Ok(vec![hh, cc])
+                            },
+                        )?;
+                        let h2 = b.set_row(h_state, i, rows[0])?;
+                        let c2 = b.set_row(c_state, i, rows[1])?;
+                        Ok(vec![i2, h2, c2])
+                    }
+                }
+            },
+        )?;
+        let h_root = mb.get_row(outs[1], root)?;
+        let logits = params.classifier.apply(&mut mb, h_root)?;
+        logit_rows.push(logits);
+    }
+
+    let logits = mb.stack_rows(&logit_rows)?;
+    let losses = mb.softmax_xent(logits, labels)?;
+    let loss = mb.mean_all(losses)?;
+    mb.set_outputs(&[loss, logits])?;
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, ModelKind};
+    use rdg_data::{Dataset, DatasetConfig, Split};
+    use rdg_exec::{Executor, Session};
+
+    fn tiny_feeds(batch: usize) -> Vec<rdg_tensor::Tensor> {
+        let cfg = DatasetConfig {
+            vocab: 100,
+            n_train: batch,
+            n_valid: 0,
+            min_len: 3,
+            max_len: 8,
+            ..DatasetConfig::default()
+        };
+        let d = Dataset::generate(cfg);
+        Dataset::feeds_for(d.split(Split::Train))
+    }
+
+    #[test]
+    fn all_kinds_build_and_run() {
+        for kind in [ModelKind::TreeRnn, ModelKind::Rntn, ModelKind::TreeLstm] {
+            let cfg = ModelConfig::tiny(kind, 2);
+            let m = build_iterative(&cfg).unwrap();
+            m.validate().unwrap();
+            let s = Session::new(Executor::with_threads(2), m).unwrap();
+            let out = s.run(tiny_feeds(2)).unwrap();
+            assert!(out[0].as_f32_scalar().unwrap().is_finite(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn training_module_builds_and_runs() {
+        let cfg = ModelConfig::tiny(ModelKind::TreeRnn, 1);
+        let m = build_iterative(&cfg).unwrap();
+        let t = rdg_autodiff::build_training_module(&m, m.main.outputs[0]).unwrap();
+        let s = Session::new(Executor::with_threads(2), t).unwrap();
+        s.run_training(tiny_feeds(1)).unwrap();
+        let any = (0..s.module().params.len())
+            .any(|i| s.grads().get(rdg_graph::ParamId(i as u32)).is_some());
+        assert!(any, "iterative training produced gradients");
+    }
+}

@@ -1,0 +1,42 @@
+//! The paper's evaluation models, in all competing implementations.
+//!
+//! Three sentiment models (paper §6.1) over binary parse trees:
+//! **TreeRNN** (Socher '11), **RNTN** (Socher '13), **TreeLSTM** (Tai '15) —
+//! plus the dynamically-structured **TD-TreeLSTM** (Zhang '16, §6.4.2).
+//!
+//! Each sentiment model is built in three ways that share *identical*
+//! parameters (same registration order, same seeded initialization), which
+//! is what lets the equivalence tests assert the paper's §6.2 claim that the
+//! implementations compute numerically identical results:
+//!
+//! * [`recursive`] — the paper's contribution: one recursive `SubGraph` per
+//!   instance (capturing that instance's tree tensors as outer references),
+//!   with the base/recursive cases split by a lazy `Cond` (paper Figure 2).
+//! * [`iterative`] — the TensorFlow-baseline encoding (paper Figure 1): a
+//!   `while_loop` over topologically indexed nodes threading a `[n, d]`
+//!   state matrix through functional row updates. Strictly sequential per
+//!   instance.
+//! * [`unrolled`] — the PyTorch-baseline encoding: a fresh, fully unrolled
+//!   graph is constructed *per data instance* at run time and executed
+//!   sequentially (eager dispatch), then thrown away — paying graph
+//!   construction on every instance and enjoying no cross-instance reuse.
+//!
+//! The module convention shared by all builders:
+//!
+//! * main-graph inputs: per instance `(words, left, right, is_leaf, root)`
+//!   (see `rdg_data::TreeTensors::feeds`), then one `i32[batch]` label
+//!   tensor;
+//! * main-graph outputs: `[scalar mean loss, logits [batch, classes]]`.
+
+pub mod config;
+pub mod iterative;
+pub mod params;
+pub mod recursive;
+pub mod td;
+pub mod unrolled;
+
+pub use config::{ModelConfig, ModelKind};
+pub use iterative::build_iterative;
+pub use recursive::build_recursive;
+pub use td::{build_td_iterative, build_td_recursive, TdConfig};
+pub use unrolled::UnrolledModel;

@@ -1,0 +1,93 @@
+//! Shared parameter registration.
+//!
+//! Every implementation of a model calls [`ModelParams::register`] with the
+//! same config, producing the *same parameter list in the same order with
+//! the same seeded initialization*. Sessions built from different
+//! implementations can therefore share one `ParamStore`, which is how the
+//! equivalence tests pin all implementations to identical weights.
+
+use crate::config::{ModelConfig, ModelKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdg_graph::ModuleBuilder;
+use rdg_nn::{Embedding, Linear, RntnCell, TreeLstmCell, TreeRnnCell};
+
+/// The cell variant registered for a model.
+#[derive(Clone, Copy)]
+pub enum Cell {
+    /// TreeRNN cell.
+    Rnn(TreeRnnCell),
+    /// RNTN cell.
+    Rntn(RntnCell),
+    /// TreeLSTM cell.
+    Lstm(TreeLstmCell),
+}
+
+/// All parameters of one sentiment model.
+pub struct ModelParams {
+    /// Word embeddings.
+    pub embedding: Embedding,
+    /// The recursive cell.
+    pub cell: Cell,
+    /// Root classifier (hidden → classes).
+    pub classifier: Linear,
+}
+
+impl ModelParams {
+    /// Registers embeddings, cell, and classifier deterministically.
+    pub fn register(mb: &mut ModuleBuilder, cfg: &ModelConfig) -> ModelParams {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let embedding = Embedding::new(mb, "embedding", cfg.vocab, cfg.embed, &mut rng);
+        let cell = match cfg.kind {
+            ModelKind::TreeRnn => Cell::Rnn(TreeRnnCell::new(mb, cfg.embed, cfg.hidden, &mut rng)),
+            ModelKind::Rntn => Cell::Rntn(RntnCell::new(mb, cfg.embed, cfg.hidden, &mut rng)),
+            ModelKind::TreeLstm => {
+                Cell::Lstm(TreeLstmCell::new(mb, cfg.embed, cfg.hidden, &mut rng))
+            }
+        };
+        let classifier = Linear::new(mb, "classifier", cfg.hidden, cfg.classes, &mut rng);
+        ModelParams { embedding, cell, classifier }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_deterministic_across_builders() {
+        let cfg = ModelConfig::tiny(ModelKind::TreeLstm, 1);
+        let mut mb1 = ModuleBuilder::new();
+        let _p1 = ModelParams::register(&mut mb1, &cfg);
+        let c1 = mb1.const_f32(0.0);
+        mb1.set_outputs(&[c1]).unwrap();
+        let m1 = mb1.finish().unwrap();
+
+        let mut mb2 = ModuleBuilder::new();
+        let _p2 = ModelParams::register(&mut mb2, &cfg);
+        let c2 = mb2.const_f32(0.0);
+        mb2.set_outputs(&[c2]).unwrap();
+        let m2 = mb2.finish().unwrap();
+
+        assert_eq!(m1.params.len(), m2.params.len());
+        for (a, b) in m1.params.iter().zip(m2.params.iter()) {
+            assert_eq!(a.name, b.name);
+            assert!(a.init.allclose(&b.init, 0.0), "param {} differs", a.name);
+        }
+    }
+
+    #[test]
+    fn all_kinds_register() {
+        for kind in [ModelKind::TreeRnn, ModelKind::Rntn, ModelKind::TreeLstm] {
+            let cfg = ModelConfig::tiny(kind, 1);
+            let mut mb = ModuleBuilder::new();
+            let p = ModelParams::register(&mut mb, &cfg);
+            match (&p.cell, kind) {
+                (Cell::Rnn(_), ModelKind::TreeRnn)
+                | (Cell::Rntn(_), ModelKind::Rntn)
+                | (Cell::Lstm(_), ModelKind::TreeLstm) => {}
+                _ => panic!("cell kind mismatch"),
+            }
+        }
+    }
+}

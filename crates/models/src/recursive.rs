@@ -1,0 +1,155 @@
+//! The recursive implementation (the paper's contribution, Figure 2).
+//!
+//! One recursive `SubGraph` per batch instance:
+//!
+//! ```text
+//! node(idx) = if is_leaf[idx] { cell.leaf(embed(words[idx])) }
+//!             else            { cell.internal(node(left[idx]), node(right[idx])) }
+//! ```
+//!
+//! The instance's tree tensors (`words`, `left`, `right`, `is_leaf`) are
+//! *outer references*: the body reads them freely and the builder captures
+//! them as SubGraph inputs automatically (§5 of the paper). Sibling
+//! recursive calls carry no dependency on each other, so the executor runs
+//! entire subtrees concurrently — that is where every speedup in §6 comes
+//! from.
+
+use crate::config::ModelConfig;
+use crate::params::{Cell, ModelParams};
+use rdg_graph::{Module, ModuleBuilder, Result};
+use rdg_tensor::DType;
+
+/// Builds the recursive module for `cfg` (see crate docs for conventions).
+pub fn build_recursive(cfg: &ModelConfig) -> Result<Module> {
+    let mut mb = ModuleBuilder::new();
+    let params = ModelParams::register(&mut mb, cfg);
+
+    // Main-graph inputs, in `Dataset::feeds_for` order.
+    let mut instances = Vec::with_capacity(cfg.batch);
+    for _ in 0..cfg.batch {
+        let words = mb.main_input(DType::I32);
+        let left = mb.main_input(DType::I32);
+        let right = mb.main_input(DType::I32);
+        let is_leaf = mb.main_input(DType::I32);
+        let root = mb.main_input(DType::I32);
+        instances.push((words, left, right, is_leaf, root));
+    }
+    let labels = mb.main_input(DType::I32);
+
+    let mut logit_rows = Vec::with_capacity(cfg.batch);
+    for (b, &(words, left, right, is_leaf, root)) in instances.iter().enumerate() {
+        // State arity: TreeLSTM carries (h, c); the others just h.
+        let n_state = match params.cell {
+            Cell::Lstm(_) => 2,
+            _ => 1,
+        };
+        let state_dtypes = vec![DType::F32; n_state];
+        let h = mb.declare_subgraph(format!("node_{b}"), &[DType::I32], &state_dtypes);
+        let h2 = h.clone();
+        let cell = params.cell;
+        let embedding = params.embedding;
+        mb.define_subgraph(&h, move |b| {
+            let idx = b.input(0)?;
+            let leaf_flag = b.gather_scalar_i32(is_leaf, idx)?;
+            b.cond(
+                leaf_flag,
+                &state_dtypes,
+                |b| {
+                    let word = b.gather_scalar_i32(words, idx)?;
+                    let e = embedding.lookup(b, word)?;
+                    match &cell {
+                        Cell::Rnn(c) => Ok(vec![c.leaf(b, e)?]),
+                        Cell::Rntn(c) => Ok(vec![c.leaf(b, e)?]),
+                        Cell::Lstm(c) => {
+                            let (hh, cc) = c.leaf(b, e)?;
+                            Ok(vec![hh, cc])
+                        }
+                    }
+                },
+                |b| {
+                    let li = b.gather_scalar_i32(left, idx)?;
+                    let ri = b.gather_scalar_i32(right, idx)?;
+                    let ls = b.invoke(&h2, &[li])?;
+                    let rs = b.invoke(&h2, &[ri])?;
+                    match &cell {
+                        Cell::Rnn(c) => Ok(vec![c.internal(b, ls[0], rs[0])?]),
+                        Cell::Rntn(c) => Ok(vec![c.internal(b, ls[0], rs[0])?]),
+                        Cell::Lstm(c) => {
+                            let (hh, cc) = c.internal(b, ls[0], ls[1], rs[0], rs[1])?;
+                            Ok(vec![hh, cc])
+                        }
+                    }
+                },
+            )
+        })?;
+        let root_state = mb.invoke(&h, &[root])?;
+        let logits = params.classifier.apply(&mut mb, root_state[0])?;
+        logit_rows.push(logits);
+    }
+
+    let logits = mb.stack_rows(&logit_rows)?;
+    let losses = mb.softmax_xent(logits, labels)?;
+    let loss = mb.mean_all(losses)?;
+    mb.set_outputs(&[loss, logits])?;
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, ModelKind};
+    use rdg_data::{Dataset, DatasetConfig, Split};
+    use rdg_exec::{Executor, Session};
+
+    fn tiny_data(batch: usize) -> (Vec<rdg_tensor::Tensor>, Dataset) {
+        let cfg = DatasetConfig {
+            vocab: 100,
+            n_train: batch,
+            n_valid: 0,
+            min_len: 3,
+            max_len: 8,
+            ..DatasetConfig::default()
+        };
+        let d = Dataset::generate(cfg);
+        let feeds = Dataset::feeds_for(d.split(Split::Train));
+        (feeds, d)
+    }
+
+    #[test]
+    fn all_kinds_build_and_run() {
+        for kind in [ModelKind::TreeRnn, ModelKind::Rntn, ModelKind::TreeLstm] {
+            let cfg = ModelConfig::tiny(kind, 2);
+            let m = build_recursive(&cfg).unwrap();
+            m.validate().unwrap();
+            let (feeds, _) = tiny_data(2);
+            let s = Session::new(Executor::with_threads(2), m).unwrap();
+            let out = s.run(feeds).unwrap();
+            let loss = out[0].as_f32_scalar().unwrap();
+            assert!(loss.is_finite() && loss > 0.0, "{kind:?} loss = {loss}");
+            assert_eq!(out[1].shape().dims(), &[2, 2], "logits shape");
+        }
+    }
+
+    #[test]
+    fn tree_tensors_are_captured_as_subgraph_inputs() {
+        let cfg = ModelConfig::tiny(ModelKind::TreeRnn, 1);
+        let m = build_recursive(&cfg).unwrap();
+        let node_sg = m.subgraphs.iter().find(|s| s.name == "node_0").unwrap();
+        assert_eq!(node_sg.explicit_inputs, 1, "only idx is explicit");
+        assert!(node_sg.n_captures() >= 3, "tree tensors captured: {}", node_sg.n_captures());
+    }
+
+    #[test]
+    fn training_module_builds() {
+        let cfg = ModelConfig::tiny(ModelKind::TreeLstm, 1);
+        let m = build_recursive(&cfg).unwrap();
+        let t = rdg_autodiff::build_training_module(&m, m.main.outputs[0]).unwrap();
+        let (feeds, _) = tiny_data(1);
+        let s = Session::new(Executor::with_threads(2), t).unwrap();
+        s.run_training(feeds).unwrap();
+        // Some parameter must have received a gradient.
+        let any = (0..s.module().params.len())
+            .any(|i| s.grads().get(rdg_graph::ParamId(i as u32)).is_some());
+        assert!(any, "training run produced gradients");
+    }
+}

@@ -1,0 +1,411 @@
+//! TD-TreeLSTM: the dynamically-structured model of paper §6.4.2 (Table 3).
+//!
+//! Top-down generation (Zhang et al., 2016): starting from a root state
+//! derived from a seed word, each node *decides at run time* — from its own
+//! computed hidden state — whether to generate two children. The complete
+//! tree structure is therefore unknown before execution, which is exactly
+//! what defeats ahead-of-time batching approaches like TensorFlow Fold
+//! ("it is impossible to express such models using the API provided by the
+//! Fold framework").
+//!
+//! Two implementations with identical parameters and identical expansion
+//! decisions:
+//!
+//! * [`build_td_recursive`] — a self-invoking `Gen` SubGraph whose
+//!   conditional expansion predicate is a *computed value* (`σ(w·h) > θ`);
+//!   sibling expansions run in parallel.
+//! * [`build_td_iterative`] — a `while_loop` over an explicit frontier
+//!   queue held in pre-allocated state matrices; one node per iteration,
+//!   strictly sequential.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdg_graph::{Module, ModuleBuilder, Result, Wire};
+use rdg_nn::{Embedding, Linear};
+use rdg_tensor::DType;
+
+/// Hyperparameters of the TD-TreeLSTM benchmark model.
+#[derive(Clone, Debug)]
+pub struct TdConfig {
+    /// Vocabulary size for seed words.
+    pub vocab: usize,
+    /// Embedding width.
+    pub embed: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Maximum generation depth (root = 0).
+    pub max_depth: usize,
+    /// Expansion threshold θ for `σ(w·h) > θ`.
+    pub threshold: f32,
+    /// Instances per run.
+    pub batch: usize,
+    /// Parameter seed.
+    pub seed: u64,
+}
+
+impl TdConfig {
+    /// Small, fast defaults.
+    pub fn tiny(batch: usize) -> Self {
+        TdConfig { vocab: 100, embed: 6, hidden: 5, max_depth: 5, threshold: 0.5, batch, seed: 11 }
+    }
+
+    /// Paper-flavoured defaults (hidden size comparable to TreeLSTM).
+    pub fn paper_default(batch: usize) -> Self {
+        TdConfig {
+            vocab: 2000,
+            embed: 64,
+            hidden: 128,
+            max_depth: 7,
+            threshold: 0.5,
+            batch,
+            seed: 20180424,
+        }
+    }
+
+    /// Upper bound on generated nodes per instance (full binary tree).
+    pub fn max_nodes(&self) -> usize {
+        (1usize << (self.max_depth + 2)) - 1
+    }
+}
+
+/// Per-side LSTM-style child generator parameters.
+#[derive(Clone, Copy)]
+struct TdChild {
+    i: Linear,
+    o: Linear,
+    u: Linear,
+    f: Linear,
+}
+
+impl TdChild {
+    fn new(mb: &mut ModuleBuilder, name: &str, hidden: usize, rng: &mut impl rand::Rng) -> Self {
+        TdChild {
+            i: Linear::new(mb, &format!("{name}_i"), hidden, hidden, rng),
+            o: Linear::new(mb, &format!("{name}_o"), hidden, hidden, rng),
+            u: Linear::new(mb, &format!("{name}_u"), hidden, hidden, rng),
+            f: Linear::new(mb, &format!("{name}_f"), hidden, hidden, rng),
+        }
+    }
+
+    /// `(h', c')` for one generated child from the parent `(h, c)`.
+    fn apply(&self, mb: &mut ModuleBuilder, h: Wire, c: Wire) -> Result<(Wire, Wire)> {
+        let i = self.i.apply(mb, h)?;
+        let i = mb.sigmoid(i)?;
+        let o = self.o.apply(mb, h)?;
+        let o = mb.sigmoid(o)?;
+        let u = self.u.apply(mb, h)?;
+        let u = mb.tanh(u)?;
+        let f = self.f.apply(mb, h)?;
+        let f = mb.sigmoid(f)?;
+        let iu = mb.mul(i, u)?;
+        let fc = mb.mul(f, c)?;
+        let c2 = mb.add(iu, fc)?;
+        let ct = mb.tanh(c2)?;
+        let h2 = mb.mul(o, ct)?;
+        Ok((h2, c2))
+    }
+}
+
+#[derive(Clone, Copy)]
+struct TdParams {
+    embedding: Embedding,
+    init: Linear,
+    stop: Linear,
+    left: TdChild,
+    right: TdChild,
+}
+
+impl TdParams {
+    fn register(mb: &mut ModuleBuilder, cfg: &TdConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        TdParams {
+            embedding: Embedding::new(mb, "td_embedding", cfg.vocab, cfg.embed, &mut rng),
+            init: Linear::new(mb, "td_init", cfg.embed, cfg.hidden, &mut rng),
+            stop: Linear::new(mb, "td_stop", cfg.hidden, 1, &mut rng),
+            left: TdChild::new(mb, "td_left", cfg.hidden, &mut rng),
+            right: TdChild::new(mb, "td_right", cfg.hidden, &mut rng),
+        }
+    }
+
+    /// Root state from a seed-word wire.
+    ///
+    /// The embedding is amplified so untrained root states differ enough
+    /// across seed words for the expansion gate to take both sides — the
+    /// benchmark needs genuinely input-dependent structure.
+    fn root_state(&self, mb: &mut ModuleBuilder, seed: Wire) -> Result<(Wire, Wire)> {
+        let e = self.embedding.lookup(mb, seed)?;
+        let e = mb.scale(e, 20.0)?;
+        let h0 = self.init.apply(mb, e)?;
+        let h0 = mb.tanh(h0)?;
+        let c0 = mb.zeros_like(h0)?;
+        Ok((h0, c0))
+    }
+
+    /// The runtime expansion predicate `σ(w·h) > θ`.
+    fn expand_pred(&self, mb: &mut ModuleBuilder, h: Wire, threshold: f32) -> Result<Wire> {
+        let s = self.stop.apply(mb, h)?;
+        let s = mb.sigmoid(s)?;
+        let s = mb.sum_all(s)?;
+        mb.fgt_const(s, threshold)
+    }
+}
+
+/// Builds the recursive TD-TreeLSTM module.
+///
+/// Main inputs: one `i32` seed word per instance. Outputs:
+/// `[total generated nodes (i32), mean of root-subtree state sums (f32)]`.
+pub fn build_td_recursive(cfg: &TdConfig) -> Result<Module> {
+    let mut mb = ModuleBuilder::new();
+    let params = TdParams::register(&mut mb, cfg);
+    let seeds: Vec<Wire> = (0..cfg.batch).map(|_| mb.main_input(DType::I32)).collect();
+
+    let mut counts = Vec::with_capacity(cfg.batch);
+    let mut sums = Vec::with_capacity(cfg.batch);
+    for (b, &seed) in seeds.iter().enumerate() {
+        let gen = mb.declare_subgraph(
+            format!("td_gen_{b}"),
+            &[DType::F32, DType::F32, DType::I32],
+            &[DType::I32, DType::F32],
+        );
+        let gen2 = gen.clone();
+        let threshold = cfg.threshold;
+        let max_depth = cfg.max_depth as i32;
+        mb.define_subgraph(&gen, move |b| {
+            let h = b.input(0)?;
+            let c = b.input(1)?;
+            let depth = b.input(2)?;
+            let expand = params.expand_pred(b, h, threshold)?;
+            let maxd = b.const_i32(max_depth);
+            let depth_ok = b.ilt(depth, maxd)?;
+            let p = b.and(expand, depth_ok)?;
+            b.cond(
+                p,
+                &[DType::I32, DType::F32],
+                |b| {
+                    let (hl, cl) = params.left.apply(b, h, c)?;
+                    let (hr, cr) = params.right.apply(b, h, c)?;
+                    let one = b.const_i32(1);
+                    let d2 = b.iadd(depth, one)?;
+                    let l = b.invoke(&gen2, &[hl, cl, d2])?;
+                    let r = b.invoke(&gen2, &[hr, cr, d2])?;
+                    let n0 = b.iadd(l[0], r[0])?;
+                    let n = b.iadd(n0, one)?;
+                    let s0 = b.add(l[1], r[1])?;
+                    let s = b.add(s0, h)?;
+                    Ok(vec![n, s])
+                },
+                |b| {
+                    let one = b.const_i32(1);
+                    let n = b.identity(one)?;
+                    let s = b.identity(h)?;
+                    Ok(vec![n, s])
+                },
+            )
+        })?;
+        let (h0, c0) = params.root_state(&mut mb, seed)?;
+        let zero = mb.const_i32(0);
+        let out = mb.invoke(&gen, &[h0, c0, zero])?;
+        counts.push(out[0]);
+        sums.push(out[1]);
+    }
+    let total = counts
+        .into_iter()
+        .try_fold(None::<Wire>, |acc, c| -> Result<Option<Wire>> {
+            Ok(Some(match acc {
+                None => c,
+                Some(a) => mb.iadd(a, c)?,
+            }))
+        })?
+        .expect("batch >= 1");
+    let sum_state = sums
+        .into_iter()
+        .try_fold(None::<Wire>, |acc, s| -> Result<Option<Wire>> {
+            Ok(Some(match acc {
+                None => s,
+                Some(a) => mb.add(a, s)?,
+            }))
+        })?
+        .expect("batch >= 1");
+    let mean_state = mb.mean_all(sum_state)?;
+    mb.set_outputs(&[total, mean_state])?;
+    mb.finish()
+}
+
+/// Builds the iterative TD-TreeLSTM module (frontier queue in state
+/// matrices; one generated node per loop iteration).
+pub fn build_td_iterative(cfg: &TdConfig) -> Result<Module> {
+    let mut mb = ModuleBuilder::new();
+    let params = TdParams::register(&mut mb, cfg);
+    let seeds: Vec<Wire> = (0..cfg.batch).map(|_| mb.main_input(DType::I32)).collect();
+    let cap = cfg.max_nodes();
+
+    let mut counts = Vec::with_capacity(cfg.batch);
+    let mut sums = Vec::with_capacity(cfg.batch);
+    for (b, &seed) in seeds.iter().enumerate() {
+        let (h0, c0) = params.root_state(&mut mb, seed)?;
+        let cap_w = mb.const_i32(cap as i32);
+        let qh = mb.zeros_dyn(cap_w, cfg.hidden)?;
+        let qc = mb.zeros_dyn(cap_w, cfg.hidden)?;
+        let qd = mb.zeros_dyn(cap_w, 1)?; // per-node depth, as f32 rows
+        let zero = mb.const_i32(0);
+        let qh = mb.set_row(qh, zero, h0)?;
+        let qc = mb.set_row(qc, zero, c0)?;
+        let one_i = mb.const_i32(1);
+        let hsum0 = mb.zeros_like(h0)?;
+        let threshold = cfg.threshold;
+        let max_depth = cfg.max_depth;
+        // Loop state: (head, tail, qh, qc, qd, hsum).
+        let outs = mb.while_loop(
+            &format!("td_iter_{b}"),
+            &[zero, one_i, qh, qc, qd, hsum0],
+            |b, s| b.ilt(s[0], s[1]),
+            move |b, s| {
+                let (head, tail, qh, qc, qd, hsum) = (s[0], s[1], s[2], s[3], s[4], s[5]);
+                let h = b.get_row(qh, head)?;
+                let c = b.get_row(qc, head)?;
+                let dep = b.get_row(qd, head)?;
+                let expand = params.expand_pred(b, h, threshold)?;
+                let dep_s = b.sum_all(dep)?;
+                let too_deep = b.fgt_const(dep_s, max_depth as f32 - 0.5)?;
+                let depth_ok = b.not(too_deep)?;
+                let two = b.const_i32(2);
+                let t2 = b.iadd(tail, two)?;
+                let cap_w = b.const_i32((1usize << (max_depth + 2)) as i32 - 1);
+                let room = b.ile(t2, cap_w)?;
+                let p0 = b.and(expand, depth_ok)?;
+                let p = b.and(p0, room)?;
+                let state = b.cond(
+                    p,
+                    &[DType::F32, DType::F32, DType::F32, DType::I32],
+                    |b| {
+                        let (hl, cl) = params.left.apply(b, h, c)?;
+                        let (hr, cr) = params.right.apply(b, h, c)?;
+                        let one = b.const_i32(1);
+                        let t1 = b.iadd(tail, one)?;
+                        let qh2 = b.set_row(qh, tail, hl)?;
+                        let qh3 = b.set_row(qh2, t1, hr)?;
+                        let qc2 = b.set_row(qc, tail, cl)?;
+                        let qc3 = b.set_row(qc2, t1, cr)?;
+                        let d2 = b.add_const(dep, 1.0)?;
+                        let qd2 = b.set_row(qd, tail, d2)?;
+                        let qd3 = b.set_row(qd2, t1, d2)?;
+                        let two = b.const_i32(2);
+                        let tnew = b.iadd(tail, two)?;
+                        Ok(vec![qh3, qc3, qd3, tnew])
+                    },
+                    |b| {
+                        Ok(vec![
+                            b.identity(qh)?,
+                            b.identity(qc)?,
+                            b.identity(qd)?,
+                            b.identity(tail)?,
+                        ])
+                    },
+                )?;
+                let one = b.const_i32(1);
+                let head2 = b.iadd(head, one)?;
+                let hsum2 = b.add(hsum, h)?;
+                Ok(vec![head2, state[3], state[0], state[1], state[2], hsum2])
+            },
+        )?;
+        counts.push(outs[1]); // final tail = number of generated nodes
+        sums.push(outs[5]);
+    }
+    let total = counts
+        .into_iter()
+        .try_fold(None::<Wire>, |acc, c| -> Result<Option<Wire>> {
+            Ok(Some(match acc {
+                None => c,
+                Some(a) => mb.iadd(a, c)?,
+            }))
+        })?
+        .expect("batch >= 1");
+    let sum_state = sums
+        .into_iter()
+        .try_fold(None::<Wire>, |acc, s| -> Result<Option<Wire>> {
+            Ok(Some(match acc {
+                None => s,
+                Some(a) => mb.add(a, s)?,
+            }))
+        })?
+        .expect("batch >= 1");
+    let mean_state = mb.mean_all(sum_state)?;
+    mb.set_outputs(&[total, mean_state])?;
+    mb.finish()
+}
+
+/// Seed-word feeds for a batch (deterministic per `data_seed`).
+pub fn td_feeds(cfg: &TdConfig, data_seed: u64) -> Vec<rdg_tensor::Tensor> {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(data_seed);
+    (0..cfg.batch)
+        .map(|_| rdg_tensor::Tensor::scalar_i32(rng.gen_range(0..cfg.vocab as i32)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdg_exec::{Executor, Session};
+    use std::sync::Arc;
+
+    #[test]
+    fn recursive_td_generates_dynamic_trees() {
+        let cfg = TdConfig::tiny(4);
+        let m = build_td_recursive(&cfg).unwrap();
+        m.validate().unwrap();
+        let s = Session::new(Executor::with_threads(2), m).unwrap();
+        let out = s.run(td_feeds(&cfg, 1)).unwrap();
+        let n = out[0].as_i32_scalar().unwrap();
+        assert!(n >= 4, "at least the roots: {n}");
+        assert!(n <= (cfg.max_nodes() * 4) as i32);
+        assert!(out[1].as_f32_scalar().unwrap().is_finite());
+    }
+
+    #[test]
+    fn structure_depends_on_input_values() {
+        // Different seed words must (generically) yield different node
+        // counts — the structure is decided by computed values.
+        let cfg = TdConfig::tiny(1);
+        let m = build_td_recursive(&cfg).unwrap();
+        let s = Session::new(Executor::with_threads(2), m).unwrap();
+        let counts: Vec<i32> = (0..16)
+            .map(|w| {
+                s.run(vec![rdg_tensor::Tensor::scalar_i32(w)]).unwrap()[0]
+                    .as_i32_scalar()
+                    .unwrap()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<i32> = counts.iter().copied().collect();
+        assert!(distinct.len() > 1, "structure must vary with inputs: {counts:?}");
+    }
+
+    #[test]
+    fn iterative_matches_recursive_node_counts() {
+        let cfg = TdConfig::tiny(3);
+        let mr = build_td_recursive(&cfg).unwrap();
+        let mi = build_td_iterative(&cfg).unwrap();
+        let exec = Executor::with_threads(2);
+        let sr = Session::new(Arc::clone(&exec), mr).unwrap();
+        // Share parameters so decisions match exactly.
+        let si = Session::with_params(exec, mi, Arc::clone(sr.params())).unwrap();
+        for ds in 0..4 {
+            let feeds = td_feeds(&cfg, ds);
+            let nr = sr.run(feeds.clone()).unwrap()[0].as_i32_scalar().unwrap();
+            let ni = si.run(feeds).unwrap()[0].as_i32_scalar().unwrap();
+            assert_eq!(nr, ni, "node counts must agree (data seed {ds})");
+        }
+    }
+
+    #[test]
+    fn depth_cap_bounds_generation() {
+        let mut cfg = TdConfig::tiny(1);
+        cfg.max_depth = 2;
+        cfg.threshold = 0.0; // always expand: full tree to the cap
+        let m = build_td_recursive(&cfg).unwrap();
+        let s = Session::new(Executor::with_threads(2), m).unwrap();
+        let out = s.run(td_feeds(&cfg, 2)).unwrap();
+        // Full binary tree of depth 2 (root=0): 2^3 - 1 = 7 nodes.
+        assert_eq!(out[0].as_i32_scalar().unwrap(), 7);
+    }
+}

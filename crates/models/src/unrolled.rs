@@ -1,0 +1,214 @@
+//! The static-unrolling baseline (PyTorch stand-in, paper §2.2 / §6.1).
+//!
+//! For every data instance a *fresh, fully unrolled* graph is constructed —
+//! one set of cell nodes per tree node, no SubGraphs, no control flow — then
+//! planned, executed once, and discarded. This reproduces the two costs that
+//! define the non-embedded-control-flow approach:
+//!
+//! * per-instance graph construction and planning overhead ("a new graph
+//!   must be created for all input training instances"), and
+//! * zero cross-instance graph reuse, so "the effect of compile-time graph
+//!   optimization is near zero".
+//!
+//! Execution defaults to one worker thread, modelling eager per-op dispatch
+//! order in the host language.
+
+use crate::config::ModelConfig;
+use crate::params::{Cell, ModelParams};
+use rdg_data::{Instance, TreeNode};
+use rdg_exec::{ExecError, Executor, GradStore, ParamStore, Session};
+
+use rdg_graph::{Module, ModuleBuilder, Result, Wire};
+use rdg_tensor::Tensor;
+use std::sync::Arc;
+
+/// Runs a sentiment model by building one unrolled module per instance.
+pub struct UnrolledModel {
+    cfg: ModelConfig,
+    params: Arc<ParamStore>,
+    exec: Arc<Executor>,
+}
+
+impl UnrolledModel {
+    /// Creates the shared parameter store and a sequential executor.
+    pub fn new(cfg: ModelConfig) -> Result<Self> {
+        // Register parameters once to create the shared store.
+        let mut mb = ModuleBuilder::new();
+        let _ = ModelParams::register(&mut mb, &cfg);
+        let c = mb.const_f32(0.0);
+        mb.set_outputs(&[c])?;
+        let module = mb.finish()?;
+        let params = Arc::new(ParamStore::from_module(&module));
+        Ok(UnrolledModel { cfg, params, exec: Executor::with_threads(1) })
+    }
+
+    /// The shared parameter store (for weight sharing with other styles).
+    pub fn params(&self) -> &Arc<ParamStore> {
+        &self.params
+    }
+
+    /// Replaces the parameter store (weight sharing with another session).
+    pub fn set_params(&mut self, params: Arc<ParamStore>) {
+        self.params = params;
+    }
+
+    /// Builds the unrolled module for one instance: outputs
+    /// `[loss, logits[1, classes]]`.
+    pub fn build_instance_module(&self, inst: &Instance) -> Result<Module> {
+        let mut mb = ModuleBuilder::new();
+        let params = ModelParams::register(&mut mb, &self.cfg);
+        // Unroll: emit cell nodes directly, children before parents
+        // (the tree is already topologically ordered).
+        let n = inst.tree.len();
+        let mut h: Vec<Option<Wire>> = vec![None; n];
+        let mut c: Vec<Option<Wire>> = vec![None; n];
+        for (i, node) in inst.tree.nodes.iter().enumerate() {
+            match *node {
+                TreeNode::Leaf { word } => {
+                    let w = mb.const_i32(word);
+                    let e = params.embedding.lookup(&mut mb, w)?;
+                    match params.cell {
+                        Cell::Rnn(cl) => h[i] = Some(cl.leaf(&mut mb, e)?),
+                        Cell::Rntn(cl) => h[i] = Some(cl.leaf(&mut mb, e)?),
+                        Cell::Lstm(cl) => {
+                            let (hh, cc) = cl.leaf(&mut mb, e)?;
+                            h[i] = Some(hh);
+                            c[i] = Some(cc);
+                        }
+                    }
+                }
+                TreeNode::Internal { left, right } => {
+                    let hl = h[left].expect("topological order");
+                    let hr = h[right].expect("topological order");
+                    match params.cell {
+                        Cell::Rnn(cl) => h[i] = Some(cl.internal(&mut mb, hl, hr)?),
+                        Cell::Rntn(cl) => h[i] = Some(cl.internal(&mut mb, hl, hr)?),
+                        Cell::Lstm(cl) => {
+                            let clf = c[left].expect("topological order");
+                            let crt = c[right].expect("topological order");
+                            let (hh, cc) = cl.internal(&mut mb, hl, clf, hr, crt)?;
+                            h[i] = Some(hh);
+                            c[i] = Some(cc);
+                        }
+                    }
+                }
+            }
+        }
+        let root_h = h[inst.tree.root()].expect("root computed");
+        let logits = params.classifier.apply(&mut mb, root_h)?;
+        let labels = mb.constant(Tensor::from_i32([1], vec![inst.label]).expect("one label"));
+        let losses = mb.softmax_xent(logits, labels)?;
+        let loss = mb.mean_all(losses)?;
+        mb.set_outputs(&[loss, logits])?;
+        mb.finish()
+    }
+
+    /// Inference over a batch: one graph construction + run per instance.
+    ///
+    /// Returns `(mean loss, per-instance logits)`.
+    pub fn run_inference(&self, batch: &[Instance]) -> std::result::Result<(f32, Vec<Tensor>), ExecError> {
+        let mut loss_sum = 0.0f32;
+        let mut logits = Vec::with_capacity(batch.len());
+        for inst in batch {
+            let module = self.build_instance_module(inst)?;
+            let session =
+                Session::with_params(Arc::clone(&self.exec), module, Arc::clone(&self.params))?;
+            let outs = session.run(vec![])?;
+            loss_sum += outs[0].as_f32_scalar().map_err(|e| ExecError::BadFeed {
+                msg: format!("loss output: {e}"),
+            })?;
+            logits.push(outs[1].clone());
+        }
+        Ok((loss_sum / batch.len().max(1) as f32, logits))
+    }
+
+    /// One training step over a batch: per-instance forward+backward with
+    /// fresh graphs, gradients averaged into `grads`.
+    ///
+    /// The caller applies the optimizer afterwards.
+    pub fn run_training(
+        &self,
+        batch: &[Instance],
+        grads: &GradStore,
+    ) -> std::result::Result<f32, ExecError> {
+        grads.clear();
+        let mut loss_sum = 0.0f32;
+        let scale = 1.0 / batch.len().max(1) as f32;
+        for inst in batch {
+            let module = self.build_instance_module(inst)?;
+            let train =
+                rdg_autodiff::build_training_module(&module, module.main.outputs[0])?;
+            let session =
+                Session::with_params(Arc::clone(&self.exec), train, Arc::clone(&self.params))?;
+            let outs = session.run_training(vec![])?;
+            loss_sum += outs[0].as_f32_scalar().map_err(|e| ExecError::BadFeed {
+                msg: format!("loss output: {e}"),
+            })?;
+            // Merge this instance's gradients, scaled to the batch mean.
+            for pid in self.params.ids() {
+                if let Some(g) = session.grads().get(pid) {
+                    let scaled = rdg_tensor::ops::scale(&g, scale).map_err(|e| {
+                        ExecError::BadFeed { msg: format!("gradient merge: {e}") }
+                    })?;
+                    grads.accumulate(pid, &scaled).map_err(|e| ExecError::BadFeed {
+                        msg: format!("gradient merge: {e}"),
+                    })?;
+                }
+            }
+        }
+        Ok(loss_sum * scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, ModelKind};
+    use rdg_data::{Dataset, DatasetConfig, Split};
+
+    fn tiny_batch(n: usize) -> Vec<Instance> {
+        let cfg = DatasetConfig {
+            vocab: 100,
+            n_train: n,
+            n_valid: 0,
+            min_len: 3,
+            max_len: 8,
+            ..DatasetConfig::default()
+        };
+        Dataset::generate(cfg).split(Split::Train).to_vec()
+    }
+
+    #[test]
+    fn unrolled_inference_runs_all_kinds() {
+        for kind in [ModelKind::TreeRnn, ModelKind::Rntn, ModelKind::TreeLstm] {
+            let um = UnrolledModel::new(ModelConfig::tiny(kind, 2)).unwrap();
+            let (loss, logits) = um.run_inference(&tiny_batch(2)).unwrap();
+            assert!(loss.is_finite() && loss > 0.0, "{kind:?}");
+            assert_eq!(logits.len(), 2);
+        }
+    }
+
+    #[test]
+    fn unrolled_graph_has_no_control_flow() {
+        let um = UnrolledModel::new(ModelConfig::tiny(ModelKind::TreeRnn, 1)).unwrap();
+        let batch = tiny_batch(1);
+        let m = um.build_instance_module(&batch[0]).unwrap();
+        assert!(m.subgraphs.is_empty(), "fully unrolled: no SubGraphs");
+        assert!(
+            !m.main.nodes.iter().any(|n| n.op.is_control_flow()),
+            "fully unrolled: no Invoke/Cond"
+        );
+        // Node count scales with the tree, unlike the recursive module.
+        assert!(m.main.len() > batch[0].tree.len());
+    }
+
+    #[test]
+    fn unrolled_training_accumulates_gradients() {
+        let um = UnrolledModel::new(ModelConfig::tiny(ModelKind::TreeRnn, 2)).unwrap();
+        let grads = GradStore::new(um.params().len());
+        let loss = um.run_training(&tiny_batch(2), &grads).unwrap();
+        assert!(loss.is_finite());
+        let any = um.params().ids().any(|p| grads.get(p).is_some());
+        assert!(any, "gradients merged across instances");
+    }
+}

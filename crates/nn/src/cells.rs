@@ -1,0 +1,299 @@
+//! The recursive cells evaluated in the paper.
+//!
+//! Each cell provides a *leaf* computation (from a word embedding) and an
+//! *internal* computation (combining the two children), matching the
+//! binary-parse-tree models the paper trains:
+//!
+//! * [`TreeRnnCell`] — `h = tanh(W·[h_l; h_r] + b)` (Socher et al., 2011).
+//!   The lightest per-node compute, hence — as §6.2 notes — the biggest
+//!   relative win from parallel recursive execution.
+//! * [`RntnCell`] — adds the bilinear tensor interaction
+//!   `h = tanh([h_l;h_r]ᵀV[h_l;h_r] + W·[h_l;h_r] + b)` (Socher et al.,
+//!   2013). An order of magnitude more work per node.
+//! * [`TreeLstmCell`] — binary Child-Sum/N-ary TreeLSTM with per-child
+//!   forget gates (Tai et al., 2015). Heaviest per node; carries a memory
+//!   cell alongside the hidden state.
+//!
+//! Cells only *build graph fragments*; the same cell object is used by the
+//! recursive, iterative, and unrolled model implementations, which is what
+//! makes their outputs numerically identical (§6.2 of the paper).
+
+use crate::layers::Linear;
+use rand::Rng;
+use rdg_graph::{ModuleBuilder, ParamId, Result, Wire};
+use rdg_tensor::ops::rng::{randn, xavier_uniform};
+use rdg_tensor::Tensor;
+
+/// TreeRNN: `h = tanh(W·[h_l; h_r] + b)`, leaf: `h = tanh(W_e·x + b_e)`.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeRnnCell {
+    /// Hidden dimensionality.
+    pub dim: usize,
+    /// Leaf transform (embedding → hidden).
+    pub leaf: Linear,
+    /// Internal combiner (`[h_l; h_r]` → hidden).
+    pub combine: Linear,
+}
+
+impl TreeRnnCell {
+    /// Registers parameters for embedding width `embed` and hidden `dim`.
+    pub fn new(mb: &mut ModuleBuilder, embed: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        TreeRnnCell {
+            dim,
+            leaf: Linear::new(mb, "treernn_leaf", embed, dim, rng),
+            combine: Linear::new(mb, "treernn_comb", 2 * dim, dim, rng),
+        }
+    }
+
+    /// Leaf computation from an embedding row `[1, embed]`.
+    pub fn leaf(&self, mb: &mut ModuleBuilder, x: Wire) -> Result<Wire> {
+        let h = self.leaf.apply(mb, x)?;
+        mb.tanh(h)
+    }
+
+    /// Internal computation from the two child states `[1, dim]`.
+    pub fn internal(&self, mb: &mut ModuleBuilder, hl: Wire, hr: Wire) -> Result<Wire> {
+        let cat = mb.concat_cols(hl, hr)?;
+        let h = self.combine.apply(mb, cat)?;
+        mb.tanh(h)
+    }
+}
+
+/// RNTN: TreeRNN plus the bilinear tensor term `xᵀ·V·x`.
+#[derive(Clone, Copy, Debug)]
+pub struct RntnCell {
+    /// Hidden dimensionality.
+    pub dim: usize,
+    /// Leaf transform (embedding → hidden).
+    pub leaf: Linear,
+    /// Internal linear combiner.
+    pub combine: Linear,
+    /// The third-order tensor `[dim, 2·dim, 2·dim]`.
+    pub v: ParamId,
+}
+
+impl RntnCell {
+    /// Registers parameters for embedding width `embed` and hidden `dim`.
+    pub fn new(mb: &mut ModuleBuilder, embed: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        let v = mb.param("rntn_v", randn([dim, 2 * dim, 2 * dim], 0.01, rng));
+        RntnCell {
+            dim,
+            leaf: Linear::new(mb, "rntn_leaf", embed, dim, rng),
+            combine: Linear::new(mb, "rntn_comb", 2 * dim, dim, rng),
+            v,
+        }
+    }
+
+    /// Leaf computation from an embedding row.
+    pub fn leaf(&self, mb: &mut ModuleBuilder, x: Wire) -> Result<Wire> {
+        let h = self.leaf.apply(mb, x)?;
+        mb.tanh(h)
+    }
+
+    /// Internal computation: `tanh(xᵀVx + W·x + b)` with `x = [h_l; h_r]`.
+    pub fn internal(&self, mb: &mut ModuleBuilder, hl: Wire, hr: Wire) -> Result<Wire> {
+        let cat = mb.concat_cols(hl, hr)?;
+        let vv = mb.param_read(self.v)?;
+        let bil = mb.bilinear(cat, vv)?;
+        let lin = self.combine.apply(mb, cat)?;
+        let sum = mb.add(bil, lin)?;
+        mb.tanh(sum)
+    }
+}
+
+/// Binary TreeLSTM with per-child forget gates (Tai et al., 2015).
+#[derive(Clone, Copy, Debug)]
+pub struct TreeLstmCell {
+    /// Hidden/cell dimensionality.
+    pub dim: usize,
+    /// Leaf input gate (from the embedding).
+    pub leaf_i: Linear,
+    /// Leaf output gate.
+    pub leaf_o: Linear,
+    /// Leaf candidate transform.
+    pub leaf_u: Linear,
+    /// Internal input gate (from `[h_l; h_r]`).
+    pub int_i: Linear,
+    /// Internal left-child forget gate.
+    pub int_fl: Linear,
+    /// Internal right-child forget gate.
+    pub int_fr: Linear,
+    /// Internal output gate.
+    pub int_o: Linear,
+    /// Internal candidate transform.
+    pub int_u: Linear,
+}
+
+impl TreeLstmCell {
+    /// Registers parameters for embedding width `embed` and hidden `dim`.
+    pub fn new(mb: &mut ModuleBuilder, embed: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        // Forget-gate biases start at 1.0 (standard LSTM trick) so memory
+        // flows at initialization.
+        let mut lin_biased = |mb: &mut ModuleBuilder, name: &str, ind: usize, bias: f32| {
+            let w = mb.param(format!("{name}_w"), xavier_uniform(ind, dim, rng));
+            let b = mb.param(format!("{name}_b"), Tensor::full([dim], bias));
+            Linear { w, b }
+        };
+        TreeLstmCell {
+            dim,
+            leaf_i: lin_biased(mb, "tlstm_leaf_i", embed, 0.0),
+            leaf_o: lin_biased(mb, "tlstm_leaf_o", embed, 0.0),
+            leaf_u: lin_biased(mb, "tlstm_leaf_u", embed, 0.0),
+            int_i: lin_biased(mb, "tlstm_int_i", 2 * dim, 0.0),
+            int_fl: lin_biased(mb, "tlstm_int_fl", 2 * dim, 1.0),
+            int_fr: lin_biased(mb, "tlstm_int_fr", 2 * dim, 1.0),
+            int_o: lin_biased(mb, "tlstm_int_o", 2 * dim, 0.0),
+            int_u: lin_biased(mb, "tlstm_int_u", 2 * dim, 0.0),
+        }
+    }
+
+    /// Leaf computation: `(h, c)` from an embedding row `[1, embed]`.
+    pub fn leaf(&self, mb: &mut ModuleBuilder, x: Wire) -> Result<(Wire, Wire)> {
+        let i = self.leaf_i.apply(mb, x)?;
+        let i = mb.sigmoid(i)?;
+        let o = self.leaf_o.apply(mb, x)?;
+        let o = mb.sigmoid(o)?;
+        let u = self.leaf_u.apply(mb, x)?;
+        let u = mb.tanh(u)?;
+        let c = mb.mul(i, u)?;
+        let ct = mb.tanh(c)?;
+        let h = mb.mul(o, ct)?;
+        Ok((h, c))
+    }
+
+    /// Internal computation: `(h, c)` from both children's `(h, c)`.
+    pub fn internal(
+        &self,
+        mb: &mut ModuleBuilder,
+        hl: Wire,
+        cl: Wire,
+        hr: Wire,
+        cr: Wire,
+    ) -> Result<(Wire, Wire)> {
+        let x = mb.concat_cols(hl, hr)?;
+        let i = self.int_i.apply(mb, x)?;
+        let i = mb.sigmoid(i)?;
+        let fl = self.int_fl.apply(mb, x)?;
+        let fl = mb.sigmoid(fl)?;
+        let fr = self.int_fr.apply(mb, x)?;
+        let fr = mb.sigmoid(fr)?;
+        let o = self.int_o.apply(mb, x)?;
+        let o = mb.sigmoid(o)?;
+        let u = self.int_u.apply(mb, x)?;
+        let u = mb.tanh(u)?;
+        let iu = mb.mul(i, u)?;
+        let flc = mb.mul(fl, cl)?;
+        let frc = mb.mul(fr, cr)?;
+        let c0 = mb.add(iu, flc)?;
+        let c = mb.add(c0, frc)?;
+        let ct = mb.tanh(c)?;
+        let h = mb.mul(o, ct)?;
+        Ok((h, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdg_autodiff::check_gradients;
+    use rdg_exec::{Executor, Session};
+
+    fn run_scalar(m: rdg_graph::Module) -> Vec<Tensor> {
+        Session::new(Executor::with_threads(2), m).unwrap().run(vec![]).unwrap()
+    }
+
+    #[test]
+    fn treernn_cell_output_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mb = ModuleBuilder::new();
+        let cell = TreeRnnCell::new(&mut mb, 4, 3, &mut rng);
+        let e = mb.constant(Tensor::ones([1, 4]));
+        let h = cell.leaf(&mut mb, e).unwrap();
+        let top = cell.internal(&mut mb, h, h).unwrap();
+        mb.set_outputs(&[top]).unwrap();
+        let out = run_scalar(mb.finish().unwrap());
+        assert_eq!(out[0].shape().dims(), &[1, 3]);
+        assert!(out[0].f32s().unwrap().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn rntn_cell_uses_tensor_term() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mb = ModuleBuilder::new();
+        let cell = RntnCell::new(&mut mb, 4, 3, &mut rng);
+        let e = mb.constant(Tensor::ones([1, 4]));
+        let h = cell.leaf(&mut mb, e).unwrap();
+        let top = cell.internal(&mut mb, h, h).unwrap();
+        mb.set_outputs(&[top]).unwrap();
+        let m = mb.finish().unwrap();
+        assert!(
+            m.main.nodes.iter().any(|n| matches!(n.op, rdg_graph::OpKind::Bilinear)),
+            "RNTN internal must contain a Bilinear node"
+        );
+        let out = run_scalar(m);
+        assert_eq!(out[0].shape().dims(), &[1, 3]);
+    }
+
+    #[test]
+    fn treelstm_cell_shapes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mb = ModuleBuilder::new();
+        let cell = TreeLstmCell::new(&mut mb, 4, 3, &mut rng);
+        let e = mb.constant(Tensor::ones([1, 4]));
+        let (h1, c1) = cell.leaf(&mut mb, e).unwrap();
+        let (h2, c2) = cell.leaf(&mut mb, e).unwrap();
+        let (h, c) = cell.internal(&mut mb, h1, c1, h2, c2).unwrap();
+        mb.set_outputs(&[h, c]).unwrap();
+        let out = run_scalar(mb.finish().unwrap());
+        assert_eq!(out[0].shape().dims(), &[1, 3]);
+        assert_eq!(out[1].shape().dims(), &[1, 3]);
+    }
+
+    #[test]
+    fn all_cells_gradcheck() {
+        // One small two-leaf tree per cell type, loss = mean(root state):
+        // the full cell math must agree with finite differences.
+        let mut rng = StdRng::seed_from_u64(6);
+
+        // TreeRNN.
+        let mut mb = ModuleBuilder::new();
+        let cell = TreeRnnCell::new(&mut mb, 3, 2, &mut rng);
+        let e1 = mb.constant(Tensor::from_f32([1, 3], vec![0.1, -0.2, 0.3]).unwrap());
+        let e2 = mb.constant(Tensor::from_f32([1, 3], vec![-0.4, 0.5, 0.0]).unwrap());
+        let h1 = cell.leaf(&mut mb, e1).unwrap();
+        let h2 = cell.leaf(&mut mb, e2).unwrap();
+        let top = cell.internal(&mut mb, h1, h2).unwrap();
+        let loss = mb.mean_all(top).unwrap();
+        mb.set_outputs(&[loss]).unwrap();
+        let r = check_gradients(&mb.finish().unwrap(), 0, &[], 1e-2, 8).unwrap();
+        assert!(r.max_rel_err < 0.05, "TreeRNN rel err {}", r.max_rel_err);
+
+        // RNTN.
+        let mut mb = ModuleBuilder::new();
+        let cell = RntnCell::new(&mut mb, 3, 2, &mut rng);
+        let e1 = mb.constant(Tensor::from_f32([1, 3], vec![0.1, -0.2, 0.3]).unwrap());
+        let e2 = mb.constant(Tensor::from_f32([1, 3], vec![-0.4, 0.5, 0.0]).unwrap());
+        let h1 = cell.leaf(&mut mb, e1).unwrap();
+        let h2 = cell.leaf(&mut mb, e2).unwrap();
+        let top = cell.internal(&mut mb, h1, h2).unwrap();
+        let loss = mb.mean_all(top).unwrap();
+        mb.set_outputs(&[loss]).unwrap();
+        let r = check_gradients(&mb.finish().unwrap(), 0, &[], 1e-2, 8).unwrap();
+        assert!(r.max_rel_err < 0.05, "RNTN rel err {}", r.max_rel_err);
+
+        // TreeLSTM.
+        let mut mb = ModuleBuilder::new();
+        let cell = TreeLstmCell::new(&mut mb, 3, 2, &mut rng);
+        let e1 = mb.constant(Tensor::from_f32([1, 3], vec![0.1, -0.2, 0.3]).unwrap());
+        let e2 = mb.constant(Tensor::from_f32([1, 3], vec![-0.4, 0.5, 0.0]).unwrap());
+        let (h1, c1) = cell.leaf(&mut mb, e1).unwrap();
+        let (h2, c2) = cell.leaf(&mut mb, e2).unwrap();
+        let (h, _c) = cell.internal(&mut mb, h1, c1, h2, c2).unwrap();
+        let loss = mb.mean_all(h).unwrap();
+        mb.set_outputs(&[loss]).unwrap();
+        let r = check_gradients(&mb.finish().unwrap(), 0, &[], 1e-2, 4).unwrap();
+        assert!(r.max_rel_err < 0.05, "TreeLSTM rel err {}", r.max_rel_err);
+    }
+}

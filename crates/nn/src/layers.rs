@@ -1,0 +1,114 @@
+//! Dense and embedding layers as graph fragments.
+
+use rand::Rng;
+use rdg_graph::{ModuleBuilder, ParamId, Result, Wire};
+use rdg_tensor::ops::rng::{uniform, xavier_uniform};
+use rdg_tensor::Tensor;
+
+/// A dense layer `y = x·W + b`.
+#[derive(Clone, Copy, Debug)]
+pub struct Linear {
+    /// Weight parameter `[in, out]`.
+    pub w: ParamId,
+    /// Bias parameter `[out]`.
+    pub b: ParamId,
+}
+
+impl Linear {
+    /// Registers Xavier-initialized parameters named `{name}_w` / `{name}_b`.
+    pub fn new(
+        mb: &mut ModuleBuilder,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = mb.param(format!("{name}_w"), xavier_uniform(in_dim, out_dim, rng));
+        let b = mb.param(format!("{name}_b"), Tensor::zeros([out_dim]));
+        Linear { w, b }
+    }
+
+    /// Applies the layer in the current scope: `x·W + b`.
+    pub fn apply(&self, mb: &mut ModuleBuilder, x: Wire) -> Result<Wire> {
+        let w = mb.param_read(self.w)?;
+        let b = mb.param_read(self.b)?;
+        let h = mb.matmul(x, w)?;
+        mb.add_bias(h, b)
+    }
+
+    /// Applies the layer without the bias term.
+    pub fn apply_no_bias(&self, mb: &mut ModuleBuilder, x: Wire) -> Result<Wire> {
+        let w = mb.param_read(self.w)?;
+        mb.matmul(x, w)
+    }
+}
+
+/// An embedding table `[vocab, dim]` with row-sparse gradients.
+#[derive(Clone, Copy, Debug)]
+pub struct Embedding {
+    /// The table parameter.
+    pub table: ParamId,
+    /// Embedding dimensionality.
+    pub dim: usize,
+}
+
+impl Embedding {
+    /// Registers a uniform(-0.05, 0.05) initialized table.
+    pub fn new(
+        mb: &mut ModuleBuilder,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let table = mb.param(name.to_string(), uniform([vocab, dim], -0.05, 0.05, rng));
+        Embedding { table, dim }
+    }
+
+    /// Looks up rows for `ids` (`i32[m]`) in the current scope.
+    ///
+    /// The gather reads the `Param` node directly so autodiff produces a
+    /// row-sparse `GradSinkRows` instead of a dense scatter over the table.
+    pub fn lookup(&self, mb: &mut ModuleBuilder, ids: Wire) -> Result<Wire> {
+        let t = mb.param_read(self.table)?;
+        mb.gather_rows(t, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rdg_exec::{Executor, Session};
+
+    #[test]
+    fn linear_shapes_and_execution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mb = ModuleBuilder::new();
+        let lin = Linear::new(&mut mb, "l", 3, 2, &mut rng);
+        let x = mb.constant(Tensor::ones([2, 3]));
+        let y = lin.apply(&mut mb, x).unwrap();
+        mb.set_outputs(&[y]).unwrap();
+        let s = Session::new(Executor::with_threads(2), mb.finish().unwrap()).unwrap();
+        let out = s.run(vec![]).unwrap();
+        assert_eq!(out[0].shape().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn embedding_lookup_matches_table() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mb = ModuleBuilder::new();
+        let emb = Embedding::new(&mut mb, "emb", 10, 4, &mut rng);
+        let ids = mb.constant(Tensor::from_i32([2], vec![3, 7]).unwrap());
+        let rows = emb.lookup(&mut mb, ids).unwrap();
+        mb.set_outputs(&[rows]).unwrap();
+        let m = mb.finish().unwrap();
+        let table = m.params[0].init.clone();
+        let s = Session::new(Executor::with_threads(2), m).unwrap();
+        let out = s.run(vec![]).unwrap();
+        let tv = table.f32s().unwrap();
+        assert_eq!(&out[0].f32s().unwrap()[0..4], &tv[12..16]);
+        assert_eq!(&out[0].f32s().unwrap()[4..8], &tv[28..32]);
+    }
+}

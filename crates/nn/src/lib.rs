@@ -1,0 +1,27 @@
+//! Neural-network building blocks on top of the `rdg` graph IR.
+//!
+//! This crate supplies what the paper's evaluation models are made of:
+//!
+//! * [`layers`] — dense layers and embedding tables (with row-sparse
+//!   gradients) expressed as graph fragments over a
+//!   [`rdg_graph::ModuleBuilder`].
+//! * [`cells`] — the three recursive cells evaluated in the paper:
+//!   TreeRNN (Socher et al. '11), RNTN (Socher et al. '13) and the binary
+//!   TreeLSTM (Tai et al. '15), each with a leaf and an internal variant.
+//! * [`optim`] — SGD, Adagrad (what the original TreeLSTM paper used) and
+//!   Adam, applying [`rdg_exec::GradStore`] contents to a
+//!   [`rdg_exec::ParamStore`], with global-norm clipping.
+//! * [`train`] — a small trainer loop helper (session + optimizer).
+//! * [`metrics`] — classification accuracy.
+
+pub mod cells;
+pub mod layers;
+pub mod metrics;
+pub mod optim;
+pub mod train;
+
+pub use cells::{RntnCell, TreeLstmCell, TreeRnnCell};
+pub use layers::{Embedding, Linear};
+pub use metrics::binary_accuracy;
+pub use optim::{Adagrad, Adam, Optimizer, Sgd};
+pub use train::Trainer;

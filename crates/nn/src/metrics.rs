@@ -1,0 +1,46 @@
+//! Evaluation metrics.
+
+use rdg_tensor::{ops, Result, Tensor};
+
+/// Classification accuracy of `logits: [m, c]` against labels `i32[m]`.
+pub fn accuracy(logits: &Tensor, labels: &Tensor) -> Result<f32> {
+    let pred = ops::argmax_rows(logits)?;
+    let pv = pred.i32s()?;
+    let lv = labels.i32s()?;
+    if pv.len() != lv.len() {
+        return Err(rdg_tensor::TensorError::LengthMismatch {
+            expected: lv.len(),
+            got: pv.len(),
+            ctx: "accuracy",
+        });
+    }
+    let correct = pv.iter().zip(lv.iter()).filter(|(a, b)| a == b).count();
+    Ok(correct as f32 / pv.len().max(1) as f32)
+}
+
+/// Binary accuracy where class 1 is "positive" (paper Figure 9's metric).
+pub fn binary_accuracy(logits: &Tensor, labels: &Tensor) -> Result<f32> {
+    accuracy(logits, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_imperfect_accuracy() {
+        let logits =
+            Tensor::from_f32([3, 2], vec![2.0, -1.0, -3.0, 0.5, 1.0, 4.0]).unwrap();
+        let labels = Tensor::from_i32([3], vec![0, 1, 1]).unwrap();
+        assert!((accuracy(&logits, &labels).unwrap() - 1.0).abs() < 1e-6);
+        let wrong = Tensor::from_i32([3], vec![1, 1, 1]).unwrap();
+        assert!((accuracy(&logits, &wrong).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let logits = Tensor::zeros([2, 2]);
+        let labels = Tensor::from_i32([3], vec![0, 0, 0]).unwrap();
+        assert!(accuracy(&logits, &labels).is_err());
+    }
+}

@@ -1,0 +1,280 @@
+//! Optimizers: apply accumulated gradients to the parameter store.
+//!
+//! Optimizers run host-side between steps (the graph's `GradSink` nodes have
+//! already summed all per-frame contributions). Adagrad is what the original
+//! TreeLSTM paper used; SGD and Adam round out the set.
+
+use rdg_exec::{GradStore, ParamStore};
+
+use rdg_tensor::{Tensor, TensorError};
+
+/// A parameter-update rule.
+pub trait Optimizer: Send {
+    /// Applies one step of updates from `grads` to `params`.
+    fn step(&mut self, params: &ParamStore, grads: &GradStore) -> Result<(), TensorError>;
+}
+
+/// Computes the scale factor implementing global-norm gradient clipping.
+pub fn clip_factor(grads: &GradStore, max_norm: Option<f32>) -> f32 {
+    match max_norm {
+        Some(mx) => {
+            let n = grads.global_norm();
+            if n > mx && n > 0.0 {
+                mx / n
+            } else {
+                1.0
+            }
+        }
+        None => 1.0,
+    }
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// Global-norm clip threshold.
+    pub clip_norm: Option<f32>,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate (no momentum, no clipping).
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, clip_norm: None, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &ParamStore, grads: &GradStore) -> Result<(), TensorError> {
+        let scale = clip_factor(grads, self.clip_norm);
+        if self.velocity.len() < params.len() {
+            self.velocity.resize(params.len(), None);
+        }
+        for pid in params.ids() {
+            let Some(g) = grads.get(pid) else { continue };
+            let gv = g.f32s()?;
+            let mut p = params.read(pid);
+            let pv = p.make_f32_mut()?;
+            if self.momentum > 0.0 {
+                let vel = &mut self.velocity[pid.0 as usize];
+                if vel.is_none() {
+                    *vel = Some(Tensor::zeros(g.shape().clone()));
+                }
+                let v = vel.as_mut().expect("just set");
+                let vv = v.make_f32_mut()?;
+                for i in 0..pv.len() {
+                    vv[i] = self.momentum * vv[i] + gv[i] * scale;
+                    pv[i] -= self.lr * vv[i];
+                }
+            } else {
+                for i in 0..pv.len() {
+                    pv[i] -= self.lr * gv[i] * scale;
+                }
+            }
+            params.write(pid, p);
+        }
+        Ok(())
+    }
+}
+
+/// Adagrad (Duchi et al.): per-element adaptive learning rates.
+pub struct Adagrad {
+    /// Learning rate.
+    pub lr: f32,
+    /// Stability epsilon.
+    pub eps: f32,
+    /// Global-norm clip threshold.
+    pub clip_norm: Option<f32>,
+    accum: Vec<Option<Tensor>>,
+}
+
+impl Adagrad {
+    /// Creates Adagrad with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Adagrad { lr, eps: 1e-8, clip_norm: None, accum: Vec::new() }
+    }
+}
+
+impl Optimizer for Adagrad {
+    fn step(&mut self, params: &ParamStore, grads: &GradStore) -> Result<(), TensorError> {
+        let scale = clip_factor(grads, self.clip_norm);
+        if self.accum.len() < params.len() {
+            self.accum.resize(params.len(), None);
+        }
+        for pid in params.ids() {
+            let Some(g) = grads.get(pid) else { continue };
+            let gv = g.f32s()?;
+            let acc = &mut self.accum[pid.0 as usize];
+            if acc.is_none() {
+                *acc = Some(Tensor::zeros(g.shape().clone()));
+            }
+            let a = acc.as_mut().expect("just set");
+            let av = a.make_f32_mut()?;
+            let mut p = params.read(pid);
+            let pv = p.make_f32_mut()?;
+            for i in 0..pv.len() {
+                let gs = gv[i] * scale;
+                av[i] += gs * gs;
+                pv[i] -= self.lr * gs / (av[i].sqrt() + self.eps);
+            }
+            params.write(pid, p);
+        }
+        Ok(())
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Stability epsilon.
+    pub eps: f32,
+    /// Global-norm clip threshold.
+    pub clip_norm: Option<f32>,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Creates Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip_norm: None,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &ParamStore, grads: &GradStore) -> Result<(), TensorError> {
+        let scale = clip_factor(grads, self.clip_norm);
+        self.t += 1;
+        if self.m.len() < params.len() {
+            self.m.resize(params.len(), None);
+            self.v.resize(params.len(), None);
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for pid in params.ids() {
+            let Some(g) = grads.get(pid) else { continue };
+            let gv = g.f32s()?;
+            for slot in [&mut self.m[pid.0 as usize], &mut self.v[pid.0 as usize]] {
+                if slot.is_none() {
+                    *slot = Some(Tensor::zeros(g.shape().clone()));
+                }
+            }
+            let mut p = params.read(pid);
+            {
+                let m = self.m[pid.0 as usize].as_mut().expect("set");
+                let v = self.v[pid.0 as usize].as_mut().expect("set");
+                let mv = m.make_f32_mut()?;
+                let vv = v.make_f32_mut()?;
+                let pv = p.make_f32_mut()?;
+                for i in 0..pv.len() {
+                    let gs = gv[i] * scale;
+                    mv[i] = self.beta1 * mv[i] + (1.0 - self.beta1) * gs;
+                    vv[i] = self.beta2 * vv[i] + (1.0 - self.beta2) * gs * gs;
+                    let mhat = mv[i] / bc1;
+                    let vhat = vv[i] / bc2;
+                    pv[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                }
+            }
+            params.write(pid, p);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdg_graph::{Module, ParamId, ParamSpec};
+
+    fn store_with(v: Vec<f32>) -> (ParamStore, GradStore) {
+        let mut m = Module::default();
+        let n = v.len();
+        m.params.push(ParamSpec { name: "p".into(), init: Tensor::from_f32([n], v).unwrap() });
+        let ps = ParamStore::from_module(&m);
+        let gs = GradStore::new(1);
+        (ps, gs)
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let (ps, gs) = store_with(vec![1.0, -1.0]);
+        gs.accumulate(ParamId(0), &Tensor::from_f32([2], vec![0.5, -0.5]).unwrap()).unwrap();
+        Sgd::new(0.1).step(&ps, &gs).unwrap();
+        let p = ps.read(ParamId(0));
+        assert!(p.allclose(&Tensor::from_f32([2], vec![0.95, -0.95]).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let (ps, gs) = store_with(vec![0.0]);
+        gs.accumulate(ParamId(0), &Tensor::from_f32([1], vec![1.0]).unwrap()).unwrap();
+        let mut opt = Sgd::new(0.1);
+        opt.momentum = 0.9;
+        opt.step(&ps, &gs).unwrap(); // v=1.0, p=-0.1
+        opt.step(&ps, &gs).unwrap(); // v=1.9, p=-0.29
+        let p = ps.read(ParamId(0)).as_f32_scalar().unwrap();
+        assert!((p + 0.29).abs() < 1e-5, "p = {p}");
+    }
+
+    #[test]
+    fn adagrad_shrinks_effective_lr() {
+        let (ps, gs) = store_with(vec![0.0]);
+        gs.accumulate(ParamId(0), &Tensor::from_f32([1], vec![1.0]).unwrap()).unwrap();
+        let mut opt = Adagrad::new(0.1);
+        opt.step(&ps, &gs).unwrap();
+        let p1 = ps.read(ParamId(0)).as_f32_scalar().unwrap();
+        opt.step(&ps, &gs).unwrap();
+        let p2 = ps.read(ParamId(0)).as_f32_scalar().unwrap();
+        let d1 = -p1;
+        let d2 = p1 - p2;
+        assert!(d2 < d1, "second step smaller: {d1} vs {d2}");
+        assert!((d1 - 0.1).abs() < 1e-4, "first step ≈ lr");
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        let (ps, gs) = store_with(vec![0.0]);
+        gs.accumulate(ParamId(0), &Tensor::from_f32([1], vec![0.3]).unwrap()).unwrap();
+        let mut opt = Adam::new(0.01);
+        opt.step(&ps, &gs).unwrap();
+        // With bias correction, the first step is ≈ lr regardless of g scale.
+        let p = ps.read(ParamId(0)).as_f32_scalar().unwrap();
+        assert!((p + 0.01).abs() < 1e-4, "p = {p}");
+    }
+
+    #[test]
+    fn clipping_caps_global_norm() {
+        let (_ps, gs) = store_with(vec![0.0, 0.0]);
+        gs.accumulate(ParamId(0), &Tensor::from_f32([2], vec![3.0, 4.0]).unwrap()).unwrap();
+        let f = clip_factor(&gs, Some(1.0));
+        assert!((f - 0.2).abs() < 1e-6, "norm 5 clipped to 1 → factor 0.2");
+        assert_eq!(clip_factor(&gs, Some(10.0)), 1.0);
+        assert_eq!(clip_factor(&gs, None), 1.0);
+    }
+
+    #[test]
+    fn missing_gradients_are_skipped() {
+        let (ps, gs) = store_with(vec![1.0]);
+        // No accumulation: parameter must stay put.
+        Sgd::new(0.5).step(&ps, &gs).unwrap();
+        assert_eq!(ps.read(ParamId(0)).as_f32_scalar().unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! A minimal training loop helper.
+
+use crate::optim::Optimizer;
+use rdg_exec::{ExecError, Session};
+use rdg_tensor::Tensor;
+
+/// Couples a training [`Session`] with an [`Optimizer`].
+///
+/// Convention: the training module's **output 0 is the scalar loss** (extra
+/// outputs are permitted and returned untouched).
+pub struct Trainer<O: Optimizer> {
+    /// The training session (gradient sinks included).
+    pub session: Session,
+    /// The update rule.
+    pub optimizer: O,
+}
+
+impl<O: Optimizer> Trainer<O> {
+    /// Creates a trainer.
+    pub fn new(session: Session, optimizer: O) -> Self {
+        Trainer { session, optimizer }
+    }
+
+    /// One step: forward + backward + parameter update; returns the loss.
+    pub fn step(&mut self, feeds: Vec<Tensor>) -> Result<f32, ExecError> {
+        let outs = self.session.run_training(feeds)?;
+        let loss = outs[0]
+            .as_f32_scalar()
+            .map_err(|e| ExecError::BadFeed { msg: format!("loss output: {e}") })?;
+        self.optimizer
+            .step(self.session.params(), self.session.grads())
+            .map_err(|e| ExecError::BadFeed { msg: format!("optimizer: {e}") })?;
+        Ok(loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+    use rdg_autodiff::build_training_module;
+    use rdg_exec::Executor;
+    use rdg_graph::ModuleBuilder;
+
+    #[test]
+    fn trainer_reduces_quadratic_loss() {
+        // loss = (w - 3)², minimized at w = 3.
+        let mut mb = ModuleBuilder::new();
+        let w = mb.param_wire("w", Tensor::scalar_f32(0.0)).unwrap();
+        let t = mb.const_f32(3.0);
+        let d = mb.sub(w, t).unwrap();
+        let loss = mb.mul(d, d).unwrap();
+        mb.set_outputs(&[loss]).unwrap();
+        let m = mb.finish().unwrap();
+        let train = build_training_module(&m, m.main.outputs[0]).unwrap();
+        let sess = Session::new(Executor::with_threads(2), train).unwrap();
+        let mut trainer = Trainer::new(sess, Sgd::new(0.1));
+        let first = trainer.step(vec![]).unwrap();
+        let mut last = first;
+        for _ in 0..50 {
+            last = trainer.step(vec![]).unwrap();
+        }
+        assert!(first > 8.0, "initial loss (0-3)² = 9");
+        assert!(last < 1e-3, "converged loss {last}");
+        let w = trainer.session.params().read(rdg_graph::ParamId(0));
+        assert!((w.as_f32_scalar().unwrap() - 3.0).abs() < 0.05);
+    }
+}

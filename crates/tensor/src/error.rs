@@ -1,0 +1,133 @@
+//! Error type shared by all tensor kernels.
+
+use crate::shape::Shape;
+use crate::tensor::DType;
+use std::fmt;
+
+/// Errors produced by tensor construction and kernel execution.
+///
+/// Kernels never panic on malformed operands; they return one of these
+/// variants so callers (typically the dataflow executor) can attach graph
+/// context before surfacing the failure to the user.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// An operand had a different dtype than the kernel requires.
+    DTypeMismatch {
+        /// Dtype the kernel expected.
+        expected: DType,
+        /// Dtype that was actually supplied.
+        got: DType,
+        /// Human-readable kernel / argument context.
+        ctx: &'static str,
+    },
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left / first operand.
+        lhs: Shape,
+        /// Shape of the right / second operand.
+        rhs: Shape,
+        /// Human-readable kernel context.
+        ctx: &'static str,
+    },
+    /// An operand had the wrong rank for the kernel.
+    RankMismatch {
+        /// Rank the kernel expected.
+        expected: usize,
+        /// Rank that was actually supplied.
+        got: usize,
+        /// Human-readable kernel context.
+        ctx: &'static str,
+    },
+    /// An index (row id, axis, slice bound, …) was out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: i64,
+        /// Exclusive upper bound that was violated.
+        bound: usize,
+        /// Human-readable kernel context.
+        ctx: &'static str,
+    },
+    /// The element count of a buffer did not match the requested shape.
+    LengthMismatch {
+        /// Expected element count (product of shape dims).
+        expected: usize,
+        /// Actual buffer length.
+        got: usize,
+        /// Human-readable context.
+        ctx: &'static str,
+    },
+    /// A scalar was required (tensor with exactly one element).
+    NotAScalar {
+        /// Shape of the non-scalar operand.
+        shape: Shape,
+        /// Human-readable kernel context.
+        ctx: &'static str,
+    },
+    /// Catch-all for kernel-specific invariant violations.
+    Invalid {
+        /// Description of the violated invariant.
+        msg: String,
+    },
+}
+
+impl TensorError {
+    /// Creates an [`TensorError::Invalid`] from anything displayable.
+    pub fn invalid(msg: impl fmt::Display) -> Self {
+        TensorError::Invalid { msg: msg.to_string() }
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::DTypeMismatch { expected, got, ctx } => {
+                write!(f, "{ctx}: expected dtype {expected:?}, got {got:?}")
+            }
+            TensorError::ShapeMismatch { lhs, rhs, ctx } => {
+                write!(f, "{ctx}: incompatible shapes {lhs} and {rhs}")
+            }
+            TensorError::RankMismatch { expected, got, ctx } => {
+                write!(f, "{ctx}: expected rank {expected}, got rank {got}")
+            }
+            TensorError::IndexOutOfRange { index, bound, ctx } => {
+                write!(f, "{ctx}: index {index} out of range (bound {bound})")
+            }
+            TensorError::LengthMismatch { expected, got, ctx } => {
+                write!(f, "{ctx}: buffer length {got} does not match shape element count {expected}")
+            }
+            TensorError::NotAScalar { shape, ctx } => {
+                write!(f, "{ctx}: expected a scalar tensor, got shape {shape}")
+            }
+            TensorError::Invalid { msg } => write!(f, "invalid tensor operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = TensorError::ShapeMismatch {
+            lhs: Shape::new(vec![2, 3]),
+            rhs: Shape::new(vec![4]),
+            ctx: "add",
+        };
+        let s = e.to_string();
+        assert!(s.contains("add"), "{s}");
+        assert!(s.contains("[2, 3]"), "{s}");
+
+        let e = TensorError::invalid("boom");
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = TensorError::RankMismatch { expected: 2, got: 1, ctx: "matmul" };
+        let b = TensorError::RankMismatch { expected: 2, got: 1, ctx: "matmul" };
+        assert_eq!(a, b);
+    }
+}

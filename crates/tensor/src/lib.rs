@@ -1,0 +1,34 @@
+//! Dense tensor substrate for the `rdg` recursive-dataflow framework.
+//!
+//! This crate provides the numerical foundation that the dataflow executor
+//! (`rdg-exec`) and the neural-network layers (`rdg-nn`) are built on:
+//!
+//! * [`Tensor`] — an immutable, reference-counted, row-major dense tensor of
+//!   `f32` or `i32` elements with copy-on-write mutation
+//!   ([`Tensor::make_f32_mut`]), which lets functional updates (e.g. row
+//!   scatter in the iterative baseline) run in place whenever the buffer is
+//!   uniquely owned.
+//! * [`Shape`] and [`DType`] — lightweight shape/dtype metadata.
+//! * [`ops`] — the kernel library: matrix multiplication, elementwise
+//!   arithmetic, activations and their gradients, softmax/cross-entropy,
+//!   gather/scatter, concatenation/slicing, and the bilinear tensor product
+//!   used by the RNTN model.
+//!
+//! All kernels are pure safe Rust (no BLAS); the matmul kernel uses a
+//! cache-friendly `i-k-j` loop ordering that autovectorizes well.
+//!
+//! Everything is fallible: kernels return [`TensorError`] on shape or dtype
+//! mismatches rather than panicking, so the executor can surface graph-level
+//! errors with context.
+
+pub mod error;
+pub mod ops;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::{Buffer, DType, Tensor};
+
+/// Convenient result alias used throughout the tensor crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,252 @@
+//! Activation functions and their gradients.
+//!
+//! Gradients are expressed in terms of the *forward output* `y` wherever the
+//! math allows (`tanh`, `sigmoid`, `relu`, `softmax`), which is what the
+//! backprop cache stores; this halves cache traffic relative to keeping the
+//! pre-activation input.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+fn map_f32(a: &Tensor, f: impl Fn(f32) -> f32) -> Result<Tensor> {
+    let av = a.f32s()?;
+    Tensor::from_f32(a.shape().clone(), av.iter().map(|&x| f(x)).collect())
+}
+
+/// Hyperbolic tangent, elementwise.
+pub fn tanh(a: &Tensor) -> Result<Tensor> {
+    map_f32(a, f32::tanh)
+}
+
+/// Gradient of [`tanh`]: `dx = dy ⊙ (1 - y²)` given forward output `y`.
+pub fn tanh_grad(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    same_shape(y, dy, "tanh_grad")?;
+    let yv = y.f32s()?;
+    let dv = dy.f32s()?;
+    Tensor::from_f32(
+        y.shape().clone(),
+        yv.iter().zip(dv.iter()).map(|(&yy, &dd)| dd * (1.0 - yy * yy)).collect(),
+    )
+}
+
+/// Logistic sigmoid `1 / (1 + e^{-x})`, elementwise.
+pub fn sigmoid(a: &Tensor) -> Result<Tensor> {
+    map_f32(a, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Gradient of [`sigmoid`]: `dx = dy ⊙ y ⊙ (1 - y)` given forward output `y`.
+pub fn sigmoid_grad(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    same_shape(y, dy, "sigmoid_grad")?;
+    let yv = y.f32s()?;
+    let dv = dy.f32s()?;
+    Tensor::from_f32(
+        y.shape().clone(),
+        yv.iter().zip(dv.iter()).map(|(&yy, &dd)| dd * yy * (1.0 - yy)).collect(),
+    )
+}
+
+/// Rectified linear unit `max(x, 0)`, elementwise.
+pub fn relu(a: &Tensor) -> Result<Tensor> {
+    map_f32(a, |x| x.max(0.0))
+}
+
+/// Gradient of [`relu`]: `dx = dy ⊙ [y > 0]` given forward output `y`.
+pub fn relu_grad(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    same_shape(y, dy, "relu_grad")?;
+    let yv = y.f32s()?;
+    let dv = dy.f32s()?;
+    Tensor::from_f32(
+        y.shape().clone(),
+        yv.iter().zip(dv.iter()).map(|(&yy, &dd)| if yy > 0.0 { dd } else { 0.0 }).collect(),
+    )
+}
+
+fn rows_of<'t>(a: &'t Tensor, ctx: &'static str) -> Result<(usize, usize, &'t [f32])> {
+    let (m, n) = a
+        .shape()
+        .as_matrix()
+        .ok_or(TensorError::RankMismatch { expected: 2, got: a.rank(), ctx })?;
+    Ok((m, n, a.f32s()?))
+}
+
+/// Row-wise softmax over a `[m, n]` matrix (numerically stabilized).
+pub fn softmax(a: &Tensor) -> Result<Tensor> {
+    let (m, n, av) = rows_of(a, "softmax")?;
+    let mut out = vec![0.0f32; m * n];
+    for r in 0..m {
+        let row = &av[r * n..(r + 1) * n];
+        let orow = &mut out[r * n..(r + 1) * n];
+        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for (o, &x) in orow.iter_mut().zip(row.iter()) {
+            let e = (x - mx).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in orow.iter_mut() {
+            *o /= denom;
+        }
+    }
+    Tensor::from_f32(a.shape().clone(), out)
+}
+
+/// Gradient of [`softmax`]: `dxᵣ = yᵣ ⊙ (dyᵣ - ⟨dyᵣ, yᵣ⟩)` per row `r`.
+pub fn softmax_grad(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    same_shape(y, dy, "softmax_grad")?;
+    let (m, n, yv) = rows_of(y, "softmax_grad")?;
+    let dv = dy.f32s()?;
+    let mut out = vec![0.0f32; m * n];
+    for r in 0..m {
+        let yrow = &yv[r * n..(r + 1) * n];
+        let drow = &dv[r * n..(r + 1) * n];
+        let dot: f32 = yrow.iter().zip(drow.iter()).map(|(&a, &b)| a * b).sum();
+        let orow = &mut out[r * n..(r + 1) * n];
+        for j in 0..n {
+            orow[j] = yrow[j] * (drow[j] - dot);
+        }
+    }
+    Tensor::from_f32(y.shape().clone(), out)
+}
+
+/// Row-wise log-softmax over a `[m, n]` matrix.
+pub fn log_softmax(a: &Tensor) -> Result<Tensor> {
+    let (m, n, av) = rows_of(a, "log_softmax")?;
+    let mut out = vec![0.0f32; m * n];
+    for r in 0..m {
+        let row = &av[r * n..(r + 1) * n];
+        let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let lse: f32 = row.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln() + mx;
+        let orow = &mut out[r * n..(r + 1) * n];
+        for j in 0..n {
+            orow[j] = row[j] - lse;
+        }
+    }
+    Tensor::from_f32(a.shape().clone(), out)
+}
+
+/// Gradient of [`log_softmax`]: `dxᵣ = dyᵣ - exp(yᵣ) · Σ dyᵣ` per row.
+pub fn log_softmax_grad(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    same_shape(y, dy, "log_softmax_grad")?;
+    let (m, n, yv) = rows_of(y, "log_softmax_grad")?;
+    let dv = dy.f32s()?;
+    let mut out = vec![0.0f32; m * n];
+    for r in 0..m {
+        let yrow = &yv[r * n..(r + 1) * n];
+        let drow = &dv[r * n..(r + 1) * n];
+        let sum: f32 = drow.iter().sum();
+        let orow = &mut out[r * n..(r + 1) * n];
+        for j in 0..n {
+            orow[j] = drow[j] - yrow[j].exp() * sum;
+        }
+    }
+    Tensor::from_f32(y.shape().clone(), out)
+}
+
+fn same_shape(a: &Tensor, b: &Tensor, ctx: &'static str) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+            ctx,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff(f: impl Fn(f32) -> f32, x: f32) -> f32 {
+        let h = 1e-3;
+        (f(x + h) - f(x - h)) / (2.0 * h)
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        let x = Tensor::from_f32([3], vec![-1.0, 0.0, 2.0]).unwrap();
+        let y = tanh(&x).unwrap();
+        assert!((y.f32s().unwrap()[2] - 2.0f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activation_grads_match_finite_differences() {
+        for &x0 in &[-2.0f32, -0.5, 0.3, 1.7] {
+            let x = Tensor::scalar_f32(x0);
+            let dy = Tensor::scalar_f32(1.0);
+
+            let y = tanh(&x).unwrap();
+            let g = tanh_grad(&y, &dy).unwrap().as_f32_scalar().unwrap();
+            assert!((g - finite_diff(f32::tanh, x0)).abs() < 1e-3, "tanh at {x0}");
+
+            let y = sigmoid(&x).unwrap();
+            let g = sigmoid_grad(&y, &dy).unwrap().as_f32_scalar().unwrap();
+            let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
+            assert!((g - finite_diff(sig, x0)).abs() < 1e-3, "sigmoid at {x0}");
+        }
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        let x = Tensor::from_f32([4], vec![-1.0, 0.0, 0.5, 3.0]).unwrap();
+        let y = relu(&x).unwrap();
+        assert_eq!(y.f32s().unwrap(), &[0.0, 0.0, 0.5, 3.0]);
+        let dy = Tensor::ones([4]);
+        let dx = relu_grad(&y, &dy).unwrap();
+        assert_eq!(dx.f32s().unwrap(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_f32([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 100.0]).unwrap();
+        let y = softmax(&x).unwrap();
+        let yv = y.f32s().unwrap();
+        for r in 0..2 {
+            let s: f32 = yv[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+        // Large logits must not overflow.
+        assert!(yv.iter().all(|v| v.is_finite()));
+        assert!((yv[5] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let x = Tensor::from_f32([1, 4], vec![0.5, -1.0, 2.0, 0.0]).unwrap();
+        let a = log_softmax(&x).unwrap();
+        let b = softmax(&x).unwrap();
+        for (la, pb) in a.f32s().unwrap().iter().zip(b.f32s().unwrap()) {
+            assert!((la.exp() - pb).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_grad_matches_finite_differences() {
+        let x0 = vec![0.3f32, -0.7, 1.1];
+        let x = Tensor::from_f32([1, 3], x0.clone()).unwrap();
+        let y = softmax(&x).unwrap();
+        // Upstream gradient picks out component 1.
+        let dy = Tensor::from_f32([1, 3], vec![0.0, 1.0, 0.0]).unwrap();
+        let dx = softmax_grad(&y, &dy).unwrap();
+        let h = 1e-3f32;
+        for j in 0..3 {
+            let mut xp = x0.clone();
+            xp[j] += h;
+            let mut xm = x0.clone();
+            xm[j] -= h;
+            let yp = softmax(&Tensor::from_f32([1, 3], xp).unwrap()).unwrap();
+            let ym = softmax(&Tensor::from_f32([1, 3], xm).unwrap()).unwrap();
+            let fd = (yp.f32s().unwrap()[1] - ym.f32s().unwrap()[1]) / (2.0 * h);
+            assert!((dx.f32s().unwrap()[j] - fd).abs() < 1e-3, "component {j}");
+        }
+    }
+
+    #[test]
+    fn grads_require_matching_shapes() {
+        let y = Tensor::zeros([2]);
+        let dy = Tensor::zeros([3]);
+        assert!(tanh_grad(&y, &dy).is_err());
+        assert!(sigmoid_grad(&y, &dy).is_err());
+    }
+}

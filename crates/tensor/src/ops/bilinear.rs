@@ -1,0 +1,237 @@
+//! The bilinear tensor product used by the RNTN model (Socher et al., 2013).
+//!
+//! Forward: given `x: [b, m]` and a third-order tensor `v: [k, m, m]`,
+//! `out[b, t] = x_b · V_t · x_bᵀ` — each output slice `t` is a full bilinear
+//! form over the concatenated child vector. This is what makes RNTN an order
+//! of magnitude heavier per node than TreeRNN, which the paper leans on when
+//! explaining why TreeRNN gains more from parallelization (§6.2).
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+fn check(v: &Tensor) -> Result<(usize, usize)> {
+    if v.rank() != 3 {
+        return Err(TensorError::RankMismatch { expected: 3, got: v.rank(), ctx: "bilinear v" });
+    }
+    let d = v.shape().dims();
+    if d[1] != d[2] {
+        return Err(TensorError::invalid(format!(
+            "bilinear tensor must have square slices, got {:?}",
+            d
+        )));
+    }
+    Ok((d[0], d[1]))
+}
+
+/// `out[b, t] = Σ_{i,j} x[b, i] · v[t, i, j] · x[b, j]`.
+pub fn bilinear(x: &Tensor, v: &Tensor) -> Result<Tensor> {
+    let (k, m) = check(v)?;
+    let (b, mx) = x.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: x.rank(),
+        ctx: "bilinear x",
+    })?;
+    if mx != m {
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.shape().clone(),
+            rhs: v.shape().clone(),
+            ctx: "bilinear",
+        });
+    }
+    let xv = x.f32s()?;
+    let vv = v.f32s()?;
+    let mut out = vec![0.0f32; b * k];
+    for bi in 0..b {
+        let xrow = &xv[bi * m..(bi + 1) * m];
+        for t in 0..k {
+            let slice = &vv[t * m * m..(t + 1) * m * m];
+            // acc = x · V_t · xᵀ; compute y_i = ⟨V_t[i, :], x⟩ then ⟨x, y⟩.
+            let mut acc = 0.0f32;
+            for i in 0..m {
+                let xi = xrow[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                let vrow = &slice[i * m..(i + 1) * m];
+                let mut dot = 0.0f32;
+                for j in 0..m {
+                    dot += vrow[j] * xrow[j];
+                }
+                acc += xi * dot;
+            }
+            out[bi * k + t] = acc;
+        }
+    }
+    Tensor::from_f32([b, k], out)
+}
+
+/// Gradient of [`bilinear`] w.r.t. `x`:
+/// `dx[b, :] = Σ_t dy[b, t] · (V_t + V_tᵀ) · x_bᵀ`.
+pub fn bilinear_grad_x(x: &Tensor, v: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let (k, m) = check(v)?;
+    let (b, _) = x.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: x.rank(),
+        ctx: "bilinear_grad_x",
+    })?;
+    let xv = x.f32s()?;
+    let vv = v.f32s()?;
+    let dv = dy.f32s()?;
+    if dy.numel() != b * k {
+        return Err(TensorError::ShapeMismatch {
+            lhs: dy.shape().clone(),
+            rhs: v.shape().clone(),
+            ctx: "bilinear_grad_x dy",
+        });
+    }
+    let mut out = vec![0.0f32; b * m];
+    for bi in 0..b {
+        let xrow = &xv[bi * m..(bi + 1) * m];
+        let orow = &mut out[bi * m..(bi + 1) * m];
+        for t in 0..k {
+            let g = dv[bi * k + t];
+            if g == 0.0 {
+                continue;
+            }
+            let slice = &vv[t * m * m..(t + 1) * m * m];
+            for i in 0..m {
+                let vrow = &slice[i * m..(i + 1) * m];
+                let xi = xrow[i];
+                let mut row_dot = 0.0f32;
+                for j in 0..m {
+                    // (V_t · x)_i contributes to dx_i; (V_tᵀ · x)_j = column dot.
+                    row_dot += vrow[j] * xrow[j];
+                    orow[j] += g * xi * vrow[j]; // V_tᵀ term
+                }
+                orow[i] += g * row_dot; // V_t term
+            }
+        }
+    }
+    Tensor::from_f32([b, m], out)
+}
+
+/// Gradient of [`bilinear`] w.r.t. `v`:
+/// `dV[t, i, j] = Σ_b dy[b, t] · x[b, i] · x[b, j]`.
+pub fn bilinear_grad_v(x: &Tensor, v_like: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let (k, m) = check(v_like)?;
+    let (b, mx) = x.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: x.rank(),
+        ctx: "bilinear_grad_v",
+    })?;
+    if mx != m || dy.numel() != b * k {
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.shape().clone(),
+            rhs: dy.shape().clone(),
+            ctx: "bilinear_grad_v",
+        });
+    }
+    let xv = x.f32s()?;
+    let dv = dy.f32s()?;
+    let mut out = vec![0.0f32; k * m * m];
+    for bi in 0..b {
+        let xrow = &xv[bi * m..(bi + 1) * m];
+        for t in 0..k {
+            let g = dv[bi * k + t];
+            if g == 0.0 {
+                continue;
+            }
+            let slice = &mut out[t * m * m..(t + 1) * m * m];
+            for i in 0..m {
+                let gxi = g * xrow[i];
+                if gxi == 0.0 {
+                    continue;
+                }
+                let srow = &mut slice[i * m..(i + 1) * m];
+                for j in 0..m {
+                    srow[j] += gxi * xrow[j];
+                }
+            }
+        }
+    }
+    Tensor::from_f32(v_like.shape().clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_case_is_quadratic_form() {
+        // m = 1, k = 1: out = v · x².
+        let x = Tensor::from_f32([1, 1], vec![3.0]).unwrap();
+        let v = Tensor::from_f32([1, 1, 1], vec![2.0]).unwrap();
+        let y = bilinear(&x, &v).unwrap();
+        assert_eq!(y.f32s().unwrap(), &[18.0]);
+    }
+
+    #[test]
+    fn known_2d_case() {
+        // x = [1, 2], V_0 = [[1, 0], [0, 1]] → xᵀVx = 1 + 4 = 5
+        // V_1 = [[0, 1], [0, 0]] → x V x = x0*x1 = 2
+        let x = Tensor::from_f32([1, 2], vec![1.0, 2.0]).unwrap();
+        let v = Tensor::from_f32([2, 2, 2], vec![1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0]).unwrap();
+        let y = bilinear(&x, &v).unwrap();
+        assert_eq!(y.f32s().unwrap(), &[5.0, 2.0]);
+    }
+
+    #[test]
+    fn grads_match_finite_differences() {
+        let m = 3;
+        let k = 2;
+        let xs: Vec<f32> = (0..m).map(|i| 0.3 * i as f32 - 0.2).collect();
+        let vs: Vec<f32> = (0..k * m * m).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.1).collect();
+        let x = Tensor::from_f32([1, m], xs.clone()).unwrap();
+        let v = Tensor::from_f32([k, m, m], vs.clone()).unwrap();
+        let dy = Tensor::from_f32([1, k], vec![1.0, -0.5]).unwrap();
+        let loss = |xs: &[f32], vs: &[f32]| -> f32 {
+            let x = Tensor::from_f32([1, m], xs.to_vec()).unwrap();
+            let v = Tensor::from_f32([k, m, m], vs.to_vec()).unwrap();
+            let y = bilinear(&x, &v).unwrap();
+            // ⟨dy, y⟩ as scalar objective.
+            y.f32s().unwrap()[0] - 0.5 * y.f32s().unwrap()[1]
+        };
+        let h = 1e-3f32;
+
+        let gx = bilinear_grad_x(&x, &v, &dy).unwrap();
+        for i in 0..m {
+            let mut xp = xs.clone();
+            xp[i] += h;
+            let mut xm = xs.clone();
+            xm[i] -= h;
+            let fd = (loss(&xp, &vs) - loss(&xm, &vs)) / (2.0 * h);
+            assert!((gx.f32s().unwrap()[i] - fd).abs() < 1e-2, "dx[{i}]");
+        }
+
+        let gv = bilinear_grad_v(&x, &v, &dy).unwrap();
+        for i in 0..k * m * m {
+            let mut vp = vs.clone();
+            vp[i] += h;
+            let mut vm = vs.clone();
+            vm[i] -= h;
+            let fd = (loss(&xs, &vp) - loss(&xs, &vm)) / (2.0 * h);
+            assert!((gv.f32s().unwrap()[i] - fd).abs() < 1e-2, "dv[{i}]");
+        }
+    }
+
+    #[test]
+    fn batched_rows_are_independent() {
+        let x = Tensor::from_f32([2, 2], vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let v = Tensor::from_f32([1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = bilinear(&x, &v).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 1]);
+        assert_eq!(y.f32s().unwrap(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let x = Tensor::zeros([1, 2]);
+        let v_bad_rank = Tensor::zeros([2, 2]);
+        assert!(bilinear(&x, &v_bad_rank).is_err());
+        let v_not_square = Tensor::zeros([1, 2, 3]);
+        assert!(bilinear(&x, &v_not_square).is_err());
+        let v_wrong_dim = Tensor::zeros([1, 3, 3]);
+        assert!(bilinear(&x, &v_wrong_dim).is_err());
+    }
+}

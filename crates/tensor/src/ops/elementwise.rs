@@ -1,0 +1,185 @@
+//! Elementwise arithmetic kernels.
+//!
+//! Graph-level `Add`/`Sub`/`Mul`/`Div` require identical shapes so gradients
+//! are shape-preserving; the bias and scalar broadcasts are separate,
+//! explicit kernels (`add_bias`, `scale`, `add_const`, `scalar_mul`) with
+//! their own gradient rules. The raw kernels here additionally accept
+//! scalar-like operands for internal callers (e.g. the folding engine).
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Applies `f` elementwise over two same-shape (or scalar-broadcast) tensors.
+fn zip_f32(a: &Tensor, b: &Tensor, ctx: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    let av = a.f32s()?;
+    let bv = b.f32s()?;
+    if a.shape() == b.shape() {
+        let out: Vec<f32> = av.iter().zip(bv.iter()).map(|(&x, &y)| f(x, y)).collect();
+        return Tensor::from_f32(a.shape().clone(), out);
+    }
+    if b.shape().is_scalar_like() {
+        let s = bv[0];
+        let out: Vec<f32> = av.iter().map(|&x| f(x, s)).collect();
+        return Tensor::from_f32(a.shape().clone(), out);
+    }
+    if a.shape().is_scalar_like() {
+        let s = av[0];
+        let out: Vec<f32> = bv.iter().map(|&y| f(s, y)).collect();
+        return Tensor::from_f32(b.shape().clone(), out);
+    }
+    Err(TensorError::ShapeMismatch { lhs: a.shape().clone(), rhs: b.shape().clone(), ctx })
+}
+
+/// Elementwise addition (`a + b`); shapes must match or one side be scalar.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    zip_f32(a, b, "add", |x, y| x + y)
+}
+
+/// Elementwise subtraction (`a - b`).
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    zip_f32(a, b, "sub", |x, y| x - y)
+}
+
+/// Elementwise (Hadamard) product.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    zip_f32(a, b, "mul", |x, y| x * y)
+}
+
+/// Elementwise division.
+pub fn div(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    zip_f32(a, b, "div", |x, y| x / y)
+}
+
+/// Elementwise negation.
+pub fn neg(a: &Tensor) -> Result<Tensor> {
+    let av = a.f32s()?;
+    Tensor::from_f32(a.shape().clone(), av.iter().map(|&x| -x).collect())
+}
+
+/// Multiplies every element by a compile-time constant.
+pub fn scale(a: &Tensor, factor: f32) -> Result<Tensor> {
+    let av = a.f32s()?;
+    Tensor::from_f32(a.shape().clone(), av.iter().map(|&x| x * factor).collect())
+}
+
+/// Adds a compile-time constant to every element.
+pub fn add_const(a: &Tensor, c: f32) -> Result<Tensor> {
+    let av = a.f32s()?;
+    Tensor::from_f32(a.shape().clone(), av.iter().map(|&x| x + c).collect())
+}
+
+/// Multiplies a tensor by a *runtime* scalar tensor (`out = a * s`).
+///
+/// Unlike [`scale`], the factor is a graph value, so gradients flow into it:
+/// `da = dy * s`, `ds = Σ (dy ⊙ a)`.
+pub fn scalar_mul(a: &Tensor, s: &Tensor) -> Result<Tensor> {
+    if !s.shape().is_scalar_like() {
+        return Err(TensorError::NotAScalar { shape: s.shape().clone(), ctx: "scalar_mul" });
+    }
+    scale(a, s.as_f32_scalar()?)
+}
+
+/// Adds a rank-1 bias `[n]` (or `[1, n]`) to every row of `a: [m, n]`.
+pub fn add_bias(a: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    let (m, n) = a
+        .shape()
+        .as_matrix()
+        .ok_or(TensorError::RankMismatch { expected: 2, got: a.rank(), ctx: "add_bias" })?;
+    let bn = bias.numel();
+    if bn != n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().clone(),
+            rhs: bias.shape().clone(),
+            ctx: "add_bias",
+        });
+    }
+    let av = a.f32s()?;
+    let bv = bias.f32s()?;
+    let mut out = Vec::with_capacity(m * n);
+    for r in 0..m {
+        let row = &av[r * n..(r + 1) * n];
+        out.extend(row.iter().zip(bv.iter()).map(|(&x, &b)| x + b));
+    }
+    Tensor::from_f32(a.shape().clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: Vec<f32>) -> Tensor {
+        let n = v.len();
+        Tensor::from_f32([n], v).unwrap()
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let r = add(&t(vec![1.0, 2.0]), &t(vec![3.0, 4.0])).unwrap();
+        assert_eq!(r.f32s().unwrap(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn add_scalar_broadcast_both_sides() {
+        let s = Tensor::scalar_f32(10.0);
+        let v = t(vec![1.0, 2.0]);
+        assert_eq!(add(&v, &s).unwrap().f32s().unwrap(), &[11.0, 12.0]);
+        assert_eq!(add(&s, &v).unwrap().f32s().unwrap(), &[11.0, 12.0]);
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        let a = t(vec![1.0, 2.0]);
+        let b = t(vec![1.0, 2.0, 3.0]);
+        assert!(add(&a, &b).is_err());
+        assert!(mul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn sub_mul_div_basic() {
+        let a = t(vec![4.0, 9.0]);
+        let b = t(vec![2.0, 3.0]);
+        assert_eq!(sub(&a, &b).unwrap().f32s().unwrap(), &[2.0, 6.0]);
+        assert_eq!(mul(&a, &b).unwrap().f32s().unwrap(), &[8.0, 27.0]);
+        assert_eq!(div(&a, &b).unwrap().f32s().unwrap(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn neg_scale_add_const() {
+        let a = t(vec![1.0, -2.0]);
+        assert_eq!(neg(&a).unwrap().f32s().unwrap(), &[-1.0, 2.0]);
+        assert_eq!(scale(&a, 3.0).unwrap().f32s().unwrap(), &[3.0, -6.0]);
+        assert_eq!(add_const(&a, 1.0).unwrap().f32s().unwrap(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn scalar_mul_requires_scalar() {
+        let a = t(vec![1.0, 2.0]);
+        let s = Tensor::scalar_f32(2.5);
+        assert_eq!(scalar_mul(&a, &s).unwrap().f32s().unwrap(), &[2.5, 5.0]);
+        assert!(scalar_mul(&a, &a).is_err());
+    }
+
+    #[test]
+    fn add_bias_broadcasts_rows() {
+        let a = Tensor::from_f32([2, 3], vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let b = t(vec![1.0, 2.0, 3.0]);
+        let r = add_bias(&a, &b).unwrap();
+        assert_eq!(r.f32s().unwrap(), &[1.0, 2.0, 3.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn add_bias_checks_width() {
+        let a = Tensor::zeros([2, 3]);
+        let b = t(vec![1.0, 2.0]);
+        assert!(add_bias(&a, &b).is_err());
+    }
+
+    #[test]
+    fn integer_tensors_are_rejected() {
+        let i = Tensor::scalar_i32(1);
+        let f = Tensor::scalar_f32(1.0);
+        assert!(add(&i, &f).is_err());
+        assert!(neg(&i).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Row gather/scatter kernels and functional row updates.
+//!
+//! [`set_row`] is the workhorse of the *iterative* baseline (the paper's
+//! Figure 1): the per-node state matrix is updated functionally, and the
+//! copy-on-write buffer makes the update in place whenever the executor has
+//! released all other references — the moral equivalent of TensorFlow's
+//! `TensorArray` without a dedicated type.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+fn as_rows<'t>(t: &'t Tensor, ctx: &'static str) -> Result<(usize, usize, &'t [f32])> {
+    let (m, n) = t
+        .shape()
+        .as_matrix()
+        .ok_or(TensorError::RankMismatch { expected: 2, got: t.rank(), ctx })?;
+    Ok((m, n, t.f32s()?))
+}
+
+/// Gathers rows of `table: [v, d]` selected by `ids: i32[m]` into `[m, d]`.
+pub fn gather_rows(table: &Tensor, ids: &Tensor) -> Result<Tensor> {
+    let (v, d, tv) = as_rows(table, "gather_rows table")?;
+    let idv = ids.i32s()?;
+    let mut out = Vec::with_capacity(idv.len() * d);
+    for &id in idv {
+        if id < 0 || id as usize >= v {
+            return Err(TensorError::IndexOutOfRange {
+                index: id as i64,
+                bound: v,
+                ctx: "gather_rows",
+            });
+        }
+        let r = id as usize;
+        out.extend_from_slice(&tv[r * d..(r + 1) * d]);
+    }
+    Tensor::from_f32([idv.len(), d], out)
+}
+
+/// Scatter-add of `src: [m, d]` rows into a zero tensor shaped like
+/// `table_like: [v, d]` — the gradient of [`gather_rows`] w.r.t. the table.
+///
+/// Duplicate ids accumulate, matching the sum of per-use gradients.
+pub fn scatter_rows_like(table_like: &Tensor, ids: &Tensor, src: &Tensor) -> Result<Tensor> {
+    let (v, d) = table_like.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: table_like.rank(),
+        ctx: "scatter_rows_like",
+    })?;
+    let mut out = Tensor::zeros([v, d]);
+    scatter_add_rows(&mut out, ids, src)?;
+    Ok(out)
+}
+
+/// Adds `src: [m, d]` rows into `dst: [v, d]` at positions `ids: i32[m]`.
+///
+/// `dst` is modified through copy-on-write; pass a uniquely-owned tensor
+/// (e.g. a gradient accumulator) for in-place accumulation.
+pub fn scatter_add_rows(dst: &mut Tensor, ids: &Tensor, src: &Tensor) -> Result<()> {
+    let (v, d) = dst.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: dst.rank(),
+        ctx: "scatter_add_rows dst",
+    })?;
+    let (m, ds, sv) = as_rows(src, "scatter_add_rows src")?;
+    if ds != d {
+        return Err(TensorError::ShapeMismatch {
+            lhs: dst.shape().clone(),
+            rhs: src.shape().clone(),
+            ctx: "scatter_add_rows",
+        });
+    }
+    let idv: Vec<i32> = ids.i32s()?.to_vec();
+    if idv.len() != m {
+        return Err(TensorError::LengthMismatch {
+            expected: m,
+            got: idv.len(),
+            ctx: "scatter_add_rows ids",
+        });
+    }
+    let dv = dst.make_f32_mut()?;
+    for (r, &id) in idv.iter().enumerate() {
+        if id < 0 || id as usize >= v {
+            return Err(TensorError::IndexOutOfRange {
+                index: id as i64,
+                bound: v,
+                ctx: "scatter_add_rows",
+            });
+        }
+        let t = id as usize;
+        let srow = &sv[r * d..(r + 1) * d];
+        let drow = &mut dv[t * d..(t + 1) * d];
+        for j in 0..d {
+            drow[j] += srow[j];
+        }
+    }
+    Ok(())
+}
+
+/// Extracts row `i` of `t: [m, d]` as `[1, d]`; `i` is a scalar `i32` tensor.
+pub fn get_row(t: &Tensor, i: &Tensor) -> Result<Tensor> {
+    let (m, d, tv) = as_rows(t, "get_row")?;
+    let idx = i.as_i32_scalar()?;
+    if idx < 0 || idx as usize >= m {
+        return Err(TensorError::IndexOutOfRange { index: idx as i64, bound: m, ctx: "get_row" });
+    }
+    let r = idx as usize;
+    Tensor::from_f32([1, d], tv[r * d..(r + 1) * d].to_vec())
+}
+
+/// Functionally replaces row `i` of `t: [m, d]` with `row: [d] / [1, d]`.
+///
+/// Consumes `t` by value: when the caller holds the only reference, the
+/// update happens in place (O(d)); otherwise the buffer is copied first
+/// (O(m·d)). The executor's consumer-refcounting is what makes the fast path
+/// common in long iterative chains.
+pub fn set_row(mut t: Tensor, i: &Tensor, row: &Tensor) -> Result<Tensor> {
+    let (m, d) = t.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: t.rank(),
+        ctx: "set_row",
+    })?;
+    if row.numel() != d {
+        return Err(TensorError::ShapeMismatch {
+            lhs: t.shape().clone(),
+            rhs: row.shape().clone(),
+            ctx: "set_row",
+        });
+    }
+    let idx = i.as_i32_scalar()?;
+    if idx < 0 || idx as usize >= m {
+        return Err(TensorError::IndexOutOfRange { index: idx as i64, bound: m, ctx: "set_row" });
+    }
+    let r = idx as usize;
+    let rv: Vec<f32> = row.f32s()?.to_vec();
+    let tv = t.make_f32_mut()?;
+    tv[r * d..(r + 1) * d].copy_from_slice(&rv);
+    Ok(t)
+}
+
+/// One-hot encodes `ids: i32[m]` into `[m, classes]` of `f32`.
+pub fn onehot(ids: &Tensor, classes: usize) -> Result<Tensor> {
+    let idv = ids.i32s()?;
+    let mut out = vec![0.0f32; idv.len() * classes];
+    for (r, &id) in idv.iter().enumerate() {
+        if id < 0 || id as usize >= classes {
+            return Err(TensorError::IndexOutOfRange {
+                index: id as i64,
+                bound: classes,
+                ctx: "onehot",
+            });
+        }
+        out[r * classes + id as usize] = 1.0;
+    }
+    Tensor::from_f32([idv.len(), classes], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Tensor {
+        Tensor::from_f32([3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let ids = Tensor::from_i32([2], vec![2, 0]).unwrap();
+        let g = gather_rows(&table(), &ids).unwrap();
+        assert_eq!(g.shape().dims(), &[2, 2]);
+        assert_eq!(g.f32s().unwrap(), &[5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_bounds_checked() {
+        let ids = Tensor::from_i32([1], vec![3]).unwrap();
+        assert!(gather_rows(&table(), &ids).is_err());
+        let ids = Tensor::from_i32([1], vec![-1]).unwrap();
+        assert!(gather_rows(&table(), &ids).is_err());
+    }
+
+    #[test]
+    fn scatter_accumulates_duplicates() {
+        let like = Tensor::zeros([3, 2]);
+        let ids = Tensor::from_i32([3], vec![1, 1, 0]).unwrap();
+        let src = Tensor::from_f32([3, 2], vec![1.0, 1.0, 2.0, 2.0, 5.0, 5.0]).unwrap();
+        let out = scatter_rows_like(&like, &ids, &src).unwrap();
+        assert_eq!(out.f32s().unwrap(), &[5.0, 5.0, 3.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_is_identity_for_unique_ids() {
+        let t = table();
+        let ids = Tensor::from_i32([3], vec![0, 1, 2]).unwrap();
+        let g = gather_rows(&t, &ids).unwrap();
+        let s = scatter_rows_like(&t, &ids, &g).unwrap();
+        assert!(s.allclose(&t, 1e-6));
+    }
+
+    #[test]
+    fn get_and_set_row() {
+        let t = table();
+        let i = Tensor::scalar_i32(1);
+        let r = get_row(&t, &i).unwrap();
+        assert_eq!(r.f32s().unwrap(), &[3.0, 4.0]);
+
+        let new_row = Tensor::from_f32([2], vec![9.0, 9.0]).unwrap();
+        let t2 = set_row(t.clone(), &i, &new_row).unwrap();
+        assert_eq!(t2.f32s().unwrap(), &[1.0, 2.0, 9.0, 9.0, 5.0, 6.0]);
+        // Original untouched (copy-on-write since `t` was cloned).
+        assert_eq!(t.f32s().unwrap()[2], 3.0);
+    }
+
+    #[test]
+    fn set_row_in_place_when_unique() {
+        let t = table();
+        let ptr = t.f32s().unwrap().as_ptr();
+        let i = Tensor::scalar_i32(0);
+        let row = Tensor::from_f32([2], vec![0.0, 0.0]).unwrap();
+        let t2 = set_row(t, &i, &row).unwrap(); // `t` moved: unique
+        assert_eq!(t2.f32s().unwrap().as_ptr(), ptr, "unique set_row must be in place");
+    }
+
+    #[test]
+    fn set_row_bounds_and_shape_checked() {
+        let i_bad = Tensor::scalar_i32(5);
+        let row = Tensor::from_f32([2], vec![0.0, 0.0]).unwrap();
+        assert!(set_row(table(), &i_bad, &row).is_err());
+        let wide = Tensor::from_f32([3], vec![0.0; 3]).unwrap();
+        assert!(set_row(table(), &Tensor::scalar_i32(0), &wide).is_err());
+    }
+
+    #[test]
+    fn onehot_encodes() {
+        let ids = Tensor::from_i32([2], vec![0, 2]).unwrap();
+        let o = onehot(&ids, 3).unwrap();
+        assert_eq!(o.f32s().unwrap(), &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0]);
+        let bad = Tensor::from_i32([1], vec![3]).unwrap();
+        assert!(onehot(&bad, 3).is_err());
+    }
+}

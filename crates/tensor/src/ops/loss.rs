@@ -1,0 +1,152 @@
+//! Fused softmax cross-entropy with integer labels.
+
+use crate::error::TensorError;
+use crate::ops::activation::log_softmax;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Softmax cross-entropy of `logits: [m, c]` against labels `i32[m]`.
+///
+/// Returns the per-row loss `[m]`. The fused form is numerically stable for
+/// large logits (it never exponentiates before subtracting the row max).
+pub fn softmax_xent(logits: &Tensor, labels: &Tensor) -> Result<Tensor> {
+    let (m, c) = logits.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: logits.rank(),
+        ctx: "softmax_xent",
+    })?;
+    let lv = labels.i32s()?;
+    if lv.len() != m {
+        return Err(TensorError::LengthMismatch {
+            expected: m,
+            got: lv.len(),
+            ctx: "softmax_xent labels",
+        });
+    }
+    let lsm = log_softmax(logits)?;
+    let lsv = lsm.f32s()?;
+    let mut out = Vec::with_capacity(m);
+    for (r, &lab) in lv.iter().enumerate() {
+        if lab < 0 || lab as usize >= c {
+            return Err(TensorError::IndexOutOfRange {
+                index: lab as i64,
+                bound: c,
+                ctx: "softmax_xent",
+            });
+        }
+        out.push(-lsv[r * c + lab as usize]);
+    }
+    Tensor::from_f32([m], out)
+}
+
+/// Gradient of [`softmax_xent`] w.r.t. the logits.
+///
+/// `d_logits[r] = dy[r] · (softmax(logits)[r] - onehot(labels)[r])`.
+/// Recomputes the softmax from the cached forward logits — cheap relative to
+/// caching the probability matrix.
+pub fn softmax_xent_grad(logits: &Tensor, labels: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let (m, c) = logits.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: logits.rank(),
+        ctx: "softmax_xent_grad",
+    })?;
+    let lv = labels.i32s()?;
+    let dv = dy.f32s()?;
+    if lv.len() != m || dv.len() != m {
+        return Err(TensorError::LengthMismatch {
+            expected: m,
+            got: lv.len().min(dv.len()),
+            ctx: "softmax_xent_grad",
+        });
+    }
+    let probs = crate::ops::activation::softmax(logits)?;
+    let pv = probs.f32s()?;
+    let mut out = vec![0.0f32; m * c];
+    for r in 0..m {
+        let lab = lv[r];
+        if lab < 0 || lab as usize >= c {
+            return Err(TensorError::IndexOutOfRange {
+                index: lab as i64,
+                bound: c,
+                ctx: "softmax_xent_grad",
+            });
+        }
+        let g = dv[r];
+        let prow = &pv[r * c..(r + 1) * c];
+        let orow = &mut out[r * c..(r + 1) * c];
+        for j in 0..c {
+            orow[j] = g * prow[j];
+        }
+        orow[lab as usize] -= g;
+    }
+    Tensor::from_f32([m, c], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros([2, 4]);
+        let labels = Tensor::from_i32([2], vec![0, 3]).unwrap();
+        let loss = softmax_xent(&logits, &labels).unwrap();
+        for &l in loss.f32s().unwrap() {
+            assert!((l - (4.0f32).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_f32([1, 3], vec![10.0, -10.0, -10.0]).unwrap();
+        let labels = Tensor::from_i32([1], vec![0]).unwrap();
+        let loss = softmax_xent(&logits, &labels).unwrap();
+        assert!(loss.f32s().unwrap()[0] < 1e-3);
+        // Wrong label: high loss.
+        let wrong = Tensor::from_i32([1], vec![1]).unwrap();
+        assert!(softmax_xent(&logits, &wrong).unwrap().f32s().unwrap()[0] > 10.0);
+    }
+
+    #[test]
+    fn grad_matches_finite_differences() {
+        let x0 = vec![0.2f32, -0.4, 1.0];
+        let labels = Tensor::from_i32([1], vec![2]).unwrap();
+        let dy = Tensor::from_f32([1], vec![1.0]).unwrap();
+        let logits = Tensor::from_f32([1, 3], x0.clone()).unwrap();
+        let g = softmax_xent_grad(&logits, &labels, &dy).unwrap();
+        let h = 1e-3f32;
+        for j in 0..3 {
+            let mut xp = x0.clone();
+            xp[j] += h;
+            let mut xm = x0.clone();
+            xm[j] -= h;
+            let lp = softmax_xent(&Tensor::from_f32([1, 3], xp).unwrap(), &labels).unwrap();
+            let lm = softmax_xent(&Tensor::from_f32([1, 3], xm).unwrap(), &labels).unwrap();
+            let fd = (lp.f32s().unwrap()[0] - lm.f32s().unwrap()[0]) / (2.0 * h);
+            assert!((g.f32s().unwrap()[j] - fd).abs() < 1e-3, "logit {j}");
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        // softmax - onehot always sums to zero per row.
+        let logits = Tensor::from_f32([2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let labels = Tensor::from_i32([2], vec![1, 0]).unwrap();
+        let dy = Tensor::ones([2]);
+        let g = softmax_xent_grad(&logits, &labels, &dy).unwrap();
+        let gv = g.f32s().unwrap();
+        for r in 0..2 {
+            let s: f32 = gv[r * 3..(r + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn label_bounds_checked() {
+        let logits = Tensor::zeros([1, 3]);
+        let bad = Tensor::from_i32([1], vec![3]).unwrap();
+        assert!(softmax_xent(&logits, &bad).is_err());
+        let dy = Tensor::ones([1]);
+        assert!(softmax_xent_grad(&logits, &bad, &dy).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Dense matrix multiplication kernels.
+//!
+//! Three variants cover forward passes and both gradient products without
+//! ever materializing a transpose:
+//!
+//! * [`matmul`]   — `C = A·B`   with `A: [m, k]`, `B: [k, n]`
+//! * [`matmul_at`] — `C = Aᵀ·B` with `A: [k, m]`, `B: [k, n]`
+//! * [`matmul_bt`] — `C = A·Bᵀ` with `A: [m, k]`, `B: [n, k]`
+//!
+//! `matmul` and `matmul_at` use the `i-k-j` loop order (unit-stride inner
+//! loop over both output row and `B` row), which LLVM autovectorizes; this is
+//! the hot kernel for all models. Rank-1 operands are treated as single rows.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+fn as_mat<'t>(t: &'t Tensor, ctx: &'static str) -> Result<(usize, usize, &'t [f32])> {
+    let (r, c) = t
+        .shape()
+        .as_matrix()
+        .ok_or(TensorError::RankMismatch { expected: 2, got: t.rank(), ctx })?;
+    Ok((r, c, t.f32s()?))
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka, av) = as_mat(a, "matmul lhs")?;
+    let (kb, n, bv) = as_mat(b, "matmul rhs")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+            ctx: "matmul",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * ka..(i + 1) * ka];
+        let crow = &mut out[i * n..(i + 1) * n];
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[kk * n..(kk + 1) * n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+    Tensor::from_f32([m, n], out)
+}
+
+/// `C[m,n] = Aᵀ[m,k] · B[k,n]` where `A: [k, m]` (gradient w.r.t. weights).
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ka, m, av) = as_mat(a, "matmul_at lhs")?;
+    let (kb, n, bv) = as_mat(b, "matmul_at rhs")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+            ctx: "matmul_at",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    for kk in 0..ka {
+        let arow = &av[kk * m..(kk + 1) * m];
+        let brow = &bv[kk * n..(kk + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let crow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aki * brow[j];
+            }
+        }
+    }
+    Tensor::from_f32([m, n], out)
+}
+
+/// `C[m,n] = A[m,k] · Bᵀ[k,n]` where `B: [n, k]` (gradient w.r.t. inputs).
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka, av) = as_mat(a, "matmul_bt lhs")?;
+    let (n, kb, bv) = as_mat(b, "matmul_bt rhs")?;
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+            ctx: "matmul_bt",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * ka..(i + 1) * ka];
+        let crow = &mut out[i * n..(i + 1) * n];
+        for j in 0..n {
+            let brow = &bv[j * kb..(j + 1) * kb];
+            let mut acc = 0.0f32;
+            for kk in 0..ka {
+                acc += arow[kk] * brow[kk];
+            }
+            crow[j] = acc;
+        }
+    }
+    Tensor::from_f32([m, n], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::shape_ops::transpose2d;
+
+    fn m(rows: usize, cols: usize, v: Vec<f32>) -> Tensor {
+        Tensor::from_f32([rows, cols], v).unwrap()
+    }
+
+    #[test]
+    fn matmul_2x3_3x2() {
+        let a = m(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 2]);
+        assert_eq!(c.f32s().unwrap(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = m(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let id = m(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &id).unwrap().f32s().unwrap(), a.f32s().unwrap());
+        assert_eq!(matmul(&id, &a).unwrap().f32s().unwrap(), a.f32s().unwrap());
+    }
+
+    #[test]
+    fn rank1_lhs_is_row_vector() {
+        let x = Tensor::from_f32([3], vec![1.0, 0.0, 2.0]).unwrap();
+        let w = m(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = matmul(&x, &w).unwrap();
+        assert_eq!(y.shape().dims(), &[1, 2]);
+        assert_eq!(y.f32s().unwrap(), &[11.0, 14.0]);
+    }
+
+    #[test]
+    fn inner_dim_mismatch_errors() {
+        let a = m(2, 3, vec![0.0; 6]);
+        let b = m(2, 2, vec![0.0; 4]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_bt(&a, &a).is_err() || matmul_bt(&a, &a).is_ok()); // [2,3]x[2,3]ᵀ ok
+        let c = m(3, 2, vec![0.0; 6]);
+        assert!(matmul_bt(&a, &c).is_err());
+        assert!(matmul_at(&a, &c).is_err());
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = m(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 4, (0..12).map(|i| i as f32 * 0.5).collect());
+        // matmul_at(a, b) == aᵀ·b
+        let at = transpose2d(&a).unwrap();
+        let want = matmul(&at, &b).unwrap();
+        let got = matmul_at(&a, &b).unwrap();
+        assert!(got.allclose(&want, 1e-6));
+
+        // matmul_bt(x, y) == x·yᵀ
+        let x = m(2, 3, vec![1.0, -1.0, 2.0, 0.5, 3.0, -2.0]);
+        let y = m(4, 3, (0..12).map(|i| (i as f32) - 6.0).collect());
+        let yt = transpose2d(&y).unwrap();
+        let want = matmul(&x, &yt).unwrap();
+        let got = matmul_bt(&x, &y).unwrap();
+        assert!(got.allclose(&want, 1e-6));
+    }
+
+    #[test]
+    fn rejects_high_rank() {
+        let a = Tensor::zeros([2, 2, 2]);
+        let b = Tensor::zeros([2, 2]);
+        assert!(matmul(&a, &b).is_err());
+    }
+}

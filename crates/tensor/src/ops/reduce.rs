@@ -1,0 +1,147 @@
+//! Reduction kernels and their shape-restoring gradients.
+//!
+//! The gradient kernels take the *forward input* as a shape witness
+//! (`mean_all_grad`, `broadcast_rows_like`) so the autodiff layer never needs
+//! static shape inference for dynamic graphs.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Sum of all elements, as a scalar tensor.
+pub fn sum_all(a: &Tensor) -> Result<Tensor> {
+    Ok(Tensor::scalar_f32(a.f32s()?.iter().sum()))
+}
+
+/// Mean of all elements, as a scalar tensor.
+pub fn mean_all(a: &Tensor) -> Result<Tensor> {
+    let v = a.f32s()?;
+    if v.is_empty() {
+        return Err(TensorError::invalid("mean_all of empty tensor"));
+    }
+    Ok(Tensor::scalar_f32(v.iter().sum::<f32>() / v.len() as f32))
+}
+
+/// Gradient of [`mean_all`]: fills the shape of `x` with `dy / numel(x)`.
+pub fn mean_all_grad(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let g = dy.as_f32_scalar()? / x.numel() as f32;
+    Ok(Tensor::full(x.shape().clone(), g))
+}
+
+/// Gradient of `sum_all`-style reductions: fills the shape of `x` with `dy`.
+pub fn fill_like(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    Ok(Tensor::full(x.shape().clone(), dy.as_f32_scalar()?))
+}
+
+/// Column sums of a `[m, n]` matrix, producing `[n]` (bias gradients).
+pub fn sum_axis0(a: &Tensor) -> Result<Tensor> {
+    let (m, n) = a
+        .shape()
+        .as_matrix()
+        .ok_or(TensorError::RankMismatch { expected: 2, got: a.rank(), ctx: "sum_axis0" })?;
+    let av = a.f32s()?;
+    let mut out = vec![0.0f32; n];
+    for r in 0..m {
+        let row = &av[r * n..(r + 1) * n];
+        for j in 0..n {
+            out[j] += row[j];
+        }
+    }
+    Tensor::from_f32([n], out)
+}
+
+/// Column means of a `[m, n]` matrix, producing `[n]`.
+pub fn mean_axis0(a: &Tensor) -> Result<Tensor> {
+    let (m, _) = a
+        .shape()
+        .as_matrix()
+        .ok_or(TensorError::RankMismatch { expected: 2, got: a.rank(), ctx: "mean_axis0" })?;
+    if m == 0 {
+        return Err(TensorError::invalid("mean_axis0 of zero-row matrix"));
+    }
+    crate::ops::elementwise::scale(&sum_axis0(a)?, 1.0 / m as f32)
+}
+
+/// Gradient of [`sum_axis0`]: repeats the row-gradient `dy: [n]` over the
+/// rows of the shape witness `x: [m, n]`.
+pub fn broadcast_rows_like(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
+    let (m, n) = x.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: x.rank(),
+        ctx: "broadcast_rows_like",
+    })?;
+    if dy.numel() != n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.shape().clone(),
+            rhs: dy.shape().clone(),
+            ctx: "broadcast_rows_like",
+        });
+    }
+    let dv = dy.f32s()?;
+    let mut out = Vec::with_capacity(m * n);
+    for _ in 0..m {
+        out.extend_from_slice(dv);
+    }
+    Tensor::from_f32(x.shape().clone(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_means() {
+        let a = Tensor::from_f32([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(sum_all(&a).unwrap().as_f32_scalar().unwrap(), 10.0);
+        assert_eq!(mean_all(&a).unwrap().as_f32_scalar().unwrap(), 2.5);
+    }
+
+    #[test]
+    fn mean_grad_distributes_evenly() {
+        let x = Tensor::zeros([2, 2]);
+        let dy = Tensor::scalar_f32(8.0);
+        let g = mean_all_grad(&x, &dy).unwrap();
+        assert_eq!(g.shape(), x.shape());
+        assert!(g.f32s().unwrap().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn sum_axis0_collapses_rows() {
+        let a = Tensor::from_f32([3, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]).unwrap();
+        let s = sum_axis0(&a).unwrap();
+        assert_eq!(s.shape().dims(), &[2]);
+        assert_eq!(s.f32s().unwrap(), &[6.0, 60.0]);
+        let m = mean_axis0(&a).unwrap();
+        assert_eq!(m.f32s().unwrap(), &[2.0, 20.0]);
+    }
+
+    #[test]
+    fn broadcast_rows_restores_shape() {
+        let x = Tensor::zeros([3, 2]);
+        let dy = Tensor::from_f32([2], vec![5.0, 7.0]).unwrap();
+        let g = broadcast_rows_like(&x, &dy).unwrap();
+        assert_eq!(g.shape().dims(), &[3, 2]);
+        assert_eq!(g.f32s().unwrap(), &[5.0, 7.0, 5.0, 7.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn broadcast_rows_checks_width() {
+        let x = Tensor::zeros([3, 2]);
+        let dy = Tensor::from_f32([3], vec![1.0; 3]).unwrap();
+        assert!(broadcast_rows_like(&x, &dy).is_err());
+    }
+
+    #[test]
+    fn fill_like_uses_scalar() {
+        let x = Tensor::zeros([4]);
+        let g = fill_like(&x, &Tensor::scalar_f32(3.0)).unwrap();
+        assert_eq!(g.f32s().unwrap(), &[3.0; 4]);
+    }
+
+    #[test]
+    fn rank_checks() {
+        let s = Tensor::scalar_f32(1.0);
+        assert!(sum_axis0(&s).is_err());
+        assert!(mean_axis0(&s).is_err());
+    }
+}

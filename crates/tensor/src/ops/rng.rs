@@ -1,0 +1,89 @@
+//! Seeded random tensor constructors.
+//!
+//! Normal sampling uses the Box–Muller transform so the crate only depends on
+//! `rand`'s core uniform generator (no `rand_distr`).
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Samples an `f32` tensor from `N(0, std²)`.
+pub fn randn(shape: impl Into<Shape>, std: f32, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let n = shape.numel();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Box–Muller: two uniforms → two independent standard normals.
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        out.push(r * theta.cos() * std);
+        if out.len() < n {
+            out.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_f32(shape, out).expect("randn: shape/len invariant")
+}
+
+/// Samples an `f32` tensor uniformly from `[lo, hi)`.
+pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    let shape = shape.into();
+    let n = shape.numel();
+    let out: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_f32(shape, out).expect("uniform: shape/len invariant")
+}
+
+/// Xavier/Glorot uniform initialization for a `[fan_in, fan_out]` weight.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let bound = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    uniform([fan_in, fan_out], -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = randn([10_000], 2.0, &mut rng);
+        let v = t.f32s().unwrap();
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        let var: f32 = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform([1000], -0.5, 0.5, &mut rng);
+        assert!(t.f32s().unwrap().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = randn([16], 1.0, &mut StdRng::seed_from_u64(1));
+        let b = randn([16], 1.0, &mut StdRng::seed_from_u64(1));
+        assert!(a.allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let big = xavier_uniform(1000, 1000, &mut rng);
+        let bound = (6.0f32 / 2000.0).sqrt();
+        assert!(big.f32s().unwrap().iter().all(|&x| x.abs() <= bound));
+        assert_eq!(big.shape().dims(), &[1000, 1000]);
+    }
+
+    #[test]
+    fn odd_element_count_randn() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = randn([7], 1.0, &mut rng);
+        assert_eq!(t.numel(), 7);
+    }
+}

@@ -1,0 +1,145 @@
+//! `i32` scalar arithmetic and comparisons.
+//!
+//! These are the kernels behind tree-index math (`left_idx = children[2·i]`)
+//! and control-flow predicates (`is_leaf(idx)`). Predicates follow the C
+//! convention: `0` is false, non-zero is true; comparison results are `0/1`.
+
+use crate::tensor::Tensor;
+use crate::Result;
+
+fn bin_i32(a: &Tensor, b: &Tensor, f: impl Fn(i32, i32) -> i32) -> Result<Tensor> {
+    let x = a.as_i32_scalar()?;
+    let y = b.as_i32_scalar()?;
+    Ok(Tensor::scalar_i32(f(x, y)))
+}
+
+/// Scalar integer addition.
+pub fn iadd(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bin_i32(a, b, |x, y| x.wrapping_add(y))
+}
+
+/// Scalar integer subtraction.
+pub fn isub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bin_i32(a, b, |x, y| x.wrapping_sub(y))
+}
+
+/// Scalar integer multiplication.
+pub fn imul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bin_i32(a, b, |x, y| x.wrapping_mul(y))
+}
+
+/// Scalar integer division (truncating); division by zero is an error.
+pub fn idiv(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let y = b.as_i32_scalar()?;
+    if y == 0 {
+        return Err(crate::TensorError::invalid("integer division by zero"));
+    }
+    let x = a.as_i32_scalar()?;
+    Ok(Tensor::scalar_i32(x / y))
+}
+
+/// `a < b` as `0/1`.
+pub fn ilt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bin_i32(a, b, |x, y| (x < y) as i32)
+}
+
+/// `a <= b` as `0/1`.
+pub fn ile(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bin_i32(a, b, |x, y| (x <= y) as i32)
+}
+
+/// `a > b` as `0/1`.
+pub fn igt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bin_i32(a, b, |x, y| (x > y) as i32)
+}
+
+/// `a >= b` as `0/1`.
+pub fn ige(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bin_i32(a, b, |x, y| (x >= y) as i32)
+}
+
+/// `a == b` as `0/1`.
+pub fn ieq(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bin_i32(a, b, |x, y| (x == y) as i32)
+}
+
+/// Logical AND of two predicates (non-zero = true).
+pub fn logical_and(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bin_i32(a, b, |x, y| ((x != 0) && (y != 0)) as i32)
+}
+
+/// Logical OR of two predicates.
+pub fn logical_or(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    bin_i32(a, b, |x, y| ((x != 0) || (y != 0)) as i32)
+}
+
+/// Logical NOT of a predicate.
+pub fn logical_not(a: &Tensor) -> Result<Tensor> {
+    Ok(Tensor::scalar_i32((a.as_i32_scalar()? == 0) as i32))
+}
+
+/// Gathers element `i` of a rank-1 `i32` tensor as a scalar tensor.
+pub fn gather_scalar_i32(t: &Tensor, i: &Tensor) -> Result<Tensor> {
+    let tv = t.i32s()?;
+    let idx = i.as_i32_scalar()?;
+    if idx < 0 || idx as usize >= tv.len() {
+        return Err(crate::TensorError::IndexOutOfRange {
+            index: idx as i64,
+            bound: tv.len(),
+            ctx: "gather_scalar_i32",
+        });
+    }
+    Ok(Tensor::scalar_i32(tv[idx as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: i32) -> Tensor {
+        Tensor::scalar_i32(v)
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(iadd(&s(2), &s(3)).unwrap().as_i32_scalar().unwrap(), 5);
+        assert_eq!(isub(&s(2), &s(3)).unwrap().as_i32_scalar().unwrap(), -1);
+        assert_eq!(imul(&s(4), &s(3)).unwrap().as_i32_scalar().unwrap(), 12);
+        assert_eq!(idiv(&s(7), &s(2)).unwrap().as_i32_scalar().unwrap(), 3);
+        assert!(idiv(&s(1), &s(0)).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ilt(&s(1), &s(2)).unwrap().as_i32_scalar().unwrap(), 1);
+        assert_eq!(ilt(&s(2), &s(2)).unwrap().as_i32_scalar().unwrap(), 0);
+        assert_eq!(ile(&s(2), &s(2)).unwrap().as_i32_scalar().unwrap(), 1);
+        assert_eq!(igt(&s(3), &s(2)).unwrap().as_i32_scalar().unwrap(), 1);
+        assert_eq!(ige(&s(1), &s(2)).unwrap().as_i32_scalar().unwrap(), 0);
+        assert_eq!(ieq(&s(5), &s(5)).unwrap().as_i32_scalar().unwrap(), 1);
+    }
+
+    #[test]
+    fn logic() {
+        assert_eq!(logical_and(&s(1), &s(2)).unwrap().as_i32_scalar().unwrap(), 1);
+        assert_eq!(logical_and(&s(1), &s(0)).unwrap().as_i32_scalar().unwrap(), 0);
+        assert_eq!(logical_or(&s(0), &s(7)).unwrap().as_i32_scalar().unwrap(), 1);
+        assert_eq!(logical_not(&s(0)).unwrap().as_i32_scalar().unwrap(), 1);
+        assert_eq!(logical_not(&s(9)).unwrap().as_i32_scalar().unwrap(), 0);
+    }
+
+    #[test]
+    fn gather_scalar() {
+        let t = Tensor::from_i32([3], vec![10, 20, 30]).unwrap();
+        assert_eq!(gather_scalar_i32(&t, &s(1)).unwrap().as_i32_scalar().unwrap(), 20);
+        assert!(gather_scalar_i32(&t, &s(3)).is_err());
+        assert!(gather_scalar_i32(&t, &s(-1)).is_err());
+    }
+
+    #[test]
+    fn float_operands_rejected() {
+        let f = Tensor::scalar_f32(1.0);
+        assert!(iadd(&f, &s(1)).is_err());
+        assert!(ilt(&s(1), &f).is_err());
+    }
+}

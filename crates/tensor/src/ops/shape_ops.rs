@@ -1,0 +1,224 @@
+//! Shape-manipulating kernels: concat, slice, stack, transpose, argmax.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+fn as_rows<'t>(t: &'t Tensor, ctx: &'static str) -> Result<(usize, usize, &'t [f32])> {
+    let (m, n) = t
+        .shape()
+        .as_matrix()
+        .ok_or(TensorError::RankMismatch { expected: 2, got: t.rank(), ctx })?;
+    Ok((m, n, t.f32s()?))
+}
+
+/// Concatenates `[m, p]` and `[m, q]` along columns into `[m, p + q]`.
+///
+/// This is how the tree cells join left/right child states (`[h_l; h_r]`).
+pub fn concat_cols(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ma, p, av) = as_rows(a, "concat_cols lhs")?;
+    let (mb, q, bv) = as_rows(b, "concat_cols rhs")?;
+    if ma != mb {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+            ctx: "concat_cols",
+        });
+    }
+    let mut out = Vec::with_capacity(ma * (p + q));
+    for r in 0..ma {
+        out.extend_from_slice(&av[r * p..(r + 1) * p]);
+        out.extend_from_slice(&bv[r * q..(r + 1) * q]);
+    }
+    Tensor::from_f32([ma, p + q], out)
+}
+
+/// Concatenates matrices with equal column counts along rows.
+pub fn concat_rows(parts: &[&Tensor]) -> Result<Tensor> {
+    if parts.is_empty() {
+        return Err(TensorError::invalid("concat_rows of zero tensors"));
+    }
+    let (_, n, _) = as_rows(parts[0], "concat_rows")?;
+    let mut rows = 0usize;
+    let mut out = Vec::new();
+    for t in parts {
+        let (m, nt, tv) = as_rows(t, "concat_rows")?;
+        if nt != n {
+            return Err(TensorError::ShapeMismatch {
+                lhs: parts[0].shape().clone(),
+                rhs: t.shape().clone(),
+                ctx: "concat_rows",
+            });
+        }
+        rows += m;
+        out.extend_from_slice(tv);
+    }
+    Tensor::from_f32([rows, n], out)
+}
+
+/// Stacks `m` row vectors (`[d]` or `[1, d]`) into a `[m, d]` matrix.
+pub fn stack_rows(rows: &[&Tensor]) -> Result<Tensor> {
+    if rows.is_empty() {
+        return Err(TensorError::invalid("stack_rows of zero tensors"));
+    }
+    let d = rows[0].numel();
+    let mut out = Vec::with_capacity(rows.len() * d);
+    for r in rows {
+        if r.numel() != d {
+            return Err(TensorError::ShapeMismatch {
+                lhs: rows[0].shape().clone(),
+                rhs: r.shape().clone(),
+                ctx: "stack_rows",
+            });
+        }
+        out.extend_from_slice(r.f32s()?);
+    }
+    Tensor::from_f32([rows.len(), d], out)
+}
+
+/// Extracts columns `lo..hi` of `t: [m, n]` into `[m, hi - lo]`.
+pub fn slice_cols(t: &Tensor, lo: usize, hi: usize) -> Result<Tensor> {
+    let (m, n, tv) = as_rows(t, "slice_cols")?;
+    if lo > hi || hi > n {
+        return Err(TensorError::IndexOutOfRange {
+            index: hi as i64,
+            bound: n,
+            ctx: "slice_cols",
+        });
+    }
+    let w = hi - lo;
+    let mut out = Vec::with_capacity(m * w);
+    for r in 0..m {
+        out.extend_from_slice(&tv[r * n + lo..r * n + hi]);
+    }
+    Tensor::from_f32([m, w], out)
+}
+
+/// Gradient of [`slice_cols`]: embeds `dy` back at column offset `lo` inside
+/// a zero matrix shaped like the forward input `x`.
+pub fn pad_cols_like(x: &Tensor, dy: &Tensor, lo: usize) -> Result<Tensor> {
+    let (m, n) = x.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: x.rank(),
+        ctx: "pad_cols_like",
+    })?;
+    let (md, w, dv) = as_rows(dy, "pad_cols_like dy")?;
+    if md != m || lo + w > n {
+        return Err(TensorError::ShapeMismatch {
+            lhs: x.shape().clone(),
+            rhs: dy.shape().clone(),
+            ctx: "pad_cols_like",
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    for r in 0..m {
+        out[r * n + lo..r * n + lo + w].copy_from_slice(&dv[r * w..(r + 1) * w]);
+    }
+    Tensor::from_f32([m, n], out)
+}
+
+/// Transpose of a rank-2 matrix.
+pub fn transpose2d(t: &Tensor) -> Result<Tensor> {
+    let (m, n, tv) = as_rows(t, "transpose2d")?;
+    let mut out = vec![0.0f32; m * n];
+    for r in 0..m {
+        for c in 0..n {
+            out[c * m + r] = tv[r * n + c];
+        }
+    }
+    Tensor::from_f32([n, m], out)
+}
+
+/// Index of the maximum element in each row, as `i32[m]`.
+pub fn argmax_rows(t: &Tensor) -> Result<Tensor> {
+    let (m, n, tv) = as_rows(t, "argmax_rows")?;
+    if n == 0 {
+        return Err(TensorError::invalid("argmax_rows of zero-width matrix"));
+    }
+    let mut out = Vec::with_capacity(m);
+    for r in 0..m {
+        let row = &tv[r * n..(r + 1) * n];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        out.push(best as i32);
+    }
+    Tensor::from_i32([m], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_cols_joins() {
+        let a = Tensor::from_f32([2, 1], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_f32([2, 2], vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let c = concat_cols(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[2, 3]);
+        assert_eq!(c.f32s().unwrap(), &[1.0, 3.0, 4.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_then_slice_roundtrips() {
+        let a = Tensor::from_f32([1, 2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_f32([1, 3], vec![3.0, 4.0, 5.0]).unwrap();
+        let c = concat_cols(&a, &b).unwrap();
+        assert!(slice_cols(&c, 0, 2).unwrap().allclose(&a, 0.0));
+        assert!(slice_cols(&c, 2, 5).unwrap().allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = Tensor::from_f32([1, 2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_f32([2, 2], vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let c = concat_rows(&[&a, &b]).unwrap();
+        assert_eq!(c.shape().dims(), &[3, 2]);
+        assert_eq!(c.f32s().unwrap(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn stack_rows_accepts_rank1_and_rank2() {
+        let a = Tensor::from_f32([2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_f32([1, 2], vec![3.0, 4.0]).unwrap();
+        let s = stack_rows(&[&a, &b]).unwrap();
+        assert_eq!(s.shape().dims(), &[2, 2]);
+        assert_eq!(s.f32s().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn pad_cols_like_is_slice_grad() {
+        let x = Tensor::zeros([2, 4]);
+        let dy = Tensor::from_f32([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let g = pad_cols_like(&x, &dy, 1).unwrap();
+        assert_eq!(g.f32s().unwrap(), &[0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let t = Tensor::from_f32([2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let tt = transpose2d(&transpose2d(&t).unwrap()).unwrap();
+        assert!(tt.allclose(&t, 0.0));
+        assert_eq!(transpose2d(&t).unwrap().shape().dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn argmax_picks_first_max() {
+        let t = Tensor::from_f32([2, 3], vec![1.0, 5.0, 5.0, -1.0, -2.0, -0.5]).unwrap();
+        let a = argmax_rows(&t).unwrap();
+        assert_eq!(a.i32s().unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::from_f32([2, 1], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_f32([3, 1], vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(concat_cols(&a, &b).is_err());
+        assert!(slice_cols(&a, 0, 2).is_err());
+        assert!(concat_rows(&[]).is_err());
+        assert!(stack_rows(&[]).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Row-major tensor shapes.
+
+use std::fmt;
+
+/// The shape (dimension sizes) of a [`crate::Tensor`], row-major.
+///
+/// A rank-0 shape (`[]`) denotes a scalar with exactly one element; this is
+/// the convention used for loss values and control-flow predicates.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from explicit dimension sizes.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// The scalar shape `[]` (one element, rank zero).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// A rank-1 shape `[n]`.
+    pub fn vector(n: usize) -> Self {
+        Shape(vec![n])
+    }
+
+    /// A rank-2 shape `[rows, cols]`.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape(vec![rows, cols])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`; callers validate axes before indexing.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Total number of elements (product of all dimensions, 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` if this shape holds exactly one element.
+    ///
+    /// Both `[]` and `[1]` (and `[1, 1]`, …) are accepted as scalar-like;
+    /// control-flow predicates use this relaxed notion.
+    pub fn is_scalar_like(&self) -> bool {
+        self.numel() == 1
+    }
+
+    /// Row-major strides for this shape (innermost dimension has stride 1).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1usize;
+        for (i, d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Interprets this shape as a matrix, returning `(rows, cols)`.
+    ///
+    /// Rank-1 shapes are viewed as a single row; returns `None` for rank > 2
+    /// or rank 0.
+    pub fn as_matrix(&self) -> Option<(usize, usize)> {
+        match self.0.as_slice() {
+            [cols] => Some((1, *cols)),
+            [rows, cols] => Some((*rows, *cols)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert!(s.is_scalar_like());
+    }
+
+    #[test]
+    fn numel_is_product_of_dims() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).numel(), 24);
+        assert_eq!(Shape::vector(7).numel(), 7);
+        assert_eq!(Shape::matrix(5, 6).numel(), 30);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::vector(5).strides(), vec![1]);
+        assert!(Shape::scalar().strides().is_empty());
+    }
+
+    #[test]
+    fn as_matrix_views() {
+        assert_eq!(Shape::vector(4).as_matrix(), Some((1, 4)));
+        assert_eq!(Shape::matrix(3, 4).as_matrix(), Some((3, 4)));
+        assert_eq!(Shape::scalar().as_matrix(), None);
+        assert_eq!(Shape::new(vec![2, 2, 2]).as_matrix(), None);
+    }
+
+    #[test]
+    fn display_renders_brackets() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn one_one_is_scalar_like() {
+        assert!(Shape::new(vec![1, 1]).is_scalar_like());
+        assert!(!Shape::new(vec![1, 2]).is_scalar_like());
+    }
+}

@@ -1,0 +1,386 @@
+//! The [`Tensor`] type: immutable, reference-counted, copy-on-write.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::Result;
+use std::fmt;
+use std::sync::Arc;
+
+/// Element type of a tensor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DType {
+    /// 32-bit IEEE-754 float — all differentiable values.
+    F32,
+    /// 32-bit signed integer — indices, predicates, word ids, tree topology.
+    I32,
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F32 => write!(f, "f32"),
+            DType::I32 => write!(f, "i32"),
+        }
+    }
+}
+
+/// Reference-counted element storage.
+///
+/// Cloning a [`Tensor`] clones the `Arc`, not the data. Mutation goes through
+/// [`Tensor::make_f32_mut`] / [`Tensor::make_i32_mut`], which copy only when
+/// the buffer is shared (classic copy-on-write). The executor exploits this:
+/// functional row updates (`set_row`) in long iterative chains mutate in
+/// place once the previous value's last consumer has released its reference.
+#[derive(Clone, Debug)]
+pub enum Buffer {
+    /// Float storage.
+    F32(Arc<Vec<f32>>),
+    /// Integer storage.
+    I32(Arc<Vec<i32>>),
+}
+
+impl Buffer {
+    /// Dtype tag of this buffer.
+    pub fn dtype(&self) -> DType {
+        match self {
+            Buffer::F32(_) => DType::F32,
+            Buffer::I32(_) => DType::I32,
+        }
+    }
+
+    /// Number of elements stored.
+    pub fn len(&self) -> usize {
+        match self {
+            Buffer::F32(v) => v.len(),
+            Buffer::I32(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A dense, row-major tensor of `f32` or `i32` elements.
+///
+/// Tensors are cheap to clone (shared storage) and logically immutable; all
+/// kernels in [`crate::ops`] produce new tensors. See [`Buffer`] for the
+/// copy-on-write escape hatch used by performance-sensitive kernels.
+#[derive(Clone, Debug)]
+pub struct Tensor {
+    shape: Shape,
+    buf: Buffer,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------------
+    // Constructors
+    // ---------------------------------------------------------------------
+
+    /// Creates an `f32` tensor from a flat row-major buffer.
+    pub fn from_f32(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.numel() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                got: data.len(),
+                ctx: "Tensor::from_f32",
+            });
+        }
+        Ok(Tensor { shape, buf: Buffer::F32(Arc::new(data)) })
+    }
+
+    /// Creates an `i32` tensor from a flat row-major buffer.
+    pub fn from_i32(shape: impl Into<Shape>, data: Vec<i32>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.numel() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                got: data.len(),
+                ctx: "Tensor::from_i32",
+            });
+        }
+        Ok(Tensor { shape, buf: Buffer::I32(Arc::new(data)) })
+    }
+
+    /// An `f32` tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, buf: Buffer::F32(Arc::new(vec![value; n])) }
+    }
+
+    /// An `f32` tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 0.0)
+    }
+
+    /// An `f32` tensor of ones.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// An `f32` tensor of zeros with the same shape as `other`.
+    pub fn zeros_like(other: &Tensor) -> Self {
+        Tensor::full(other.shape().clone(), 0.0)
+    }
+
+    /// A scalar (`[]`-shaped) `f32` tensor.
+    pub fn scalar_f32(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), buf: Buffer::F32(Arc::new(vec![value])) }
+    }
+
+    /// A scalar (`[]`-shaped) `i32` tensor.
+    pub fn scalar_i32(value: i32) -> Self {
+        Tensor { shape: Shape::scalar(), buf: Buffer::I32(Arc::new(vec![value])) }
+    }
+
+    /// An `i32` tensor of zeros.
+    pub fn zeros_i32(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let n = shape.numel();
+        Tensor { shape, buf: Buffer::I32(Arc::new(vec![0; n])) }
+    }
+
+    // ---------------------------------------------------------------------
+    // Accessors
+    // ---------------------------------------------------------------------
+
+    /// Shape of this tensor.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dtype of this tensor.
+    pub fn dtype(&self) -> DType {
+        self.buf.dtype()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.shape.numel()
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Borrows the `f32` elements, or errors if this is an `i32` tensor.
+    pub fn f32s(&self) -> Result<&[f32]> {
+        match &self.buf {
+            Buffer::F32(v) => Ok(v),
+            Buffer::I32(_) => Err(TensorError::DTypeMismatch {
+                expected: DType::F32,
+                got: DType::I32,
+                ctx: "Tensor::f32s",
+            }),
+        }
+    }
+
+    /// Borrows the `i32` elements, or errors if this is an `f32` tensor.
+    pub fn i32s(&self) -> Result<&[i32]> {
+        match &self.buf {
+            Buffer::I32(v) => Ok(v),
+            Buffer::F32(_) => Err(TensorError::DTypeMismatch {
+                expected: DType::I32,
+                got: DType::F32,
+                ctx: "Tensor::i32s",
+            }),
+        }
+    }
+
+    /// Extracts the single `f32` element of a scalar-like tensor.
+    pub fn as_f32_scalar(&self) -> Result<f32> {
+        if !self.shape.is_scalar_like() {
+            return Err(TensorError::NotAScalar {
+                shape: self.shape.clone(),
+                ctx: "Tensor::as_f32_scalar",
+            });
+        }
+        Ok(self.f32s()?[0])
+    }
+
+    /// Extracts the single `i32` element of a scalar-like tensor.
+    pub fn as_i32_scalar(&self) -> Result<i32> {
+        if !self.shape.is_scalar_like() {
+            return Err(TensorError::NotAScalar {
+                shape: self.shape.clone(),
+                ctx: "Tensor::as_i32_scalar",
+            });
+        }
+        Ok(self.i32s()?[0])
+    }
+
+    /// Returns `true` if the underlying buffer is not shared with any other
+    /// tensor (mutation via `make_*_mut` would be in place).
+    pub fn is_unique(&self) -> bool {
+        match &self.buf {
+            Buffer::F32(v) => Arc::strong_count(v) == 1,
+            Buffer::I32(v) => Arc::strong_count(v) == 1,
+        }
+    }
+
+    /// Mutable access to the `f32` elements, copying first if shared.
+    ///
+    /// This is the copy-on-write primitive used by kernels such as `set_row`
+    /// so that single-owner update chains avoid O(N) copies per step.
+    pub fn make_f32_mut(&mut self) -> Result<&mut [f32]> {
+        match &mut self.buf {
+            Buffer::F32(v) => Ok(Arc::make_mut(v).as_mut_slice()),
+            Buffer::I32(_) => Err(TensorError::DTypeMismatch {
+                expected: DType::F32,
+                got: DType::I32,
+                ctx: "Tensor::make_f32_mut",
+            }),
+        }
+    }
+
+    /// Mutable access to the `i32` elements, copying first if shared.
+    pub fn make_i32_mut(&mut self) -> Result<&mut [i32]> {
+        match &mut self.buf {
+            Buffer::I32(v) => Ok(Arc::make_mut(v).as_mut_slice()),
+            Buffer::F32(_) => Err(TensorError::DTypeMismatch {
+                expected: DType::I32,
+                got: DType::F32,
+                ctx: "Tensor::make_i32_mut",
+            }),
+        }
+    }
+
+    /// Reinterprets the tensor with a new shape of identical element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.numel() != self.numel() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.numel(),
+                got: self.numel(),
+                ctx: "Tensor::reshape",
+            });
+        }
+        Ok(Tensor { shape, buf: self.buf.clone() })
+    }
+
+    /// Element-wise approximate equality for `f32` tensors (same shape).
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        if self.shape != other.shape {
+            return false;
+        }
+        match (self.f32s(), other.f32s()) {
+            (Ok(a), Ok(b)) => a
+                .iter()
+                .zip(b.iter())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs()))),
+            _ => match (self.i32s(), other.i32s()) {
+                (Ok(a), Ok(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// Raw access to the buffer (used by the executor for statistics).
+    pub fn buffer(&self) -> &Buffer {
+        &self.buf
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const MAX: usize = 16;
+        write!(f, "Tensor<{}>{}", self.dtype(), self.shape)?;
+        match &self.buf {
+            Buffer::F32(v) => {
+                let shown: Vec<String> =
+                    v.iter().take(MAX).map(|x| format!("{x:.4}")).collect();
+                write!(f, " [{}{}]", shown.join(", "), if v.len() > MAX { ", …" } else { "" })
+            }
+            Buffer::I32(v) => {
+                let shown: Vec<String> = v.iter().take(MAX).map(|x| x.to_string()).collect();
+                write!(f, " [{}{}]", shown.join(", "), if v.len() > MAX { ", …" } else { "" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_length() {
+        assert!(Tensor::from_f32([2, 2], vec![1.0, 2.0, 3.0, 4.0]).is_ok());
+        assert!(Tensor::from_f32([2, 2], vec![1.0]).is_err());
+        assert!(Tensor::from_i32([3], vec![1, 2, 3]).is_ok());
+        assert!(Tensor::from_i32([3], vec![1]).is_err());
+    }
+
+    #[test]
+    fn dtype_accessors_enforce_types() {
+        let t = Tensor::scalar_i32(7);
+        assert_eq!(t.as_i32_scalar().unwrap(), 7);
+        assert!(t.as_f32_scalar().is_err());
+        assert!(t.f32s().is_err());
+        assert_eq!(t.dtype(), DType::I32);
+    }
+
+    #[test]
+    fn scalar_extraction_rejects_vectors() {
+        let t = Tensor::from_f32([2], vec![1.0, 2.0]).unwrap();
+        assert!(t.as_f32_scalar().is_err());
+        let one = Tensor::from_f32([1, 1], vec![3.0]).unwrap();
+        assert_eq!(one.as_f32_scalar().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn clone_shares_storage_and_cow_copies() {
+        let mut a = Tensor::from_f32([3], vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(a.is_unique());
+        let b = a.clone();
+        assert!(!a.is_unique());
+        // Copy-on-write: mutating `a` must not affect `b`.
+        a.make_f32_mut().unwrap()[0] = 99.0;
+        assert_eq!(b.f32s().unwrap()[0], 1.0);
+        assert_eq!(a.f32s().unwrap()[0], 99.0);
+        // After the write both are unique again.
+        assert!(a.is_unique());
+        assert!(b.is_unique());
+    }
+
+    #[test]
+    fn unique_mutation_is_in_place() {
+        let mut a = Tensor::from_f32([2], vec![1.0, 2.0]).unwrap();
+        let ptr_before = a.f32s().unwrap().as_ptr();
+        a.make_f32_mut().unwrap()[1] = 5.0;
+        let ptr_after = a.f32s().unwrap().as_ptr();
+        assert_eq!(ptr_before, ptr_after, "unique buffers must mutate in place");
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_f32([2, 3], (0..6).map(|i| i as f32).collect()).unwrap();
+        let r = t.reshape([3, 2]).unwrap();
+        assert_eq!(r.shape().dims(), &[3, 2]);
+        assert_eq!(r.f32s().unwrap(), t.f32s().unwrap());
+        assert!(t.reshape([4]).is_err());
+    }
+
+    #[test]
+    fn allclose_compares_within_tolerance() {
+        let a = Tensor::from_f32([2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_f32([2], vec![1.0 + 1e-7, 2.0]).unwrap();
+        assert!(a.allclose(&b, 1e-5));
+        let c = Tensor::from_f32([2], vec![1.1, 2.0]).unwrap();
+        assert!(!a.allclose(&c, 1e-5));
+        let d = Tensor::from_f32([1, 2], vec![1.0, 2.0]).unwrap();
+        assert!(!a.allclose(&d, 1e-5), "shape mismatch must not be close");
+    }
+
+    #[test]
+    fn display_is_truncated() {
+        let t = Tensor::zeros([100]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+        assert!(s.len() < 400);
+    }
+}

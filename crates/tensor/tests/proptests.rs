@@ -1,0 +1,170 @@
+//! Property-based tests over the tensor kernel library.
+
+use proptest::prelude::*;
+use rdg_tensor::ops;
+use rdg_tensor::Tensor;
+
+fn vec_f32(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, n..=n)
+}
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..6, 1usize..6, 1usize..6)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(v in small_dims().prop_flat_map(|(m, n, _)| {
+        (Just((m, n)), vec_f32(m * n), vec_f32(m * n))
+    })) {
+        let ((m, n), a, b) = v;
+        let ta = Tensor::from_f32([m, n], a).unwrap();
+        let tb = Tensor::from_f32([m, n], b).unwrap();
+        let ab = ops::add(&ta, &tb).unwrap();
+        let ba = ops::add(&tb, &ta).unwrap();
+        prop_assert!(ab.allclose(&ba, 1e-6));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(v in small_dims().prop_flat_map(|(m, k, n)| {
+        (Just((m, k, n)), vec_f32(m * k), vec_f32(k * n), vec_f32(k * n))
+    })) {
+        let ((m, k, n), a, b, c) = v;
+        let ta = Tensor::from_f32([m, k], a).unwrap();
+        let tb = Tensor::from_f32([k, n], b).unwrap();
+        let tc = Tensor::from_f32([k, n], c).unwrap();
+        // A(B + C) == AB + AC
+        let lhs = ops::matmul(&ta, &ops::add(&tb, &tc).unwrap()).unwrap();
+        let rhs = ops::add(
+            &ops::matmul(&ta, &tb).unwrap(),
+            &ops::matmul(&ta, &tc).unwrap(),
+        ).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_transposed_variants_agree(v in small_dims().prop_flat_map(|(m, k, n)| {
+        (Just((m, k, n)), vec_f32(m * k), vec_f32(k * n))
+    })) {
+        let ((m, k, n), a, b) = v;
+        let ta = Tensor::from_f32([m, k], a).unwrap();
+        let tb = Tensor::from_f32([k, n], b).unwrap();
+        let direct = ops::matmul(&ta, &tb).unwrap();
+        // (AᵀᵀB): feed transpose into matmul_at.
+        let tat = ops::transpose2d(&ta).unwrap();
+        let via_at = ops::matmul_at(&tat, &tb).unwrap();
+        prop_assert!(direct.allclose(&via_at, 1e-4));
+        // (A·(Bᵀ)ᵀ): feed transpose into matmul_bt.
+        let tbt = ops::transpose2d(&tb).unwrap();
+        let via_bt = ops::matmul_bt(&ta, &tbt).unwrap();
+        prop_assert!(direct.allclose(&via_bt, 1e-4));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(v in small_dims().prop_flat_map(|(m, n, _)| {
+        (Just((m, n)), vec_f32(m * n))
+    })) {
+        let ((m, n), x) = v;
+        let t = Tensor::from_f32([m, n], x).unwrap();
+        let y = ops::softmax(&t).unwrap();
+        let yv = y.f32s().unwrap();
+        for r in 0..m {
+            let row = &yv[r * n..(r + 1) * n];
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn concat_slice_roundtrip(v in small_dims().prop_flat_map(|(m, p, q)| {
+        (Just((m, p, q)), vec_f32(m * p), vec_f32(m * q))
+    })) {
+        let ((m, p, q), a, b) = v;
+        let ta = Tensor::from_f32([m, p], a).unwrap();
+        let tb = Tensor::from_f32([m, q], b).unwrap();
+        let c = ops::concat_cols(&ta, &tb).unwrap();
+        prop_assert!(ops::slice_cols(&c, 0, p).unwrap().allclose(&ta, 0.0));
+        prop_assert!(ops::slice_cols(&c, p, p + q).unwrap().allclose(&tb, 0.0));
+    }
+
+    #[test]
+    fn gather_after_scatter_recovers_rows(
+        (v, d, ids) in (2usize..8, 1usize..5).prop_flat_map(|(v, d)| {
+            (Just(v), Just(d), prop::collection::vec(0..v as i32, 1..6))
+        })
+    ) {
+        // Scatter unique-free rows then gather them back: gathered row =
+        // sum of all scattered rows with that id.
+        let m = ids.len();
+        let src: Vec<f32> = (0..m * d).map(|i| i as f32 + 1.0).collect();
+        let tids = Tensor::from_i32([m], ids.clone()).unwrap();
+        let tsrc = Tensor::from_f32([m, d], src.clone()).unwrap();
+        let like = Tensor::zeros([v, d]);
+        let table = ops::scatter_rows_like(&like, &tids, &tsrc).unwrap();
+        let back = ops::gather_rows(&table, &tids).unwrap();
+        let bv = back.f32s().unwrap();
+        for (r, &id) in ids.iter().enumerate() {
+            // Expected: sum over all source rows with the same id.
+            for j in 0..d {
+                let want: f32 = ids.iter().enumerate()
+                    .filter(|(_, &i2)| i2 == id)
+                    .map(|(r2, _)| src[r2 * d + j])
+                    .sum();
+                prop_assert!((bv[r * d + j] - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn set_then_get_row(
+        (m, d, i) in (1usize..6, 1usize..6).prop_flat_map(|(m, d)| {
+            (Just(m), Just(d), 0..m as i32)
+        })
+    ) {
+        let base = Tensor::zeros([m, d]);
+        let row: Vec<f32> = (0..d).map(|j| j as f32 + 0.5).collect();
+        let trow = Tensor::from_f32([d], row.clone()).unwrap();
+        let ti = Tensor::scalar_i32(i);
+        let updated = ops::set_row(base, &ti, &trow).unwrap();
+        let got = ops::get_row(&updated, &ti).unwrap();
+        prop_assert_eq!(got.f32s().unwrap(), &row[..]);
+    }
+
+    #[test]
+    fn sum_axis0_matches_manual(v in small_dims().prop_flat_map(|(m, n, _)| {
+        (Just((m, n)), vec_f32(m * n))
+    })) {
+        let ((m, n), x) = v;
+        let t = Tensor::from_f32([m, n], x.clone()).unwrap();
+        let s = ops::sum_axis0(&t).unwrap();
+        for j in 0..n {
+            let want: f32 = (0..m).map(|r| x[r * n + j]).sum();
+            prop_assert!((s.f32s().unwrap()[j] - want).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bilinear_grads_check(
+        (m, k) in (1usize..4, 1usize..3)
+    ) {
+        // Deterministic pseudo-random contents.
+        let xs: Vec<f32> = (0..m).map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.2).collect();
+        let vs: Vec<f32> = (0..k * m * m).map(|i| ((i * 5 % 9) as f32 - 4.0) * 0.15).collect();
+        let x = Tensor::from_f32([1, m], xs.clone()).unwrap();
+        let v = Tensor::from_f32([k, m, m], vs.clone()).unwrap();
+        let dy = Tensor::ones([1, k]);
+        let gx = ops::bilinear_grad_x(&x, &v, &dy).unwrap();
+        let h = 1e-2f32;
+        let f = |xs: &[f32]| -> f32 {
+            let x = Tensor::from_f32([1, m], xs.to_vec()).unwrap();
+            ops::bilinear(&x, &v).unwrap().f32s().unwrap().iter().sum()
+        };
+        for i in 0..m {
+            let mut xp = xs.clone(); xp[i] += h;
+            let mut xm = xs.clone(); xm[i] -= h;
+            let fd = (f(&xp) - f(&xm)) / (2.0 * h);
+            prop_assert!((gx.f32s().unwrap()[i] - fd).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Train a recursive TreeLSTM for sentiment analysis (the paper's headline
+//! workload) on the synthetic movie-review corpus, reporting loss and
+//! validation accuracy per epoch.
+//!
+//! Run with: `cargo run --release --example sentiment_treelstm`
+
+use rdg_core::nn::metrics::accuracy;
+use rdg_core::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let batch = 8;
+    let data = Dataset::generate(DatasetConfig {
+        vocab: 500,
+        n_train: 160,
+        n_valid: 64,
+        min_len: 4,
+        max_len: 18,
+        seed: 2018,
+        ..DatasetConfig::default()
+    });
+    println!(
+        "corpus: {} train / {} valid sentences, mean length {:.1} words",
+        data.split(Split::Train).len(),
+        data.split(Split::Valid).len(),
+        data.mean_len(Split::Train)
+    );
+
+    let mut cfg = ModelConfig::tiny(ModelKind::TreeLstm, batch);
+    cfg.vocab = 500;
+    cfg.embed = 16;
+    cfg.hidden = 24;
+    let forward = build_recursive(&cfg).expect("build model");
+    let training = build_training_module(&forward, forward.main.outputs[0]).expect("autodiff");
+    println!(
+        "model: TreeLSTM, {} params, {} SubGraphs ({} gradient)",
+        training.params.len(),
+        training.subgraphs.len(),
+        training.subgraphs.iter().filter(|s| s.grad_of.is_some()).count()
+    );
+
+    let exec = Executor::with_threads(2);
+    let train_sess = Session::new(Arc::clone(&exec), training).expect("train session");
+    let infer_sess = Session::with_params(exec, forward, Arc::clone(train_sess.params()))
+        .expect("infer session");
+    let mut trainer = Trainer::new(train_sess, Adagrad::new(0.05));
+
+    for epoch in 1..=5 {
+        let t0 = std::time::Instant::now();
+        let mut loss_sum = 0.0;
+        let mut steps = 0;
+        for chunk in data.batches(Split::Train, batch) {
+            loss_sum += trainer.step(Dataset::feeds_for(chunk)).expect("step");
+            steps += 1;
+        }
+        // Validation accuracy.
+        let mut correct = 0.0;
+        let mut total = 0.0;
+        for chunk in data.batches(Split::Valid, batch) {
+            let outs = infer_sess.run(Dataset::feeds_for(chunk)).expect("eval");
+            let labels: Vec<i32> = chunk.iter().map(|i| i.label).collect();
+            let labels = Tensor::from_i32([labels.len()], labels).expect("labels");
+            correct += accuracy(&outs[1], &labels).expect("accuracy") * chunk.len() as f32;
+            total += chunk.len() as f32;
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "epoch {epoch}: loss {:.4}, valid acc {:.1}%, {:.1} instances/s",
+            loss_sum / steps as f32,
+            100.0 * correct / total,
+            (steps * batch) as f64 / dt,
+        );
+    }
+}

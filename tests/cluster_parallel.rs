@@ -1,0 +1,76 @@
+//! Data-parallel training (paper Figure 10).
+
+use rdg_core::cluster::{model_step, run_real, ClusterConfig, NetModel};
+use rdg_core::prelude::*;
+
+fn data() -> Dataset {
+    Dataset::generate(DatasetConfig {
+        vocab: 100,
+        n_train: 32,
+        n_valid: 0,
+        min_len: 3,
+        max_len: 8,
+        ..DatasetConfig::default()
+    })
+}
+
+#[test]
+fn synchronous_sgd_with_two_machines_trains() {
+    let cfg = ClusterConfig {
+        n_machines: 2,
+        threads_per_machine: 1,
+        model: ModelConfig::tiny(ModelKind::TreeRnn, 2),
+        steps: 4,
+        lr: 0.05,
+    };
+    let report = run_real(&cfg, &data()).unwrap();
+    assert!(report.instances_per_sec > 0.0);
+    assert!(report.final_loss.is_finite());
+    assert_eq!(report.machine0_compute.len(), 4);
+}
+
+#[test]
+fn shared_parameters_receive_all_machines_updates() {
+    // Train 1-machine and 2-machine configurations from the same init with
+    // the same total batch: both must decrease loss (updates flow).
+    let d = data();
+    let one = ClusterConfig {
+        n_machines: 1,
+        threads_per_machine: 2,
+        model: ModelConfig::tiny(ModelKind::TreeRnn, 4),
+        steps: 6,
+        lr: 0.1,
+    };
+    let two = ClusterConfig {
+        n_machines: 2,
+        threads_per_machine: 1,
+        model: ModelConfig::tiny(ModelKind::TreeRnn, 2),
+        steps: 6,
+        lr: 0.1,
+    };
+    let r1 = run_real(&one, &d).unwrap();
+    let r2 = run_real(&two, &d).unwrap();
+    assert!(r1.final_loss.is_finite() && r2.final_loss.is_finite());
+}
+
+#[test]
+fn virtual_time_model_reproduces_linear_scaling_shape() {
+    // Paper Figure 10: 1.00× → 1.85× → 3.65× → 7.34× for 1/2/4/8 machines.
+    // With low-variance compute and a 10GbE-class network, the model must
+    // land in the same near-linear regime.
+    let samples: Vec<f64> = (0..64)
+        .map(|i| 2.5 + 0.12 * ((i * 17 % 11) as f64 / 11.0 - 0.5))
+        .collect();
+    let net = NetModel::default();
+    let param_bytes = 4.0 * 1_000_000.0; // ~1M parameters, f32
+    let base = model_step(&samples, 1, 25, &net, param_bytes).1;
+    let mut speedups = Vec::new();
+    for n in [1usize, 2, 4, 8] {
+        let thr = model_step(&samples, n, 25, &net, param_bytes).1;
+        speedups.push(thr / base);
+    }
+    assert!((speedups[0] - 1.0).abs() < 1e-9);
+    assert!(speedups[1] > 1.7 && speedups[1] <= 2.0, "2 machines: {:.2}×", speedups[1]);
+    assert!(speedups[2] > 3.3 && speedups[2] <= 4.0, "4 machines: {:.2}×", speedups[2]);
+    assert!(speedups[3] > 6.5 && speedups[3] <= 8.0, "8 machines: {:.2}×", speedups[3]);
+}

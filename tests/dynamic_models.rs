@@ -1,0 +1,75 @@
+//! TD-TreeLSTM (paper §6.4.2, Table 3): runtime-dynamic structure.
+
+use rdg_core::models::td::td_feeds;
+use rdg_core::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn recursive_and_iterative_td_agree_on_structure_and_state() {
+    let cfg = TdConfig::tiny(4);
+    let mr = build_td_recursive(&cfg).unwrap();
+    let mi = build_td_iterative(&cfg).unwrap();
+    let exec = Executor::with_threads(2);
+    let sr = Session::new(Arc::clone(&exec), mr).unwrap();
+    let si = Session::with_params(exec, mi, Arc::clone(sr.params())).unwrap();
+    for seed in 0..5 {
+        let feeds = td_feeds(&cfg, seed);
+        let or = sr.run(feeds.clone()).unwrap();
+        let oi = si.run(feeds).unwrap();
+        assert_eq!(
+            or[0].as_i32_scalar().unwrap(),
+            oi[0].as_i32_scalar().unwrap(),
+            "generated node counts must match (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn generation_is_bounded_and_varies() {
+    let cfg = TdConfig::tiny(1);
+    let m = build_td_recursive(&cfg).unwrap();
+    let s = Session::new(Executor::with_threads(2), m).unwrap();
+    let mut counts = Vec::new();
+    for w in 0..24 {
+        let out = s.run(vec![Tensor::scalar_i32(w)]).unwrap();
+        let n = out[0].as_i32_scalar().unwrap();
+        assert!(n >= 1 && n <= cfg.max_nodes() as i32);
+        counts.push(n);
+    }
+    let distinct: std::collections::HashSet<_> = counts.iter().collect();
+    assert!(distinct.len() >= 3, "counts should vary with the seed word: {counts:?}");
+}
+
+#[test]
+fn deeper_caps_allow_larger_trees() {
+    let mut small = TdConfig::tiny(1);
+    small.max_depth = 2;
+    small.threshold = 0.0; // expand whenever allowed
+    let mut large = small.clone();
+    large.max_depth = 4;
+
+    let ms = build_td_recursive(&small).unwrap();
+    let ml = build_td_recursive(&large).unwrap();
+    let exec = Executor::with_threads(2);
+    let ss = Session::new(Arc::clone(&exec), ms).unwrap();
+    let sl = Session::with_params(exec, ml, Arc::clone(ss.params())).unwrap();
+    let f = td_feeds(&small, 3);
+    let ns = ss.run(f.clone()).unwrap()[0].as_i32_scalar().unwrap();
+    let nl = sl.run(f).unwrap()[0].as_i32_scalar().unwrap();
+    assert_eq!(ns, 7, "full depth-2 tree");
+    assert_eq!(nl, 31, "full depth-4 tree");
+}
+
+#[test]
+fn folding_cannot_express_td_models() {
+    // Fold requires the complete tree structure before execution
+    // (`FoldPlan::build` consumes parsed instances); TD-TreeLSTM's structure
+    // exists only during execution. This is a design-level impossibility —
+    // the assertion here documents the API asymmetry: fold plans are built
+    // from `Instance` trees, while TD models take only seed words.
+    let cfg = TdConfig::tiny(1);
+    let m = build_td_recursive(&cfg).unwrap();
+    // The TD module's only data inputs are the seed words (one per
+    // instance): there is no tree to hand to the fold planner.
+    assert_eq!(m.main.input_nodes.len(), cfg.batch);
+}

@@ -1,0 +1,102 @@
+//! Fold (depth-wise dynamic batching) must compute the same function as the
+//! recursive implementation: same logits, same loss, same gradients —
+//! batching changes the schedule, not the math.
+
+use rdg_core::fold::FoldEngine;
+use rdg_core::prelude::*;
+use std::sync::Arc;
+
+fn tiny(batch: usize, seed: u64) -> (Vec<Tensor>, Vec<Instance>) {
+    let d = Dataset::generate(DatasetConfig {
+        vocab: 80,
+        n_train: batch,
+        n_valid: 0,
+        min_len: 3,
+        max_len: 12,
+        seed,
+        ..DatasetConfig::default()
+    });
+    let insts = d.split(Split::Train).to_vec();
+    (Dataset::feeds_for(&insts), insts)
+}
+
+#[test]
+fn fold_forward_matches_recursive() {
+    for kind in [ModelKind::TreeRnn, ModelKind::Rntn, ModelKind::TreeLstm] {
+        let cfg = ModelConfig::tiny(kind, 4);
+        let (feeds, insts) = tiny(4, 41);
+
+        let rec = Session::new(Executor::with_threads(2), build_recursive(&cfg).unwrap()).unwrap();
+        let mut fold = FoldEngine::new(cfg).unwrap();
+        fold.set_params(Arc::clone(rec.params()));
+
+        let out = rec.run(feeds).unwrap();
+        let (fold_loss, fold_logits) = fold.infer(&insts).unwrap();
+
+        let rec_loss = out[0].as_f32_scalar().unwrap();
+        assert!(
+            (rec_loss - fold_loss).abs() < 1e-4,
+            "{kind:?}: loss differs: recursive {rec_loss} vs fold {fold_loss}"
+        );
+        assert!(
+            out[1].allclose(&fold_logits, 1e-4),
+            "{kind:?}: logits differ between recursive and fold"
+        );
+    }
+}
+
+#[test]
+fn fold_gradients_match_recursive() {
+    for kind in [ModelKind::TreeRnn, ModelKind::TreeLstm] {
+        let cfg = ModelConfig::tiny(kind, 3);
+        let (feeds, insts) = tiny(3, 42);
+
+        let m = build_recursive(&cfg).unwrap();
+        let t = build_training_module(&m, m.main.outputs[0]).unwrap();
+        let rec = Session::new(Executor::with_threads(2), t).unwrap();
+        rec.run_training(feeds).unwrap();
+
+        let mut fold = FoldEngine::new(cfg).unwrap();
+        fold.set_params(Arc::clone(rec.params()));
+        let fold_grads = rdg_core::exec::GradStore::new(fold.params().len());
+        fold.train_step(&insts, &fold_grads).unwrap();
+
+        for (i, spec) in rec.module().params.iter().enumerate() {
+            let pid = ParamId(i as u32);
+            match (rec.grads().get(pid), fold_grads.get(pid)) {
+                (Some(a), Some(b)) => {
+                    assert!(
+                        a.allclose(&b, 1e-3),
+                        "{kind:?}: gradient of '{}' differs (fold vs recursive)",
+                        spec.name
+                    );
+                }
+                (None, None) => {}
+                (a, b) => {
+                    let present = a.or(b).unwrap();
+                    let max =
+                        present.f32s().unwrap().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                    assert!(max < 1e-6, "{kind:?}: '{}' one-sided gradient", spec.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fold_batches_same_depth_nodes_together() {
+    // Structural sanity: on balanced trees, level widths grow with batch.
+    let d = Dataset::generate(DatasetConfig {
+        vocab: 50,
+        n_train: 8,
+        n_valid: 0,
+        min_len: 8,
+        max_len: 8,
+        shape: TreeShape::Balanced,
+        ..DatasetConfig::default()
+    });
+    let plan = rdg_core::fold::FoldPlan::build(d.split(Split::Train));
+    // 8 instances × 8 leaves: level 0 internals = 4 per tree × 8 = 32.
+    assert_eq!(plan.levels[0].len(), 32);
+    assert_eq!(plan.max_level_width(), 64, "leaf level batches all 64 leaves");
+}
