@@ -1,8 +1,7 @@
 //! The gradient-graph builder.
 
 use rdg_graph::{
-    CallSiteId, Graph, GraphError, GraphRef, Module, NodeId, OpKind, PortRef, SubGraph,
-    SubGraphId,
+    CallSiteId, Graph, GraphError, GraphRef, Module, NodeId, OpKind, PortRef, SubGraph, SubGraphId,
 };
 use rdg_tensor::{DType, Tensor};
 use std::collections::{HashMap, HashSet};
@@ -60,14 +59,19 @@ impl DiffState {
     }
 
     fn add_contrib(&mut self, fwd_port: PortRef, g: PortRef) {
-        self.contrib.entry((fwd_port.node.0, fwd_port.port)).or_default().push(g);
+        self.contrib
+            .entry((fwd_port.node.0, fwd_port.port))
+            .or_default()
+            .push(g);
     }
 
     fn finalize(&mut self, node: NodeId, port: u16) -> Option<PortRef> {
         let v = self.contrib.remove(&(node.0, port))?;
         let mut it = v.into_iter();
         let first = it.next()?;
-        Some(it.fold(first, |acc, g| self.n1(OpKind::Add, vec![acc, g], DType::F32)))
+        Some(it.fold(first, |acc, g| {
+            self.n1(OpKind::Add, vec![acc, g], DType::F32)
+        }))
     }
 }
 
@@ -90,7 +94,9 @@ struct GradBuilder {
 pub fn build_training_module(fwd: &Module, loss: PortRef) -> rdg_graph::Result<Module> {
     fwd.validate()?;
     if loss.node.0 as usize >= fwd.main.len() {
-        return Err(GraphError::invalid("loss port does not exist in the main graph"));
+        return Err(GraphError::invalid(
+            "loss port does not exist in the main graph",
+        ));
     }
     if fwd.main.port_dtype(loss) != DType::F32 {
         return Err(GraphError::invalid("loss must be an f32 port"));
@@ -107,9 +113,12 @@ pub fn build_training_module(fwd: &Module, loss: PortRef) -> rdg_graph::Result<M
     while let Some(job) = gb.pending.pop() {
         match job {
             Job::Sub { fwd, decl } => gb.build_sub(fwd, decl)?,
-            Job::Branch { fwd, other, self_first, id } => {
-                gb.build_branch(fwd, other, self_first, id)?
-            }
+            Job::Branch {
+                fwd,
+                other,
+                self_first,
+                id,
+            } => gb.build_branch(fwd, other, self_first, id)?,
         }
     }
     gb.module.keep_sets = gb.keep;
@@ -210,9 +219,16 @@ impl GradBuilder {
             grad_of: Some(sub),
             grad_input_map,
         });
-        let decl = GradDecl { id, dy_outputs, f32_inputs };
+        let decl = GradDecl {
+            id,
+            dy_outputs,
+            f32_inputs,
+        };
         self.memo.insert(sub, Some(decl.clone()));
-        self.pending.push(Job::Sub { fwd: sub, decl: decl.clone() });
+        self.pending.push(Job::Sub {
+            fwd: sub,
+            decl: decl.clone(),
+        });
         Some(decl)
     }
 
@@ -228,9 +244,21 @@ impl GradBuilder {
         }
         let fsg = &self.module.subgraphs[fwd.0 as usize];
         let osg = &self.module.subgraphs[other.0 as usize];
-        let n_dys = fsg.output_dtypes.iter().filter(|&&d| d == DType::F32).count();
-        let n_self = fsg.input_dtypes.iter().filter(|&&d| d == DType::F32).count();
-        let n_other = osg.input_dtypes.iter().filter(|&&d| d == DType::F32).count();
+        let n_dys = fsg
+            .output_dtypes
+            .iter()
+            .filter(|&&d| d == DType::F32)
+            .count();
+        let n_self = fsg
+            .input_dtypes
+            .iter()
+            .filter(|&&d| d == DType::F32)
+            .count();
+        let n_other = osg
+            .input_dtypes
+            .iter()
+            .filter(|&&d| d == DType::F32)
+            .count();
         let name = format!("grad_{}", fsg.name);
         let id = SubGraphId(self.module.subgraphs.len() as u32);
         self.module.subgraphs.push(SubGraph {
@@ -244,7 +272,12 @@ impl GradBuilder {
             grad_input_map: Vec::new(),
         });
         self.branch_memo.insert((fwd, self_first), id);
-        self.pending.push(Job::Branch { fwd, other, self_first, id });
+        self.pending.push(Job::Branch {
+            fwd,
+            other,
+            self_first,
+            id,
+        });
         id
     }
 
@@ -287,7 +320,10 @@ impl GradBuilder {
         };
         for (j, &k) in decl.dy_outputs.iter().enumerate() {
             let dy = PortRef::of(st.out.push_node(
-                OpKind::Input { index: j, dtype: DType::F32 },
+                OpKind::Input {
+                    index: j,
+                    dtype: DType::F32,
+                },
                 vec![],
                 vec![DType::F32],
             ));
@@ -333,7 +369,11 @@ impl GradBuilder {
             .filter(|(_, &dt)| dt == DType::F32)
             .map(|(i, _)| i)
             .collect();
-        let n_other = osg.input_dtypes.iter().filter(|&&d| d == DType::F32).count();
+        let n_other = osg
+            .input_dtypes
+            .iter()
+            .filter(|&&d| d == DType::F32)
+            .count();
 
         let mut st = DiffState {
             fwd: fsg.graph.clone(),
@@ -347,7 +387,10 @@ impl GradBuilder {
         // dy inputs first, then the pass-through zero tensors.
         for (j, &k) in dy_outputs.iter().enumerate() {
             let dy = PortRef::of(st.out.push_node(
-                OpKind::Input { index: j, dtype: DType::F32 },
+                OpKind::Input {
+                    index: j,
+                    dtype: DType::F32,
+                },
                 vec![],
                 vec![DType::F32],
             ));
@@ -356,7 +399,10 @@ impl GradBuilder {
         let mut zero_ports = Vec::with_capacity(n_other);
         for j in 0..n_other {
             zero_ports.push(PortRef::of(st.out.push_node(
-                OpKind::Input { index: dy_outputs.len() + j, dtype: DType::F32 },
+                OpKind::Input {
+                    index: dy_outputs.len() + j,
+                    dtype: DType::F32,
+                },
                 vec![],
                 vec![DType::F32],
             )));
@@ -509,7 +555,10 @@ impl GradBuilder {
                 st.add_contrib(ins[0], dx);
                 st.add_contrib(ins[1], dv);
             }
-            OpKind::Tanh | OpKind::Sigmoid | OpKind::Relu | OpKind::Softmax
+            OpKind::Tanh
+            | OpKind::Sigmoid
+            | OpKind::Relu
+            | OpKind::Softmax
             | OpKind::LogSoftmax => {
                 let dy = dy.expect("checked");
                 let y = self.ref_value(st, PortRef::of(nid));
@@ -554,8 +603,11 @@ impl GradBuilder {
             OpKind::StackRows => {
                 let dy = dy.expect("checked");
                 for (i, &inp) in ins.iter().enumerate() {
-                    let idx =
-                        st.n1(OpKind::Const(Tensor::scalar_i32(i as i32)), vec![], DType::I32);
+                    let idx = st.n1(
+                        OpKind::Const(Tensor::scalar_i32(i as i32)),
+                        vec![],
+                        DType::I32,
+                    );
                     let d = st.n1(OpKind::GetRow, vec![dy, idx], DType::F32);
                     st.add_contrib(inp, d);
                 }
@@ -611,7 +663,11 @@ impl GradBuilder {
                 let dy = dy.expect("checked");
                 let logits = self.ref_value(st, ins[0]);
                 let labels = self.ref_value(st, ins[1]);
-                let d = st.n1(OpKind::SoftmaxXentGrad, vec![logits, labels, dy], DType::F32);
+                let d = st.n1(
+                    OpKind::SoftmaxXentGrad,
+                    vec![logits, labels, dy],
+                    DType::F32,
+                );
                 st.add_contrib(ins[0], d);
             }
             OpKind::Param(p) => {
@@ -659,10 +715,24 @@ impl GradBuilder {
             OpKind::Invoke { sub, site, .. } => {
                 self.invoke_grad(st, nid, *sub, *site, ins, dys)?;
             }
-            OpKind::Cond { sub_then, sub_else, site_then, site_else, n_then_in, .. } => {
+            OpKind::Cond {
+                sub_then,
+                sub_else,
+                site_then,
+                site_else,
+                n_then_in,
+                ..
+            } => {
                 self.cond_grad(
-                    st, nid, *sub_then, *sub_else, *site_then, *site_else, *n_then_in as usize,
-                    ins, dys,
+                    st,
+                    nid,
+                    *sub_then,
+                    *sub_else,
+                    *site_then,
+                    *site_else,
+                    *n_then_in as usize,
+                    ins,
+                    dys,
                 )?;
             }
             other => {
@@ -690,18 +760,35 @@ impl GradBuilder {
         for &k in &decl.dy_outputs {
             let dy = match dys[k].take() {
                 Some(d) => d,
-                None => self.ref_zeros(st, PortRef { node: nid, port: k as u16 }),
+                None => self.ref_zeros(
+                    st,
+                    PortRef {
+                        node: nid,
+                        port: k as u16,
+                    },
+                ),
             };
             args.push(dy);
         }
         let n_out = decl.f32_inputs.len() as u16;
         let g = st.out.push_node(
-            OpKind::Invoke { sub: decl.id, site, n_out, mirror: true },
+            OpKind::Invoke {
+                sub: decl.id,
+                site,
+                n_out,
+                mirror: true,
+            },
             args,
             vec![DType::F32; n_out as usize],
         );
         for (j, &i) in decl.f32_inputs.iter().enumerate() {
-            st.add_contrib(ins[i], PortRef { node: g, port: j as u16 });
+            st.add_contrib(
+                ins[i],
+                PortRef {
+                    node: g,
+                    port: j as u16,
+                },
+            );
         }
         Ok(())
     }
@@ -754,7 +841,13 @@ impl GradBuilder {
         for &k in &dy_outputs {
             let dy = match dys[k].take() {
                 Some(d) => d,
-                None => self.ref_zeros(st, PortRef { node: nid, port: k as u16 }),
+                None => self.ref_zeros(
+                    st,
+                    PortRef {
+                        node: nid,
+                        port: k as u16,
+                    },
+                ),
             };
             dy_ports.push(dy);
         }
@@ -764,8 +857,10 @@ impl GradBuilder {
             .iter()
             .map(|&i| self.ref_zeros(st, ins[1 + n_then_in + i]))
             .collect();
-        let zeros_t: Vec<PortRef> =
-            t_f32.iter().map(|&i| self.ref_zeros(st, ins[1 + i])).collect();
+        let zeros_t: Vec<PortRef> = t_f32
+            .iter()
+            .map(|&i| self.ref_zeros(st, ins[1 + i]))
+            .collect();
 
         let mut inputs = vec![pred];
         inputs.extend(dy_ports.iter().copied());
@@ -789,12 +884,21 @@ impl GradBuilder {
             vec![DType::F32; n_out as usize],
         );
         for (j, &i) in t_f32.iter().enumerate() {
-            st.add_contrib(ins[1 + i], PortRef { node: g, port: j as u16 });
+            st.add_contrib(
+                ins[1 + i],
+                PortRef {
+                    node: g,
+                    port: j as u16,
+                },
+            );
         }
         for (j, &i) in e_f32.iter().enumerate() {
             st.add_contrib(
                 ins[1 + n_then_in + i],
-                PortRef { node: g, port: (t_f32.len() + j) as u16 },
+                PortRef {
+                    node: g,
+                    port: (t_f32.len() + j) as u16,
+                },
             );
         }
         Ok(())

@@ -7,9 +7,9 @@
 //! loss, on the real executor, for every model.
 
 use crate::diff::build_training_module;
+use rdg_exec::{Executor, Session};
 use rdg_graph::{Module, ParamId, PortRef};
 use rdg_tensor::Tensor;
-use rdg_exec::{Executor, Session};
 use std::sync::Arc;
 
 /// Result of a gradient check.
@@ -57,14 +57,20 @@ pub fn check_gradients(
     .map_err(|e| e.to_string())?;
 
     // Analytic gradients.
-    train_sess.run_training(feeds.to_vec()).map_err(|e| e.to_string())?;
+    train_sess
+        .run_training(feeds.to_vec())
+        .map_err(|e| e.to_string())?;
 
     let loss_at = |sess: &Session| -> Result<f32, String> {
         let outs = sess.run(feeds.to_vec()).map_err(|e| e.to_string())?;
         outs[loss_output].as_f32_scalar().map_err(|e| e.to_string())
     };
 
-    let mut report = GradCheckReport { max_abs_err: 0.0, max_rel_err: 0.0, n_checked: 0 };
+    let mut report = GradCheckReport {
+        max_abs_err: 0.0,
+        max_rel_err: 0.0,
+        n_checked: 0,
+    };
     for (pi, spec) in module.params.iter().enumerate() {
         let pid = ParamId(pi as u32);
         let analytic = train_sess.grads().get(pid);

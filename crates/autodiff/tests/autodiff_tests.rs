@@ -5,7 +5,6 @@ use rdg_autodiff::{build_training_module, check_gradients};
 use rdg_exec::{Executor, Session};
 use rdg_graph::{ModuleBuilder, PortRef};
 use rdg_tensor::{DType, Tensor};
-use std::sync::Arc;
 
 fn assert_gradcheck(module: &rdg_graph::Module, feeds: &[Tensor]) {
     let report = check_gradients(module, 0, feeds, 1e-2, 16).expect("gradcheck runs");
@@ -35,7 +34,12 @@ fn chain_rule_in_main_graph() {
     let exec = Executor::with_threads(2);
     let s = Session::new(exec, train).unwrap();
     s.run_training(vec![]).unwrap();
-    let g = s.grads().get(rdg_graph::ParamId(0)).unwrap().as_f32_scalar().unwrap();
+    let g = s
+        .grads()
+        .get(rdg_graph::ParamId(0))
+        .unwrap()
+        .as_f32_scalar()
+        .unwrap();
     let wx = 0.7f32 * 1.3;
     let want = (1.0 - wx.tanh().powi(2)) * 1.3;
     assert!((g - want).abs() < 1e-5, "got {g}, want {want}");
@@ -48,9 +52,14 @@ fn matmul_bias_activation_pipeline() {
     // loss = mean(sigmoid(x·W + b)) — a dense layer, checked numerically.
     let mut mb = ModuleBuilder::new();
     let w = mb
-        .param_wire("W", Tensor::from_f32([3, 2], vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6]).unwrap())
+        .param_wire(
+            "W",
+            Tensor::from_f32([3, 2], vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6]).unwrap(),
+        )
         .unwrap();
-    let b = mb.param_wire("b", Tensor::from_f32([2], vec![0.05, -0.05]).unwrap()).unwrap();
+    let b = mb
+        .param_wire("b", Tensor::from_f32([2], vec![0.05, -0.05]).unwrap())
+        .unwrap();
     let x = mb.constant(Tensor::from_f32([2, 3], vec![1.0, 2.0, -1.0, 0.5, -0.3, 0.8]).unwrap());
     let h = mb.matmul(x, w).unwrap();
     let hb = mb.add_bias(h, b).unwrap();
@@ -123,8 +132,16 @@ fn recursive_power_gradient() {
     let s = Session::new(exec, train).unwrap();
     let outs = s.run_training(vec![]).unwrap();
     let loss = outs[0].as_f32_scalar().unwrap();
-    assert!((loss - 0.8f32.powi(3) * 0.5).abs() < 1e-5, "forward value {loss}");
-    let g = s.grads().get(rdg_graph::ParamId(0)).unwrap().as_f32_scalar().unwrap();
+    assert!(
+        (loss - 0.8f32.powi(3) * 0.5).abs() < 1e-5,
+        "forward value {loss}"
+    );
+    let g = s
+        .grads()
+        .get(rdg_graph::ParamId(0))
+        .unwrap()
+        .as_f32_scalar()
+        .unwrap();
     let want = 3.0 * 0.8f32.powi(2) * 0.5;
     assert!((g - want).abs() < 1e-4, "dw = {g}, want {want}");
 
@@ -165,8 +182,16 @@ fn double_recursion_gradient() {
     let s = Session::new(Executor::with_threads(2), train).unwrap();
     let outs = s.run_training(vec![]).unwrap();
     assert!((outs[0].as_f32_scalar().unwrap() - 16.0 * 0.3).abs() < 1e-4);
-    let g = s.grads().get(rdg_graph::ParamId(0)).unwrap().as_f32_scalar().unwrap();
-    assert!((g - 16.0).abs() < 1e-3, "dw = {g}, want 16 (2⁴ leaf contributions)");
+    let g = s
+        .grads()
+        .get(rdg_graph::ParamId(0))
+        .unwrap()
+        .as_f32_scalar()
+        .unwrap();
+    assert!(
+        (g - 16.0).abs() < 1e-3,
+        "dw = {g}, want 16 (2⁴ leaf contributions)"
+    );
 }
 
 #[test]
@@ -198,7 +223,12 @@ fn while_loop_gradient() {
     let s = Session::new(Executor::with_threads(2), train).unwrap();
     let o = s.run_training(vec![]).unwrap();
     assert!((o[0].as_f32_scalar().unwrap() - 0.7 * 0.9f32.powi(5)).abs() < 1e-5);
-    let g = s.grads().get(rdg_graph::ParamId(0)).unwrap().as_f32_scalar().unwrap();
+    let g = s
+        .grads()
+        .get(rdg_graph::ParamId(0))
+        .unwrap()
+        .as_f32_scalar()
+        .unwrap();
     let want = 5.0 * 0.9f32.powi(4) * 0.7;
     assert!((g - want).abs() < 1e-4, "dw = {g}, want {want}");
 
@@ -213,7 +243,7 @@ fn cond_gradient_routes_to_taken_branch() {
         let w1 = mb.param("w1", Tensor::scalar_f32(0.5));
         let w2 = mb.param("w2", Tensor::scalar_f32(-0.5));
         // One i32 input in the main graph: hand-build the Input node.
-        let mut m = {
+        let m = {
             let x = mb.const_f32(2.0);
             let h = mb
                 .subgraph("pick", &[DType::I32], &[DType::F32], |b| {
@@ -259,16 +289,34 @@ fn cond_gradient_routes_to_taken_branch() {
 
     // pred = 1: gradient goes to w1 only.
     s.run_training(vec![Tensor::scalar_i32(1)]).unwrap();
-    let g1 = s.grads().get(rdg_graph::ParamId(0)).map(|t| t.as_f32_scalar().unwrap());
-    let g2 = s.grads().get(rdg_graph::ParamId(1)).map(|t| t.as_f32_scalar().unwrap());
+    let g1 = s
+        .grads()
+        .get(rdg_graph::ParamId(0))
+        .map(|t| t.as_f32_scalar().unwrap());
+    let g2 = s
+        .grads()
+        .get(rdg_graph::ParamId(1))
+        .map(|t| t.as_f32_scalar().unwrap());
     assert!((g1.unwrap() - 2.0).abs() < 1e-5, "dw1 = {g1:?}");
-    assert!(g2.is_none() || g2.unwrap().abs() < 1e-6, "dw2 = {g2:?} must be zero");
+    assert!(
+        g2.is_none() || g2.unwrap().abs() < 1e-6,
+        "dw2 = {g2:?} must be zero"
+    );
 
     // pred = 0: gradient goes to w2 only.
     s.run_training(vec![Tensor::scalar_i32(0)]).unwrap();
-    let g1 = s.grads().get(rdg_graph::ParamId(0)).map(|t| t.as_f32_scalar().unwrap());
-    let g2 = s.grads().get(rdg_graph::ParamId(1)).map(|t| t.as_f32_scalar().unwrap());
-    assert!(g1.is_none() || g1.unwrap().abs() < 1e-6, "dw1 = {g1:?} must be zero");
+    let g1 = s
+        .grads()
+        .get(rdg_graph::ParamId(0))
+        .map(|t| t.as_f32_scalar().unwrap());
+    let g2 = s
+        .grads()
+        .get(rdg_graph::ParamId(1))
+        .map(|t| t.as_f32_scalar().unwrap());
+    assert!(
+        g1.is_none() || g1.unwrap().abs() < 1e-6,
+        "dw1 = {g1:?} must be zero"
+    );
     assert!((g2.unwrap() - 2.0).abs() < 1e-5, "dw2 = {g2:?}");
 }
 
@@ -278,7 +326,10 @@ fn embedding_gradient_is_row_sparse() {
     // row 1 twice as much.
     let mut mb = ModuleBuilder::new();
     let table = mb
-        .param_wire("emb", Tensor::from_f32([4, 2], (0..8).map(|i| i as f32 * 0.1).collect()).unwrap())
+        .param_wire(
+            "emb",
+            Tensor::from_f32([4, 2], (0..8).map(|i| i as f32 * 0.1).collect()).unwrap(),
+        )
         .unwrap();
     let ids = mb.constant(Tensor::from_i32([3], vec![1, 1, 3]).unwrap());
     let rows = mb.gather_rows(table, ids).unwrap();
@@ -300,9 +351,18 @@ fn embedding_gradient_is_row_sparse() {
     let g = s.grads().get(rdg_graph::ParamId(0)).unwrap();
     let gv = g.f32s().unwrap();
     // d(mean)/d(element) = 1/6 for each of the 6 gathered elements.
-    assert!((gv[2] - 2.0 / 6.0).abs() < 1e-5, "row 1 gathered twice: {gv:?}");
-    assert!((gv[6] - 1.0 / 6.0).abs() < 1e-5, "row 3 gathered once: {gv:?}");
-    assert!(gv[0].abs() < 1e-9 && gv[4].abs() < 1e-9, "rows 0, 2 untouched");
+    assert!(
+        (gv[2] - 2.0 / 6.0).abs() < 1e-5,
+        "row 1 gathered twice: {gv:?}"
+    );
+    assert!(
+        (gv[6] - 1.0 / 6.0).abs() < 1e-5,
+        "row 3 gathered once: {gv:?}"
+    );
+    assert!(
+        gv[0].abs() < 1e-9 && gv[4].abs() < 1e-9,
+        "rows 0, 2 untouched"
+    );
 
     assert_gradcheck(&m, &[]);
 }
@@ -353,7 +413,12 @@ fn unused_invoke_output_gets_zero_dy() {
     let train = build_training_module(&m, m.main.outputs[0]).unwrap();
     let s = Session::new(Executor::with_threads(2), train).unwrap();
     s.run_training(vec![]).unwrap();
-    let g = s.grads().get(rdg_graph::ParamId(0)).unwrap().as_f32_scalar().unwrap();
+    let g = s
+        .grads()
+        .get(rdg_graph::ParamId(0))
+        .unwrap()
+        .as_f32_scalar()
+        .unwrap();
     assert!((g - 0.6).abs() < 1e-5, "dw = {g}, want 0.6");
 }
 
@@ -366,6 +431,9 @@ fn rejects_bad_loss_ports() {
     // i32 loss is invalid.
     assert!(build_training_module(&m, m.main.outputs[0]).is_err());
     // Dangling port is invalid.
-    let bad = PortRef { node: rdg_graph::NodeId(999), port: 0 };
+    let bad = PortRef {
+        node: rdg_graph::NodeId(999),
+        port: 0,
+    };
     assert!(build_training_module(&m, bad).is_err());
 }

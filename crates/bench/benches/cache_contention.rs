@@ -91,9 +91,7 @@ fn path_keys(c: &mut Criterion) {
         }
         p
     };
-    g.bench_function("eq_100_deep_reconstructed", |b| {
-        b.iter(|| deep == deep2)
-    });
+    g.bench_function("eq_100_deep_reconstructed", |b| b.iter(|| deep == deep2));
     g.finish();
 }
 

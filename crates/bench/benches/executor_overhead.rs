@@ -86,9 +86,10 @@ fn scheduler_bench(c: &mut Criterion) {
         mb.set_outputs(&[out[0]]).expect("outputs");
         mb.finish().expect("finish")
     };
-    for (name, kind) in
-        [("fifo", SchedulerKind::Fifo), ("depth_priority", SchedulerKind::DepthPriority)]
-    {
+    for (name, kind) in [
+        ("fifo", SchedulerKind::Fifo),
+        ("depth_priority", SchedulerKind::DepthPriority),
+    ] {
         let exec = Executor::new(2, kind);
         let sess = Session::new(exec, module.clone()).expect("session");
         g.bench_function(name, |b| b.iter(|| sess.run(vec![]).expect("run")));

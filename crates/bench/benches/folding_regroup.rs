@@ -55,17 +55,11 @@ fn regroup_vs_kernel(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0f32;
             for r in 0..n_level {
-                let row = ops::slice_cols(
-                    &x.reshape([n_level, 2 * d]).expect("reshape"),
-                    0,
-                    2 * d,
-                )
-                .expect("slice");
-                let row1 = ops::gather_rows(
-                    &row,
-                    &Tensor::from_i32([1], vec![r as i32]).expect("id"),
-                )
-                .expect("gather");
+                let row = ops::slice_cols(&x.reshape([n_level, 2 * d]).expect("reshape"), 0, 2 * d)
+                    .expect("slice");
+                let row1 =
+                    ops::gather_rows(&row, &Tensor::from_i32([1], vec![r as i32]).expect("id"))
+                        .expect("gather");
                 let y = ops::matmul(&row1, &w).expect("matmul");
                 acc += y.f32s().expect("f32")[0];
             }

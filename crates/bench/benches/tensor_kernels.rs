@@ -6,8 +6,12 @@ use rdg_core::tensor::{ops, Tensor};
 fn matmul_bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("matmul");
     g.sample_size(20);
-    for &(m, k, n) in &[(1usize, 128usize, 128usize), (1, 336, 168), (25, 336, 168), (64, 64, 64)]
-    {
+    for &(m, k, n) in &[
+        (1usize, 128usize, 128usize),
+        (1, 336, 168),
+        (25, 336, 168),
+        (64, 64, 64),
+    ] {
         let a = Tensor::full([m, k], 0.5);
         let b = Tensor::full([k, n], 0.25);
         g.bench_with_input(
@@ -24,7 +28,9 @@ fn elementwise_bench(c: &mut Criterion) {
     g.sample_size(20);
     let x = Tensor::full([25, 168], 0.3);
     g.bench_function("tanh_25x168", |b| b.iter(|| ops::tanh(&x).expect("tanh")));
-    g.bench_function("sigmoid_25x168", |b| b.iter(|| ops::sigmoid(&x).expect("sigmoid")));
+    g.bench_function("sigmoid_25x168", |b| {
+        b.iter(|| ops::sigmoid(&x).expect("sigmoid"))
+    });
     let y = Tensor::full([25, 168], 0.7);
     g.bench_function("mul_25x168", |b| b.iter(|| ops::mul(&x, &y).expect("mul")));
     g.finish();
@@ -55,9 +61,17 @@ fn bilinear_bench(c: &mut Criterion) {
     // RNTN-sized: 32 slices of 64×64.
     let x = Tensor::full([1, 64], 0.2);
     let v = Tensor::full([32, 64, 64], 0.01);
-    g.bench_function("rntn_1x64_v32", |b| b.iter(|| ops::bilinear(&x, &v).expect("bilinear")));
+    g.bench_function("rntn_1x64_v32", |b| {
+        b.iter(|| ops::bilinear(&x, &v).expect("bilinear"))
+    });
     g.finish();
 }
 
-criterion_group!(benches, matmul_bench, elementwise_bench, gather_scatter_bench, bilinear_bench);
+criterion_group!(
+    benches,
+    matmul_bench,
+    elementwise_bench,
+    gather_scatter_bench,
+    bilinear_bench
+);
 criterion_main!(benches);

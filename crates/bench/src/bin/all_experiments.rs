@@ -4,7 +4,9 @@
 use std::process::Command;
 
 fn main() {
-    let bins = ["fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "table3"];
+    let bins = [
+        "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "table3",
+    ];
     let quick = std::env::var("RDG_QUICK").unwrap_or_else(|_| "1".into());
     println!("running all experiments (RDG_QUICK={quick})");
     let exe_dir = std::env::current_exe()
@@ -14,12 +16,12 @@ fn main() {
         println!("\n##### {bin} #####");
         let status = match &exe_dir {
             // Prefer sibling binaries (same build profile)…
-            Some(dir) if dir.join(bin).exists() => {
-                Command::new(dir.join(bin)).env("RDG_QUICK", &quick).status()
-            }
+            Some(dir) if dir.join(bin).exists() => Command::new(dir.join(bin))
+                .env("RDG_QUICK", &quick)
+                .status(),
             // …fall back to cargo for odd layouts.
             _ => Command::new("cargo")
-                .args(["run", "--release", "-p", "rdg-bench", "--bin", bin])
+                .args(["run", "--release", "-p", "rdg_bench", "--bin", bin])
                 .env("RDG_QUICK", &quick)
                 .status(),
         };

@@ -43,13 +43,18 @@ fn main() {
 
     // Parameter volume for the network model.
     let m = build_recursive(&model).expect("build");
-    let param_bytes: f64 =
-        m.params.iter().map(|p| p.init.numel() as f64 * 4.0).sum();
+    let param_bytes: f64 = m.params.iter().map(|p| p.init.numel() as f64 * 4.0).sum();
     println!("parameter volume: {:.2} MB", param_bytes / 1e6);
 
     let mut table = Table::new(
         "Fig 10: training throughput vs machines",
-        &["machines", "real inst/s", "real speedup", "virtual inst/s", "virtual speedup"],
+        &[
+            "machines",
+            "real inst/s",
+            "real speedup",
+            "virtual inst/s",
+            "virtual speedup",
+        ],
     );
     let mut base_real = None;
     let mut base_virt = None;
@@ -76,5 +81,8 @@ fn main() {
     }
     table.emit("fig10");
     println!("paper reference speedups: 1.00x / 1.85x / 3.65x / 7.34x");
-    record("fig10", &format!("threads=1/machine quick={}\n", opts.quick));
+    record(
+        "fig10",
+        &format!("threads=1/machine quick={}\n", opts.quick),
+    );
 }

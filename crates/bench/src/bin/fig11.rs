@@ -15,8 +15,11 @@ use std::sync::Arc;
 
 fn main() {
     let opts = BenchOpts::from_env();
-    let lengths: &[usize] =
-        if opts.quick { &[10, 40, 120] } else { &[10, 25, 50, 100, 150, 200, 250] };
+    let lengths: &[usize] = if opts.quick {
+        &[10, 40, 120]
+    } else {
+        &[10, 25, 50, 100, 150, 200, 250]
+    };
     let mut cfg = ModelConfig::paper_default(ModelKind::TreeLstm, 1);
     if opts.quick {
         cfg.hidden = 48;
@@ -63,18 +66,13 @@ fn main() {
         let t_itr = build_training_module(&m_itr, m_itr.main.outputs[0]).expect("ad");
 
         let s_rec = Session::new(Arc::clone(&exec), m_rec.clone()).expect("session");
-        let s_itr = Session::with_params(
-            Arc::clone(&exec),
-            m_itr.clone(),
-            Arc::clone(s_rec.params()),
-        )
-        .expect("session");
-        let st_rec =
-            Session::with_params(Arc::clone(&exec), t_rec, Arc::clone(s_rec.params()))
+        let s_itr =
+            Session::with_params(Arc::clone(&exec), m_itr.clone(), Arc::clone(s_rec.params()))
                 .expect("session");
-        let st_itr =
-            Session::with_params(Arc::clone(&exec), t_itr, Arc::clone(s_rec.params()))
-                .expect("session");
+        let st_rec = Session::with_params(Arc::clone(&exec), t_rec, Arc::clone(s_rec.params()))
+            .expect("session");
+        let st_itr = Session::with_params(Arc::clone(&exec), t_itr, Arc::clone(s_rec.params()))
+            .expect("session");
 
         // Warm-ups, then single-shot timings (medians over 3).
         let med = |f: &mut dyn FnMut() -> f64| -> f64 {
@@ -83,21 +81,29 @@ fn main() {
             v[1]
         };
         let feeds2 = feeds.clone();
-        let tr_rec = med(&mut || time_once(|| {
-            st_rec.run_training(feeds2.clone()).expect("run");
-        }));
+        let tr_rec = med(&mut || {
+            time_once(|| {
+                st_rec.run_training(feeds2.clone()).expect("run");
+            })
+        });
         let feeds2 = feeds.clone();
-        let tr_itr = med(&mut || time_once(|| {
-            st_itr.run_training(feeds2.clone()).expect("run");
-        }));
+        let tr_itr = med(&mut || {
+            time_once(|| {
+                st_itr.run_training(feeds2.clone()).expect("run");
+            })
+        });
         let feeds2 = feeds.clone();
-        let in_rec = med(&mut || time_once(|| {
-            s_rec.run(feeds2.clone()).expect("run");
-        }));
+        let in_rec = med(&mut || {
+            time_once(|| {
+                s_rec.run(feeds2.clone()).expect("run");
+            })
+        });
         let feeds2 = feeds.clone();
-        let in_itr = med(&mut || time_once(|| {
-            s_itr.run(feeds2.clone()).expect("run");
-        }));
+        let in_itr = med(&mut || {
+            time_once(|| {
+                s_itr.run(feeds2.clone()).expect("run");
+            })
+        });
 
         // Virtual-time inference on a 36-worker machine.
         let sim = SimExecutor::new(36);
@@ -127,5 +133,8 @@ fn main() {
         "expected shape: iterative columns grow ~linearly with words; the \
          sim36 recursive column grows ~logarithmically (tree height)."
     );
-    record("fig11", &format!("threads={} quick={}\n", opts.threads, opts.quick));
+    record(
+        "fig11",
+        &format!("threads={} quick={}\n", opts.threads, opts.quick),
+    );
 }

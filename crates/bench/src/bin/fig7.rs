@@ -69,14 +69,12 @@ fn main() {
                 opt.step(unr_model.params(), &grads).expect("update");
             });
 
-            table.row(&[
-                batch.to_string(),
-                fmt_thr(rec),
-                fmt_thr(itr),
-                fmt_thr(unr),
-            ]);
+            table.row(&[batch.to_string(), fmt_thr(rec), fmt_thr(itr), fmt_thr(unr)]);
         }
         table.emit("fig7");
     }
-    record("fig7", &format!("threads={} quick={}\n", opts.threads, opts.quick));
+    record(
+        "fig7",
+        &format!("threads={} quick={}\n", opts.threads, opts.quick),
+    );
 }

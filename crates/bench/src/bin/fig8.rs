@@ -39,9 +39,8 @@ fn main() {
             let feeds = Dataset::feeds_for(&insts);
 
             let exec = Executor::with_threads(opts.threads);
-            let rec_sess =
-                Session::new(Arc::clone(&exec), build_recursive(&cfg).expect("build"))
-                    .expect("session");
+            let rec_sess = Session::new(Arc::clone(&exec), build_recursive(&cfg).expect("build"))
+                .expect("session");
             let rec = throughput(batch, window, || {
                 rec_sess.run(feeds.clone()).expect("run");
             });
@@ -62,14 +61,12 @@ fn main() {
                 unr_model.run_inference(&insts).expect("run");
             });
 
-            table.row(&[
-                batch.to_string(),
-                fmt_thr(rec),
-                fmt_thr(itr),
-                fmt_thr(unr),
-            ]);
+            table.row(&[batch.to_string(), fmt_thr(rec), fmt_thr(itr), fmt_thr(unr)]);
         }
         table.emit("fig8");
     }
-    record("fig8", &format!("threads={} quick={}\n", opts.threads, opts.quick));
+    record(
+        "fig8",
+        &format!("threads={} quick={}\n", opts.threads, opts.quick),
+    );
 }

@@ -65,8 +65,7 @@ fn main() {
             let train = build_training_module(&module, module.main.outputs[0]).expect("ad");
             let exec = Executor::with_threads(opts.threads);
             let ts = Session::new(Arc::clone(&exec), train).expect("session");
-            let is = Session::with_params(exec, module, Arc::clone(ts.params()))
-                .expect("session");
+            let is = Session::with_params(exec, module, Arc::clone(ts.params())).expect("session");
             let mut trainer = Trainer::new(ts, Adagrad::new(0.05));
             let t0 = Instant::now();
             let mut reached: Option<f64> = None;
@@ -84,11 +83,16 @@ fn main() {
                     epoch.to_string(),
                     format!("{wall:.1}"),
                     format!("{:.1}", acc * 100.0),
-                    reached.map(|t| format!("{t:.1}s")).unwrap_or_else(|| "-".into()),
+                    reached
+                        .map(|t| format!("{t:.1}s"))
+                        .unwrap_or_else(|| "-".into()),
                 ]);
             }
         }
         table.emit("fig9");
     }
-    record("fig9", &format!("threads={} quick={}\n", opts.threads, opts.quick));
+    record(
+        "fig9",
+        &format!("threads={} quick={}\n", opts.threads, opts.quick),
+    );
 }

@@ -61,5 +61,8 @@ fn main() {
     table.emit("table1");
     println!("paper shape: Balanced > Moderate > Linear at every batch size;");
     println!("Linear gains the most from batching (unused threads get work).");
-    record("table1", &format!("threads={} quick={}\n", opts.threads, opts.quick));
+    record(
+        "table1",
+        &format!("threads={} quick={}\n", opts.threads, opts.quick),
+    );
 }

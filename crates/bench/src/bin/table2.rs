@@ -4,7 +4,7 @@
 //! The paper's crossover: recursion wins on inference (no regrouping
 //! overhead, cheap parallelism), folding wins on training at larger batches
 //! (batched kernels amortize; the paper additionally had a GPU — our fold
-//! runs batched CPU kernels, see EXPERIMENTS.md for the gap discussion).
+//! runs batched CPU kernels, see REPRODUCING.md for the gap discussion).
 
 use rdg_bench::{fmt_thr, record, throughput, BenchOpts, Table};
 use rdg_core::fold::FoldEngine;
@@ -58,12 +58,10 @@ fn main() {
         let s_rec = Session::new(Arc::clone(&exec), m_rec).expect("session");
         let s_itr = Session::with_params(Arc::clone(&exec), m_itr, Arc::clone(s_rec.params()))
             .expect("session");
-        let st_rec =
-            Session::with_params(Arc::clone(&exec), t_rec, Arc::clone(s_rec.params()))
-                .expect("session");
-        let st_itr =
-            Session::with_params(Arc::clone(&exec), t_itr, Arc::clone(s_rec.params()))
-                .expect("session");
+        let st_rec = Session::with_params(Arc::clone(&exec), t_rec, Arc::clone(s_rec.params()))
+            .expect("session");
+        let st_itr = Session::with_params(Arc::clone(&exec), t_itr, Arc::clone(s_rec.params()))
+            .expect("session");
         let mut fold = FoldEngine::new(cfg).expect("build fold");
         fold.set_params(Arc::clone(s_rec.params()));
 
@@ -77,7 +75,12 @@ fn main() {
         let i_fold = throughput(batch, window, || {
             fold.infer(&insts).expect("run");
         });
-        inf_table.row(&[batch.to_string(), fmt_thr(i_itr), fmt_thr(i_rec), fmt_thr(i_fold)]);
+        inf_table.row(&[
+            batch.to_string(),
+            fmt_thr(i_itr),
+            fmt_thr(i_rec),
+            fmt_thr(i_fold),
+        ]);
 
         // Training (no optimizer application — measuring fwd+bwd as in §6.4).
         let t_itr = throughput(batch, window, || {
@@ -90,10 +93,18 @@ fn main() {
         let t_fold = throughput(batch, window, || {
             fold.train_step(&insts, &grads).expect("run");
         });
-        trn_table.row(&[batch.to_string(), fmt_thr(t_itr), fmt_thr(t_rec), fmt_thr(t_fold)]);
+        trn_table.row(&[
+            batch.to_string(),
+            fmt_thr(t_itr),
+            fmt_thr(t_rec),
+            fmt_thr(t_fold),
+        ]);
     }
     inf_table.emit("table2");
     trn_table.emit("table2");
     println!("paper shape: Recur dominates inference; Fold overtakes on training as batch grows.");
-    record("table2", &format!("threads={} quick={}\n", opts.threads, opts.quick));
+    record(
+        "table2",
+        &format!("threads={} quick={}\n", opts.threads, opts.quick),
+    );
 }

@@ -39,8 +39,12 @@ fn main() {
             .expect("session");
 
         // Sanity: both implementations generate identical structures.
-        let nr = s_rec.run(feeds.clone()).expect("run")[0].as_i32_scalar().expect("count");
-        let ni = s_itr.run(feeds.clone()).expect("run")[0].as_i32_scalar().expect("count");
+        let nr = s_rec.run(feeds.clone()).expect("run")[0]
+            .as_i32_scalar()
+            .expect("count");
+        let ni = s_itr.run(feeds.clone()).expect("run")[0]
+            .as_i32_scalar()
+            .expect("count");
         assert_eq!(nr, ni, "implementations must agree on generated trees");
         println!("batch {batch}: {nr} total nodes generated per run");
 
@@ -58,6 +62,11 @@ fn main() {
         ]);
     }
     table.emit("table3");
-    println!("paper shape: recursive >> iterative (parallel sibling expansion); fold inapplicable.");
-    record("table3", &format!("threads={} quick={}\n", opts.threads, opts.quick));
+    println!(
+        "paper shape: recursive >> iterative (parallel sibling expansion); fold inapplicable."
+    );
+    record(
+        "table3",
+        &format!("threads={} quick={}\n", opts.threads, opts.quick),
+    );
 }

@@ -27,18 +27,26 @@ pub struct BenchOpts {
 impl BenchOpts {
     /// Reads `RDG_QUICK`, `RDG_THREADS`, `RDG_SECONDS`.
     pub fn from_env() -> Self {
-        let quick = std::env::var("RDG_QUICK").map(|v| v != "0").unwrap_or(false);
+        let quick = std::env::var("RDG_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false);
         let threads = std::env::var("RDG_THREADS")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(2)
             });
         let seconds = std::env::var("RDG_SECONDS")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(if quick { 0.8 } else { 3.0 });
-        BenchOpts { quick, threads, seconds }
+        BenchOpts {
+            quick,
+            threads,
+            seconds,
+        }
     }
 }
 
@@ -127,7 +135,11 @@ pub fn record(name: &str, content: &str) {
         return;
     }
     let path = dir.join(format!("{name}.txt"));
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
         let _ = writeln!(
             f,
             "# run at unix {}\n{content}",

@@ -100,9 +100,9 @@ pub fn run_real(cfg: &ClusterConfig, data: &Dataset) -> Result<ClusterReport, Ex
                         if let Some(g) = session.grads().get(pid) {
                             let scaled = ops::scale(&g, 1.0 / cfg.n_machines as f32)
                                 .map_err(|e| ExecError::BadFeed { msg: e.to_string() })?;
-                            merged.accumulate(pid, &scaled).map_err(|e| ExecError::BadFeed {
-                                msg: e.to_string(),
-                            })?;
+                            merged
+                                .accumulate(pid, &scaled)
+                                .map_err(|e| ExecError::BadFeed { msg: e.to_string() })?;
                         }
                     }
                     // All gradients in: machine 0 applies the update.
@@ -122,7 +122,8 @@ pub fn run_real(cfg: &ClusterConfig, data: &Dataset) -> Result<ClusterReport, Ex
             }));
         }
         for h in handles {
-            h.join().map_err(|_| ExecError::internal("machine thread panicked"))??;
+            h.join()
+                .map_err(|_| ExecError::internal("machine thread panicked"))??;
         }
         Ok(())
     })?;

@@ -17,7 +17,10 @@ impl Default for NetModel {
     fn default() -> Self {
         // 10 GbE with 100 µs RTT-ish latency: the class of hardware the
         // paper's testbed would have used.
-        NetModel { latency_s: 100e-6, bandwidth_bps: 10e9 / 8.0 }
+        NetModel {
+            latency_s: 100e-6,
+            bandwidth_bps: 10e9 / 8.0,
+        }
     }
 }
 
@@ -106,7 +109,9 @@ mod tests {
     fn model_scaling_is_nearly_linear_with_tight_samples() {
         // Deterministic samples with 5% jitter: the model must show the
         // paper's near-linear shape.
-        let samples: Vec<f64> = (0..32).map(|i| 0.10 + 0.005 * ((i * 13 % 7) as f64 / 7.0)).collect();
+        let samples: Vec<f64> = (0..32)
+            .map(|i| 0.10 + 0.005 * ((i * 13 % 7) as f64 / 7.0))
+            .collect();
         let net = NetModel::default();
         let (_, t1) = model_step(&samples, 1, 10, &net, 1e6);
         let (_, t4) = model_step(&samples, 4, 10, &net, 1e6);
@@ -122,14 +127,21 @@ mod tests {
     fn straggler_variance_degrades_scaling() {
         // High-variance compute: max-of-n grows, scaling drops below linear.
         let tight: Vec<f64> = vec![0.1; 16];
-        let loose: Vec<f64> =
-            (0..16).map(|i| if i % 4 == 0 { 0.2 } else { 0.05 }).collect();
-        let net = NetModel { latency_s: 0.0, bandwidth_bps: f64::INFINITY };
+        let loose: Vec<f64> = (0..16)
+            .map(|i| if i % 4 == 0 { 0.2 } else { 0.05 })
+            .collect();
+        let net = NetModel {
+            latency_s: 0.0,
+            bandwidth_bps: f64::INFINITY,
+        };
         let (_, tight8) = model_step(&tight, 8, 10, &net, 0.0);
         let (_, tight1) = model_step(&tight, 1, 10, &net, 0.0);
         let (_, loose8) = model_step(&loose, 8, 10, &net, 0.0);
         let (_, loose1) = model_step(&loose, 1, 10, &net, 0.0);
-        assert!((tight8 / tight1 - 8.0).abs() < 1e-9, "no variance → perfect scaling");
+        assert!(
+            (tight8 / tight1 - 8.0).abs() < 1e-9,
+            "no variance → perfect scaling"
+        );
         assert!(loose8 / loose1 < 8.0, "stragglers hurt");
     }
 

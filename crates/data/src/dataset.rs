@@ -79,18 +79,28 @@ impl Dataset {
             (0..count)
                 .map(|i| {
                     let n = sample_length(&mut rng, config.min_len, config.max_len);
-                    let words: Vec<i32> =
-                        (0..n).map(|_| rng.gen_range(0..config.vocab as i32)).collect();
+                    let words: Vec<i32> = (0..n)
+                        .map(|_| rng.gen_range(0..config.vocab as i32))
+                        .collect();
                     let tree = Tree::build(&words, config.shape, &mut rng);
                     let label = teacher.label(&tree, salt.wrapping_add(i as u64));
                     let tensors = TreeTensors::encode(&tree);
-                    Instance { tree, tensors, label }
+                    Instance {
+                        tree,
+                        tensors,
+                        label,
+                    }
                 })
                 .collect()
         };
         let train = gen(config.n_train, 0x1000_0000);
         let valid = gen(config.n_valid, 0x2000_0000);
-        Dataset { config, teacher, train, valid }
+        Dataset {
+            config,
+            teacher,
+            train,
+            valid,
+        }
     }
 
     /// Generates a corpus where every sentence has exactly `len` words

@@ -33,7 +33,11 @@ impl SentimentModel {
             *p -= mean;
         }
         let negator: Vec<bool> = (0..vocab).map(|_| rng.gen_bool(0.06)).collect();
-        SentimentModel { polarity, negator, noise: 0.02 }
+        SentimentModel {
+            polarity,
+            negator,
+            noise: 0.02,
+        }
     }
 
     /// Whether `word` is a negator.
@@ -90,7 +94,10 @@ impl SentimentModel {
 
     /// Binary labels for every node (the paper labels all nodes).
     pub fn node_labels(&self, tree: &Tree) -> Vec<i32> {
-        self.scores(tree).iter().map(|&x| (x > 0.0) as i32).collect()
+        self.scores(tree)
+            .iter()
+            .map(|&x| (x > 0.0) as i32)
+            .collect()
     }
 }
 

@@ -49,7 +49,10 @@ pub enum TreeShape {
 impl Tree {
     /// Number of leaves (words).
     pub fn n_leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, TreeNode::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Leaf { .. }))
+            .count()
     }
 
     /// Total node count (`2·leaves − 1` for binary trees).
@@ -174,7 +177,10 @@ mod tests {
         let hb = Tree::build(&words(n), TreeShape::Balanced, &mut rng).height();
         let hm = Tree::build(&words(n), TreeShape::Moderate, &mut rng).height();
         let hl = Tree::build(&words(n), TreeShape::Linear, &mut rng).height();
-        assert!(hb <= hm && hm <= hl, "heights ordered: {hb} <= {hm} <= {hl}");
+        assert!(
+            hb <= hm && hm <= hl,
+            "heights ordered: {hb} <= {hm} <= {hl}"
+        );
         assert!(hm < hl, "moderate strictly better than linear");
     }
 
@@ -208,6 +214,9 @@ mod tests {
             total += l;
         }
         let mean = total as f32 / 1000.0;
-        assert!(mean > 8.0 && mean < 40.0, "review-like mean length, got {mean}");
+        assert!(
+            mean > 8.0 && mean < 40.0,
+            "review-like mean length, got {mean}"
+        );
     }
 }

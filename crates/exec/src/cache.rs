@@ -209,7 +209,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..200u32 {
                     let k = key(t * 1000 + i, i);
-                    c.values.insert(k.clone(), Tensor::scalar_f32((t * 1000 + i) as f32));
+                    c.values
+                        .insert(k.clone(), Tensor::scalar_f32((t * 1000 + i) as f32));
                     let v = c.values.get(&k).expect("own write visible");
                     assert_eq!(v.as_f32_scalar().unwrap(), (t * 1000 + i) as f32);
                 }

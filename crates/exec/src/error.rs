@@ -40,14 +40,20 @@ pub enum ExecError {
 impl ExecError {
     /// Internal-invariant error helper.
     pub fn internal(msg: impl fmt::Display) -> Self {
-        ExecError::Internal { msg: msg.to_string() }
+        ExecError::Internal {
+            msg: msg.to_string(),
+        }
     }
 }
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExecError::Kernel { graph, node, source } => {
+            ExecError::Kernel {
+                graph,
+                node,
+                source,
+            } => {
                 write!(f, "kernel failure at {graph}/{node}: {source}")
             }
             ExecError::Graph(e) => write!(f, "graph error: {e}"),

@@ -132,7 +132,12 @@ impl Executor {
                     .expect("spawn worker thread")
             })
             .collect();
-        Arc::new(Executor { queue, workers, stats, n_threads })
+        Arc::new(Executor {
+            queue,
+            workers,
+            stats,
+            n_threads,
+        })
     }
 
     /// FIFO executor with `n_threads` workers.
@@ -230,7 +235,12 @@ fn spawn_frame(
         slots: plan
             .fetch_counts
             .iter()
-            .map(|&fc| Mutex::new(SlotInner { outs: None, takes_left: fc as i64 }))
+            .map(|&fc| {
+                Mutex::new(SlotInner {
+                    outs: None,
+                    takes_left: fc as i64,
+                })
+            })
             .collect(),
         nodes_left: AtomicUsize::new(g.len()),
         parent,
@@ -246,7 +256,11 @@ fn spawn_frame(
     for &s in &plan.sources {
         run.queue.push(
             depth as u64,
-            Task { run: Arc::clone(run), frame: Arc::clone(&frame), node: s },
+            Task {
+                run: Arc::clone(run),
+                frame: Arc::clone(&frame),
+                node: s,
+            },
         );
     }
 }
@@ -299,10 +313,27 @@ fn execute_task(task: Task) {
         OpKind::Invoke { sub, site, .. } => {
             let child_path = frame.path.child(*site);
             let depth = frame.depth + 1;
-            let link = ParentLink { frame: Arc::clone(&frame), node };
-            spawn_frame(&run, GraphRef::Sub(*sub), child_path, inputs, Some(link), depth);
+            let link = ParentLink {
+                frame: Arc::clone(&frame),
+                node,
+            };
+            spawn_frame(
+                &run,
+                GraphRef::Sub(*sub),
+                child_path,
+                inputs,
+                Some(link),
+                depth,
+            );
         }
-        OpKind::Cond { sub_then, sub_else, site_then, site_else, n_then_in, .. } => {
+        OpKind::Cond {
+            sub_then,
+            sub_else,
+            site_then,
+            site_else,
+            n_then_in,
+            ..
+        } => {
             let pred = match inputs[0].as_i32_scalar() {
                 Ok(v) => v,
                 Err(e) => {
@@ -323,8 +354,18 @@ fn execute_task(task: Task) {
             };
             let child_path = frame.path.child(site);
             let depth = frame.depth + 1;
-            let link = ParentLink { frame: Arc::clone(&frame), node };
-            spawn_frame(&run, GraphRef::Sub(sub), child_path, args, Some(link), depth);
+            let link = ParentLink {
+                frame: Arc::clone(&frame),
+                node,
+            };
+            spawn_frame(
+                &run,
+                GraphRef::Sub(sub),
+                child_path,
+                args,
+                Some(link),
+                depth,
+            );
         }
         OpKind::FwdValue { of } => {
             let out = read_fwd(&run, &frame, *of, false);
@@ -378,10 +419,7 @@ fn read_fwd(
         GraphRef::Sub(id) => {
             let sg = run.plan.module.subgraph(id);
             GraphRef::Sub(sg.grad_of.ok_or_else(|| {
-                ExecError::internal(format!(
-                    "FwdValue in non-gradient SubGraph '{}'",
-                    sg.name
-                ))
+                ExecError::internal(format!("FwdValue in non-gradient SubGraph '{}'", sg.name))
             })?)
         }
         GraphRef::Main => {
@@ -392,7 +430,12 @@ fn read_fwd(
         .cache
         .as_ref()
         .ok_or_else(|| ExecError::internal("FwdValue outside a training run"))?;
-    let key = CacheKey { gref: fwd_gref, path: frame.path.clone(), node: of.node, port: of.port };
+    let key = CacheKey {
+        gref: fwd_gref,
+        path: frame.path.clone(),
+        node: of.node,
+        port: of.port,
+    };
     run.stats.cache_reads.fetch_add(1, Ordering::Relaxed);
     if zeros {
         let shape = cache.shapes.get(&key).ok_or_else(|| ExecError::CacheMiss {
@@ -409,7 +452,12 @@ fn read_fwd(
 /// Publishes a node's outputs, notifies dependents, and cascades frame
 /// completions up the frame tree (iteratively — tail-recursive frames can be
 /// thousands deep).
-fn finish_node(run: &Arc<RunState>, mut frame: Arc<Frame>, mut node: NodeId, mut outs: Vec<Tensor>) {
+fn finish_node(
+    run: &Arc<RunState>,
+    mut frame: Arc<Frame>,
+    mut node: NodeId,
+    mut outs: Vec<Tensor>,
+) {
     loop {
         let plan = run.plan.plan(frame.gref);
         // Backprop cache writes (training mode only).
@@ -453,7 +501,11 @@ fn finish_node(run: &Arc<RunState>, mut frame: Arc<Frame>, mut node: NodeId, mut
             if frame.pending[c.0 as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                 run.queue.push(
                     frame.depth as u64,
-                    Task { run: Arc::clone(run), frame: Arc::clone(&frame), node: c },
+                    Task {
+                        run: Arc::clone(run),
+                        frame: Arc::clone(&frame),
+                        node: c,
+                    },
                 );
             }
         }

@@ -35,9 +35,10 @@ pub fn execute(
     let one = |t: Tensor| -> Result<Vec<Tensor>, TensorError> { Ok(vec![t]) };
     match op {
         OpKind::Input { index, dtype } => {
-            let v = ctx.args.get(*index).ok_or_else(|| {
-                TensorError::invalid(format!("frame has no argument {index}"))
-            })?;
+            let v = ctx
+                .args
+                .get(*index)
+                .ok_or_else(|| TensorError::invalid(format!("frame has no argument {index}")))?;
             if v.dtype() != *dtype {
                 return Err(TensorError::DTypeMismatch {
                     expected: *dtype,
@@ -112,9 +113,7 @@ pub fn execute(
         OpKind::Not => one(ops::logical_not(&inputs[0])?),
         OpKind::GatherScalarI32 => one(ops::gather_scalar_i32(&inputs[0], &inputs[1])?),
         OpKind::Len => one(Tensor::scalar_i32(inputs[0].numel() as i32)),
-        OpKind::FGtConst(c) => {
-            one(Tensor::scalar_i32((inputs[0].as_f32_scalar()? > *c) as i32))
-        }
+        OpKind::FGtConst(c) => one(Tensor::scalar_i32((inputs[0].as_f32_scalar()? > *c) as i32)),
         OpKind::ZerosDyn { cols } => {
             let n = inputs[0].as_i32_scalar()?;
             if n < 0 {
@@ -146,9 +145,7 @@ pub fn execute(
         OpKind::ReluGrad => one(ops::relu_grad(&inputs[0], &inputs[1])?),
         OpKind::SoftmaxGrad => one(ops::softmax_grad(&inputs[0], &inputs[1])?),
         OpKind::LogSoftmaxGrad => one(ops::log_softmax_grad(&inputs[0], &inputs[1])?),
-        OpKind::SoftmaxXentGrad => {
-            one(ops::softmax_xent_grad(&inputs[0], &inputs[1], &inputs[2])?)
-        }
+        OpKind::SoftmaxXentGrad => one(ops::softmax_xent_grad(&inputs[0], &inputs[1], &inputs[2])?),
         OpKind::MeanAllGrad => one(ops::mean_all_grad(&inputs[0], &inputs[1])?),
         OpKind::FillLike => one(ops::fill_like(&inputs[0], &inputs[1])?),
         OpKind::BroadcastRowsLike => one(ops::broadcast_rows_like(&inputs[0], &inputs[1])?),
@@ -171,9 +168,7 @@ pub fn execute(
                 one(ops::slice_cols(dy, 0, wa)?)
             }
         }
-        OpKind::ScatterRowsLike => {
-            one(ops::scatter_rows_like(&inputs[0], &inputs[1], &inputs[2])?)
-        }
+        OpKind::ScatterRowsLike => one(ops::scatter_rows_like(&inputs[0], &inputs[1], &inputs[2])?),
         OpKind::ScatterRowLike => {
             // (mat_like, i, dy_row): zero matrix with one row set.
             let zeros = Tensor::zeros_like(&inputs[0]);
@@ -214,9 +209,22 @@ mod tests {
     #[test]
     fn input_const_param_identity() {
         let (ps, gs, stats, args) = ctx_fixture();
-        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
+        let ctx = KernelCtx {
+            args: &args,
+            params: &ps,
+            grads: Some(&gs),
+            stats: &stats,
+        };
 
-        let v = execute(&OpKind::Input { index: 0, dtype: DType::F32 }, vec![], &ctx).unwrap();
+        let v = execute(
+            &OpKind::Input {
+                index: 0,
+                dtype: DType::F32,
+            },
+            vec![],
+            &ctx,
+        )
+        .unwrap();
         assert_eq!(v[0].as_f32_scalar().unwrap(), 42.0);
 
         let v = execute(&OpKind::Const(Tensor::scalar_i32(7)), vec![], &ctx).unwrap();
@@ -232,17 +240,41 @@ mod tests {
     #[test]
     fn input_dtype_checked() {
         let (ps, gs, stats, args) = ctx_fixture();
-        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
-        let r = execute(&OpKind::Input { index: 0, dtype: DType::I32 }, vec![], &ctx);
+        let ctx = KernelCtx {
+            args: &args,
+            params: &ps,
+            grads: Some(&gs),
+            stats: &stats,
+        };
+        let r = execute(
+            &OpKind::Input {
+                index: 0,
+                dtype: DType::I32,
+            },
+            vec![],
+            &ctx,
+        );
         assert!(r.is_err());
-        let r = execute(&OpKind::Input { index: 5, dtype: DType::F32 }, vec![], &ctx);
+        let r = execute(
+            &OpKind::Input {
+                index: 5,
+                dtype: DType::F32,
+            },
+            vec![],
+            &ctx,
+        );
         assert!(r.is_err());
     }
 
     #[test]
     fn gradsink_accumulates_and_requires_training() {
         let (ps, gs, stats, args) = ctx_fixture();
-        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
+        let ctx = KernelCtx {
+            args: &args,
+            params: &ps,
+            grads: Some(&gs),
+            stats: &stats,
+        };
         execute(
             &OpKind::GradSink { param: ParamId(0) },
             vec![Tensor::from_f32([2], vec![1.0, 2.0]).unwrap()],
@@ -251,7 +283,12 @@ mod tests {
         .unwrap();
         assert_eq!(gs.get(ParamId(0)).unwrap().f32s().unwrap(), &[1.0, 2.0]);
 
-        let ctx_inf = KernelCtx { args: &args, params: &ps, grads: None, stats: &stats };
+        let ctx_inf = KernelCtx {
+            args: &args,
+            params: &ps,
+            grads: None,
+            stats: &stats,
+        };
         let r = execute(
             &OpKind::GradSink { param: ParamId(0) },
             vec![Tensor::zeros([2])],
@@ -263,15 +300,30 @@ mod tests {
     #[test]
     fn structural_ops_rejected() {
         let (ps, gs, stats, args) = ctx_fixture();
-        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
-        let op = OpKind::FwdValue { of: rdg_graph::PortRef { node: rdg_graph::NodeId(0), port: 0 } };
+        let ctx = KernelCtx {
+            args: &args,
+            params: &ps,
+            grads: Some(&gs),
+            stats: &stats,
+        };
+        let op = OpKind::FwdValue {
+            of: rdg_graph::PortRef {
+                node: rdg_graph::NodeId(0),
+                port: 0,
+            },
+        };
         assert!(execute(&op, vec![], &ctx).is_err());
     }
 
     #[test]
     fn setrow_tracks_inplace() {
         let (ps, gs, stats, args) = ctx_fixture();
-        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
+        let ctx = KernelCtx {
+            args: &args,
+            params: &ps,
+            grads: Some(&gs),
+            stats: &stats,
+        };
         let mat = Tensor::zeros([2, 2]);
         let i = Tensor::scalar_i32(0);
         let row = Tensor::ones([2]);
@@ -282,7 +334,12 @@ mod tests {
     #[test]
     fn scatter_row_like_zeroes_everything_else() {
         let (ps, gs, stats, args) = ctx_fixture();
-        let ctx = KernelCtx { args: &args, params: &ps, grads: Some(&gs), stats: &stats };
+        let ctx = KernelCtx {
+            args: &args,
+            params: &ps,
+            grads: Some(&gs),
+            stats: &stats,
+        };
         let like = Tensor::ones([2, 2]);
         let i = Tensor::scalar_i32(1);
         let row = Tensor::from_f32([2], vec![3.0, 4.0]).unwrap();

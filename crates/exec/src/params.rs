@@ -22,7 +22,11 @@ impl ParamStore {
     pub fn from_module(m: &Module) -> Self {
         ParamStore {
             names: m.params.iter().map(|p| p.name.clone()).collect(),
-            values: m.params.iter().map(|p| RwLock::new(p.init.clone())).collect(),
+            values: m
+                .params
+                .iter()
+                .map(|p| RwLock::new(p.init.clone()))
+                .collect(),
         }
     }
 
@@ -73,7 +77,9 @@ pub struct GradStore {
 impl GradStore {
     /// Creates an empty store sized for `n` parameters.
     pub fn new(n: usize) -> Self {
-        GradStore { slots: (0..n).map(|_| Mutex::new(None)).collect() }
+        GradStore {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        }
     }
 
     /// Number of parameter slots.
@@ -171,8 +177,10 @@ mod tests {
     fn dense_accumulation_sums() {
         let gs = GradStore::new(1);
         let p = ParamId(0);
-        gs.accumulate(p, &Tensor::from_f32([2], vec![1.0, 2.0]).unwrap()).unwrap();
-        gs.accumulate(p, &Tensor::from_f32([2], vec![10.0, 20.0]).unwrap()).unwrap();
+        gs.accumulate(p, &Tensor::from_f32([2], vec![1.0, 2.0]).unwrap())
+            .unwrap();
+        gs.accumulate(p, &Tensor::from_f32([2], vec![10.0, 20.0]).unwrap())
+            .unwrap();
         let g = gs.get(p).unwrap();
         assert_eq!(g.f32s().unwrap(), &[11.0, 22.0]);
     }
@@ -230,8 +238,10 @@ mod tests {
     #[test]
     fn global_norm_is_l2() {
         let gs = GradStore::new(2);
-        gs.accumulate(ParamId(0), &Tensor::from_f32([2], vec![3.0, 0.0]).unwrap()).unwrap();
-        gs.accumulate(ParamId(1), &Tensor::from_f32([1], vec![4.0]).unwrap()).unwrap();
+        gs.accumulate(ParamId(0), &Tensor::from_f32([2], vec![3.0, 0.0]).unwrap())
+            .unwrap();
+        gs.accumulate(ParamId(1), &Tensor::from_f32([1], vec![4.0]).unwrap())
+            .unwrap();
         assert!((gs.global_norm() - 5.0).abs() < 1e-5);
     }
 }

@@ -169,7 +169,10 @@ mod tests {
 
     #[test]
     fn sites_round_trip() {
-        let p = PathKey::root().child(CallSiteId(1)).child(CallSiteId(5)).child(CallSiteId(9));
+        let p = PathKey::root()
+            .child(CallSiteId(1))
+            .child(CallSiteId(5))
+            .child(CallSiteId(9));
         assert_eq!(p.sites(), vec![CallSiteId(1), CallSiteId(5), CallSiteId(9)]);
         assert_eq!(p.to_string(), "/1/5/9/");
     }

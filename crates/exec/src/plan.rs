@@ -42,8 +42,10 @@ impl GraphPlan {
         for out in &g.outputs {
             fetch_counts[out.node.0 as usize] += 1;
         }
-        let sources =
-            (0..n).filter(|&i| pending[i] == 0).map(|i| NodeId(i as u32)).collect();
+        let sources = (0..n)
+            .filter(|&i| pending[i] == 0)
+            .map(|i| NodeId(i as u32))
+            .collect();
         let mut keep_value = vec![false; n];
         if let Some(set) = module.keep_sets.get(&gref) {
             for &(node, _port) in set {
@@ -56,7 +58,14 @@ impl GraphPlan {
                 keep_shape[node.0 as usize] = true;
             }
         }
-        GraphPlan { consumers, pending, fetch_counts, sources, keep_value, keep_shape }
+        GraphPlan {
+            consumers,
+            pending,
+            fetch_counts,
+            sources,
+            keep_value,
+            keep_shape,
+        }
     }
 }
 
@@ -138,7 +147,10 @@ mod tests {
         // Forge an invalid main graph: op referencing a dangling node.
         m.main.push_node(
             rdg_graph::OpKind::Neg,
-            vec![rdg_graph::PortRef { node: NodeId(9), port: 0 }],
+            vec![rdg_graph::PortRef {
+                node: NodeId(9),
+                port: 0,
+            }],
             vec![rdg_tensor::DType::F32],
         );
         assert!(ModulePlan::new(Arc::new(m)).is_err());

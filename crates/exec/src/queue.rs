@@ -111,7 +111,11 @@ impl<T> ReadyQueue<T> {
                 let mut st = heap.lock();
                 let seq = st.next_seq;
                 st.next_seq += 1;
-                st.heap.push(Prioritized { priority, seq, item });
+                st.heap.push(Prioritized {
+                    priority,
+                    seq,
+                    item,
+                });
                 drop(st);
                 cond.notify_one();
             }

@@ -138,10 +138,13 @@ mod tests {
 
     #[test]
     fn feeds_are_validated() {
-        let mut mb = ModuleBuilder::new();
+        let mb = ModuleBuilder::new();
         let mut g = rdg_graph::Graph::new();
         let i = g.push_node(
-            rdg_graph::OpKind::Input { index: 0, dtype: DType::F32 },
+            rdg_graph::OpKind::Input {
+                index: 0,
+                dtype: DType::F32,
+            },
             vec![],
             vec![DType::F32],
         );
@@ -237,7 +240,11 @@ mod tests {
         let out = s.run(vec![]).unwrap();
         assert_eq!(out[0].as_i32_scalar().unwrap(), 0);
         assert!(
-            s.executor().stats().max_depth.load(std::sync::atomic::Ordering::Relaxed) >= 20_000
+            s.executor()
+                .stats()
+                .max_depth
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 20_000
         );
     }
 
@@ -359,7 +366,8 @@ mod tests {
         let s2 = Session::with_params(e, m, Arc::clone(s1.params())).unwrap();
         assert_eq!(s1.run(vec![]).unwrap()[0].as_f32_scalar().unwrap(), 6.0);
         // Mutate through the shared store; both sessions see it.
-        s1.params().write(rdg_graph::ParamId(0), Tensor::scalar_f32(5.0));
+        s1.params()
+            .write(rdg_graph::ParamId(0), Tensor::scalar_f32(5.0));
         assert_eq!(s2.run(vec![]).unwrap()[0].as_f32_scalar().unwrap(), 10.0);
     }
 }

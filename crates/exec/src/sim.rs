@@ -51,7 +51,12 @@ impl Default for CostModel {
     fn default() -> Self {
         // Rough CPU-like constants: ~1 µs dispatch, 1 ns/element streaming,
         // 0.5 ns/MAC (2 FLOP/cycle-ish), 2 µs frame setup.
-        CostModel { dispatch_ns: 1_000.0, elem_ns: 1.0, mac_ns: 0.5, frame_ns: 2_000.0 }
+        CostModel {
+            dispatch_ns: 1_000.0,
+            elem_ns: 1.0,
+            mac_ns: 0.5,
+            frame_ns: 2_000.0,
+        }
     }
 }
 
@@ -148,14 +153,19 @@ impl PartialOrd for FloatOrd {
 }
 impl Ord for FloatOrd {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 
 impl SimExecutor {
     /// Creates a virtual machine with `n_workers` workers.
     pub fn new(n_workers: usize) -> Self {
-        SimExecutor { n_workers: n_workers.max(1), cost: CostModel::default() }
+        SimExecutor {
+            n_workers: n_workers.max(1),
+            cost: CostModel::default(),
+        }
     }
 
     /// Runs the module once, returning outputs plus virtual-time metrics.
@@ -185,35 +195,34 @@ impl SimExecutor {
         let mut makespan = 0.0f64;
         let mut result: Option<Vec<Tensor>> = None;
 
-        let spawn =
-            |frames: &mut Vec<SimFrame>,
-             ready: &mut VecDeque<(usize, NodeId, f64)>,
-             gref: GraphRef,
-             path: PathKey,
-             args: Vec<Tensor>,
-             parent: Option<(usize, NodeId)>,
-             depth: u32,
-             now: f64,
-             n_frames: &mut u64| {
-                let gplan = plan.plan(gref);
-                let g = module.graph(gref);
-                *n_frames += 1;
-                let fidx = frames.len();
-                frames.push(SimFrame {
-                    gref,
-                    path,
-                    args,
-                    values: vec![None; g.len()],
-                    pending: gplan.pending.clone(),
-                    nodes_left: g.len(),
-                    parent,
-                    depth,
-                });
-                for &s in &gplan.sources {
-                    ready.push_back((fidx, s, now));
-                }
-                fidx
-            };
+        let spawn = |frames: &mut Vec<SimFrame>,
+                     ready: &mut VecDeque<(usize, NodeId, f64)>,
+                     gref: GraphRef,
+                     path: PathKey,
+                     args: Vec<Tensor>,
+                     parent: Option<(usize, NodeId)>,
+                     depth: u32,
+                     now: f64,
+                     n_frames: &mut u64| {
+            let gplan = plan.plan(gref);
+            let g = module.graph(gref);
+            *n_frames += 1;
+            let fidx = frames.len();
+            frames.push(SimFrame {
+                gref,
+                path,
+                args,
+                values: vec![None; g.len()],
+                pending: gplan.pending.clone(),
+                nodes_left: g.len(),
+                parent,
+                depth,
+            });
+            for &s in &gplan.sources {
+                ready.push_back((fidx, s, now));
+            }
+            fidx
+        };
 
         spawn(
             &mut frames,
@@ -235,8 +244,20 @@ impl SimExecutor {
             // Apply any completion whose effects are due.
             if let Some((fidx, node, outs, t_done)) = pending_completions.pop() {
                 self.complete(
-                    plan, module, &mut frames, &mut ready, fidx, node, outs, t_done, grads,
-                    cache, &mut result, &mut makespan, &mut pending_completions, &mut n_frames,
+                    plan,
+                    module,
+                    &mut frames,
+                    &mut ready,
+                    fidx,
+                    node,
+                    outs,
+                    t_done,
+                    grads,
+                    cache,
+                    &mut result,
+                    &mut makespan,
+                    &mut pending_completions,
+                    &mut n_frames,
                 )?;
                 continue;
             }
@@ -277,7 +298,14 @@ impl SimExecutor {
                         &mut n_frames,
                     );
                 }
-                OpKind::Cond { sub_then, sub_else, site_then, site_else, n_then_in, .. } => {
+                OpKind::Cond {
+                    sub_then,
+                    sub_else,
+                    site_then,
+                    site_else,
+                    n_then_in,
+                    ..
+                } => {
                     let t_done = start + self.cost.frame_ns;
                     total_work += self.cost.frame_ns;
                     workers.push(Reverse(FloatOrd(t_done)));
@@ -340,7 +368,13 @@ impl SimExecutor {
         }
 
         let outputs = result.ok_or_else(|| ExecError::internal("sim: run never completed"))?;
-        Ok(SimResult { outputs, virtual_ns: makespan, ops, frames: n_frames, total_work_ns: total_work })
+        Ok(SimResult {
+            outputs,
+            virtual_ns: makespan,
+            ops,
+            frames: n_frames,
+            total_work_ns: total_work,
+        })
     }
 
     fn read_fwd(
@@ -360,20 +394,22 @@ impl SimExecutor {
             ),
             GraphRef::Main => return Err(ExecError::internal("sim: FwdValue in main graph")),
         };
-        let cache =
-            cache.ok_or_else(|| ExecError::internal("sim: FwdValue outside training"))?;
-        let key =
-            CacheKey { gref: fwd_gref, path: frame.path.clone(), node: of.node, port: of.port };
+        let cache = cache.ok_or_else(|| ExecError::internal("sim: FwdValue outside training"))?;
+        let key = CacheKey {
+            gref: fwd_gref,
+            path: frame.path.clone(),
+            node: of.node,
+            port: of.port,
+        };
         if zeros {
             let shape = cache.shapes.get(&key).ok_or_else(|| ExecError::CacheMiss {
                 msg: format!("sim: shape of {of}"),
             })?;
             Ok(Tensor::zeros(shape))
         } else {
-            cache
-                .values
-                .get(&key)
-                .ok_or_else(|| ExecError::CacheMiss { msg: format!("sim: value of {of}") })
+            cache.values.get(&key).ok_or_else(|| ExecError::CacheMiss {
+                msg: format!("sim: value of {of}"),
+            })
         }
     }
 
@@ -519,9 +555,15 @@ mod tests {
     fn more_workers_never_slower() {
         let plan = ModulePlan::new(Arc::new(fib_module(12))).unwrap();
         let params = Arc::new(ParamStore::from_module(&plan.module));
-        let t1 = SimExecutor::new(1).run(&plan, &params, vec![], None, None).unwrap();
-        let t8 = SimExecutor::new(8).run(&plan, &params, vec![], None, None).unwrap();
-        let t64 = SimExecutor::new(64).run(&plan, &params, vec![], None, None).unwrap();
+        let t1 = SimExecutor::new(1)
+            .run(&plan, &params, vec![], None, None)
+            .unwrap();
+        let t8 = SimExecutor::new(8)
+            .run(&plan, &params, vec![], None, None)
+            .unwrap();
+        let t64 = SimExecutor::new(64)
+            .run(&plan, &params, vec![], None, None)
+            .unwrap();
         assert!(t8.virtual_ns <= t1.virtual_ns, "8 workers beat 1");
         assert!(t64.virtual_ns <= t8.virtual_ns, "64 workers beat 8");
         // Same computation, same work.
@@ -538,7 +580,9 @@ mod tests {
     fn single_worker_makespan_equals_total_work() {
         let plan = ModulePlan::new(Arc::new(fib_module(8))).unwrap();
         let params = Arc::new(ParamStore::from_module(&plan.module));
-        let r = SimExecutor::new(1).run(&plan, &params, vec![], None, None).unwrap();
+        let r = SimExecutor::new(1)
+            .run(&plan, &params, vec![], None, None)
+            .unwrap();
         assert!(
             (r.virtual_ns - r.total_work_ns).abs() / r.total_work_ns < 1e-9,
             "one worker serializes all work"

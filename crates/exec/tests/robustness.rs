@@ -2,7 +2,7 @@
 //! equivalence.
 
 use rdg_exec::{Executor, SchedulerKind, Session};
-use rdg_graph::{ModuleBuilder, Module};
+use rdg_graph::{Module, ModuleBuilder};
 use rdg_tensor::{DType, Tensor};
 use std::sync::Arc;
 
@@ -65,11 +65,7 @@ fn thread_count_does_not_change_results() {
 
 #[test]
 fn both_schedulers_compute_the_same_value() {
-    let fifo = Session::new(
-        Executor::new(2, SchedulerKind::Fifo),
-        tree_sum_module(7),
-    )
-    .unwrap();
+    let fifo = Session::new(Executor::new(2, SchedulerKind::Fifo), tree_sum_module(7)).unwrap();
     let prio = Session::new(
         Executor::new(2, SchedulerKind::DepthPriority),
         tree_sum_module(7),

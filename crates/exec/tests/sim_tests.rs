@@ -90,7 +90,10 @@ fn tree_scales_with_workers_chain_does_not() {
     let params_c = Arc::new(ParamStore::from_module(&chain.module));
 
     let run = |plan: &Arc<ModulePlan>, params: &Arc<ParamStore>, w: usize| {
-        SimExecutor::new(w).run(plan, params, vec![], None, None).unwrap().virtual_ns
+        SimExecutor::new(w)
+            .run(plan, params, vec![], None, None)
+            .unwrap()
+            .virtual_ns
     };
     let tree_1 = run(&tree, &params_t, 1);
     let tree_32 = run(&tree, &params_t, 32);
@@ -99,11 +102,17 @@ fn tree_scales_with_workers_chain_does_not() {
 
     let tree_speedup = tree_1 / tree_32;
     let chain_speedup = chain_1 / chain_32;
-    assert!(tree_speedup > 4.0, "tree speedup with 32 workers: {tree_speedup:.2}");
+    assert!(
+        tree_speedup > 4.0,
+        "tree speedup with 32 workers: {tree_speedup:.2}"
+    );
     // The loop body contains two independent chains (counter and value), so
     // the chain enjoys a small constant speedup — but it must stay bounded
     // while the tree's grows with the frontier.
-    assert!(chain_speedup < 3.0, "chain speedup must be bounded: {chain_speedup:.2}");
+    assert!(
+        chain_speedup < 3.0,
+        "chain speedup must be bounded: {chain_speedup:.2}"
+    );
     assert!(
         tree_speedup > 1.5 * chain_speedup,
         "tree must out-scale chain: {tree_speedup:.2} vs {chain_speedup:.2}"
@@ -119,7 +128,11 @@ fn cost_model_charges_matmul_by_macs() {
     let a_big = Tensor::zeros([1, 128]);
     let b_big = Tensor::zeros([128, 128]);
     let out_big = Tensor::zeros([1, 128]);
-    let small = cm.op_cost(&rdg_graph::OpKind::MatMul, &[a_small, b_small], &[out_small]);
+    let small = cm.op_cost(
+        &rdg_graph::OpKind::MatMul,
+        &[a_small, b_small],
+        &[out_small],
+    );
     let big = cm.op_cost(&rdg_graph::OpKind::MatMul, &[a_big, b_big], &[out_big]);
     // 128³/8³-ish MAC ratio on the work term; dispatch floor keeps the
     // ratio below the raw 4096×.
@@ -132,8 +145,12 @@ fn cost_model_charges_matmul_by_macs() {
 fn sim_work_is_invariant_to_worker_count() {
     let plan = ModulePlan::new(Arc::new(tree_module(7))).unwrap();
     let params = Arc::new(ParamStore::from_module(&plan.module));
-    let w1 = SimExecutor::new(1).run(&plan, &params, vec![], None, None).unwrap();
-    let w16 = SimExecutor::new(16).run(&plan, &params, vec![], None, None).unwrap();
+    let w1 = SimExecutor::new(1)
+        .run(&plan, &params, vec![], None, None)
+        .unwrap();
+    let w16 = SimExecutor::new(16)
+        .run(&plan, &params, vec![], None, None)
+        .unwrap();
     assert_eq!(w1.ops, w16.ops, "same schedule, same op count");
     assert!((w1.total_work_ns - w16.total_work_ns).abs() < 1e-6);
     assert!(w16.parallelism() > w1.parallelism());
@@ -148,7 +165,9 @@ fn fairness_across_graph_refs() {
     mb.set_outputs(&[b]).unwrap();
     let plan = ModulePlan::new(Arc::new(mb.finish().unwrap())).unwrap();
     let params = Arc::new(ParamStore::from_module(&plan.module));
-    let r = SimExecutor::new(2).run(&plan, &params, vec![], None, None).unwrap();
+    let r = SimExecutor::new(2)
+        .run(&plan, &params, vec![], None, None)
+        .unwrap();
     assert_eq!(r.frames, 1, "root frame only");
     assert_eq!(r.outputs[0].as_f32_scalar().unwrap(), 2.0f32.tanh());
     let _ = GraphRef::Main; // silence unused-import style lints in old rustc

@@ -14,10 +14,7 @@ use std::sync::Arc;
 /// cache: values are retained per level, not per node).
 enum LevelTape {
     /// TreeRNN / RNTN: gathered input and level output.
-    Simple {
-        x: Tensor,
-        h: Tensor,
-    },
+    Simple { x: Tensor, h: Tensor },
     /// TreeLSTM: gate activations plus child cell states.
     Lstm {
         x: Tensor,
@@ -117,7 +114,15 @@ impl FoldEngine {
                 ops::scatter_add_rows(&mut h_buf, &leaf_ids, &h)?;
                 ops::scatter_add_rows(&mut c_buf, &leaf_ids, &c)?;
                 let _ = c;
-                LevelTape::Lstm { x: e.clone(), i, o, u, tc, fl: None, fr: None }
+                LevelTape::Lstm {
+                    x: e.clone(),
+                    i,
+                    o,
+                    u,
+                    tc,
+                    fl: None,
+                    fr: None,
+                }
             }
         };
 
@@ -161,7 +166,15 @@ impl FoldEngine {
                     ops::scatter_add_rows(&mut h_buf, &ni, &h)?;
                     ops::scatter_add_rows(&mut c_buf, &ni, &c)?;
                     let _ = c;
-                    LevelTape::Lstm { x, i, o, u, tc, fl: Some((fl, cl)), fr: Some((fr, cr)) }
+                    LevelTape::Lstm {
+                        x,
+                        i,
+                        o,
+                        u,
+                        tc,
+                        fl: Some((fl, cl)),
+                        fr: Some((fr, cr)),
+                    }
                 }
             };
             level_tapes.push(tape);
@@ -177,7 +190,12 @@ impl FoldEngine {
         Ok((
             loss,
             logits.clone(),
-            Tape { leaf: leaf_tape, levels: level_tapes, roots_h, logits },
+            Tape {
+                leaf: leaf_tape,
+                levels: level_tapes,
+                roots_h,
+                logits,
+            },
         ))
     }
 
@@ -232,7 +250,18 @@ impl FoldEngine {
                     ops::scatter_add_rows(&mut dh, &li, &dhl)?;
                     ops::scatter_add_rows(&mut dh, &ri, &dhr)?;
                 }
-                (Cell::Lstm(cell), LevelTape::Lstm { x, i, o, u, tc, fl, fr }) => {
+                (
+                    Cell::Lstm(cell),
+                    LevelTape::Lstm {
+                        x,
+                        i,
+                        o,
+                        u,
+                        tc,
+                        fl,
+                        fr,
+                    },
+                ) => {
                     let dc_l = ops::gather_rows(&dc, &ni)?;
                     let (f_l, c_l) = fl.as_ref().expect("internal level");
                     let (f_r, c_r) = fr.as_ref().expect("internal level");
@@ -288,7 +317,12 @@ impl FoldEngine {
                 self.lin_backward(cell.leaf, e, &da, grads)?;
                 ops::matmul_bt(&da, &self.params.read(cell.leaf.w))?
             }
-            (Cell::Lstm(cell), LevelTape::Lstm { x: e, i, o, u, tc, .. }) => {
+            (
+                Cell::Lstm(cell),
+                LevelTape::Lstm {
+                    x: e, i, o, u, tc, ..
+                },
+            ) => {
                 let dc_leaf = ops::gather_rows(&dc, &leaf_ids)?;
                 let do_ = ops::mul(&dh_leaf, tc)?;
                 let dtc = ops::mul(&dh_leaf, o)?;
@@ -303,7 +337,10 @@ impl FoldEngine {
                 }
                 let dau = ops::tanh_grad(u, &du)?;
                 self.lin_backward(cell.leaf_u, e, &dau, grads)?;
-                de = ops::add(&de, &ops::matmul_bt(&dau, &self.params.read(cell.leaf_u.w))?)?;
+                de = ops::add(
+                    &de,
+                    &ops::matmul_bt(&dau, &self.params.read(cell.leaf_u.w))?,
+                )?;
                 de
             }
             _ => return Err(TensorError::invalid("fold: leaf tape/cell mismatch")),
@@ -378,8 +415,11 @@ mod tests {
             let grads = GradStore::new(engine.params().len());
             let loss = engine.train_step(&batch(4), &grads).unwrap();
             assert!(loss.is_finite(), "{kind:?}");
-            let with_grads =
-                engine.params().ids().filter(|&p| grads.get(p).is_some()).count();
+            let with_grads = engine
+                .params()
+                .ids()
+                .filter(|&p| grads.get(p).is_some())
+                .count();
             assert!(
                 with_grads >= engine.params().len() - 1,
                 "{kind:?}: {}/{} params got gradients",

@@ -81,7 +81,14 @@ impl FoldPlan {
             labels.push(inst.label);
             offset += n as i32;
         }
-        FoldPlan { total_nodes, leaf_words, leaf_nodes, levels, roots, labels }
+        FoldPlan {
+            total_nodes,
+            leaf_words,
+            leaf_nodes,
+            levels,
+            roots,
+            labels,
+        }
     }
 
     /// Largest level width: the effective batching factor Fold achieves.

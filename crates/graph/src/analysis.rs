@@ -69,7 +69,10 @@ fn ws_graph(
     let order = match g.topo_order("ws") {
         Ok(o) => o,
         Err(_) => {
-            return WorkSpan { work: f64::INFINITY, span: f64::INFINITY };
+            return WorkSpan {
+                work: f64::INFINITY,
+                span: f64::INFINITY,
+            };
         }
     };
     let mut work = 0.0f64;
@@ -86,7 +89,9 @@ fn ws_graph(
                     (1.0 + inner.work, 1.0 + inner.span)
                 }
             }
-            OpKind::Cond { sub_then, sub_else, .. } => {
+            OpKind::Cond {
+                sub_then, sub_else, ..
+            } => {
                 if depth == 0 {
                     (1.0, 1.0)
                 } else {
@@ -108,7 +113,10 @@ fn ws_graph(
         max_span = max_span.max(d);
         dist.insert(nid, d);
     }
-    let v = WorkSpan { work, span: max_span };
+    let v = WorkSpan {
+        work,
+        span: max_span,
+    };
     memo.insert((gref, depth), v);
     v
 }
@@ -186,8 +194,16 @@ mod tests {
         let shallow = work_span(&m, GraphRef::Main, 4);
         let deep = work_span(&m, GraphRef::Main, 10);
         // Work roughly doubles per extra unfold level; span adds a constant.
-        assert!(deep.work / shallow.work > 8.0, "work ratio {}", deep.work / shallow.work);
-        assert!(deep.span / shallow.span < 4.0, "span ratio {}", deep.span / shallow.span);
+        assert!(
+            deep.work / shallow.work > 8.0,
+            "work ratio {}",
+            deep.work / shallow.work
+        );
+        assert!(
+            deep.span / shallow.span < 4.0,
+            "span ratio {}",
+            deep.span / shallow.span
+        );
         assert!(deep.parallelism() > shallow.parallelism());
     }
 

@@ -163,7 +163,10 @@ impl ModuleBuilder {
     /// the lexical parent chain as needed.
     fn resolve_in(&mut self, uid: u32, w: Wire) -> Result<PortRef> {
         if w.graph_uid == uid {
-            return Ok(PortRef { node: w.node, port: w.port });
+            return Ok(PortRef {
+                node: w.node,
+                port: w.port,
+            });
         }
         // Find the chain from `uid` up to the wire's graph.
         let mut chain = Vec::new();
@@ -177,7 +180,9 @@ impl ModuleBuilder {
                 Some(p) if p == w.graph_uid => break,
                 Some(p) => cur = p,
                 None => {
-                    return Err(GraphError::OutOfScope { wire: format!("{w:?} (graph {uid})") })
+                    return Err(GraphError::OutOfScope {
+                        wire: format!("{w:?} (graph {uid})"),
+                    })
                 }
             }
         }
@@ -186,7 +191,10 @@ impl ModuleBuilder {
         for &level in chain.iter().rev() {
             src = self.capture_into(level, src);
         }
-        Ok(PortRef { node: src.node, port: src.port })
+        Ok(PortRef {
+            node: src.node,
+            port: src.port,
+        })
     }
 
     /// Ensures `src` (a wire in `level`'s lexical parent) is available inside
@@ -194,15 +202,30 @@ impl ModuleBuilder {
     fn capture_into(&mut self, level: u32, src: Wire) -> Wire {
         let ctx = self.ctxs.get_mut(&level).expect("level exists");
         if let Some(&nid) = ctx.capture_map.get(&src) {
-            return Wire { graph_uid: level, node: nid, port: 0, dtype: src.dtype };
+            return Wire {
+                graph_uid: level,
+                node: nid,
+                port: 0,
+                dtype: src.dtype,
+            };
         }
         let index = ctx.graph.input_nodes.len();
-        let nid = ctx
-            .graph
-            .push_node(OpKind::Input { index, dtype: src.dtype }, vec![], vec![src.dtype]);
+        let nid = ctx.graph.push_node(
+            OpKind::Input {
+                index,
+                dtype: src.dtype,
+            },
+            vec![],
+            vec![src.dtype],
+        );
         ctx.captures.push(src);
         ctx.capture_map.insert(src, nid);
-        Wire { graph_uid: level, node: nid, port: 0, dtype: src.dtype }
+        Wire {
+            graph_uid: level,
+            node: nid,
+            port: 0,
+            dtype: src.dtype,
+        }
     }
 
     /// Adds a node to the current graph, resolving wires (captures included).
@@ -217,7 +240,12 @@ impl ModuleBuilder {
         Ok(dtypes
             .into_iter()
             .enumerate()
-            .map(|(i, dt)| Wire { graph_uid: uid, node: nid, port: i as u16, dtype: dt })
+            .map(|(i, dt)| Wire {
+                graph_uid: uid,
+                node: nid,
+                port: i as u16,
+                dtype: dt,
+            })
             .collect())
     }
 
@@ -242,7 +270,10 @@ impl ModuleBuilder {
     /// Registers a trainable parameter and returns its id.
     pub fn param(&mut self, name: impl Into<String>, init: Tensor) -> ParamId {
         let id = ParamId(self.params.len() as u32);
-        self.params.push(ParamSpec { name: name.into(), init });
+        self.params.push(ParamSpec {
+            name: name.into(),
+            init,
+        });
         id
     }
 
@@ -275,7 +306,11 @@ impl ModuleBuilder {
             out_dtypes: out_dtypes.to_vec(),
             body_uid: None,
         });
-        SubGraphHandle { slot, in_dtypes: in_dtypes.to_vec(), out_dtypes: out_dtypes.to_vec() }
+        SubGraphHandle {
+            slot,
+            in_dtypes: in_dtypes.to_vec(),
+            out_dtypes: out_dtypes.to_vec(),
+        }
     }
 
     /// Defines the body of a declared SubGraph.
@@ -299,7 +334,14 @@ impl ModuleBuilder {
         let parent = self.top_uid();
         let mut graph = Graph::new();
         for (i, &dt) in h.in_dtypes.iter().enumerate() {
-            graph.push_node(OpKind::Input { index: i, dtype: dt }, vec![], vec![dt]);
+            graph.push_node(
+                OpKind::Input {
+                    index: i,
+                    dtype: dt,
+                },
+                vec![],
+                vec![dt],
+            );
         }
         self.ctxs.insert(
             uid,
@@ -376,9 +418,9 @@ impl ModuleBuilder {
     pub fn input(&mut self, index: usize) -> Result<Wire> {
         let uid = self.top_uid();
         let ctx = &self.ctxs[&uid];
-        let slot = ctx.sg_slot.ok_or_else(|| {
-            GraphError::invalid("input() is only valid inside define_subgraph")
-        })?;
+        let slot = ctx
+            .sg_slot
+            .ok_or_else(|| GraphError::invalid("input() is only valid inside define_subgraph"))?;
         let n = self.slots[slot].in_dtypes.len();
         if index >= n {
             return Err(GraphError::invalid(format!(
@@ -387,7 +429,12 @@ impl ModuleBuilder {
         }
         let nid = ctx.graph.input_nodes[index];
         let dt = ctx.graph.out_dtypes[nid.0 as usize][0];
-        Ok(Wire { graph_uid: uid, node: nid, port: 0, dtype: dt })
+        Ok(Wire {
+            graph_uid: uid,
+            node: nid,
+            port: 0,
+            dtype: dt,
+        })
     }
 
     /// Declares a main-graph input (placeholder) fed positionally at run
@@ -399,13 +446,19 @@ impl ModuleBuilder {
         let nid = ctx
             .graph
             .push_node(OpKind::Input { index, dtype }, vec![], vec![dtype]);
-        Wire { graph_uid: 0, node: nid, port: 0, dtype }
+        Wire {
+            graph_uid: 0,
+            node: nid,
+            port: 0,
+            dtype,
+        }
     }
 
     /// Embeds a constant tensor in the current scope.
     pub fn constant(&mut self, t: Tensor) -> Wire {
         let dt = t.dtype();
-        self.push1(OpKind::Const(t), &[], dt).expect("const push cannot fail")
+        self.push1(OpKind::Const(t), &[], dt)
+            .expect("const push cannot fail")
     }
 
     /// Scalar `i32` constant convenience.
@@ -463,11 +516,15 @@ impl ModuleBuilder {
             target_slot: h.slot,
             explicit_ports: ports,
         });
-        Ok(h
-            .out_dtypes
+        Ok(h.out_dtypes
             .iter()
             .enumerate()
-            .map(|(i, &dt)| Wire { graph_uid: uid, node: nid, port: i as u16, dtype: dt })
+            .map(|(i, &dt)| Wire {
+                graph_uid: uid,
+                node: nid,
+                port: i as u16,
+                dtype: dt,
+            })
             .collect())
     }
 
@@ -503,7 +560,9 @@ impl ModuleBuilder {
             mirror: false,
         };
         let ctx = self.ctxs.get_mut(&uid).expect("top ctx");
-        let nid = ctx.graph.push_node(op, vec![pred_port], out_dtypes.to_vec());
+        let nid = ctx
+            .graph
+            .push_node(op, vec![pred_port], out_dtypes.to_vec());
         self.conds.push(CondRecord {
             graph_uid: uid,
             node: nid,
@@ -514,7 +573,12 @@ impl ModuleBuilder {
         Ok(out_dtypes
             .iter()
             .enumerate()
-            .map(|(i, &dt)| Wire { graph_uid: uid, node: nid, port: i as u16, dtype: dt })
+            .map(|(i, &dt)| Wire {
+                graph_uid: uid,
+                node: nid,
+                port: i as u16,
+                dtype: dt,
+            })
             .collect())
     }
 
@@ -888,11 +952,15 @@ impl ModuleBuilder {
     /// every invoke and cond site), assembles, and validates.
     pub fn finish(mut self) -> Result<Module> {
         if self.stack.len() != 1 {
-            return Err(GraphError::invalid("finish() called inside define_subgraph"));
+            return Err(GraphError::invalid(
+                "finish() called inside define_subgraph",
+            ));
         }
         for slot in &self.slots {
             if slot.body_uid.is_none() {
-                return Err(GraphError::Undefined { name: slot.name.clone() });
+                return Err(GraphError::Undefined {
+                    name: slot.name.clone(),
+                });
             }
         }
 
@@ -901,8 +969,11 @@ impl ModuleBuilder {
         // SubGraph can force *that* SubGraph to capture more — iterate until
         // no graph changes. Each pass rebuilds invoke/cond input lists from
         // the target's current capture list.
-        let slot_uid: Vec<u32> =
-            self.slots.iter().map(|s| s.body_uid.expect("checked defined")).collect();
+        let slot_uid: Vec<u32> = self
+            .slots
+            .iter()
+            .map(|s| s.body_uid.expect("checked defined"))
+            .collect();
         loop {
             let mut changed = false;
             for rec_i in 0..self.invokes.len() {
@@ -1006,7 +1077,14 @@ mod tests {
         let i = mb.const_i32(1);
         assert!(mb.add(a, i).is_err());
         assert!(mb.iadd(a, i).is_err());
-        assert!(mb.cond1(a, DType::F32, |b| Ok(b.const_f32(0.0)), |b| Ok(b.const_f32(1.0))).is_err());
+        assert!(mb
+            .cond1(
+                a,
+                DType::F32,
+                |b| Ok(b.const_f32(0.0)),
+                |b| Ok(b.const_f32(1.0))
+            )
+            .is_err());
     }
 
     #[test]
@@ -1205,8 +1283,11 @@ mod tests {
     fn double_definition_and_undefined_are_rejected() {
         let mut mb = ModuleBuilder::new();
         let h = mb.declare_subgraph("f", &[], &[DType::F32]);
-        mb.define_subgraph(&h, |b| Ok(vec![b.const_f32(0.0)])).unwrap();
-        assert!(mb.define_subgraph(&h, |b| Ok(vec![b.const_f32(1.0)])).is_err());
+        mb.define_subgraph(&h, |b| Ok(vec![b.const_f32(0.0)]))
+            .unwrap();
+        assert!(mb
+            .define_subgraph(&h, |b| Ok(vec![b.const_f32(1.0)]))
+            .is_err());
 
         let mut mb2 = ModuleBuilder::new();
         let _h = mb2.declare_subgraph("ghost", &[], &[DType::F32]);

@@ -55,7 +55,9 @@ fn emit_graph(s: &mut String, m: &Module, sg: Option<u32>) {
                 let t = target_anchor(m, sub.0);
                 let _ = writeln!(s, "    {prefix}_n{i} -> {t} [style=dotted, color=blue];");
             }
-            OpKind::Cond { sub_then, sub_else, .. } => {
+            OpKind::Cond {
+                sub_then, sub_else, ..
+            } => {
                 for t in [sub_then.0, sub_else.0] {
                     let a = target_anchor(m, t);
                     let _ = writeln!(s, "    {prefix}_n{i} -> {a} [style=dotted, color=orange];");

@@ -89,7 +89,9 @@ pub enum GraphError {
 impl GraphError {
     /// Creates an [`GraphError::Invalid`] from anything displayable.
     pub fn invalid(msg: impl fmt::Display) -> Self {
-        GraphError::Invalid { msg: msg.to_string() }
+        GraphError::Invalid {
+            msg: msg.to_string(),
+        }
     }
 }
 
@@ -234,7 +236,9 @@ impl Graph {
             }
         }
         if order.len() != n {
-            return Err(GraphError::Cycle { graph: name.to_string() });
+            return Err(GraphError::Cycle {
+                graph: name.to_string(),
+            });
         }
         Ok(order)
     }
@@ -253,7 +257,10 @@ impl Graph {
                 }
                 let arity = self.nodes[pid].op.n_outputs();
                 if inp.port as usize >= arity {
-                    return Err(GraphError::BadPort { port: inp.to_string(), arity });
+                    return Err(GraphError::BadPort {
+                        port: inp.to_string(),
+                        arity,
+                    });
                 }
             }
             // Output dtype table must be consistent with arity.
@@ -275,7 +282,10 @@ impl Graph {
             }
             let arity = self.nodes[out.node.0 as usize].op.n_outputs();
             if out.port as usize >= arity {
-                return Err(GraphError::BadPort { port: out.to_string(), arity });
+                return Err(GraphError::BadPort {
+                    port: out.to_string(),
+                    arity,
+                });
             }
         }
         self.topo_order(name)?;
@@ -289,7 +299,11 @@ mod tests {
     use rdg_tensor::{DType, Tensor};
 
     fn leaf(g: &mut Graph, v: f32) -> NodeId {
-        g.push_node(OpKind::Const(Tensor::scalar_f32(v)), vec![], vec![DType::F32])
+        g.push_node(
+            OpKind::Const(Tensor::scalar_f32(v)),
+            vec![],
+            vec![DType::F32],
+        )
     }
 
     #[test]
@@ -340,7 +354,14 @@ mod tests {
     fn cycle_is_detected() {
         let mut g = Graph::new();
         // Forge a cycle manually: n0 <- n1 <- n0.
-        let a = g.push_node(OpKind::Neg, vec![PortRef { node: NodeId(1), port: 0 }], vec![DType::F32]);
+        let a = g.push_node(
+            OpKind::Neg,
+            vec![PortRef {
+                node: NodeId(1),
+                port: 0,
+            }],
+            vec![DType::F32],
+        );
         let _b = g.push_node(OpKind::Neg, vec![PortRef::of(a)], vec![DType::F32]);
         assert!(matches!(g.validate("cyc"), Err(GraphError::Cycle { .. })));
     }
@@ -348,20 +369,48 @@ mod tests {
     #[test]
     fn dangling_and_bad_port_detected() {
         let mut g = Graph::new();
-        let _ = g.push_node(OpKind::Neg, vec![PortRef { node: NodeId(7), port: 0 }], vec![DType::F32]);
-        assert!(matches!(g.validate("t"), Err(GraphError::DanglingNode { .. })));
+        let _ = g.push_node(
+            OpKind::Neg,
+            vec![PortRef {
+                node: NodeId(7),
+                port: 0,
+            }],
+            vec![DType::F32],
+        );
+        assert!(matches!(
+            g.validate("t"),
+            Err(GraphError::DanglingNode { .. })
+        ));
 
         let mut g = Graph::new();
         let a = leaf(&mut g, 0.0);
-        let _ = g.push_node(OpKind::Neg, vec![PortRef { node: a, port: 3 }], vec![DType::F32]);
+        let _ = g.push_node(
+            OpKind::Neg,
+            vec![PortRef { node: a, port: 3 }],
+            vec![DType::F32],
+        );
         assert!(matches!(g.validate("t"), Err(GraphError::BadPort { .. })));
     }
 
     #[test]
     fn input_nodes_are_tracked() {
         let mut g = Graph::new();
-        let i0 = g.push_node(OpKind::Input { index: 0, dtype: DType::I32 }, vec![], vec![DType::I32]);
-        let i1 = g.push_node(OpKind::Input { index: 1, dtype: DType::F32 }, vec![], vec![DType::F32]);
+        let i0 = g.push_node(
+            OpKind::Input {
+                index: 0,
+                dtype: DType::I32,
+            },
+            vec![],
+            vec![DType::I32],
+        );
+        let i1 = g.push_node(
+            OpKind::Input {
+                index: 1,
+                dtype: DType::F32,
+            },
+            vec![],
+            vec![DType::F32],
+        );
         assert_eq!(g.input_nodes, vec![i0, i1]);
         assert_eq!(g.port_dtype(PortRef::of(i0)), DType::I32);
     }

@@ -95,14 +95,18 @@ impl Module {
         let mut check_graph = |g: &Graph, gname: &str| -> crate::Result<()> {
             for node in &g.nodes {
                 match &node.op {
-                    OpKind::Invoke { sub, site, n_out, mirror } => {
-                        let sg = self
-                            .subgraphs
-                            .get(sub.0 as usize)
-                            .ok_or_else(|| crate::GraphError::invalid(format!(
+                    OpKind::Invoke {
+                        sub,
+                        site,
+                        n_out,
+                        mirror,
+                    } => {
+                        let sg = self.subgraphs.get(sub.0 as usize).ok_or_else(|| {
+                            crate::GraphError::invalid(format!(
                                 "{gname}/{}: invoke of unknown SubGraph sg{}",
                                 node.name, sub.0
-                            )))?;
+                            ))
+                        })?;
                         if node.inputs.len() != sg.n_inputs() {
                             return Err(crate::GraphError::SignatureMismatch {
                                 msg: format!(
@@ -202,7 +206,9 @@ impl Module {
                             }
                         }
                     }
-                    OpKind::Param(p) | OpKind::GradSink { param: p } | OpKind::GradSinkRows { param: p } => {
+                    OpKind::Param(p)
+                    | OpKind::GradSink { param: p }
+                    | OpKind::GradSinkRows { param: p } => {
                         if p.0 as usize >= self.params.len() {
                             return Err(crate::GraphError::invalid(format!(
                                 "{gname}/{}: unknown parameter id {}",

@@ -376,7 +376,9 @@ impl fmt::Display for OpKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OpKind::Invoke { sub, site, .. } => write!(f, "Invoke(sg{}, site{})", sub.0, site.0),
-            OpKind::Cond { sub_then, sub_else, .. } => {
+            OpKind::Cond {
+                sub_then, sub_else, ..
+            } => {
                 write!(f, "Cond(sg{}, sg{})", sub_then.0, sub_else.0)
             }
             OpKind::Scale(s) => write!(f, "Scale({s})"),
@@ -397,8 +399,12 @@ mod tests {
 
     #[test]
     fn arity_of_structural_ops() {
-        let inv =
-            OpKind::Invoke { sub: SubGraphId(0), site: CallSiteId(0), n_out: 3, mirror: false };
+        let inv = OpKind::Invoke {
+            sub: SubGraphId(0),
+            site: CallSiteId(0),
+            n_out: 3,
+            mirror: false,
+        };
         assert_eq!(inv.n_outputs(), 3);
         assert!(inv.is_control_flow());
         assert_eq!(OpKind::Add.n_outputs(), 1);
@@ -424,7 +430,12 @@ mod tests {
             mirror: false,
         };
         assert!(c.to_string().contains("sg1"));
-        let fv = OpKind::FwdValue { of: PortRef { node: NodeId(4), port: 1 } };
+        let fv = OpKind::FwdValue {
+            of: PortRef {
+                node: NodeId(4),
+                port: 1,
+            },
+        };
         assert!(fv.to_string().contains("4:1"));
     }
 }

@@ -118,7 +118,14 @@ mod tests {
 
     fn trivial_sg() -> SubGraph {
         let mut g = Graph::new();
-        let i = g.push_node(OpKind::Input { index: 0, dtype: DType::F32 }, vec![], vec![DType::F32]);
+        let i = g.push_node(
+            OpKind::Input {
+                index: 0,
+                dtype: DType::F32,
+            },
+            vec![],
+            vec![DType::F32],
+        );
         let n = g.push_node(OpKind::Neg, vec![PortRef::of(i)], vec![DType::F32]);
         g.outputs.push(PortRef::of(n));
         SubGraph {

@@ -91,7 +91,9 @@ proptest! {
 fn dot_export_of_every_op_class() {
     // Smoke: DOT rendering covers arithmetic, control flow, and params.
     let mut mb = ModuleBuilder::new();
-    let w = mb.param_wire("w", rdg_tensor::Tensor::scalar_f32(1.0)).unwrap();
+    let w = mb
+        .param_wire("w", rdg_tensor::Tensor::scalar_f32(1.0))
+        .unwrap();
     let f = mb
         .subgraph("body", &[DType::F32], &[DType::F32], |b| {
             let x = b.input(0)?;

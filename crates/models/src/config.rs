@@ -51,12 +51,28 @@ impl ModelConfig {
             ModelKind::Rntn => (32, 32),
             ModelKind::TreeLstm => (64, 168),
         };
-        ModelConfig { kind, vocab: 2000, embed, hidden, classes: 2, batch, seed: 20180423 }
+        ModelConfig {
+            kind,
+            vocab: 2000,
+            embed,
+            hidden,
+            classes: 2,
+            batch,
+            seed: 20180423,
+        }
     }
 
     /// Small dimensions for fast tests.
     pub fn tiny(kind: ModelKind, batch: usize) -> Self {
-        ModelConfig { kind, vocab: 100, embed: 6, hidden: 5, classes: 2, batch, seed: 7 }
+        ModelConfig {
+            kind,
+            vocab: 100,
+            embed: 6,
+            hidden: 5,
+            classes: 2,
+            batch,
+            seed: 7,
+        }
     }
 }
 

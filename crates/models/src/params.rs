@@ -46,7 +46,11 @@ impl ModelParams {
             }
         };
         let classifier = Linear::new(mb, "classifier", cfg.hidden, cfg.classes, &mut rng);
-        ModelParams { embedding, cell, classifier }
+        ModelParams {
+            embedding,
+            cell,
+            classifier,
+        }
     }
 }
 

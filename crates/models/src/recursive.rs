@@ -136,7 +136,11 @@ mod tests {
         let m = build_recursive(&cfg).unwrap();
         let node_sg = m.subgraphs.iter().find(|s| s.name == "node_0").unwrap();
         assert_eq!(node_sg.explicit_inputs, 1, "only idx is explicit");
-        assert!(node_sg.n_captures() >= 3, "tree tensors captured: {}", node_sg.n_captures());
+        assert!(
+            node_sg.n_captures() >= 3,
+            "tree tensors captured: {}",
+            node_sg.n_captures()
+        );
     }
 
     #[test]

@@ -46,7 +46,15 @@ pub struct TdConfig {
 impl TdConfig {
     /// Small, fast defaults.
     pub fn tiny(batch: usize) -> Self {
-        TdConfig { vocab: 100, embed: 6, hidden: 5, max_depth: 5, threshold: 0.5, batch, seed: 11 }
+        TdConfig {
+            vocab: 100,
+            embed: 6,
+            hidden: 5,
+            max_depth: 5,
+            threshold: 0.5,
+            batch,
+            seed: 11,
+        }
     }
 
     /// Paper-flavoured defaults (hidden size comparable to TreeLSTM).
@@ -377,7 +385,10 @@ mod tests {
             })
             .collect();
         let distinct: std::collections::HashSet<i32> = counts.iter().copied().collect();
-        assert!(distinct.len() > 1, "structure must vary with inputs: {counts:?}");
+        assert!(
+            distinct.len() > 1,
+            "structure must vary with inputs: {counts:?}"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl UnrolledModel {
         mb.set_outputs(&[c])?;
         let module = mb.finish()?;
         let params = Arc::new(ParamStore::from_module(&module));
-        Ok(UnrolledModel { cfg, params, exec: Executor::with_threads(1) })
+        Ok(UnrolledModel {
+            cfg,
+            params,
+            exec: Executor::with_threads(1),
+        })
     }
 
     /// The shared parameter store (for weight sharing with other styles).
@@ -106,7 +110,10 @@ impl UnrolledModel {
     /// Inference over a batch: one graph construction + run per instance.
     ///
     /// Returns `(mean loss, per-instance logits)`.
-    pub fn run_inference(&self, batch: &[Instance]) -> std::result::Result<(f32, Vec<Tensor>), ExecError> {
+    pub fn run_inference(
+        &self,
+        batch: &[Instance],
+    ) -> std::result::Result<(f32, Vec<Tensor>), ExecError> {
         let mut loss_sum = 0.0f32;
         let mut logits = Vec::with_capacity(batch.len());
         for inst in batch {
@@ -136,8 +143,7 @@ impl UnrolledModel {
         let scale = 1.0 / batch.len().max(1) as f32;
         for inst in batch {
             let module = self.build_instance_module(inst)?;
-            let train =
-                rdg_autodiff::build_training_module(&module, module.main.outputs[0])?;
+            let train = rdg_autodiff::build_training_module(&module, module.main.outputs[0])?;
             let session =
                 Session::with_params(Arc::clone(&self.exec), train, Arc::clone(&self.params))?;
             let outs = session.run_training(vec![])?;
@@ -147,12 +153,15 @@ impl UnrolledModel {
             // Merge this instance's gradients, scaled to the batch mean.
             for pid in self.params.ids() {
                 if let Some(g) = session.grads().get(pid) {
-                    let scaled = rdg_tensor::ops::scale(&g, scale).map_err(|e| {
-                        ExecError::BadFeed { msg: format!("gradient merge: {e}") }
-                    })?;
-                    grads.accumulate(pid, &scaled).map_err(|e| ExecError::BadFeed {
-                        msg: format!("gradient merge: {e}"),
-                    })?;
+                    let scaled =
+                        rdg_tensor::ops::scale(&g, scale).map_err(|e| ExecError::BadFeed {
+                            msg: format!("gradient merge: {e}"),
+                        })?;
+                    grads
+                        .accumulate(pid, &scaled)
+                        .map_err(|e| ExecError::BadFeed {
+                            msg: format!("gradient merge: {e}"),
+                        })?;
                 }
             }
         }

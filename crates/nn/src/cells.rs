@@ -201,7 +201,10 @@ mod tests {
     use rdg_exec::{Executor, Session};
 
     fn run_scalar(m: rdg_graph::Module) -> Vec<Tensor> {
-        Session::new(Executor::with_threads(2), m).unwrap().run(vec![]).unwrap()
+        Session::new(Executor::with_threads(2), m)
+            .unwrap()
+            .run(vec![])
+            .unwrap()
     }
 
     #[test]
@@ -229,7 +232,10 @@ mod tests {
         mb.set_outputs(&[top]).unwrap();
         let m = mb.finish().unwrap();
         assert!(
-            m.main.nodes.iter().any(|n| matches!(n.op, rdg_graph::OpKind::Bilinear)),
+            m.main
+                .nodes
+                .iter()
+                .any(|n| matches!(n.op, rdg_graph::OpKind::Bilinear)),
             "RNTN internal must contain a Bilinear node"
         );
         let out = run_scalar(m);

@@ -29,8 +29,7 @@ mod tests {
 
     #[test]
     fn perfect_and_imperfect_accuracy() {
-        let logits =
-            Tensor::from_f32([3, 2], vec![2.0, -1.0, -3.0, 0.5, 1.0, 4.0]).unwrap();
+        let logits = Tensor::from_f32([3, 2], vec![2.0, -1.0, -3.0, 0.5, 1.0, 4.0]).unwrap();
         let labels = Tensor::from_i32([3], vec![0, 1, 1]).unwrap();
         assert!((accuracy(&logits, &labels).unwrap() - 1.0).abs() < 1e-6);
         let wrong = Tensor::from_i32([3], vec![1, 1, 1]).unwrap();

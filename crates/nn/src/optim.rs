@@ -43,7 +43,12 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with the given learning rate (no momentum, no clipping).
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, clip_norm: None, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            clip_norm: None,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -94,7 +99,12 @@ pub struct Adagrad {
 impl Adagrad {
     /// Creates Adagrad with the given learning rate.
     pub fn new(lr: f32) -> Self {
-        Adagrad { lr, eps: 1e-8, clip_norm: None, accum: Vec::new() }
+        Adagrad {
+            lr,
+            eps: 1e-8,
+            clip_norm: None,
+            accum: Vec::new(),
+        }
     }
 }
 
@@ -207,7 +217,10 @@ mod tests {
     fn store_with(v: Vec<f32>) -> (ParamStore, GradStore) {
         let mut m = Module::default();
         let n = v.len();
-        m.params.push(ParamSpec { name: "p".into(), init: Tensor::from_f32([n], v).unwrap() });
+        m.params.push(ParamSpec {
+            name: "p".into(),
+            init: Tensor::from_f32([n], v).unwrap(),
+        });
         let ps = ParamStore::from_module(&m);
         let gs = GradStore::new(1);
         (ps, gs)
@@ -216,7 +229,8 @@ mod tests {
     #[test]
     fn sgd_moves_against_gradient() {
         let (ps, gs) = store_with(vec![1.0, -1.0]);
-        gs.accumulate(ParamId(0), &Tensor::from_f32([2], vec![0.5, -0.5]).unwrap()).unwrap();
+        gs.accumulate(ParamId(0), &Tensor::from_f32([2], vec![0.5, -0.5]).unwrap())
+            .unwrap();
         Sgd::new(0.1).step(&ps, &gs).unwrap();
         let p = ps.read(ParamId(0));
         assert!(p.allclose(&Tensor::from_f32([2], vec![0.95, -0.95]).unwrap(), 1e-6));
@@ -225,7 +239,8 @@ mod tests {
     #[test]
     fn sgd_momentum_accumulates() {
         let (ps, gs) = store_with(vec![0.0]);
-        gs.accumulate(ParamId(0), &Tensor::from_f32([1], vec![1.0]).unwrap()).unwrap();
+        gs.accumulate(ParamId(0), &Tensor::from_f32([1], vec![1.0]).unwrap())
+            .unwrap();
         let mut opt = Sgd::new(0.1);
         opt.momentum = 0.9;
         opt.step(&ps, &gs).unwrap(); // v=1.0, p=-0.1
@@ -237,7 +252,8 @@ mod tests {
     #[test]
     fn adagrad_shrinks_effective_lr() {
         let (ps, gs) = store_with(vec![0.0]);
-        gs.accumulate(ParamId(0), &Tensor::from_f32([1], vec![1.0]).unwrap()).unwrap();
+        gs.accumulate(ParamId(0), &Tensor::from_f32([1], vec![1.0]).unwrap())
+            .unwrap();
         let mut opt = Adagrad::new(0.1);
         opt.step(&ps, &gs).unwrap();
         let p1 = ps.read(ParamId(0)).as_f32_scalar().unwrap();
@@ -252,7 +268,8 @@ mod tests {
     #[test]
     fn adam_bias_correction_first_step() {
         let (ps, gs) = store_with(vec![0.0]);
-        gs.accumulate(ParamId(0), &Tensor::from_f32([1], vec![0.3]).unwrap()).unwrap();
+        gs.accumulate(ParamId(0), &Tensor::from_f32([1], vec![0.3]).unwrap())
+            .unwrap();
         let mut opt = Adam::new(0.01);
         opt.step(&ps, &gs).unwrap();
         // With bias correction, the first step is ≈ lr regardless of g scale.
@@ -263,7 +280,8 @@ mod tests {
     #[test]
     fn clipping_caps_global_norm() {
         let (_ps, gs) = store_with(vec![0.0, 0.0]);
-        gs.accumulate(ParamId(0), &Tensor::from_f32([2], vec![3.0, 4.0]).unwrap()).unwrap();
+        gs.accumulate(ParamId(0), &Tensor::from_f32([2], vec![3.0, 4.0]).unwrap())
+            .unwrap();
         let f = clip_factor(&gs, Some(1.0));
         assert!((f - 0.2).abs() < 1e-6, "norm 5 clipped to 1 → factor 0.2");
         assert_eq!(clip_factor(&gs, Some(10.0)), 1.0);

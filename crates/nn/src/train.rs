@@ -24,12 +24,14 @@ impl<O: Optimizer> Trainer<O> {
     /// One step: forward + backward + parameter update; returns the loss.
     pub fn step(&mut self, feeds: Vec<Tensor>) -> Result<f32, ExecError> {
         let outs = self.session.run_training(feeds)?;
-        let loss = outs[0]
-            .as_f32_scalar()
-            .map_err(|e| ExecError::BadFeed { msg: format!("loss output: {e}") })?;
+        let loss = outs[0].as_f32_scalar().map_err(|e| ExecError::BadFeed {
+            msg: format!("loss output: {e}"),
+        })?;
         self.optimizer
             .step(self.session.params(), self.session.grads())
-            .map_err(|e| ExecError::BadFeed { msg: format!("optimizer: {e}") })?;
+            .map_err(|e| ExecError::BadFeed {
+                msg: format!("optimizer: {e}"),
+            })?;
         Ok(loss)
     }
 }

@@ -73,7 +73,9 @@ pub enum TensorError {
 impl TensorError {
     /// Creates an [`TensorError::Invalid`] from anything displayable.
     pub fn invalid(msg: impl fmt::Display) -> Self {
-        TensorError::Invalid { msg: msg.to_string() }
+        TensorError::Invalid {
+            msg: msg.to_string(),
+        }
     }
 }
 
@@ -93,7 +95,10 @@ impl fmt::Display for TensorError {
                 write!(f, "{ctx}: index {index} out of range (bound {bound})")
             }
             TensorError::LengthMismatch { expected, got, ctx } => {
-                write!(f, "{ctx}: buffer length {got} does not match shape element count {expected}")
+                write!(
+                    f,
+                    "{ctx}: buffer length {got} does not match shape element count {expected}"
+                )
             }
             TensorError::NotAScalar { shape, ctx } => {
                 write!(f, "{ctx}: expected a scalar tensor, got shape {shape}")
@@ -126,8 +131,16 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        let a = TensorError::RankMismatch { expected: 2, got: 1, ctx: "matmul" };
-        let b = TensorError::RankMismatch { expected: 2, got: 1, ctx: "matmul" };
+        let a = TensorError::RankMismatch {
+            expected: 2,
+            got: 1,
+            ctx: "matmul",
+        };
+        let b = TensorError::RankMismatch {
+            expected: 2,
+            got: 1,
+            ctx: "matmul",
+        };
         assert_eq!(a, b);
     }
 }

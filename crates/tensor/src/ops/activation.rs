@@ -26,7 +26,10 @@ pub fn tanh_grad(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
     let dv = dy.f32s()?;
     Tensor::from_f32(
         y.shape().clone(),
-        yv.iter().zip(dv.iter()).map(|(&yy, &dd)| dd * (1.0 - yy * yy)).collect(),
+        yv.iter()
+            .zip(dv.iter())
+            .map(|(&yy, &dd)| dd * (1.0 - yy * yy))
+            .collect(),
     )
 }
 
@@ -42,7 +45,10 @@ pub fn sigmoid_grad(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
     let dv = dy.f32s()?;
     Tensor::from_f32(
         y.shape().clone(),
-        yv.iter().zip(dv.iter()).map(|(&yy, &dd)| dd * yy * (1.0 - yy)).collect(),
+        yv.iter()
+            .zip(dv.iter())
+            .map(|(&yy, &dd)| dd * yy * (1.0 - yy))
+            .collect(),
     )
 }
 
@@ -58,15 +64,19 @@ pub fn relu_grad(y: &Tensor, dy: &Tensor) -> Result<Tensor> {
     let dv = dy.f32s()?;
     Tensor::from_f32(
         y.shape().clone(),
-        yv.iter().zip(dv.iter()).map(|(&yy, &dd)| if yy > 0.0 { dd } else { 0.0 }).collect(),
+        yv.iter()
+            .zip(dv.iter())
+            .map(|(&yy, &dd)| if yy > 0.0 { dd } else { 0.0 })
+            .collect(),
     )
 }
 
 fn rows_of<'t>(a: &'t Tensor, ctx: &'static str) -> Result<(usize, usize, &'t [f32])> {
-    let (m, n) = a
-        .shape()
-        .as_matrix()
-        .ok_or(TensorError::RankMismatch { expected: 2, got: a.rank(), ctx })?;
+    let (m, n) = a.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: a.rank(),
+        ctx,
+    })?;
     Ok((m, n, a.f32s()?))
 }
 
@@ -178,7 +188,10 @@ mod tests {
 
             let y = tanh(&x).unwrap();
             let g = tanh_grad(&y, &dy).unwrap().as_f32_scalar().unwrap();
-            assert!((g - finite_diff(f32::tanh, x0)).abs() < 1e-3, "tanh at {x0}");
+            assert!(
+                (g - finite_diff(f32::tanh, x0)).abs() < 1e-3,
+                "tanh at {x0}"
+            );
 
             let y = sigmoid(&x).unwrap();
             let g = sigmoid_grad(&y, &dy).unwrap().as_f32_scalar().unwrap();

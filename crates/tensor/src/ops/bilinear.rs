@@ -12,7 +12,11 @@ use crate::Result;
 
 fn check(v: &Tensor) -> Result<(usize, usize)> {
     if v.rank() != 3 {
-        return Err(TensorError::RankMismatch { expected: 3, got: v.rank(), ctx: "bilinear v" });
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            got: v.rank(),
+            ctx: "bilinear v",
+        });
     }
     let d = v.shape().dims();
     if d[1] != d[2] {
@@ -181,7 +185,9 @@ mod tests {
         let m = 3;
         let k = 2;
         let xs: Vec<f32> = (0..m).map(|i| 0.3 * i as f32 - 0.2).collect();
-        let vs: Vec<f32> = (0..k * m * m).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.1).collect();
+        let vs: Vec<f32> = (0..k * m * m)
+            .map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.1)
+            .collect();
         let x = Tensor::from_f32([1, m], xs.clone()).unwrap();
         let v = Tensor::from_f32([k, m, m], vs.clone()).unwrap();
         let dy = Tensor::from_f32([1, k], vec![1.0, -0.5]).unwrap();

@@ -11,7 +11,12 @@ use crate::tensor::Tensor;
 use crate::Result;
 
 /// Applies `f` elementwise over two same-shape (or scalar-broadcast) tensors.
-fn zip_f32(a: &Tensor, b: &Tensor, ctx: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+fn zip_f32(
+    a: &Tensor,
+    b: &Tensor,
+    ctx: &'static str,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor> {
     let av = a.f32s()?;
     let bv = b.f32s()?;
     if a.shape() == b.shape() {
@@ -28,7 +33,11 @@ fn zip_f32(a: &Tensor, b: &Tensor, ctx: &'static str, f: impl Fn(f32, f32) -> f3
         let out: Vec<f32> = bv.iter().map(|&y| f(s, y)).collect();
         return Tensor::from_f32(b.shape().clone(), out);
     }
-    Err(TensorError::ShapeMismatch { lhs: a.shape().clone(), rhs: b.shape().clone(), ctx })
+    Err(TensorError::ShapeMismatch {
+        lhs: a.shape().clone(),
+        rhs: b.shape().clone(),
+        ctx,
+    })
 }
 
 /// Elementwise addition (`a + b`); shapes must match or one side be scalar.
@@ -75,17 +84,21 @@ pub fn add_const(a: &Tensor, c: f32) -> Result<Tensor> {
 /// `da = dy * s`, `ds = Σ (dy ⊙ a)`.
 pub fn scalar_mul(a: &Tensor, s: &Tensor) -> Result<Tensor> {
     if !s.shape().is_scalar_like() {
-        return Err(TensorError::NotAScalar { shape: s.shape().clone(), ctx: "scalar_mul" });
+        return Err(TensorError::NotAScalar {
+            shape: s.shape().clone(),
+            ctx: "scalar_mul",
+        });
     }
     scale(a, s.as_f32_scalar()?)
 }
 
 /// Adds a rank-1 bias `[n]` (or `[1, n]`) to every row of `a: [m, n]`.
 pub fn add_bias(a: &Tensor, bias: &Tensor) -> Result<Tensor> {
-    let (m, n) = a
-        .shape()
-        .as_matrix()
-        .ok_or(TensorError::RankMismatch { expected: 2, got: a.rank(), ctx: "add_bias" })?;
+    let (m, n) = a.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: a.rank(),
+        ctx: "add_bias",
+    })?;
     let bn = bias.numel();
     if bn != n {
         return Err(TensorError::ShapeMismatch {

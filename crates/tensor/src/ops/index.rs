@@ -11,10 +11,11 @@ use crate::tensor::Tensor;
 use crate::Result;
 
 fn as_rows<'t>(t: &'t Tensor, ctx: &'static str) -> Result<(usize, usize, &'t [f32])> {
-    let (m, n) = t
-        .shape()
-        .as_matrix()
-        .ok_or(TensorError::RankMismatch { expected: 2, got: t.rank(), ctx })?;
+    let (m, n) = t.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: t.rank(),
+        ctx,
+    })?;
     Ok((m, n, t.f32s()?))
 }
 
@@ -42,11 +43,14 @@ pub fn gather_rows(table: &Tensor, ids: &Tensor) -> Result<Tensor> {
 ///
 /// Duplicate ids accumulate, matching the sum of per-use gradients.
 pub fn scatter_rows_like(table_like: &Tensor, ids: &Tensor, src: &Tensor) -> Result<Tensor> {
-    let (v, d) = table_like.shape().as_matrix().ok_or(TensorError::RankMismatch {
-        expected: 2,
-        got: table_like.rank(),
-        ctx: "scatter_rows_like",
-    })?;
+    let (v, d) = table_like
+        .shape()
+        .as_matrix()
+        .ok_or(TensorError::RankMismatch {
+            expected: 2,
+            got: table_like.rank(),
+            ctx: "scatter_rows_like",
+        })?;
     let mut out = Tensor::zeros([v, d]);
     scatter_add_rows(&mut out, ids, src)?;
     Ok(out)
@@ -102,7 +106,11 @@ pub fn get_row(t: &Tensor, i: &Tensor) -> Result<Tensor> {
     let (m, d, tv) = as_rows(t, "get_row")?;
     let idx = i.as_i32_scalar()?;
     if idx < 0 || idx as usize >= m {
-        return Err(TensorError::IndexOutOfRange { index: idx as i64, bound: m, ctx: "get_row" });
+        return Err(TensorError::IndexOutOfRange {
+            index: idx as i64,
+            bound: m,
+            ctx: "get_row",
+        });
     }
     let r = idx as usize;
     Tensor::from_f32([1, d], tv[r * d..(r + 1) * d].to_vec())
@@ -129,7 +137,11 @@ pub fn set_row(mut t: Tensor, i: &Tensor, row: &Tensor) -> Result<Tensor> {
     }
     let idx = i.as_i32_scalar()?;
     if idx < 0 || idx as usize >= m {
-        return Err(TensorError::IndexOutOfRange { index: idx as i64, bound: m, ctx: "set_row" });
+        return Err(TensorError::IndexOutOfRange {
+            index: idx as i64,
+            bound: m,
+            ctx: "set_row",
+        });
     }
     let r = idx as usize;
     let rv: Vec<f32> = row.f32s()?.to_vec();
@@ -218,7 +230,11 @@ mod tests {
         let i = Tensor::scalar_i32(0);
         let row = Tensor::from_f32([2], vec![0.0, 0.0]).unwrap();
         let t2 = set_row(t, &i, &row).unwrap(); // `t` moved: unique
-        assert_eq!(t2.f32s().unwrap().as_ptr(), ptr, "unique set_row must be in place");
+        assert_eq!(
+            t2.f32s().unwrap().as_ptr(),
+            ptr,
+            "unique set_row must be in place"
+        );
     }
 
     #[test]

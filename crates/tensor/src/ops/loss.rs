@@ -10,11 +10,14 @@ use crate::Result;
 /// Returns the per-row loss `[m]`. The fused form is numerically stable for
 /// large logits (it never exponentiates before subtracting the row max).
 pub fn softmax_xent(logits: &Tensor, labels: &Tensor) -> Result<Tensor> {
-    let (m, c) = logits.shape().as_matrix().ok_or(TensorError::RankMismatch {
-        expected: 2,
-        got: logits.rank(),
-        ctx: "softmax_xent",
-    })?;
+    let (m, c) = logits
+        .shape()
+        .as_matrix()
+        .ok_or(TensorError::RankMismatch {
+            expected: 2,
+            got: logits.rank(),
+            ctx: "softmax_xent",
+        })?;
     let lv = labels.i32s()?;
     if lv.len() != m {
         return Err(TensorError::LengthMismatch {
@@ -45,11 +48,14 @@ pub fn softmax_xent(logits: &Tensor, labels: &Tensor) -> Result<Tensor> {
 /// Recomputes the softmax from the cached forward logits — cheap relative to
 /// caching the probability matrix.
 pub fn softmax_xent_grad(logits: &Tensor, labels: &Tensor, dy: &Tensor) -> Result<Tensor> {
-    let (m, c) = logits.shape().as_matrix().ok_or(TensorError::RankMismatch {
-        expected: 2,
-        got: logits.rank(),
-        ctx: "softmax_xent_grad",
-    })?;
+    let (m, c) = logits
+        .shape()
+        .as_matrix()
+        .ok_or(TensorError::RankMismatch {
+            expected: 2,
+            got: logits.rank(),
+            ctx: "softmax_xent_grad",
+        })?;
     let lv = labels.i32s()?;
     let dv = dy.f32s()?;
     if lv.len() != m || dv.len() != m {

@@ -16,10 +16,11 @@ use crate::tensor::Tensor;
 use crate::Result;
 
 fn as_mat<'t>(t: &'t Tensor, ctx: &'static str) -> Result<(usize, usize, &'t [f32])> {
-    let (r, c) = t
-        .shape()
-        .as_matrix()
-        .ok_or(TensorError::RankMismatch { expected: 2, got: t.rank(), ctx })?;
+    let (r, c) = t.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: t.rank(),
+        ctx,
+    })?;
     Ok((r, c, t.f32s()?))
 }
 

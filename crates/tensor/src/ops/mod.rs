@@ -31,7 +31,7 @@ pub use activation::{
     tanh, tanh_grad,
 };
 pub use bilinear::{bilinear, bilinear_grad_v, bilinear_grad_x};
-pub use elementwise::{add, add_bias, add_const, div, mul, neg, scale, scalar_mul, sub};
+pub use elementwise::{add, add_bias, add_const, div, mul, neg, scalar_mul, scale, sub};
 pub use index::{gather_rows, get_row, onehot, scatter_add_rows, scatter_rows_like, set_row};
 pub use loss::{softmax_xent, softmax_xent_grad};
 pub use matmul::{matmul, matmul_at, matmul_bt};

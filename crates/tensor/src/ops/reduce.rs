@@ -35,10 +35,11 @@ pub fn fill_like(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
 
 /// Column sums of a `[m, n]` matrix, producing `[n]` (bias gradients).
 pub fn sum_axis0(a: &Tensor) -> Result<Tensor> {
-    let (m, n) = a
-        .shape()
-        .as_matrix()
-        .ok_or(TensorError::RankMismatch { expected: 2, got: a.rank(), ctx: "sum_axis0" })?;
+    let (m, n) = a.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: a.rank(),
+        ctx: "sum_axis0",
+    })?;
     let av = a.f32s()?;
     let mut out = vec![0.0f32; n];
     for r in 0..m {
@@ -52,10 +53,11 @@ pub fn sum_axis0(a: &Tensor) -> Result<Tensor> {
 
 /// Column means of a `[m, n]` matrix, producing `[n]`.
 pub fn mean_axis0(a: &Tensor) -> Result<Tensor> {
-    let (m, _) = a
-        .shape()
-        .as_matrix()
-        .ok_or(TensorError::RankMismatch { expected: 2, got: a.rank(), ctx: "mean_axis0" })?;
+    let (m, _) = a.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: a.rank(),
+        ctx: "mean_axis0",
+    })?;
     if m == 0 {
         return Err(TensorError::invalid("mean_axis0 of zero-row matrix"));
     }

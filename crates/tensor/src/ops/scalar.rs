@@ -121,9 +121,18 @@ mod tests {
 
     #[test]
     fn logic() {
-        assert_eq!(logical_and(&s(1), &s(2)).unwrap().as_i32_scalar().unwrap(), 1);
-        assert_eq!(logical_and(&s(1), &s(0)).unwrap().as_i32_scalar().unwrap(), 0);
-        assert_eq!(logical_or(&s(0), &s(7)).unwrap().as_i32_scalar().unwrap(), 1);
+        assert_eq!(
+            logical_and(&s(1), &s(2)).unwrap().as_i32_scalar().unwrap(),
+            1
+        );
+        assert_eq!(
+            logical_and(&s(1), &s(0)).unwrap().as_i32_scalar().unwrap(),
+            0
+        );
+        assert_eq!(
+            logical_or(&s(0), &s(7)).unwrap().as_i32_scalar().unwrap(),
+            1
+        );
         assert_eq!(logical_not(&s(0)).unwrap().as_i32_scalar().unwrap(), 1);
         assert_eq!(logical_not(&s(9)).unwrap().as_i32_scalar().unwrap(), 0);
     }
@@ -131,7 +140,13 @@ mod tests {
     #[test]
     fn gather_scalar() {
         let t = Tensor::from_i32([3], vec![10, 20, 30]).unwrap();
-        assert_eq!(gather_scalar_i32(&t, &s(1)).unwrap().as_i32_scalar().unwrap(), 20);
+        assert_eq!(
+            gather_scalar_i32(&t, &s(1))
+                .unwrap()
+                .as_i32_scalar()
+                .unwrap(),
+            20
+        );
         assert!(gather_scalar_i32(&t, &s(3)).is_err());
         assert!(gather_scalar_i32(&t, &s(-1)).is_err());
     }

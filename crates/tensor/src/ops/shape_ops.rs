@@ -5,10 +5,11 @@ use crate::tensor::Tensor;
 use crate::Result;
 
 fn as_rows<'t>(t: &'t Tensor, ctx: &'static str) -> Result<(usize, usize, &'t [f32])> {
-    let (m, n) = t
-        .shape()
-        .as_matrix()
-        .ok_or(TensorError::RankMismatch { expected: 2, got: t.rank(), ctx })?;
+    let (m, n) = t.shape().as_matrix().ok_or(TensorError::RankMismatch {
+        expected: 2,
+        got: t.rank(),
+        ctx,
+    })?;
     Ok((m, n, t.f32s()?))
 }
 

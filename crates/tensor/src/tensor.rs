@@ -88,7 +88,10 @@ impl Tensor {
                 ctx: "Tensor::from_f32",
             });
         }
-        Ok(Tensor { shape, buf: Buffer::F32(Arc::new(data)) })
+        Ok(Tensor {
+            shape,
+            buf: Buffer::F32(Arc::new(data)),
+        })
     }
 
     /// Creates an `i32` tensor from a flat row-major buffer.
@@ -101,14 +104,20 @@ impl Tensor {
                 ctx: "Tensor::from_i32",
             });
         }
-        Ok(Tensor { shape, buf: Buffer::I32(Arc::new(data)) })
+        Ok(Tensor {
+            shape,
+            buf: Buffer::I32(Arc::new(data)),
+        })
     }
 
     /// An `f32` tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, buf: Buffer::F32(Arc::new(vec![value; n])) }
+        Tensor {
+            shape,
+            buf: Buffer::F32(Arc::new(vec![value; n])),
+        }
     }
 
     /// An `f32` tensor of zeros.
@@ -128,19 +137,28 @@ impl Tensor {
 
     /// A scalar (`[]`-shaped) `f32` tensor.
     pub fn scalar_f32(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), buf: Buffer::F32(Arc::new(vec![value])) }
+        Tensor {
+            shape: Shape::scalar(),
+            buf: Buffer::F32(Arc::new(vec![value])),
+        }
     }
 
     /// A scalar (`[]`-shaped) `i32` tensor.
     pub fn scalar_i32(value: i32) -> Self {
-        Tensor { shape: Shape::scalar(), buf: Buffer::I32(Arc::new(vec![value])) }
+        Tensor {
+            shape: Shape::scalar(),
+            buf: Buffer::I32(Arc::new(vec![value])),
+        }
     }
 
     /// An `i32` tensor of zeros.
     pub fn zeros_i32(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, buf: Buffer::I32(Arc::new(vec![0; n])) }
+        Tensor {
+            shape,
+            buf: Buffer::I32(Arc::new(vec![0; n])),
+        }
     }
 
     // ---------------------------------------------------------------------
@@ -259,7 +277,10 @@ impl Tensor {
                 ctx: "Tensor::reshape",
             });
         }
-        Ok(Tensor { shape, buf: self.buf.clone() })
+        Ok(Tensor {
+            shape,
+            buf: self.buf.clone(),
+        })
     }
 
     /// Element-wise approximate equality for `f32` tensors (same shape).
@@ -291,13 +312,22 @@ impl fmt::Display for Tensor {
         write!(f, "Tensor<{}>{}", self.dtype(), self.shape)?;
         match &self.buf {
             Buffer::F32(v) => {
-                let shown: Vec<String> =
-                    v.iter().take(MAX).map(|x| format!("{x:.4}")).collect();
-                write!(f, " [{}{}]", shown.join(", "), if v.len() > MAX { ", …" } else { "" })
+                let shown: Vec<String> = v.iter().take(MAX).map(|x| format!("{x:.4}")).collect();
+                write!(
+                    f,
+                    " [{}{}]",
+                    shown.join(", "),
+                    if v.len() > MAX { ", …" } else { "" }
+                )
             }
             Buffer::I32(v) => {
                 let shown: Vec<String> = v.iter().take(MAX).map(|x| x.to_string()).collect();
-                write!(f, " [{}{}]", shown.join(", "), if v.len() > MAX { ", …" } else { "" })
+                write!(
+                    f,
+                    " [{}{}]",
+                    shown.join(", "),
+                    if v.len() > MAX { ", …" } else { "" }
+                )
             }
         }
     }

@@ -25,7 +25,9 @@ fn main() {
     let insts = data.split(Split::Train).to_vec();
     let feeds = Dataset::feeds_for(&insts);
 
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let exec = Executor::with_threads(threads);
     let rec =
         Session::new(Arc::clone(&exec), build_recursive(&cfg).expect("build")).expect("session");
@@ -55,12 +57,18 @@ fn main() {
     };
 
     bench("recursive", &mut || {
-        rec.run(feeds.clone()).expect("run")[0].as_f32_scalar().expect("loss")
+        rec.run(feeds.clone()).expect("run")[0]
+            .as_f32_scalar()
+            .expect("loss")
     });
     bench("iterative", &mut || {
-        itr.run(feeds.clone()).expect("run")[0].as_f32_scalar().expect("loss")
+        itr.run(feeds.clone()).expect("run")[0]
+            .as_f32_scalar()
+            .expect("loss")
     });
-    bench("unrolled", &mut || unr.run_inference(&insts).expect("run").0);
+    bench("unrolled", &mut || {
+        unr.run_inference(&insts).expect("run").0
+    });
     bench("folding", &mut || fold.infer(&insts).expect("run").0);
 
     println!();

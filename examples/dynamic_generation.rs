@@ -12,7 +12,10 @@ use rdg_core::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    let cfg = TdConfig { batch: 1, ..TdConfig::paper_default(1) };
+    let cfg = TdConfig {
+        batch: 1,
+        ..TdConfig::paper_default(1)
+    };
     let recursive = build_td_recursive(&cfg).expect("build recursive TD");
     let iterative = build_td_iterative(&cfg).expect("build iterative TD");
 
@@ -20,17 +23,28 @@ fn main() {
     let rec = Session::new(Arc::clone(&exec), recursive).expect("session");
     let itr = Session::with_params(exec, iterative, Arc::clone(rec.params())).expect("session");
 
-    println!("TD-TreeLSTM: hidden {}, depth cap {}, threshold {}", cfg.hidden, cfg.max_depth, cfg.threshold);
+    println!(
+        "TD-TreeLSTM: hidden {}, depth cap {}, threshold {}",
+        cfg.hidden, cfg.max_depth, cfg.threshold
+    );
     println!();
-    println!("{:>6} {:>14} {:>14} {:>10}", "seed", "nodes (rec)", "nodes (iter)", "agree?");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "seed", "nodes (rec)", "nodes (iter)", "agree?"
+    );
     let mut sizes = Vec::new();
     for seed in 0..10u64 {
         let feeds = td_feeds(&cfg, seed);
         let nr = rec.run(feeds.clone()).expect("recursive run")[0]
             .as_i32_scalar()
             .expect("count");
-        let ni = itr.run(feeds).expect("iterative run")[0].as_i32_scalar().expect("count");
-        println!("{seed:>6} {nr:>14} {ni:>14} {:>10}", if nr == ni { "yes" } else { "NO" });
+        let ni = itr.run(feeds).expect("iterative run")[0]
+            .as_i32_scalar()
+            .expect("count");
+        println!(
+            "{seed:>6} {nr:>14} {ni:>14} {:>10}",
+            if nr == ni { "yes" } else { "NO" }
+        );
         sizes.push(nr);
     }
     println!();

@@ -43,10 +43,18 @@ fn main() {
     mb.set_outputs(&[out[0]]).expect("set outputs");
     let module = mb.finish().expect("finish module");
 
-    println!("module: {} SubGraphs, {} total nodes", module.subgraphs.len(), module.total_nodes());
+    println!(
+        "module: {} SubGraphs, {} total nodes",
+        module.subgraphs.len(),
+        module.total_nodes()
+    );
 
     // --- 3. Execute on the parallel worker pool --------------------------
-    let exec = Executor::with_threads(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2));
+    let exec = Executor::with_threads(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2),
+    );
     let session = Session::new(exec, module).expect("session");
     let t0 = std::time::Instant::now();
     let result = session.run(vec![]).expect("run");

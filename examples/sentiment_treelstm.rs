@@ -36,7 +36,11 @@ fn main() {
         "model: TreeLSTM, {} params, {} SubGraphs ({} gradient)",
         training.params.len(),
         training.subgraphs.len(),
-        training.subgraphs.iter().filter(|s| s.grad_of.is_some()).count()
+        training
+            .subgraphs
+            .iter()
+            .filter(|s| s.grad_of.is_some())
+            .count()
     );
 
     let exec = Executor::with_threads(2);

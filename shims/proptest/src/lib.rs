@@ -1,0 +1,80 @@
+//! Offline, API-compatible shim for the slice of `proptest` used by the
+//! rdg workspace: the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
+//! the [`Strategy`] trait with `prop_map`/`prop_flat_map`, [`Just`],
+//! numeric-range and tuple strategies, and `prop::collection::vec`.
+//!
+//! Differences from upstream: no shrinking, no persisted failure seeds,
+//! and a fixed deterministic case count (`CASES`, currently 48) seeded
+//! from the test name — failures therefore reproduce exactly across runs.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of upstream's `prelude::prop` namespace module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Number of generated cases per `proptest!` test.
+pub const CASES: u64 = 48;
+
+/// Runs `body` once per case with a deterministic RNG derived from
+/// `name`. Used by the `proptest!` macro; not public API upstream.
+pub fn run_cases<F: FnMut(&mut test_runner::TestRng)>(name: &str, mut body: F) {
+    for case in 0..CASES {
+        let mut rng = test_runner::TestRng::for_case(name, case);
+        body(&mut rng);
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($pat:pat in $strat:expr) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = $strat;
+                $crate::run_cases(stringify!($name), |rng| {
+                    let $pat = $crate::strategy::Strategy::generate(&strategy, rng);
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        assert_ne!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_ne!($left, $right, $($fmt)*)
+    };
+}

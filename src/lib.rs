@@ -1,0 +1,6 @@
+//! Workspace facade: re-exports [`rdg_core`] so the root package can own
+//! the cross-crate integration tests in `tests/` and the runnable
+//! `examples/`. Use `rdg_core` (or the individual layer crates) directly
+//! from library code; depend on `rdg` only for the examples/tests surface.
+
+pub use rdg_core::*;

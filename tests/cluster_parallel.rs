@@ -70,7 +70,19 @@ fn virtual_time_model_reproduces_linear_scaling_shape() {
         speedups.push(thr / base);
     }
     assert!((speedups[0] - 1.0).abs() < 1e-9);
-    assert!(speedups[1] > 1.7 && speedups[1] <= 2.0, "2 machines: {:.2}×", speedups[1]);
-    assert!(speedups[2] > 3.3 && speedups[2] <= 4.0, "4 machines: {:.2}×", speedups[2]);
-    assert!(speedups[3] > 6.5 && speedups[3] <= 8.0, "8 machines: {:.2}×", speedups[3]);
+    assert!(
+        speedups[1] > 1.7 && speedups[1] <= 2.0,
+        "2 machines: {:.2}×",
+        speedups[1]
+    );
+    assert!(
+        speedups[2] > 3.3 && speedups[2] <= 4.0,
+        "4 machines: {:.2}×",
+        speedups[2]
+    );
+    assert!(
+        speedups[3] > 6.5 && speedups[3] <= 8.0,
+        "8 machines: {:.2}×",
+        speedups[3]
+    );
 }

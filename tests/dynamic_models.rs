@@ -37,7 +37,10 @@ fn generation_is_bounded_and_varies() {
         counts.push(n);
     }
     let distinct: std::collections::HashSet<_> = counts.iter().collect();
-    assert!(distinct.len() >= 3, "counts should vary with the seed word: {counts:?}");
+    assert!(
+        distinct.len() >= 3,
+        "counts should vary with the seed word: {counts:?}"
+    );
 }
 
 #[test]

@@ -74,8 +74,11 @@ fn fold_gradients_match_recursive() {
                 (None, None) => {}
                 (a, b) => {
                     let present = a.or(b).unwrap();
-                    let max =
-                        present.f32s().unwrap().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+                    let max = present
+                        .f32s()
+                        .unwrap()
+                        .iter()
+                        .fold(0.0f32, |m, &x| m.max(x.abs()));
                     assert!(max < 1e-6, "{kind:?}: '{}' one-sided gradient", spec.name);
                 }
             }
@@ -98,5 +101,9 @@ fn fold_batches_same_depth_nodes_together() {
     let plan = rdg_core::fold::FoldPlan::build(d.split(Split::Train));
     // 8 instances × 8 leaves: level 0 internals = 4 per tree × 8 = 32.
     assert_eq!(plan.levels[0].len(), 32);
-    assert_eq!(plan.max_level_width(), 64, "leaf level batches all 64 leaves");
+    assert_eq!(
+        plan.max_level_width(),
+        64,
+        "leaf level batches all 64 leaves"
+    );
 }

@@ -56,5 +56,9 @@ fn batched_recursive_gradcheck() {
     let m = build_recursive(&cfg).unwrap();
     let feeds = tiny_feeds(3, 33);
     let report = check_gradients(&m, 0, &feeds, 1e-2, 4).unwrap();
-    assert!(report.max_rel_err < 0.08, "batched rel err {}", report.max_rel_err);
+    assert!(
+        report.max_rel_err < 0.08,
+        "batched rel err {}",
+        report.max_rel_err
+    );
 }

@@ -48,8 +48,7 @@ fn recursive_treernn_learns_the_task() {
 
     let exec = Executor::with_threads(2);
     let train_sess = Session::new(Arc::clone(&exec), train).unwrap();
-    let infer_sess =
-        Session::with_params(exec, m, Arc::clone(train_sess.params())).unwrap();
+    let infer_sess = Session::with_params(exec, m, Arc::clone(train_sess.params())).unwrap();
 
     let acc_before = eval_accuracy(&infer_sess, &data, batch);
     let mut trainer = Trainer::new(train_sess, Adagrad::new(0.05));
