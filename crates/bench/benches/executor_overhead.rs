@@ -1,5 +1,22 @@
 //! Executor overhead: per-op dispatch and per-frame (InvokeOp) cost —
 //! the constants behind every throughput number in the paper tables.
+//!
+//! Workloads:
+//!
+//! * `dispatch/op_chain/{100,1000}` — serial chains of trivial ops: pure
+//!   scheduler + dispatch cost, the plain-op baseline.
+//! * `dispatch/invoke_chain/{100,1000}` — the same chains with every op
+//!   wrapped in a SubGraph invocation: the per-invoke premium over a plain
+//!   op is `(invoke_chain - op_chain) / n`.
+//! * `recursion/fib/{12,16}` — a fib-shaped doubly-recursive module: frame
+//!   fan-out, Cond branches, and deep PathKey reuse, the shape the paper's
+//!   recursive models actually execute.
+//! * `scheduler/{fifo,depth_priority}` — scheduling-policy ablation on the
+//!   same fib shape.
+//!
+//! Set `CRITERION_JSON=results/executor_overhead.json` to append one JSON
+//! record per benchmark (see the criterion shim docs); `PERFORMANCE.md`
+//! tracks the medians across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rdg_core::prelude::*;
@@ -52,40 +69,61 @@ fn dispatch_bench(c: &mut Criterion) {
     g.finish();
 }
 
+/// A doubly-recursive fib module: `fib(n) = n <= 1 ? n : fib(n-1)+fib(n-2)`.
+///
+/// Exponential frame fan-out with a Cond at every level — the recursion
+/// shape (frame tree, not a chain) that the paper's models execute.
+fn fib_module(n: i32) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let h = mb.declare_subgraph("fib", &[DType::I32], &[DType::I32]);
+    mb.define_subgraph(&h, |b| {
+        let n = b.input(0)?;
+        let one = b.const_i32(1);
+        let p = b.ile(n, one)?;
+        let out = b.cond1(
+            p,
+            DType::I32,
+            |b| b.identity(n),
+            |b| {
+                let one = b.const_i32(1);
+                let two = b.const_i32(2);
+                let a = b.isub(n, one)?;
+                let c2 = b.isub(n, two)?;
+                let fa = b.invoke(&h, &[a])?[0];
+                let fb = b.invoke(&h, &[c2])?[0];
+                b.iadd(fa, fb)
+            },
+        )?;
+        Ok(vec![out])
+    })
+    .expect("define");
+    let s = mb.const_i32(n);
+    let out = mb.invoke(&h, &[s]).expect("invoke");
+    mb.set_outputs(&[out[0]]).expect("outputs");
+    mb.finish().expect("finish")
+}
+
+fn recursion_bench(c: &mut Criterion) {
+    // Frame fan-out cost on the recursion shape real models execute
+    // (exponentially many concurrent sibling frames, Cond at every level).
+    let mut g = c.benchmark_group("recursion");
+    g.sample_size(10);
+    let exec = Executor::with_threads(2);
+    for n in [12i32, 16] {
+        let sess = Session::new(Arc::clone(&exec), fib_module(n)).expect("session");
+        g.bench_with_input(BenchmarkId::new("fib", n), &n, |b, _| {
+            b.iter(|| sess.run(vec![]).expect("run"))
+        });
+    }
+    g.finish();
+}
+
 fn scheduler_bench(c: &mut Criterion) {
     // FIFO (the paper's design) vs depth-priority (its §4.1.2 future-work
     // idea) on a parallel recursion.
     let mut g = c.benchmark_group("scheduler");
     g.sample_size(10);
-    let module = {
-        let mut mb = ModuleBuilder::new();
-        let h = mb.declare_subgraph("fib", &[DType::I32], &[DType::I32]);
-        mb.define_subgraph(&h, |b| {
-            let n = b.input(0)?;
-            let one = b.const_i32(1);
-            let p = b.ile(n, one)?;
-            let out = b.cond1(
-                p,
-                DType::I32,
-                |b| b.identity(n),
-                |b| {
-                    let one = b.const_i32(1);
-                    let two = b.const_i32(2);
-                    let a = b.isub(n, one)?;
-                    let c2 = b.isub(n, two)?;
-                    let fa = b.invoke(&h, &[a])?[0];
-                    let fb = b.invoke(&h, &[c2])?[0];
-                    b.iadd(fa, fb)
-                },
-            )?;
-            Ok(vec![out])
-        })
-        .expect("define");
-        let s = mb.const_i32(13);
-        let out = mb.invoke(&h, &[s]).expect("invoke");
-        mb.set_outputs(&[out[0]]).expect("outputs");
-        mb.finish().expect("finish")
-    };
+    let module = fib_module(13);
     for (name, kind) in [
         ("fifo", SchedulerKind::Fifo),
         ("depth_priority", SchedulerKind::DepthPriority),
@@ -97,5 +135,5 @@ fn scheduler_bench(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, dispatch_bench, scheduler_bench);
+criterion_group!(benches, dispatch_bench, recursion_bench, scheduler_bench);
 criterion_main!(benches);

@@ -7,7 +7,10 @@
 //!    `RDG_SECONDS=s` adjusts the measurement window).
 //! 2. Measure throughput with [`throughput`] (timed window after a warm-up).
 //! 3. Print a paper-format table with [`Table`] and append a
-//!    machine-readable record under `results/`.
+//!    machine-readable record under `results/`: the rendered text to
+//!    `results/<name>.txt` and one JSON line per run to
+//!    `results/<name>.json`, so benchmark trajectories across PRs can be
+//!    diffed mechanically (see [`record_json`]).
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -120,11 +123,72 @@ impl Table {
         s
     }
 
-    /// Prints to stdout and appends to `results/<name>.txt`.
+    /// Prints to stdout and appends to `results/<name>.txt` (rendered text)
+    /// and `results/<name>.json` (one structured record per run).
     pub fn emit(&self, name: &str) {
         let rendered = self.render();
         println!("{rendered}");
         record(name, &rendered);
+        record_json(name, &self.title, &self.headers, &self.rows);
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+///
+/// `shims/criterion` carries its own copy (`escape_json_label`) rather
+/// than sharing this one: the shim must stay a drop-in for real criterion,
+/// which exposes no such helper, so nothing outside the shim may depend on
+/// it. A fix to either escaper should be mirrored in the other.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one JSON line describing a table run to `results/<name>.json`:
+/// `{"table":…,"headers":[…],"rows":[[…]],"unix_time":…}`.
+///
+/// The file is append-only JSON-lines, so successive runs (and successive
+/// PRs) accumulate a trajectory that tooling can diff without parsing the
+/// human-format text tables.
+pub fn record_json(name: &str, title: &str, headers: &[String], rows: &[Vec<String>]) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    let cells = |row: &[String]| -> String {
+        let quoted: Vec<String> = row
+            .iter()
+            .map(|c| format!("\"{}\"", json_escape(c)))
+            .collect();
+        format!("[{}]", quoted.join(","))
+    };
+    let rows_json: Vec<String> = rows.iter().map(|r| cells(r)).collect();
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(
+            f,
+            "{{\"table\":\"{}\",\"headers\":{},\"rows\":[{}],\"unix_time\":{}}}",
+            json_escape(title),
+            cells(headers),
+            rows_json.join(","),
+            unix_time
+        );
     }
 }
 
@@ -183,6 +247,12 @@ mod tests {
         });
         // ~10 calls in 50 ms → ~2000 instances/s, very loose bounds.
         assert!(rate > 200.0 && rate < 20_000.0, "rate {rate}");
+    }
+
+    #[test]
+    fn json_escape_neutralizes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c d");
+        assert_eq!(json_escape("plain"), "plain");
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //! [`ShardedMap`] is a small clean-room concurrent hash map: fixed shard
 //! array, each shard a `parking_lot::Mutex<HashMap>`. Shard selection uses
 //! the key's hash, so disjoint paths rarely contend.
+//!
+//! [`CacheKey`]s embed a hash-consed [`PathKey`]: a backward frame
+//! re-deriving its forward twin's path gets the *same* interned node back,
+//! so bucket comparisons inside a probe are pointer compares and the key's
+//! hash is a precomputed load — the cache stays cheap even when recursion
+//! makes paths thousands of sites deep.
 
 use crate::path::PathKey;
 use parking_lot::Mutex;

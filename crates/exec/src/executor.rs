@@ -18,13 +18,37 @@
 //!    stack"): each frame holds a parent link (its return location), and one
 //!    frame can have many live children executing concurrently — that is
 //!    where the parallel speedup on recursive models comes from.
+//!
+//! # Hot-path design
+//!
+//! Recursion must not tax the common case (paper §4.1.2), so the invoke
+//! path is engineered down to near plain-op cost:
+//!
+//! * **Frame-core pooling** — a frame's pending counters and value slots
+//!   are recycled through a per-graph free list on the [`ExecutionPlan`],
+//!   so activating a SubGraph in the steady state allocates nothing but
+//!   the `Frame` header itself.
+//! * **Prelude publishing** — `Input` and `Const` nodes are resolved
+//!   *while the frame spawns* (the plan precomputed them), so a typical
+//!   invocation schedules only real operations through the queue.
+//! * **Call continuations** — when spawning a child frame (or completing
+//!   one) leaves exactly one operation runnable, the worker keeps executing
+//!   it directly instead of taking a queue round-trip. Plain operations
+//!   inside a frame still travel through the shared FIFO queue, preserving
+//!   the paper's scheduling for sibling parallelism; only the call/return
+//!   edges — where the old design paid ~2 extra queue cycles per invoke —
+//!   are short-circuited. Continuations run in the worker's loop, not on
+//!   its call stack, so tail recursion thousands of frames deep is safe.
+//! * **Batched queue transfer** — waves of newly-ready operations are
+//!   pushed (and popped) under one lock acquisition via
+//!   [`ReadyQueue::push_batch`] / [`ReadyQueue::pop_batch`].
 
 use crate::cache::{BackpropCache, CacheKey};
 use crate::error::ExecError;
 use crate::kernel::{self, KernelCtx};
 use crate::params::{GradStore, ParamStore};
 use crate::path::PathKey;
-use crate::plan::ModulePlan;
+use crate::plan::{ExecutionPlan, ModulePlan, PreludeValue};
 use crate::queue::{ReadyQueue, SchedulerKind};
 use crate::stats::ExecStats;
 use crossbeam_channel::{bounded, Sender};
@@ -35,14 +59,121 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// How many tasks a worker drains from the ready queue per lock round-trip.
+const TASK_BATCH: usize = 8;
+
+/// Continuation-chain length after which a worker releases any tasks still
+/// claimed in its local batch back to the shared queue. Bounds how long a
+/// deep call/return chain can starve claimed-but-unstarted siblings while
+/// other workers idle, without taxing the short chains that dominate
+/// fan-out workloads.
+const CONT_RELEASE_AFTER: u32 = 64;
+
+/// How many recycled frame cores each graph's plan may cache.
+const CORE_POOL_CAP: usize = 64;
+
+/// A node's published outputs. The single-output case — almost every node —
+/// stays inline, so publishing does not allocate.
+enum Outs {
+    /// Not produced yet.
+    Pending,
+    /// One output port (`None` once moved out by its last reader).
+    One(Option<Tensor>),
+    /// Multi-output nodes fall back to a boxed slice.
+    Many(Box<[Option<Tensor>]>),
+}
+
 /// One output slot: values plus the number of reads still expected.
 ///
 /// The counter implements consumer refcounting: the final read *moves* the
 /// tensor out instead of cloning, which is what lets copy-on-write kernels
 /// downstream mutate buffers in place.
-struct SlotInner {
-    outs: Option<Vec<Option<Tensor>>>,
+pub(crate) struct SlotInner {
+    outs: Outs,
     takes_left: i64,
+}
+
+/// The reusable allocation behind one frame: pending counters and value
+/// slots, both sized by the graph's plan.
+pub(crate) struct FrameCore {
+    pending: Box<[AtomicU32]>,
+    slots: Box<[Mutex<SlotInner>]>,
+}
+
+impl Default for FrameCore {
+    fn default() -> Self {
+        FrameCore {
+            pending: Box::new([]),
+            slots: Box::new([]),
+        }
+    }
+}
+
+impl FrameCore {
+    /// Builds a fresh core sized and seeded from `plan`.
+    fn fresh(plan: &ExecutionPlan) -> Self {
+        FrameCore {
+            pending: plan.pending.iter().map(|&c| AtomicU32::new(c)).collect(),
+            slots: plan
+                .fetch_counts
+                .iter()
+                .map(|&fc| {
+                    Mutex::new(SlotInner {
+                        outs: Outs::Pending,
+                        takes_left: fc as i64,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Re-seeds a recycled core from `plan` (same graph, so same sizes).
+    fn reset(&mut self, plan: &ExecutionPlan) {
+        for (p, &c) in self.pending.iter().zip(plan.pending.iter()) {
+            p.store(c, Ordering::Relaxed);
+        }
+        for (s, &fc) in self.slots.iter_mut().zip(plan.fetch_counts.iter()) {
+            let inner = s.get_mut();
+            inner.outs = Outs::Pending;
+            inner.takes_left = fc as i64;
+        }
+    }
+}
+
+/// A free list of [`FrameCore`]s for one graph, owned by its plan.
+#[derive(Default)]
+pub(crate) struct CorePool(Mutex<Vec<FrameCore>>);
+
+impl CorePool {
+    /// Pops and re-seeds a recycled core, or builds a fresh one.
+    fn acquire(&self, plan: &ExecutionPlan) -> FrameCore {
+        let recycled = self.0.lock().pop();
+        match recycled {
+            Some(mut core) => {
+                core.reset(plan);
+                core
+            }
+            None => FrameCore::fresh(plan),
+        }
+    }
+
+    /// Returns a core to the free list (bounded; extras are dropped).
+    ///
+    /// Slots are cleared *before* pooling so a recycled core never pins the
+    /// previous activation's tensors (published-but-unread values survive a
+    /// failed or cancelled run) while it sits idle in the free list.
+    fn recycle(&self, mut core: FrameCore) {
+        if core.pending.is_empty() && core.slots.is_empty() {
+            return; // the empty default left behind by `Frame::drop`
+        }
+        for s in core.slots.iter_mut() {
+            s.get_mut().outs = Outs::Pending;
+        }
+        let mut pool = self.0.lock();
+        if pool.len() < CORE_POOL_CAP {
+            pool.push(core);
+        }
+    }
 }
 
 /// Link from a child frame back to the Invoke/Cond node awaiting its result.
@@ -53,19 +184,41 @@ struct ParentLink {
 
 /// One activation of a graph: the paper's unit of (recursive) execution.
 pub struct Frame {
+    run: Arc<RunState>,
     gref: GraphRef,
     path: PathKey,
     depth: u32,
     args: Vec<Tensor>,
-    pending: Vec<AtomicU32>,
-    slots: Vec<Mutex<SlotInner>>,
+    core: FrameCore,
     nodes_left: AtomicUsize,
     parent: Option<ParentLink>,
 }
 
+impl Drop for Frame {
+    fn drop(&mut self) {
+        let core = std::mem::take(&mut self.core);
+        self.run.plan.plan(self.gref).pool.recycle(core);
+        // Tear down an exclusively-owned ancestor chain iteratively. When a
+        // deep run is cancelled mid-recursion, each parent's only remaining
+        // reference is its child's `ParentLink`; letting the default drop
+        // glue unwind that chain would recurse once per frame and overflow
+        // the worker stack at the depths tail recursion reaches (20 000+).
+        let mut link = self.parent.take();
+        while let Some(l) = link {
+            match Arc::try_unwrap(l.frame) {
+                Ok(mut parent) => {
+                    // Steal the grandparent first so dropping `parent` at
+                    // the end of this iteration cannot recurse.
+                    link = parent.parent.take();
+                }
+                Err(_) => break, // other holders remain; they clean up later
+            }
+        }
+    }
+}
+
 /// A schedulable unit: one node of one frame.
 pub struct Task {
-    run: Arc<RunState>,
     frame: Arc<Frame>,
     node: NodeId,
 }
@@ -122,11 +275,38 @@ impl Executor {
         let workers = (0..n_threads)
             .map(|i| {
                 let q = Arc::clone(&queue);
+                let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("rdg-worker-{i}"))
                     .spawn(move || {
-                        while let Some(task) = q.pop() {
-                            execute_task(task);
+                        let mut batch: Vec<Task> = Vec::with_capacity(TASK_BATCH);
+                        while q.pop_batch(&mut batch, TASK_BATCH) {
+                            // Pop from the back = FIFO order within the batch.
+                            batch.reverse();
+                            while let Some(task) = batch.pop() {
+                                let mut next = execute_task(task);
+                                let mut chain = 0u32;
+                                while let Some(t) = next {
+                                    stats.continuations.fetch_add(1, Ordering::Relaxed);
+                                    chain += 1;
+                                    if chain == CONT_RELEASE_AFTER && !batch.is_empty() {
+                                        // This chain has proven long (it can
+                                        // run as long as the recursion is
+                                        // deep); claimed-but-unstarted
+                                        // siblings must not wait it out in
+                                        // this worker's private buffer while
+                                        // other workers idle. Hand them back.
+                                        // Short chains — the common case —
+                                        // never reach this and pay nothing.
+                                        batch.reverse();
+                                        for t2 in batch.drain(..) {
+                                            let d = t2.frame.depth as u64;
+                                            q.push(d, t2);
+                                        }
+                                    }
+                                    next = execute_task(t);
+                                }
+                            }
                         }
                     })
                     .expect("spawn worker thread")
@@ -197,7 +377,9 @@ impl Executor {
             queue: Arc::clone(&self.queue),
             stats: Arc::clone(&self.stats),
         });
-        spawn_frame(&run, GraphRef::Main, PathKey::root(), feeds, None, 0);
+        if let Some(t) = spawn_frame(&run, GraphRef::Main, PathKey::root(), feeds, None, 0) {
+            self.queue.push(0, t);
+        }
         done_rx
             .recv()
             .map_err(|_| ExecError::internal("run channel closed without a result"))?
@@ -213,7 +395,12 @@ impl Drop for Executor {
     }
 }
 
-/// Spawns a frame and enqueues its source nodes.
+/// Spawns a frame: publishes its prelude (inputs and constants) inline and
+/// enqueues the remaining source nodes.
+///
+/// Returns at most one **continuation** — a task made runnable by the
+/// prelude that the calling worker should execute next instead of paying a
+/// queue round-trip. Any further runnable tasks are enqueued normally.
 fn spawn_frame(
     run: &Arc<RunState>,
     gref: GraphRef,
@@ -221,78 +408,136 @@ fn spawn_frame(
     args: Vec<Tensor>,
     parent: Option<ParentLink>,
     depth: u32,
-) {
+) -> Option<Task> {
     let plan = run.plan.plan(gref);
-    let g = run.plan.module.graph(gref);
     run.stats.frames_spawned.fetch_add(1, Ordering::Relaxed);
     run.stats.observe_depth(depth as u64);
+    if plan.is_empty() {
+        // Degenerate empty graph: deliver empty outputs immediately.
+        return match parent {
+            None => {
+                run.finish_ok(Vec::new());
+                None
+            }
+            Some(link) => finish_node(run, link.frame, link.node, Vec::new(), true),
+        };
+    }
     let frame = Arc::new(Frame {
+        run: Arc::clone(run),
         gref,
         path,
         depth,
         args,
-        pending: plan.pending.iter().map(|&c| AtomicU32::new(c)).collect(),
-        slots: plan
-            .fetch_counts
-            .iter()
-            .map(|&fc| {
-                Mutex::new(SlotInner {
-                    outs: None,
-                    takes_left: fc as i64,
-                })
-            })
-            .collect(),
-        nodes_left: AtomicUsize::new(g.len()),
+        core: plan.pool.acquire(plan),
+        nodes_left: AtomicUsize::new(plan.len()),
         parent,
     });
-    if g.is_empty() {
-        // Degenerate empty graph: deliver empty outputs immediately.
-        match &frame.parent {
-            None => run.finish_ok(Vec::new()),
-            Some(link) => finish_node(run, link.frame.clone(), link.node, Vec::new()),
+    let mut cont: Option<Task> = None;
+    // Prelude: values known at spawn time are published without dispatch.
+    if !plan.prelude.is_empty() {
+        run.stats
+            .ops_executed
+            .fetch_add(plan.prelude.len() as u64, Ordering::Relaxed);
+        run.stats
+            .prelude_published
+            .fetch_add(plan.prelude.len() as u64, Ordering::Relaxed);
+        for entry in &plan.prelude {
+            let out = match &entry.value {
+                PreludeValue::Arg { index, dtype } => match frame.args.get(*index) {
+                    Some(t) if t.dtype() == *dtype => t.clone(),
+                    got => {
+                        let source = match got {
+                            Some(t) => rdg_tensor::TensorError::DTypeMismatch {
+                                expected: *dtype,
+                                got: t.dtype(),
+                                ctx: "Input",
+                            },
+                            None => rdg_tensor::TensorError::invalid(format!(
+                                "frame has no argument {index}"
+                            )),
+                        };
+                        run.fail(ExecError::Kernel {
+                            graph: run.plan.module.graph_name(frame.gref),
+                            node: run
+                                .plan
+                                .module
+                                .graph(frame.gref)
+                                .node(entry.node)
+                                .name
+                                .clone(),
+                            source,
+                        });
+                        return None;
+                    }
+                },
+                PreludeValue::Const(t) => t.clone(),
+            };
+            match finish_node(run, Arc::clone(&frame), entry.node, vec![out], true) {
+                Some(t) if cont.is_none() => cont = Some(t),
+                Some(t) => run.queue.push(depth as u64, t),
+                None => {}
+            }
         }
-        return;
     }
-    for &s in &plan.sources {
-        run.queue.push(
+    // Everything else waits on the shared queue, pushed as one wave.
+    match plan.queued_sources.len() {
+        0 => {}
+        1 => run.queue.push(
             depth as u64,
             Task {
-                run: Arc::clone(run),
+                frame: Arc::clone(&frame),
+                node: plan.queued_sources[0],
+            },
+        ),
+        _ => run.queue.push_batch(
+            depth as u64,
+            plan.queued_sources.iter().map(|&s| Task {
                 frame: Arc::clone(&frame),
                 node: s,
-            },
-        );
+            }),
+        ),
     }
+    cont
 }
 
 /// Reads one input port, implementing last-reader-takes semantics.
 fn fetch(frame: &Frame, p: PortRef) -> Result<Tensor, ExecError> {
-    let mut guard = frame.slots[p.node.0 as usize].lock();
+    let mut guard = frame.core.slots[p.node.0 as usize].lock();
     let inner = &mut *guard;
-    if inner.outs.is_none() {
+    if matches!(inner.outs, Outs::Pending) {
         return Err(ExecError::internal(format!(
             "value of {p} read before it was produced"
         )));
     }
     inner.takes_left -= 1;
-    if inner.takes_left <= 0 {
-        let mut v = inner.outs.take().expect("checked above");
-        v.get_mut(p.port as usize)
-            .and_then(Option::take)
-            .ok_or_else(|| ExecError::internal(format!("port {p} taken twice")))
+    let port = p.port as usize;
+    let got = if inner.takes_left <= 0 {
+        // Last reader: move the tensor out (enables in-place reuse).
+        match std::mem::replace(&mut inner.outs, Outs::Pending) {
+            Outs::One(t) if port == 0 => t,
+            Outs::One(_) => None,
+            Outs::Many(mut v) => v.get_mut(port).and_then(Option::take),
+            Outs::Pending => unreachable!("checked above"),
+        }
     } else {
-        inner.outs.as_ref().expect("checked above")[p.port as usize]
-            .clone()
-            .ok_or_else(|| ExecError::internal(format!("port {p} missing")))
-    }
+        match &inner.outs {
+            Outs::One(t) if port == 0 => t.clone(),
+            Outs::One(_) => None,
+            Outs::Many(v) => v.get(port).cloned().flatten(),
+            Outs::Pending => unreachable!("checked above"),
+        }
+    };
+    got.ok_or_else(|| ExecError::internal(format!("port {p} missing or taken twice")))
 }
 
-/// Executes one scheduled node.
-fn execute_task(task: Task) {
-    let Task { run, frame, node } = task;
+/// Executes one scheduled node; may return a continuation task the worker
+/// should run next (see the module docs on call continuations).
+fn execute_task(task: Task) -> Option<Task> {
+    let Task { frame, node } = task;
+    let run = Arc::clone(&frame.run);
     if run.cancelled() {
         run.stats.cancelled_tasks.fetch_add(1, Ordering::Relaxed);
-        return;
+        return None;
     }
     let graph = run.plan.module.graph(frame.gref);
     let n = graph.node(node);
@@ -303,7 +548,7 @@ fn execute_task(task: Task) {
             Ok(t) => inputs.push(t),
             Err(e) => {
                 run.fail(e);
-                return;
+                return None;
             }
         }
     }
@@ -324,7 +569,7 @@ fn execute_task(task: Task) {
                 inputs,
                 Some(link),
                 depth,
-            );
+            )
         }
         OpKind::Cond {
             sub_then,
@@ -342,7 +587,7 @@ fn execute_task(task: Task) {
                         node: n.name.clone(),
                         source: e,
                     });
-                    return;
+                    return None;
                 }
             };
             let mut rest = inputs.split_off(1);
@@ -365,20 +610,26 @@ fn execute_task(task: Task) {
                 args,
                 Some(link),
                 depth,
-            );
+            )
         }
         OpKind::FwdValue { of } => {
             let out = read_fwd(&run, &frame, *of, false);
             match out {
-                Ok(t) => finish_node(&run, frame, node, vec![t]),
-                Err(e) => run.fail(e),
+                Ok(t) => finish_node(&run, frame, node, vec![t], false),
+                Err(e) => {
+                    run.fail(e);
+                    None
+                }
             }
         }
         OpKind::FwdZeros { of } => {
             let out = read_fwd(&run, &frame, *of, true);
             match out {
-                Ok(t) => finish_node(&run, frame, node, vec![t]),
-                Err(e) => run.fail(e),
+                Ok(t) => finish_node(&run, frame, node, vec![t], false),
+                Err(e) => {
+                    run.fail(e);
+                    None
+                }
             }
         }
         op => {
@@ -397,12 +648,15 @@ fn execute_task(task: Task) {
                 kernel::execute(op, inputs, &kctx)
             };
             match result {
-                Ok(outs) => finish_node(&run, frame, node, outs),
-                Err(e) => run.fail(ExecError::Kernel {
-                    graph: run.plan.module.graph_name(frame.gref),
-                    node: n.name.clone(),
-                    source: e,
-                }),
+                Ok(outs) => finish_node(&run, frame, node, outs, false),
+                Err(e) => {
+                    run.fail(ExecError::Kernel {
+                        graph: run.plan.module.graph_name(frame.gref),
+                        node: n.name.clone(),
+                        source: e,
+                    });
+                    None
+                }
             }
         }
     }
@@ -452,12 +706,23 @@ fn read_fwd(
 /// Publishes a node's outputs, notifies dependents, and cascades frame
 /// completions up the frame tree (iteratively — tail-recursive frames can be
 /// thousands deep).
+///
+/// Returns at most one continuation task for the caller to execute inline.
+/// A continuation is taken only where a queue round-trip would serialize a
+/// call edge: on the first hop when `allow_cont` is set (prelude publishes
+/// and empty-frame returns), and on every later hop (a completed frame
+/// delivering its results to the parent's Invoke/Cond node). Plain
+/// intra-frame dataflow always goes through the shared queue, preserving
+/// the paper's FIFO scheduling for sibling parallelism.
 fn finish_node(
     run: &Arc<RunState>,
     mut frame: Arc<Frame>,
     mut node: NodeId,
     mut outs: Vec<Tensor>,
-) {
+    allow_cont: bool,
+) -> Option<Task> {
+    let mut cont: Option<Task> = None;
+    let mut hop = 0u32;
     loop {
         let plan = run.plan.plan(frame.gref);
         // Backprop cache writes (training mode only).
@@ -491,27 +756,67 @@ fn finish_node(
                 }
             }
         }
-        // Publish outputs.
+        // Publish outputs (single-output nodes stay allocation-free).
         {
-            let mut guard = frame.slots[node.0 as usize].lock();
-            guard.outs = Some(outs.into_iter().map(Some).collect());
+            let published = if outs.len() == 1 {
+                Outs::One(outs.pop())
+            } else {
+                Outs::Many(outs.drain(..).map(Some).collect())
+            };
+            let mut guard = frame.core.slots[node.0 as usize].lock();
+            guard.outs = published;
         }
         // Notify dependents whose inputs are now fully resolved.
+        let take_cont = cont.is_none() && (allow_cont || hop > 0);
+        let mut first_ready: Option<NodeId> = None;
+        let mut more_ready: Vec<NodeId> = Vec::new();
         for &c in &plan.consumers[node.0 as usize] {
-            if frame.pending[c.0 as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+            if frame.core.pending[c.0 as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                if first_ready.is_none() {
+                    first_ready = Some(c);
+                } else {
+                    more_ready.push(c);
+                }
+            }
+        }
+        if let Some(first) = first_ready {
+            if take_cont {
+                cont = Some(Task {
+                    frame: Arc::clone(&frame),
+                    node: first,
+                });
+                if !more_ready.is_empty() {
+                    run.queue.push_batch(
+                        frame.depth as u64,
+                        more_ready.drain(..).map(|c| Task {
+                            frame: Arc::clone(&frame),
+                            node: c,
+                        }),
+                    );
+                }
+            } else if more_ready.is_empty() {
                 run.queue.push(
                     frame.depth as u64,
                     Task {
-                        run: Arc::clone(run),
                         frame: Arc::clone(&frame),
-                        node: c,
+                        node: first,
                     },
+                );
+            } else {
+                run.queue.push_batch(
+                    frame.depth as u64,
+                    std::iter::once(first)
+                        .chain(more_ready.drain(..))
+                        .map(|c| Task {
+                            frame: Arc::clone(&frame),
+                            node: c,
+                        }),
                 );
             }
         }
         // Frame countdown.
         if frame.nodes_left.fetch_sub(1, Ordering::AcqRel) != 1 {
-            return;
+            return cont;
         }
         // Frame complete: gather its outputs and deliver to the parent
         // Invoke/Cond node (its "return location"), or finish the run.
@@ -522,20 +827,21 @@ fn finish_node(
                 Ok(t) => fouts.push(t),
                 Err(e) => {
                     run.fail(e);
-                    return;
+                    return cont;
                 }
             }
         }
         match &frame.parent {
             None => {
                 run.finish_ok(fouts);
-                return;
+                return cont;
             }
             Some(link) => {
                 let parent_frame = Arc::clone(&link.frame);
                 node = link.node;
                 outs = fouts;
                 frame = parent_frame;
+                hop += 1;
             }
         }
     }

@@ -9,9 +9,18 @@
 //!   ([`queue::ReadyQueue`]) feeding a pool of execution threads, with
 //!   dependency-count scheduling. `InvokeOp` execution spawns a child frame
 //!   whose operations join the *same* queue — recursive graphs run on the
-//!   unmodified machinery (paper §4.1.2).
-//! * [`path::PathKey`] — invocation paths (call-site chains), the keys of
-//!   the backprop cache.
+//!   unmodified machinery (paper §4.1.2). The invoke hot path is engineered
+//!   down to near plain-op cost: frame cores are pooled, `Input`/`Const`
+//!   nodes resolve while the frame spawns, and call/return edges continue
+//!   on the executing worker instead of paying queue round-trips (see the
+//!   [`executor`] module docs).
+//! * [`plan::ModulePlan`] / [`plan::ExecutionPlan`] — per-graph scheduling
+//!   metadata (topological order, in-degree counts, consumer wiring,
+//!   spawn-time-resolvable prelude), precompiled once per module and reused
+//!   by every frame.
+//! * [`path::PathKey`] — hash-consed invocation paths (call-site chains),
+//!   the keys of the backprop cache; child-key creation is an interner
+//!   lookup and equality is a pointer compare.
 //! * [`cache::BackpropCache`] — the concurrent hash table that carries
 //!   forward activations to the mirrored backward frames (paper §5,
 //!   Figure 6), sharded for concurrent insert/lookup.
@@ -21,6 +30,49 @@
 //! * [`sim`] — a virtual-time (discrete-event) twin of the executor used to
 //!   reproduce the paper's resource-dependent results on hardware smaller
 //!   than the authors' 36-core testbed.
+//!
+//! # Quick start
+//!
+//! Build a module with [`rdg_graph::ModuleBuilder`], wrap it in a
+//! [`Session`], and run it on an [`Executor`]:
+//!
+//! ```
+//! use rdg_exec::{Executor, Session};
+//! use rdg_graph::ModuleBuilder;
+//! use rdg_tensor::DType;
+//!
+//! // sum(n) = n == 0 ? 0 : n + sum(n - 1), as a self-invoking SubGraph.
+//! let mut mb = ModuleBuilder::new();
+//! let h = mb.declare_subgraph("sum", &[DType::I32], &[DType::I32]);
+//! mb.define_subgraph(&h, |b| {
+//!     let n = b.input(0)?;
+//!     let zero = b.const_i32(0);
+//!     let p = b.igt(n, zero)?;
+//!     let out = b.cond1(
+//!         p,
+//!         DType::I32,
+//!         |b| {
+//!             let one = b.const_i32(1);
+//!             let m = b.isub(n, one)?;
+//!             let rec = b.invoke(&h, &[m])?[0];
+//!             b.iadd(n, rec)
+//!         },
+//!         |b| b.identity(zero),
+//!     )?;
+//!     Ok(vec![out])
+//! })
+//! .unwrap();
+//! let start = mb.const_i32(10);
+//! let out = mb.invoke(&h, &[start]).unwrap();
+//! mb.set_outputs(&[out[0]]).unwrap();
+//!
+//! let exec = Executor::with_threads(2);
+//! let session = Session::new(exec, mb.finish().unwrap()).unwrap();
+//! let result = session.run(vec![]).unwrap();
+//! assert_eq!(result[0].as_i32_scalar().unwrap(), 55);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod error;
@@ -39,7 +91,7 @@ pub use error::ExecError;
 pub use executor::Executor;
 pub use params::{GradStore, ParamStore};
 pub use path::PathKey;
-pub use plan::ModulePlan;
+pub use plan::{ExecutionPlan, ModulePlan};
 pub use queue::SchedulerKind;
 pub use session::Session;
 pub use stats::ExecStats;

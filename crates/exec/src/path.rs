@@ -8,10 +8,58 @@
 //! map lookups don't walk the chain. Gradient SubGraphs reuse the forward
 //! call-site ids, so a backward frame reconstructs the identical path and
 //! finds its forward twin's activations.
+//!
+//! # Hash-consing
+//!
+//! Path nodes are **interned** in a process-wide table keyed by
+//! `(parent pointer, call site)`. [`PathKey::child`] is therefore a sharded
+//! table lookup: extending the same parent with the same site twice returns
+//! the *same* `Arc` both times, so
+//!
+//! * structurally equal paths are **pointer-equal** — equality and backprop
+//!   cache probes never walk the chain;
+//! * the steady state of a training loop (same module, same recursion
+//!   shape, step after step) allocates **zero** path nodes — child-key
+//!   creation is a lookup, not an allocation + rehash;
+//! * deep chains are never dropped recursively (the interner keeps one
+//!   strong reference to every node it ever produced), so a 20 000-deep
+//!   tail recursion cannot overflow the stack on teardown.
+//!
+//! The table is append-only for the life of the process: memory grows with
+//! the number of **distinct paths ever observed, across all runs and all
+//! modules** — a trie of every call-site chain executed so far, at roughly
+//! a hundred bytes per node. Re-running the same shapes (a training loop
+//! over a fixed module, the steady state this design optimizes) adds
+//! nothing, but workloads whose recursion shape varies per input (e.g. a
+//! treebank where every tree is a new shape) keep adding the union of
+//! their paths and never give it back. That is the deliberate trade for
+//! pointer-equality and allocation-free steady-state calls; an
+//! epoch-scoped interner that can be flushed between training steps is
+//! future work (see ROADMAP.md — note a flush must also preserve the
+//! no-recursive-drop guarantee the permanent spine currently provides).
+//! [`PathKey::interner_len`] exposes the current size for diagnostics,
+//! tests, and leak monitoring.
+//!
+//! # Example
+//!
+//! ```
+//! use rdg_exec::PathKey;
+//! use rdg_graph::CallSiteId;
+//!
+//! let fwd = PathKey::root().child(CallSiteId(3)).child(CallSiteId(7));
+//! // The backward pass rebuilds the path from scratch…
+//! let bwd = PathKey::root().child(CallSiteId(3)).child(CallSiteId(7));
+//! // …and gets the identical interned node back.
+//! assert_eq!(fwd, bwd);
+//! assert_eq!(fwd.hash_value(), bwd.hash_value());
+//! assert_eq!(fwd.sites(), vec![CallSiteId(3), CallSiteId(7)]);
+//! ```
 
+use parking_lot::Mutex;
 use rdg_graph::CallSiteId;
-use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 #[derive(Debug)]
 struct PathNode {
@@ -23,10 +71,72 @@ struct PathNode {
 
 /// An invocation path: the chain of call sites from the root frame.
 ///
-/// Cheap to clone (one `Arc` bump) and to extend (one allocation); equality
-/// first compares the precomputed hashes and lengths, then walks.
+/// Cheap to clone (one `Arc` bump) and to extend (one interner lookup);
+/// structurally equal paths are pointer-equal (see the module docs), so
+/// equality is a pointer compare and hashing reads a precomputed value.
 #[derive(Clone, Debug, Default)]
 pub struct PathKey(Option<Arc<PathNode>>);
+
+/// Identity for the root path's hash (FNV-1a offset basis).
+const ROOT_HASH: u64 = 0xcbf29ce484222325;
+
+/// Shard count for the interner (must be a power of two).
+const N_SHARDS: usize = 64;
+
+/// Interner key: the parent node's address (0 for the root) plus the site.
+type InternKey = (usize, u32);
+
+/// A multiplicative hasher for [`InternKey`]s — the keys are already
+/// well-distributed pointers, so SipHash would be wasted work on the
+/// invoke hot path.
+#[derive(Default)]
+struct FxLiteHasher(u64);
+
+impl Hasher for FxLiteHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(0xff51afd7ed558ccd);
+    }
+}
+
+struct Interner {
+    shards: Vec<Mutex<HashMap<InternKey, PathKey, BuildHasherDefault<FxLiteHasher>>>>,
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: (0..N_SHARDS)
+            .map(|_| Mutex::new(HashMap::default()))
+            .collect(),
+    })
+}
+
+impl Interner {
+    fn shard(
+        &self,
+        key: &InternKey,
+    ) -> &Mutex<HashMap<InternKey, PathKey, BuildHasherDefault<FxLiteHasher>>> {
+        // Pointers are aligned: shift off the low zero bits before mixing
+        // so consecutive allocations land in different shards.
+        let mixed = ((key.0 as u64 >> 4) ^ (key.1 as u64).wrapping_mul(0x9e3779b97f4a7c15))
+            .wrapping_mul(0xff51afd7ed558ccd);
+        &self.shards[(mixed >> 32) as usize & (N_SHARDS - 1)]
+    }
+}
 
 impl PathKey {
     /// The root path (the main graph's frame).
@@ -35,19 +145,32 @@ impl PathKey {
     }
 
     /// Extends this path with one call site.
+    ///
+    /// Hash-consed: extending the same parent with the same site returns
+    /// the same interned node, so this is a table lookup in the steady
+    /// state and allocates only the first time a path is ever seen.
     pub fn child(&self, site: CallSiteId) -> Self {
+        let parent_ptr = self.0.as_ref().map_or(0usize, |a| Arc::as_ptr(a) as usize);
+        let key: InternKey = (parent_ptr, site.0);
+        let shard = interner().shard(&key);
+        let mut map = shard.lock();
+        if let Some(k) = map.get(&key) {
+            return k.clone();
+        }
         let parent_hash = self.hash_value();
         // Mixing function: a 64-bit FNV-style combine keeps chains cheap and
         // collision-resistant enough for a cache (equality still verifies).
         let hash = parent_hash
             .wrapping_mul(0x100000001b3)
             .wrapping_add(0x9e3779b97f4a7c15 ^ (site.0 as u64).wrapping_mul(0xff51afd7ed558ccd));
-        PathKey(Some(Arc::new(PathNode {
+        let k = PathKey(Some(Arc::new(PathNode {
             parent: self.clone(),
             site,
             hash,
             len: self.len() + 1,
-        })))
+        })));
+        map.insert(key, k.clone());
+        k
     }
 
     /// Number of call sites in the path (0 for the root).
@@ -62,7 +185,7 @@ impl PathKey {
 
     /// The precomputed chain hash.
     pub fn hash_value(&self) -> u64 {
-        self.0.as_ref().map_or(0xcbf29ce484222325, |n| n.hash)
+        self.0.as_ref().map_or(ROOT_HASH, |n| n.hash)
     }
 
     /// The sites from root to leaf (diagnostics; allocates).
@@ -76,15 +199,36 @@ impl PathKey {
         out.reverse();
         out
     }
+
+    /// Total number of path nodes held by the process-wide interner
+    /// (diagnostics; locks every shard).
+    pub fn interner_len() -> usize {
+        interner().shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Returns `true` when `self` and `other` share the same interned node
+    /// (or are both the root). Because every non-root key is produced by
+    /// [`PathKey::child`], this coincides with structural equality.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
 }
 
 impl PartialEq for PathKey {
     fn eq(&self, other: &Self) -> bool {
+        // Interning makes pointer equality complete, but keep the
+        // structural walk as a correctness backstop so `Eq` never depends
+        // on every key having gone through the interner.
+        if self.ptr_eq(other) {
+            return true;
+        }
         if self.hash_value() != other.hash_value() || self.len() != other.len() {
             return false;
         }
-        // Hashes agree: verify by walking (pointer-equality shortcuts the
-        // common shared-prefix case).
         let (mut a, mut b) = (&self.0, &other.0);
         loop {
             match (a, b) {
@@ -168,6 +312,19 @@ mod tests {
     }
 
     #[test]
+    fn interning_makes_paths_pointer_equal() {
+        let a = PathKey::root().child(CallSiteId(41)).child(CallSiteId(42));
+        let b = PathKey::root().child(CallSiteId(41)).child(CallSiteId(42));
+        assert!(a.ptr_eq(&b), "interned twins must share the node");
+        // Clones stay pointer-equal, of course.
+        assert!(a.clone().ptr_eq(&b));
+        // And re-creating the key does not grow the interner.
+        let before = PathKey::interner_len();
+        let _c = PathKey::root().child(CallSiteId(41)).child(CallSiteId(42));
+        assert_eq!(PathKey::interner_len(), before);
+    }
+
+    #[test]
     fn sites_round_trip() {
         let p = PathKey::root()
             .child(CallSiteId(1))
@@ -191,5 +348,26 @@ mod tests {
             assert!(set.insert(p));
         }
         assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        // Many threads racing to intern the same chain must all observe
+        // pointer-equal keys.
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let mut p = PathKey::root();
+                    for j in 0..64u32 {
+                        p = p.child(CallSiteId(7_000_000 + j));
+                    }
+                    p
+                })
+            })
+            .collect();
+        let keys: Vec<PathKey> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for k in &keys[1..] {
+            assert!(keys[0].ptr_eq(k));
+        }
     }
 }

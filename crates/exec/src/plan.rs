@@ -1,38 +1,112 @@
-//! Precomputed scheduling metadata, one plan per graph.
+//! Precompiled scheduling metadata: one [`ExecutionPlan`] per graph.
 //!
-//! A [`ModulePlan`] is computed once per module and shared by all frames:
-//! consumer lists (who to notify on completion), pending counts (how many
-//! distinct producers each node waits on), fetch counts (how many times each
-//! node's outputs will be read — the consumer-refcounting that enables
-//! in-place copy-on-write updates), source nodes (enqueued at frame spawn),
-//! and keep flags (which nodes the training mode must cache).
+//! A [`ModulePlan`] is computed **once** per module and shared by every
+//! frame that ever activates one of its graphs. This is the "precompile the
+//! per-invocation bookkeeping" lesson of recursive dataflow systems: a
+//! recursive model invokes the same SubGraph thousands of times per step,
+//! so anything derivable from the graph alone — topological order,
+//! in-degree counts, consumer lists, port fetch counts, spawn-time
+//! resolvable nodes — must be derived once here, never per frame.
+//!
+//! Concretely, an [`ExecutionPlan`] precomputes:
+//!
+//! * `consumers` / `pending` / `fetch_counts` — the dependency-counting
+//!   wiring the executor uses to decide readiness and when an output's last
+//!   reader may *move* the tensor out (consumer refcounting).
+//! * `topo` — a topological order of the graph (diagnostics, deterministic
+//!   iteration, and the order in which the prelude publishes).
+//! * `prelude` — the source nodes whose value is known at frame-spawn time
+//!   without running a kernel: `Input` (the frame's argument) and `Const`
+//!   (the planned tensor). The executor publishes these directly while it
+//!   spawns the frame, so an invocation of a typical SubGraph enqueues only
+//!   the first *real* operation instead of a wave of trivial ones.
+//! * `queued_sources` — the remaining zero-input nodes (e.g. `Param`
+//!   reads), scheduled through the ready queue as usual.
+//! * keep flags — which node outputs training runs must write to the
+//!   backprop cache.
+//! * a pooled free-list of frame cores (pending counters + value slots),
+//!   so frame activation reuses allocations across invocations and runs.
+//!
+//! # Example
+//!
+//! ```
+//! use rdg_exec::ModulePlan;
+//! use rdg_graph::{GraphRef, ModuleBuilder};
+//! use std::sync::Arc;
+//!
+//! let mut mb = ModuleBuilder::new();
+//! let a = mb.const_f32(2.0);
+//! let b = mb.add_const(a, 1.0).unwrap();
+//! mb.set_outputs(&[b]).unwrap();
+//! let plan = ModulePlan::new(Arc::new(mb.finish().unwrap())).unwrap();
+//!
+//! let main = plan.plan(GraphRef::Main);
+//! assert_eq!(main.topo.len(), 2);
+//! assert_eq!(main.prelude.len(), 1); // the constant resolves at spawn
+//! assert!(main.queued_sources.is_empty());
+//! ```
 
-use rdg_graph::{GraphRef, Module, NodeId, SubGraphId};
+use rdg_graph::{GraphRef, Module, NodeId, OpKind, SubGraphId};
+use rdg_tensor::{DType, Tensor};
 use std::sync::Arc;
 
-/// Per-graph scheduling metadata.
-pub struct GraphPlan {
+/// How one prelude node's outputs are produced at frame-spawn time.
+pub enum PreludeValue {
+    /// A graph `Input`: cloned from the frame's argument vector.
+    Arg {
+        /// Position in the frame's argument list.
+        index: usize,
+        /// Declared element type (validated against the fed tensor).
+        dtype: DType,
+    },
+    /// A graph `Const`: the tensor is captured here at plan time.
+    Const(Tensor),
+}
+
+/// One node the executor resolves inline while spawning a frame.
+pub struct PreludeEntry {
+    /// The node whose (single) output is published.
+    pub node: NodeId,
+    /// Where its value comes from.
+    pub value: PreludeValue,
+}
+
+/// Per-graph scheduling metadata, computed once and reused by every frame.
+pub struct ExecutionPlan {
     /// For each node, the distinct nodes consuming any of its outputs.
     pub consumers: Vec<Vec<NodeId>>,
-    /// For each node, the number of distinct producers it waits on.
+    /// For each node, the number of distinct producers it waits on
+    /// (the in-degree counts seeding each frame's countdown).
     pub pending: Vec<u32>,
     /// For each node, the total number of value fetches it will receive
     /// (input references across all consumers plus graph-output reads).
     pub fetch_counts: Vec<u32>,
-    /// Nodes with no producers: enqueued when the frame spawns.
+    /// A topological order of the graph. `prelude` and `queued_sources`
+    /// are derived in this order, so spawn-time publishing is
+    /// deterministic.
+    pub topo: Vec<NodeId>,
+    /// Nodes with no producers: ready the moment the frame spawns.
     pub sources: Vec<NodeId>,
+    /// The subset of `sources` resolved inline at spawn (`Input`/`Const`).
+    pub prelude: Vec<PreludeEntry>,
+    /// The subset of `sources` that still goes through the ready queue.
+    pub queued_sources: Vec<NodeId>,
     /// Nodes whose output values must be written to the backprop cache.
     pub keep_value: Vec<bool>,
     /// Nodes whose output shapes must be written to the shape cache.
     pub keep_shape: Vec<bool>,
+    /// Pooled frame cores (pending counters + value slots) recycled across
+    /// activations of this graph.
+    pub(crate) pool: crate::executor::CorePool,
 }
 
-impl GraphPlan {
-    fn build(module: &Module, gref: GraphRef) -> Self {
+impl ExecutionPlan {
+    fn build(module: &Module, gref: GraphRef) -> rdg_graph::Result<Self> {
         let g = module.graph(gref);
         let n = g.len();
         let consumers = g.consumers();
         let pending = g.pending_counts();
+        let topo = g.topo_order(&module.graph_name(gref))?;
         let mut fetch_counts = vec![0u32; n];
         for node in &g.nodes {
             for inp in &node.inputs {
@@ -42,10 +116,33 @@ impl GraphPlan {
         for out in &g.outputs {
             fetch_counts[out.node.0 as usize] += 1;
         }
-        let sources = (0..n)
+        let sources: Vec<NodeId> = (0..n)
             .filter(|&i| pending[i] == 0)
             .map(|i| NodeId(i as u32))
             .collect();
+        // Split the sources into spawn-resolvable prelude nodes and the
+        // rest, in topological order (the order the executor publishes the
+        // prelude at spawn). Only ops whose value is a pure function of the
+        // plan or the frame's arguments qualify; `Param` reads stay queued
+        // because the store mutates between runs.
+        let mut prelude = Vec::new();
+        let mut queued_sources = Vec::new();
+        for &s in topo.iter().filter(|&&n| pending[n.0 as usize] == 0) {
+            match &g.node(s).op {
+                OpKind::Input { index, dtype } => prelude.push(PreludeEntry {
+                    node: s,
+                    value: PreludeValue::Arg {
+                        index: *index,
+                        dtype: *dtype,
+                    },
+                }),
+                OpKind::Const(t) => prelude.push(PreludeEntry {
+                    node: s,
+                    value: PreludeValue::Const(t.clone()),
+                }),
+                _ => queued_sources.push(s),
+            }
+        }
         let mut keep_value = vec![false; n];
         if let Some(set) = module.keep_sets.get(&gref) {
             for &(node, _port) in set {
@@ -58,14 +155,28 @@ impl GraphPlan {
                 keep_shape[node.0 as usize] = true;
             }
         }
-        GraphPlan {
+        Ok(ExecutionPlan {
             consumers,
             pending,
             fetch_counts,
+            topo,
             sources,
+            prelude,
+            queued_sources,
             keep_value,
             keep_shape,
-        }
+            pool: crate::executor::CorePool::default(),
+        })
+    }
+
+    /// Number of nodes in the planned graph.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Returns `true` for the degenerate empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
     }
 }
 
@@ -73,23 +184,23 @@ impl GraphPlan {
 pub struct ModulePlan {
     /// The planned module.
     pub module: Arc<Module>,
-    main: GraphPlan,
-    subs: Vec<GraphPlan>,
+    main: ExecutionPlan,
+    subs: Vec<ExecutionPlan>,
 }
 
 impl ModulePlan {
     /// Validates the module and computes every graph's plan.
     pub fn new(module: Arc<Module>) -> rdg_graph::Result<Arc<Self>> {
         module.validate()?;
-        let main = GraphPlan::build(&module, GraphRef::Main);
+        let main = ExecutionPlan::build(&module, GraphRef::Main)?;
         let subs = (0..module.subgraphs.len())
-            .map(|i| GraphPlan::build(&module, GraphRef::Sub(SubGraphId(i as u32))))
-            .collect();
+            .map(|i| ExecutionPlan::build(&module, GraphRef::Sub(SubGraphId(i as u32))))
+            .collect::<rdg_graph::Result<Vec<_>>>()?;
         Ok(Arc::new(ModulePlan { module, main, subs }))
     }
 
     /// The plan for one graph.
-    pub fn plan(&self, gref: GraphRef) -> &GraphPlan {
+    pub fn plan(&self, gref: GraphRef) -> &ExecutionPlan {
         match gref {
             GraphRef::Main => &self.main,
             GraphRef::Sub(id) => &self.subs[id.0 as usize],
@@ -114,14 +225,35 @@ mod tests {
         let m = Arc::new(mb.finish().unwrap());
         let plan = ModulePlan::new(m).unwrap();
         let p = plan.plan(GraphRef::Main);
-        // a, b are sources.
+        // a, b are sources — and both are constants, so they are prelude.
         assert_eq!(p.sources.len(), 2);
+        assert_eq!(p.prelude.len(), 2);
+        assert!(p.queued_sources.is_empty());
         // c has one distinct consumer (d) but two fetches.
         assert_eq!(p.consumers[2].len(), 1);
         assert_eq!(p.fetch_counts[2], 2);
         // d is fetched once: as the graph output.
         assert_eq!(p.fetch_counts[3], 1);
         assert_eq!(p.pending[3], 1, "d waits on one distinct producer");
+        // The topological order covers the graph and starts at a source.
+        assert_eq!(p.topo.len(), 4);
+        assert!(p.topo[0] == NodeId(0) || p.topo[0] == NodeId(1));
+    }
+
+    #[test]
+    fn param_sources_stay_queued() {
+        let mut mb = ModuleBuilder::new();
+        let w = mb.param_wire("w", Tensor::scalar_f32(1.0)).unwrap();
+        let c = mb.const_f32(2.0);
+        let y = mb.mul(w, c).unwrap();
+        mb.set_outputs(&[y]).unwrap();
+        let plan = ModulePlan::new(Arc::new(mb.finish().unwrap())).unwrap();
+        let p = plan.plan(GraphRef::Main);
+        // The constant resolves at spawn; the parameter read must not (its
+        // value changes between runs).
+        assert_eq!(p.prelude.len(), 1);
+        assert_eq!(p.queued_sources.len(), 1);
+        assert_eq!(p.sources.len(), 2);
     }
 
     #[test]

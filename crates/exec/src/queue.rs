@@ -9,10 +9,15 @@
 //!   suggestion, implemented here as an extension: deeper frames first, so
 //!   inner recursive work that unblocks many outer operations is preferred
 //!   when threads are scarce. An ablation bench compares the two.
+//!
+//! Both policies expose **batched** transfer: [`ReadyQueue::push_batch`]
+//! enqueues a whole wave of newly-ready operations under one lock
+//! acquisition, and [`ReadyQueue::pop_batch`] lets a worker drain several
+//! runnable operations per round-trip. On the executor's hot path this
+//! replaces one lock/notify cycle *per operation* with one per wave.
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Scheduling policy selector.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -54,10 +59,39 @@ impl<T> Ord for Prioritized<T> {
     }
 }
 
+struct FifoState<T> {
+    queue: VecDeque<T>,
+    stop_tokens: usize,
+    /// Workers currently blocked in `wait` (for fair batch splitting).
+    waiting: usize,
+}
+
+struct PrioState<T> {
+    heap: BinaryHeap<Prioritized<T>>,
+    next_seq: u64,
+    stop_tokens: usize,
+    /// Workers currently blocked in `wait` (for fair batch splitting).
+    waiting: usize,
+}
+
+/// How many tasks one `pop_batch` may claim from a queue of `len` tasks
+/// when `waiting` other workers are blocked on the same queue.
+///
+/// A greedy drain would let one worker walk off with an entire sibling
+/// wave and serialize work the other workers should run in parallel, so
+/// the batch is capped at a fair share: the queue is split among the known
+/// waiters plus the caller, and never less than half is left behind when
+/// there is more than one task (covering workers that are momentarily busy
+/// rather than parked).
+fn fair_take(len: usize, waiting: usize, max: usize) -> usize {
+    let shares = (waiting + 1).max(2);
+    max.min(len).min(len.div_ceil(shares).max(1))
+}
+
 enum Impl<T> {
     Fifo {
-        tx: Sender<Msg<T>>,
-        rx: Receiver<Msg<T>>,
+        state: Mutex<FifoState<T>>,
+        cond: Condvar,
     },
     Prio {
         heap: Mutex<PrioState<T>>,
@@ -65,18 +99,8 @@ enum Impl<T> {
     },
 }
 
-struct PrioState<T> {
-    heap: BinaryHeap<Prioritized<T>>,
-    next_seq: u64,
-    stop_tokens: usize,
-}
-
-enum Msg<T> {
-    Task(T),
-    Stop,
-}
-
-/// A multi-producer multi-consumer ready queue with blocking pop.
+/// A multi-producer multi-consumer ready queue with blocking pop and
+/// batched push/pop.
 pub struct ReadyQueue<T> {
     inner: Impl<T>,
 }
@@ -85,15 +109,20 @@ impl<T> ReadyQueue<T> {
     /// Creates a queue with the given policy.
     pub fn new(kind: SchedulerKind) -> Self {
         let inner = match kind {
-            SchedulerKind::Fifo => {
-                let (tx, rx) = unbounded();
-                Impl::Fifo { tx, rx }
-            }
+            SchedulerKind::Fifo => Impl::Fifo {
+                state: Mutex::new(FifoState {
+                    queue: VecDeque::new(),
+                    stop_tokens: 0,
+                    waiting: 0,
+                }),
+                cond: Condvar::new(),
+            },
             SchedulerKind::DepthPriority => Impl::Prio {
                 heap: Mutex::new(PrioState {
                     heap: BinaryHeap::new(),
                     next_seq: 0,
                     stop_tokens: 0,
+                    waiting: 0,
                 }),
                 cond: Condvar::new(),
             },
@@ -104,8 +133,9 @@ impl<T> ReadyQueue<T> {
     /// Enqueues a task with a scheduling priority (ignored under FIFO).
     pub fn push(&self, priority: u64, item: T) {
         match &self.inner {
-            Impl::Fifo { tx, .. } => {
-                let _ = tx.send(Msg::Task(item));
+            Impl::Fifo { state, cond } => {
+                state.lock().queue.push_back(item);
+                cond.notify_one();
             }
             Impl::Prio { heap, cond } => {
                 let mut st = heap.lock();
@@ -122,13 +152,71 @@ impl<T> ReadyQueue<T> {
         }
     }
 
+    /// Enqueues a wave of tasks of equal priority under **one** lock
+    /// acquisition, waking as many workers as there are new tasks.
+    pub fn push_batch(&self, priority: u64, items: impl IntoIterator<Item = T>) {
+        match &self.inner {
+            Impl::Fifo { state, cond } => {
+                let mut st = state.lock();
+                let before = st.queue.len();
+                st.queue.extend(items);
+                let pushed = st.queue.len() - before;
+                drop(st);
+                match pushed {
+                    0 => {}
+                    1 => {
+                        cond.notify_one();
+                    }
+                    _ => {
+                        cond.notify_all();
+                    }
+                }
+            }
+            Impl::Prio { heap, cond } => {
+                let mut st = heap.lock();
+                let mut pushed = 0usize;
+                for item in items {
+                    let seq = st.next_seq;
+                    st.next_seq += 1;
+                    st.heap.push(Prioritized {
+                        priority,
+                        seq,
+                        item,
+                    });
+                    pushed += 1;
+                }
+                drop(st);
+                match pushed {
+                    0 => {}
+                    1 => {
+                        cond.notify_one();
+                    }
+                    _ => {
+                        cond.notify_all();
+                    }
+                }
+            }
+        }
+    }
+
     /// Blocking pop; `None` means a stop token was consumed (worker exits).
     pub fn pop(&self) -> Option<T> {
         match &self.inner {
-            Impl::Fifo { rx, .. } => match rx.recv() {
-                Ok(Msg::Task(t)) => Some(t),
-                Ok(Msg::Stop) | Err(_) => None,
-            },
+            Impl::Fifo { state, cond } => {
+                let mut st = state.lock();
+                loop {
+                    if let Some(t) = st.queue.pop_front() {
+                        return Some(t);
+                    }
+                    if st.stop_tokens > 0 {
+                        st.stop_tokens -= 1;
+                        return None;
+                    }
+                    st.waiting += 1;
+                    cond.wait(&mut st);
+                    st.waiting -= 1;
+                }
+            }
             Impl::Prio { heap, cond } => {
                 let mut st = heap.lock();
                 loop {
@@ -139,7 +227,63 @@ impl<T> ReadyQueue<T> {
                         st.stop_tokens -= 1;
                         return None;
                     }
+                    st.waiting += 1;
                     cond.wait(&mut st);
+                    st.waiting -= 1;
+                }
+            }
+        }
+    }
+
+    /// Blocking batched pop: waits for work, then drains a **fair share**
+    /// of the queue — at most `max` tasks, and never more than the caller's
+    /// split of the available work given the other blocked workers — into
+    /// `buf` under the single lock acquisition.
+    /// Returns `false` iff a stop token was consumed instead (in which case
+    /// `buf` is untouched).
+    ///
+    /// Stop tokens are only consumed when no work is available, so a
+    /// `false` return always means `buf` received nothing.
+    pub fn pop_batch(&self, buf: &mut Vec<T>, max: usize) -> bool {
+        let max = max.max(1);
+        match &self.inner {
+            Impl::Fifo { state, cond } => {
+                let mut st = state.lock();
+                loop {
+                    if !st.queue.is_empty() {
+                        let take = fair_take(st.queue.len(), st.waiting, max);
+                        buf.extend(st.queue.drain(..take));
+                        return true;
+                    }
+                    if st.stop_tokens > 0 {
+                        st.stop_tokens -= 1;
+                        return false;
+                    }
+                    st.waiting += 1;
+                    cond.wait(&mut st);
+                    st.waiting -= 1;
+                }
+            }
+            Impl::Prio { heap, cond } => {
+                let mut st = heap.lock();
+                loop {
+                    if !st.heap.is_empty() {
+                        let take = fair_take(st.heap.len(), st.waiting, max);
+                        for _ in 0..take {
+                            match st.heap.pop() {
+                                Some(p) => buf.push(p.item),
+                                None => break,
+                            }
+                        }
+                        return true;
+                    }
+                    if st.stop_tokens > 0 {
+                        st.stop_tokens -= 1;
+                        return false;
+                    }
+                    st.waiting += 1;
+                    cond.wait(&mut st);
+                    st.waiting -= 1;
                 }
             }
         }
@@ -148,10 +292,9 @@ impl<T> ReadyQueue<T> {
     /// Sends `n` stop tokens, releasing `n` blocked workers.
     pub fn stop(&self, n: usize) {
         match &self.inner {
-            Impl::Fifo { tx, .. } => {
-                for _ in 0..n {
-                    let _ = tx.send(Msg::Stop);
-                }
+            Impl::Fifo { state, cond } => {
+                state.lock().stop_tokens += n;
+                cond.notify_all();
             }
             Impl::Prio { heap, cond } => {
                 heap.lock().stop_tokens += n;
@@ -200,6 +343,63 @@ mod tests {
     }
 
     #[test]
+    fn push_batch_preserves_fifo_order() {
+        let q = ReadyQueue::new(SchedulerKind::Fifo);
+        q.push(0, 1);
+        q.push_batch(0, [2, 3, 4]);
+        for want in 1..=4 {
+            assert_eq!(q.pop(), Some(want));
+        }
+    }
+
+    #[test]
+    fn fair_take_splits_work() {
+        // A lone caller still leaves half behind (momentarily-busy peers).
+        assert_eq!(fair_take(8, 0, 8), 4);
+        // Known waiters shrink the share further.
+        assert_eq!(fair_take(8, 3, 8), 2);
+        // `max` caps the share; a single task is always takeable.
+        assert_eq!(fair_take(10, 0, 4), 4);
+        assert_eq!(fair_take(1, 5, 8), 1);
+        assert_eq!(fair_take(2, 0, 8), 1);
+    }
+
+    #[test]
+    fn pop_batch_drains_fair_shares_in_order() {
+        for kind in [SchedulerKind::Fifo, SchedulerKind::DepthPriority] {
+            let q = ReadyQueue::new(kind);
+            q.push_batch(0, 0..10);
+            let mut buf = Vec::new();
+            assert!(q.pop_batch(&mut buf, 4));
+            assert!(
+                !buf.is_empty() && buf.len() <= 4,
+                "first batch is bounded by max, got {}",
+                buf.len()
+            );
+            while buf.len() < 10 {
+                assert!(q.pop_batch(&mut buf, 100));
+            }
+            assert_eq!(buf.len(), 10, "repeated pops drain everything");
+            if kind == SchedulerKind::Fifo {
+                assert_eq!(buf, (0..10).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn pop_batch_consumes_stop_token_only_when_empty() {
+        let q = ReadyQueue::new(SchedulerKind::Fifo);
+        q.push(0, 7);
+        q.stop(1);
+        let mut buf = Vec::new();
+        assert!(q.pop_batch(&mut buf, 8), "work is served before the stop");
+        assert_eq!(buf, vec![7]);
+        buf.clear();
+        assert!(!q.pop_batch(&mut buf, 8));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
     fn stop_tokens_release_workers() {
         for kind in [SchedulerKind::Fifo, SchedulerKind::DepthPriority] {
             let q = Arc::new(ReadyQueue::<u32>::new(kind));
@@ -228,8 +428,10 @@ mod tests {
             let q = Arc::clone(&q);
             consumers.push(std::thread::spawn(move || {
                 let mut got = 0u64;
-                while q.pop().is_some() {
-                    got += 1;
+                let mut buf = Vec::new();
+                while q.pop_batch(&mut buf, 8) {
+                    got += buf.len() as u64;
+                    buf.clear();
                 }
                 got
             }));

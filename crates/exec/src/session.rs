@@ -1,4 +1,27 @@
 //! [`Session`]: a planned module bound to parameters and an executor.
+//!
+//! A session is the user-facing entry point of the runtime: it plans the
+//! module once ([`crate::ModulePlan`]), allocates (or shares) a parameter
+//! store, and exposes [`Session::run`] for inference and
+//! [`Session::run_training`] for loss + gradient runs.
+//!
+//! # Example
+//!
+//! ```
+//! use rdg_exec::{Executor, Session};
+//! use rdg_graph::ModuleBuilder;
+//!
+//! let mut mb = ModuleBuilder::new();
+//! let a = mb.const_f32(2.0);
+//! let b = mb.const_f32(3.0);
+//! let c = mb.add(a, b).unwrap();
+//! mb.set_outputs(&[c]).unwrap();
+//!
+//! let exec = Executor::with_threads(2);
+//! let session = Session::new(exec, mb.finish().unwrap()).unwrap();
+//! let out = session.run(vec![]).unwrap();
+//! assert_eq!(out[0].as_f32_scalar().unwrap(), 5.0);
+//! ```
 
 use crate::cache::BackpropCache;
 use crate::error::ExecError;

@@ -9,10 +9,21 @@
 //! and a per-op cost model. Values are computed for real (so control flow
 //! and dynamic models behave identically); only *time* is simulated.
 //!
-//! The scheduler mirrors the real executor: a FIFO ready queue, workers
-//! that pick the front task as they become free, dependency-count readiness,
-//! and frame spawning for `Invoke`/`Cond`. The output is the virtual
-//! makespan, from which the harness derives paper-style throughput numbers.
+//! The scheduler mirrors the real executor's *queue discipline*: a FIFO
+//! ready queue, workers that pick the front task as they become free,
+//! dependency-count readiness, and frame spawning for `Invoke`/`Cond`. The
+//! output is the virtual makespan, from which the harness derives
+//! paper-style throughput numbers.
+//!
+//! The model deliberately schedules **every** node through the virtual
+//! queue — it does not reproduce the real executor's hot-path shortcuts
+//! (spawn-time prelude publishing of `Input`/`Const` nodes, call
+//! continuations, batched queue transfer; see the [`crate::executor`]
+//! docs). Those shortcuts change *constants*, not the dataflow shape, and
+//! the virtual-machine results are parallelism *shapes*; when absolute
+//! agreement with the real executor matters, derive [`CostModel`]'s
+//! `dispatch_ns`/`frame_ns` from a profile of the current runtime (the
+//! calibration constructor) rather than the defaults.
 
 use crate::cache::{BackpropCache, CacheKey};
 use crate::error::ExecError;

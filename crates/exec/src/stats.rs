@@ -22,6 +22,10 @@ pub struct ExecStats {
     pub inplace_updates: AtomicU64,
     /// Tasks that were dropped because the run was cancelled by an error.
     pub cancelled_tasks: AtomicU64,
+    /// Nodes resolved inline at frame spawn (`Input`/`Const` prelude).
+    pub prelude_published: AtomicU64,
+    /// Tasks executed as call continuations, bypassing the ready queue.
+    pub continuations: AtomicU64,
     /// Optional per-op-kind wall time, enabled by [`ExecStats::enable_profiling`].
     profile: Mutex<Option<HashMap<&'static str, (Duration, u64)>>>,
     profile_on: std::sync::atomic::AtomicBool,
@@ -68,13 +72,15 @@ impl ExecStats {
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "ops={} frames={} max_depth={} cache_w={} cache_r={} inplace={}",
+            "ops={} frames={} max_depth={} cache_w={} cache_r={} inplace={} prelude={} conts={}",
             self.ops_executed.load(Ordering::Relaxed),
             self.frames_spawned.load(Ordering::Relaxed),
             self.max_depth.load(Ordering::Relaxed),
             self.cache_writes.load(Ordering::Relaxed),
             self.cache_reads.load(Ordering::Relaxed),
             self.inplace_updates.load(Ordering::Relaxed),
+            self.prelude_published.load(Ordering::Relaxed),
+            self.continuations.load(Ordering::Relaxed),
         )
     }
 }

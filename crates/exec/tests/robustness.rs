@@ -136,6 +136,46 @@ fn error_deep_in_recursion_cancels_the_run_cleanly() {
 }
 
 #[test]
+fn error_at_extreme_depth_does_not_overflow_on_teardown() {
+    // Same failure shape, but 20 000 frames deep: cancelling the run drops
+    // the whole ancestor chain from the leaf, which must tear down
+    // iteratively (a recursive drop would overflow the worker stack long
+    // before this depth).
+    let mut mb = ModuleBuilder::new();
+    let h = mb.declare_subgraph("bad_deep", &[DType::I32], &[DType::I32]);
+    mb.define_subgraph(&h, |b| {
+        let n = b.input(0)?;
+        let zero = b.const_i32(0);
+        let p = b.igt(n, zero)?;
+        let out = b.cond1(
+            p,
+            DType::I32,
+            |b| {
+                let one = b.const_i32(1);
+                let m = b.isub(n, one)?;
+                Ok(b.invoke(&h, &[m])?[0])
+            },
+            |b| {
+                let one = b.const_i32(1);
+                let zero = b.const_i32(0);
+                b.idiv(one, zero)
+            },
+        )?;
+        Ok(vec![out])
+    })
+    .unwrap();
+    let s0 = mb.const_i32(20_000);
+    let out = mb.invoke(&h, &[s0]).unwrap();
+    mb.set_outputs(&[out[0]]).unwrap();
+    let sess = Session::new(Executor::with_threads(2), mb.finish().unwrap()).unwrap();
+    let err = sess.run(vec![]).unwrap_err();
+    assert!(err.to_string().contains("division"), "{err}");
+    // The executor survives and can run again at depth.
+    let err2 = sess.run(vec![]).unwrap_err();
+    assert!(err2.to_string().contains("division"), "{err2}");
+}
+
+#[test]
 fn feeds_flow_through_recursion() {
     // Feed-driven recursion: depth comes from a main input.
     let mut mb = ModuleBuilder::new();

@@ -3,14 +3,14 @@
 //! Kernels are grouped by family:
 //!
 //! * [`elementwise`] — `add`/`sub`/`mul`/`div` and scalar/bias broadcasts.
-//! * [`matmul`] — dense matrix products, including the transposed variants
+//! * [`mod@matmul`] — dense matrix products, including the transposed variants
 //!   (`aᵀb`, `abᵀ`) needed by gradients without materializing transposes.
 //! * [`activation`] — `tanh`/`sigmoid`/`relu`/`softmax` and their gradients.
 //! * [`reduce`] — reductions and their shape-restoring gradient kernels.
 //! * [`index`] — row gather/scatter, functional row updates (copy-on-write).
 //! * [`shape_ops`] — concat / slice / stack / transpose.
 //! * [`loss`] — fused softmax cross-entropy with integer labels.
-//! * [`bilinear`] — the RNTN bilinear tensor product `xᵀ V x`.
+//! * [`mod@bilinear`] — the RNTN bilinear tensor product `xᵀ V x`.
 //! * [`scalar`] — `i32` scalar arithmetic and comparisons (tree indices,
 //!   control-flow predicates).
 //! * [`rng`] — seeded random tensor constructors (normal / uniform / Xavier).

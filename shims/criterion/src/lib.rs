@@ -9,6 +9,16 @@
 //! statistical regression analysis, HTML report, or baseline storage.
 //! Numbers it prints are comparable run-to-run on the same machine,
 //! which is what the repo's `CHANGES.md` baselines rely on.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! benchmark additionally appends one JSON object per line to it:
+//! `{"bench":…,"median_ns":…,"min_ns":…,"max_ns":…,"samples":…,"iters":…,
+//! "unix_time":…}`. Future runs append, so the file accumulates a
+//! machine-diffable trajectory of the same benchmarks over time.
+//! A relative path resolves against the bench process's working directory,
+//! and `cargo bench` runs benches from the *package* directory (e.g.
+//! `crates/bench`), not the workspace root — pass an absolute path
+//! (`CRITERION_JSON="$PWD/results/…"`) to land records where you expect.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -193,6 +203,55 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
         sample_size,
         iters,
     );
+    record_json(label, median, min, max, sample_size, iters);
+}
+
+/// Appends one JSON line for the finished benchmark to the file named by
+/// `CRITERION_JSON`, if set. Errors are ignored: recording must never
+/// break a measurement run.
+/// Escapes a benchmark label for embedding in a JSON string literal:
+/// quotes and backslashes are escaped, control characters become spaces.
+///
+/// Private by design — the shim's public surface must stay a drop-in for
+/// real criterion. `rdg_bench::json_escape` is the same logic for the
+/// figure/table records; a fix to either should be mirrored in the other.
+fn escape_json_label(label: &str) -> String {
+    label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn record_json(label: &str, median: f64, min: f64, max: f64, samples: usize, iters: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped = escape_json_label(label);
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        use std::io::Write as _;
+        let _ = writeln!(
+            f,
+            "{{\"bench\":\"{escaped}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{samples},\"iters\":{iters},\"unix_time\":{unix_time}}}"
+        );
+    }
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -242,6 +301,16 @@ mod tests {
         });
         g.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn json_labels_are_escaped() {
+        // The escaping used by record_json must neutralize quotes,
+        // backslashes, and control characters so the emitted line stays one
+        // valid JSON object.
+        let escaped = escape_json_label("group/\"quoted\\label\"\n");
+        assert_eq!(escaped, "group/\\\"quoted\\\\label\\\" ");
+        assert_eq!(escape_json_label("plain/123"), "plain/123");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Offline, API-compatible shim for the slice of `proptest` used by the
 //! rdg workspace: the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
-//! the [`Strategy`] trait with `prop_map`/`prop_flat_map`, [`Just`],
+//! the [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! [`strategy::Just`],
 //! numeric-range and tuple strategies, and `prop::collection::vec`.
 //!
 //! Differences from upstream: no shrinking, no persisted failure seeds,
