@@ -1,0 +1,110 @@
+//! serving_throughput — concurrent inference serving on one session.
+//!
+//! The north-star workload: a stream of independent, mixed-depth inference
+//! requests (different parse trees → different recursion depths) served by
+//! one `Session` on one shared worker pool via `Session::run_many`.
+//!
+//! Two measurements:
+//!
+//! * criterion group `serving/*` — `run_many` at several concurrency levels
+//!   vs the blocking sequential loop, with `Throughput::Elements` so the
+//!   shim reports requests/sec first-class (stdout and `CRITERION_JSON`);
+//! * a windowed closed-loop requests/sec table appended to
+//!   `results/serving_throughput.json` (same JSON-lines trajectory format
+//!   as the figure/table harnesses), honouring `RDG_QUICK`/`RDG_THREADS`/
+//!   `RDG_SECONDS`.
+
+use criterion::{BenchmarkId, Criterion, Throughput};
+use rdg_bench::{fmt_thr, throughput, BenchOpts, Table};
+use rdg_core::prelude::*;
+use std::time::Duration;
+
+/// A per-instance TreeRNN inference session plus a pool of mixed-depth
+/// requests (leaf counts spread 4–48, Moderate shape).
+fn serving_fixture(threads: usize, quick: bool) -> (Session, Vec<Vec<Tensor>>) {
+    let cfg = ModelConfig::paper_default(ModelKind::TreeRnn, 1);
+    let data = Dataset::generate(DatasetConfig {
+        vocab: cfg.vocab,
+        n_train: 64,
+        n_valid: 0,
+        min_len: 4,
+        max_len: if quick { 24 } else { 48 },
+        shape: TreeShape::Moderate,
+        seed: 20240715,
+        ..DatasetConfig::default()
+    });
+    let m = build_recursive(&cfg).expect("build recursive");
+    let sess = Session::new(Executor::with_threads(threads), m).expect("session");
+    let requests = Dataset::feeds_per_instance(data.split(Split::Train));
+    (sess, requests)
+}
+
+fn serving_bench(c: &mut Criterion, sess: &Session, requests: &[Vec<Tensor>]) {
+    let mut g = c.benchmark_group("serving");
+    g.sample_size(10);
+
+    // Sequential baseline: the same 8 requests, one blocking run at a time.
+    let reqs8: Vec<Vec<Tensor>> = requests[..8].to_vec();
+    g.throughput(Throughput::Elements(8));
+    g.bench_with_input(BenchmarkId::new("sequential", 8), &8usize, |b, _| {
+        b.iter(|| {
+            for r in &reqs8 {
+                sess.run(r.clone()).expect("request");
+            }
+        })
+    });
+
+    // Concurrent serving minibatches.
+    for &n in &[8usize, 32] {
+        let reqs: Vec<Vec<Tensor>> = requests[..n].to_vec();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("run_many", n), &n, |b, _| {
+            b.iter(|| {
+                for r in sess.run_many(reqs.clone()) {
+                    r.expect("request");
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Closed-loop requests/sec at several concurrency levels, recorded to
+/// `results/serving_throughput.json` for the cross-PR trajectory.
+fn record_serving_throughput(opts: &BenchOpts, sess: &Session, requests: &[Vec<Tensor>]) {
+    let window = Duration::from_secs_f64(opts.seconds);
+    let mut table = Table::new(
+        format!(
+            "Serving throughput: mixed-depth TreeRNN inference, {} worker threads, {:.1}s window",
+            opts.threads.max(2),
+            opts.seconds
+        ),
+        &["concurrency", "requests/s"],
+    );
+    for &conc in &[1usize, 8, 32] {
+        // Closed loop: `conc` requests in flight per call, rotating
+        // through the pool (the cursor lives in the closure).
+        let mut cursor = 0usize;
+        let rps = throughput(conc, window, || {
+            let batch: Vec<Vec<Tensor>> = (0..conc)
+                .map(|k| requests[(cursor + k) % requests.len()].clone())
+                .collect();
+            cursor = (cursor + conc) % requests.len();
+            for r in sess.run_many(batch) {
+                r.expect("request");
+            }
+        });
+        table.row(&[conc.to_string(), fmt_thr(rps)]);
+    }
+    table.emit("serving_throughput");
+}
+
+fn main() {
+    // One fixture for both halves: same session, same request pool, one
+    // worker pool (a `criterion_group!` would rebuild it per target).
+    let opts = BenchOpts::from_env();
+    let (sess, requests) = serving_fixture(opts.threads.max(2), opts.quick);
+    let mut criterion = Criterion::default();
+    serving_bench(&mut criterion, &sess, &requests);
+    record_serving_throughput(&opts, &sess, &requests);
+}

@@ -1,6 +1,13 @@
 //! Figure 7 — Training throughput for TreeRNN, RNTN, and TreeLSTM with the
 //! synthetic Large Movie Review stand-in: recursive vs iterative vs
 //! static-unrolling, batch sizes {1, 10, 25}.
+//!
+//! Recursive and iterative bins run minibatches as **concurrent batch
+//! runs**: the module is built per-instance and the runtime launches the
+//! whole minibatch as concurrent root frames on one worker pool
+//! (`Trainer::step_batch`), instead of replicating the instance subgraphs
+//! inside one main graph. Unrolling keeps its defining per-instance
+//! graph-construction loop.
 
 use rdg_bench::{fmt_thr, record, throughput, BenchOpts, Table};
 use rdg_core::prelude::*;
@@ -26,7 +33,9 @@ fn main() {
             &["batch", "Recursive", "Iterative", "Unrolling"],
         );
         for &batch in batches {
-            let cfg = ModelConfig::paper_default(kind, batch);
+            // Per-instance module: the minibatch is batched by the runtime
+            // (concurrent root frames), not inside the graph.
+            let cfg = ModelConfig::paper_default(kind, 1);
             let data = Dataset::generate(DatasetConfig {
                 vocab: cfg.vocab,
                 n_train: batch.max(8) * 4,
@@ -37,27 +46,25 @@ fn main() {
                 ..DatasetConfig::default()
             });
             let insts: Vec<Instance> = data.split(Split::Train)[..batch].to_vec();
-            let feeds = Dataset::feeds_for(&insts);
+            let feeds_list = Dataset::feeds_per_instance(&insts);
 
             // Recursive.
             let m = build_recursive(&cfg).expect("build recursive");
             let t = build_training_module(&m, m.main.outputs[0]).expect("autodiff");
             let exec = Executor::with_threads(opts.threads);
             let sess = Session::new(Arc::clone(&exec), t).expect("session");
-            let mut opt = Adagrad::new(0.01);
+            let mut trainer = Trainer::new(sess, Adagrad::new(0.01));
             let rec = throughput(batch, window, || {
-                sess.run_training(feeds.clone()).expect("train step");
-                opt.step(sess.params(), sess.grads()).expect("update");
+                trainer.step_batch(feeds_list.clone()).expect("train step");
             });
 
             // Iterative.
             let m = build_iterative(&cfg).expect("build iterative");
             let t = build_training_module(&m, m.main.outputs[0]).expect("autodiff");
             let sess = Session::new(Arc::clone(&exec), t).expect("session");
-            let mut opt = Adagrad::new(0.01);
+            let mut trainer = Trainer::new(sess, Adagrad::new(0.01));
             let itr = throughput(batch, window, || {
-                sess.run_training(feeds.clone()).expect("train step");
-                opt.step(sess.params(), sess.grads()).expect("update");
+                trainer.step_batch(feeds_list.clone()).expect("train step");
             });
 
             // Unrolling (fresh graph per instance, sequential dispatch).

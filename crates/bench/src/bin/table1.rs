@@ -1,8 +1,12 @@
 //! Table 1 — TreeRNN training throughput on the recursive implementation
 //! with balanced / moderately-balanced / linear parse trees, batch {1,10,25}.
 //!
-//! Balancedness bounds the exploitable concurrency: a full binary tree over
-//! N leaves admits (N+1)/2-way parallelism, a comb admits ~1.
+//! Balancedness bounds the exploitable concurrency *within* one instance: a
+//! full binary tree over N leaves admits (N+1)/2-way parallelism, a comb
+//! admits ~1. Minibatches run as concurrent batch runs
+//! (`Trainer::step_batch` on a per-instance module), so cross-instance
+//! parallelism tops up whatever the tree shape leaves on the table — which
+//! is why Linear gains the most from batching.
 
 use rdg_bench::{fmt_thr, record, throughput, BenchOpts, Table};
 use rdg_core::prelude::*;
@@ -31,7 +35,8 @@ fn main() {
     );
     let exec = Executor::with_threads(opts.threads);
     for &batch in batches {
-        let cfg = ModelConfig::paper_default(ModelKind::TreeRnn, batch);
+        // Per-instance module; the runtime batches across instances.
+        let cfg = ModelConfig::paper_default(ModelKind::TreeRnn, 1);
         let mut cells = vec![batch.to_string()];
         for (_, shape) in shapes {
             let data = Dataset::generate(DatasetConfig {
@@ -45,14 +50,13 @@ fn main() {
                 ..DatasetConfig::default()
             });
             let insts: Vec<Instance> = data.split(Split::Train)[..batch].to_vec();
-            let feeds = Dataset::feeds_for(&insts);
+            let feeds_list = Dataset::feeds_per_instance(&insts);
             let m = build_recursive(&cfg).expect("build");
             let t = build_training_module(&m, m.main.outputs[0]).expect("ad");
             let sess = Session::new(Arc::clone(&exec), t).expect("session");
-            let mut opt = Adagrad::new(0.01);
+            let mut trainer = Trainer::new(sess, Adagrad::new(0.01));
             let thr = throughput(batch, window, || {
-                sess.run_training(feeds.clone()).expect("step");
-                opt.step(sess.params(), sess.grads()).expect("update");
+                trainer.step_batch(feeds_list.clone()).expect("step");
             });
             cells.push(fmt_thr(thr));
         }

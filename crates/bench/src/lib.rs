@@ -152,6 +152,31 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Resolves the `results/` directory records append to.
+///
+/// `RDG_RESULTS_DIR` wins when set. Otherwise the walk starts at the
+/// process working directory and climbs until it finds an existing
+/// `results/` or a `Cargo.lock` (the workspace root) — figure/table
+/// binaries run from the repo root, but `cargo bench` runs bench
+/// executables from their *package* directory (`crates/bench`), and both
+/// must land records in the same place.
+pub fn results_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("RDG_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return dir.into();
+        }
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    loop {
+        if dir.join("results").is_dir() || dir.join("Cargo.lock").is_file() {
+            return dir.join("results");
+        }
+        if !dir.pop() {
+            return "results".into();
+        }
+    }
+}
+
 /// Appends one JSON line describing a table run to `results/<name>.json`:
 /// `{"table":…,"headers":[…],"rows":[[…]],"unix_time":…}`.
 ///
@@ -159,8 +184,8 @@ fn json_escape(s: &str) -> String {
 /// PRs) accumulate a trajectory that tooling can diff without parsing the
 /// human-format text tables.
 pub fn record_json(name: &str, title: &str, headers: &[String], rows: &[Vec<String>]) {
-    let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.json"));
@@ -194,8 +219,8 @@ pub fn record_json(name: &str, title: &str, headers: &[String], rows: &[Vec<Stri
 
 /// Appends `content` (with a timestamp header) to `results/<name>.txt`.
 pub fn record(name: &str, content: &str) {
-    let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let path = dir.join(format!("{name}.txt"));

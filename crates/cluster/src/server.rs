@@ -43,9 +43,18 @@ pub struct ClusterReport {
 /// Runs synchronous data-parallel training with real threads.
 ///
 /// Each machine trains `cfg.model.batch` instances per step on its own
-/// executor; gradients are averaged across machines and applied centrally.
+/// executor as a **concurrent batch run**: the module is built for one
+/// instance and the minibatch launches as `batch` concurrent root frames
+/// ([`Session::run_training_batch`]), so a machine's worker threads stay
+/// busy even on comb-shaped trees. Gradients are averaged across instances
+/// and machines and applied centrally.
 pub fn run_real(cfg: &ClusterConfig, data: &Dataset) -> Result<ClusterReport, ExecError> {
-    let module = build_recursive(&cfg.model)?;
+    // `cfg.model.batch` is the per-machine instances-per-step count; the
+    // executed module itself is per-instance (cross-instance batching
+    // happens in the runtime, not the graph).
+    let mut per_instance = cfg.model.clone();
+    per_instance.batch = 1;
+    let module = build_recursive(&per_instance)?;
     let train = build_training_module(&module, module.main.outputs[0])?;
     // Shared "parameter server" store, initialized from the module specs.
     let params = Arc::new(ParamStore::from_module(&train));
@@ -85,24 +94,28 @@ pub fn run_real(cfg: &ClusterConfig, data: &Dataset) -> Result<ClusterReport, Ex
                     for k in 0..per_step {
                         batch.push(shard[(lo + k) % shard.len()].clone());
                     }
-                    let feeds = Dataset::feeds_for(&batch);
+                    let feeds_list = Dataset::feeds_per_instance(&batch);
                     let tc = Instant::now();
-                    let outs = session.run_training(feeds)?;
+                    let outs = session.run_training_batch(feeds_list)?;
                     let compute = tc.elapsed().as_secs_f64();
                     if m == 0 {
                         compute_times.lock().expect("poisoned").push(compute);
                     }
-                    losses.lock().expect("poisoned")[m] =
-                        outs[0].as_f32_scalar().unwrap_or(f32::NAN);
-                    // Contribute this machine's gradients (scaled to the
-                    // global mean) to the merged store.
+                    let mean_loss = outs
+                        .iter()
+                        .map(|o| o[0].as_f32_scalar().unwrap_or(f32::NAN))
+                        .sum::<f32>()
+                        / per_step.max(1) as f32;
+                    losses.lock().expect("poisoned")[m] = mean_loss;
+                    // Contribute this machine's gradient sums (scaled to
+                    // the global per-instance mean) to the merged store.
+                    let scale = 1.0 / (cfg.n_machines * per_step.max(1)) as f32;
                     for pid in session.params().ids() {
                         if let Some(g) = session.grads().get(pid) {
-                            let scaled = ops::scale(&g, 1.0 / cfg.n_machines as f32)
-                                .map_err(|e| ExecError::BadFeed { msg: e.to_string() })?;
+                            let scaled = ops::scale(&g, scale).map_err(ExecError::optimizer)?;
                             merged
                                 .accumulate(pid, &scaled)
-                                .map_err(|e| ExecError::BadFeed { msg: e.to_string() })?;
+                                .map_err(ExecError::optimizer)?;
                         }
                     }
                     // All gradients in: machine 0 applies the update.
@@ -112,7 +125,7 @@ pub fn run_real(cfg: &ClusterConfig, data: &Dataset) -> Result<ClusterReport, Ex
                             .lock()
                             .expect("poisoned")
                             .step(session.params(), &merged)
-                            .map_err(|e| ExecError::BadFeed { msg: e.to_string() })?;
+                            .map_err(ExecError::optimizer)?;
                         merged.clear();
                     }
                     // Update visible before the next step begins.

@@ -138,6 +138,18 @@ impl Dataset {
         feeds
     }
 
+    /// Feed lists for running a batch as **concurrent per-instance runs**
+    /// on a `batch = 1` module (`Session::run_training_batch` /
+    /// `run_many`): element `i` is `feeds_for(&batch[i..i+1])`, i.e. the
+    /// instance's `(words, left, right, is_leaf, root)` tensors plus its
+    /// one-element label tensor.
+    pub fn feeds_per_instance(batch: &[Instance]) -> Vec<Vec<Tensor>> {
+        batch
+            .iter()
+            .map(|inst| Self::feeds_for(std::slice::from_ref(inst)))
+            .collect()
+    }
+
     /// Mean sentence length of a split (diagnostics / reporting).
     pub fn mean_len(&self, split: Split) -> f32 {
         let s = self.split(split);
@@ -205,6 +217,19 @@ mod tests {
         assert_eq!(feeds.len(), 10 * TreeTensors::N_FEEDS + 1);
         let labels = &feeds[feeds.len() - 1];
         assert_eq!(labels.i32s().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn feeds_per_instance_matches_single_instance_feeds() {
+        let d = Dataset::generate(small());
+        let insts = &d.split(Split::Train)[..3];
+        let per = Dataset::feeds_per_instance(insts);
+        assert_eq!(per.len(), 3);
+        for (feeds, inst) in per.iter().zip(insts) {
+            assert_eq!(feeds.len(), TreeTensors::N_FEEDS + 1);
+            let labels = feeds.last().unwrap().i32s().unwrap();
+            assert_eq!(labels, &[inst.label]);
+        }
     }
 
     #[test]

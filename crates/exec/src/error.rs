@@ -30,6 +30,20 @@ pub enum ExecError {
     },
     /// The executor has shut down.
     Shutdown,
+    /// The run was cancelled before it produced a result
+    /// (see `RunHandle::cancel`).
+    Cancelled,
+    /// An optimizer update or host-side gradient transform failed.
+    Optimizer {
+        /// The underlying tensor-math error.
+        source: TensorError,
+    },
+    /// A run output did not have the form the caller required (e.g. the
+    /// scalar-loss convention of `Trainer`).
+    Output {
+        /// Description of the mismatch.
+        msg: String,
+    },
     /// Something impossible happened (internal invariant violation).
     Internal {
         /// Description.
@@ -41,6 +55,18 @@ impl ExecError {
     /// Internal-invariant error helper.
     pub fn internal(msg: impl fmt::Display) -> Self {
         ExecError::Internal {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Wraps a tensor-math failure from an optimizer or gradient transform.
+    pub fn optimizer(source: TensorError) -> Self {
+        ExecError::Optimizer { source }
+    }
+
+    /// Output-convention error helper.
+    pub fn output(msg: impl fmt::Display) -> Self {
+        ExecError::Output {
             msg: msg.to_string(),
         }
     }
@@ -60,6 +86,9 @@ impl fmt::Display for ExecError {
             ExecError::BadFeed { msg } => write!(f, "bad feed: {msg}"),
             ExecError::CacheMiss { msg } => write!(f, "backprop cache miss: {msg}"),
             ExecError::Shutdown => write!(f, "executor has shut down"),
+            ExecError::Cancelled => write!(f, "run was cancelled"),
+            ExecError::Optimizer { source } => write!(f, "optimizer failure: {source}"),
+            ExecError::Output { msg } => write!(f, "bad run output: {msg}"),
             ExecError::Internal { msg } => write!(f, "internal executor error: {msg}"),
         }
     }
@@ -69,6 +98,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Kernel { source, .. } => Some(source),
+            ExecError::Optimizer { source } => Some(source),
             ExecError::Graph(e) => Some(e),
             _ => None,
         }

@@ -18,6 +18,12 @@
 //!    stack"): each frame holds a parent link (its return location), and one
 //!    frame can have many live children executing concurrently — that is
 //!    where the parallel speedup on recursive models comes from.
+//! 5. The runtime is **multi-run**: [`Executor::submit`] starts a run
+//!    without blocking and returns a [`RunHandle`]; every run threads its
+//!    own [`RunContext`] (feeds, result slot, grad/cache handles, stats,
+//!    cancel state) through its frames, so any number of root frames — a
+//!    training minibatch, a stream of serving requests — share one worker
+//!    pool, and sibling parallelism extends across runs.
 //!
 //! # Hot-path design
 //!
@@ -51,7 +57,7 @@ use crate::path::PathKey;
 use crate::plan::{ExecutionPlan, ModulePlan, PreludeValue};
 use crate::queue::{ReadyQueue, SchedulerKind};
 use crate::stats::ExecStats;
-use crossbeam_channel::{bounded, Sender};
+use crossbeam_channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rdg_graph::{GraphRef, NodeId, OpKind, PortRef};
 use rdg_tensor::Tensor;
@@ -184,7 +190,7 @@ struct ParentLink {
 
 /// One activation of a graph: the paper's unit of (recursive) execution.
 pub struct Frame {
-    run: Arc<RunState>,
+    run: Arc<RunContext>,
     gref: GraphRef,
     path: PathKey,
     depth: u32,
@@ -223,8 +229,16 @@ pub struct Task {
     node: NodeId,
 }
 
-/// Shared state of one `run()` call.
-pub struct RunState {
+/// Shared state of one submitted run — the per-run half of the runtime.
+///
+/// Everything scoped to a single root frame lives here and is threaded
+/// through that frame's tree: the module plan and parameters the run
+/// executes against, the optional gradient/cache handles (training runs),
+/// the output slot (`done_tx`), the error/cancel flags, and the run's own
+/// [`ExecStats`]. Because tasks carry an `Arc<RunContext>`, any number of
+/// root frames can be in flight on one worker pool without sharing any
+/// mutable per-run state.
+pub struct RunContext {
     plan: Arc<ModulePlan>,
     params: Arc<ParamStore>,
     grads: Option<Arc<GradStore>>,
@@ -233,25 +247,88 @@ pub struct RunState {
     cancelled: AtomicBool,
     done_tx: Sender<Result<Vec<Tensor>, ExecError>>,
     queue: Arc<ReadyQueue<Task>>,
-    stats: Arc<ExecStats>,
+    /// This run's private counters (exposed via [`RunHandle::stats`]).
+    run_stats: Arc<ExecStats>,
+    /// The owning executor's lifetime aggregate (absorbs `run_stats` at
+    /// completion; also carries the kernel-profiling switch).
+    exec_stats: Arc<ExecStats>,
 }
 
-impl RunState {
+impl RunContext {
     fn fail(&self, e: ExecError) {
         self.cancelled.store(true, Ordering::Release);
         if !self.finished.swap(true, Ordering::AcqRel) {
+            self.exec_stats.absorb(&self.run_stats);
             let _ = self.done_tx.send(Err(e));
         }
     }
 
     fn finish_ok(&self, outs: Vec<Tensor>) {
         if !self.finished.swap(true, Ordering::AcqRel) {
+            // Fold per-run counters into the lifetime aggregate *before*
+            // publishing the result, so a caller that reads executor stats
+            // right after `wait()` returns sees this run included. (A failed
+            // run's stray cancelled tasks may still drain afterwards; those
+            // are counted at the increment site on both sinks.)
+            self.exec_stats.absorb(&self.run_stats);
             let _ = self.done_tx.send(Ok(outs));
         }
     }
 
     fn cancelled(&self) -> bool {
         self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// A handle to an in-flight run submitted with [`Executor::submit`].
+///
+/// Dropping the handle does **not** cancel the run — it keeps executing
+/// (and, for training runs, keeps accumulating gradients) detached; call
+/// [`RunHandle::cancel`] first for a prompt teardown.
+///
+/// The handle keeps the executor (and so its worker pool) alive: a run can
+/// outlive the `Session` — and even the last user-held `Arc<Executor>` —
+/// that launched it, and [`RunHandle::wait`] still completes.
+pub struct RunHandle {
+    ctx: Arc<RunContext>,
+    done_rx: Receiver<Result<Vec<Tensor>, ExecError>>,
+    /// Keeps the worker pool running until the handle is resolved/dropped.
+    _exec: Arc<Executor>,
+}
+
+impl RunHandle {
+    /// Blocks until the run completes and returns its outputs.
+    pub fn wait(self) -> Result<Vec<Tensor>, ExecError> {
+        self.done_rx
+            .recv()
+            .map_err(|_| ExecError::internal("run channel closed without a result"))?
+    }
+
+    /// This run's private statistics.
+    ///
+    /// The counters are live while the run executes and final once
+    /// [`RunHandle::wait`] has returned a success. After a failure or
+    /// [`RunHandle::cancel`], the run's stray in-flight tasks may still be
+    /// draining briefly, so late increments can trickle in (and, except
+    /// for `cancelled_tasks`, those stragglers are not re-folded into the
+    /// executor-lifetime aggregate — error-path aggregates are
+    /// best-effort). Clone the `Arc` out before calling `wait` (which
+    /// consumes the handle) to inspect the counters afterwards.
+    pub fn stats(&self) -> &Arc<ExecStats> {
+        &self.ctx.run_stats
+    }
+
+    /// Requests cancellation: in-flight tasks drain without executing and
+    /// [`RunHandle::wait`] returns [`ExecError::Cancelled`].
+    ///
+    /// A run that already finished keeps its original result.
+    pub fn cancel(&self) {
+        self.ctx.fail(ExecError::Cancelled);
+    }
+
+    /// Whether the run has delivered a result (ok, error, or cancelled).
+    pub fn is_finished(&self) -> bool {
+        self.ctx.finished.load(Ordering::Acquire)
     }
 }
 
@@ -275,7 +352,6 @@ impl Executor {
         let workers = (0..n_threads)
             .map(|i| {
                 let q = Arc::clone(&queue);
-                let stats = Arc::clone(&stats);
                 std::thread::Builder::new()
                     .name(format!("rdg-worker-{i}"))
                     .spawn(move || {
@@ -287,7 +363,11 @@ impl Executor {
                                 let mut next = execute_task(task);
                                 let mut chain = 0u32;
                                 while let Some(t) = next {
-                                    stats.continuations.fetch_add(1, Ordering::Relaxed);
+                                    t.frame
+                                        .run
+                                        .run_stats
+                                        .continuations
+                                        .fetch_add(1, Ordering::Relaxed);
                                     chain += 1;
                                     if chain == CONT_RELEASE_AFTER && !batch.is_empty() {
                                         // This chain has proven long (it can
@@ -335,18 +415,36 @@ impl Executor {
         &self.stats
     }
 
-    /// Runs a planned module to completion.
+    /// Runs a planned module to completion (blocking).
     ///
     /// `feeds` are the main graph's inputs, positionally. Training runs pass
     /// `grads` and `cache`; inference runs pass `None` for both.
     pub fn run(
-        &self,
+        self: &Arc<Self>,
         plan: &Arc<ModulePlan>,
         params: &Arc<ParamStore>,
         feeds: Vec<Tensor>,
         grads: Option<Arc<GradStore>>,
         cache: Option<Arc<BackpropCache>>,
     ) -> Result<Vec<Tensor>, ExecError> {
+        self.submit(plan, params, feeds, grads, cache)?.wait()
+    }
+
+    /// Submits a run without blocking and returns its [`RunHandle`].
+    ///
+    /// Any number of runs may be in flight concurrently on one executor;
+    /// their root frames all feed the same worker pool, so sibling
+    /// parallelism extends across runs exactly as it does across the
+    /// recursive calls inside one run. Feed validation happens here, so a
+    /// malformed request fails fast without touching the queue.
+    pub fn submit(
+        self: &Arc<Self>,
+        plan: &Arc<ModulePlan>,
+        params: &Arc<ParamStore>,
+        feeds: Vec<Tensor>,
+        grads: Option<Arc<GradStore>>,
+        cache: Option<Arc<BackpropCache>>,
+    ) -> Result<RunHandle, ExecError> {
         let main = &plan.module.main;
         if feeds.len() != main.input_nodes.len() {
             return Err(ExecError::BadFeed {
@@ -366,7 +464,7 @@ impl Executor {
             }
         }
         let (done_tx, done_rx) = bounded(1);
-        let run = Arc::new(RunState {
+        let run = Arc::new(RunContext {
             plan: Arc::clone(plan),
             params: Arc::clone(params),
             grads,
@@ -375,14 +473,17 @@ impl Executor {
             cancelled: AtomicBool::new(false),
             done_tx,
             queue: Arc::clone(&self.queue),
-            stats: Arc::clone(&self.stats),
+            run_stats: Arc::new(ExecStats::new()),
+            exec_stats: Arc::clone(&self.stats),
         });
         if let Some(t) = spawn_frame(&run, GraphRef::Main, PathKey::root(), feeds, None, 0) {
             self.queue.push(0, t);
         }
-        done_rx
-            .recv()
-            .map_err(|_| ExecError::internal("run channel closed without a result"))?
+        Ok(RunHandle {
+            ctx: run,
+            done_rx,
+            _exec: Arc::clone(self),
+        })
     }
 }
 
@@ -402,7 +503,7 @@ impl Drop for Executor {
 /// prelude that the calling worker should execute next instead of paying a
 /// queue round-trip. Any further runnable tasks are enqueued normally.
 fn spawn_frame(
-    run: &Arc<RunState>,
+    run: &Arc<RunContext>,
     gref: GraphRef,
     path: PathKey,
     args: Vec<Tensor>,
@@ -410,8 +511,8 @@ fn spawn_frame(
     depth: u32,
 ) -> Option<Task> {
     let plan = run.plan.plan(gref);
-    run.stats.frames_spawned.fetch_add(1, Ordering::Relaxed);
-    run.stats.observe_depth(depth as u64);
+    run.run_stats.frames_spawned.fetch_add(1, Ordering::Relaxed);
+    run.run_stats.observe_depth(depth as u64);
     if plan.is_empty() {
         // Degenerate empty graph: deliver empty outputs immediately.
         return match parent {
@@ -435,10 +536,10 @@ fn spawn_frame(
     let mut cont: Option<Task> = None;
     // Prelude: values known at spawn time are published without dispatch.
     if !plan.prelude.is_empty() {
-        run.stats
+        run.run_stats
             .ops_executed
             .fetch_add(plan.prelude.len() as u64, Ordering::Relaxed);
-        run.stats
+        run.run_stats
             .prelude_published
             .fetch_add(plan.prelude.len() as u64, Ordering::Relaxed);
         for entry in &plan.prelude {
@@ -536,7 +637,14 @@ fn execute_task(task: Task) -> Option<Task> {
     let Task { frame, node } = task;
     let run = Arc::clone(&frame.run);
     if run.cancelled() {
-        run.stats.cancelled_tasks.fetch_add(1, Ordering::Relaxed);
+        // Counted on both sinks directly: the run may already have absorbed
+        // its stats into the aggregate when it reported the error.
+        run.run_stats
+            .cancelled_tasks
+            .fetch_add(1, Ordering::Relaxed);
+        run.exec_stats
+            .cancelled_tasks
+            .fetch_add(1, Ordering::Relaxed);
         return None;
     }
     let graph = run.plan.module.graph(frame.gref);
@@ -552,7 +660,7 @@ fn execute_task(task: Task) -> Option<Task> {
             }
         }
     }
-    run.stats.ops_executed.fetch_add(1, Ordering::Relaxed);
+    run.run_stats.ops_executed.fetch_add(1, Ordering::Relaxed);
 
     match &n.op {
         OpKind::Invoke { sub, site, .. } => {
@@ -637,12 +745,14 @@ fn execute_task(task: Task) -> Option<Task> {
                 args: &frame.args,
                 params: &run.params,
                 grads: run.grads.as_deref(),
-                stats: &run.stats,
+                stats: &run.run_stats,
             };
-            let result = if run.stats.profiling() {
+            // Profiling is an executor-lifetime concern (the switch and the
+            // sample table live on the aggregate), not a per-run counter.
+            let result = if run.exec_stats.profiling() {
                 let t0 = std::time::Instant::now();
                 let r = kernel::execute(op, inputs, &kctx);
-                run.stats.record_kernel(op.mnemonic(), t0.elapsed());
+                run.exec_stats.record_kernel(op.mnemonic(), t0.elapsed());
                 r
             } else {
                 kernel::execute(op, inputs, &kctx)
@@ -664,7 +774,7 @@ fn execute_task(task: Task) -> Option<Task> {
 
 /// Resolves a `FwdValue`/`FwdZeros` read against the backprop cache.
 fn read_fwd(
-    run: &Arc<RunState>,
+    run: &Arc<RunContext>,
     frame: &Frame,
     of: PortRef,
     zeros: bool,
@@ -690,7 +800,7 @@ fn read_fwd(
         node: of.node,
         port: of.port,
     };
-    run.stats.cache_reads.fetch_add(1, Ordering::Relaxed);
+    run.run_stats.cache_reads.fetch_add(1, Ordering::Relaxed);
     if zeros {
         let shape = cache.shapes.get(&key).ok_or_else(|| ExecError::CacheMiss {
             msg: format!("shape of {of} at path {}", frame.path),
@@ -715,7 +825,7 @@ fn read_fwd(
 /// intra-frame dataflow always goes through the shared queue, preserving
 /// the paper's FIFO scheduling for sibling parallelism.
 fn finish_node(
-    run: &Arc<RunState>,
+    run: &Arc<RunContext>,
     mut frame: Arc<Frame>,
     mut node: NodeId,
     mut outs: Vec<Tensor>,
@@ -739,7 +849,7 @@ fn finish_node(
                         },
                         t.clone(),
                     );
-                    run.stats.cache_writes.fetch_add(1, Ordering::Relaxed);
+                    run.run_stats.cache_writes.fetch_add(1, Ordering::Relaxed);
                 }
             }
             if plan.keep_shape[ni] {

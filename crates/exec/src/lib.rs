@@ -13,7 +13,12 @@
 //!   down to near plain-op cost: frame cores are pooled, `Input`/`Const`
 //!   nodes resolve while the frame spawns, and call/return edges continue
 //!   on the executing worker instead of paying queue round-trips (see the
-//!   [`executor`] module docs).
+//!   [`executor`] module docs). The executor is a **multi-run runtime**:
+//!   [`executor::Executor::submit`] starts a run without blocking and
+//!   returns a [`executor::RunHandle`]; every run carries its own
+//!   [`executor::RunContext`] (feeds, result slot, grad/cache handles,
+//!   stats, cancel state), so many root frames — a training minibatch, or
+//!   a stream of serving requests — share one worker pool.
 //! * [`plan::ModulePlan`] / [`plan::ExecutionPlan`] — per-graph scheduling
 //!   metadata (topological order, in-degree counts, consumer wiring,
 //!   spawn-time-resolvable prelude), precompiled once per module and reused
@@ -88,7 +93,7 @@ pub mod stats;
 
 pub use cache::{BackpropCache, CacheKey, ShardedMap};
 pub use error::ExecError;
-pub use executor::Executor;
+pub use executor::{Executor, RunHandle};
 pub use params::{GradStore, ParamStore};
 pub use path::PathKey;
 pub use plan::{ExecutionPlan, ModulePlan};

@@ -149,6 +149,25 @@ impl GradStore {
         }
     }
 
+    /// Scales every accumulated gradient in place by `factor`.
+    ///
+    /// Batched training accumulates raw per-instance sums (equal to the
+    /// sequential sum up to floating-point reordering — concurrent slot
+    /// updates land in nondeterministic order); callers that want the
+    /// minibatch *mean* divide once here before the optimizer step
+    /// instead of paying a scale per instance.
+    pub fn scale_all(&self, factor: f32) -> Result<(), TensorError> {
+        for s in &self.slots {
+            let mut slot = s.lock();
+            if let Some(acc) = slot.as_mut() {
+                for a in acc.make_f32_mut()?.iter_mut() {
+                    *a *= factor;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Takes all gradients out, leaving the store cleared.
     pub fn take_all(&self) -> Vec<Option<Tensor>> {
         self.slots.iter().map(|s| s.lock().take()).collect()
@@ -223,6 +242,18 @@ mod tests {
         }
         let g = gs.get(p).unwrap();
         assert!(g.f32s().unwrap().iter().all(|&x| x == 800.0));
+    }
+
+    #[test]
+    fn scale_all_rescales_every_slot() {
+        let gs = GradStore::new(2);
+        gs.accumulate(ParamId(0), &Tensor::from_f32([2], vec![2.0, 4.0]).unwrap())
+            .unwrap();
+        gs.accumulate(ParamId(1), &Tensor::from_f32([1], vec![8.0]).unwrap())
+            .unwrap();
+        gs.scale_all(0.25).unwrap();
+        assert_eq!(gs.get(ParamId(0)).unwrap().f32s().unwrap(), &[0.5, 1.0]);
+        assert_eq!(gs.get(ParamId(1)).unwrap().f32s().unwrap(), &[2.0]);
     }
 
     #[test]

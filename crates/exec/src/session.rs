@@ -5,6 +5,23 @@
 //! store, and exposes [`Session::run`] for inference and
 //! [`Session::run_training`] for loss + gradient runs.
 //!
+//! # Concurrency
+//!
+//! A session is a *concurrent* entry point: any number of runs may be in
+//! flight at once on the shared executor. [`Session::submit_run`] starts an
+//! inference run without blocking, [`Session::run_many`] serves a batch of
+//! independent requests concurrently (a serving minibatch), and
+//! [`Session::run_training_batch`] trains a minibatch of instances as
+//! concurrent root frames whose gradients all accumulate into the one
+//! shared [`GradStore`]. Each training run gets its own private
+//! [`BackpropCache`], so concurrent activations of the same module never
+//! collide on cached forward values.
+//!
+//! The one rule: calls that *reset* the gradient store
+//! ([`Session::run_training`] / [`Session::run_training_batch`]) must not
+//! overlap each other — they clear the shared accumulators at step start.
+//! Inference (`run` / `run_many` / `submit_run`) is unrestricted.
+//!
 //! # Example
 //!
 //! ```
@@ -25,7 +42,7 @@
 
 use crate::cache::BackpropCache;
 use crate::error::ExecError;
-use crate::executor::Executor;
+use crate::executor::{Executor, RunHandle};
 use crate::params::{GradStore, ParamStore};
 use crate::plan::ModulePlan;
 use rdg_graph::Module;
@@ -39,12 +56,16 @@ use std::sync::Arc;
 /// equivalence tests run the recursive and iterative implementations on
 /// identical weights, and how data-parallel replicas share nothing but
 /// parameters.
+///
+/// Ownership story: the *executor* (worker pool + ready queue + lifetime
+/// stats) is shared by any number of sessions; the *session* owns the plan,
+/// the parameter store, and one gradient store; each *run* owns its feeds,
+/// its result slot, its stats, and (for training) a private backprop cache.
 pub struct Session {
     exec: Arc<Executor>,
     plan: Arc<ModulePlan>,
     params: Arc<ParamStore>,
     grads: Arc<GradStore>,
-    cache: Arc<BackpropCache>,
 }
 
 impl Session {
@@ -83,7 +104,6 @@ impl Session {
             plan,
             params,
             grads: Arc::new(GradStore::new(n)),
-            cache: Arc::new(BackpropCache::new()),
         }
     }
 
@@ -102,11 +122,6 @@ impl Session {
         &self.grads
     }
 
-    /// The backprop cache (diagnostics).
-    pub fn cache(&self) -> &Arc<BackpropCache> {
-        &self.cache
-    }
-
     /// The executor this session runs on.
     pub fn executor(&self) -> &Arc<Executor> {
         &self.exec
@@ -117,22 +132,91 @@ impl Session {
         self.exec.run(&self.plan, &self.params, feeds, None, None)
     }
 
-    /// Training run: clears gradients and cache, executes with activation
-    /// caching and gradient sinks enabled, then drops cached activations.
+    /// Starts an inference run without blocking (serving path).
     ///
-    /// Accumulated gradients stay in [`Session::grads`] for the optimizer.
-    pub fn run_training(&self, feeds: Vec<Tensor>) -> Result<Vec<Tensor>, ExecError> {
-        self.grads.clear();
-        self.cache.clear();
-        let out = self.exec.run(
+    /// The returned [`RunHandle`] joins the run; any number may be in
+    /// flight at once, sharing the executor's worker pool.
+    pub fn submit_run(&self, feeds: Vec<Tensor>) -> Result<RunHandle, ExecError> {
+        self.exec
+            .submit(&self.plan, &self.params, feeds, None, None)
+    }
+
+    /// Serves a batch of independent inference requests concurrently.
+    ///
+    /// All requests are submitted before any is waited on, so they execute
+    /// as concurrent root frames on the shared worker pool. Results come
+    /// back positionally; each request fails or succeeds on its own (a bad
+    /// feed in one request does not poison its neighbours).
+    pub fn run_many(&self, feeds_list: Vec<Vec<Tensor>>) -> Vec<Result<Vec<Tensor>, ExecError>> {
+        let handles: Vec<Result<RunHandle, ExecError>> = feeds_list
+            .into_iter()
+            .map(|feeds| self.submit_run(feeds))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.and_then(RunHandle::wait))
+            .collect()
+    }
+
+    /// Starts a training run without blocking or clearing the gradient
+    /// store: gradients *accumulate* into [`Session::grads`] on top of
+    /// whatever is already there.
+    ///
+    /// Each submission gets a private [`BackpropCache`], so concurrent
+    /// training runs of the same module cannot collide on cached forward
+    /// values (their invocation paths are identical); the cache is dropped
+    /// with the run.
+    pub fn submit_training(&self, feeds: Vec<Tensor>) -> Result<RunHandle, ExecError> {
+        self.exec.submit(
             &self.plan,
             &self.params,
             feeds,
             Some(Arc::clone(&self.grads)),
-            Some(Arc::clone(&self.cache)),
-        );
-        self.cache.clear();
-        out
+            Some(Arc::new(BackpropCache::new())),
+        )
+    }
+
+    /// Training run: clears the gradient store, then executes with
+    /// activation caching and gradient sinks enabled.
+    ///
+    /// Accumulated gradients stay in [`Session::grads`] for the optimizer.
+    /// Training calls that clear the store (`run_training` /
+    /// [`Session::run_training_batch`]) must not overlap each other.
+    pub fn run_training(&self, feeds: Vec<Tensor>) -> Result<Vec<Tensor>, ExecError> {
+        self.grads.clear();
+        self.submit_training(feeds)?.wait()
+    }
+
+    /// Trains a minibatch: all instances launch as concurrent root frames,
+    /// their gradients accumulate into the one shared [`Session::grads`],
+    /// and per-instance outputs come back positionally.
+    ///
+    /// The gradient store is cleared once at step start (not per run), so
+    /// the result is the **sum** of the per-instance gradients — what the
+    /// same instances run sequentially through
+    /// [`Session::submit_training`] would accumulate, up to floating-point
+    /// reordering (concurrent contributions land in nondeterministic
+    /// order). Callers wanting the minibatch mean divide once via
+    /// [`GradStore::scale_all`].
+    ///
+    /// On a per-instance failure the first error is returned — but only
+    /// after *every* run has finished, so no detached run is still writing
+    /// gradients when this returns.
+    pub fn run_training_batch(
+        &self,
+        feeds_list: Vec<Vec<Tensor>>,
+    ) -> Result<Vec<Vec<Tensor>>, ExecError> {
+        self.grads.clear();
+        let handles: Vec<Result<RunHandle, ExecError>> = feeds_list
+            .into_iter()
+            .map(|feeds| self.submit_training(feeds))
+            .collect();
+        // Join everything before surfacing any error.
+        let results: Vec<Result<Vec<Tensor>, ExecError>> = handles
+            .into_iter()
+            .map(|h| h.and_then(RunHandle::wait))
+            .collect();
+        results.into_iter().collect()
     }
 }
 

@@ -1,11 +1,25 @@
 //! Executor statistics: cheap atomic counters plus optional kernel profiling.
+//!
+//! The same [`ExecStats`] struct serves two roles:
+//!
+//! * **per-run** — every submitted run owns a private instance that its
+//!   frames increment on the hot path; `RunHandle::stats` exposes it, so
+//!   concurrent runs never smear into each other's numbers;
+//! * **executor-lifetime aggregate** — when a run completes, its counters
+//!   are folded into the executor's instance via [`ExecStats::absorb`]
+//!   (`max_depth` folds as a max, everything else as a sum), so
+//!   `Executor::stats` keeps reporting lifetime totals.
+//!
+//! Kernel profiling stays on the executor-lifetime instance only: it is a
+//! calibration tool, not a per-run metric.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Counters describing one executor's lifetime activity.
+/// Counters describing one run's activity, or — as the fold of all
+/// completed runs — one executor's lifetime activity (see module docs).
 #[derive(Default)]
 pub struct ExecStats {
     /// Operations executed (kernels, including structural ops).
@@ -69,6 +83,45 @@ impl ExecStats {
         self.max_depth.fetch_max(d, Ordering::Relaxed);
     }
 
+    /// Folds a completed run's counters into this (lifetime) instance:
+    /// `max_depth` as a max, every other counter as a sum.
+    ///
+    /// `cancelled_tasks` is excluded — the executor counts those directly
+    /// on both sinks as they happen, because a failed run's stray tasks can
+    /// still be draining after the run has already reported its error.
+    pub fn absorb(&self, run: &ExecStats) {
+        // Exhaustive destructuring: adding a counter to ExecStats without
+        // deciding how it folds is a compile error, not a silent zero in
+        // the lifetime aggregate.
+        let ExecStats {
+            ops_executed,
+            frames_spawned,
+            max_depth,
+            cache_writes,
+            cache_reads,
+            inplace_updates,
+            cancelled_tasks: _, // counted on both sinks at the increment site
+            prelude_published,
+            continuations,
+            profile: _,    // profiling is executor-lifetime only
+            profile_on: _, // profiling is executor-lifetime only
+        } = run;
+        let pairs = [
+            (&self.ops_executed, ops_executed),
+            (&self.frames_spawned, frames_spawned),
+            (&self.cache_writes, cache_writes),
+            (&self.cache_reads, cache_reads),
+            (&self.inplace_updates, inplace_updates),
+            (&self.prelude_published, prelude_published),
+            (&self.continuations, continuations),
+        ];
+        for (into, from) in pairs {
+            into.fetch_add(from.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.max_depth
+            .fetch_max(max_depth.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
@@ -102,6 +155,31 @@ mod tests {
         s.observe_depth(5);
         s.observe_depth(3);
         assert_eq!(s.max_depth.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_depth() {
+        let agg = ExecStats::new();
+        agg.ops_executed.store(10, Ordering::Relaxed);
+        agg.max_depth.store(7, Ordering::Relaxed);
+        let run = ExecStats::new();
+        run.ops_executed.store(5, Ordering::Relaxed);
+        run.frames_spawned.store(3, Ordering::Relaxed);
+        run.max_depth.store(4, Ordering::Relaxed);
+        run.cancelled_tasks.store(99, Ordering::Relaxed);
+        agg.absorb(&run);
+        assert_eq!(agg.ops_executed.load(Ordering::Relaxed), 15);
+        assert_eq!(agg.frames_spawned.load(Ordering::Relaxed), 3);
+        assert_eq!(agg.max_depth.load(Ordering::Relaxed), 7, "max, not sum");
+        assert_eq!(
+            agg.cancelled_tasks.load(Ordering::Relaxed),
+            0,
+            "cancelled tasks are counted at the increment site, not folded"
+        );
+        let deeper = ExecStats::new();
+        deeper.max_depth.store(20, Ordering::Relaxed);
+        agg.absorb(&deeper);
+        assert_eq!(agg.max_depth.load(Ordering::Relaxed), 20);
     }
 
     #[test]

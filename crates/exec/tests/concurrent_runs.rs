@@ -1,0 +1,181 @@
+//! The multi-run runtime: concurrent root frames on one worker pool.
+//!
+//! Covers the `Executor::submit` / `RunHandle` surface, per-run statistics
+//! isolation, cancellation, per-request error isolation in
+//! `Session::run_many`, and a stress test hammering one session from eight
+//! OS threads at once.
+
+use rdg_exec::{ExecError, Executor, Session};
+use rdg_graph::{Module, ModuleBuilder};
+use rdg_tensor::{DType, Tensor};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// `sum(n) = n == 0 ? 0 : n + sum(n-1)`, with `n` fed as a main input —
+/// every run of the same session can request a different depth.
+fn sum_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let h = mb.declare_subgraph("sum", &[DType::I32], &[DType::I32]);
+    mb.define_subgraph(&h, |b| {
+        let n = b.input(0)?;
+        let zero = b.const_i32(0);
+        let p = b.igt(n, zero)?;
+        let out = b.cond1(
+            p,
+            DType::I32,
+            |b| {
+                let one = b.const_i32(1);
+                let m = b.isub(n, one)?;
+                let rec = b.invoke(&h, &[m])?[0];
+                b.iadd(n, rec)
+            },
+            |b| b.identity(zero),
+        )?;
+        Ok(vec![out])
+    })
+    .unwrap();
+    let n = mb.main_input(DType::I32);
+    let out = mb.invoke(&h, &[n]).unwrap();
+    mb.set_outputs(&[out[0]]).unwrap();
+    mb.finish().unwrap()
+}
+
+fn gauss(n: i32) -> i32 {
+    n * (n + 1) / 2
+}
+
+#[test]
+fn submitted_runs_execute_concurrently_and_deliver_independent_results() {
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let handles: Vec<_> = (0..16)
+        .map(|i| s.submit_run(vec![Tensor::scalar_i32(i)]).unwrap())
+        .collect();
+    // Join in reverse submission order: completion order must not matter.
+    for (i, h) in handles.into_iter().enumerate().rev() {
+        let out = h.wait().unwrap();
+        assert_eq!(out[0].as_i32_scalar().unwrap(), gauss(i as i32));
+    }
+}
+
+#[test]
+fn run_many_returns_positional_results() {
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let feeds: Vec<Vec<Tensor>> = (0..10).map(|i| vec![Tensor::scalar_i32(i)]).collect();
+    let results = s.run_many(feeds);
+    assert_eq!(results.len(), 10);
+    for (i, r) in results.into_iter().enumerate() {
+        assert_eq!(r.unwrap()[0].as_i32_scalar().unwrap(), gauss(i as i32));
+    }
+}
+
+#[test]
+fn run_many_isolates_per_request_errors() {
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let feeds = vec![
+        vec![Tensor::scalar_i32(4)],
+        vec![Tensor::scalar_f32(1.0)], // wrong dtype: this request only
+        vec![Tensor::scalar_i32(6)],
+        vec![], // missing feed: this request only
+    ];
+    let results = s.run_many(feeds);
+    assert_eq!(results[0].as_ref().unwrap()[0].as_i32_scalar().unwrap(), 10);
+    assert!(matches!(results[1], Err(ExecError::BadFeed { .. })));
+    assert_eq!(results[2].as_ref().unwrap()[0].as_i32_scalar().unwrap(), 21);
+    assert!(matches!(results[3], Err(ExecError::BadFeed { .. })));
+}
+
+#[test]
+fn per_run_stats_do_not_smear_across_concurrent_runs() {
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let shallow = s.submit_run(vec![Tensor::scalar_i32(3)]).unwrap();
+    let deep = s.submit_run(vec![Tensor::scalar_i32(300)]).unwrap();
+    let shallow_stats = Arc::clone(shallow.stats());
+    let deep_stats = Arc::clone(deep.stats());
+    shallow.wait().unwrap();
+    deep.wait().unwrap();
+    // Each handle reports only its own run: the shallow run's max depth
+    // must not have been inflated by the concurrent deep run.
+    let sd = shallow_stats.max_depth.load(Ordering::Relaxed);
+    let dd = deep_stats.max_depth.load(Ordering::Relaxed);
+    assert!(sd >= 3 && sd < 20, "shallow run depth stays shallow: {sd}");
+    assert!(dd >= 300, "deep run observed its own depth: {dd}");
+    let sf = shallow_stats.frames_spawned.load(Ordering::Relaxed);
+    let df = deep_stats.frames_spawned.load(Ordering::Relaxed);
+    // Executor-lifetime aggregate has absorbed both runs.
+    let agg = s.executor().stats();
+    assert!(agg.max_depth.load(Ordering::Relaxed) >= 300);
+    assert!(agg.frames_spawned.load(Ordering::Relaxed) >= sf + df);
+}
+
+#[test]
+fn run_handle_outlives_its_session_and_executor() {
+    // The handle keeps the worker pool alive: dropping the session (and
+    // with it the last user-held Arc<Executor>) while the run is in flight
+    // must not strand wait() on a channel nobody will ever write to.
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let h = s.submit_run(vec![Tensor::scalar_i32(1000)]).unwrap();
+    drop(s);
+    assert_eq!(h.wait().unwrap()[0].as_i32_scalar().unwrap(), gauss(1000));
+}
+
+#[test]
+fn cancel_aborts_a_deep_run() {
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let h = s.submit_run(vec![Tensor::scalar_i32(2_000_000)]).unwrap();
+    h.cancel();
+    match h.wait() {
+        Err(ExecError::Cancelled) => {}
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // The pool must still be healthy for later runs.
+    let out = s.run(vec![Tensor::scalar_i32(5)]).unwrap();
+    assert_eq!(out[0].as_i32_scalar().unwrap(), 15);
+}
+
+#[test]
+fn cancel_after_completion_keeps_the_result() {
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let h = s.submit_run(vec![Tensor::scalar_i32(4)]).unwrap();
+    while !h.is_finished() {
+        std::thread::yield_now();
+    }
+    h.cancel();
+    assert_eq!(h.wait().unwrap()[0].as_i32_scalar().unwrap(), 10);
+}
+
+#[test]
+fn eight_threads_hammer_one_session() {
+    // The satellite stress test: one shared session, eight OS threads, a
+    // mix of blocking runs and concurrent submissions, exact results
+    // demanded everywhere.
+    let s = Arc::new(Session::new(Executor::with_threads(2), sum_module()).unwrap());
+    let mut handles = Vec::new();
+    for t in 0..8i32 {
+        let s = Arc::clone(&s);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..40i32 {
+                let n = (t * 7 + i) % 60;
+                if i % 3 == 0 {
+                    // Blocking path.
+                    let out = s.run(vec![Tensor::scalar_i32(n)]).unwrap();
+                    assert_eq!(out[0].as_i32_scalar().unwrap(), gauss(n));
+                } else {
+                    // Concurrent batch path.
+                    let feeds = vec![vec![Tensor::scalar_i32(n)], vec![Tensor::scalar_i32(n + 1)]];
+                    let rs = s.run_many(feeds);
+                    assert_eq!(
+                        rs[0].as_ref().unwrap()[0].as_i32_scalar().unwrap(),
+                        gauss(n)
+                    );
+                    assert_eq!(
+                        rs[1].as_ref().unwrap()[0].as_i32_scalar().unwrap(),
+                        gauss(n + 1)
+                    );
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}

@@ -121,9 +121,9 @@ impl UnrolledModel {
             let session =
                 Session::with_params(Arc::clone(&self.exec), module, Arc::clone(&self.params))?;
             let outs = session.run(vec![])?;
-            loss_sum += outs[0].as_f32_scalar().map_err(|e| ExecError::BadFeed {
-                msg: format!("loss output: {e}"),
-            })?;
+            loss_sum += outs[0]
+                .as_f32_scalar()
+                .map_err(|e| ExecError::output(format!("loss output: {e}")))?;
             logits.push(outs[1].clone());
         }
         Ok((loss_sum / batch.len().max(1) as f32, logits))
@@ -147,21 +147,16 @@ impl UnrolledModel {
             let session =
                 Session::with_params(Arc::clone(&self.exec), train, Arc::clone(&self.params))?;
             let outs = session.run_training(vec![])?;
-            loss_sum += outs[0].as_f32_scalar().map_err(|e| ExecError::BadFeed {
-                msg: format!("loss output: {e}"),
-            })?;
+            loss_sum += outs[0]
+                .as_f32_scalar()
+                .map_err(|e| ExecError::output(format!("loss output: {e}")))?;
             // Merge this instance's gradients, scaled to the batch mean.
             for pid in self.params.ids() {
                 if let Some(g) = session.grads().get(pid) {
-                    let scaled =
-                        rdg_tensor::ops::scale(&g, scale).map_err(|e| ExecError::BadFeed {
-                            msg: format!("gradient merge: {e}"),
-                        })?;
+                    let scaled = rdg_tensor::ops::scale(&g, scale).map_err(ExecError::optimizer)?;
                     grads
                         .accumulate(pid, &scaled)
-                        .map_err(|e| ExecError::BadFeed {
-                            msg: format!("gradient merge: {e}"),
-                        })?;
+                        .map_err(ExecError::optimizer)?;
                 }
             }
         }

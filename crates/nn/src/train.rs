@@ -24,15 +24,45 @@ impl<O: Optimizer> Trainer<O> {
     /// One step: forward + backward + parameter update; returns the loss.
     pub fn step(&mut self, feeds: Vec<Tensor>) -> Result<f32, ExecError> {
         let outs = self.session.run_training(feeds)?;
-        let loss = outs[0].as_f32_scalar().map_err(|e| ExecError::BadFeed {
-            msg: format!("loss output: {e}"),
-        })?;
+        let loss = outs[0]
+            .as_f32_scalar()
+            .map_err(|e| ExecError::output(format!("loss output: {e}")))?;
         self.optimizer
             .step(self.session.params(), self.session.grads())
-            .map_err(|e| ExecError::BadFeed {
-                msg: format!("optimizer: {e}"),
-            })?;
+            .map_err(ExecError::optimizer)?;
         Ok(loss)
+    }
+
+    /// One minibatch step: all instances execute as concurrent root frames
+    /// ([`Session::run_training_batch`]), gradients are rescaled to the
+    /// minibatch **mean**, and one optimizer update is applied; returns the
+    /// per-instance losses.
+    ///
+    /// An empty batch is a no-op (no gradient clear, no optimizer step).
+    pub fn step_batch(&mut self, feeds_list: Vec<Vec<Tensor>>) -> Result<Vec<f32>, ExecError> {
+        if feeds_list.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = feeds_list.len();
+        let outs = self.session.run_training_batch(feeds_list)?;
+        let losses = outs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                o[0].as_f32_scalar()
+                    .map_err(|e| ExecError::output(format!("loss output of instance {i}: {e}")))
+            })
+            .collect::<Result<Vec<f32>, ExecError>>()?;
+        // The batch accumulates raw sums; one scale turns them into means
+        // so step size does not grow with the batch.
+        self.session
+            .grads()
+            .scale_all(1.0 / n as f32)
+            .map_err(ExecError::optimizer)?;
+        self.optimizer
+            .step(self.session.params(), self.session.grads())
+            .map_err(ExecError::optimizer)?;
+        Ok(losses)
     }
 }
 
@@ -66,5 +96,40 @@ mod tests {
         assert!(last < 1e-3, "converged loss {last}");
         let w = trainer.session.params().read(rdg_graph::ParamId(0));
         assert!((w.as_f32_scalar().unwrap() - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn step_batch_converges_and_reports_per_instance_losses() {
+        // loss = (w - x)² on a fed target x; a minibatch feeds several
+        // targets at once and the mean gradient pulls w to their mean.
+        let mut mb = ModuleBuilder::new();
+        let w = mb.param_wire("w", Tensor::scalar_f32(0.0)).unwrap();
+        let x = mb.main_input(rdg_tensor::DType::F32);
+        let d = mb.sub(w, x).unwrap();
+        let loss = mb.mul(d, d).unwrap();
+        mb.set_outputs(&[loss]).unwrap();
+        let m = mb.finish().unwrap();
+        let train = build_training_module(&m, m.main.outputs[0]).unwrap();
+        let sess = Session::new(Executor::with_threads(2), train).unwrap();
+        let mut trainer = Trainer::new(sess, Sgd::new(0.2));
+        let targets = [1.0f32, 2.0, 3.0, 6.0]; // mean = 3
+        let batch = || -> Vec<Vec<Tensor>> {
+            targets
+                .iter()
+                .map(|&t| vec![Tensor::scalar_f32(t)])
+                .collect()
+        };
+        let first = trainer.step_batch(batch()).unwrap();
+        assert_eq!(first.len(), 4, "one loss per instance");
+        assert!((first[3] - 36.0).abs() < 1e-4, "(0-6)² on untouched w");
+        for _ in 0..60 {
+            trainer.step_batch(batch()).unwrap();
+        }
+        let w = trainer.session.params().read(rdg_graph::ParamId(0));
+        assert!(
+            (w.as_f32_scalar().unwrap() - 3.0).abs() < 0.05,
+            "w converges to the minibatch-mean optimum"
+        );
+        assert!(trainer.step_batch(vec![]).unwrap().is_empty());
     }
 }

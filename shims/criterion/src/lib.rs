@@ -13,8 +13,12 @@
 //! When the `CRITERION_JSON` environment variable names a file, every
 //! benchmark additionally appends one JSON object per line to it:
 //! `{"bench":…,"median_ns":…,"min_ns":…,"max_ns":…,"samples":…,"iters":…,
-//! "unix_time":…}`. Future runs append, so the file accumulates a
-//! machine-diffable trajectory of the same benchmarks over time.
+//! "unix_time":…}`. When the group declared a [`Throughput`], the record
+//! (and the stdout line) also carries the derived rate — e.g.
+//! `"elements_per_sec":…` for [`Throughput::Elements`] — so ops/sec
+//! metrics are first-class in the JSON trajectory. Future runs append, so
+//! the file accumulates a machine-diffable trajectory of the same
+//! benchmarks over time.
 //! A relative path resolves against the bench process's working directory,
 //! and `cargo bench` runs benches from the *package* directory (e.g.
 //! `crates/bench`), not the workspace root — pass an absolute path
@@ -28,6 +32,16 @@ pub use std::hint::black_box;
 /// Target wall-clock time per sample while calibrating.
 const TARGET_SAMPLE: Duration = Duration::from_millis(10);
 
+/// Work processed per iteration, used to derive a rate from the measured
+/// time (API-compatible with criterion's `Throughput`).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements (requests, instances, ops) per iteration → `elem/s`.
+    Elements(u64),
+    /// Bytes per iteration → `B/s`.
+    Bytes(u64),
+}
+
 #[derive(Default)]
 pub struct Criterion {}
 
@@ -37,6 +51,7 @@ impl Criterion {
             _criterion: self,
             name: name.into(),
             sample_size: 20,
+            throughput: None,
         }
     }
 
@@ -44,7 +59,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_benchmark(id, 20, f);
+        run_benchmark(id, 20, None, f);
         self
     }
 }
@@ -53,12 +68,20 @@ pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
     /// Criterion requires `sample_size >= 10`; the shim just stores it.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares how much work one iteration of the following benchmarks
+    /// processes; measurements then also report a derived rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
         self
     }
 
@@ -70,6 +93,7 @@ impl BenchmarkGroup<'_> {
         run_benchmark(
             &format!("{}/{}", self.name, id.label()),
             self.sample_size,
+            self.throughput,
             f,
         );
         self
@@ -88,6 +112,7 @@ impl BenchmarkGroup<'_> {
         run_benchmark(
             &format!("{}/{}", self.name, id.label()),
             self.sample_size,
+            self.throughput,
             |b| f(b, input),
         );
         self
@@ -162,7 +187,12 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     // Calibrate: grow the iteration count until one sample takes long
     // enough to time reliably.
     let mut iters: u64 = 1;
@@ -195,15 +225,24 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
     let median = ns_per_iter[ns_per_iter.len() / 2];
     let min = ns_per_iter[0];
     let max = ns_per_iter[ns_per_iter.len() - 1];
+    // Derived rate from the declared per-iteration work, median-based.
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => (n as f64 * 1e9 / median.max(1e-9), "elem/s"),
+        Throughput::Bytes(n) => (n as f64 * 1e9 / median.max(1e-9), "B/s"),
+    });
+    let rate_str = match rate {
+        Some((v, unit)) => format!("  {v:.1} {unit}"),
+        None => String::new(),
+    };
     println!(
-        "{label:<50} median {} (min {}, max {}) [{} samples x {} iters]",
+        "{label:<50} median {} (min {}, max {}) [{} samples x {} iters]{rate_str}",
         fmt_ns(median),
         fmt_ns(min),
         fmt_ns(max),
         sample_size,
         iters,
     );
-    record_json(label, median, min, max, sample_size, iters);
+    record_json(label, median, min, max, sample_size, iters, throughput);
 }
 
 /// Appends one JSON line for the finished benchmark to the file named by
@@ -226,7 +265,16 @@ fn escape_json_label(label: &str) -> String {
         .collect()
 }
 
-fn record_json(label: &str, median: f64, min: f64, max: f64, samples: usize, iters: u64) {
+#[allow(clippy::too_many_arguments)]
+fn record_json(
+    label: &str,
+    median: f64,
+    min: f64,
+    max: f64,
+    samples: usize,
+    iters: u64,
+    throughput: Option<Throughput>,
+) {
     let Ok(path) = std::env::var("CRITERION_JSON") else {
         return;
     };
@@ -238,6 +286,22 @@ fn record_json(label: &str, median: f64, min: f64, max: f64, samples: usize, ite
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    // Optional first-class rate field (",\"elements_per_sec\":…").
+    let rate_field = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(
+                ",\"elements_per_sec\":{:.1}",
+                n as f64 * 1e9 / median.max(1e-9)
+            )
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                ",\"bytes_per_sec\":{:.1}",
+                n as f64 * 1e9 / median.max(1e-9)
+            )
+        }
+        None => String::new(),
+    };
     if let Some(dir) = std::path::Path::new(&path).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
@@ -249,7 +313,7 @@ fn record_json(label: &str, median: f64, min: f64, max: f64, samples: usize, ite
         use std::io::Write as _;
         let _ = writeln!(
             f,
-            "{{\"bench\":\"{escaped}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{samples},\"iters\":{iters},\"unix_time\":{unix_time}}}"
+            "{{\"bench\":\"{escaped}\",\"median_ns\":{median:.1},\"min_ns\":{min:.1},\"max_ns\":{max:.1},\"samples\":{samples},\"iters\":{iters}{rate_field},\"unix_time\":{unix_time}}}"
         );
     }
 }
@@ -317,5 +381,20 @@ mod tests {
     fn benchmark_id_labels() {
         assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("8x8").label(), "8x8");
+    }
+
+    #[test]
+    fn throughput_group_runs_with_declared_elements() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim_throughput");
+        g.sample_size(2);
+        g.throughput(Throughput::Elements(64));
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| black_box(2 + 2));
+        });
+        g.finish();
+        assert!(ran);
     }
 }
