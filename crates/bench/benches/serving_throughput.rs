@@ -2,17 +2,21 @@
 //!
 //! The north-star workload: a stream of independent, mixed-depth inference
 //! requests (different parse trees → different recursion depths) served by
-//! one `Session` on one shared worker pool via `Session::run_many`.
+//! one `Session` on one shared worker pool, both bare (`Session::run_many`)
+//! and through the admission queue (`Session::serve`).
 //!
-//! Two measurements:
+//! Three measurements:
 //!
 //! * criterion group `serving/*` — `run_many` at several concurrency levels
-//!   vs the blocking sequential loop, with `Throughput::Elements` so the
-//!   shim reports requests/sec first-class (stdout and `CRITERION_JSON`);
+//!   vs the blocking sequential loop vs the admission-queue path at offered
+//!   concurrency 32, with `Throughput::Elements` so the shim reports
+//!   requests/sec first-class (stdout and `CRITERION_JSON`);
 //! * a windowed closed-loop requests/sec table appended to
 //!   `results/serving_throughput.json` (same JSON-lines trajectory format
 //!   as the figure/table harnesses), honouring `RDG_QUICK`/`RDG_THREADS`/
-//!   `RDG_SECONDS`.
+//!   `RDG_SECONDS` — queued rows carry the per-request latency
+//!   percentiles (enqueue→complete) from `ServeStats`, which the bare
+//!   `run_many` path cannot measure (that is the point of the queue).
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use rdg_bench::{fmt_thr, throughput, BenchOpts, Table};
@@ -54,7 +58,7 @@ fn serving_bench(c: &mut Criterion, sess: &Session, requests: &[Vec<Tensor>]) {
         })
     });
 
-    // Concurrent serving minibatches.
+    // Concurrent serving minibatches (bare: all requests in flight at once).
     for &n in &[8usize, 32] {
         let reqs: Vec<Vec<Tensor>> = requests[..n].to_vec();
         g.throughput(Throughput::Elements(n as u64));
@@ -66,10 +70,33 @@ fn serving_bench(c: &mut Criterion, sess: &Session, requests: &[Vec<Tensor>]) {
             })
         });
     }
+
+    // Admission-queue arm: the same 32 requests *offered* at once, but the
+    // dispatcher admits them in worker-sized waves, so in-flight frames
+    // stay at ≈ workers × batch_multiple instead of 32 — the high-offered-
+    // concurrency locality tax is what this path removes.
+    {
+        let client = sess.serve();
+        let reqs: Vec<Vec<Tensor>> = requests[..32].to_vec();
+        g.throughput(Throughput::Elements(32));
+        g.bench_with_input(BenchmarkId::new("queued", 32), &32usize, |b, _| {
+            b.iter(|| {
+                let tickets: Vec<_> = reqs
+                    .iter()
+                    .map(|r| client.submit(r.clone()).expect("admit"))
+                    .collect();
+                for t in tickets {
+                    t.wait().expect("request");
+                }
+            })
+        });
+        client.shutdown();
+    }
     g.finish();
 }
 
-/// Closed-loop requests/sec at several concurrency levels, recorded to
+/// Closed-loop requests/sec (and, on the queued path, latency percentiles)
+/// at several concurrency levels, recorded to
 /// `results/serving_throughput.json` for the cross-PR trajectory.
 fn record_serving_throughput(opts: &BenchOpts, sess: &Session, requests: &[Vec<Tensor>]) {
     let window = Duration::from_secs_f64(opts.seconds);
@@ -79,7 +106,14 @@ fn record_serving_throughput(opts: &BenchOpts, sess: &Session, requests: &[Vec<T
             opts.threads.max(2),
             opts.seconds
         ),
-        &["concurrency", "requests/s"],
+        &[
+            "mode",
+            "concurrency",
+            "requests/s",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+        ],
     );
     for &conc in &[1usize, 8, 32] {
         // Closed loop: `conc` requests in flight per call, rotating
@@ -94,7 +128,43 @@ fn record_serving_throughput(opts: &BenchOpts, sess: &Session, requests: &[Vec<T
                 r.expect("request");
             }
         });
-        table.row(&[conc.to_string(), fmt_thr(rps)]);
+        table.row(&[
+            "bare".into(),
+            conc.to_string(),
+            fmt_thr(rps),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    for &conc in &[8usize, 32] {
+        // Queued closed loop: the same offered concurrency, admitted
+        // through the bounded queue. A fresh client per row keeps each
+        // row's latency window to its own measurement.
+        let client = sess.serve();
+        let mut cursor = 0usize;
+        let rps = throughput(conc, window, || {
+            let tickets: Vec<_> = (0..conc)
+                .map(|k| {
+                    let feeds = requests[(cursor + k) % requests.len()].clone();
+                    client.submit(feeds).expect("admit")
+                })
+                .collect();
+            cursor = (cursor + conc) % requests.len();
+            for t in tickets {
+                t.wait().expect("request");
+            }
+        });
+        let st = client.stats();
+        table.row(&[
+            "queued".into(),
+            conc.to_string(),
+            fmt_thr(rps),
+            format!("{:.0}", st.total.p50_us),
+            format!("{:.0}", st.total.p95_us),
+            format!("{:.0}", st.total.p99_us),
+        ]);
+        client.shutdown();
     }
     table.emit("serving_throughput");
 }

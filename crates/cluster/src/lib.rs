@@ -1,4 +1,5 @@
-//! Data-parallel multi-machine training (paper Figure 10).
+//! Data-parallel multi-machine training (paper Figure 10) and
+//! admission-controlled multi-replica serving.
 //!
 //! The paper scales TreeLSTM training to 8 machines with "the well-known
 //! data parallelism technique" (parameter server, Li et al. OSDI '14) and
@@ -18,8 +19,18 @@
 //!   byte count and a configurable bandwidth/latency. This is the documented
 //!   hardware substitution for the paper's cluster.
 
+//!
+//! Serving: [`serve_real`] stands up `n` model replicas on one shared
+//! parameter store, fronts each with an admission queue
+//! (`rdg_exec::ServeQueue`), and drives them from a pool of client
+//! threads — the request stream goes through bounded admission with
+//! backpressure, not bare `run_many`, so burst load cannot put unbounded
+//! root frames in flight on any machine.
+
 pub mod server;
 pub mod virtual_time;
 
-pub use server::{run_real, ClusterConfig, ClusterReport};
+pub use server::{
+    run_real, serve_real, ClusterConfig, ClusterReport, ServeClusterConfig, ServeClusterReport,
+};
 pub use virtual_time::{model_step, run_virtual, NetModel};

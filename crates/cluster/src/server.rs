@@ -1,8 +1,12 @@
-//! Synchronous data-parallel training with a shared parameter store.
+//! Synchronous data-parallel training — and admission-controlled serving —
+//! with a shared parameter store.
 
 use rdg_autodiff::build_training_module;
 use rdg_data::{Dataset, Split};
-use rdg_exec::{ExecError, Executor, GradStore, ParamStore, Session};
+use rdg_exec::{
+    ExecError, Executor, GradStore, LatencyPercentiles, ParamStore, ServeConfig, ServeError,
+    Session,
+};
 use rdg_models::{build_recursive, ModelConfig};
 use rdg_nn::{Adagrad, Optimizer};
 use rdg_tensor::ops;
@@ -156,6 +160,134 @@ pub fn run_real(cfg: &ClusterConfig, data: &Dataset) -> Result<ClusterReport, Ex
     })
 }
 
+/// Serving-cluster experiment parameters.
+///
+/// The serving twin of [`ClusterConfig`]: `n_machines` model replicas share
+/// one parameter store (the inference face of the parameter server) and a
+/// pool of client threads streams requests at them. Every machine fronts
+/// its executor with an admission queue ([`rdg_exec::ServeQueue`] via
+/// `Session::serve_with`) instead of bare `run_many`, so a client burst is
+/// absorbed as backpressure rather than as unbounded in-flight root frames.
+#[derive(Clone, Debug)]
+pub struct ServeClusterConfig {
+    /// Number of model-replica machines.
+    pub n_machines: usize,
+    /// Worker threads per machine's executor.
+    pub threads_per_machine: usize,
+    /// The served model (built per-instance; its `batch` field is ignored).
+    pub model: ModelConfig,
+    /// Client threads driving the request stream.
+    pub n_clients: usize,
+    /// Requests each client issues (closed loop: submit, wait, repeat).
+    pub requests_per_client: usize,
+    /// Admission-queue tuning applied to every machine.
+    pub queue: ServeConfig,
+}
+
+/// Result of a serving-cluster run.
+#[derive(Clone, Debug)]
+pub struct ServeClusterReport {
+    /// Machines used.
+    pub n_machines: usize,
+    /// Requests completed across all machines.
+    pub completed: u64,
+    /// `try_submit` bounces observed across all machines (backpressure).
+    pub rejected: u64,
+    /// Aggregate serving throughput, requests per second.
+    pub requests_per_sec: f64,
+    /// Client-observed end-to-end latency percentiles, microseconds
+    /// (submit call → ticket delivered, i.e. including queue wait).
+    pub p50_us: f64,
+    /// 95th percentile, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile, microseconds.
+    pub p99_us: f64,
+}
+
+/// Runs an admission-controlled serving cluster with real threads.
+///
+/// Each machine is an executor + session on the shared parameter store,
+/// fronted by its own admission queue; each client thread round-robins its
+/// requests across the machines through the queues' blocking `submit`
+/// (backpressure, never load shedding) and waits for every answer.
+/// Latency is measured at the client — queue wait included — which is the
+/// number a serving SLO is written against.
+pub fn serve_real(
+    cfg: &ServeClusterConfig,
+    data: &Dataset,
+) -> Result<ServeClusterReport, ExecError> {
+    let mut per_instance = cfg.model.clone();
+    per_instance.batch = 1;
+    let module = build_recursive(&per_instance)?;
+    // Shared "parameter server" store: every replica validates against it
+    // (Session::with_params checks count + dtype + shape up front).
+    let params = Arc::new(ParamStore::from_module(&module));
+    let mut clients = Vec::with_capacity(cfg.n_machines);
+    for _ in 0..cfg.n_machines.max(1) {
+        let exec = Executor::with_threads(cfg.threads_per_machine);
+        let session = Session::with_params(exec, module.clone(), Arc::clone(&params))?;
+        clients.push(session.serve_with(cfg.queue.clone()));
+    }
+    let requests = Dataset::feeds_per_instance(data.split(Split::Train));
+    if requests.is_empty() {
+        return Err(ExecError::internal("serving dataset has no instances"));
+    }
+    let latencies_ns = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let t0 = Instant::now();
+    std::thread::scope(|scope| -> Result<(), ExecError> {
+        let mut handles = Vec::new();
+        for c in 0..cfg.n_clients.max(1) {
+            let clients = clients.clone();
+            let requests = &requests;
+            let latencies_ns = Arc::clone(&latencies_ns);
+            handles.push(scope.spawn(move || -> Result<(), ExecError> {
+                let mut mine = Vec::with_capacity(cfg.requests_per_client);
+                for i in 0..cfg.requests_per_client {
+                    let machine = (c + i) % clients.len();
+                    let feeds = requests[(c * 31 + i) % requests.len()].clone();
+                    let sent = Instant::now();
+                    let result = clients[machine]
+                        .submit(feeds)
+                        .and_then(|ticket| ticket.wait());
+                    match result {
+                        Ok(_) => mine.push(sent.elapsed().as_nanos() as u64),
+                        Err(ServeError::Exec(e)) => return Err(e),
+                        Err(e) => return Err(ExecError::internal(e)),
+                    }
+                }
+                latencies_ns.lock().expect("poisoned").extend(mine);
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join()
+                .map_err(|_| ExecError::internal("client thread panicked"))??;
+        }
+        Ok(())
+    })?;
+    let wall = t0.elapsed().as_secs_f64();
+    let (completed, rejected) = clients.iter().fold((0u64, 0u64), |(c, r), cl| {
+        let st = cl.stats();
+        (c + st.completed, r + st.rejected)
+    });
+    for client in &clients {
+        client.shutdown();
+    }
+    let mut lat = latencies_ns.lock().expect("poisoned").clone();
+    // Same quantile rule as ServeStats, so cluster and per-machine numbers
+    // stay comparable.
+    let pct = LatencyPercentiles::from_ns_samples(&mut lat);
+    Ok(ServeClusterReport {
+        n_machines: cfg.n_machines.max(1),
+        completed,
+        rejected,
+        requests_per_sec: lat.len() as f64 / wall,
+        p50_us: pct.p50_us,
+        p95_us: pct.p95_us,
+        p99_us: pct.p99_us,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +315,35 @@ mod tests {
         assert!(report.instances_per_sec > 0.0);
         assert!(report.final_loss.is_finite());
         assert_eq!(report.machine0_compute.len(), 3);
+    }
+
+    #[test]
+    fn two_machine_serving_cluster_answers_every_request() {
+        let data = Dataset::generate(DatasetConfig {
+            vocab: 100,
+            n_train: 24,
+            n_valid: 0,
+            min_len: 3,
+            max_len: 8,
+            ..DatasetConfig::default()
+        });
+        let cfg = ServeClusterConfig {
+            n_machines: 2,
+            threads_per_machine: 1,
+            model: ModelConfig::tiny(ModelKind::TreeRnn, 1),
+            n_clients: 3,
+            requests_per_client: 10,
+            queue: ServeConfig {
+                capacity: 4,
+                batch_multiple: 2,
+                ..ServeConfig::default()
+            },
+        };
+        let report = serve_real(&cfg, &data).unwrap();
+        assert_eq!(report.completed, 30, "no request lost");
+        assert!(report.requests_per_sec > 0.0);
+        assert!(report.p50_us > 0.0);
+        assert!(report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub use rdg_tensor as tensor;
 pub mod prelude {
     pub use rdg_autodiff::{build_training_module, check_gradients};
     pub use rdg_data::{Dataset, DatasetConfig, Instance, Split, TreeShape};
-    pub use rdg_exec::{Executor, SchedulerKind, Session};
+    pub use rdg_exec::{
+        Executor, SchedulerKind, ServeClient, ServeConfig, ServeError, ServeStats, Session,
+    };
     pub use rdg_graph::{GraphRef, Module, ModuleBuilder, ParamId, SubGraphHandle, Wire};
     pub use rdg_models::{
         build_iterative, build_recursive, build_td_iterative, build_td_recursive, ModelConfig,

@@ -23,6 +23,20 @@ pub enum ExecError {
         /// Description of the mismatch.
         msg: String,
     },
+    /// A shared [`crate::ParamStore`] does not match the module's parameter
+    /// specs (wrong count, dtype, or shape). Raised by
+    /// `Session::with_params` *before* any run starts, so a mismatched
+    /// store fails at session construction instead of inside a kernel.
+    ParamMismatch {
+        /// Description of the mismatch (includes the parameter name).
+        msg: String,
+    },
+    /// Two training calls that clear the gradient store
+    /// (`Session::run_training` / `Session::run_training_batch`) overlapped
+    /// on one session. The second clearer is rejected deterministically
+    /// instead of silently corrupting the shared `GradStore`
+    /// mid-accumulation; inference calls are unrestricted.
+    TrainingOverlap,
     /// A `FwdValue`/`FwdZeros` lookup missed the backprop cache.
     CacheMiss {
         /// Description with key context.
@@ -84,6 +98,15 @@ impl fmt::Display for ExecError {
             }
             ExecError::Graph(e) => write!(f, "graph error: {e}"),
             ExecError::BadFeed { msg } => write!(f, "bad feed: {msg}"),
+            ExecError::ParamMismatch { msg } => {
+                write!(f, "shared parameter store mismatch: {msg}")
+            }
+            ExecError::TrainingOverlap => write!(
+                f,
+                "overlapping training step: run_training/run_training_batch \
+                 clear the shared GradStore at step start and must not \
+                 overlap on one session"
+            ),
             ExecError::CacheMiss { msg } => write!(f, "backprop cache miss: {msg}"),
             ExecError::Shutdown => write!(f, "executor has shut down"),
             ExecError::Cancelled => write!(f, "run was cancelled"),

@@ -56,7 +56,7 @@ use crate::params::{GradStore, ParamStore};
 use crate::path::PathKey;
 use crate::plan::{ExecutionPlan, ModulePlan, PreludeValue};
 use crate::queue::{ReadyQueue, SchedulerKind};
-use crate::stats::ExecStats;
+use crate::stats::{ExecStats, StatsSnapshot};
 use crossbeam_channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use rdg_graph::{GraphRef, NodeId, OpKind, PortRef};
@@ -252,13 +252,17 @@ pub struct RunContext {
     /// The owning executor's lifetime aggregate (absorbs `run_stats` at
     /// completion; also carries the kernel-profiling switch).
     exec_stats: Arc<ExecStats>,
+    /// Snapshot of what the completion-time absorb folded into
+    /// `exec_stats`, so the teardown fold in `Drop` takes only the
+    /// straggler delta (`None` until the run delivers a result).
+    absorbed: Mutex<Option<StatsSnapshot>>,
 }
 
 impl RunContext {
     fn fail(&self, e: ExecError) {
         self.cancelled.store(true, Ordering::Release);
         if !self.finished.swap(true, Ordering::AcqRel) {
-            self.exec_stats.absorb(&self.run_stats);
+            *self.absorbed.lock() = Some(self.exec_stats.absorb(&self.run_stats));
             let _ = self.done_tx.send(Err(e));
         }
     }
@@ -267,16 +271,30 @@ impl RunContext {
         if !self.finished.swap(true, Ordering::AcqRel) {
             // Fold per-run counters into the lifetime aggregate *before*
             // publishing the result, so a caller that reads executor stats
-            // right after `wait()` returns sees this run included. (A failed
-            // run's stray cancelled tasks may still drain afterwards; those
-            // are counted at the increment site on both sinks.)
-            self.exec_stats.absorb(&self.run_stats);
+            // right after `wait()` returns sees this run included. A failed
+            // run's straggler tasks may still increment afterwards; the
+            // `Drop` fold below picks up that delta at frame teardown.
+            *self.absorbed.lock() = Some(self.exec_stats.absorb(&self.run_stats));
             let _ = self.done_tx.send(Ok(outs));
         }
     }
 
     fn cancelled(&self) -> bool {
         self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for RunContext {
+    /// Final frame teardown: every task holds its frame and every frame
+    /// holds this context, so when the context drops no increment can
+    /// follow — fold whatever accumulated past the completion-time absorb
+    /// (straggler tasks of a failed/cancelled run draining after the error
+    /// was reported, including their `cancelled_tasks` counts) into the
+    /// executor-lifetime aggregate. A run that never delivered a result
+    /// (e.g. its queue was torn down) folds in full here.
+    fn drop(&mut self) {
+        let base = self.absorbed.get_mut().take().unwrap_or_default();
+        self.exec_stats.absorb_since(&self.run_stats, &base);
     }
 }
 
@@ -309,11 +327,14 @@ impl RunHandle {
     /// The counters are live while the run executes and final once
     /// [`RunHandle::wait`] has returned a success. After a failure or
     /// [`RunHandle::cancel`], the run's stray in-flight tasks may still be
-    /// draining briefly, so late increments can trickle in (and, except
-    /// for `cancelled_tasks`, those stragglers are not re-folded into the
-    /// executor-lifetime aggregate — error-path aggregates are
-    /// best-effort). Clone the `Arc` out before calling `wait` (which
-    /// consumes the handle) to inspect the counters afterwards.
+    /// draining briefly, so late increments can trickle in; those
+    /// stragglers are folded into the executor-lifetime aggregate when the
+    /// run's last frame tears down, so `Executor::stats` eventually counts
+    /// every task (`cancelled_tasks` included) exactly once. Clone the
+    /// `Arc` out before calling `wait` (which consumes the handle) to
+    /// inspect the counters afterwards; once the `Arc`'s only holders are
+    /// external (strong count from the runtime reaches zero), the counters
+    /// are final and fully folded.
     pub fn stats(&self) -> &Arc<ExecStats> {
         &self.ctx.run_stats
     }
@@ -475,6 +496,7 @@ impl Executor {
             queue: Arc::clone(&self.queue),
             run_stats: Arc::new(ExecStats::new()),
             exec_stats: Arc::clone(&self.stats),
+            absorbed: Mutex::new(None),
         });
         if let Some(t) = spawn_frame(&run, GraphRef::Main, PathKey::root(), feeds, None, 0) {
             self.queue.push(0, t);
@@ -637,12 +659,10 @@ fn execute_task(task: Task) -> Option<Task> {
     let Task { frame, node } = task;
     let run = Arc::clone(&frame.run);
     if run.cancelled() {
-        // Counted on both sinks directly: the run may already have absorbed
-        // its stats into the aggregate when it reported the error.
+        // Counted on the run's own stats only; the straggler delta past the
+        // completion-time absorb reaches the lifetime aggregate exactly
+        // once, in `RunContext::drop` at final frame teardown.
         run.run_stats
-            .cancelled_tasks
-            .fetch_add(1, Ordering::Relaxed);
-        run.exec_stats
             .cancelled_tasks
             .fetch_add(1, Ordering::Relaxed);
         return None;

@@ -32,6 +32,11 @@
 //! * [`params::ParamStore`] / [`params::GradStore`] — parameters live
 //!   outside the graph; gradients accumulate concurrently from many frames.
 //! * [`session::Session`] — a planned module bound to parameters.
+//! * [`serve::ServeQueue`] — admission-controlled serving: a bounded
+//!   request queue with backpressure in front of the executor, a
+//!   dispatcher that launches waves sized from the worker count, and
+//!   per-request latency percentiles ([`serve::ServeStats`]). Entered via
+//!   [`session::Session::serve`].
 //! * [`sim`] — a virtual-time (discrete-event) twin of the executor used to
 //!   reproduce the paper's resource-dependent results on hardware smaller
 //!   than the authors' 36-core testbed.
@@ -87,6 +92,7 @@ pub mod params;
 pub mod path;
 pub mod plan;
 pub mod queue;
+pub mod serve;
 pub mod session;
 pub mod sim;
 pub mod stats;
@@ -98,5 +104,8 @@ pub use params::{GradStore, ParamStore};
 pub use path::PathKey;
 pub use plan::{ExecutionPlan, ModulePlan};
 pub use queue::SchedulerKind;
+pub use serve::{
+    LatencyPercentiles, ServeClient, ServeConfig, ServeError, ServeQueue, ServeStats, ServeTicket,
+};
 pub use session::Session;
-pub use stats::ExecStats;
+pub use stats::{ExecStats, StatsSnapshot};

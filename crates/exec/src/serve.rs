@@ -1,0 +1,683 @@
+//! Admission-controlled serving: a bounded request queue in front of the
+//! executor.
+//!
+//! [`Session::run_many`](crate::Session::run_many) launches every request
+//! it is handed as a concurrent root frame — fine for a caller that already
+//! sized its batch, wrong for a *server*: a burst of clients would put
+//! hundreds of frame trees in flight at once, and on a small worker pool
+//! the surplus concurrency buys nothing but cache thrash (the measured
+//! ~20% locality tax at concurrency 32 on one core — see PERFORMANCE.md).
+//! This module adds the serving rung on top of the multi-run runtime:
+//!
+//! ```text
+//! client threads ──submit──▶ bounded queue ──▶ dispatcher ──▶ root frames
+//!      ▲                    (backpressure)     (waves sized     on the
+//!      └────── ServeTicket::wait ◀── results ── by workers)   worker pool
+//! ```
+//!
+//! * **Admission queue** — a bounded MPMC queue. [`ServeClient::try_submit`]
+//!   fails fast with [`ServeError::QueueFull`]; [`ServeClient::submit`]
+//!   blocks until a slot frees (backpressure); [`ServeClient::submit_deadline`]
+//!   bounds that wait and returns [`ServeError::DeadlineExceeded`].
+//! * **Dispatcher** — one long-lived thread drains the queue in **waves
+//!   sized from the executor's worker count** (`workers ×
+//!   [`ServeConfig::batch_multiple`]`), submits the wave as concurrent root
+//!   frames, and joins it before admitting the next. In-flight frames stay
+//!   at a small multiple of the workers no matter how many clients push.
+//! * **Latency accounting** — every request carries its
+//!   enqueue → dispatch → complete timestamps; [`ServeClient::stats`]
+//!   snapshots queue-wait, service, and total latency as p50/p95/p99
+//!   ([`ServeStats`]), plus admission counters (submitted / rejected /
+//!   expired / completed / failed).
+//! * **Shutdown** — [`ServeClient::shutdown`] (or dropping the last
+//!   client) stops admission, drains every already-accepted request, and
+//!   joins the dispatcher. No accepted request is ever lost.
+//!
+//! The usual entry point is [`crate::Session::serve`] /
+//! [`crate::Session::serve_with`], which wire a session's plan, parameters,
+//! and executor into [`ServeQueue::start`].
+//!
+//! # Example
+//!
+//! ```
+//! use rdg_exec::{Executor, Session};
+//! use rdg_graph::ModuleBuilder;
+//! use rdg_tensor::{DType, Tensor};
+//!
+//! let mut mb = ModuleBuilder::new();
+//! let x = mb.main_input(DType::F32);
+//! let y = mb.scale(x, 2.0).unwrap();
+//! mb.set_outputs(&[y]).unwrap();
+//! let session = Session::new(Executor::with_threads(2), mb.finish().unwrap()).unwrap();
+//!
+//! let client = session.serve();
+//! let ticket = client.submit(vec![Tensor::scalar_f32(21.0)]).unwrap();
+//! assert_eq!(ticket.wait().unwrap()[0].as_f32_scalar().unwrap(), 42.0);
+//! assert_eq!(client.stats().completed, 1);
+//! client.shutdown();
+//! ```
+
+use crate::error::ExecError;
+use crate::executor::{Executor, RunHandle};
+use crate::params::ParamStore;
+use crate::plan::ModulePlan;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use rdg_tensor::Tensor;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one serving loop.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bounded queue slots. A full queue rejects `try_submit` and blocks
+    /// `submit` — this is the backpressure surface clients observe.
+    pub capacity: usize,
+    /// Dispatch-wave size as a multiple of the executor's worker count:
+    /// in-flight root frames stay ≈ `workers × batch_multiple`. Small
+    /// multiples keep the per-core working set tight (the locality tax at
+    /// high raw concurrency is what this queue exists to avoid); larger
+    /// ones amortize dispatch overhead when requests are tiny.
+    pub batch_multiple: usize,
+    /// Sliding-window size (samples) of each latency distribution kept for
+    /// percentile snapshots.
+    pub latency_window: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            capacity: 256,
+            batch_multiple: 4,
+            latency_window: 4096,
+        }
+    }
+}
+
+/// Errors surfaced by the serving client.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// `try_submit` on a full queue: the caller should back off or retry
+    /// with the blocking `submit`.
+    QueueFull,
+    /// `submit_deadline` waited out its deadline on a full queue.
+    DeadlineExceeded,
+    /// The serving loop no longer accepts requests (explicit shutdown or
+    /// every client handle was dropped).
+    Shutdown,
+    /// The request was admitted and executed, but the run failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "admission queue full"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "admission deadline exceeded while queue was full")
+            }
+            ServeError::Shutdown => write!(f, "serving loop has shut down"),
+            ServeError::Exec(e) => write!(f, "request execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Percentile snapshot of one latency distribution, in microseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Observations recorded over the loop's lifetime (the percentiles are
+    /// computed over the most recent [`ServeConfig::latency_window`]).
+    pub count: u64,
+    /// Lifetime mean, µs.
+    pub mean_us: f64,
+    /// Median, µs.
+    pub p50_us: f64,
+    /// 95th percentile, µs.
+    pub p95_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+}
+
+impl LatencyPercentiles {
+    /// Computes the nearest-rank p50/p95/p99 (and mean) over a set of
+    /// nanosecond samples. Sorts `samples` in place; an empty set yields
+    /// the all-zero snapshot.
+    ///
+    /// This is *the* quantile rule of the serving stack — `ServeStats`
+    /// snapshots and `rdg_cluster::serve_real`'s client-observed report
+    /// both go through it, so their numbers stay comparable.
+    pub fn from_ns_samples(samples: &mut Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        samples.sort_unstable();
+        let sum: u128 = samples.iter().map(|&ns| ns as u128).sum();
+        let q = |p: f64| -> f64 {
+            let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+            samples[idx] as f64 / 1_000.0
+        };
+        LatencyPercentiles {
+            count: samples.len() as u64,
+            mean_us: (sum as f64 / samples.len() as f64) / 1_000.0,
+            p50_us: q(0.50),
+            p95_us: q(0.95),
+            p99_us: q(0.99),
+        }
+    }
+}
+
+/// One latency distribution: a sliding sample window plus lifetime
+/// count/sum, recorded by the dispatcher and snapshotted on demand.
+struct LatencyTrack {
+    inner: Mutex<LatRing>,
+}
+
+struct LatRing {
+    samples: Vec<u64>, // nanoseconds
+    next: usize,
+    count: u64,
+    sum_ns: u128,
+    cap: usize,
+}
+
+impl LatencyTrack {
+    fn new(cap: usize) -> Self {
+        LatencyTrack {
+            inner: Mutex::new(LatRing {
+                samples: Vec::new(),
+                next: 0,
+                count: 0,
+                sum_ns: 0,
+                cap: cap.max(1),
+            }),
+        }
+    }
+
+    fn record(&self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        let mut r = self.inner.lock();
+        r.count += 1;
+        r.sum_ns += ns as u128;
+        if r.samples.len() < r.cap {
+            r.samples.push(ns);
+        } else {
+            let i = r.next;
+            r.samples[i] = ns;
+            r.next = (i + 1) % r.cap;
+        }
+    }
+
+    fn percentiles(&self) -> LatencyPercentiles {
+        let r = self.inner.lock();
+        if r.samples.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        let mut v = r.samples.clone();
+        let mut p = LatencyPercentiles::from_ns_samples(&mut v);
+        // Count and mean are lifetime figures, wider than the window.
+        p.count = r.count;
+        p.mean_us = (r.sum_ns as f64 / r.count as f64) / 1_000.0;
+        p
+    }
+}
+
+/// Snapshot of one serving loop's counters and latency percentiles.
+///
+/// Counter fields are monotone across snapshots of a live loop (they only
+/// ever increase); within one snapshot `p50 ≤ p95 ≤ p99` holds for every
+/// distribution by construction.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// `try_submit` calls bounced off a full queue (backpressure events).
+    pub rejected: u64,
+    /// `submit_deadline` calls that waited out their deadline.
+    pub expired: u64,
+    /// Requests that completed with a successful run.
+    pub completed: u64,
+    /// Requests that completed with an execution error.
+    pub failed: u64,
+    /// Dispatch waves formed.
+    pub batches: u64,
+    /// Requests sitting in the queue right now.
+    pub queue_depth: usize,
+    /// Root frames in flight right now.
+    pub in_flight: usize,
+    /// The loop's wave size (`workers × batch_multiple`).
+    pub batch_target: usize,
+    /// enqueue → dispatch (time spent queued).
+    pub wait: LatencyPercentiles,
+    /// dispatch → complete (time spent executing, including wave joins).
+    pub service: LatencyPercentiles,
+    /// enqueue → complete (what the client observes).
+    pub total: LatencyPercentiles,
+}
+
+impl ServeStats {
+    /// One-line human-readable summary (serving-loop progress printing).
+    pub fn summary(&self) -> String {
+        format!(
+            "submitted={} completed={} failed={} rejected={} expired={} \
+             depth={} in_flight={} total_p50={:.0}µs p95={:.0}µs p99={:.0}µs",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.expired,
+            self.queue_depth,
+            self.in_flight,
+            self.total.p50_us,
+            self.total.p95_us,
+            self.total.p99_us,
+        )
+    }
+}
+
+/// One queued request: feeds in, result channel out, enqueue timestamp for
+/// the latency split.
+struct Request {
+    feeds: Vec<Tensor>,
+    enqueued: Instant,
+    tx: Sender<Result<Vec<Tensor>, ExecError>>,
+}
+
+struct QueueState {
+    queue: VecDeque<Request>,
+    /// `false` once shutdown began: submits are rejected, the dispatcher
+    /// drains what was already accepted and exits.
+    open: bool,
+    /// Live `ServeClient` handles; the last drop initiates shutdown.
+    clients: usize,
+}
+
+struct StatsInner {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    in_flight: AtomicUsize,
+    wait: LatencyTrack,
+    service: LatencyTrack,
+    total: LatencyTrack,
+}
+
+/// The admission-control subsystem: bounded queue + dispatcher + stats.
+///
+/// `ServeQueue` itself is not held by users — [`ServeQueue::start`] spawns
+/// the dispatcher and hands back the first [`ServeClient`]; the loop lives
+/// as long as any client (or undelivered ticket) needs it.
+pub struct ServeQueue {
+    capacity: usize,
+    batch_target: usize,
+    state: Mutex<QueueState>,
+    /// Signals the dispatcher: work arrived, or shutdown began.
+    not_empty: Condvar,
+    /// Signals blocked submitters: a slot freed, or shutdown began.
+    not_full: Condvar,
+    stats: StatsInner,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServeQueue {
+    /// Spawns a serving loop over `(plan, params)` on `exec` and returns
+    /// its first client handle.
+    ///
+    /// [`crate::Session::serve`] is the ergonomic entry point; this level
+    /// exists for callers composing their own plan/params pairs (replica
+    /// serving on a shared store, tests).
+    pub fn start(
+        exec: Arc<Executor>,
+        plan: Arc<ModulePlan>,
+        params: Arc<ParamStore>,
+        config: ServeConfig,
+    ) -> ServeClient {
+        let capacity = config.capacity.max(1);
+        let batch_target = (exec.n_threads() * config.batch_multiple.max(1)).max(1);
+        let shared = Arc::new(ServeQueue {
+            capacity,
+            batch_target,
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(capacity.min(1024)),
+                open: true,
+                clients: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            stats: StatsInner {
+                submitted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                expired: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                in_flight: AtomicUsize::new(0),
+                wait: LatencyTrack::new(config.latency_window),
+                service: LatencyTrack::new(config.latency_window),
+                total: LatencyTrack::new(config.latency_window),
+            },
+            dispatcher: Mutex::new(None),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rdg-serve-dispatch".into())
+                .spawn(move || dispatcher_loop(&shared, &exec, &plan, &params))
+                .expect("spawn serve dispatcher")
+        };
+        *shared.dispatcher.lock() = Some(worker);
+        ServeClient { shared }
+    }
+}
+
+/// The dispatcher: drains the admission queue in worker-sized waves,
+/// launches each wave as concurrent root frames, joins it, and answers the
+/// tickets. Runs until shutdown *and* an empty queue — every accepted
+/// request is answered before the thread exits.
+fn dispatcher_loop(
+    shared: &Arc<ServeQueue>,
+    exec: &Arc<Executor>,
+    plan: &Arc<ModulePlan>,
+    params: &Arc<ParamStore>,
+) {
+    let mut wave: Vec<Request> = Vec::with_capacity(shared.batch_target);
+    loop {
+        {
+            let mut st = shared.state.lock();
+            loop {
+                if !st.queue.is_empty() {
+                    break;
+                }
+                if !st.open {
+                    return;
+                }
+                shared.not_empty.wait(&mut st);
+            }
+            let take = shared.batch_target.min(st.queue.len());
+            wave.extend(st.queue.drain(..take));
+        }
+        // Slots freed: wake every blocked submitter (they re-check space).
+        shared.not_full.notify_all();
+        let dispatched = Instant::now();
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared.stats.in_flight.store(wave.len(), Ordering::Relaxed);
+        // Submit the whole wave before joining any of it: the wave's root
+        // frames execute concurrently, and in-flight work is bounded by
+        // the wave size — that is the admission-control contract.
+        let in_flight: Vec<(Instant, Sender<Result<Vec<Tensor>, ExecError>>, _)> = wave
+            .drain(..)
+            .map(|req| {
+                let Request {
+                    feeds,
+                    enqueued,
+                    tx,
+                } = req;
+                shared
+                    .stats
+                    .wait
+                    .record(dispatched.duration_since(enqueued));
+                let submitted: Result<RunHandle, ExecError> =
+                    exec.submit(plan, params, feeds, None, None);
+                (enqueued, tx, submitted)
+            })
+            .collect();
+        for (enqueued, tx, submitted) in in_flight {
+            let result = match submitted {
+                Ok(handle) => handle.wait(),
+                Err(e) => Err(e),
+            };
+            let done = Instant::now();
+            shared.stats.service.record(done.duration_since(dispatched));
+            shared.stats.total.record(done.duration_since(enqueued));
+            match &result {
+                Ok(_) => shared.stats.completed.fetch_add(1, Ordering::Relaxed),
+                Err(_) => shared.stats.failed.fetch_add(1, Ordering::Relaxed),
+            };
+            shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            // A dropped ticket is fine: the send just goes nowhere.
+            let _ = tx.send(result);
+        }
+    }
+}
+
+/// A cloneable handle to an admission-controlled serving loop.
+///
+/// Clones share one queue, one dispatcher, and one stats ledger — hand a
+/// clone to every client thread. The loop shuts down when the last clone
+/// drops or [`ServeClient::shutdown`] is called; after that every submit
+/// returns [`ServeError::Shutdown`], while already-accepted requests still
+/// complete and their tickets still deliver.
+pub struct ServeClient {
+    shared: Arc<ServeQueue>,
+}
+
+impl Clone for ServeClient {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().clients += 1;
+        ServeClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for ServeClient {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.shared.state.lock();
+            st.clients -= 1;
+            st.clients == 0
+        };
+        if last {
+            // Last client gone: stop admission and let the dispatcher
+            // drain accepted requests, detached (drop must not block).
+            self.shared.state.lock().open = false;
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl ServeClient {
+    /// Non-blocking admission: rejects immediately with
+    /// [`ServeError::QueueFull`] when the queue has no free slot.
+    pub fn try_submit(&self, feeds: Vec<Tensor>) -> Result<ServeTicket, ServeError> {
+        let st = self.shared.state.lock();
+        if !st.open {
+            return Err(ServeError::Shutdown);
+        }
+        if st.queue.len() >= self.shared.capacity {
+            drop(st);
+            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull);
+        }
+        Ok(self.enqueue(st, feeds))
+    }
+
+    /// Blocking admission: waits for a queue slot (backpressure), however
+    /// long that takes. Returns [`ServeError::Shutdown`] if the loop stops
+    /// accepting while this call is blocked.
+    pub fn submit(&self, feeds: Vec<Tensor>) -> Result<ServeTicket, ServeError> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if !st.open {
+                return Err(ServeError::Shutdown);
+            }
+            if st.queue.len() < self.shared.capacity {
+                return Ok(self.enqueue(st, feeds));
+            }
+            self.shared.not_full.wait(&mut st);
+        }
+    }
+
+    /// Blocking admission with a deadline: waits at most `deadline` for a
+    /// queue slot, then gives up with [`ServeError::DeadlineExceeded`].
+    pub fn submit_deadline(
+        &self,
+        feeds: Vec<Tensor>,
+        deadline: Duration,
+    ) -> Result<ServeTicket, ServeError> {
+        let t0 = Instant::now();
+        let mut st = self.shared.state.lock();
+        loop {
+            if !st.open {
+                return Err(ServeError::Shutdown);
+            }
+            if st.queue.len() < self.shared.capacity {
+                return Ok(self.enqueue(st, feeds));
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= deadline {
+                drop(st);
+                self.shared.stats.expired.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineExceeded);
+            }
+            let _ = self.shared.not_full.wait_for(&mut st, deadline - elapsed);
+        }
+    }
+
+    /// Convenience closed loop: blocking submit, then wait for the result.
+    pub fn call(&self, feeds: Vec<Tensor>) -> Result<Vec<Tensor>, ServeError> {
+        self.submit(feeds)?.wait()
+    }
+
+    fn enqueue(&self, mut st: MutexGuard<'_, QueueState>, feeds: Vec<Tensor>) -> ServeTicket {
+        let (tx, rx) = bounded(1);
+        st.queue.push_back(Request {
+            feeds,
+            enqueued: Instant::now(),
+            tx,
+        });
+        // Count before releasing the lock: the dispatcher cannot pop (and
+        // so cannot complete) this request until the lock drops, which
+        // keeps `submitted ≥ completed + failed` in every stats snapshot.
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        ServeTicket { rx }
+    }
+
+    /// The dispatch-wave size this loop runs with
+    /// (`workers × batch_multiple`).
+    pub fn batch_target(&self) -> usize {
+        self.shared.batch_target
+    }
+
+    /// The admission queue's slot count.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Snapshot of the loop's counters and latency percentiles.
+    pub fn stats(&self) -> ServeStats {
+        let queue_depth = self.shared.state.lock().queue.len();
+        let s = &self.shared.stats;
+        ServeStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            expired: s.expired.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            queue_depth,
+            in_flight: s.in_flight.load(Ordering::Relaxed),
+            batch_target: self.shared.batch_target,
+            wait: s.wait.percentiles(),
+            service: s.service.percentiles(),
+            total: s.total.percentiles(),
+        }
+    }
+
+    /// Stops admission, waits for every accepted request to complete, and
+    /// joins the dispatcher thread.
+    ///
+    /// Idempotent across clients: the first caller joins the dispatcher,
+    /// later callers (and later submits) observe [`ServeError::Shutdown`].
+    pub fn shutdown(&self) {
+        self.shared.state.lock().open = false;
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        let handle = self.shared.dispatcher.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The response slot of one admitted request.
+///
+/// Independent of the [`ServeClient`] that produced it: a ticket delivers
+/// even after every client is dropped (accepted requests are drained on
+/// shutdown, never discarded).
+pub struct ServeTicket {
+    rx: Receiver<Result<Vec<Tensor>, ExecError>>,
+}
+
+impl fmt::Debug for ServeTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeTicket").finish_non_exhaustive()
+    }
+}
+
+impl ServeTicket {
+    /// Blocks until the request completes and returns its outputs.
+    pub fn wait(self) -> Result<Vec<Tensor>, ServeError> {
+        match self.rx.recv() {
+            Ok(result) => result.map_err(ServeError::Exec),
+            // The dispatcher answers every accepted request before it
+            // exits; a closed channel therefore means the process is
+            // tearing the loop down around us.
+            Err(_) => Err(ServeError::Shutdown),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.capacity >= 1 && c.batch_multiple >= 1 && c.latency_window >= 1);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered_and_windowed() {
+        let t = LatencyTrack::new(8);
+        for us in [100u64, 200, 300, 400, 500, 600, 700, 800] {
+            t.record(Duration::from_micros(us));
+        }
+        let p = t.percentiles();
+        assert_eq!(p.count, 8);
+        assert!(p.p50_us <= p.p95_us && p.p95_us <= p.p99_us);
+        assert!((p.mean_us - 450.0).abs() < 1.0);
+        // The ring slides: 8 huge samples push the small ones out.
+        for _ in 0..8 {
+            t.record(Duration::from_micros(10_000));
+        }
+        let p = t.percentiles();
+        assert_eq!(p.count, 16, "count is lifetime");
+        assert!(p.p50_us >= 9_999.0, "window slid to the recent samples");
+    }
+
+    #[test]
+    fn empty_track_snapshots_zero() {
+        let t = LatencyTrack::new(4);
+        assert_eq!(t.percentiles(), LatencyPercentiles::default());
+    }
+}

@@ -20,7 +20,11 @@
 //! The one rule: calls that *reset* the gradient store
 //! ([`Session::run_training`] / [`Session::run_training_batch`]) must not
 //! overlap each other — they clear the shared accumulators at step start.
-//! Inference (`run` / `run_many` / `submit_run`) is unrestricted.
+//! The rule is *enforced*: each session carries a training-step token, and
+//! a clearing call that arrives while another is in flight is rejected
+//! deterministically with [`ExecError::TrainingOverlap`] instead of
+//! silently corrupting the gradients mid-accumulation. Inference (`run` /
+//! `run_many` / `submit_run` / [`Session::serve`]) is unrestricted.
 //!
 //! # Example
 //!
@@ -45,8 +49,10 @@ use crate::error::ExecError;
 use crate::executor::{Executor, RunHandle};
 use crate::params::{GradStore, ParamStore};
 use crate::plan::ModulePlan;
+use crate::serve::{ServeClient, ServeConfig, ServeQueue};
 use rdg_graph::Module;
 use rdg_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A module ready to run: plan + parameter store + gradient machinery.
@@ -66,6 +72,20 @@ pub struct Session {
     plan: Arc<ModulePlan>,
     params: Arc<ParamStore>,
     grads: Arc<GradStore>,
+    /// Training-step token: held (true) while a clearing training call
+    /// (`run_training` / `run_training_batch`) is in flight. The second
+    /// overlapping clearer is rejected with [`ExecError::TrainingOverlap`].
+    training_step: AtomicBool,
+}
+
+/// RAII release of the training-step token: the token frees on every exit
+/// path of a clearing training call, including the error ones.
+struct StepToken<'a>(&'a AtomicBool);
+
+impl Drop for StepToken<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
 }
 
 impl Session {
@@ -78,7 +98,10 @@ impl Session {
 
     /// Plans `module` but shares an existing parameter store.
     ///
-    /// The store must have matching parameter count/shapes (same specs).
+    /// The store must match the module's parameter specs — same count and,
+    /// per parameter, same dtype and shape. A mismatched store is rejected
+    /// here with [`ExecError::ParamMismatch`] instead of failing later
+    /// inside a kernel mid-run.
     pub fn with_params(
         exec: Arc<Executor>,
         module: Module,
@@ -86,13 +109,36 @@ impl Session {
     ) -> Result<Self, ExecError> {
         let plan = ModulePlan::new(Arc::new(module))?;
         if params.len() != plan.module.params.len() {
-            return Err(ExecError::BadFeed {
+            return Err(ExecError::ParamMismatch {
                 msg: format!(
                     "shared ParamStore has {} params, module declares {}",
                     params.len(),
                     plan.module.params.len()
                 ),
             });
+        }
+        for (i, spec) in plan.module.params.iter().enumerate() {
+            let got = params.read(rdg_graph::ParamId(i as u32));
+            if got.dtype() != spec.init.dtype() {
+                return Err(ExecError::ParamMismatch {
+                    msg: format!(
+                        "param {i} '{}': module declares dtype {}, shared store holds {}",
+                        spec.name,
+                        spec.init.dtype(),
+                        got.dtype()
+                    ),
+                });
+            }
+            if got.shape() != spec.init.shape() {
+                return Err(ExecError::ParamMismatch {
+                    msg: format!(
+                        "param {i} '{}': module declares shape {:?}, shared store holds {:?}",
+                        spec.name,
+                        spec.init.shape(),
+                        got.shape()
+                    ),
+                });
+            }
         }
         Ok(Self::assemble(exec, plan, params))
     }
@@ -104,7 +150,20 @@ impl Session {
             plan,
             params,
             grads: Arc::new(GradStore::new(n)),
+            training_step: AtomicBool::new(false),
         }
+    }
+
+    /// Claims the training-step token for one clearing training call.
+    fn begin_training_step(&self) -> Result<StepToken<'_>, ExecError> {
+        if self
+            .training_step
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return Err(ExecError::TrainingOverlap);
+        }
+        Ok(StepToken(&self.training_step))
     }
 
     /// The planned module.
@@ -158,6 +217,32 @@ impl Session {
             .collect()
     }
 
+    /// Opens an admission-controlled serving loop on this session with the
+    /// default [`ServeConfig`].
+    ///
+    /// The returned [`ServeClient`] is cloneable and usable from any
+    /// number of client threads; requests pass through a bounded queue
+    /// with backpressure, and a dispatcher keeps the number of in-flight
+    /// root frames at a small multiple of the executor's worker count (see
+    /// [`crate::serve`]). The loop outlives this `Session` value — it
+    /// holds its own handles to the plan, parameters, and executor — and
+    /// shuts down when the last client is dropped or
+    /// [`ServeClient::shutdown`] is called.
+    pub fn serve(&self) -> ServeClient {
+        self.serve_with(ServeConfig::default())
+    }
+
+    /// Opens an admission-controlled serving loop with an explicit
+    /// [`ServeConfig`] (queue capacity, batch sizing).
+    pub fn serve_with(&self, config: ServeConfig) -> ServeClient {
+        ServeQueue::start(
+            Arc::clone(&self.exec),
+            Arc::clone(&self.plan),
+            Arc::clone(&self.params),
+            config,
+        )
+    }
+
     /// Starts a training run without blocking or clearing the gradient
     /// store: gradients *accumulate* into [`Session::grads`] on top of
     /// whatever is already there.
@@ -181,8 +266,12 @@ impl Session {
     ///
     /// Accumulated gradients stay in [`Session::grads`] for the optimizer.
     /// Training calls that clear the store (`run_training` /
-    /// [`Session::run_training_batch`]) must not overlap each other.
+    /// [`Session::run_training_batch`]) must not overlap each other: the
+    /// session's training-step token rejects the second overlapping
+    /// clearer with [`ExecError::TrainingOverlap`] (released when this
+    /// call returns, on success and error alike).
     pub fn run_training(&self, feeds: Vec<Tensor>) -> Result<Vec<Tensor>, ExecError> {
+        let _step = self.begin_training_step()?;
         self.grads.clear();
         self.submit_training(feeds)?.wait()
     }
@@ -202,10 +291,15 @@ impl Session {
     /// On a per-instance failure the first error is returned — but only
     /// after *every* run has finished, so no detached run is still writing
     /// gradients when this returns.
+    ///
+    /// Like [`Session::run_training`], this is a *clearing* call: a second
+    /// clearer overlapping it is rejected with
+    /// [`ExecError::TrainingOverlap`].
     pub fn run_training_batch(
         &self,
         feeds_list: Vec<Vec<Tensor>>,
     ) -> Result<Vec<Vec<Tensor>>, ExecError> {
+        let _step = self.begin_training_step()?;
         self.grads.clear();
         let handles: Vec<Result<RunHandle, ExecError>> = feeds_list
             .into_iter()
@@ -457,6 +551,127 @@ mod tests {
             .frames_spawned
             .load(std::sync::atomic::Ordering::Relaxed);
         assert!(frames > 100, "fib(10) must spawn many frames, saw {frames}");
+    }
+
+    #[test]
+    fn with_params_rejects_wrong_count() {
+        // Module with one param vs a store built for a param-less module.
+        let mut mb = ModuleBuilder::new();
+        let w = mb.param_wire("w", Tensor::scalar_f32(1.0)).unwrap();
+        mb.set_outputs(&[w]).unwrap();
+        let with_param = mb.finish().unwrap();
+
+        let mut mb = ModuleBuilder::new();
+        let c = mb.const_f32(0.0);
+        mb.set_outputs(&[c]).unwrap();
+        let no_params = mb.finish().unwrap();
+
+        let e = exec();
+        let donor = Session::new(Arc::clone(&e), no_params).unwrap();
+        match Session::with_params(e, with_param, Arc::clone(donor.params())) {
+            Err(ExecError::ParamMismatch { .. }) => {}
+            Err(other) => panic!("expected ParamMismatch, got {other:?}"),
+            Ok(_) => panic!("count mismatch was accepted"),
+        }
+    }
+
+    #[test]
+    fn with_params_rejects_wrong_shape() {
+        let mut mb = ModuleBuilder::new();
+        let w = mb
+            .param_wire("w", Tensor::from_f32([2], vec![1.0, 2.0]).unwrap())
+            .unwrap();
+        mb.set_outputs(&[w]).unwrap();
+        let vec_param = mb.finish().unwrap();
+
+        let mut mb = ModuleBuilder::new();
+        let w = mb
+            .param_wire("w", Tensor::from_f32([3], vec![1.0, 2.0, 3.0]).unwrap())
+            .unwrap();
+        mb.set_outputs(&[w]).unwrap();
+        let longer_param = mb.finish().unwrap();
+
+        let e = exec();
+        let donor = Session::new(Arc::clone(&e), vec_param).unwrap();
+        // Same param count, same dtype, different shape: must be rejected
+        // at construction, not inside a kernel mid-run.
+        match Session::with_params(e, longer_param, Arc::clone(donor.params())) {
+            Err(ExecError::ParamMismatch { msg }) => {
+                assert!(msg.contains("'w'"), "names the parameter: {msg}");
+            }
+            Err(other) => panic!("expected ParamMismatch, got {other:?}"),
+            Ok(_) => panic!("shape mismatch was accepted"),
+        }
+    }
+
+    #[test]
+    fn with_params_rejects_wrong_dtype() {
+        let mut mb = ModuleBuilder::new();
+        let w = mb.param_wire("w", Tensor::scalar_f32(1.0)).unwrap();
+        mb.set_outputs(&[w]).unwrap();
+        let f32_param = mb.finish().unwrap();
+
+        let mut mb = ModuleBuilder::new();
+        let w = mb.param_wire("w", Tensor::scalar_i32(1)).unwrap();
+        mb.set_outputs(&[w]).unwrap();
+        let i32_param = mb.finish().unwrap();
+
+        let e = exec();
+        let donor = Session::new(Arc::clone(&e), f32_param).unwrap();
+        match Session::with_params(e, i32_param, Arc::clone(donor.params())) {
+            Err(ExecError::ParamMismatch { .. }) => {}
+            Err(other) => panic!("expected ParamMismatch, got {other:?}"),
+            Ok(_) => panic!("dtype mismatch was accepted"),
+        }
+    }
+
+    #[test]
+    fn matching_shared_store_is_accepted() {
+        let mut mb = ModuleBuilder::new();
+        let w = mb
+            .param_wire("w", Tensor::from_f32([2], vec![1.0, 2.0]).unwrap())
+            .unwrap();
+        mb.set_outputs(&[w]).unwrap();
+        let m = mb.finish().unwrap();
+        let e = exec();
+        let donor = Session::new(Arc::clone(&e), m.clone()).unwrap();
+        assert!(Session::with_params(e, m, Arc::clone(donor.params())).is_ok());
+    }
+
+    #[test]
+    fn overlapping_clearing_training_calls_are_rejected() {
+        let mut mb = ModuleBuilder::new();
+        let w = mb.param_wire("w", Tensor::scalar_f32(3.0)).unwrap();
+        let x = mb.const_f32(2.0);
+        let y = mb.mul(w, x).unwrap();
+        mb.set_outputs(&[y]).unwrap();
+        let s = Session::new(exec(), mb.finish().unwrap()).unwrap();
+        // Simulate a clearing step in flight by holding the token the way
+        // run_training/run_training_batch do.
+        let step = s.begin_training_step().unwrap();
+        let err = s.run_training(vec![]).unwrap_err();
+        assert!(matches!(err, ExecError::TrainingOverlap), "{err}");
+        let err = s.run_training_batch(vec![vec![]]).unwrap_err();
+        assert!(matches!(err, ExecError::TrainingOverlap), "{err}");
+        // Inference stays unrestricted while a training step is active.
+        assert_eq!(s.run(vec![]).unwrap()[0].as_f32_scalar().unwrap(), 6.0);
+        // Non-clearing accumulation (`submit_training`) is also exempt.
+        s.submit_training(vec![]).unwrap().wait().unwrap();
+        drop(step);
+        // Token released: the next clearing call proceeds.
+        assert!(s.run_training(vec![]).is_ok());
+    }
+
+    #[test]
+    fn training_token_releases_on_error_paths() {
+        // A clearing call that fails (bad feed) must still release the
+        // token, or the session would be deadlocked for training forever.
+        let mut mb = ModuleBuilder::new();
+        let w = mb.param_wire("w", Tensor::scalar_f32(3.0)).unwrap();
+        mb.set_outputs(&[w]).unwrap();
+        let s = Session::new(exec(), mb.finish().unwrap()).unwrap();
+        assert!(s.run_training(vec![Tensor::scalar_f32(0.0)]).is_err());
+        assert!(s.run_training(vec![]).is_ok(), "token was released");
     }
 
     #[test]

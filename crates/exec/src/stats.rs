@@ -10,6 +10,13 @@
 //!   (`max_depth` folds as a max, everything else as a sum), so
 //!   `Executor::stats` keeps reporting lifetime totals.
 //!
+//! Folding is **delta-based**: `absorb` returns a [`StatsSnapshot`] of the
+//! values it folded, and [`ExecStats::absorb_since`] later folds only what
+//! accumulated past a snapshot. The executor uses this to fold a failed or
+//! cancelled run's *straggler* increments (tasks still draining after the
+//! run reported its error) into the lifetime aggregate exactly once, at
+//! final frame teardown — no straggler is lost and none is double-counted.
+//!
 //! Kernel profiling stays on the executor-lifetime instance only: it is a
 //! calibration tool, not a per-run metric.
 
@@ -17,6 +24,34 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// A plain-value copy of every [`ExecStats`] counter at one instant.
+///
+/// Produced by [`ExecStats::snapshot`] / [`ExecStats::absorb`]; consumed by
+/// [`ExecStats::absorb_since`] as the "already folded" baseline so late
+/// straggler increments fold into the lifetime aggregate without double
+/// counting what the completion-time absorb already took.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Operations executed.
+    pub ops_executed: u64,
+    /// Frames spawned.
+    pub frames_spawned: u64,
+    /// Deepest frame depth observed.
+    pub max_depth: u64,
+    /// Backprop cache writes.
+    pub cache_writes: u64,
+    /// Backprop cache reads.
+    pub cache_reads: u64,
+    /// In-place buffer reuses.
+    pub inplace_updates: u64,
+    /// Tasks dropped because their run was cancelled.
+    pub cancelled_tasks: u64,
+    /// Prelude-published nodes.
+    pub prelude_published: u64,
+    /// Call continuations executed.
+    pub continuations: u64,
+}
 
 /// Counters describing one run's activity, or — as the fold of all
 /// completed runs — one executor's lifetime activity (see module docs).
@@ -83,13 +118,8 @@ impl ExecStats {
         self.max_depth.fetch_max(d, Ordering::Relaxed);
     }
 
-    /// Folds a completed run's counters into this (lifetime) instance:
-    /// `max_depth` as a max, every other counter as a sum.
-    ///
-    /// `cancelled_tasks` is excluded — the executor counts those directly
-    /// on both sinks as they happen, because a failed run's stray tasks can
-    /// still be draining after the run has already reported its error.
-    pub fn absorb(&self, run: &ExecStats) {
+    /// Reads every counter into a plain-value [`StatsSnapshot`].
+    pub fn snapshot(&self) -> StatsSnapshot {
         // Exhaustive destructuring: adding a counter to ExecStats without
         // deciding how it folds is a compile error, not a silent zero in
         // the lifetime aggregate.
@@ -100,26 +130,69 @@ impl ExecStats {
             cache_writes,
             cache_reads,
             inplace_updates,
-            cancelled_tasks: _, // counted on both sinks at the increment site
+            cancelled_tasks,
             prelude_published,
             continuations,
             profile: _,    // profiling is executor-lifetime only
             profile_on: _, // profiling is executor-lifetime only
-        } = run;
-        let pairs = [
-            (&self.ops_executed, ops_executed),
-            (&self.frames_spawned, frames_spawned),
-            (&self.cache_writes, cache_writes),
-            (&self.cache_reads, cache_reads),
-            (&self.inplace_updates, inplace_updates),
-            (&self.prelude_published, prelude_published),
-            (&self.continuations, continuations),
-        ];
-        for (into, from) in pairs {
-            into.fetch_add(from.load(Ordering::Relaxed), Ordering::Relaxed);
+        } = self;
+        StatsSnapshot {
+            ops_executed: ops_executed.load(Ordering::Relaxed),
+            frames_spawned: frames_spawned.load(Ordering::Relaxed),
+            max_depth: max_depth.load(Ordering::Relaxed),
+            cache_writes: cache_writes.load(Ordering::Relaxed),
+            cache_reads: cache_reads.load(Ordering::Relaxed),
+            inplace_updates: inplace_updates.load(Ordering::Relaxed),
+            cancelled_tasks: cancelled_tasks.load(Ordering::Relaxed),
+            prelude_published: prelude_published.load(Ordering::Relaxed),
+            continuations: continuations.load(Ordering::Relaxed),
         }
-        self.max_depth
-            .fetch_max(max_depth.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Folds a completed run's counters into this (lifetime) instance:
+    /// `max_depth` as a max, every other counter (including
+    /// `cancelled_tasks`) as a sum. Returns the snapshot of what was
+    /// folded, for a later [`ExecStats::absorb_since`] straggler fold.
+    pub fn absorb(&self, run: &ExecStats) -> StatsSnapshot {
+        self.absorb_since(run, &StatsSnapshot::default())
+    }
+
+    /// Folds only what `run` accumulated *past* `base` into this (lifetime)
+    /// instance and returns the new snapshot. This is how straggler
+    /// increments — tasks of a failed/cancelled run that drain after the
+    /// run already absorbed its counters — reach the aggregate exactly
+    /// once, at final frame teardown.
+    pub fn absorb_since(&self, run: &ExecStats, base: &StatsSnapshot) -> StatsSnapshot {
+        let now = run.snapshot();
+        let pairs = [
+            (&self.ops_executed, now.ops_executed - base.ops_executed),
+            (
+                &self.frames_spawned,
+                now.frames_spawned - base.frames_spawned,
+            ),
+            (&self.cache_writes, now.cache_writes - base.cache_writes),
+            (&self.cache_reads, now.cache_reads - base.cache_reads),
+            (
+                &self.inplace_updates,
+                now.inplace_updates - base.inplace_updates,
+            ),
+            (
+                &self.cancelled_tasks,
+                now.cancelled_tasks - base.cancelled_tasks,
+            ),
+            (
+                &self.prelude_published,
+                now.prelude_published - base.prelude_published,
+            ),
+            (&self.continuations, now.continuations - base.continuations),
+        ];
+        for (into, delta) in pairs {
+            if delta != 0 {
+                into.fetch_add(delta, Ordering::Relaxed);
+            }
+        }
+        self.max_depth.fetch_max(now.max_depth, Ordering::Relaxed);
+        now
     }
 
     /// Human-readable one-line summary.
@@ -173,13 +246,36 @@ mod tests {
         assert_eq!(agg.max_depth.load(Ordering::Relaxed), 7, "max, not sum");
         assert_eq!(
             agg.cancelled_tasks.load(Ordering::Relaxed),
-            0,
-            "cancelled tasks are counted at the increment site, not folded"
+            99,
+            "cancelled tasks fold as a sum like every other counter"
         );
         let deeper = ExecStats::new();
         deeper.max_depth.store(20, Ordering::Relaxed);
         agg.absorb(&deeper);
         assert_eq!(agg.max_depth.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn absorb_since_folds_only_the_delta() {
+        let agg = ExecStats::new();
+        let run = ExecStats::new();
+        run.ops_executed.store(5, Ordering::Relaxed);
+        run.cancelled_tasks.store(2, Ordering::Relaxed);
+        let snap = agg.absorb(&run);
+        assert_eq!(agg.ops_executed.load(Ordering::Relaxed), 5);
+        assert_eq!(agg.cancelled_tasks.load(Ordering::Relaxed), 2);
+        // Stragglers trickle in after the completion-time absorb...
+        run.ops_executed.store(6, Ordering::Relaxed);
+        run.cancelled_tasks.store(7, Ordering::Relaxed);
+        // ...and only the delta past the snapshot is folded.
+        agg.absorb_since(&run, &snap);
+        assert_eq!(agg.ops_executed.load(Ordering::Relaxed), 6);
+        assert_eq!(agg.cancelled_tasks.load(Ordering::Relaxed), 7);
+        // A no-change fold is a no-op (idempotent on the same snapshot).
+        let snap2 = run.snapshot();
+        agg.absorb_since(&run, &snap2);
+        assert_eq!(agg.ops_executed.load(Ordering::Relaxed), 6);
+        assert_eq!(agg.cancelled_tasks.load(Ordering::Relaxed), 7);
     }
 
     #[test]

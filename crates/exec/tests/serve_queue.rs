@@ -1,0 +1,278 @@
+//! Admission-controlled serving: the `ServeQueue` / `ServeClient` surface.
+//!
+//! Covers correctness under a multi-threaded client load (no request lost,
+//! results positional per ticket), backpressure (`try_submit` rejections on
+//! a tiny queue, blocking `submit` progress, deadline expiry), batch sizing
+//! from the worker count, per-request error isolation, latency-snapshot
+//! monotonicity, and the clean-shutdown path.
+
+use rdg_exec::{ExecError, Executor, ServeConfig, ServeError, Session};
+use rdg_graph::{Module, ModuleBuilder};
+use rdg_tensor::{DType, Tensor};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `sum(n)` with `n` fed as a main input (same fixture as the concurrent
+/// runtime tests): request cost scales with the fed depth.
+fn sum_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let h = mb.declare_subgraph("sum", &[DType::I32], &[DType::I32]);
+    mb.define_subgraph(&h, |b| {
+        let n = b.input(0)?;
+        let zero = b.const_i32(0);
+        let p = b.igt(n, zero)?;
+        let out = b.cond1(
+            p,
+            DType::I32,
+            |b| {
+                let one = b.const_i32(1);
+                let m = b.isub(n, one)?;
+                let rec = b.invoke(&h, &[m])?[0];
+                b.iadd(n, rec)
+            },
+            |b| b.identity(zero),
+        )?;
+        Ok(vec![out])
+    })
+    .unwrap();
+    let n = mb.main_input(DType::I32);
+    let out = mb.invoke(&h, &[n]).unwrap();
+    mb.set_outputs(&[out[0]]).unwrap();
+    mb.finish().unwrap()
+}
+
+fn gauss(n: i32) -> i32 {
+    // i64 intermediate: n*(n+1) overflows i32 long before the sum does.
+    ((n as i64 * (n as i64 + 1)) / 2) as i32
+}
+
+#[test]
+fn single_request_roundtrip() {
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let client = s.serve();
+    let out = client.call(vec![Tensor::scalar_i32(10)]).unwrap();
+    assert_eq!(out[0].as_i32_scalar().unwrap(), 55);
+    let st = client.stats();
+    assert_eq!((st.submitted, st.completed, st.failed), (1, 1, 0));
+    assert!(st.total.count == 1 && st.total.p50_us > 0.0);
+    client.shutdown();
+}
+
+#[test]
+fn batch_target_follows_worker_count() {
+    let s = Session::new(Executor::with_threads(3), sum_module()).unwrap();
+    let client = s.serve_with(ServeConfig {
+        batch_multiple: 4,
+        ..ServeConfig::default()
+    });
+    assert_eq!(client.batch_target(), 12);
+    client.shutdown();
+}
+
+#[test]
+fn per_request_errors_are_isolated() {
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let client = s.serve();
+    let good = client.submit(vec![Tensor::scalar_i32(6)]).unwrap();
+    let bad = client.submit(vec![Tensor::scalar_f32(1.0)]).unwrap(); // wrong dtype
+    let good2 = client.submit(vec![Tensor::scalar_i32(7)]).unwrap();
+    assert_eq!(good.wait().unwrap()[0].as_i32_scalar().unwrap(), 21);
+    match bad.wait() {
+        Err(ServeError::Exec(ExecError::BadFeed { .. })) => {}
+        other => panic!("expected BadFeed, got {other:?}"),
+    }
+    assert_eq!(good2.wait().unwrap()[0].as_i32_scalar().unwrap(), 28);
+    let st = client.stats();
+    assert_eq!((st.completed, st.failed), (2, 1));
+    client.shutdown();
+}
+
+#[test]
+fn try_submit_observes_backpressure_on_a_tiny_queue() {
+    let s = Session::new(Executor::with_threads(1), sum_module()).unwrap();
+    let client = s.serve_with(ServeConfig {
+        capacity: 2,
+        batch_multiple: 1,
+        ..ServeConfig::default()
+    });
+    // Saturate: deep requests occupy the dispatcher, then fill the queue.
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..64 {
+        match client.try_submit(vec![Tensor::scalar_i32(20_000)]) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::QueueFull) => rejected += 1,
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(rejected > 0, "a 2-slot queue must bounce a 64-burst");
+    assert_eq!(client.stats().rejected, rejected);
+    // Every accepted request completes with the right answer.
+    for t in tickets {
+        assert_eq!(t.wait().unwrap()[0].as_i32_scalar().unwrap(), gauss(20_000));
+    }
+    client.shutdown();
+}
+
+#[test]
+fn submit_deadline_expires_on_a_saturated_queue() {
+    let s = Session::new(Executor::with_threads(1), sum_module()).unwrap();
+    let client = s.serve_with(ServeConfig {
+        capacity: 1,
+        batch_multiple: 1,
+        ..ServeConfig::default()
+    });
+    // Calibrate instead of assuming hardware speed: measure how long the
+    // deep request (depth bounded so the i32 sum cannot overflow) takes
+    // on an idle loop, then pick a deadline a quarter of that. While t1
+    // occupies the dispatcher the single queue slot stays full for ~4×
+    // the deadline, so the expiry below cannot depend on the host's
+    // absolute speed.
+    let deep = vec![Tensor::scalar_i32(60_000)];
+    let probe = std::time::Instant::now();
+    client.call(deep.clone()).unwrap();
+    let service = probe.elapsed();
+    if service < Duration::from_millis(4) {
+        // A host this fast makes sub-millisecond deadlines scheduler
+        // noise; the expiry path is still covered by the wait_for shim
+        // test and the zero-margin arithmetic in submit_deadline.
+        eprintln!("host too fast for a meaningful deadline test ({service:?}); skipping");
+        client.shutdown();
+        return;
+    }
+    let deadline = service / 4;
+    let t1 = client.submit(deep).unwrap();
+    let t2 = client.submit(vec![Tensor::scalar_i32(1)]).unwrap();
+    let err = client
+        .submit_deadline(vec![Tensor::scalar_i32(1)], deadline)
+        .unwrap_err();
+    assert!(matches!(err, ServeError::DeadlineExceeded), "{err}");
+    assert_eq!(client.stats().expired, 1);
+    assert_eq!(
+        t1.wait().unwrap()[0].as_i32_scalar().unwrap(),
+        gauss(60_000)
+    );
+    assert_eq!(t2.wait().unwrap()[0].as_i32_scalar().unwrap(), 1);
+    client.shutdown();
+}
+
+#[test]
+fn shutdown_drains_accepted_requests_and_rejects_new_ones() {
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let client = s.serve();
+    let tickets: Vec<_> = (0..8)
+        .map(|i| client.submit(vec![Tensor::scalar_i32(i)]).unwrap())
+        .collect();
+    client.shutdown();
+    // Accepted work was drained, not discarded.
+    for (i, t) in tickets.into_iter().enumerate() {
+        assert_eq!(
+            t.wait().unwrap()[0].as_i32_scalar().unwrap(),
+            gauss(i as i32)
+        );
+    }
+    // The loop no longer admits.
+    assert!(matches!(
+        client.submit(vec![Tensor::scalar_i32(1)]),
+        Err(ServeError::Shutdown)
+    ));
+    assert!(matches!(
+        client.try_submit(vec![Tensor::scalar_i32(1)]),
+        Err(ServeError::Shutdown)
+    ));
+}
+
+#[test]
+fn dropping_the_last_client_shuts_the_loop_down() {
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let client = s.serve();
+    let clone = client.clone();
+    let ticket = client.submit(vec![Tensor::scalar_i32(12)]).unwrap();
+    drop(client);
+    drop(clone);
+    // The detached drain still answers the accepted request.
+    assert_eq!(
+        ticket.wait().unwrap()[0].as_i32_scalar().unwrap(),
+        gauss(12)
+    );
+}
+
+#[test]
+fn stress_many_clients_no_request_lost_and_snapshots_monotone() {
+    // The satellite stress test: N client threads × M requests through a
+    // small bounded queue. Clients mix try_submit (falling back to the
+    // blocking submit on QueueFull) with direct blocking submits, so the
+    // queue actually exercises both admission paths under contention.
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 40;
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    // Capacity below the client count, so concurrent closed-loop clients
+    // genuinely contend for admission slots.
+    let client = s.serve_with(ServeConfig {
+        capacity: 2,
+        batch_multiple: 2,
+        ..ServeConfig::default()
+    });
+    let fallbacks = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    for c in 0..CLIENTS {
+        let client = client.clone();
+        let fallbacks = Arc::clone(&fallbacks);
+        workers.push(std::thread::spawn(move || {
+            for i in 0..PER_CLIENT {
+                let n = ((c * PER_CLIENT + i) % 300) as i32;
+                let feeds = vec![Tensor::scalar_i32(n)];
+                let ticket = if i % 2 == 0 {
+                    match client.try_submit(feeds) {
+                        Ok(t) => t,
+                        Err(ServeError::QueueFull) => {
+                            fallbacks.fetch_add(1, Ordering::Relaxed);
+                            client.submit(vec![Tensor::scalar_i32(n)]).unwrap()
+                        }
+                        Err(other) => panic!("unexpected {other:?}"),
+                    }
+                } else {
+                    client.submit(feeds).unwrap()
+                };
+                let out = ticket.wait().unwrap();
+                assert_eq!(out[0].as_i32_scalar().unwrap(), gauss(n), "request n={n}");
+            }
+        }));
+    }
+    // Latency/counter snapshots taken while the storm runs must be
+    // monotone in the counters and ordered in the percentiles.
+    let mut last_completed = 0u64;
+    let mut last_submitted = 0u64;
+    for _ in 0..20 {
+        let st = client.stats();
+        assert!(st.completed >= last_completed, "completed is monotone");
+        assert!(st.submitted >= last_submitted, "submitted is monotone");
+        assert!(st.wait.p50_us <= st.wait.p95_us && st.wait.p95_us <= st.wait.p99_us);
+        assert!(st.service.p50_us <= st.service.p95_us && st.service.p95_us <= st.service.p99_us);
+        assert!(st.total.p50_us <= st.total.p95_us && st.total.p95_us <= st.total.p99_us);
+        assert!(st.queue_depth <= client.capacity(), "bound respected");
+        last_completed = st.completed;
+        last_submitted = st.submitted;
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    let st = client.stats();
+    let expect = (CLIENTS * PER_CLIENT) as u64;
+    // No request lost: every request was admitted exactly once (QueueFull
+    // bounces retried on the blocking path don't double-count), every
+    // admitted request completed, and every client got its answer
+    // (asserted per-ticket above).
+    assert_eq!(st.submitted, expect);
+    assert_eq!(st.rejected, fallbacks.load(Ordering::Relaxed));
+    assert_eq!(st.completed + st.failed, st.submitted);
+    assert_eq!(st.failed, 0);
+    // Backpressure accounting is exact: every QueueFull bounce became one
+    // blocking-submit fallback (the deterministic backpressure trigger is
+    // covered by `try_submit_observes_backpressure_on_a_tiny_queue`).
+    assert!(st.batches > 0 && st.total.count == expect);
+    client.shutdown();
+    assert_eq!(client.stats().queue_depth, 0);
+}

@@ -106,6 +106,25 @@ impl Condvar {
         guard.inner = Some(std_guard);
     }
 
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let (std_guard, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
         // std doesn't report whether a thread was woken; parking_lot does.
@@ -122,6 +141,19 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Self {
         Condvar::new()
+    }
+}
+
+/// Result of a [`Condvar::wait_for`]: whether the wait hit its timeout
+/// (mirrors `parking_lot::WaitTimeoutResult`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -233,6 +265,40 @@ mod tests {
             cv.notify_all();
         }
         assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // Timeout path: nobody notifies, the wait must return with
+        // `timed_out() == true` and the guard reacquired.
+        {
+            let (m, cv) = &*pair;
+            let mut g = m.lock();
+            let r = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+            assert!(r.timed_out());
+            assert!(!*g);
+        }
+        // Wake path: a notifier flips the flag before the deadline.
+        let p2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                let r = cv.wait_for(&mut g, std::time::Duration::from_secs(5));
+                if r.timed_out() {
+                    return false;
+                }
+            }
+            true
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(h.join().unwrap(), "waiter saw the notify before timeout");
     }
 
     #[test]
