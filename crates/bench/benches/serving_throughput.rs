@@ -16,12 +16,22 @@
 //!   as the figure/table harnesses), honouring `RDG_QUICK`/`RDG_THREADS`/
 //!   `RDG_SECONDS` — queued rows carry the per-request latency
 //!   percentiles (enqueue→complete) from `ServeStats`, which the bare
-//!   `run_many` path cannot measure (that is the point of the queue).
+//!   `run_many` path cannot measure (that is the point of the queue);
+//! * a **mixed-QoS table** (same JSON file): one Interactive foreground
+//!   client measured while a saturating Batch background stream hammers
+//!   the same queue, class-blind (everything in one lane — the PR 4
+//!   behavior) vs QoS-aware (foreground `Priority::Interactive`,
+//!   background `Priority::Batch`). The percentile columns are the
+//!   *foreground* stream's client-observed latency; requests/s is the
+//!   aggregate of both streams.
 
 use criterion::{BenchmarkId, Criterion, Throughput};
 use rdg_bench::{fmt_thr, throughput, BenchOpts, Table};
+use rdg_core::exec::LatencyPercentiles;
 use rdg_core::prelude::*;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A per-instance TreeRNN inference session plus a pool of mixed-depth
 /// requests (leaf counts spread 4–48, Moderate shape).
@@ -169,12 +179,130 @@ fn record_serving_throughput(opts: &BenchOpts, sess: &Session, requests: &[Vec<T
     table.emit("serving_throughput");
 }
 
+/// One mixed-QoS measurement: `bg_threads` background clients keep
+/// `bg_outstanding` requests in flight each (a saturating stream), while
+/// the foreground thread runs a closed loop and measures every request at
+/// the client. `qos = false` submits both streams into one class (the
+/// class-blind PR 4 queue); `qos = true` splits them
+/// Interactive/Batch. Returns (aggregate req/s, foreground percentiles).
+fn mixed_qos_arm(
+    sess: &Session,
+    requests: &[Vec<Tensor>],
+    window: Duration,
+    qos: bool,
+) -> (f64, LatencyPercentiles) {
+    const BG_THREADS: usize = 2;
+    const BG_OUTSTANDING: usize = 24;
+    let client = sess.serve_with(ServeConfig {
+        capacity: 64,
+        // Aging is the starvation bound, tuned to the lower class's
+        // tolerance; for the A/B arm it must exceed the backlog drain
+        // time or the aged backlog degenerates to FIFO and the arms
+        // measure the same thing.
+        aging_step: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let bg_class = if qos {
+        Priority::Batch
+    } else {
+        Priority::Interactive
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut bg = Vec::new();
+    for t in 0..BG_THREADS {
+        let client = client.with_priority(bg_class);
+        let stop = Arc::clone(&stop);
+        let requests = requests.to_vec();
+        bg.push(std::thread::spawn(move || {
+            let mut ring: std::collections::VecDeque<rdg_core::exec::ServeTicket> =
+                std::collections::VecDeque::new();
+            let mut i = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                if ring.len() >= BG_OUTSTANDING {
+                    ring.pop_front().unwrap().wait().expect("bg request");
+                }
+                let feeds = requests[(t * 41 + i) % requests.len()].clone();
+                i += 1;
+                ring.push_back(client.submit(feeds).expect("bg admit"));
+            }
+            for t in ring {
+                t.wait().expect("bg drain");
+            }
+        }));
+    }
+    // Foreground: closed loop, one request at a time, client-observed
+    // latency per request (the number an interactive SLO is written on).
+    let mut fg_lat_ns: Vec<u64> = Vec::new();
+    let t0 = Instant::now();
+    let mut i = 0usize;
+    while t0.elapsed() < window {
+        let feeds = requests[(i * 7) % requests.len()].clone();
+        i += 1;
+        let sent = Instant::now();
+        client
+            .submit(feeds)
+            .expect("fg admit")
+            .wait()
+            .expect("fg request");
+        fg_lat_ns.push(sent.elapsed().as_nanos() as u64);
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in bg {
+        h.join().expect("bg thread");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let completed = client.stats().completed;
+    client.shutdown();
+    (
+        completed as f64 / wall,
+        LatencyPercentiles::from_ns_samples(&mut fg_lat_ns),
+    )
+}
+
+/// The mixed-QoS table: Interactive foreground under a saturating Batch
+/// background, class-blind vs QoS-aware, appended to
+/// `results/serving_throughput.json` next to the closed-loop table.
+fn record_mixed_qos(opts: &BenchOpts, sess: &Session, requests: &[Vec<Tensor>]) {
+    let window = Duration::from_secs_f64(opts.seconds);
+    let mut table = Table::new(
+        format!(
+            "Mixed QoS: interactive foreground vs saturating batch background \
+             (2 bg clients × 24 in flight), {} worker threads, {:.1}s window; \
+             percentiles are the foreground stream's",
+            opts.threads.max(2),
+            opts.seconds
+        ),
+        &[
+            "mode",
+            "concurrency",
+            "requests/s",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+        ],
+    );
+    for (mode, qos) in [("mixed-blind", false), ("mixed-qos", true)] {
+        let (rps, fg) = mixed_qos_arm(sess, requests, window, qos);
+        table.row(&[
+            mode.into(),
+            "1+48".into(),
+            fmt_thr(rps),
+            format!("{:.0}", fg.p50_us),
+            format!("{:.0}", fg.p95_us),
+            format!("{:.0}", fg.p99_us),
+        ]);
+    }
+    table.emit("serving_throughput");
+}
+
 fn main() {
-    // One fixture for both halves: same session, same request pool, one
-    // worker pool (a `criterion_group!` would rebuild it per target).
+    // One fixture for all three measurements: same session, same request
+    // pool, one worker pool (a `criterion_group!` would rebuild it per
+    // target).
     let opts = BenchOpts::from_env();
     let (sess, requests) = serving_fixture(opts.threads.max(2), opts.quick);
     let mut criterion = Criterion::default();
     serving_bench(&mut criterion, &sess, &requests);
     record_serving_throughput(&opts, &sess, &requests);
+    record_mixed_qos(&opts, &sess, &requests);
 }

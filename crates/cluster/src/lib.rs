@@ -21,16 +21,20 @@
 
 //!
 //! Serving: [`serve_real`] stands up `n` model replicas on one shared
-//! parameter store, fronts each with an admission queue
-//! (`rdg_exec::ServeQueue`), and drives them from a pool of client
-//! threads — the request stream goes through bounded admission with
-//! backpressure, not bare `run_many`, so burst load cannot put unbounded
-//! root frames in flight on any machine.
+//! parameter store, fronts each with a QoS-aware admission queue
+//! (`rdg_exec::ServeQueue`: per-class lanes, aged strict priority,
+//! EWMA-sized dispatch waves), and drives them from a pool of client
+//! threads whose classes follow `ServeClusterConfig::class_mix` — the
+//! request stream goes through bounded admission with backpressure, not
+//! bare `run_many`, so burst load cannot put unbounded root frames in
+//! flight on any machine. The report carries cluster-level per-class
+//! client-observed latency percentiles next to the aggregate.
 
 pub mod server;
 pub mod virtual_time;
 
 pub use server::{
-    run_real, serve_real, ClusterConfig, ClusterReport, ServeClusterConfig, ServeClusterReport,
+    run_real, serve_real, ClassLatency, ClusterConfig, ClusterReport, ServeClusterConfig,
+    ServeClusterReport,
 };
 pub use virtual_time::{model_step, run_virtual, NetModel};

@@ -4,8 +4,8 @@
 use rdg_autodiff::build_training_module;
 use rdg_data::{Dataset, Split};
 use rdg_exec::{
-    ExecError, Executor, GradStore, LatencyPercentiles, ParamStore, ServeConfig, ServeError,
-    Session,
+    ExecError, Executor, GradStore, LatencyPercentiles, ParamStore, Priority, ServeConfig,
+    ServeError, Session,
 };
 use rdg_models::{build_recursive, ModelConfig};
 use rdg_nn::{Adagrad, Optimizer};
@@ -180,8 +180,13 @@ pub struct ServeClusterConfig {
     pub n_clients: usize,
     /// Requests each client issues (closed loop: submit, wait, repeat).
     pub requests_per_client: usize,
-    /// Admission-queue tuning applied to every machine.
+    /// Admission-queue tuning applied to every machine (every replica
+    /// gets its own per-class lanes, dispatcher, and wave controller).
     pub queue: ServeConfig,
+    /// QoS class per client thread, assigned round-robin (`client c` uses
+    /// `class_mix[c % len]`). Empty means all-`Interactive` — the
+    /// class-blind single-lane workload.
+    pub class_mix: Vec<Priority>,
 }
 
 /// Result of a serving-cluster run.
@@ -202,6 +207,21 @@ pub struct ServeClusterReport {
     pub p95_us: f64,
     /// 99th percentile, microseconds.
     pub p99_us: f64,
+    /// Cluster-level per-class split of the same client-observed
+    /// latencies (classes that saw no traffic are omitted). Each entry
+    /// aggregates across *all* replicas, the way a fleet SLO is read.
+    pub per_class: Vec<ClassLatency>,
+}
+
+/// Client-observed latency of one QoS class across the whole cluster.
+#[derive(Clone, Debug)]
+pub struct ClassLatency {
+    /// The admission class.
+    pub class: Priority,
+    /// Requests this class completed across all replicas.
+    pub completed: u64,
+    /// Client-observed percentiles (submit → ticket), microseconds.
+    pub percentiles: LatencyPercentiles,
 }
 
 /// Runs an admission-controlled serving cluster with real threads.
@@ -232,7 +252,8 @@ pub fn serve_real(
     if requests.is_empty() {
         return Err(ExecError::internal("serving dataset has no instances"));
     }
-    let latencies_ns = Arc::new(Mutex::new(Vec::<u64>::new()));
+    // Latency samples bucketed per class (the aggregate is their union).
+    let latencies_ns = Arc::new(Mutex::new(vec![Vec::<u64>::new(); Priority::COUNT]));
     let t0 = Instant::now();
     std::thread::scope(|scope| -> Result<(), ExecError> {
         let mut handles = Vec::new();
@@ -240,6 +261,11 @@ pub fn serve_real(
             let clients = clients.clone();
             let requests = &requests;
             let latencies_ns = Arc::clone(&latencies_ns);
+            let class = if cfg.class_mix.is_empty() {
+                Priority::Interactive
+            } else {
+                cfg.class_mix[c % cfg.class_mix.len()]
+            };
             handles.push(scope.spawn(move || -> Result<(), ExecError> {
                 let mut mine = Vec::with_capacity(cfg.requests_per_client);
                 for i in 0..cfg.requests_per_client {
@@ -247,7 +273,7 @@ pub fn serve_real(
                     let feeds = requests[(c * 31 + i) % requests.len()].clone();
                     let sent = Instant::now();
                     let result = clients[machine]
-                        .submit(feeds)
+                        .submit_with(class, feeds)
                         .and_then(|ticket| ticket.wait());
                     match result {
                         Ok(_) => mine.push(sent.elapsed().as_nanos() as u64),
@@ -255,7 +281,7 @@ pub fn serve_real(
                         Err(e) => return Err(ExecError::internal(e)),
                     }
                 }
-                latencies_ns.lock().expect("poisoned").extend(mine);
+                latencies_ns.lock().expect("poisoned")[class.index()].extend(mine);
                 Ok(())
             }));
         }
@@ -266,25 +292,52 @@ pub fn serve_real(
         Ok(())
     })?;
     let wall = t0.elapsed().as_secs_f64();
-    let (completed, rejected) = clients.iter().fold((0u64, 0u64), |(c, r), cl| {
-        let st = cl.stats();
+    // One stats snapshot per replica (each snapshot locks the queue and
+    // clones the latency windows — don't take it once per counter read).
+    let replica_stats: Vec<_> = clients.iter().map(|cl| cl.stats()).collect();
+    let (completed, rejected) = replica_stats.iter().fold((0u64, 0u64), |(c, r), st| {
         (c + st.completed, r + st.rejected)
     });
+    // Per-class completion counts, summed across every replica's ledger.
+    let class_completed: Vec<u64> = Priority::ALL
+        .iter()
+        .map(|p| {
+            replica_stats
+                .iter()
+                .map(|st| st.classes[p.index()].completed)
+                .sum()
+        })
+        .collect();
     for client in &clients {
         client.shutdown();
     }
-    let mut lat = latencies_ns.lock().expect("poisoned").clone();
+    let buckets = latencies_ns.lock().expect("poisoned").clone();
     // Same quantile rule as ServeStats, so cluster and per-machine numbers
-    // stay comparable.
-    let pct = LatencyPercentiles::from_ns_samples(&mut lat);
+    // stay comparable — for the aggregate and for every class.
+    let mut all: Vec<u64> = buckets.iter().flatten().copied().collect();
+    let total = all.len();
+    let pct = LatencyPercentiles::from_ns_samples(&mut all);
+    let per_class = Priority::ALL
+        .into_iter()
+        .filter(|p| !buckets[p.index()].is_empty())
+        .map(|p| {
+            let mut lat = buckets[p.index()].clone();
+            ClassLatency {
+                class: p,
+                completed: class_completed[p.index()],
+                percentiles: LatencyPercentiles::from_ns_samples(&mut lat),
+            }
+        })
+        .collect();
     Ok(ServeClusterReport {
         n_machines: cfg.n_machines.max(1),
         completed,
         rejected,
-        requests_per_sec: lat.len() as f64 / wall,
+        requests_per_sec: total as f64 / wall,
         p50_us: pct.p50_us,
         p95_us: pct.p95_us,
         p99_us: pct.p99_us,
+        per_class,
     })
 }
 
@@ -338,12 +391,30 @@ mod tests {
                 batch_multiple: 2,
                 ..ServeConfig::default()
             },
+            // Two interactive clients, one batch client: both classes
+            // must show up in the cluster-level split.
+            class_mix: vec![Priority::Interactive, Priority::Batch],
         };
         let report = serve_real(&cfg, &data).unwrap();
         assert_eq!(report.completed, 30, "no request lost");
         assert!(report.requests_per_sec > 0.0);
         assert!(report.p50_us > 0.0);
         assert!(report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
+        // Per-class split: 2 of 3 clients were Interactive, 1 was Batch.
+        assert_eq!(report.per_class.len(), 2);
+        let by_class = |p: Priority| {
+            report
+                .per_class
+                .iter()
+                .find(|c| c.class == p)
+                .expect("class present")
+        };
+        assert_eq!(by_class(Priority::Interactive).completed, 20);
+        assert_eq!(by_class(Priority::Batch).completed, 10);
+        for c in &report.per_class {
+            let pc = &c.percentiles;
+            assert!(pc.p50_us > 0.0 && pc.p50_us <= pc.p95_us && pc.p95_us <= pc.p99_us);
+        }
     }
 
     #[test]

@@ -32,11 +32,13 @@
 //! * [`params::ParamStore`] / [`params::GradStore`] — parameters live
 //!   outside the graph; gradients accumulate concurrently from many frames.
 //! * [`session::Session`] — a planned module bound to parameters.
-//! * [`serve::ServeQueue`] — admission-controlled serving: a bounded
-//!   request queue with backpressure in front of the executor, a
-//!   dispatcher that launches waves sized from the worker count, and
-//!   per-request latency percentiles ([`serve::ServeStats`]). Entered via
-//!   [`session::Session::serve`].
+//! * [`serve::ServeQueue`] — QoS-aware admission-controlled serving:
+//!   per-class bounded lanes ([`serve::Priority`]) with backpressure in
+//!   front of the executor, an aged strict-priority pick (starvation is
+//!   bounded by the aging step), a dispatcher whose wave size adapts to
+//!   observed service times ([`serve::WaveSizing`]), and per-request
+//!   latency percentiles aggregate and per class ([`serve::ServeStats`]).
+//!   Entered via [`session::Session::serve`].
 //! * [`sim`] — a virtual-time (discrete-event) twin of the executor used to
 //!   reproduce the paper's resource-dependent results on hardware smaller
 //!   than the authors' 36-core testbed.
@@ -105,7 +107,8 @@ pub use path::PathKey;
 pub use plan::{ExecutionPlan, ModulePlan};
 pub use queue::SchedulerKind;
 pub use serve::{
-    LatencyPercentiles, ServeClient, ServeConfig, ServeError, ServeQueue, ServeStats, ServeTicket,
+    ClassStats, LatencyPercentiles, Priority, ServeClient, ServeConfig, ServeError, ServeQueue,
+    ServeStats, ServeTicket, WaveSizing,
 };
 pub use session::Session;
 pub use stats::{ExecStats, StatsSnapshot};

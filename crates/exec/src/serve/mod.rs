@@ -1,0 +1,1060 @@
+//! QoS-aware admission-controlled serving: per-class bounded queues and a
+//! service-time-adaptive dispatcher in front of the executor.
+//!
+//! [`Session::run_many`](crate::Session::run_many) launches every request
+//! it is handed as a concurrent root frame — fine for a caller that already
+//! sized its batch, wrong for a *server*: a burst of clients would put
+//! hundreds of frame trees in flight at once, and on a small worker pool
+//! the surplus concurrency buys nothing but cache thrash (the measured
+//! ~20% locality tax at concurrency 32 on one core — see PERFORMANCE.md).
+//! This module is the serving rung on top of the multi-run runtime:
+//!
+//! ```text
+//! Interactive ──▶ [lane 0]──┐
+//! Batch       ──▶ [lane 1]──┼─▶ aged-priority pick ─▶ dispatcher ─▶ root
+//! BestEffort  ──▶ [lane 2]──┘   (strict + aging)      (EWMA-sized  frames
+//!      ▲                                               waves)        │
+//!      └───────────── ServeTicket::wait ◀── results ◀───────────────┘
+//! ```
+//!
+//! * **Admission classes** — every request carries a [`Priority`]
+//!   (`Interactive` / `Batch` / `BestEffort`). Each class has its own
+//!   bounded lane with its own backpressure: [`ServeClient::try_submit_with`]
+//!   fails fast with [`ServeError::QueueFull`] when *its class* is full,
+//!   [`ServeClient::submit_with`] blocks, [`ServeClient::submit_deadline_with`]
+//!   bounds the wait. A saturated `Batch` lane never blocks admission of an
+//!   `Interactive` request. Plain `submit`/`try_submit` use the client's
+//!   default class ([`ServeClient::with_priority`] makes class-defaulted
+//!   clones to hand to each traffic source).
+//! * **Aged strict priority** — the dispatcher drains lanes strictly by
+//!   class, *except* that a request promotes itself one class per
+//!   [`ServeConfig::aging_step`] waited, so a hot `Interactive` stream can
+//!   delay a `Batch` request by at most the aging bound, never unboundedly
+//!   (see `classes.rs` for the exact deterministic pop rule).
+//! * **Dynamic wave sizing** — the dispatcher drains in waves, submits
+//!   each wave as concurrent root frames, and joins it before the next.
+//!   Under [`WaveSizing::Dynamic`] (the default) an EWMA of observed
+//!   per-request service time picks the largest wave whose predicted
+//!   drain time fits the configured wave budget, clamped to
+//!   `[workers, workers × max_multiple]`; [`WaveSizing::Fixed`] recovers
+//!   the PR 4 `workers × batch_multiple` behavior exactly (see
+//!   `controller.rs`).
+//! * **Latency accounting** — every request carries its
+//!   enqueue → dispatch → complete timestamps; [`ServeClient::stats`]
+//!   snapshots queue-wait, service, and total latency as p50/p95/p99
+//!   ([`ServeStats`]) — aggregate *and* per class ([`ClassStats`]) — plus
+//!   admission counters (submitted / rejected / expired / completed /
+//!   failed).
+//! * **Shutdown** — [`ServeClient::shutdown`] (or dropping the last
+//!   client) stops admission, drains every already-accepted request, and
+//!   joins the dispatcher. No accepted request is ever lost.
+//!
+//! The usual entry point is [`crate::Session::serve`] /
+//! [`crate::Session::serve_with`], which wire a session's plan, parameters,
+//! and executor into [`ServeQueue::start`]. The dispatcher's *decision*
+//! logic (class pick, aging, wave sizing) lives in pure, clock-free units —
+//! `classes::ClassQueues` and `controller::WaveController` — driven
+//! deterministically by [`test_support::ScriptedServe`] in tests.
+//!
+//! # Example
+//!
+//! ```
+//! use rdg_exec::{Executor, Priority, Session};
+//! use rdg_graph::ModuleBuilder;
+//! use rdg_tensor::{DType, Tensor};
+//!
+//! let mut mb = ModuleBuilder::new();
+//! let x = mb.main_input(DType::F32);
+//! let y = mb.scale(x, 2.0).unwrap();
+//! mb.set_outputs(&[y]).unwrap();
+//! let session = Session::new(Executor::with_threads(2), mb.finish().unwrap()).unwrap();
+//!
+//! let client = session.serve();
+//! let batch = client.with_priority(Priority::Batch);
+//! let ticket = client.submit(vec![Tensor::scalar_f32(21.0)]).unwrap();
+//! let bg = batch.submit(vec![Tensor::scalar_f32(1.0)]).unwrap();
+//! assert_eq!(ticket.wait().unwrap()[0].as_f32_scalar().unwrap(), 42.0);
+//! assert_eq!(bg.wait().unwrap()[0].as_f32_scalar().unwrap(), 2.0);
+//! let stats = client.stats();
+//! assert_eq!(stats.completed, 2);
+//! assert_eq!(stats.classes[Priority::Batch.index()].completed, 1);
+//! client.shutdown();
+//! ```
+
+pub(crate) mod classes;
+pub(crate) mod controller;
+pub mod test_support;
+
+use crate::error::ExecError;
+use crate::executor::{Executor, RunHandle};
+use crate::params::ParamStore;
+use crate::plan::ModulePlan;
+use classes::{ClassQueues, Queued};
+use controller::WaveController;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use rdg_tensor::Tensor;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Admission class of one serving request.
+///
+/// Classes are *strictly* ordered — `Interactive` beats `Batch` beats
+/// `BestEffort` (the derived order: smaller is more urgent) — subject to
+/// anti-starvation aging: a request waiting in a lower class promotes one
+/// class per [`ServeConfig::aging_step`], so lower classes are delayed by
+/// at most a bounded amount, never forever.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive foreground traffic. The default class of a fresh
+    /// [`ServeClient`] — a single-class workload therefore behaves exactly
+    /// like a class-blind FIFO queue.
+    #[default]
+    Interactive,
+    /// Throughput traffic that tolerates queueing (offline scoring,
+    /// refresh jobs). Dispatched when no fresh `Interactive` work is
+    /// queued, or after aging past it.
+    Batch,
+    /// Scavenger class: runs in whatever capacity is left, needs two
+    /// aging steps to reach `Interactive` urgency.
+    BestEffort,
+}
+
+impl Priority {
+    /// Number of classes (lane count of every queue and stats array).
+    pub const COUNT: usize = 3;
+
+    /// All classes, most- to least-urgent. Index with [`Priority::index`].
+    pub const ALL: [Priority; Priority::COUNT] =
+        [Priority::Interactive, Priority::Batch, Priority::BestEffort];
+
+    /// Lane index of this class: 0 (`Interactive`) … 2 (`BestEffort`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable class name (stats tables, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::BestEffort => "best-effort",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Wave-sizing policy for the dispatcher.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WaveSizing {
+    /// PR 4 behavior, recoverable for back-compat and A/B runs: every
+    /// wave is exactly `workers ×` [`ServeConfig::batch_multiple`].
+    Fixed,
+    /// Adapt the wave target from observed service times: an EWMA of
+    /// per-request service time picks the largest wave whose predicted
+    /// drain time (`wave / workers × ewma`) fits `wave_budget`, clamped
+    /// to `[workers, workers × max_multiple]`. Starts from
+    /// `workers ×` [`ServeConfig::batch_multiple`] until the first
+    /// observation arrives.
+    Dynamic {
+        /// Upper clamp, as a multiple of the worker count.
+        max_multiple: usize,
+        /// Wall-clock budget one wave's drain should fit in. Small
+        /// budgets favor latency (short join granularity), large ones
+        /// favor dispatch-overhead amortization.
+        wave_budget: Duration,
+        /// EWMA smoothing factor in `(0, 1]`; higher reacts faster.
+        ewma_alpha: f64,
+    },
+}
+
+impl Default for WaveSizing {
+    /// Dynamic sizing: clamp at ×8 workers, 2 ms wave budget, α = 0.25.
+    ///
+    /// The budget leans toward latency: a wave is joined as a unit, so
+    /// its drain time is the latency floor of every request admitted
+    /// behind it — including a fresh `Interactive` one. 2 ms keeps that
+    /// floor tight while still batching enough sub-millisecond requests
+    /// to amortize the dispatch handoff; raise it for pure-throughput
+    /// (single-class batch) serving.
+    fn default() -> Self {
+        WaveSizing::Dynamic {
+            max_multiple: 8,
+            wave_budget: Duration::from_millis(2),
+            ewma_alpha: 0.25,
+        }
+    }
+}
+
+/// Tuning knobs for one serving loop.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bounded slots **per class lane**. A full lane rejects
+    /// `try_submit` and blocks `submit` for that class only — this is the
+    /// backpressure surface clients observe, and saturating one class
+    /// never blocks admission of another.
+    pub capacity: usize,
+    /// Wave size as a multiple of the executor's worker count: the exact
+    /// wave under [`WaveSizing::Fixed`], the starting point under
+    /// [`WaveSizing::Dynamic`].
+    pub batch_multiple: usize,
+    /// Sliding-window size (samples) of each latency distribution kept for
+    /// percentile snapshots.
+    pub latency_window: usize,
+    /// How the dispatcher sizes its waves (default: dynamic EWMA).
+    pub sizing: WaveSizing,
+    /// Queue wait that promotes a request one class (anti-starvation
+    /// aging). Tune it toward the lower classes' latency tolerance;
+    /// `Duration::ZERO` disables class separation entirely (global FIFO —
+    /// the class-blind PR 4 queue, useful as an A/B baseline).
+    pub aging_step: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            capacity: 256,
+            batch_multiple: 4,
+            latency_window: 4096,
+            sizing: WaveSizing::default(),
+            aging_step: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Errors surfaced by the serving client.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// `try_submit` on a full class lane: the caller should back off or
+    /// retry with the blocking `submit`.
+    QueueFull,
+    /// `submit_deadline` waited out its deadline on a full class lane.
+    DeadlineExceeded,
+    /// The serving loop no longer accepts requests (explicit shutdown or
+    /// every client handle was dropped).
+    Shutdown,
+    /// The request was admitted and executed, but the run failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "admission lane full"),
+            ServeError::DeadlineExceeded => {
+                write!(f, "admission deadline exceeded while lane was full")
+            }
+            ServeError::Shutdown => write!(f, "serving loop has shut down"),
+            ServeError::Exec(e) => write!(f, "request execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Percentile snapshot of one latency distribution, in microseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Observations recorded over the loop's lifetime (the percentiles are
+    /// computed over the most recent [`ServeConfig::latency_window`]).
+    pub count: u64,
+    /// Lifetime mean, µs.
+    pub mean_us: f64,
+    /// Median, µs.
+    pub p50_us: f64,
+    /// 95th percentile, µs.
+    pub p95_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+}
+
+impl LatencyPercentiles {
+    /// Computes the nearest-rank p50/p95/p99 (and mean) over a set of
+    /// nanosecond samples. Sorts `samples` in place; an empty set yields
+    /// the all-zero snapshot.
+    ///
+    /// This is *the* quantile rule of the serving stack — `ServeStats`
+    /// snapshots and `rdg_cluster::serve_real`'s client-observed report
+    /// both go through it, so their numbers stay comparable.
+    pub fn from_ns_samples(samples: &mut Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        samples.sort_unstable();
+        let sum: u128 = samples.iter().map(|&ns| ns as u128).sum();
+        let q = |p: f64| -> f64 {
+            let idx = ((samples.len() - 1) as f64 * p).round() as usize;
+            samples[idx] as f64 / 1_000.0
+        };
+        LatencyPercentiles {
+            count: samples.len() as u64,
+            mean_us: (sum as f64 / samples.len() as f64) / 1_000.0,
+            p50_us: q(0.50),
+            p95_us: q(0.95),
+            p99_us: q(0.99),
+        }
+    }
+}
+
+/// One latency distribution: a sliding sample window plus lifetime
+/// count/sum, recorded by the dispatcher and snapshotted on demand.
+struct LatencyTrack {
+    inner: Mutex<LatRing>,
+}
+
+struct LatRing {
+    samples: Vec<u64>, // nanoseconds
+    next: usize,
+    count: u64,
+    sum_ns: u128,
+    cap: usize,
+}
+
+impl LatencyTrack {
+    fn new(cap: usize) -> Self {
+        LatencyTrack {
+            inner: Mutex::new(LatRing {
+                samples: Vec::new(),
+                next: 0,
+                count: 0,
+                sum_ns: 0,
+                cap: cap.max(1),
+            }),
+        }
+    }
+
+    fn record_ns(&self, ns: u64) {
+        let mut r = self.inner.lock();
+        r.count += 1;
+        r.sum_ns += ns as u128;
+        if r.samples.len() < r.cap {
+            r.samples.push(ns);
+        } else {
+            let i = r.next;
+            r.samples[i] = ns;
+            r.next = (i + 1) % r.cap;
+        }
+    }
+
+    #[cfg(test)]
+    fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    fn percentiles(&self) -> LatencyPercentiles {
+        let r = self.inner.lock();
+        if r.samples.is_empty() {
+            return LatencyPercentiles::default();
+        }
+        let mut v = r.samples.clone();
+        let mut p = LatencyPercentiles::from_ns_samples(&mut v);
+        // Count and mean are lifetime figures, wider than the window.
+        p.count = r.count;
+        p.mean_us = (r.sum_ns as f64 / r.count as f64) / 1_000.0;
+        p
+    }
+}
+
+/// Per-class slice of a [`ServeStats`] snapshot: the admission counters
+/// and the full wait/service/total latency split for one [`Priority`],
+/// indexed by [`Priority::index`] in [`ServeStats::classes`].
+#[derive(Clone, Debug, Default)]
+pub struct ClassStats {
+    /// Requests of this class accepted into the lane.
+    pub submitted: u64,
+    /// `try_submit` calls of this class bounced off a full lane.
+    pub rejected: u64,
+    /// `submit_deadline` calls of this class that waited out their
+    /// deadline.
+    pub expired: u64,
+    /// Requests of this class that completed with a successful run.
+    pub completed: u64,
+    /// Requests of this class that completed with an execution error.
+    pub failed: u64,
+    /// Requests of this class sitting in the lane right now.
+    pub queue_depth: usize,
+    /// enqueue → dispatch (time spent queued).
+    pub wait: LatencyPercentiles,
+    /// dispatch → complete (time spent executing, including wave joins).
+    pub service: LatencyPercentiles,
+    /// enqueue → complete (what the client observes).
+    pub total: LatencyPercentiles,
+}
+
+/// Snapshot of one serving loop's counters and latency percentiles.
+///
+/// Counter fields are monotone across snapshots of a live loop (they only
+/// ever increase) — per class and therefore also in the aggregate; within
+/// one snapshot `p50 ≤ p95 ≤ p99` holds for every distribution by
+/// construction.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Requests accepted into the queue (all classes).
+    pub submitted: u64,
+    /// `try_submit` calls bounced off a full lane (backpressure events).
+    pub rejected: u64,
+    /// `submit_deadline` calls that waited out their deadline.
+    pub expired: u64,
+    /// Requests that completed with a successful run.
+    pub completed: u64,
+    /// Requests that completed with an execution error.
+    pub failed: u64,
+    /// Dispatch waves formed.
+    pub batches: u64,
+    /// Requests sitting in the queue right now (all classes).
+    pub queue_depth: usize,
+    /// Root frames in flight right now.
+    pub in_flight: usize,
+    /// The wave target the *next* dispatch wave will use — constant under
+    /// [`WaveSizing::Fixed`], live controller output under
+    /// [`WaveSizing::Dynamic`].
+    pub wave_target: usize,
+    /// enqueue → dispatch (time spent queued), all classes.
+    pub wait: LatencyPercentiles,
+    /// dispatch → complete (time spent executing, including wave joins).
+    pub service: LatencyPercentiles,
+    /// enqueue → complete (what the client observes), all classes.
+    pub total: LatencyPercentiles,
+    /// The per-class split, indexed by [`Priority::index`].
+    pub classes: [ClassStats; Priority::COUNT],
+}
+
+impl ServeStats {
+    /// One-line human-readable summary (serving-loop progress printing).
+    pub fn summary(&self) -> String {
+        format!(
+            "submitted={} completed={} failed={} rejected={} expired={} \
+             depth={} in_flight={} wave={} total_p50={:.0}µs p95={:.0}µs p99={:.0}µs",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.expired,
+            self.queue_depth,
+            self.in_flight,
+            self.wave_target,
+            self.total.p50_us,
+            self.total.p95_us,
+            self.total.p99_us,
+        )
+    }
+
+    /// Multi-line per-class summary (one line per class that saw traffic).
+    pub fn class_summary(&self) -> String {
+        let mut out = String::new();
+        for p in Priority::ALL {
+            let c = &self.classes[p.index()];
+            if c.submitted == 0 && c.rejected == 0 && c.expired == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{:<12} submitted={} completed={} failed={} rejected={} expired={} \
+                 depth={} wait_p95={:.0}µs total_p50={:.0}µs p95={:.0}µs p99={:.0}µs",
+                p.name(),
+                c.submitted,
+                c.completed,
+                c.failed,
+                c.rejected,
+                c.expired,
+                c.queue_depth,
+                c.wait.p95_us,
+                c.total.p50_us,
+                c.total.p95_us,
+                c.total.p99_us,
+            ));
+        }
+        out
+    }
+}
+
+/// One queued request: feeds in, result channel out. Class and enqueue
+/// timestamp ride in the [`Queued`] wrapper the lane keeps.
+struct Request {
+    feeds: Vec<Tensor>,
+    tx: Sender<Result<Vec<Tensor>, ExecError>>,
+}
+
+struct QueueState {
+    queue: ClassQueues<Request>,
+    /// `false` once shutdown began: submits are rejected, the dispatcher
+    /// drains what was already accepted and exits.
+    open: bool,
+    /// Live `ServeClient` handles; the last drop initiates shutdown.
+    clients: usize,
+}
+
+/// Atomic counters + latency tracks for one class.
+struct ClassLedger {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    wait: LatencyTrack,
+    service: LatencyTrack,
+    total: LatencyTrack,
+}
+
+impl ClassLedger {
+    fn new(window: usize) -> Self {
+        ClassLedger {
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            wait: LatencyTrack::new(window),
+            service: LatencyTrack::new(window),
+            total: LatencyTrack::new(window),
+        }
+    }
+}
+
+struct StatsInner {
+    /// Per-class ledgers; the aggregate counters in a snapshot are their
+    /// sums (still monotone: a sum of monotone counters is monotone).
+    classes: [ClassLedger; Priority::COUNT],
+    batches: AtomicU64,
+    in_flight: AtomicUsize,
+    /// The controller's current wave target, published after every wave.
+    wave_target: AtomicUsize,
+    /// Aggregate latency windows (kept separately from the per-class
+    /// windows — percentile windows cannot be merged after the fact).
+    wait: LatencyTrack,
+    service: LatencyTrack,
+    total: LatencyTrack,
+}
+
+/// The admission-control subsystem: per-class bounded lanes + dispatcher
+/// + stats.
+///
+/// `ServeQueue` itself is not held by users — [`ServeQueue::start`] spawns
+/// the dispatcher and hands back the first [`ServeClient`]; the loop lives
+/// as long as any client (or undelivered ticket) needs it.
+pub struct ServeQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    /// Signals the dispatcher: work arrived, or shutdown began.
+    not_empty: Condvar,
+    /// Signals blocked submitters: a slot freed, or shutdown began.
+    not_full: Condvar,
+    stats: StatsInner,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+    /// Zero point of the loop's nanosecond clock: every enqueue/dispatch/
+    /// complete timestamp is `epoch.elapsed()` in nanoseconds — the same
+    /// integer timeline the pure scheduling units run on under test.
+    epoch: Instant,
+    config: ServeConfig,
+}
+
+impl ServeQueue {
+    /// Spawns a serving loop over `(plan, params)` on `exec` and returns
+    /// its first client handle (default class: [`Priority::Interactive`]).
+    ///
+    /// [`crate::Session::serve`] is the ergonomic entry point; this level
+    /// exists for callers composing their own plan/params pairs (replica
+    /// serving on a shared store, tests).
+    pub fn start(
+        exec: Arc<Executor>,
+        plan: Arc<ModulePlan>,
+        params: Arc<ParamStore>,
+        config: ServeConfig,
+    ) -> ServeClient {
+        let capacity = config.capacity.max(1);
+        let window = config.latency_window;
+        let aging_ns = config.aging_step.as_nanos().min(u64::MAX as u128) as u64;
+        let initial_target =
+            WaveController::new(config.sizing, config.batch_multiple, exec.n_threads()).target();
+        let shared = Arc::new(ServeQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                queue: ClassQueues::new(aging_ns),
+                open: true,
+                clients: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            stats: StatsInner {
+                classes: [
+                    ClassLedger::new(window),
+                    ClassLedger::new(window),
+                    ClassLedger::new(window),
+                ],
+                batches: AtomicU64::new(0),
+                in_flight: AtomicUsize::new(0),
+                wave_target: AtomicUsize::new(initial_target),
+                wait: LatencyTrack::new(window),
+                service: LatencyTrack::new(window),
+                total: LatencyTrack::new(window),
+            },
+            dispatcher: Mutex::new(None),
+            epoch: Instant::now(),
+            config,
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rdg-serve-dispatch".into())
+                .spawn(move || dispatcher_loop(&shared, &exec, &plan, &params))
+                .expect("spawn serve dispatcher")
+        };
+        *shared.dispatcher.lock() = Some(worker);
+        ServeClient {
+            shared,
+            class: Priority::default(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// The dispatcher: drains the class lanes in controller-sized waves via
+/// the aged-priority pop, launches each wave as concurrent root frames,
+/// joins it, and answers the tickets. Runs until shutdown *and* empty
+/// lanes — every accepted request is answered before the thread exits.
+fn dispatcher_loop(
+    shared: &Arc<ServeQueue>,
+    exec: &Arc<Executor>,
+    plan: &Arc<ModulePlan>,
+    params: &Arc<ParamStore>,
+) {
+    let mut controller = WaveController::new(
+        shared.config.sizing,
+        shared.config.batch_multiple,
+        exec.n_threads(),
+    );
+    let mut wave: Vec<Queued<Request>> = Vec::with_capacity(controller.target());
+    loop {
+        {
+            let mut st = shared.state.lock();
+            loop {
+                if !st.queue.is_empty() {
+                    break;
+                }
+                if !st.open {
+                    return;
+                }
+                shared.not_empty.wait(&mut st);
+            }
+            let target = controller.target();
+            let now = shared.now_ns();
+            while wave.len() < target {
+                match st.queue.pop_next(now) {
+                    Some(q) => wave.push(q),
+                    None => break,
+                }
+            }
+        }
+        // Slots freed: wake every blocked submitter (they re-check space).
+        shared.not_full.notify_all();
+        let dispatched_ns = shared.now_ns();
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        shared.stats.in_flight.store(wave.len(), Ordering::Relaxed);
+        // Submit the whole wave before joining any of it: the wave's root
+        // frames execute concurrently, and in-flight work is bounded by
+        // the wave size — that is the admission-control contract.
+        type Waiting = (
+            Priority,
+            u64,
+            Sender<Result<Vec<Tensor>, ExecError>>,
+            Result<RunHandle, ExecError>,
+        );
+        let in_flight: Vec<Waiting> = wave
+            .drain(..)
+            .map(|q| {
+                let Queued {
+                    item: Request { feeds, tx },
+                    class,
+                    enqueued_ns,
+                    ..
+                } = q;
+                let wait_ns = dispatched_ns.saturating_sub(enqueued_ns);
+                shared.stats.wait.record_ns(wait_ns);
+                shared.stats.classes[class.index()].wait.record_ns(wait_ns);
+                let submitted = exec.submit(plan, params, feeds, None, None);
+                (class, enqueued_ns, tx, submitted)
+            })
+            .collect();
+        let wave_len = in_flight.len();
+        let mut last_done_ns = dispatched_ns;
+        for (class, enqueued_ns, tx, submitted) in in_flight {
+            let result = match submitted {
+                Ok(handle) => handle.wait(),
+                Err(e) => Err(e),
+            };
+            let done_ns = shared.now_ns();
+            last_done_ns = done_ns;
+            let service_ns = done_ns.saturating_sub(dispatched_ns);
+            let total_ns = done_ns.saturating_sub(enqueued_ns);
+            let ledger = &shared.stats.classes[class.index()];
+            shared.stats.service.record_ns(service_ns);
+            shared.stats.total.record_ns(total_ns);
+            ledger.service.record_ns(service_ns);
+            ledger.total.record_ns(total_ns);
+            match &result {
+                Ok(_) => ledger.completed.fetch_add(1, Ordering::Relaxed),
+                Err(_) => ledger.failed.fetch_add(1, Ordering::Relaxed),
+            };
+            shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            // A dropped ticket is fine: the send just goes nowhere.
+            let _ = tx.send(result);
+        }
+        // The controller observes the *wave*, not the per-request join
+        // latencies: joining in submission order means a later request's
+        // individual dispatch→complete span includes earlier joins, which
+        // would double-count intra-wave queueing and bias the EWMA high.
+        controller.observe_wave(wave_len, last_done_ns.saturating_sub(dispatched_ns));
+        // Publish the adapted target so stats snapshots (and tests
+        // watching convergence) see the decision the next wave will use.
+        shared
+            .stats
+            .wave_target
+            .store(controller.target(), Ordering::Relaxed);
+    }
+}
+
+/// A cloneable handle to an admission-controlled serving loop.
+///
+/// Clones share one queue, one dispatcher, and one stats ledger — hand a
+/// clone to every client thread. Each clone carries a *default class*
+/// ([`Priority::Interactive`] unless changed via
+/// [`ServeClient::with_priority`]) used by the plain
+/// `submit`/`try_submit`/`submit_deadline`/`call`; the `_with` variants
+/// take the class per call. The loop shuts down when the last clone drops
+/// or [`ServeClient::shutdown`] is called; after that every submit returns
+/// [`ServeError::Shutdown`], while already-accepted requests still
+/// complete and their tickets still deliver.
+pub struct ServeClient {
+    shared: Arc<ServeQueue>,
+    class: Priority,
+}
+
+impl Clone for ServeClient {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().clients += 1;
+        ServeClient {
+            shared: Arc::clone(&self.shared),
+            class: self.class,
+        }
+    }
+}
+
+impl Drop for ServeClient {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.shared.state.lock();
+            st.clients -= 1;
+            st.clients == 0
+        };
+        if last {
+            // Last client gone: stop admission and let the dispatcher
+            // drain accepted requests, detached (drop must not block).
+            self.shared.state.lock().open = false;
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl ServeClient {
+    /// A clone whose plain `submit`/`try_submit`/`call` use `class` —
+    /// hand one to each traffic source so call sites stay class-free.
+    pub fn with_priority(&self, class: Priority) -> ServeClient {
+        let mut c = self.clone();
+        c.class = class;
+        c
+    }
+
+    /// The class this client's plain submit calls use.
+    pub fn priority(&self) -> Priority {
+        self.class
+    }
+
+    /// Non-blocking admission into the client's default class.
+    pub fn try_submit(&self, feeds: Vec<Tensor>) -> Result<ServeTicket, ServeError> {
+        self.try_submit_with(self.class, feeds)
+    }
+
+    /// Non-blocking admission into `class`: rejects immediately with
+    /// [`ServeError::QueueFull`] when that class's lane has no free slot.
+    pub fn try_submit_with(
+        &self,
+        class: Priority,
+        feeds: Vec<Tensor>,
+    ) -> Result<ServeTicket, ServeError> {
+        let st = self.shared.state.lock();
+        if !st.open {
+            return Err(ServeError::Shutdown);
+        }
+        if st.queue.len_class(class) >= self.shared.capacity {
+            drop(st);
+            self.shared.stats.classes[class.index()]
+                .rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull);
+        }
+        Ok(self.enqueue(st, class, feeds))
+    }
+
+    /// Blocking admission into the client's default class.
+    pub fn submit(&self, feeds: Vec<Tensor>) -> Result<ServeTicket, ServeError> {
+        self.submit_with(self.class, feeds)
+    }
+
+    /// Blocking admission into `class`: waits for a lane slot
+    /// (backpressure), however long that takes. Returns
+    /// [`ServeError::Shutdown`] if the loop stops accepting while this
+    /// call is blocked.
+    pub fn submit_with(
+        &self,
+        class: Priority,
+        feeds: Vec<Tensor>,
+    ) -> Result<ServeTicket, ServeError> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if !st.open {
+                return Err(ServeError::Shutdown);
+            }
+            if st.queue.len_class(class) < self.shared.capacity {
+                return Ok(self.enqueue(st, class, feeds));
+            }
+            self.shared.not_full.wait(&mut st);
+        }
+    }
+
+    /// Blocking admission into the client's default class, bounded by
+    /// `deadline`.
+    pub fn submit_deadline(
+        &self,
+        feeds: Vec<Tensor>,
+        deadline: Duration,
+    ) -> Result<ServeTicket, ServeError> {
+        self.submit_deadline_with(self.class, feeds, deadline)
+    }
+
+    /// Blocking admission into `class` with a deadline: waits at most
+    /// `deadline` for a lane slot, then gives up with
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn submit_deadline_with(
+        &self,
+        class: Priority,
+        feeds: Vec<Tensor>,
+        deadline: Duration,
+    ) -> Result<ServeTicket, ServeError> {
+        let t0 = Instant::now();
+        let mut st = self.shared.state.lock();
+        loop {
+            if !st.open {
+                return Err(ServeError::Shutdown);
+            }
+            if st.queue.len_class(class) < self.shared.capacity {
+                return Ok(self.enqueue(st, class, feeds));
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= deadline {
+                drop(st);
+                self.shared.stats.classes[class.index()]
+                    .expired
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineExceeded);
+            }
+            let _ = self.shared.not_full.wait_for(&mut st, deadline - elapsed);
+        }
+    }
+
+    /// Convenience closed loop: blocking submit into the default class,
+    /// then wait for the result.
+    pub fn call(&self, feeds: Vec<Tensor>) -> Result<Vec<Tensor>, ServeError> {
+        self.submit(feeds)?.wait()
+    }
+
+    fn enqueue(
+        &self,
+        mut st: MutexGuard<'_, QueueState>,
+        class: Priority,
+        feeds: Vec<Tensor>,
+    ) -> ServeTicket {
+        let (tx, rx) = bounded(1);
+        let now = self.shared.now_ns();
+        st.queue.push(class, Request { feeds, tx }, now);
+        // Count before releasing the lock: the dispatcher cannot pop (and
+        // so cannot complete) this request until the lock drops, which
+        // keeps `submitted ≥ completed + failed` in every stats snapshot.
+        self.shared.stats.classes[class.index()]
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        ServeTicket { rx }
+    }
+
+    /// The wave target the next dispatch wave will use — constant under
+    /// [`WaveSizing::Fixed`], live controller output under
+    /// [`WaveSizing::Dynamic`].
+    pub fn wave_target(&self) -> usize {
+        self.shared.stats.wave_target.load(Ordering::Relaxed)
+    }
+
+    /// The per-class admission-lane slot count.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Snapshot of the loop's counters and latency percentiles,
+    /// aggregate and per class.
+    pub fn stats(&self) -> ServeStats {
+        let depths: [usize; Priority::COUNT] = {
+            let st = self.shared.state.lock();
+            [
+                st.queue.len_class(Priority::Interactive),
+                st.queue.len_class(Priority::Batch),
+                st.queue.len_class(Priority::BestEffort),
+            ]
+        };
+        let s = &self.shared.stats;
+        let mut agg = ServeStats {
+            batches: s.batches.load(Ordering::Relaxed),
+            in_flight: s.in_flight.load(Ordering::Relaxed),
+            wave_target: s.wave_target.load(Ordering::Relaxed),
+            wait: s.wait.percentiles(),
+            service: s.service.percentiles(),
+            total: s.total.percentiles(),
+            ..ServeStats::default()
+        };
+        for p in Priority::ALL {
+            let i = p.index();
+            let ledger = &s.classes[i];
+            let c = ClassStats {
+                submitted: ledger.submitted.load(Ordering::Relaxed),
+                rejected: ledger.rejected.load(Ordering::Relaxed),
+                expired: ledger.expired.load(Ordering::Relaxed),
+                completed: ledger.completed.load(Ordering::Relaxed),
+                failed: ledger.failed.load(Ordering::Relaxed),
+                queue_depth: depths[i],
+                wait: ledger.wait.percentiles(),
+                service: ledger.service.percentiles(),
+                total: ledger.total.percentiles(),
+            };
+            agg.submitted += c.submitted;
+            agg.rejected += c.rejected;
+            agg.expired += c.expired;
+            agg.completed += c.completed;
+            agg.failed += c.failed;
+            agg.queue_depth += c.queue_depth;
+            agg.classes[i] = c;
+        }
+        agg
+    }
+
+    /// Stops admission, waits for every accepted request to complete, and
+    /// joins the dispatcher thread.
+    ///
+    /// Idempotent across clients: the first caller joins the dispatcher,
+    /// later callers (and later submits) observe [`ServeError::Shutdown`].
+    pub fn shutdown(&self) {
+        self.shared.state.lock().open = false;
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        let handle = self.shared.dispatcher.lock().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The response slot of one admitted request.
+///
+/// Independent of the [`ServeClient`] that produced it: a ticket delivers
+/// even after every client is dropped (accepted requests are drained on
+/// shutdown, never discarded).
+pub struct ServeTicket {
+    rx: Receiver<Result<Vec<Tensor>, ExecError>>,
+}
+
+impl fmt::Debug for ServeTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServeTicket").finish_non_exhaustive()
+    }
+}
+
+impl ServeTicket {
+    /// Blocks until the request completes and returns its outputs.
+    pub fn wait(self) -> Result<Vec<Tensor>, ServeError> {
+        match self.rx.recv() {
+            Ok(result) => result.map_err(ServeError::Exec),
+            // The dispatcher answers every accepted request before it
+            // exits; a closed channel therefore means the process is
+            // tearing the loop down around us.
+            Err(_) => Err(ServeError::Shutdown),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert!(c.capacity >= 1 && c.batch_multiple >= 1 && c.latency_window >= 1);
+        assert!(matches!(c.sizing, WaveSizing::Dynamic { .. }));
+        assert!(c.aging_step > Duration::ZERO);
+    }
+
+    #[test]
+    fn priority_order_and_indexing() {
+        assert!(Priority::Interactive < Priority::Batch);
+        assert!(Priority::Batch < Priority::BestEffort);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert_eq!(Priority::default(), Priority::Interactive);
+        assert_eq!(Priority::Batch.to_string(), "batch");
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered_and_windowed() {
+        let t = LatencyTrack::new(8);
+        for us in [100u64, 200, 300, 400, 500, 600, 700, 800] {
+            t.record(Duration::from_micros(us));
+        }
+        let p = t.percentiles();
+        assert_eq!(p.count, 8);
+        assert!(p.p50_us <= p.p95_us && p.p95_us <= p.p99_us);
+        assert!((p.mean_us - 450.0).abs() < 1.0);
+        // The ring slides: 8 huge samples push the small ones out.
+        for _ in 0..8 {
+            t.record(Duration::from_micros(10_000));
+        }
+        let p = t.percentiles();
+        assert_eq!(p.count, 16, "count is lifetime");
+        assert!(p.p50_us >= 9_999.0, "window slid to the recent samples");
+    }
+
+    #[test]
+    fn empty_track_snapshots_zero() {
+        let t = LatencyTrack::new(4);
+        assert_eq!(t.percentiles(), LatencyPercentiles::default());
+    }
+}

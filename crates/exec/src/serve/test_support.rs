@@ -1,0 +1,278 @@
+//! Deterministic, clockless harness for the serve dispatcher's decision
+//! logic.
+//!
+//! Wave-sizing and aging decisions must be *asserted exactly* — not
+//! probed with sleeps that flake on a loaded 1-core CI container. The
+//! live dispatcher makes every scheduling decision through two pure,
+//! clock-free units: the aged-priority pop of `classes::ClassQueues` and
+//! the EWMA wave target of `controller::WaveController`. This module
+//! wires those same units to a **virtual clock** and **scripted service
+//! durations**, so a test can write
+//!
+//! ```
+//! use rdg_exec::serve::test_support::ScriptedServe;
+//! use rdg_exec::{Priority, ServeConfig};
+//!
+//! let mut s = ScriptedServe::new(2, &ServeConfig::default());
+//! s.submit(Priority::Batch, 1);
+//! s.submit(Priority::Interactive, 2);
+//! let wave = s.run_wave(|_| 1_000_000).unwrap(); // 1 ms per request
+//! assert_eq!(wave.requests[0].id, 2, "interactive dispatches first");
+//! assert_eq!(wave.requests[1].id, 1);
+//! ```
+//!
+//! and every assertion is a pure function of the script. The harness
+//! mirrors the live loop faithfully: waves are popped with the same rule
+//! at the same virtual `now`, requests "execute" on `workers` simulated
+//! lanes (greedy list scheduling in dispatch order), completions are
+//! observed **in dispatch order** (the live dispatcher joins its wave in
+//! submission order, so a later request's observed service includes any
+//! wait for an earlier one), the controller sees the same wave-level
+//! observation (request count + drain time — per-request join latencies
+//! would double-count intra-wave queueing), and the virtual clock
+//! advances by the wave's simulated drain time.
+
+use super::classes::ClassQueues;
+use super::controller::WaveController;
+use super::{Priority, ServeConfig};
+
+/// One request's life through a scripted wave, all timestamps in
+/// nanoseconds of the harness's virtual clock.
+#[derive(Clone, Debug)]
+pub struct ScriptedRequest {
+    /// Caller-chosen request id (the harness never interprets it beyond
+    /// passing it to the service-duration script).
+    pub id: u64,
+    /// Admission class the request was submitted with.
+    pub class: Priority,
+    /// Virtual time the request entered its lane.
+    pub enqueued_ns: u64,
+    /// enqueue → dispatch: what the request waited in the queue.
+    pub wait_ns: u64,
+    /// dispatch → observed completion (join order included) — what the
+    /// request's `ServeStats` service entry would record. The controller
+    /// is fed the wave-level observation instead (see `run_wave`).
+    pub service_ns: u64,
+    /// Virtual time the request's completion was observed.
+    pub done_ns: u64,
+}
+
+/// One dispatch wave formed and "executed" by [`ScriptedServe::run_wave`].
+#[derive(Clone, Debug)]
+pub struct ScriptedWave {
+    /// The controller's wave target when the wave was formed.
+    pub target: usize,
+    /// Virtual time the wave was dispatched.
+    pub dispatched_ns: u64,
+    /// The wave's requests, **in dispatch order** — the order the
+    /// aged-priority pop emitted them.
+    pub requests: Vec<ScriptedRequest>,
+}
+
+impl ScriptedWave {
+    /// The dispatch order as bare ids (assertion convenience).
+    pub fn ids(&self) -> Vec<u64> {
+        self.requests.iter().map(|r| r.id).collect()
+    }
+}
+
+/// The scripted twin of the live serve dispatcher: same class lanes, same
+/// pop rule, same wave controller — but time is a `u64` the test owns and
+/// service durations come from a script instead of an executor.
+pub struct ScriptedServe {
+    queues: ClassQueues<u64>,
+    controller: WaveController,
+    workers: usize,
+    capacity: usize,
+    now_ns: u64,
+}
+
+impl ScriptedServe {
+    /// Builds a harness over `workers` simulated workers with `config`'s
+    /// capacity, sizing, and aging parameters (the latency-window knob is
+    /// irrelevant here — the harness reports raw numbers, not windows).
+    pub fn new(workers: usize, config: &ServeConfig) -> Self {
+        let aging_ns = config.aging_step.as_nanos().min(u64::MAX as u128) as u64;
+        ScriptedServe {
+            queues: ClassQueues::new(aging_ns),
+            controller: WaveController::new(config.sizing, config.batch_multiple, workers),
+            workers: workers.max(1),
+            capacity: config.capacity.max(1),
+            now_ns: 0,
+        }
+    }
+
+    /// Current virtual time, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances the virtual clock (e.g. to age queued requests between
+    /// submissions) without running anything.
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns += ns;
+    }
+
+    /// Submits request `id` into `class` at the current virtual time.
+    /// Returns `false` (rejecting the request) when the class lane is at
+    /// capacity — the harness analogue of [`super::ServeError::QueueFull`].
+    pub fn submit(&mut self, class: Priority, id: u64) -> bool {
+        if self.queues.len_class(class) >= self.capacity {
+            return false;
+        }
+        self.queues.push(class, id, self.now_ns);
+        true
+    }
+
+    /// Requests queued across all lanes.
+    pub fn queue_depth(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Requests queued in `class`'s lane.
+    pub fn queue_depth_class(&self, class: Priority) -> usize {
+        self.queues.len_class(class)
+    }
+
+    /// The wave target the next [`ScriptedServe::run_wave`] will use.
+    pub fn wave_target(&self) -> usize {
+        self.controller.target()
+    }
+
+    /// The controller's current service-time EWMA, nanoseconds (`None`
+    /// before any wave ran, or under fixed sizing).
+    pub fn ewma_ns(&self) -> Option<f64> {
+        self.controller.ewma_ns()
+    }
+
+    /// Forms and "executes" the next wave: pops up to the controller's
+    /// target with the aged-priority rule at the current virtual time,
+    /// runs each request for `service_ns(id)` nanoseconds on `workers`
+    /// greedy simulated lanes, observes completions in dispatch order
+    /// (like the live join loop), feeds the controller the wave's
+    /// request count + drain time, and advances the clock to the wave's
+    /// last completion. Returns `None` when nothing is queued.
+    pub fn run_wave(&mut self, service_ns: impl Fn(u64) -> u64) -> Option<ScriptedWave> {
+        if self.queues.is_empty() {
+            return None;
+        }
+        let target = self.controller.target();
+        let dispatched_ns = self.now_ns;
+        let mut popped = Vec::new();
+        while popped.len() < target {
+            match self.queues.pop_next(self.now_ns) {
+                Some(q) => popped.push(q),
+                None => break,
+            }
+        }
+        // Greedy list scheduling in dispatch order: each request starts
+        // on the earliest-free simulated worker.
+        let mut avail = vec![dispatched_ns; self.workers];
+        let mut finishes = Vec::with_capacity(popped.len());
+        for q in &popped {
+            let lane = (0..self.workers)
+                .min_by_key(|&w| avail[w])
+                .expect("at least one worker");
+            let finish = avail[lane] + service_ns(q.item);
+            avail[lane] = finish;
+            finishes.push(finish);
+        }
+        // Completions observed in dispatch order, exactly like the live
+        // dispatcher joining handles in submission order.
+        let mut requests = Vec::with_capacity(popped.len());
+        let mut observed = dispatched_ns;
+        for (q, finish) in popped.into_iter().zip(finishes) {
+            observed = observed.max(finish);
+            let service = observed - dispatched_ns;
+            requests.push(ScriptedRequest {
+                id: q.item,
+                class: q.class,
+                enqueued_ns: q.enqueued_ns,
+                wait_ns: dispatched_ns.saturating_sub(q.enqueued_ns),
+                service_ns: service,
+                done_ns: observed,
+            });
+        }
+        self.controller
+            .observe_wave(requests.len(), observed - dispatched_ns);
+        self.now_ns = observed;
+        Some(ScriptedWave {
+            target,
+            dispatched_ns,
+            requests,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::WaveSizing;
+    use std::time::Duration;
+
+    fn config(sizing: WaveSizing) -> ServeConfig {
+        ServeConfig {
+            capacity: 4,
+            batch_multiple: 2,
+            sizing,
+            aging_step: Duration::from_millis(1),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn fixed_waves_have_fixed_size_and_strict_order() {
+        let mut s = ScriptedServe::new(2, &config(WaveSizing::Fixed));
+        for id in 0..3 {
+            assert!(s.submit(Priority::Batch, id));
+        }
+        assert!(s.submit(Priority::Interactive, 100));
+        let wave = s.run_wave(|_| 1_000).unwrap();
+        assert_eq!(wave.target, 4, "workers × batch_multiple");
+        assert_eq!(wave.ids(), vec![100, 0, 1, 2], "interactive first");
+        assert_eq!(s.queue_depth(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_each_lane_independently() {
+        let mut s = ScriptedServe::new(2, &config(WaveSizing::Fixed));
+        for id in 0..4 {
+            assert!(s.submit(Priority::Batch, id));
+        }
+        assert!(!s.submit(Priority::Batch, 4), "batch lane full");
+        assert!(s.submit(Priority::Interactive, 5), "other lanes unaffected");
+    }
+
+    #[test]
+    fn clock_advances_by_simulated_drain_time() {
+        let mut s = ScriptedServe::new(2, &config(WaveSizing::Fixed));
+        for id in 0..4 {
+            s.submit(Priority::Interactive, id);
+        }
+        // 4 requests × 1 ms on 2 workers = 2 ms drain.
+        let wave = s.run_wave(|_| 1_000_000).unwrap();
+        assert_eq!(s.now_ns(), 2_000_000);
+        assert_eq!(wave.requests[0].service_ns, 1_000_000);
+        assert_eq!(wave.requests[3].service_ns, 2_000_000);
+        assert_eq!(wave.requests[3].wait_ns, 0);
+    }
+
+    #[test]
+    fn dynamic_controller_sees_scripted_services() {
+        let mut s = ScriptedServe::new(
+            2,
+            &config(WaveSizing::Dynamic {
+                max_multiple: 8,
+                wave_budget: Duration::from_millis(5),
+                ewma_alpha: 1.0, // last observation wins: exact targets
+            }),
+        );
+        assert_eq!(s.wave_target(), 4, "starting point before data");
+        s.submit(Priority::Interactive, 0);
+        s.run_wave(|_| 500_000).unwrap(); // 0.5 ms → target 2×5/0.5 = 20 → clamp 16
+        assert_eq!(s.wave_target(), 16);
+        s.submit(Priority::Interactive, 1);
+        s.run_wave(|_| 20_000_000).unwrap(); // 20 ms → clamp at workers
+        assert_eq!(s.wave_target(), 2);
+    }
+}

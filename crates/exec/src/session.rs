@@ -221,19 +221,22 @@ impl Session {
     /// default [`ServeConfig`].
     ///
     /// The returned [`ServeClient`] is cloneable and usable from any
-    /// number of client threads; requests pass through a bounded queue
-    /// with backpressure, and a dispatcher keeps the number of in-flight
-    /// root frames at a small multiple of the executor's worker count (see
-    /// [`crate::serve`]). The loop outlives this `Session` value — it
-    /// holds its own handles to the plan, parameters, and executor — and
-    /// shuts down when the last client is dropped or
+    /// number of client threads; requests pass through per-class bounded
+    /// lanes ([`crate::Priority`]) with backpressure, and a dispatcher
+    /// keeps the number of in-flight root frames at a service-time-adapted
+    /// multiple of the executor's worker count (see [`crate::serve`]).
+    /// The first client defaults to [`crate::Priority::Interactive`]; use
+    /// [`ServeClient::with_priority`] to make class-defaulted clones for
+    /// lower-priority traffic sources. The loop outlives this `Session`
+    /// value — it holds its own handles to the plan, parameters, and
+    /// executor — and shuts down when the last client is dropped or
     /// [`ServeClient::shutdown`] is called.
     pub fn serve(&self) -> ServeClient {
         self.serve_with(ServeConfig::default())
     }
 
     /// Opens an admission-controlled serving loop with an explicit
-    /// [`ServeConfig`] (queue capacity, batch sizing).
+    /// [`ServeConfig`] (per-class lane capacity, wave sizing, aging).
     pub fn serve_with(&self, config: ServeConfig) -> ServeClient {
         ServeQueue::start(
             Arc::clone(&self.exec),

@@ -2,11 +2,13 @@
 //!
 //! Covers correctness under a multi-threaded client load (no request lost,
 //! results positional per ticket), backpressure (`try_submit` rejections on
-//! a tiny queue, blocking `submit` progress, deadline expiry), batch sizing
+//! a tiny queue, blocking `submit` progress, deadline expiry), wave sizing
 //! from the worker count, per-request error isolation, latency-snapshot
-//! monotonicity, and the clean-shutdown path.
+//! monotonicity, the clean-shutdown path, and — since the QoS rework — a
+//! three-class stress storm with deadlines and abandoned tickets whose
+//! per-class accounting must close exactly.
 
-use rdg_exec::{ExecError, Executor, ServeConfig, ServeError, Session};
+use rdg_exec::{ExecError, Executor, Priority, ServeConfig, ServeError, Session, WaveSizing};
 use rdg_graph::{Module, ModuleBuilder};
 use rdg_tensor::{DType, Tensor};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,13 +62,54 @@ fn single_request_roundtrip() {
 }
 
 #[test]
-fn batch_target_follows_worker_count() {
+fn fixed_wave_target_follows_worker_count() {
+    // WaveSizing::Fixed recovers the PR 4 rule exactly: the target is
+    // workers × batch_multiple, before and after traffic.
     let s = Session::new(Executor::with_threads(3), sum_module()).unwrap();
     let client = s.serve_with(ServeConfig {
         batch_multiple: 4,
+        sizing: WaveSizing::Fixed,
         ..ServeConfig::default()
     });
-    assert_eq!(client.batch_target(), 12);
+    assert_eq!(client.wave_target(), 12);
+    client.call(vec![Tensor::scalar_i32(50)]).unwrap();
+    assert_eq!(client.wave_target(), 12, "fixed sizing never adapts");
+    client.shutdown();
+}
+
+#[test]
+fn dynamic_wave_target_stays_clamped_under_traffic() {
+    // The dynamic controller's decisions are asserted exactly against
+    // scripted service times in `serve_qos.rs` / the controller unit
+    // tests; end to end we assert the clamp contract on real traffic.
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let client = s.serve_with(ServeConfig {
+        batch_multiple: 4,
+        sizing: WaveSizing::Dynamic {
+            max_multiple: 8,
+            wave_budget: Duration::from_millis(5),
+            ewma_alpha: 0.25,
+        },
+        ..ServeConfig::default()
+    });
+    assert_eq!(client.wave_target(), 8, "starting point before data");
+    for burst in 0..4 {
+        let tickets: Vec<_> = (0..8)
+            .map(|i| {
+                client
+                    .submit(vec![Tensor::scalar_i32(100 * (burst + i) % 700)])
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let target = client.wave_target();
+        assert!(
+            (2..=16).contains(&target),
+            "target {target} outside [workers, workers × max_multiple]"
+        );
+    }
     client.shutdown();
 }
 
@@ -275,4 +318,122 @@ fn stress_many_clients_no_request_lost_and_snapshots_monotone() {
     assert!(st.batches > 0 && st.total.count == expect);
     client.shutdown();
     assert_eq!(client.stats().queue_depth, 0);
+}
+
+#[test]
+fn stress_three_classes_with_deadlines_and_abandons() {
+    // The QoS storm: two client threads per class hammer one queue
+    // through all three admission paths (try_submit with blocking
+    // fallback, submit_deadline with tiny deadlines that may expire on a
+    // full lane, plain blocking submit), and some tickets are abandoned
+    // (dropped without waiting — the "cancel" path: the dispatcher still
+    // runs the request, the send just goes nowhere). Mid-storm snapshots
+    // must be monotone per class; the final per-class accounting must
+    // close exactly and shutdown must drain-then-join.
+    const PER_CLASS_CLIENTS: usize = 2;
+    const PER_CLIENT: usize = 30;
+    let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+    let client = s.serve_with(ServeConfig {
+        capacity: 4,
+        batch_multiple: 2,
+        ..ServeConfig::default()
+    });
+    // Per-class tallies kept by the clients themselves, to check the
+    // ledger against ground truth: [admitted, expired_locally, waited].
+    let admitted: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let expired: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let mut workers = Vec::new();
+    for (ci, class) in Priority::ALL.into_iter().enumerate() {
+        for t in 0..PER_CLASS_CLIENTS {
+            let client = client.with_priority(class);
+            let admitted = Arc::clone(&admitted[ci]);
+            let expired = Arc::clone(&expired[ci]);
+            workers.push(std::thread::spawn(move || {
+                for i in 0..PER_CLIENT {
+                    let n = ((ci * 97 + t * 31 + i * 7) % 300) as i32;
+                    let feeds = vec![Tensor::scalar_i32(n)];
+                    let ticket = match i % 3 {
+                        0 => match client.try_submit(feeds) {
+                            Ok(t) => t,
+                            Err(ServeError::QueueFull) => {
+                                client.submit(vec![Tensor::scalar_i32(n)]).unwrap()
+                            }
+                            Err(other) => panic!("unexpected {other:?}"),
+                        },
+                        1 => {
+                            // Deadline path: tiny deadlines expire when
+                            // the lane is saturated, admit when not —
+                            // both outcomes are legal, both accounted.
+                            let d = Duration::from_micros(50 * (i as u64 % 4));
+                            match client.submit_deadline(feeds, d) {
+                                Ok(t) => t,
+                                Err(ServeError::DeadlineExceeded) => {
+                                    expired.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
+                                Err(other) => panic!("unexpected {other:?}"),
+                            }
+                        }
+                        _ => client.submit(feeds).unwrap(),
+                    };
+                    admitted.fetch_add(1, Ordering::Relaxed);
+                    if i % 5 == 0 {
+                        drop(ticket); // abandon: result discarded, run not
+                    } else {
+                        let out = ticket.wait().unwrap();
+                        assert_eq!(out[0].as_i32_scalar().unwrap(), gauss(n), "n={n}");
+                    }
+                }
+            }));
+        }
+    }
+    // Per-class snapshots taken mid-storm: counters monotone, percentiles
+    // ordered, lane depths bounded by the per-class capacity.
+    let mut last = [[0u64; 2]; 3]; // [class][submitted, completed]
+    for _ in 0..15 {
+        let st = client.stats();
+        for p in Priority::ALL {
+            let c = &st.classes[p.index()];
+            assert!(c.submitted >= last[p.index()][0], "{p} submitted monotone");
+            assert!(c.completed >= last[p.index()][1], "{p} completed monotone");
+            assert!(c.wait.p50_us <= c.wait.p95_us && c.wait.p95_us <= c.wait.p99_us);
+            assert!(c.total.p50_us <= c.total.p95_us && c.total.p95_us <= c.total.p99_us);
+            assert!(c.queue_depth <= client.capacity(), "{p} lane bounded");
+            last[p.index()] = [c.submitted, c.completed];
+        }
+        assert_eq!(
+            st.submitted,
+            st.classes.iter().map(|c| c.submitted).sum::<u64>(),
+            "aggregate is the sum of the classes"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    // Drain-then-join shutdown, then exact per-class accounting.
+    client.shutdown();
+    let st = client.stats();
+    for (ci, p) in Priority::ALL.into_iter().enumerate() {
+        let c = &st.classes[p.index()];
+        assert_eq!(
+            c.submitted,
+            admitted[ci].load(Ordering::Relaxed),
+            "{p}: every admission the clients observed is in the ledger"
+        );
+        assert_eq!(
+            c.expired,
+            expired[ci].load(Ordering::Relaxed),
+            "{p}: every local deadline expiry is in the ledger"
+        );
+        assert_eq!(
+            c.completed + c.failed,
+            c.submitted,
+            "{p}: every admitted request was answered (abandons included)"
+        );
+        assert_eq!(c.failed, 0, "{p}: no request may fail");
+        assert_eq!(c.queue_depth, 0, "{p}: clean shutdown leaves no work");
+    }
+    assert_eq!(st.completed + st.failed, st.submitted);
+    assert_eq!(st.queue_depth, 0);
 }
