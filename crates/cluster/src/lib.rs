@@ -37,4 +37,4 @@ pub use server::{
     run_real, serve_real, ClassLatency, ClusterConfig, ClusterReport, ServeClusterConfig,
     ServeClusterReport,
 };
-pub use virtual_time::{model_step, run_virtual, NetModel};
+pub use virtual_time::{model_step, model_step_injected, run_virtual, DelayInjector, NetModel};

@@ -108,7 +108,7 @@ pub use plan::{ExecutionPlan, ModulePlan};
 pub use queue::SchedulerKind;
 pub use serve::{
     ClassStats, LatencyPercentiles, Priority, ServeClient, ServeConfig, ServeError, ServeQueue,
-    ServeStats, ServeTicket, WaveSizing,
+    ServeStats, ServeTicket, WaveRecord, WaveSizing,
 };
 pub use session::Session;
 pub use stats::{ExecStats, StatsSnapshot};

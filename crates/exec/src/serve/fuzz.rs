@@ -1,0 +1,1500 @@
+//! Adversarial schedule fuzzing for the serving stack (FRET-style).
+//!
+//! The QoS machinery of this module's parent — aged-priority pop, EWMA
+//! wave sizing, per-class backpressure, drain-on-shutdown — is exercised
+//! by hand-written scripts and random property tests, but neither
+//! *searches* for worst cases: the tail behavior that matters at scale
+//! (an interactive request's p99 under a hostile arrival pattern) is only
+//! ever sampled. FRET ("Dynamic Fuzzing-Based Whole-System Timing
+//! Analysis", SNIPPETS.md §2) showed that fuzzing **schedules** — arrival
+//! times and service durations, not payloads — finds worst-case timings
+//! no hand-written stress test reaches. This module is that idea applied
+//! to the serving dispatcher:
+//!
+//! * a [`Scenario`] is a complete, serializable serving schedule: queue
+//!   configuration plus an event list of class-tagged submissions with
+//!   scripted service durations, virtual-clock gaps, dispatch waves,
+//!   replica-level worker stalls, client clone/drop points, and a
+//!   shutdown point;
+//! * [`replay`] runs a scenario through the deterministic
+//!   [`ScriptedServe`] twin — entirely
+//!   under the virtual clock, zero sleeps — and scores it by observed
+//!   **interactive p99** while checking the **invariant oracles** (class
+//!   FIFO, strict priority for fresh submits, the aging starvation bound,
+//!   no-loss/no-dup ticket conservation, the wave-target clamp and
+//!   budget);
+//! * [`run_campaign`] is the seeded, fully deterministic search loop:
+//!   scenarios that raise the worst observed p99 or get nearer an oracle
+//!   boundary seed the next generation (score-guided mutation in the FRET
+//!   sense — the virtual clock is the coverage signal);
+//! * [`minimize`] delta-debugs any finding down to a small reproducer,
+//!   and the RON-style [`Scenario::to_ron`] / [`Scenario::from_ron`]
+//!   round-trip lets findings live as committed corpus files under
+//!   `crates/exec/tests/corpus/serve_schedules/` that a plain
+//!   `cargo test` replays exactly.
+//!
+//! The `rdg_fuzz_serve` binary drives a campaign from the command line /
+//! CI; `tests/serve_fuzz.rs` pins determinism and the oracles, and
+//! `tests/serve_fuzz_corpus.rs` replays the committed corpus.
+//!
+//! Everything here is a pure function of the seed: no wall clock, no
+//! thread scheduling, no global state. Same seed → same scenarios, same
+//! worst case, same report, on every host.
+
+use super::test_support::{ScriptedRequest, ScriptedServe};
+use super::{Priority, ServeConfig, WaveSizing};
+use std::fmt;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Deterministic RNG (SplitMix64, self-contained so the fuzzer adds no
+// dependency to the runtime crate).
+// ---------------------------------------------------------------------
+
+/// The fuzzer's seeded generator: SplitMix64. Deterministic across
+/// platforms; every random decision of a campaign flows from one seed.
+#[derive(Clone, Debug)]
+pub struct FuzzRng {
+    state: u64,
+}
+
+impl FuzzRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        FuzzRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n = 0` yields 0.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Uniform draw in `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// `true` with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// Uniform pick from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario model
+// ---------------------------------------------------------------------
+
+/// Upper bound on any scripted duration (service, gap, stall): 50 ms of
+/// virtual time. Without a cap the search degenerates to "make every
+/// number bigger"; with it, worst cases come from *structure* — arrival
+/// order, class mixes, aging interplay — which is what the oracles and
+/// the p99 score are meant to probe.
+pub const MAX_DUR_NS: u64 = 50_000_000;
+
+/// Wave-sizing spec of a scenario — [`WaveSizing`] with every field an
+/// integer so serialization is exact (`alpha` is stored in thousandths).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SizingSpec {
+    /// Fixed waves of `workers × batch_multiple`.
+    Fixed,
+    /// The EWMA controller (see [`WaveSizing::Dynamic`]).
+    Dynamic {
+        /// Upper clamp as a multiple of the worker count.
+        max_multiple: usize,
+        /// Wave drain budget, nanoseconds.
+        budget_ns: u64,
+        /// EWMA smoothing factor in thousandths (250 = α 0.25).
+        alpha_milli: u32,
+    },
+}
+
+impl SizingSpec {
+    /// The [`WaveSizing`] this spec denotes.
+    pub fn to_wave_sizing(self) -> WaveSizing {
+        match self {
+            SizingSpec::Fixed => WaveSizing::Fixed,
+            SizingSpec::Dynamic {
+                max_multiple,
+                budget_ns,
+                alpha_milli,
+            } => WaveSizing::Dynamic {
+                max_multiple,
+                wave_budget: Duration::from_nanos(budget_ns),
+                ewma_alpha: alpha_milli as f64 / 1000.0,
+            },
+        }
+    }
+}
+
+/// One step of a serving schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Advance the virtual clock by `ns` (an arrival gap).
+    Advance(u64),
+    /// Submit a request of `class` whose scripted service duration is
+    /// `service_ns`. Request ids are assigned in event order.
+    Submit(Priority, u64),
+    /// Form and run one dispatch wave (no-op on an empty queue).
+    Wave,
+    /// Replica-level delay injection: worker lane `lane % workers` is
+    /// busy with non-request work for `dur_ns` from now (the scripted
+    /// analogue of a straggling replica in `rdg_cluster::virtual_time`).
+    Stall(usize, u64),
+    /// Clone a client handle.
+    CloneClient,
+    /// Drop a client handle; dropping the last one closes admission.
+    DropClient,
+    /// Explicit shutdown: admission closes, queued work still drains.
+    Shutdown,
+}
+
+/// A complete serving schedule: configuration plus event list. The unit
+/// the fuzzer generates, mutates, scores, minimizes, and serializes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scenario {
+    /// Corpus slug (file-name stem; provenance note for humans).
+    pub name: String,
+    /// The campaign seed that produced this scenario (provenance).
+    pub seed: u64,
+    /// Simulated worker count.
+    pub workers: usize,
+    /// Per-class lane capacity.
+    pub capacity: usize,
+    /// Starting wave multiple (exact wave size under [`SizingSpec::Fixed`]).
+    pub batch_multiple: usize,
+    /// Anti-starvation aging step, nanoseconds.
+    pub aging_step_ns: u64,
+    /// Wave-sizing policy.
+    pub sizing: SizingSpec,
+    /// Interactive total-latency p99 this scenario is expected to
+    /// reproduce exactly on replay (`None` until recorded). The corpus
+    /// suite asserts equality — virtual time makes "exactly" meaningful.
+    pub expect_p99_ns: Option<u64>,
+    /// The schedule itself.
+    pub events: Vec<Event>,
+}
+
+impl Scenario {
+    /// The [`ServeConfig`] this scenario's queue parameters denote.
+    pub fn serve_config(&self) -> ServeConfig {
+        ServeConfig {
+            capacity: self.capacity,
+            batch_multiple: self.batch_multiple,
+            sizing: self.sizing.to_wave_sizing(),
+            aging_step: Duration::from_nanos(self.aging_step_ns),
+            ..ServeConfig::default()
+        }
+    }
+
+    /// The scenario's replica-stall events as `(lane, dur_ns)` pairs —
+    /// the delay profile `rdg_cluster::virtual_time`'s injector consumes
+    /// when a schedule found here is replayed at cluster level.
+    pub fn stall_events(&self) -> Vec<(usize, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Stall(lane, dur) => Some((lane, dur)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replay + oracles
+// ---------------------------------------------------------------------
+
+/// Submission metadata the oracles reason over (mirrors what the QoS
+/// property suite tracks by hand).
+#[derive(Clone, Copy, Debug)]
+pub struct SubmitMeta {
+    /// Request id (index among `Submit` events).
+    pub id: u64,
+    /// Admission class.
+    pub class: Priority,
+    /// Virtual enqueue time.
+    pub enqueued_ns: u64,
+    /// Admission order among *accepted* requests.
+    pub seq: usize,
+}
+
+/// Everything one deterministic replay of a [`Scenario`] produced.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayOutcome {
+    /// Accepted submissions, in admission order.
+    pub accepted: Vec<SubmitMeta>,
+    /// Submissions rejected (full lane or closed admission).
+    pub rejected: u64,
+    /// The dispatch trace, in dispatch order across all waves.
+    pub trace: Vec<ScriptedRequest>,
+    /// Per wave: the controller target when it formed and the dispatched
+    /// request ids in pop order.
+    pub waves: Vec<(usize, Vec<u64>)>,
+    /// Nearest-rank p99 of interactive total latency (enqueue →
+    /// completion), nanoseconds; 0 if no interactive request completed.
+    pub interactive_p99_ns: u64,
+    /// Worst queue wait observed by any request, nanoseconds.
+    pub worst_wait_ns: u64,
+    /// How close the run came to an oracle boundary without crossing it,
+    /// in `[0, 1]` — the score-guidance signal (see [`replay`]).
+    pub proximity: f64,
+    /// Oracle violations, human-readable. Empty means the invariants
+    /// held on this schedule.
+    pub violations: Vec<String>,
+}
+
+/// Nearest-rank p99 over unsorted nanosecond samples (integer arithmetic
+/// so replay scores are bit-exact across hosts).
+fn p99_ns(samples: &mut Vec<u64>) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() - 1) * 99 + 50) / 100;
+    samples[idx]
+}
+
+/// Replays `scenario` through the [`ScriptedServe`] twin and checks every
+/// oracle. Pure and deterministic: two calls on one scenario return
+/// identical outcomes.
+///
+/// The proximity score rewards schedules that stress a boundary without
+/// crossing it: waits approaching the aging bound, lanes filling toward
+/// capacity (or bouncing off it), and wave targets pinned at a clamp.
+/// Campaigns use it as the secondary selection signal, so the population
+/// drifts toward the oracle edges where violations would live.
+pub fn replay(scenario: &Scenario) -> ReplayOutcome {
+    let config = scenario.serve_config();
+    let mut s = ScriptedServe::new(scenario.workers, &config);
+    let mut out = ReplayOutcome::default();
+    let mut services: Vec<u64> = Vec::new();
+    let mut seq = 0usize;
+    let mut max_fill = 0.0f64;
+    let mut saw_reject = false;
+
+    let clamp = match scenario.sizing {
+        SizingSpec::Fixed => {
+            let t = scenario.workers.max(1) * scenario.batch_multiple.max(1);
+            (t, t)
+        }
+        SizingSpec::Dynamic { max_multiple, .. } => (
+            scenario.workers.max(1),
+            scenario.workers.max(1) * max_multiple.max(1),
+        ),
+    };
+
+    let check_wave = |s: &ScriptedServe,
+                      out: &mut ReplayOutcome,
+                      wave: Option<crate::serve::test_support::ScriptedWave>|
+     -> bool {
+        let Some(wave) = wave else { return false };
+        if wave.requests.len() > wave.target {
+            out.violations.push(format!(
+                "wave of {} exceeds target {}",
+                wave.requests.len(),
+                wave.target
+            ));
+        }
+        if !(clamp.0..=clamp.1).contains(&wave.target) {
+            out.violations.push(format!(
+                "wave target {} outside clamp [{}, {}]",
+                wave.target, clamp.0, clamp.1
+            ));
+        }
+        // Budget oracle: whenever the dynamic controller sizes above the
+        // lower clamp, the predicted drain of the *next* wave must fit
+        // the budget (floor rounding means `target × ewma ≤ workers ×
+        // budget` exactly, up to f64 slack).
+        if let SizingSpec::Dynamic { budget_ns, .. } = scenario.sizing {
+            let next = s.wave_target();
+            if !(clamp.0..=clamp.1).contains(&next) {
+                out.violations.push(format!(
+                    "next wave target {next} outside clamp [{}, {}]",
+                    clamp.0, clamp.1
+                ));
+            }
+            if let Some(ewma) = s.ewma_ns() {
+                if next > clamp.0 && ewma > 0.0 {
+                    let predicted = next as f64 * ewma;
+                    let allowed = scenario.workers.max(1) as f64 * budget_ns as f64;
+                    if predicted > allowed * (1.0 + 1e-9) + 1.0 {
+                        out.violations.push(format!(
+                            "budget exceeded: target {next} × ewma {ewma:.0} ns > \
+                             {} workers × {budget_ns} ns budget",
+                            scenario.workers
+                        ));
+                    }
+                }
+            }
+        }
+        for r in &wave.requests {
+            out.worst_wait_ns = out.worst_wait_ns.max(r.wait_ns);
+        }
+        out.waves
+            .push((wave.target, wave.requests.iter().map(|r| r.id).collect()));
+        out.trace.extend(wave.requests);
+        true
+    };
+
+    for ev in &scenario.events {
+        match *ev {
+            Event::Advance(ns) => s.advance(ns.min(MAX_DUR_NS)),
+            Event::Submit(class, service) => {
+                let id = services.len() as u64;
+                services.push(service.min(MAX_DUR_NS));
+                if s.submit(class, id) {
+                    out.accepted.push(SubmitMeta {
+                        id,
+                        class,
+                        enqueued_ns: s.now_ns(),
+                        seq,
+                    });
+                    seq += 1;
+                    let fill = s.queue_depth_class(class) as f64 / scenario.capacity.max(1) as f64;
+                    max_fill = max_fill.max(fill);
+                } else {
+                    out.rejected += 1;
+                    saw_reject = true;
+                }
+            }
+            Event::Wave => {
+                let wave = s.run_wave(|id| services[id as usize]);
+                check_wave(&s, &mut out, wave);
+            }
+            Event::Stall(lane, dur) => s.stall_worker(lane, dur.min(MAX_DUR_NS)),
+            Event::CloneClient => s.clone_client(),
+            Event::DropClient => s.drop_client(),
+            Event::Shutdown => s.shutdown(),
+        }
+    }
+    // Final drain: whether the schedule shut down mid-storm or simply
+    // ended, every accepted request must still dispatch (the live
+    // dispatcher's drain-then-exit contract).
+    loop {
+        let wave = s.run_wave(|id| services[id as usize]);
+        if !check_wave(&s, &mut out, wave) {
+            break;
+        }
+    }
+
+    check_order_oracles(scenario, &mut out);
+
+    let mut interactive: Vec<u64> = out
+        .trace
+        .iter()
+        .filter(|r| r.class == Priority::Interactive)
+        .map(|r| r.done_ns - r.enqueued_ns)
+        .collect();
+    out.interactive_p99_ns = p99_ns(&mut interactive);
+
+    // Oracle proximity: how hard did this schedule lean on a boundary?
+    let aging_frac = if scenario.aging_step_ns > 0 {
+        out.trace
+            .iter()
+            .filter(|r| r.class.index() > 0)
+            .map(|r| {
+                let bound = r.class.index() as u64 * scenario.aging_step_ns;
+                (r.wait_ns as f64 / bound as f64).min(1.0)
+            })
+            .fold(0.0f64, f64::max)
+    } else {
+        0.0
+    };
+    let fill_frac = if saw_reject { 1.0 } else { max_fill };
+    let clamp_frac = if out
+        .waves
+        .iter()
+        .any(|(t, _)| *t == clamp.0 || *t == clamp.1)
+    {
+        1.0
+    } else {
+        0.0
+    };
+    out.proximity = aging_frac.max(fill_frac).max(0.5 * clamp_frac);
+    out
+}
+
+/// The admission-order oracles (class FIFO, strict priority, aging
+/// bound, conservation), checked on a finished replay.
+fn check_order_oracles(scenario: &Scenario, out: &mut ReplayOutcome) {
+    // Conservation: accepted ⇔ dispatched exactly once.
+    let mut accepted_ids: Vec<u64> = out.accepted.iter().map(|m| m.id).collect();
+    let mut dispatched: Vec<u64> = out.trace.iter().map(|r| r.id).collect();
+    accepted_ids.sort_unstable();
+    dispatched.sort_unstable();
+    if accepted_ids != dispatched {
+        out.violations.push(format!(
+            "conservation broken: {} accepted vs {} dispatched (lost or duplicated)",
+            accepted_ids.len(),
+            dispatched.len()
+        ));
+        return; // positional oracles are meaningless on a broken trace
+    }
+    let pos = |id: u64| out.trace.iter().position(|r| r.id == id).unwrap();
+    for a in &out.accepted {
+        let pa = pos(a.id);
+        for b in &out.accepted {
+            if a.seq >= b.seq {
+                continue;
+            }
+            let pb = pos(b.id);
+            // Class FIFO + strict priority: `a` submitted before `b` and
+            // at least as urgent ⇒ dispatched first.
+            if a.class.index() <= b.class.index() && pa > pb {
+                out.violations.push(format!(
+                    "priority inversion: id {} (class {}, seq {}) after later, \
+                     less-urgent id {} (class {}, seq {})",
+                    a.id, a.class, a.seq, b.id, b.class, b.seq
+                ));
+            }
+            // Aging bound: once `a` has waited class_index × aging_step,
+            // nothing submitted after that instant may pass it.
+            let bound = a.class.index() as u64 * scenario.aging_step_ns;
+            if b.enqueued_ns >= a.enqueued_ns.saturating_add(bound) && pa > pb {
+                out.violations.push(format!(
+                    "starvation past the aging bound: id {} (class {}) passed by \
+                     later id {} (class {})",
+                    a.id, a.class, b.id, b.class
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generation and mutation
+// ---------------------------------------------------------------------
+
+/// Generates a random scenario from `rng` (the campaign's initial
+/// population and the fall-back when a mutation empties a schedule).
+pub fn generate(rng: &mut FuzzRng, seed: u64, max_events: usize, workers: usize) -> Scenario {
+    let capacity = *rng.pick(&[2usize, 4, 8, 16]);
+    let batch_multiple = *rng.pick(&[1usize, 2, 4]);
+    let aging_step_ns = *rng.pick(&[250_000u64, 1_000_000, 4_000_000]);
+    let sizing = if rng.chance(7, 10) {
+        SizingSpec::Dynamic {
+            max_multiple: *rng.pick(&[2usize, 4, 8]),
+            budget_ns: *rng.pick(&[500_000u64, 2_000_000, 8_000_000]),
+            alpha_milli: *rng.pick(&[100u32, 250, 500, 1000]),
+        }
+    } else {
+        SizingSpec::Fixed
+    };
+    let n = rng.range(8, max_events.max(9) as u64) as usize;
+    let mut events = Vec::with_capacity(n);
+    for _ in 0..n {
+        events.push(random_event(rng, aging_step_ns, workers));
+    }
+    Scenario {
+        name: String::new(),
+        seed,
+        workers,
+        capacity,
+        batch_multiple,
+        aging_step_ns,
+        sizing,
+        expect_p99_ns: None,
+        events,
+    }
+}
+
+/// One random event, weighted toward submissions (the schedule's meat).
+fn random_event(rng: &mut FuzzRng, aging_step_ns: u64, workers: usize) -> Event {
+    match rng.below(100) {
+        0..=54 => Event::Submit(*rng.pick(&Priority::ALL), random_service_ns(rng)),
+        55..=74 => Event::Wave,
+        75..=89 => Event::Advance(rng.below(4 * aging_step_ns.max(1))),
+        90..=93 => Event::Stall(
+            rng.below(workers.max(1) as u64) as usize,
+            rng.range(100_000, 20_000_000),
+        ),
+        94..=95 => Event::CloneClient,
+        96..=97 => Event::DropClient,
+        _ => Event::Shutdown,
+    }
+}
+
+/// A scripted service duration: mostly sub-millisecond, with a heavy
+/// tail of multi-millisecond spikes and occasional zero-duration
+/// requests (the degenerate case the controller must survive).
+fn random_service_ns(rng: &mut FuzzRng) -> u64 {
+    match rng.below(10) {
+        0 => 0,
+        1..=6 => rng.range(50_000, 1_200_000),
+        7..=8 => rng.range(1_200_000, 8_000_000),
+        _ => rng.range(8_000_000, MAX_DUR_NS),
+    }
+}
+
+/// Mutates `parent` into a child schedule: 1–3 random operators from the
+/// FRET repertoire (perturb a duration, flip a class, insert/delete/
+/// duplicate an event span, move the shutdown point, splice in a donor's
+/// suffix when one is provided).
+pub fn mutate(parent: &Scenario, donor: Option<&Scenario>, rng: &mut FuzzRng) -> Scenario {
+    let mut sc = parent.clone();
+    sc.expect_p99_ns = None;
+    sc.name.clear();
+    let ops = 1 + rng.below(3);
+    for _ in 0..ops {
+        mutate_once(&mut sc, donor, rng);
+    }
+    if sc.events.is_empty() {
+        sc.events
+            .push(random_event(rng, sc.aging_step_ns, sc.workers));
+    }
+    sc
+}
+
+fn mutate_once(sc: &mut Scenario, donor: Option<&Scenario>, rng: &mut FuzzRng) {
+    let n = sc.events.len();
+    match rng.below(10) {
+        // Perturb one duration field (service, gap, or stall).
+        0 | 1 => {
+            if n == 0 {
+                return;
+            }
+            let i = rng.below(n as u64) as usize;
+            let scale = |rng: &mut FuzzRng, v: u64| -> u64 {
+                match rng.below(5) {
+                    0 => 0,
+                    1 => v / 2,
+                    2 => v.saturating_mul(2).min(MAX_DUR_NS),
+                    3 => v.saturating_mul(10).min(MAX_DUR_NS),
+                    _ => random_service_ns(rng),
+                }
+            };
+            match &mut sc.events[i] {
+                Event::Submit(_, service) => *service = scale(rng, *service),
+                Event::Advance(gap) => *gap = scale(rng, *gap),
+                Event::Stall(_, dur) => *dur = scale(rng, *dur),
+                _ => {}
+            }
+        }
+        // Flip a submission's class.
+        2 => {
+            if let Some(Event::Submit(class, _)) = sc
+                .events
+                .iter_mut()
+                .filter(|e| matches!(e, Event::Submit(..)))
+                .nth(rng.below(16) as usize)
+            {
+                *class = *rng.pick(&Priority::ALL);
+            }
+        }
+        // Insert a random event.
+        3 | 4 => {
+            let at = rng.below(n as u64 + 1) as usize;
+            let ev = random_event(rng, sc.aging_step_ns, sc.workers);
+            sc.events.insert(at, ev);
+        }
+        // Delete a small span.
+        5 => {
+            if n == 0 {
+                return;
+            }
+            let at = rng.below(n as u64) as usize;
+            let len = (1 + rng.below(4) as usize).min(n - at);
+            sc.events.drain(at..at + len);
+        }
+        // Duplicate a span (burst amplification).
+        6 | 7 => {
+            if n == 0 {
+                return;
+            }
+            let at = rng.below(n as u64) as usize;
+            let len = (1 + rng.below(6) as usize).min(n - at);
+            let span: Vec<Event> = sc.events[at..at + len].to_vec();
+            let insert_at = rng.below(sc.events.len() as u64 + 1) as usize;
+            for (k, ev) in span.into_iter().enumerate() {
+                sc.events.insert(insert_at + k, ev);
+            }
+            sc.events.truncate(512); // schedules stay replayable in µs
+        }
+        // Move (or toggle) the shutdown point.
+        8 => {
+            sc.events.retain(|e| !matches!(e, Event::Shutdown));
+            if rng.chance(2, 3) {
+                let at = rng.below(sc.events.len() as u64 + 1) as usize;
+                sc.events.insert(at, Event::Shutdown);
+            }
+        }
+        // Crossover: keep a prefix, splice in the donor's suffix.
+        _ => {
+            if let Some(d) = donor {
+                if n > 0 && !d.events.is_empty() {
+                    let cut = rng.below(n as u64) as usize;
+                    let dcut = rng.below(d.events.len() as u64) as usize;
+                    sc.events.truncate(cut);
+                    sc.events.extend_from_slice(&d.events[dcut..]);
+                    sc.events.truncate(512);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimization (delta debugging)
+// ---------------------------------------------------------------------
+
+/// Delta-debugs `scenario` down while `keep` stays true: repeatedly
+/// drops event chunks (halving granularity, classic ddmin), then shrinks
+/// surviving durations toward zero. `keep` is called on candidates only;
+/// the returned scenario always satisfies it. Deterministic, and bounded
+/// by `max_checks` predicate evaluations.
+pub fn minimize(
+    scenario: &Scenario,
+    max_checks: usize,
+    mut keep: impl FnMut(&Scenario) -> bool,
+) -> Scenario {
+    debug_assert!(keep(scenario), "minimize() needs an interesting input");
+    let mut best = scenario.clone();
+    let mut checks = 0usize;
+    // Phase 1: chunk removal.
+    let mut chunk = (best.events.len() / 2).max(1);
+    while chunk >= 1 && checks < max_checks {
+        let mut i = 0;
+        let mut removed_any = false;
+        while i < best.events.len() && checks < max_checks {
+            let mut cand = best.clone();
+            let end = (i + chunk).min(cand.events.len());
+            cand.events.drain(i..end);
+            checks += 1;
+            if !cand.events.is_empty() && keep(&cand) {
+                best = cand;
+                removed_any = true;
+                // Same index now holds the next chunk.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk /= 2;
+        }
+    }
+    // Phase 2: shrink durations (0, then halves) while still interesting.
+    for i in 0..best.events.len() {
+        if checks >= max_checks {
+            break;
+        }
+        let orig = best.events[i];
+        let field = |ev: &Event| -> Option<u64> {
+            match *ev {
+                Event::Submit(_, v) | Event::Advance(v) | Event::Stall(_, v) => Some(v),
+                _ => None,
+            }
+        };
+        let with = |ev: &Event, v: u64| -> Event {
+            match *ev {
+                Event::Submit(c, _) => Event::Submit(c, v),
+                Event::Advance(_) => Event::Advance(v),
+                Event::Stall(l, _) => Event::Stall(l, v),
+                other => other,
+            }
+        };
+        let Some(mut v) = field(&orig) else { continue };
+        // Try zero first (biggest shrink), then binary descent.
+        let mut cand = best.clone();
+        cand.events[i] = with(&orig, 0);
+        checks += 1;
+        if keep(&cand) {
+            best = cand;
+            continue;
+        }
+        while v > 1 && checks < max_checks {
+            let half = v / 2;
+            let mut cand = best.clone();
+            cand.events[i] = with(&orig, half);
+            checks += 1;
+            if keep(&cand) {
+                best = cand;
+                v = half;
+            } else {
+                break;
+            }
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------
+// Campaign
+// ---------------------------------------------------------------------
+
+/// Knobs of one fuzz campaign. Everything is deterministic in `seed`.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Master seed: same seed → same campaign, bit for bit.
+    pub seed: u64,
+    /// Mutation iterations to run.
+    pub iters: usize,
+    /// Population size of the score-guided pool.
+    pub pool: usize,
+    /// Event-count ceiling for generated scenarios.
+    pub max_events: usize,
+    /// Simulated worker count of every scenario.
+    pub workers: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: 0xF4E7,
+            iters: 2_000,
+            pool: 12,
+            max_events: 96,
+            workers: 2,
+        }
+    }
+}
+
+/// One minimized oracle violation a campaign found.
+#[derive(Clone, Debug)]
+pub struct ViolationFinding {
+    /// The minimized reproducer.
+    pub scenario: Scenario,
+    /// The first oracle message of the (minimized) replay.
+    pub detail: String,
+}
+
+/// The result of [`run_campaign`].
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// The config the campaign ran with.
+    pub config: FuzzConfig,
+    /// Scenarios replayed (pool init + iterations + minimization).
+    pub executed: usize,
+    /// The worst interactive p99 observed, nanoseconds.
+    pub worst_p99_ns: u64,
+    /// The minimized worst-case scenario (with `expect_p99_ns` recorded),
+    /// ready for [`Scenario::to_ron`].
+    pub worst: Scenario,
+    /// `(iteration, p99_ns)` at every strict improvement — the search
+    /// trajectory (iteration 0 = the best of the initial pool).
+    pub improvements: Vec<(usize, u64)>,
+    /// Minimized oracle violations (empty when the invariants held on
+    /// every schedule tried — the expected steady state).
+    pub violations: Vec<ViolationFinding>,
+}
+
+impl CampaignReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "seed={:#x} iters={} executed={} worst_interactive_p99={:.3}ms \
+             improvements={} violations={}",
+            self.config.seed,
+            self.config.iters,
+            self.executed,
+            self.worst_p99_ns as f64 / 1e6,
+            self.improvements.len(),
+            self.violations.len(),
+        )
+    }
+}
+
+/// Runs a seeded, deterministic fuzz campaign: generate a pool, then
+/// `iters` rounds of tournament-select → mutate → replay → score. New
+/// worst-case p99s and oracle violations are delta-debugged down before
+/// they are reported. Pure in `config` — no wall clock anywhere.
+pub fn run_campaign(config: &FuzzConfig) -> CampaignReport {
+    let mut rng = FuzzRng::new(config.seed);
+    let mut executed = 0usize;
+    let mut pool: Vec<(Scenario, u64, f64)> = Vec::with_capacity(config.pool);
+    let mut violations: Vec<ViolationFinding> = Vec::new();
+    let mut seen_violation_kinds: Vec<String> = Vec::new();
+
+    let record_violation = |sc: &Scenario,
+                            first: &str,
+                            executed: &mut usize,
+                            violations: &mut Vec<ViolationFinding>,
+                            seen: &mut Vec<String>| {
+        // One minimized reproducer per violation kind (the leading
+        // word of the message) keeps the corpus meaningful.
+        let kind = first.split(':').next().unwrap_or(first).to_string();
+        if seen.contains(&kind) {
+            return;
+        }
+        seen.push(kind);
+        let mut checks = 0usize;
+        let minimized = minimize(sc, 800, |cand| {
+            checks += 1;
+            !replay(cand).violations.is_empty()
+        });
+        *executed += checks;
+        let detail = replay(&minimized)
+            .violations
+            .first()
+            .cloned()
+            .unwrap_or_default();
+        *executed += 1;
+        violations.push(ViolationFinding {
+            scenario: minimized,
+            detail,
+        });
+    };
+
+    // Initial population.
+    let mut best: Option<(Scenario, u64)> = None;
+    let mut improvements = Vec::new();
+    for _ in 0..config.pool.max(1) {
+        let sc = generate(&mut rng, config.seed, config.max_events, config.workers);
+        let out = replay(&sc);
+        executed += 1;
+        if let Some(first) = out.violations.first() {
+            record_violation(
+                &sc,
+                first,
+                &mut executed,
+                &mut violations,
+                &mut seen_violation_kinds,
+            );
+        }
+        if best
+            .as_ref()
+            .map_or(true, |(_, p)| out.interactive_p99_ns > *p)
+        {
+            best = Some((sc.clone(), out.interactive_p99_ns));
+        }
+        pool.push((sc, out.interactive_p99_ns, out.proximity));
+    }
+    if let Some((_, p)) = &best {
+        improvements.push((0, *p));
+    }
+
+    // Search loop.
+    for iter in 1..=config.iters {
+        let parent = {
+            let a = rng.below(pool.len() as u64) as usize;
+            let b = rng.below(pool.len() as u64) as usize;
+            if pool[a].1 >= pool[b].1 {
+                a
+            } else {
+                b
+            }
+        };
+        let donor_idx = rng.below(pool.len() as u64) as usize;
+        let use_donor = rng.chance(15, 100);
+        let child = {
+            let donor = if use_donor {
+                Some(&pool[donor_idx].0)
+            } else {
+                None
+            };
+            mutate(&pool[parent].0, donor, &mut rng)
+        };
+        let out = replay(&child);
+        executed += 1;
+        if let Some(first) = out.violations.first() {
+            record_violation(
+                &child,
+                first,
+                &mut executed,
+                &mut violations,
+                &mut seen_violation_kinds,
+            );
+        }
+        if out.interactive_p99_ns > best.as_ref().map_or(0, |(_, p)| *p) {
+            best = Some((child.clone(), out.interactive_p99_ns));
+            improvements.push((iter, out.interactive_p99_ns));
+        }
+        // Pool update: replace the weakest member when the child beats it
+        // on either signal (p99 or oracle proximity).
+        let weakest = (0..pool.len())
+            .min_by(|&a, &b| {
+                (pool[a].1, pool[a].2)
+                    .partial_cmp(&(pool[b].1, pool[b].2))
+                    .unwrap()
+            })
+            .unwrap();
+        if out.interactive_p99_ns > pool[weakest].1 || out.proximity > pool[weakest].2 {
+            pool[weakest] = (child, out.interactive_p99_ns, out.proximity);
+        }
+    }
+
+    // Minimize the champion while its p99 stays at least as bad, then
+    // record the exact expectation for corpus replay.
+    let (champion, champion_p99) = best.expect("non-empty pool");
+    let mut checks = 0usize;
+    let mut worst = if champion_p99 > 0 {
+        minimize(&champion, 1_500, |cand| {
+            checks += 1;
+            let out = replay(cand);
+            out.violations.is_empty() && out.interactive_p99_ns >= champion_p99
+        })
+    } else {
+        champion
+    };
+    executed += checks;
+    let final_out = replay(&worst);
+    executed += 1;
+    worst.expect_p99_ns = Some(final_out.interactive_p99_ns);
+    worst.name = format!("fuzz-worst-{:08x}", config.seed);
+
+    CampaignReport {
+        config: config.clone(),
+        executed,
+        worst_p99_ns: final_out.interactive_p99_ns,
+        worst,
+        improvements,
+        violations,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hand-written baselines
+// ---------------------------------------------------------------------
+
+/// The hand-written stress patterns of `tests/serve_qos.rs` /
+/// `tests/serve_queue.rs` / the mixed-QoS bench, re-expressed as
+/// scenarios on the same virtual clock. The corpus suite compares the
+/// fuzzer's worst case against these: the acceptance bar is a committed
+/// scenario whose interactive p99 is *strictly worse than every one of
+/// them* — evidence the search reaches tails the hand-written tests
+/// never did.
+pub fn baseline_scenarios() -> Vec<Scenario> {
+    let base = |name: &str, sizing: SizingSpec, batch_multiple: usize| Scenario {
+        name: name.to_string(),
+        seed: 0,
+        workers: 2,
+        capacity: 8,
+        batch_multiple,
+        aging_step_ns: 1_000_000,
+        sizing,
+        expect_p99_ns: None,
+        events: Vec::new(),
+    };
+    let dynamic = SizingSpec::Dynamic {
+        max_multiple: 8,
+        budget_ns: 2_000_000,
+        alpha_milli: 250,
+    };
+
+    // 1. The anti-starvation storm: one batch request under a hot
+    //    interactive stream, fixed waves of 2, 0.3 ms services.
+    let mut storm = base("hand-aged-batch-storm", SizingSpec::Fixed, 1);
+    storm.events.push(Event::Submit(Priority::Batch, 300_000));
+    for _ in 0..40 {
+        storm
+            .events
+            .push(Event::Submit(Priority::Interactive, 300_000));
+        storm
+            .events
+            .push(Event::Submit(Priority::Interactive, 300_000));
+        storm.events.push(Event::Wave);
+    }
+
+    // 2. The three-class round-robin storm with 0.2–1.1 ms services
+    //    (the serve_queue QoS stress, on the virtual clock).
+    let mut classes = base("hand-three-class-storm", dynamic, 2);
+    for i in 0..90u64 {
+        let class = Priority::ALL[(i % 3) as usize];
+        classes
+            .events
+            .push(Event::Submit(class, 200_000 + (i % 7) * 150_000));
+        if i % 4 == 3 {
+            classes.events.push(Event::Wave);
+        }
+    }
+
+    // 3. A uniform interactive burst at the default dynamic sizing.
+    let mut burst = base("hand-uniform-burst", dynamic, 4);
+    burst.capacity = 64;
+    for _ in 0..64 {
+        burst
+            .events
+            .push(Event::Submit(Priority::Interactive, 1_000_000));
+    }
+
+    // 4. Saturating batch background with an interactive trickle (the
+    //    mixed-QoS bench arm): batch floods, one interactive per wave.
+    let mut mixed = base("hand-saturating-batch-bg", dynamic, 4);
+    mixed.capacity = 24;
+    for _ in 0..24 {
+        mixed.events.push(Event::Submit(Priority::Batch, 900_000));
+    }
+    for _ in 0..16 {
+        mixed
+            .events
+            .push(Event::Submit(Priority::Interactive, 250_000));
+        mixed.events.push(Event::Wave);
+    }
+    vec![storm, classes, burst, mixed]
+}
+
+// ---------------------------------------------------------------------
+// RON-style serialization
+// ---------------------------------------------------------------------
+
+impl Scenario {
+    /// Serializes the scenario as a RON-style committed script — the
+    /// corpus file format. Round-trips exactly through
+    /// [`Scenario::from_ron`].
+    pub fn to_ron(&self) -> String {
+        use fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "// serve-schedule scenario (rdg_fuzz_serve); replayed by \
+             tests/serve_fuzz_corpus.rs"
+        );
+        let _ = writeln!(s, "(");
+        let _ = writeln!(s, "    name: \"{}\",", self.name);
+        let _ = writeln!(s, "    seed: {},", self.seed);
+        let _ = writeln!(s, "    workers: {},", self.workers);
+        let _ = writeln!(s, "    capacity: {},", self.capacity);
+        let _ = writeln!(s, "    batch_multiple: {},", self.batch_multiple);
+        let _ = writeln!(s, "    aging_step_ns: {},", self.aging_step_ns);
+        match self.sizing {
+            SizingSpec::Fixed => {
+                let _ = writeln!(s, "    sizing: Fixed,");
+            }
+            SizingSpec::Dynamic {
+                max_multiple,
+                budget_ns,
+                alpha_milli,
+            } => {
+                let _ = writeln!(
+                    s,
+                    "    sizing: Dynamic(max_multiple: {max_multiple}, \
+                     budget_ns: {budget_ns}, alpha_milli: {alpha_milli}),"
+                );
+            }
+        }
+        match self.expect_p99_ns {
+            Some(v) => {
+                let _ = writeln!(s, "    expect_p99_ns: Some({v}),");
+            }
+            None => {
+                let _ = writeln!(s, "    expect_p99_ns: None,");
+            }
+        }
+        let _ = writeln!(s, "    events: [");
+        for ev in &self.events {
+            let line = match *ev {
+                Event::Advance(ns) => format!("Advance({ns})"),
+                Event::Submit(class, service) => {
+                    format!("Submit({}, {service})", class_token(class))
+                }
+                Event::Wave => "Wave".to_string(),
+                Event::Stall(lane, dur) => format!("Stall({lane}, {dur})"),
+                Event::CloneClient => "CloneClient".to_string(),
+                Event::DropClient => "DropClient".to_string(),
+                Event::Shutdown => "Shutdown".to_string(),
+            };
+            let _ = writeln!(s, "        {line},");
+        }
+        let _ = writeln!(s, "    ],");
+        let _ = writeln!(s, ")");
+        s
+    }
+
+    /// Parses a scenario from its [`Scenario::to_ron`] form. `//`
+    /// comments and trailing commas are tolerated; unknown fields are
+    /// errors (a corpus file that drifts from the schema should fail
+    /// loudly, not silently lose meaning).
+    pub fn from_ron(text: &str) -> Result<Scenario, String> {
+        let mut p = Parser::new(text);
+        p.expect("(")?;
+        let mut sc = Scenario {
+            name: String::new(),
+            seed: 0,
+            workers: 1,
+            capacity: 1,
+            batch_multiple: 1,
+            aging_step_ns: 0,
+            sizing: SizingSpec::Fixed,
+            expect_p99_ns: None,
+            events: Vec::new(),
+        };
+        loop {
+            if p.eat(")") {
+                break;
+            }
+            let field = p.ident()?;
+            p.expect(":")?;
+            match field.as_str() {
+                "name" => sc.name = p.string()?,
+                "seed" => sc.seed = p.number()?,
+                "workers" => sc.workers = p.number()? as usize,
+                "capacity" => sc.capacity = p.number()? as usize,
+                "batch_multiple" => sc.batch_multiple = p.number()? as usize,
+                "aging_step_ns" => sc.aging_step_ns = p.number()?,
+                "sizing" => sc.sizing = p.sizing()?,
+                "expect_p99_ns" => sc.expect_p99_ns = p.option_number()?,
+                "events" => sc.events = p.events()?,
+                other => return Err(format!("unknown scenario field `{other}`")),
+            }
+            p.eat(",");
+        }
+        Ok(sc)
+    }
+}
+
+fn class_token(class: Priority) -> &'static str {
+    match class {
+        Priority::Interactive => "Interactive",
+        Priority::Batch => "Batch",
+        Priority::BestEffort => "BestEffort",
+    }
+}
+
+fn class_from_token(tok: &str) -> Result<Priority, String> {
+    match tok {
+        "Interactive" => Ok(Priority::Interactive),
+        "Batch" => Ok(Priority::Batch),
+        "BestEffort" => Ok(Priority::BestEffort),
+        other => Err(format!("unknown priority class `{other}`")),
+    }
+}
+
+/// Minimal recursive-descent parser over the corpus grammar: idents,
+/// integers, quoted strings, and the punctuation `( ) [ ] , :`.
+struct Parser {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(text: &str) -> Self {
+        let mut tokens = Vec::new();
+        for line in text.lines() {
+            let line = match line.find("//") {
+                Some(i) => &line[..i],
+                None => line,
+            };
+            let mut cur = String::new();
+            let mut chars = line.chars().peekable();
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' => {
+                        if !cur.is_empty() {
+                            tokens.push(std::mem::take(&mut cur));
+                        }
+                        let mut s = String::from("\"");
+                        for c2 in chars.by_ref() {
+                            if c2 == '"' {
+                                break;
+                            }
+                            s.push(c2);
+                        }
+                        tokens.push(s);
+                    }
+                    '(' | ')' | '[' | ']' | ',' | ':' => {
+                        if !cur.is_empty() {
+                            tokens.push(std::mem::take(&mut cur));
+                        }
+                        tokens.push(c.to_string());
+                    }
+                    c if c.is_whitespace() => {
+                        if !cur.is_empty() {
+                            tokens.push(std::mem::take(&mut cur));
+                        }
+                    }
+                    c => cur.push(c),
+                }
+            }
+            if !cur.is_empty() {
+                tokens.push(cur);
+            }
+        }
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Result<String, String> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| "unexpected end of input".to_string())?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), String> {
+        let t = self.next()?;
+        if t == tok {
+            Ok(())
+        } else {
+            Err(format!("expected `{tok}`, found `{t}`"))
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        let t = self.next()?;
+        if t.chars().all(|c| c.is_alphanumeric() || c == '_') && !t.is_empty() {
+            Ok(t)
+        } else {
+            Err(format!("expected identifier, found `{t}`"))
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let t = self.next()?;
+        t.parse::<u64>()
+            .map_err(|_| format!("expected number, found `{t}`"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let t = self.next()?;
+        t.strip_prefix('"')
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, found `{t}`"))
+    }
+
+    fn option_number(&mut self) -> Result<Option<u64>, String> {
+        let t = self.ident()?;
+        match t.as_str() {
+            "None" => Ok(None),
+            "Some" => {
+                self.expect("(")?;
+                let v = self.number()?;
+                self.expect(")")?;
+                Ok(Some(v))
+            }
+            other => Err(format!("expected Some(..) or None, found `{other}`")),
+        }
+    }
+
+    fn sizing(&mut self) -> Result<SizingSpec, String> {
+        let t = self.ident()?;
+        match t.as_str() {
+            "Fixed" => Ok(SizingSpec::Fixed),
+            "Dynamic" => {
+                self.expect("(")?;
+                let (mut max_multiple, mut budget_ns, mut alpha_milli) = (1usize, 0u64, 0u32);
+                loop {
+                    if self.eat(")") {
+                        break;
+                    }
+                    let f = self.ident()?;
+                    self.expect(":")?;
+                    match f.as_str() {
+                        "max_multiple" => max_multiple = self.number()? as usize,
+                        "budget_ns" => budget_ns = self.number()?,
+                        "alpha_milli" => alpha_milli = self.number()? as u32,
+                        other => return Err(format!("unknown sizing field `{other}`")),
+                    }
+                    self.eat(",");
+                }
+                Ok(SizingSpec::Dynamic {
+                    max_multiple,
+                    budget_ns,
+                    alpha_milli,
+                })
+            }
+            other => Err(format!("unknown sizing `{other}`")),
+        }
+    }
+
+    fn events(&mut self) -> Result<Vec<Event>, String> {
+        self.expect("[")?;
+        let mut events = Vec::new();
+        loop {
+            if self.eat("]") {
+                break;
+            }
+            let t = self.ident()?;
+            let ev = match t.as_str() {
+                "Advance" => {
+                    self.expect("(")?;
+                    let ns = self.number()?;
+                    self.expect(")")?;
+                    Event::Advance(ns)
+                }
+                "Submit" => {
+                    self.expect("(")?;
+                    let class = class_from_token(&self.ident()?)?;
+                    self.eat(",");
+                    let service = self.number()?;
+                    self.expect(")")?;
+                    Event::Submit(class, service)
+                }
+                "Wave" => Event::Wave,
+                "Stall" => {
+                    self.expect("(")?;
+                    let lane = self.number()? as usize;
+                    self.eat(",");
+                    let dur = self.number()?;
+                    self.expect(")")?;
+                    Event::Stall(lane, dur)
+                }
+                "CloneClient" => Event::CloneClient,
+                "DropClient" => Event::DropClient,
+                "Shutdown" => Event::Shutdown,
+                other => return Err(format!("unknown event `{other}`")),
+            };
+            events.push(ev);
+            self.eat(",");
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario {
+            name: "tiny".into(),
+            seed: 7,
+            workers: 2,
+            capacity: 4,
+            batch_multiple: 2,
+            aging_step_ns: 1_000_000,
+            sizing: SizingSpec::Dynamic {
+                max_multiple: 8,
+                budget_ns: 2_000_000,
+                alpha_milli: 250,
+            },
+            expect_p99_ns: None,
+            events: vec![
+                Event::Submit(Priority::Batch, 300_000),
+                Event::Advance(1_500_000),
+                Event::Submit(Priority::Interactive, 200_000),
+                Event::Wave,
+                Event::Stall(0, 5_000_000),
+                Event::Submit(Priority::Interactive, 100_000),
+                Event::CloneClient,
+                Event::DropClient,
+                Event::Shutdown,
+            ],
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_conserving() {
+        let sc = tiny_scenario();
+        let a = replay(&sc);
+        let b = replay(&sc);
+        assert_eq!(a.waves, b.waves);
+        assert_eq!(a.interactive_p99_ns, b.interactive_p99_ns);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        assert_eq!(a.accepted.len(), a.trace.len());
+    }
+
+    #[test]
+    fn aged_batch_dispatches_first_in_replay() {
+        let sc = tiny_scenario();
+        let out = replay(&sc);
+        // The batch request aged one full step before the interactive
+        // arrived: it must dispatch first (earlier enqueue, effective 0).
+        assert_eq!(out.waves[0].1[0], 0, "aged batch leads the first wave");
+    }
+
+    #[test]
+    fn ron_round_trips_exactly() {
+        let mut sc = tiny_scenario();
+        sc.expect_p99_ns = Some(123_456);
+        let text = sc.to_ron();
+        let back = Scenario::from_ron(&text).unwrap();
+        assert_eq!(sc, back);
+        // Fixed sizing too.
+        sc.sizing = SizingSpec::Fixed;
+        sc.expect_p99_ns = None;
+        let back = Scenario::from_ron(&sc.to_ron()).unwrap();
+        assert_eq!(sc, back);
+    }
+
+    #[test]
+    fn parser_rejects_unknown_fields_and_events() {
+        let bad = "(name: \"x\", wibble: 3,)";
+        assert!(Scenario::from_ron(bad).unwrap_err().contains("wibble"));
+        let bad = "(events: [Explode,],)";
+        assert!(Scenario::from_ron(bad).unwrap_err().contains("Explode"));
+    }
+
+    #[test]
+    fn minimize_keeps_the_predicate_and_shrinks() {
+        let sc = tiny_scenario();
+        let full = replay(&sc);
+        let target = full.interactive_p99_ns;
+        assert!(target > 0);
+        let min = minimize(&sc, 500, |cand| replay(cand).interactive_p99_ns >= target);
+        assert!(replay(&min).interactive_p99_ns >= target);
+        assert!(min.events.len() <= sc.events.len());
+    }
+
+    #[test]
+    fn shutdown_closes_admission_but_drains() {
+        let mut sc = tiny_scenario();
+        sc.events.push(Event::Submit(Priority::Interactive, 100));
+        let out = replay(&sc);
+        assert_eq!(out.rejected, 1, "post-shutdown submit rejected");
+        // Everything accepted before shutdown still dispatched.
+        assert_eq!(out.accepted.len(), out.trace.len());
+    }
+
+    #[test]
+    fn campaign_is_deterministic_in_the_seed() {
+        let cfg = FuzzConfig {
+            iters: 40,
+            ..FuzzConfig::default()
+        };
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.worst_p99_ns, b.worst_p99_ns);
+        assert_eq!(a.worst, b.worst);
+        assert_eq!(a.improvements, b.improvements);
+        assert_eq!(a.executed, b.executed);
+        assert!(
+            a.violations.is_empty(),
+            "oracle violation: {:?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn baselines_replay_clean() {
+        for sc in baseline_scenarios() {
+            let out = replay(&sc);
+            assert!(
+                out.violations.is_empty(),
+                "{}: {:?}",
+                sc.name,
+                out.violations
+            );
+            assert!(
+                out.interactive_p99_ns > 0,
+                "{} has interactive traffic",
+                sc.name
+            );
+        }
+    }
+}

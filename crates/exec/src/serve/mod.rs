@@ -83,6 +83,7 @@
 
 pub(crate) mod classes;
 pub(crate) mod controller;
+pub mod fuzz;
 pub mod test_support;
 
 use crate::error::ExecError;
@@ -216,6 +217,12 @@ pub struct ServeConfig {
     /// `Duration::ZERO` disables class separation entirely (global FIFO —
     /// the class-blind PR 4 queue, useful as an A/B baseline).
     pub aging_step: Duration,
+    /// Record every dispatch wave (controller target + admission sequence
+    /// numbers in pop order) for retrieval via
+    /// [`ServeClient::dispatch_log`]. Off by default — it is a test hook:
+    /// the differential suite uses it to compare the live dispatcher's
+    /// decisions against the `ScriptedServe` twin, wave for wave.
+    pub record_dispatch: bool,
 }
 
 impl Default for ServeConfig {
@@ -226,6 +233,7 @@ impl Default for ServeConfig {
             latency_window: 4096,
             sizing: WaveSizing::default(),
             aging_step: Duration::from_millis(25),
+            record_dispatch: false,
         }
     }
 }
@@ -485,6 +493,18 @@ impl ServeStats {
     }
 }
 
+/// One dispatch wave as recorded when [`ServeConfig::record_dispatch`] is
+/// set: the scheduling *decision* the dispatcher made, stripped of wall
+/// time so it is comparable across a live run and a scripted replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WaveRecord {
+    /// The controller's wave target when this wave formed.
+    pub target: usize,
+    /// Admission sequence numbers (0 = first accepted request) in
+    /// dispatch order within the wave.
+    pub seqs: Vec<u64>,
+}
+
 /// One queued request: feeds in, result channel out. Class and enqueue
 /// timestamp ride in the [`Queued`] wrapper the lane keeps.
 struct Request {
@@ -557,6 +577,9 @@ pub struct ServeQueue {
     /// Signals blocked submitters: a slot freed, or shutdown began.
     not_full: Condvar,
     stats: StatsInner,
+    /// Wave-by-wave dispatch decisions, populated only when
+    /// [`ServeConfig::record_dispatch`] is set.
+    dispatch_log: Mutex<Vec<WaveRecord>>,
     dispatcher: Mutex<Option<JoinHandle<()>>>,
     /// Zero point of the loop's nanosecond clock: every enqueue/dispatch/
     /// complete timestamp is `epoch.elapsed()` in nanoseconds — the same
@@ -605,6 +628,7 @@ impl ServeQueue {
                 service: LatencyTrack::new(window),
                 total: LatencyTrack::new(window),
             },
+            dispatch_log: Mutex::new(Vec::new()),
             dispatcher: Mutex::new(None),
             epoch: Instant::now(),
             config,
@@ -663,6 +687,12 @@ fn dispatcher_loop(
                     Some(q) => wave.push(q),
                     None => break,
                 }
+            }
+            if shared.config.record_dispatch {
+                shared.dispatch_log.lock().push(WaveRecord {
+                    target,
+                    seqs: wave.iter().map(|q| q.seq).collect(),
+                });
             }
         }
         // Slots freed: wake every blocked submitter (they re-check space).
@@ -918,6 +948,13 @@ impl ServeClient {
     /// The per-class admission-lane slot count.
     pub fn capacity(&self) -> usize {
         self.shared.capacity
+    }
+
+    /// The dispatch waves recorded so far — empty unless the loop was
+    /// started with [`ServeConfig::record_dispatch`] set. Call after
+    /// [`ServeClient::shutdown`] for the complete log.
+    pub fn dispatch_log(&self) -> Vec<WaveRecord> {
+        self.shared.dispatch_log.lock().clone()
     }
 
     /// Snapshot of the loop's counters and latency percentiles,

@@ -79,12 +79,36 @@ impl ScriptedWave {
 /// The scripted twin of the live serve dispatcher: same class lanes, same
 /// pop rule, same wave controller — but time is a `u64` the test owns and
 /// service durations come from a script instead of an executor.
+///
+/// Beyond the happy path, the harness scripts the *lifecycle* events the
+/// live loop races against in the stress tests:
+///
+/// * [`ScriptedServe::shutdown`] closes admission (every later submit is
+///   rejected) while queued requests still drain — the scripted analogue
+///   of [`super::ServeClient::shutdown`];
+/// * [`ScriptedServe::clone_client`] / [`ScriptedServe::drop_client`]
+///   script the client-handle count; dropping the last handle closes
+///   admission exactly like the live last-`Drop`;
+/// * [`ScriptedServe::stall_worker`] injects a replica-level delay — one
+///   simulated worker lane is unavailable until a virtual deadline, the
+///   clockless analogue of a straggling replica in
+///   `rdg_cluster::virtual_time` (same semantics the fuzzer's `Stall`
+///   event and the cluster delay injector share).
 pub struct ScriptedServe {
     queues: ClassQueues<u64>,
     controller: WaveController,
     workers: usize,
     capacity: usize,
     now_ns: u64,
+    /// Virtual time before which each simulated worker lane is busy with
+    /// injected (non-request) work. Lane `w` starts requests no earlier
+    /// than `stall_until[w]`.
+    stall_until: Vec<u64>,
+    /// `false` once shutdown was scripted (explicitly or by dropping the
+    /// last client): submits are rejected, queued work still drains.
+    open: bool,
+    /// Scripted client-handle count; hitting zero closes admission.
+    clients: usize,
 }
 
 impl ScriptedServe {
@@ -93,12 +117,16 @@ impl ScriptedServe {
     /// irrelevant here — the harness reports raw numbers, not windows).
     pub fn new(workers: usize, config: &ServeConfig) -> Self {
         let aging_ns = config.aging_step.as_nanos().min(u64::MAX as u128) as u64;
+        let workers = workers.max(1);
         ScriptedServe {
             queues: ClassQueues::new(aging_ns),
             controller: WaveController::new(config.sizing, config.batch_multiple, workers),
-            workers: workers.max(1),
+            workers,
             capacity: config.capacity.max(1),
             now_ns: 0,
+            stall_until: vec![0; workers],
+            open: true,
+            clients: 1,
         }
     }
 
@@ -115,13 +143,56 @@ impl ScriptedServe {
 
     /// Submits request `id` into `class` at the current virtual time.
     /// Returns `false` (rejecting the request) when the class lane is at
-    /// capacity — the harness analogue of [`super::ServeError::QueueFull`].
+    /// capacity — the harness analogue of [`super::ServeError::QueueFull`]
+    /// — or when admission is closed (the analogue of
+    /// [`super::ServeError::Shutdown`]).
     pub fn submit(&mut self, class: Priority, id: u64) -> bool {
-        if self.queues.len_class(class) >= self.capacity {
+        if !self.open || self.queues.len_class(class) >= self.capacity {
             return false;
         }
         self.queues.push(class, id, self.now_ns);
         true
+    }
+
+    /// Whether admission is still open (no scripted shutdown yet and at
+    /// least one client handle alive).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Scripts [`super::ServeClient::shutdown`]: admission closes
+    /// immediately; requests already queued still drain through
+    /// [`ScriptedServe::run_wave`] / [`ScriptedServe::drain`].
+    pub fn shutdown(&mut self) {
+        self.open = false;
+    }
+
+    /// Scripts cloning a client handle (the live `ServeClient::clone`).
+    pub fn clone_client(&mut self) {
+        self.clients += 1;
+    }
+
+    /// Scripts dropping a client handle. Dropping the last one closes
+    /// admission, exactly like the live last-`Drop` path.
+    pub fn drop_client(&mut self) {
+        self.clients = self.clients.saturating_sub(1);
+        if self.clients == 0 {
+            self.open = false;
+        }
+    }
+
+    /// Injects a replica-level delay: worker lane `lane % workers` is
+    /// busy with non-request work until `now + dur_ns`. Waves formed
+    /// while the stall is live schedule around the stalled lane; a wave
+    /// that must use it absorbs the delay into its drain time (and the
+    /// controller observes the inflated drain, exactly as the live
+    /// controller would behind a straggling replica).
+    pub fn stall_worker(&mut self, lane: usize, dur_ns: u64) {
+        let lane = lane % self.workers;
+        let until = self.now_ns.saturating_add(dur_ns);
+        if until > self.stall_until[lane] {
+            self.stall_until[lane] = until;
+        }
     }
 
     /// Requests queued across all lanes.
@@ -166,8 +237,13 @@ impl ScriptedServe {
             }
         }
         // Greedy list scheduling in dispatch order: each request starts
-        // on the earliest-free simulated worker.
-        let mut avail = vec![dispatched_ns; self.workers];
+        // on the earliest-free simulated worker. A stalled lane is not
+        // free until its stall deadline passes.
+        let mut avail: Vec<u64> = self
+            .stall_until
+            .iter()
+            .map(|&s| s.max(dispatched_ns))
+            .collect();
         let mut finishes = Vec::with_capacity(popped.len());
         for q in &popped {
             let lane = (0..self.workers)
@@ -201,6 +277,18 @@ impl ScriptedServe {
             dispatched_ns,
             requests,
         })
+    }
+
+    /// Runs waves until every queued request has dispatched (the scripted
+    /// analogue of the dispatcher's shutdown drain) and returns them in
+    /// wave order. Nothing accepted is ever left behind — the conservation
+    /// oracle the fuzzer and the QoS property suite both check.
+    pub fn drain(&mut self, service_ns: impl Fn(u64) -> u64) -> Vec<ScriptedWave> {
+        let mut waves = Vec::new();
+        while let Some(w) = self.run_wave(&service_ns) {
+            waves.push(w);
+        }
+        waves
     }
 }
 

@@ -1,0 +1,177 @@
+//! Differential test: the live `ServeQueue` dispatcher versus the
+//! `ScriptedServe` virtual-clock twin, on one deterministic scenario.
+//!
+//! The twin exists so scheduling decisions can be asserted exactly — but
+//! that only means anything if the twin and the live dispatcher actually
+//! make the *same* decisions from the same queue state. This test pins
+//! that correspondence: one scenario (a blocker occupying the single
+//! worker while ten mixed-class requests pile up, then one drain wave)
+//! is run through real threads with [`ServeConfig::record_dispatch`] on,
+//! and through the scripted twin on the virtual clock, and the two
+//! dispatch logs — wave targets and per-wave admission sequence numbers
+//! in pop order — must be identical.
+//!
+//! The live side races wall time (the blocker must outlive our ten tiny
+//! submits), so the scenario is retried a few times and skipped with a
+//! note on hosts too fast to hold the race open — the *decision* logic
+//! itself is still covered deterministically by the twin suites.
+
+use rdg_exec::serve::test_support::ScriptedServe;
+use rdg_exec::{Executor, Priority, ServeConfig, Session, WaveRecord, WaveSizing};
+use rdg_graph::{Module, ModuleBuilder};
+use rdg_tensor::{DType, Tensor};
+use std::time::Duration;
+
+/// `sum(n)` with `n` fed as a main input (the serving tests' fixture).
+fn sum_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let h = mb.declare_subgraph("sum", &[DType::I32], &[DType::I32]);
+    mb.define_subgraph(&h, |b| {
+        let n = b.input(0)?;
+        let zero = b.const_i32(0);
+        let p = b.igt(n, zero)?;
+        let out = b.cond1(
+            p,
+            DType::I32,
+            |b| {
+                let one = b.const_i32(1);
+                let m = b.isub(n, one)?;
+                let rec = b.invoke(&h, &[m])?[0];
+                b.iadd(n, rec)
+            },
+            |b| b.identity(zero),
+        )?;
+        Ok(vec![out])
+    })
+    .unwrap();
+    let n = mb.main_input(DType::I32);
+    let out = mb.invoke(&h, &[n]).unwrap();
+    mb.set_outputs(&[out[0]]).unwrap();
+    mb.finish().unwrap()
+}
+
+/// The scenario's class sequence for the ten queued requests (admission
+/// sequence numbers 1..=10; seq 0 is the blocker).
+const MIX: [Priority; 10] = [
+    Priority::Batch,
+    Priority::Interactive,
+    Priority::BestEffort,
+    Priority::Interactive,
+    Priority::Batch,
+    Priority::BestEffort,
+    Priority::Interactive,
+    Priority::Batch,
+    Priority::Interactive,
+    Priority::BestEffort,
+];
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        capacity: 64,
+        batch_multiple: 16,
+        sizing: WaveSizing::Fixed,
+        // An hour of aging step: no promotion can occur within the test,
+        // so the pop order is pure strict priority + FIFO on both sides
+        // regardless of how wall time maps to the virtual clock.
+        aging_step: Duration::from_secs(3600),
+        record_dispatch: true,
+        ..ServeConfig::default()
+    }
+}
+
+/// The twin's dispatch log for the scenario, on the virtual clock.
+fn scripted_log() -> Vec<WaveRecord> {
+    let mut s = ScriptedServe::new(1, &config());
+    assert!(s.submit(Priority::Interactive, 0), "blocker admitted");
+    let mut log = Vec::new();
+    // Service times are irrelevant to the *order* here (one worker,
+    // fixed waves, no aging) — any positive value works.
+    let service = |_id: u64| 1_000_000u64;
+    let w = s.run_wave(service).expect("blocker wave");
+    log.push(WaveRecord {
+        target: w.target,
+        seqs: w.ids(),
+    });
+    for (i, class) in MIX.iter().enumerate() {
+        assert!(s.submit(*class, 1 + i as u64), "request {i} admitted");
+    }
+    let w = s.run_wave(service).expect("drain wave");
+    log.push(WaveRecord {
+        target: w.target,
+        seqs: w.ids(),
+    });
+    assert!(
+        s.run_wave(service).is_none(),
+        "two waves drain the scenario"
+    );
+    log
+}
+
+/// One live attempt; `None` when the timing race didn't hold (the
+/// blocker finished before the ten requests were all queued).
+fn live_log_attempt() -> Option<Vec<WaveRecord>> {
+    let s = Session::new(Executor::with_threads(1), sum_module()).unwrap();
+    let client = s.serve_with(config());
+    let blocker = client.submit(vec![Tensor::scalar_i32(60_000)]).unwrap();
+    // Wait for the dispatcher to pop the blocker's wave: once `batches`
+    // ticks, the first wave is closed and everything we submit next goes
+    // to the second one — provided the blocker is still running then.
+    while client.stats().batches < 1 {
+        std::thread::yield_now();
+    }
+    let tickets: Vec<_> = MIX
+        .iter()
+        .map(|&class| {
+            client
+                .submit_with(class, vec![Tensor::scalar_i32(5)])
+                .unwrap()
+        })
+        .collect();
+    blocker.wait().unwrap();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    client.shutdown();
+    let log = client.dispatch_log();
+    // The race held only if the blocker wave contained exactly the
+    // blocker and one drain wave took all ten.
+    if log.len() == 2 && log[0].seqs == [0] && log[1].seqs.len() == MIX.len() {
+        Some(log)
+    } else {
+        None
+    }
+}
+
+#[test]
+fn live_dispatcher_and_scripted_twin_agree_wave_for_wave() {
+    let expected = scripted_log();
+    // Sanity on the twin itself: fixed waves of 1 × 16, strict priority.
+    assert_eq!(
+        expected[0],
+        WaveRecord {
+            target: 16,
+            seqs: vec![0]
+        }
+    );
+    assert_eq!(expected[1].target, 16);
+    assert_eq!(
+        expected[1].seqs,
+        vec![2, 4, 7, 9, 1, 5, 8, 3, 6, 10],
+        "strict priority, FIFO within class, over the MIX pattern"
+    );
+    for attempt in 0..5 {
+        if let Some(live) = live_log_attempt() {
+            assert_eq!(
+                live, expected,
+                "live dispatcher diverged from the scripted twin \
+                 (attempt {attempt}): same queue state must produce the \
+                 same wave targets and pop order"
+            );
+            return;
+        }
+    }
+    // Five misses means the blocker kept finishing before ten tiny
+    // submits — a host too fast for this race. The decision logic is
+    // still asserted above and across the twin suites.
+    eprintln!("host too fast to hold the blocker race open; skipping live half");
+}

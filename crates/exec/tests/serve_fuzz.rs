@@ -1,0 +1,139 @@
+//! Fuzzer self-tests: campaign determinism, oracle health on a live
+//! search, and minimizer behavior.
+//!
+//! The iteration count honors `RDG_FUZZ_ITERS` (CI sets 200 for the
+//! per-push smoke; the default here keeps local `cargo test` fast). The
+//! campaign runs entirely on the virtual clock, so even hundreds of
+//! iterations finish in well under a second.
+
+use rdg_exec::serve::fuzz::{
+    generate, minimize, mutate, replay, run_campaign, FuzzConfig, FuzzRng, Scenario,
+};
+
+fn smoke_iters() -> usize {
+    std::env::var("RDG_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120)
+}
+
+#[test]
+fn campaign_same_seed_same_everything() {
+    let cfg = FuzzConfig {
+        seed: 0xDEC0DE,
+        iters: smoke_iters(),
+        ..FuzzConfig::default()
+    };
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    assert_eq!(
+        a.worst_p99_ns, b.worst_p99_ns,
+        "worst p99 must be seed-determined"
+    );
+    assert_eq!(a.worst, b.worst, "worst scenario must be seed-determined");
+    assert_eq!(
+        a.improvements, b.improvements,
+        "search trajectory must match"
+    );
+    assert_eq!(a.executed, b.executed, "replay count must match");
+}
+
+#[test]
+fn campaign_oracles_hold_and_search_makes_progress() {
+    let cfg = FuzzConfig {
+        seed: 0xF4E7,
+        iters: smoke_iters(),
+        ..FuzzConfig::default()
+    };
+    let report = run_campaign(&cfg);
+    assert!(
+        report.violations.is_empty(),
+        "serving oracle violated — minimized reproducers: {:#?}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!("{}\n{}", v.detail, v.scenario.to_ron()))
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        report.worst_p99_ns > 0,
+        "campaign found interactive traffic"
+    );
+    assert!(
+        report.improvements.len() >= 2,
+        "score-guided search should improve past the initial pool"
+    );
+    // The recorded pin must reproduce: that is what makes the worst case
+    // committable as a corpus file.
+    let out = replay(&report.worst);
+    assert_eq!(Some(out.interactive_p99_ns), report.worst.expect_p99_ns);
+}
+
+#[test]
+fn different_seeds_explore_different_schedules() {
+    let a = run_campaign(&FuzzConfig {
+        seed: 1,
+        iters: 30,
+        ..FuzzConfig::default()
+    });
+    let b = run_campaign(&FuzzConfig {
+        seed: 2,
+        iters: 30,
+        ..FuzzConfig::default()
+    });
+    assert_ne!(
+        a.worst, b.worst,
+        "distinct seeds should find distinct worst cases"
+    );
+}
+
+#[test]
+fn generated_scenarios_round_trip_and_replay_deterministically() {
+    let mut rng = FuzzRng::new(99);
+    for i in 0..50 {
+        let sc = generate(&mut rng, 99, 64, 2);
+        let back = Scenario::from_ron(&sc.to_ron()).expect("generated scenario parses");
+        assert_eq!(sc, back, "round-trip failure at generation {i}");
+        let x = replay(&sc);
+        let y = replay(&sc);
+        assert_eq!(
+            x.waves, y.waves,
+            "nondeterministic replay at generation {i}"
+        );
+        assert_eq!(x.interactive_p99_ns, y.interactive_p99_ns);
+    }
+}
+
+#[test]
+fn mutation_is_deterministic_in_the_rng_state() {
+    let mut gen_rng = FuzzRng::new(5);
+    let parent = generate(&mut gen_rng, 5, 48, 2);
+    let donor = generate(&mut gen_rng, 5, 48, 2);
+    let a = mutate(&parent, Some(&donor), &mut FuzzRng::new(17));
+    let b = mutate(&parent, Some(&donor), &mut FuzzRng::new(17));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn minimizer_preserves_the_predicate_and_never_grows() {
+    let mut rng = FuzzRng::new(1234);
+    let mut checked = 0;
+    for _ in 0..20 {
+        let sc = generate(&mut rng, 80, 80, 2);
+        let p99 = replay(&sc).interactive_p99_ns;
+        if p99 == 0 {
+            continue;
+        }
+        checked += 1;
+        let min = minimize(&sc, 600, |cand| replay(cand).interactive_p99_ns >= p99);
+        assert!(
+            replay(&min).interactive_p99_ns >= p99,
+            "minimized scenario lost the property it was shrunk under"
+        );
+        assert!(
+            min.events.len() <= sc.events.len(),
+            "minimization grew the scenario"
+        );
+    }
+    assert!(checked >= 5, "generator should produce interactive traffic");
+}

@@ -248,6 +248,221 @@ fn saturated_batch_lane_does_not_block_interactive_admission() {
 }
 
 // ---------------------------------------------------------------------
+// WaveController under adversarial service-time sequences.
+// ---------------------------------------------------------------------
+
+const WORKERS: usize = 2;
+const MAX_MULTIPLE: usize = 8;
+const BUDGET_NS: u64 = 2_000_000;
+
+fn adversarial_config() -> ServeConfig {
+    ServeConfig {
+        capacity: 64,
+        batch_multiple: 2,
+        sizing: WaveSizing::Dynamic {
+            max_multiple: MAX_MULTIPLE,
+            wave_budget: Duration::from_nanos(BUDGET_NS),
+            ewma_alpha: 0.25,
+        },
+        aging_step: Duration::from_nanos(STEP_NS),
+        ..ServeConfig::default()
+    }
+}
+
+/// The controller's two contracts, checked at a decision point:
+///
+/// * **clamp** — the target stays in `[workers, workers × max_multiple]`;
+/// * **budget** — whenever the controller sizes *above* the lower clamp,
+///   the wave it plans must fit the drain budget under its own service
+///   estimate: `target × ewma ≤ workers × budget` (floor rounding makes
+///   this exact, up to f64 slack).
+fn assert_controller_contracts(h: &ScriptedServe) {
+    let target = h.wave_target();
+    assert!(
+        (WORKERS..=WORKERS * MAX_MULTIPLE).contains(&target),
+        "target {target} outside clamp [{WORKERS}, {}]",
+        WORKERS * MAX_MULTIPLE
+    );
+    if let Some(ewma) = h.ewma_ns() {
+        if target > WORKERS && ewma > 0.0 {
+            let predicted = target as f64 * ewma;
+            let allowed = WORKERS as f64 * BUDGET_NS as f64;
+            assert!(
+                predicted <= allowed * (1.0 + 1e-9) + 1.0,
+                "budget broken: target {target} × ewma {ewma:.0} ns = \
+                 {predicted:.0} ns > {WORKERS} workers × {BUDGET_NS} ns"
+            );
+        }
+    }
+}
+
+/// Drives `rounds` waves of `per_wave` requests through the harness with
+/// the given service schedule, asserting the controller contracts at
+/// every decision point.
+fn drive_waves(service: impl Fn(u64) -> u64, rounds: u64, per_wave: u64) {
+    let mut h = ScriptedServe::new(WORKERS, &adversarial_config());
+    let mut id = 0u64;
+    for _ in 0..rounds {
+        for _ in 0..per_wave {
+            assert!(h.submit(Priority::Interactive, id));
+            id += 1;
+        }
+        assert_controller_contracts(&h);
+        h.run_wave(&service);
+        assert_controller_contracts(&h);
+    }
+    for w in h.drain(&service) {
+        assert!(w.requests.len() <= w.target);
+    }
+    assert_controller_contracts(&h);
+}
+
+#[test]
+fn controller_survives_alternating_spikes() {
+    // 0.1 ms / 40 ms alternation: the EWMA is yanked between "fit 16"
+    // and "fit nothing" every wave; the clamp and budget must hold at
+    // every single decision, including right after each spike.
+    drive_waves(|id| if id % 2 == 0 { 100_000 } else { 40_000_000 }, 30, 4);
+}
+
+#[test]
+fn controller_survives_monotone_ramps() {
+    // Service times ramp 0 → 30 ms and reset, repeatedly: targets must
+    // walk down the clamp range without ever leaving it.
+    drive_waves(|id| (id % 60) * 500_000, 40, 3);
+}
+
+#[test]
+fn controller_survives_zero_duration_requests() {
+    // Degenerate: every request takes zero virtual time. The EWMA decays
+    // toward zero and the predicted-fit rule would allow an unbounded
+    // wave — the upper clamp is what must keep the target finite.
+    let mut h = ScriptedServe::new(WORKERS, &adversarial_config());
+    let mut id = 0u64;
+    for _ in 0..20 {
+        for _ in 0..6 {
+            assert!(h.submit(Priority::Interactive, id));
+            id += 1;
+        }
+        h.run_wave(|_| 0);
+        assert_controller_contracts(&h);
+    }
+    assert_eq!(
+        h.wave_target(),
+        WORKERS * MAX_MULTIPLE,
+        "zero-cost requests pin the target at the upper clamp"
+    );
+}
+
+proptest! {
+    #[test]
+    fn controller_contracts_hold_on_arbitrary_adversarial_schedules(
+        script in prop::collection::vec((0u8..3, 0u64..30_000_000, 1u64..6), 1..80)
+    ) {
+        // Each element is (bucket die, raw ns, per-wave count): the die
+        // picks zero-duration / sub-millisecond / multi-millisecond-spike
+        // service for the requests of that round — the three adversarial
+        // regimes, interleaved arbitrarily.
+        let services: Vec<u64> = script
+            .iter()
+            .map(|&(die, raw, _)| match die {
+                0 => 0,
+                1 => 50_000 + raw % 1_150_000,
+                _ => 20_000_000 + raw,
+            })
+            .collect();
+        let service = |i: u64| services[i as usize % services.len()];
+        let mut h = ScriptedServe::new(WORKERS, &adversarial_config());
+        let mut id = 0u64;
+        for &(_, _, per_wave) in &script {
+            for _ in 0..per_wave {
+                if !h.submit(Priority::Interactive, id) {
+                    break; // lane full: the drain below still covers it
+                }
+                id += 1;
+            }
+            h.run_wave(service);
+            assert_controller_contracts(&h);
+        }
+        h.drain(service);
+        assert_controller_contracts(&h);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scripted lifecycle: shutdown / clone / drop under the virtual clock.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn scripted_shutdown_and_client_drops_lose_nothing(
+        script in prop::collection::vec(
+            // (action die, class die, gap ns): 0–5 submit, 6 wave,
+            // 7 clone, 8 drop, 9 shutdown.
+            (0u8..10, 0u8..3, 0u64..2 * STEP_NS),
+            1..60,
+        )
+    ) {
+        let mut h = ScriptedServe::new(2, &scripted_config());
+        let mut accepted: Vec<u64> = Vec::new();
+        let mut rejected_after_close = true;
+        let mut next_id = 0u64;
+        let mut trace: Vec<u64> = Vec::new();
+        for &(action, class_idx, gap_ns) in &script {
+            h.advance(gap_ns);
+            match action {
+                0..=5 => {
+                    let id = next_id;
+                    next_id += 1;
+                    let admitted = h.submit(class_of(class_idx), id);
+                    if admitted {
+                        prop_assert!(h.is_open(), "closed admission accepted a request");
+                        accepted.push(id);
+                    } else if h.is_open() {
+                        // Open but full lane: the only legal open rejection.
+                        prop_assert!(
+                            h.queue_depth_class(class_of(class_idx)) >= 8,
+                            "open harness rejected below capacity"
+                        );
+                    }
+                    if !h.is_open() && admitted {
+                        rejected_after_close = false;
+                    }
+                }
+                6 => {
+                    if let Some(wave) = h.run_wave(service_ns) {
+                        trace.extend(wave.ids());
+                    }
+                }
+                7 => h.clone_client(),
+                8 => h.drop_client(),
+                _ => h.shutdown(),
+            }
+        }
+        prop_assert!(rejected_after_close, "a submit after close was admitted");
+        // Shutdown mid-storm (or end of script): the drain must deliver
+        // every accepted request exactly once — nothing lost, nothing
+        // duplicated, whether admission closed explicitly, by the last
+        // client drop, or not at all.
+        h.shutdown();
+        for wave in h.drain(service_ns) {
+            prop_assert!(wave.requests.len() <= wave.target);
+            trace.extend(wave.ids());
+        }
+        let mut sorted = trace.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), trace.len(), "a request dispatched twice");
+        let mut expect = accepted.clone();
+        expect.sort_unstable();
+        let mut got = trace;
+        got.sort_unstable();
+        prop_assert_eq!(got, expect, "dispatch trace ≠ accepted set");
+        prop_assert_eq!(h.queue_depth(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
 // End-to-end conservation on the real ServeQueue.
 // ---------------------------------------------------------------------
 

@@ -321,6 +321,80 @@ fn stress_many_clients_no_request_lost_and_snapshots_monotone() {
 }
 
 #[test]
+fn shutdown_racing_a_dispatch_wave_loses_nothing() {
+    // Directly race `shutdown()` against in-flight dispatch waves — not
+    // probabilistically as a side effect of a storm, but as the test's
+    // whole point, across many race offsets. Submitter threads hammer
+    // all three classes while the main thread calls shutdown at a
+    // different moment each round; every ticket whose submit succeeded
+    // must deliver its exact answer, every submit after the shutdown
+    // point must observe `Shutdown`, and the ledgers must close exactly.
+    const ROUNDS: usize = 12;
+    const SUBMITTERS: usize = 3;
+    const PER_SUBMITTER: usize = 24;
+    for round in 0..ROUNDS {
+        let s = Session::new(Executor::with_threads(2), sum_module()).unwrap();
+        let client = s.serve_with(ServeConfig {
+            capacity: 16,
+            batch_multiple: 2,
+            ..ServeConfig::default()
+        });
+        let mut workers = Vec::new();
+        for c in 0..SUBMITTERS {
+            let client = client.with_priority(Priority::ALL[c % 3]);
+            workers.push(std::thread::spawn(move || {
+                let mut delivered = 0u64;
+                let mut accepted = 0u64;
+                for i in 0..PER_SUBMITTER {
+                    let n = ((c * 53 + i * 11) % 200) as i32;
+                    match client.submit(vec![Tensor::scalar_i32(n)]) {
+                        Ok(t) => {
+                            accepted += 1;
+                            // Wait immediately: the ticket must deliver
+                            // even if shutdown landed mid-wave.
+                            let out = t.wait().unwrap();
+                            assert_eq!(out[0].as_i32_scalar().unwrap(), gauss(n), "n={n}");
+                            delivered += 1;
+                        }
+                        Err(ServeError::Shutdown) => break,
+                        Err(other) => panic!("unexpected {other:?}"),
+                    }
+                }
+                (accepted, delivered)
+            }));
+        }
+        // A different race offset every round: from "shutdown before the
+        // first wave" to "shutdown deep in the storm".
+        while client.stats().submitted < (round * SUBMITTERS) as u64 {
+            std::thread::yield_now();
+        }
+        client.shutdown();
+        // After shutdown returns, the dispatcher has drained and joined:
+        // admission must fail and no queued work may remain.
+        assert!(matches!(
+            client.try_submit(vec![Tensor::scalar_i32(1)]),
+            Err(ServeError::Shutdown)
+        ));
+        let mut accepted = 0u64;
+        let mut delivered = 0u64;
+        for w in workers {
+            let (a, d) = w.join().unwrap();
+            accepted += a;
+            delivered += d;
+        }
+        assert_eq!(accepted, delivered, "an accepted ticket did not deliver");
+        let st = client.stats();
+        assert_eq!(
+            st.submitted, accepted,
+            "ledger admissions = client admissions"
+        );
+        assert_eq!(st.completed, accepted, "every admission completed");
+        assert_eq!(st.failed, 0);
+        assert_eq!(st.queue_depth, 0, "shutdown left work queued");
+    }
+}
+
+#[test]
 fn stress_three_classes_with_deadlines_and_abandons() {
     // The QoS storm: two client threads per class hammer one queue
     // through all three admission paths (try_submit with blocking
