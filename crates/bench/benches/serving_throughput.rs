@@ -295,8 +295,146 @@ fn record_mixed_qos(opts: &BenchOpts, sess: &Session, requests: &[Vec<Tensor>]) 
     table.emit("serving_throughput");
 }
 
+/// One overload arm: `OV_CLIENTS` closed-loop clients per class keep the
+/// queue saturated for `window`; every request is measured at the client.
+/// With `slo` set, requests go through `submit_slo_with` (all three shed
+/// points armed) and a shed resolves the ticket immediately; without, the
+/// PR 5 path — backpressure only, every admitted request served however
+/// stale. Returns per-class `(goodput req/s, completed, shed)` where
+/// goodput counts only requests that *completed within `slo_ns`* — the
+/// number an SLO dashboard reports, identical filter for both arms.
+fn overload_arm(
+    sess: &Session,
+    requests: &[Vec<Tensor>],
+    window: Duration,
+    slo_ns: u64,
+    shed: bool,
+) -> [(f64, u64, u64); 2] {
+    const OV_CLIENTS: usize = 2; // per class
+    const OV_OUTSTANDING: usize = 12;
+    let client = sess.serve_with(ServeConfig {
+        capacity: 64,
+        aging_step: Duration::from_millis(200),
+        ..ServeConfig::default()
+    });
+    let classes = [Priority::Interactive, Priority::Batch];
+    let t0 = Instant::now();
+    let mut per_class = [(0.0f64, 0u64, 0u64); 2];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (ci, &class) in classes.iter().enumerate() {
+            for t in 0..OV_CLIENTS {
+                let client = client.with_priority(class);
+                let requests = &requests;
+                handles.push(scope.spawn(move || -> (usize, u64, u64, u64) {
+                    let mut ring: std::collections::VecDeque<(
+                        Instant,
+                        rdg_core::exec::ServeTicket,
+                    )> = std::collections::VecDeque::new();
+                    let (mut good, mut done, mut shed_n) = (0u64, 0u64, 0u64);
+                    let mut reap = |ring: &mut std::collections::VecDeque<_>| {
+                        let (sent, ticket): (Instant, rdg_core::exec::ServeTicket) =
+                            ring.pop_front().unwrap();
+                        match ticket.wait() {
+                            Ok(_) => {
+                                done += 1;
+                                if sent.elapsed().as_nanos() as u64 <= slo_ns {
+                                    good += 1;
+                                }
+                            }
+                            Err(rdg_core::exec::ServeError::Shed { .. }) => shed_n += 1,
+                            Err(e) => panic!("overload request failed: {e}"),
+                        }
+                    };
+                    // Predictive sheds are rejected at submit (no ticket),
+                    // counted apart so the reap closure owns `shed_n` alone.
+                    let mut pre_shed = 0u64;
+                    let mut i = 0usize;
+                    while t0.elapsed() < window {
+                        if ring.len() >= OV_OUTSTANDING {
+                            reap(&mut ring);
+                        }
+                        let feeds = requests[(ci * 97 + t * 41 + i) % requests.len()].clone();
+                        i += 1;
+                        let sent = Instant::now();
+                        let submitted = if shed {
+                            client.submit_slo(feeds, Duration::from_nanos(slo_ns))
+                        } else {
+                            client.submit(feeds)
+                        };
+                        match submitted {
+                            Ok(ticket) => ring.push_back((sent, ticket)),
+                            Err(rdg_core::exec::ServeError::Shed { .. }) => pre_shed += 1,
+                            Err(e) => panic!("overload submit failed: {e}"),
+                        }
+                    }
+                    while !ring.is_empty() {
+                        reap(&mut ring);
+                    }
+                    drop(reap);
+                    (ci, good, done, shed_n + pre_shed)
+                }));
+            }
+        }
+        for h in handles {
+            let (ci, good, done, shed_n) = h.join().expect("overload client");
+            per_class[ci].1 += done;
+            per_class[ci].2 += shed_n;
+            per_class[ci].0 += good as f64;
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    for entry in &mut per_class {
+        entry.0 /= wall;
+    }
+    client.shutdown();
+    per_class
+}
+
+/// The overload table: identical saturating two-class traffic, PR 5
+/// no-shedding baseline vs SLO-enforced shedding, goodput + shed counts
+/// per class, appended to `results/serving_throughput.json`.
+fn record_overload_shedding(opts: &BenchOpts, sess: &Session, requests: &[Vec<Tensor>]) {
+    let window = Duration::from_secs_f64(opts.seconds);
+    // Calibrate the SLO to this host: mean unloaded latency of a few
+    // sequential requests, scaled to half the expected full-queue wait
+    // (2 classes × 2 clients × 12 outstanding, minus in-flight slack).
+    let t0 = Instant::now();
+    let cal = 8usize;
+    for r in requests.iter().take(cal) {
+        sess.run(r.clone()).expect("calibration request");
+    }
+    let mean_ns = (t0.elapsed().as_nanos() as u64 / cal as u64).max(1);
+    let slo_ns = mean_ns * 48 / (2 * opts.threads.max(2) as u64);
+    let mut table = Table::new(
+        format!(
+            "Overload shedding: 2+2 closed-loop clients × 12 in flight per \
+             class, SLO {:.1} ms (calibrated), {} worker threads, {:.1}s \
+             window; goodput counts requests completed within the SLO",
+            slo_ns as f64 / 1e6,
+            opts.threads.max(2),
+            opts.seconds
+        ),
+        &["mode", "class", "goodput/s", "completed", "shed"],
+    );
+    for (mode, shed) in [("overload-noslo", false), ("overload-slo", true)] {
+        let per_class = overload_arm(sess, requests, window, slo_ns, shed);
+        for (ci, class) in [Priority::Interactive, Priority::Batch].iter().enumerate() {
+            let (goodput, done, shed_n) = per_class[ci];
+            table.row(&[
+                mode.into(),
+                class.name().into(),
+                fmt_thr(goodput),
+                done.to_string(),
+                shed_n.to_string(),
+            ]);
+        }
+    }
+    table.emit("serving_throughput");
+}
+
 fn main() {
-    // One fixture for all three measurements: same session, same request
+    // One fixture for all four measurements: same session, same request
     // pool, one worker pool (a `criterion_group!` would rebuild it per
     // target).
     let opts = BenchOpts::from_env();
@@ -305,4 +443,5 @@ fn main() {
     serving_bench(&mut criterion, &sess, &requests);
     record_serving_throughput(&opts, &sess, &requests);
     record_mixed_qos(&opts, &sess, &requests);
+    record_overload_shedding(&opts, &sess, &requests);
 }

@@ -34,7 +34,7 @@ pub mod server;
 pub mod virtual_time;
 
 pub use server::{
-    run_real, serve_real, ClassLatency, ClusterConfig, ClusterReport, ServeClusterConfig,
-    ServeClusterReport,
+    pick_replica, run_real, serve_real, ClassLatency, ClusterConfig, ClusterReport, Routing,
+    ServeClusterConfig, ServeClusterReport,
 };
 pub use virtual_time::{model_step, model_step_injected, run_virtual, DelayInjector, NetModel};

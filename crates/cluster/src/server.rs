@@ -4,14 +4,14 @@
 use rdg_autodiff::build_training_module;
 use rdg_data::{Dataset, Split};
 use rdg_exec::{
-    ExecError, Executor, GradStore, LatencyPercentiles, ParamStore, Priority, ServeConfig,
-    ServeError, Session,
+    ExecError, Executor, GradStore, LatencyPercentiles, ParamStore, Priority, ReplicaSnapshot,
+    ServeConfig, ServeError, Session,
 };
 use rdg_models::{build_recursive, ModelConfig};
 use rdg_nn::{Adagrad, Optimizer};
 use rdg_tensor::ops;
 use std::sync::{Arc, Barrier, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Cluster experiment parameters.
 #[derive(Clone, Debug)]
@@ -160,6 +160,39 @@ pub fn run_real(cfg: &ClusterConfig, data: &Dataset) -> Result<ClusterReport, Ex
     })
 }
 
+/// How clients pick a replica for each request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Routing {
+    /// Static round-robin: request `i` of client `c` goes to machine
+    /// `(c + i) % n`. Blind to load — a straggling replica keeps
+    /// receiving its full share.
+    RoundRobin,
+    /// Join-shortest-queue over per-replica load snapshots: each request
+    /// goes to the replica whose [`ReplicaSnapshot::predicted_wait_ns`]
+    /// — queued + in-flight work times the observed service EWMA — is
+    /// smallest (lowest index on ties). Snapshots are read fresh per
+    /// request; see [`pick_replica`] for the staleness caveat.
+    Jsq,
+}
+
+/// The join-shortest-queue decision: the index of the snapshot with the
+/// smallest predicted wait, lowest index winning ties.
+///
+/// The snapshots are hints, not guarantees — a snapshot is stale the
+/// moment it is taken. Frozen snapshots *herd*: every decision made from
+/// the same vector lands on the same replica, which is exactly the
+/// thundering-herd failure mode of snapshot-based routing. Callers must
+/// re-read snapshots per decision (as [`serve_real`] does), which keeps
+/// each decision's error bounded by one snapshot interval.
+pub fn pick_replica(snaps: &[ReplicaSnapshot]) -> usize {
+    snaps
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, s)| (s.predicted_wait_ns(), *i))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
 /// Serving-cluster experiment parameters.
 ///
 /// The serving twin of [`ClusterConfig`]: `n_machines` model replicas share
@@ -187,6 +220,14 @@ pub struct ServeClusterConfig {
     /// `class_mix[c % len]`). Empty means all-`Interactive` — the
     /// class-blind single-lane workload.
     pub class_mix: Vec<Priority>,
+    /// How each request picks its replica.
+    pub routing: Routing,
+    /// End-to-end SLO attached to every request. `None` submits without
+    /// deadlines (PR 5 behavior: backpressure only, never shedding);
+    /// `Some` routes through `submit_slo_with`, so all three shed points
+    /// — predictive admission, pop-time eviction, mid-service
+    /// cancellation — are armed on every replica.
+    pub slo: Option<Duration>,
 }
 
 /// Result of a serving-cluster run.
@@ -198,6 +239,11 @@ pub struct ServeClusterReport {
     pub completed: u64,
     /// `try_submit` bounces observed across all machines (backpressure).
     pub rejected: u64,
+    /// Requests shed against their SLO across all machines, at any of the
+    /// three shed points (pop-time eviction + mid-service cancellation +
+    /// predictive admission). Always zero when
+    /// [`ServeClusterConfig::slo`] is `None`.
+    pub shed: u64,
     /// Aggregate serving throughput, requests per second.
     pub requests_per_sec: f64,
     /// Client-observed end-to-end latency percentiles, microseconds
@@ -220,6 +266,9 @@ pub struct ClassLatency {
     pub class: Priority,
     /// Requests this class completed across all replicas.
     pub completed: u64,
+    /// Requests this class shed against their SLO across all replicas
+    /// (pop-time + mid-service + predictive, summed).
+    pub shed: u64,
     /// Client-observed percentiles (submit → ticket), microseconds.
     pub percentiles: LatencyPercentiles,
 }
@@ -269,14 +318,32 @@ pub fn serve_real(
             handles.push(scope.spawn(move || -> Result<(), ExecError> {
                 let mut mine = Vec::with_capacity(cfg.requests_per_client);
                 for i in 0..cfg.requests_per_client {
-                    let machine = (c + i) % clients.len();
+                    let machine = match cfg.routing {
+                        Routing::RoundRobin => (c + i) % clients.len(),
+                        // A fresh snapshot per decision: routing from a
+                        // cached vector herds every client onto the same
+                        // replica (see `pick_replica`).
+                        Routing::Jsq => {
+                            let snaps: Vec<ReplicaSnapshot> =
+                                clients.iter().map(|cl| cl.load_snapshot()).collect();
+                            pick_replica(&snaps)
+                        }
+                    };
                     let feeds = requests[(c * 31 + i) % requests.len()].clone();
                     let sent = Instant::now();
-                    let result = clients[machine]
-                        .submit_with(class, feeds)
-                        .and_then(|ticket| ticket.wait());
+                    let result = match cfg.slo {
+                        Some(slo) => clients[machine]
+                            .submit_slo_with(class, feeds, slo)
+                            .and_then(|ticket| ticket.wait()),
+                        None => clients[machine]
+                            .submit_with(class, feeds)
+                            .and_then(|ticket| ticket.wait()),
+                    };
                     match result {
                         Ok(_) => mine.push(sent.elapsed().as_nanos() as u64),
+                        // Shed or expired against the SLO: legal outcomes,
+                        // tallied from the replica ledgers below.
+                        Err(ServeError::Shed { .. }) | Err(ServeError::DeadlineExceeded) => {}
                         Err(ServeError::Exec(e)) => return Err(e),
                         Err(e) => return Err(ExecError::internal(e)),
                     }
@@ -298,13 +365,30 @@ pub fn serve_real(
     let (completed, rejected) = replica_stats.iter().fold((0u64, 0u64), |(c, r), st| {
         (c + st.completed, r + st.rejected)
     });
-    // Per-class completion counts, summed across every replica's ledger.
+    let shed: u64 = replica_stats
+        .iter()
+        .map(|st| st.shed + st.shed_inflight + st.shed_predicted)
+        .sum();
+    // Per-class completion and shed counts, summed across every replica's
+    // ledger.
     let class_completed: Vec<u64> = Priority::ALL
         .iter()
         .map(|p| {
             replica_stats
                 .iter()
                 .map(|st| st.classes[p.index()].completed)
+                .sum()
+        })
+        .collect();
+    let class_shed: Vec<u64> = Priority::ALL
+        .iter()
+        .map(|p| {
+            replica_stats
+                .iter()
+                .map(|st| {
+                    let c = &st.classes[p.index()];
+                    c.shed + c.shed_inflight + c.shed_predicted
+                })
                 .sum()
         })
         .collect();
@@ -319,12 +403,13 @@ pub fn serve_real(
     let pct = LatencyPercentiles::from_ns_samples(&mut all);
     let per_class = Priority::ALL
         .into_iter()
-        .filter(|p| !buckets[p.index()].is_empty())
+        .filter(|p| !buckets[p.index()].is_empty() || class_shed[p.index()] > 0)
         .map(|p| {
             let mut lat = buckets[p.index()].clone();
             ClassLatency {
                 class: p,
                 completed: class_completed[p.index()],
+                shed: class_shed[p.index()],
                 percentiles: LatencyPercentiles::from_ns_samples(&mut lat),
             }
         })
@@ -333,6 +418,7 @@ pub fn serve_real(
         n_machines: cfg.n_machines.max(1),
         completed,
         rejected,
+        shed,
         requests_per_sec: total as f64 / wall,
         p50_us: pct.p50_us,
         p95_us: pct.p95_us,
@@ -394,9 +480,14 @@ mod tests {
             // Two interactive clients, one batch client: both classes
             // must show up in the cluster-level split.
             class_mix: vec![Priority::Interactive, Priority::Batch],
+            // JSQ with no SLO: load-aware routing must still answer every
+            // request — routing never sheds, only deadlines do.
+            routing: Routing::Jsq,
+            slo: None,
         };
         let report = serve_real(&cfg, &data).unwrap();
         assert_eq!(report.completed, 30, "no request lost");
+        assert_eq!(report.shed, 0, "no SLO attached, nothing may shed");
         assert!(report.requests_per_sec > 0.0);
         assert!(report.p50_us > 0.0);
         assert!(report.p50_us <= report.p95_us && report.p95_us <= report.p99_us);
@@ -414,7 +505,184 @@ mod tests {
         for c in &report.per_class {
             let pc = &c.percentiles;
             assert!(pc.p50_us > 0.0 && pc.p50_us <= pc.p95_us && pc.p95_us <= pc.p99_us);
+            assert_eq!(c.shed, 0);
         }
+    }
+
+    fn snap(queue_depth: usize, in_flight: usize, ewma_ns: u64) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            queue_depth,
+            in_flight,
+            service_ewma_ns: ewma_ns,
+            workers: 1,
+        }
+    }
+
+    #[test]
+    fn pick_replica_minimizes_predicted_wait_with_index_tiebreak() {
+        // Depth × EWMA ÷ workers, not raw depth: a deep-but-fast replica
+        // can beat a shallow-but-slow one.
+        assert_eq!(
+            pick_replica(&[snap(3, 0, 0), snap(1, 0, 0), snap(2, 0, 0)]),
+            1
+        );
+        // 4 × 1 ms < 1 × 10 ms: the deeper replica genuinely is the
+        // shorter predicted wait.
+        assert_eq!(
+            pick_replica(&[snap(1, 0, 10_000_000), snap(4, 0, 1_000_000)]),
+            1
+        );
+        // In-flight work counts against a replica like queued work.
+        assert_eq!(pick_replica(&[snap(0, 2, 0), snap(1, 0, 0)]), 1);
+        // Ties go to the lowest index, deterministically.
+        assert_eq!(
+            pick_replica(&[snap(2, 0, 0), snap(2, 0, 0), snap(2, 0, 0)]),
+            0
+        );
+        // Workers divide the backlog: 4 queued on 4 workers beats 2 on 1.
+        let mut wide = snap(4, 0, 0);
+        wide.workers = 4;
+        assert_eq!(pick_replica(&[snap(2, 0, 0), wide]), 1);
+        assert_eq!(pick_replica(&[]), 0, "degenerate input stays in range");
+    }
+
+    #[test]
+    fn stale_snapshots_herd_and_fresh_snapshots_spread() {
+        // The staleness failure mode, pinned as a unit test: route ten
+        // requests from one frozen snapshot vector and every single one
+        // lands on the same replica (a thundering herd onto the least
+        // loaded machine). Re-reading the snapshot after each decision —
+        // what `serve_real` does by taking `load_snapshot()` per request
+        // — spreads the same ten requests across all three replicas and
+        // leaves their depths balanced.
+        let frozen = vec![snap(3, 0, 0), snap(1, 0, 0), snap(2, 0, 0)];
+        for _ in 0..10 {
+            assert_eq!(pick_replica(&frozen), 1, "frozen snapshots herd");
+        }
+        let mut fresh = frozen.clone();
+        let mut hits = [0usize; 3];
+        for _ in 0..9 {
+            let m = pick_replica(&fresh);
+            hits[m] += 1;
+            fresh[m].queue_depth += 1; // the re-read sees the enqueue
+        }
+        assert!(
+            hits.iter().all(|&h| h >= 2),
+            "fresh snapshots spread the load: {hits:?}"
+        );
+        let depths: Vec<usize> = fresh.iter().map(|s| s.queue_depth).collect();
+        assert_eq!(
+            depths.iter().max().unwrap() - depths.iter().min().unwrap(),
+            0,
+            "3+1+2 queued plus 9 routed balances exactly: {depths:?}"
+        );
+    }
+
+    /// Drives three scripted single-worker replicas against a shared
+    /// virtual clock: one request arrives per 1 ms tick (30 total), each
+    /// costing 1 ms of service, with replica 0 stalled for 40 ms at the
+    /// start via the [`DelayInjector`] straggler profile. Returns how
+    /// many requests completed within the 42 ms horizon under `routing`.
+    fn routed_completions(routing: Routing) -> u64 {
+        use crate::virtual_time::DelayInjector;
+        use rdg_exec::serve::test_support::ScriptedServe;
+        use rdg_exec::WaveSizing;
+
+        const TICK_NS: u64 = 1_000_000;
+        const HORIZON_NS: u64 = 42_000_000;
+        const N_REQS: u64 = 30;
+        let injector = DelayInjector::from_stall_profile(&[(0, 40_000_000)], 3);
+        let cfg = ServeConfig {
+            capacity: 32,
+            batch_multiple: 1,
+            sizing: WaveSizing::Fixed,
+            ..ServeConfig::default()
+        };
+        let mut reps: Vec<ScriptedServe> = (0..3).map(|_| ScriptedServe::new(1, &cfg)).collect();
+        for (m, rep) in reps.iter_mut().enumerate() {
+            let stall_ns = (injector.delay_for(m, 0) * 1e9).round() as u64;
+            if stall_ns > 0 {
+                rep.stall_worker(0, stall_ns);
+            }
+        }
+        let mut done_within = 0u64;
+        let mut next_id = 0u64;
+        for tick in 0..64u64 {
+            let now = tick * TICK_NS;
+            // Idle replicas catch up to the cluster clock so their next
+            // request is enqueued at arrival time, not in their past.
+            for rep in reps.iter_mut() {
+                if rep.queue_depth() == 0 && rep.now_ns() < now {
+                    rep.advance(now - rep.now_ns());
+                }
+            }
+            if next_id < N_REQS {
+                let m = match routing {
+                    Routing::RoundRobin => (next_id as usize) % reps.len(),
+                    Routing::Jsq => {
+                        // The same snapshot shape the live path reads:
+                        // queued depth, whether the replica is still busy
+                        // past the cluster clock, and its service EWMA.
+                        let snaps: Vec<ReplicaSnapshot> = reps
+                            .iter()
+                            .map(|rep| ReplicaSnapshot {
+                                queue_depth: rep.queue_depth(),
+                                in_flight: usize::from(rep.now_ns() > now),
+                                service_ewma_ns: rep.ewma_ns().map_or(0, |e| e.max(0.0) as u64),
+                                workers: 1,
+                            })
+                            .collect();
+                        pick_replica(&snaps)
+                    }
+                };
+                assert!(reps[m].submit(Priority::Interactive, next_id));
+                next_id += 1;
+            }
+            // A replica that has caught up to the cluster clock drains
+            // its backlog; one still busy (mid-stall) must wait.
+            for rep in reps.iter_mut() {
+                while rep.queue_depth() > 0 && rep.now_ns() <= now {
+                    let w = rep.run_wave(|_| TICK_NS).expect("queue is non-empty");
+                    done_within += w
+                        .requests
+                        .iter()
+                        .filter(|r| r.done_ns <= HORIZON_NS)
+                        .count() as u64;
+                }
+            }
+        }
+        for rep in reps.iter_mut() {
+            for w in rep.drain(|_| TICK_NS) {
+                done_within += w
+                    .requests
+                    .iter()
+                    .filter(|r| r.done_ns <= HORIZON_NS)
+                    .count() as u64;
+            }
+        }
+        done_within
+    }
+
+    #[test]
+    fn jsq_routes_around_a_stalled_replica_and_beats_round_robin() {
+        // Round-robin keeps feeding the stalled replica a third of the
+        // stream; everything it receives finishes after the 40 ms stall,
+        // so at most a trickle lands inside the horizon. JSQ eats the
+        // first request blind (a stall is invisible until it bites), then
+        // sees the replica's backlog-plus-busy signal in every later
+        // snapshot and routes around it. Both runs are pure virtual
+        // clock: exact counts, no sleeps.
+        let rr = routed_completions(Routing::RoundRobin);
+        let jsq = routed_completions(Routing::Jsq);
+        assert!(
+            jsq > rr,
+            "JSQ must beat round-robin behind a straggler: {jsq} vs {rr}"
+        );
+        assert_eq!(jsq, 30, "JSQ serves the whole stream within the horizon");
+        assert!(
+            rr <= 22,
+            "round-robin strands most of the straggler's share: {rr}"
+        );
     }
 
     #[test]

@@ -351,6 +351,7 @@ mod tests {
             aging_step_ns: 1_000_000,
             sizing: SizingSpec::Fixed,
             expect_p99_ns: None,
+            expect_shed: None,
             events: vec![
                 Event::Submit(Priority::Interactive, 300_000),
                 Event::Stall(0, 40_000_000), // lane 0: 40 ms straggler

@@ -69,6 +69,15 @@ fn main() {
         report.worst.events.len(),
         report.worst.expect_p99_ns
     );
+    match &report.worst_shed {
+        Some(sc) => println!(
+            "max-shed scenario: {} events, expect_shed={:?}, expect_p99_ns={:?}",
+            sc.events.len(),
+            sc.expect_shed,
+            sc.expect_p99_ns
+        ),
+        None => println!("max-shed scenario: none (no schedule tried ever shed)"),
+    }
 
     let out_dir = std::env::var("RDG_FUZZ_OUT").ok();
     if let Some(dir) = &out_dir {
@@ -77,12 +86,18 @@ fn main() {
             eprintln!("rdg_fuzz_serve: cannot create {}: {e}", dir.display());
             std::process::exit(2);
         }
-        let path = dir.join(format!("{}.ron", report.worst.name));
-        if let Err(e) = std::fs::write(&path, report.worst.to_ron()) {
-            eprintln!("rdg_fuzz_serve: cannot write {}: {e}", path.display());
-            std::process::exit(2);
+        let mut findings = vec![&report.worst];
+        if let Some(sc) = &report.worst_shed {
+            findings.push(sc);
         }
-        println!("wrote {}", path.display());
+        for sc in findings {
+            let path = dir.join(format!("{}.ron", sc.name));
+            if let Err(e) = std::fs::write(&path, sc.to_ron()) {
+                eprintln!("rdg_fuzz_serve: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            println!("wrote {}", path.display());
+        }
     }
 
     if report.violations.is_empty() {

@@ -107,8 +107,8 @@ pub use path::PathKey;
 pub use plan::{ExecutionPlan, ModulePlan};
 pub use queue::SchedulerKind;
 pub use serve::{
-    ClassStats, LatencyPercentiles, Priority, ServeClient, ServeConfig, ServeError, ServeQueue,
-    ServeStats, ServeTicket, WaveRecord, WaveSizing,
+    ClassStats, LatencyPercentiles, Priority, ReplicaSnapshot, ServeClient, ServeConfig,
+    ServeError, ServeQueue, ServeStats, ServeTicket, WaveRecord, WaveSizing,
 };
 pub use session::Session;
 pub use stats::{ExecStats, StatsSnapshot};

@@ -28,6 +28,11 @@ pub(crate) struct Queued<T> {
     pub enqueued_ns: u64,
     /// Global admission sequence number (total order on submissions).
     pub seq: u64,
+    /// Absolute end-to-end deadline on the owning queue's clock, if the
+    /// request carries an SLO. The pop rule ignores it — eviction of
+    /// expired entries is the *dispatcher's* decision at pop time, so the
+    /// live loop and the scripted twin shed at exactly the same point.
+    pub deadline_ns: Option<u64>,
 }
 
 /// The per-class lanes. FIFO within a lane; aged strict priority across
@@ -68,6 +73,18 @@ impl<T> ClassQueues<T> {
     /// Appends to `class`'s lane, stamping `now_ns` and the next global
     /// sequence number.
     pub(crate) fn push(&mut self, class: Priority, item: T, now_ns: u64) {
+        self.push_deadline(class, item, now_ns, None);
+    }
+
+    /// [`ClassQueues::push`] with an absolute end-to-end deadline for
+    /// SLO-carrying requests.
+    pub(crate) fn push_deadline(
+        &mut self,
+        class: Priority,
+        item: T,
+        now_ns: u64,
+        deadline_ns: Option<u64>,
+    ) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.lanes[class.index()].push_back(Queued {
@@ -75,6 +92,7 @@ impl<T> ClassQueues<T> {
             class,
             enqueued_ns: now_ns,
             seq,
+            deadline_ns,
         });
     }
 
@@ -181,6 +199,22 @@ mod tests {
         assert_eq!(q.pop_next(2).unwrap().item, "first");
         assert_eq!(q.pop_next(2).unwrap().item, "second");
         assert_eq!(q.pop_next(2).unwrap().item, "third");
+    }
+
+    #[test]
+    fn deadlines_ride_through_push_and_pop_untouched() {
+        let mut q = ClassQueues::new(STEP);
+        q.push(Interactive, "plain", 0);
+        q.push_deadline(Batch, "slo", 1, Some(5_000));
+        let first = q.pop_next(2).unwrap();
+        assert_eq!(first.item, "plain");
+        assert_eq!(first.deadline_ns, None);
+        // The pop rule never looks at the deadline: an expired entry is
+        // still *popped* (and then evicted by the dispatcher), so lane
+        // order stays a pure function of (class, enqueue time, seq).
+        let second = q.pop_next(10_000).unwrap();
+        assert_eq!(second.item, "slo");
+        assert_eq!(second.deadline_ns, Some(5_000));
     }
 
     #[test]

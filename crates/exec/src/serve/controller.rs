@@ -113,12 +113,39 @@ impl WaveController {
     }
 }
 
+/// Predicted queue wait for a request entering a lane `depth` deep when
+/// the per-request service EWMA is `ewma_ns` and `workers` lanes drain
+/// concurrently: `depth × ewma ÷ workers`, saturating.
+///
+/// This is the one prediction rule of the serving stack — predictive
+/// admission shedding ([`super::ServeClient::submit_slo_with`]), the
+/// scripted twin, and the cluster's join-shortest-queue routing all call
+/// it, so their decisions agree on what "too late to bother" means.
+pub(crate) fn predicted_wait_ns(depth: usize, ewma_ns: u64, workers: usize) -> u64 {
+    let w = workers.max(1) as u128;
+    (depth as u128 * ewma_ns as u128 / w).min(u64::MAX as u128) as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::time::Duration;
 
     const MS: u64 = 1_000_000;
+
+    #[test]
+    fn predicted_wait_scales_with_depth_and_workers() {
+        assert_eq!(predicted_wait_ns(0, MS, 2), 0, "empty lane waits nothing");
+        assert_eq!(predicted_wait_ns(4, MS, 1), 4 * MS);
+        assert_eq!(predicted_wait_ns(4, MS, 2), 2 * MS);
+        assert_eq!(
+            predicted_wait_ns(4, MS, 0),
+            4 * MS,
+            "zero workers clamps to 1"
+        );
+        // Saturates instead of wrapping on absurd inputs.
+        assert_eq!(predicted_wait_ns(usize::MAX, u64::MAX, 1), u64::MAX);
+    }
 
     fn dynamic(max_multiple: usize, budget_ms: u64, alpha: f64) -> WaveSizing {
         WaveSizing::Dynamic {

@@ -41,7 +41,7 @@
 //! thread scheduling, no global state. Same seed → same scenarios, same
 //! worst case, same report, on every host.
 
-use super::test_support::{ScriptedRequest, ScriptedServe};
+use super::test_support::{ScriptedAdmission, ScriptedRequest, ScriptedServe, ScriptedShed};
 use super::{Priority, ServeConfig, WaveSizing};
 use std::fmt;
 use std::time::Duration;
@@ -153,6 +153,12 @@ pub enum Event {
     /// Submit a request of `class` whose scripted service duration is
     /// `service_ns`. Request ids are assigned in event order.
     Submit(Priority, u64),
+    /// Submit a request of `class` with scripted service duration
+    /// `service_ns` and an end-to-end SLO of `slo_ns`: the request
+    /// carries the absolute deadline `now + slo_ns` and is subject to all
+    /// three shed points (predictive admission, pop-time eviction,
+    /// mid-service cancellation). Ids share the `Submit` sequence.
+    SubmitSlo(Priority, u64, u64),
     /// Form and run one dispatch wave (no-op on an empty queue).
     Wave,
     /// Replica-level delay injection: worker lane `lane % workers` is
@@ -189,6 +195,12 @@ pub struct Scenario {
     /// reproduce exactly on replay (`None` until recorded). The corpus
     /// suite asserts equality — virtual time makes "exactly" meaningful.
     pub expect_p99_ns: Option<u64>,
+    /// Total shed count (pop-time evictions + mid-service cancellations +
+    /// predictive admission sheds) this scenario is expected to reproduce
+    /// exactly on replay. `None` for schedules without SLO traffic; the
+    /// serializer omits the field when unset so pre-SLO corpus files stay
+    /// byte-identical.
+    pub expect_shed: Option<u64>,
     /// The schedule itself.
     pub events: Vec<Event>,
 }
@@ -233,6 +245,8 @@ pub struct SubmitMeta {
     pub class: Priority,
     /// Virtual enqueue time.
     pub enqueued_ns: u64,
+    /// Absolute deadline (`enqueue + slo`) for SLO-carrying submissions.
+    pub deadline_ns: Option<u64>,
     /// Admission order among *accepted* requests.
     pub seq: usize,
 }
@@ -244,8 +258,15 @@ pub struct ReplayOutcome {
     pub accepted: Vec<SubmitMeta>,
     /// Submissions rejected (full lane or closed admission).
     pub rejected: u64,
-    /// The dispatch trace, in dispatch order across all waves.
+    /// The dispatch trace, in dispatch order across all waves. Includes
+    /// mid-service-shed requests (marked `shed_inflight`); excludes
+    /// pop-time evictions (see [`ReplayOutcome::evicted`]).
     pub trace: Vec<ScriptedRequest>,
+    /// Requests evicted at pop time (deadline already passed), in pop
+    /// order across all waves.
+    pub evicted: Vec<ScriptedShed>,
+    /// Submissions shed predictively at admission (never accepted).
+    pub shed_predicted: u64,
     /// Per wave: the controller target when it formed and the dispatched
     /// request ids in pop order.
     pub waves: Vec<(usize, Vec<u64>)>,
@@ -260,6 +281,17 @@ pub struct ReplayOutcome {
     /// Oracle violations, human-readable. Empty means the invariants
     /// held on this schedule.
     pub violations: Vec<String>,
+}
+
+impl ReplayOutcome {
+    /// Every shed, whatever the lifecycle point: pop-time evictions +
+    /// mid-service cancellations + predictive admission sheds. The number
+    /// a corpus scenario's [`Scenario::expect_shed`] pins exactly.
+    pub fn shed_total(&self) -> u64 {
+        self.evicted.len() as u64
+            + self.trace.iter().filter(|r| r.shed_inflight).count() as u64
+            + self.shed_predicted
+    }
 }
 
 /// Nearest-rank p99 over unsorted nanosecond samples (integer arithmetic
@@ -352,6 +384,7 @@ pub fn replay(scenario: &Scenario) -> ReplayOutcome {
         out.waves
             .push((wave.target, wave.requests.iter().map(|r| r.id).collect()));
         out.trace.extend(wave.requests);
+        out.evicted.extend(wave.evicted);
         true
     };
 
@@ -366,6 +399,7 @@ pub fn replay(scenario: &Scenario) -> ReplayOutcome {
                         id,
                         class,
                         enqueued_ns: s.now_ns(),
+                        deadline_ns: None,
                         seq,
                     });
                     seq += 1;
@@ -374,6 +408,34 @@ pub fn replay(scenario: &Scenario) -> ReplayOutcome {
                 } else {
                     out.rejected += 1;
                     saw_reject = true;
+                }
+            }
+            Event::SubmitSlo(class, service, slo) => {
+                let id = services.len() as u64;
+                services.push(service.min(MAX_DUR_NS));
+                let slo = slo.min(MAX_DUR_NS);
+                match s.submit_deadline(class, id, slo) {
+                    ScriptedAdmission::Admitted => {
+                        out.accepted.push(SubmitMeta {
+                            id,
+                            class,
+                            enqueued_ns: s.now_ns(),
+                            deadline_ns: Some(s.now_ns().saturating_add(slo)),
+                            seq,
+                        });
+                        seq += 1;
+                        let fill =
+                            s.queue_depth_class(class) as f64 / scenario.capacity.max(1) as f64;
+                        max_fill = max_fill.max(fill);
+                    }
+                    ScriptedAdmission::Rejected => {
+                        out.rejected += 1;
+                        saw_reject = true;
+                    }
+                    // Counted from the twin's tally after the run (the
+                    // predictive shed is the only shed that never
+                    // produces a trace or eviction entry).
+                    ScriptedAdmission::Shed => {}
                 }
             }
             Event::Wave => {
@@ -396,12 +458,17 @@ pub fn replay(scenario: &Scenario) -> ReplayOutcome {
         }
     }
 
+    out.shed_predicted = s.shed_predicted().iter().sum();
     check_order_oracles(scenario, &mut out);
 
+    // Shed requests never completed: the p99 scores *answers delivered
+    // within the lifecycle*, so only non-shed completions count (also
+    // keeps pre-SLO corpus pins byte-stable — no-deadline schedules have
+    // no shed requests to exclude).
     let mut interactive: Vec<u64> = out
         .trace
         .iter()
-        .filter(|r| r.class == Priority::Interactive)
+        .filter(|r| r.class == Priority::Interactive && !r.shed_inflight)
         .map(|r| r.done_ns - r.enqueued_ns)
         .collect();
     out.interactive_p99_ns = p99_ns(&mut interactive);
@@ -434,29 +501,77 @@ pub fn replay(scenario: &Scenario) -> ReplayOutcome {
 }
 
 /// The admission-order oracles (class FIFO, strict priority, aging
-/// bound, conservation), checked on a finished replay.
+/// bound, conservation), plus the shed oracles: no ticket both shed and
+/// dispatched, no phantom shed (every shed request carried a deadline),
+/// and no early shed (eviction/cancellation at or after the deadline).
+/// Checked on a finished replay.
 fn check_order_oracles(scenario: &Scenario, out: &mut ReplayOutcome) {
-    // Conservation: accepted ⇔ dispatched exactly once.
+    // Shed conservation: accepted ⇔ (dispatched ∪ evicted) exactly once,
+    // with the two sides disjoint — a request is dispatched or shed at
+    // pop, never both, and never lost.
     let mut accepted_ids: Vec<u64> = out.accepted.iter().map(|m| m.id).collect();
-    let mut dispatched: Vec<u64> = out.trace.iter().map(|r| r.id).collect();
+    let mut resolved: Vec<u64> = out
+        .trace
+        .iter()
+        .map(|r| r.id)
+        .chain(out.evicted.iter().map(|e| e.id))
+        .collect();
     accepted_ids.sort_unstable();
-    dispatched.sort_unstable();
-    if accepted_ids != dispatched {
+    resolved.sort_unstable();
+    if accepted_ids != resolved {
         out.violations.push(format!(
-            "conservation broken: {} accepted vs {} dispatched (lost or duplicated)",
+            "conservation broken: {} accepted vs {} dispatched + {} evicted \
+             (lost, duplicated, or both shed and dispatched)",
             accepted_ids.len(),
-            dispatched.len()
+            out.trace.len(),
+            out.evicted.len()
         ));
         return; // positional oracles are meaningless on a broken trace
     }
-    let pos = |id: u64| out.trace.iter().position(|r| r.id == id).unwrap();
+    let meta = |id: u64| out.accepted.iter().find(|m| m.id == id);
+    for e in &out.evicted {
+        match meta(e.id).and_then(|m| m.deadline_ns) {
+            // Phantom shed: only SLO-carrying requests may be evicted.
+            None => out
+                .violations
+                .push(format!("phantom shed: id {} had no deadline", e.id)),
+            Some(d) => {
+                if e.shed_ns < d {
+                    out.violations.push(format!(
+                        "early eviction: id {} shed at {} before deadline {d}",
+                        e.id, e.shed_ns
+                    ));
+                }
+            }
+        }
+    }
+    for r in out.trace.iter().filter(|r| r.shed_inflight) {
+        match r.deadline_ns {
+            None => out.violations.push(format!(
+                "phantom in-flight shed: id {} had no deadline",
+                r.id
+            )),
+            Some(d) => {
+                if r.done_ns < d {
+                    out.violations.push(format!(
+                        "early in-flight shed: id {} cancelled at {} before deadline {d}",
+                        r.id, r.done_ns
+                    ));
+                }
+            }
+        }
+    }
+    // Positional oracles range over *dispatched* requests only: an
+    // evicted request has no dispatch position (its slot in the pop
+    // order is exactly where it was discarded).
+    let pos = |id: u64| out.trace.iter().position(|r| r.id == id);
     for a in &out.accepted {
-        let pa = pos(a.id);
+        let Some(pa) = pos(a.id) else { continue };
         for b in &out.accepted {
             if a.seq >= b.seq {
                 continue;
             }
-            let pb = pos(b.id);
+            let Some(pb) = pos(b.id) else { continue };
             // Class FIFO + strict priority: `a` submitted before `b` and
             // at least as urgent ⇒ dispatched first.
             if a.class.index() <= b.class.index() && pa > pb {
@@ -513,14 +628,22 @@ pub fn generate(rng: &mut FuzzRng, seed: u64, max_events: usize, workers: usize)
         aging_step_ns,
         sizing,
         expect_p99_ns: None,
+        expect_shed: None,
         events,
     }
 }
 
 /// One random event, weighted toward submissions (the schedule's meat).
+/// A quarter of the submissions carry an SLO, so every campaign
+/// exercises all three shed points alongside plain traffic.
 fn random_event(rng: &mut FuzzRng, aging_step_ns: u64, workers: usize) -> Event {
     match rng.below(100) {
-        0..=54 => Event::Submit(*rng.pick(&Priority::ALL), random_service_ns(rng)),
+        0..=39 => Event::Submit(*rng.pick(&Priority::ALL), random_service_ns(rng)),
+        40..=54 => Event::SubmitSlo(
+            *rng.pick(&Priority::ALL),
+            random_service_ns(rng),
+            rng.range(200_000, 30_000_000),
+        ),
         55..=74 => Event::Wave,
         75..=89 => Event::Advance(rng.below(4 * aging_step_ns.max(1))),
         90..=93 => Event::Stall(
@@ -584,6 +707,13 @@ fn mutate_once(sc: &mut Scenario, donor: Option<&Scenario>, rng: &mut FuzzRng) {
             };
             match &mut sc.events[i] {
                 Event::Submit(_, service) => *service = scale(rng, *service),
+                Event::SubmitSlo(_, service, slo) => {
+                    if rng.chance(1, 2) {
+                        *service = scale(rng, *service);
+                    } else {
+                        *slo = scale(rng, *slo);
+                    }
+                }
                 Event::Advance(gap) => *gap = scale(rng, *gap),
                 Event::Stall(_, dur) => *dur = scale(rng, *dur),
                 _ => {}
@@ -591,13 +721,17 @@ fn mutate_once(sc: &mut Scenario, donor: Option<&Scenario>, rng: &mut FuzzRng) {
         }
         // Flip a submission's class.
         2 => {
-            if let Some(Event::Submit(class, _)) = sc
+            if let Some(ev) = sc
                 .events
                 .iter_mut()
-                .filter(|e| matches!(e, Event::Submit(..)))
+                .filter(|e| matches!(e, Event::Submit(..) | Event::SubmitSlo(..)))
                 .nth(rng.below(16) as usize)
             {
-                *class = *rng.pick(&Priority::ALL);
+                let flipped = *rng.pick(&Priority::ALL);
+                match ev {
+                    Event::Submit(class, _) | Event::SubmitSlo(class, _, _) => *class = flipped,
+                    _ => unreachable!("filtered to submissions"),
+                }
             }
         }
         // Insert a random event.
@@ -702,13 +836,17 @@ pub fn minimize(
         let orig = best.events[i];
         let field = |ev: &Event| -> Option<u64> {
             match *ev {
-                Event::Submit(_, v) | Event::Advance(v) | Event::Stall(_, v) => Some(v),
+                Event::Submit(_, v)
+                | Event::SubmitSlo(_, v, _)
+                | Event::Advance(v)
+                | Event::Stall(_, v) => Some(v),
                 _ => None,
             }
         };
         let with = |ev: &Event, v: u64| -> Event {
             match *ev {
                 Event::Submit(c, _) => Event::Submit(c, v),
+                Event::SubmitSlo(c, _, slo) => Event::SubmitSlo(c, v, slo),
                 Event::Advance(_) => Event::Advance(v),
                 Event::Stall(l, _) => Event::Stall(l, v),
                 other => other,
@@ -791,6 +929,15 @@ pub struct CampaignReport {
     /// The minimized worst-case scenario (with `expect_p99_ns` recorded),
     /// ready for [`Scenario::to_ron`].
     pub worst: Scenario,
+    /// The minimized *max-shed* scenario (with both `expect_p99_ns` and
+    /// `expect_shed` recorded), when any violation-free schedule the
+    /// campaign tried shed at all. Tracked separately from `worst`
+    /// because the p99 score actively selects *away* from shedding:
+    /// evicted and cancelled requests leave the latency population, so
+    /// the champion schedule for tail latency is usually one where every
+    /// SLO is met or absent. This secondary champion is what pins the
+    /// shed-accounting semantics in the corpus.
+    pub worst_shed: Option<Scenario>,
     /// `(iteration, p99_ns)` at every strict improvement — the search
     /// trajectory (iteration 0 = the best of the initial pool).
     pub improvements: Vec<(usize, u64)>,
@@ -858,6 +1005,7 @@ pub fn run_campaign(config: &FuzzConfig) -> CampaignReport {
 
     // Initial population.
     let mut best: Option<(Scenario, u64)> = None;
+    let mut best_shed: Option<(Scenario, u64)> = None;
     let mut improvements = Vec::new();
     for _ in 0..config.pool.max(1) {
         let sc = generate(&mut rng, config.seed, config.max_events, config.workers);
@@ -877,6 +1025,10 @@ pub fn run_campaign(config: &FuzzConfig) -> CampaignReport {
             .map_or(true, |(_, p)| out.interactive_p99_ns > *p)
         {
             best = Some((sc.clone(), out.interactive_p99_ns));
+        }
+        if out.violations.is_empty() && out.shed_total() > best_shed.as_ref().map_or(0, |(_, n)| *n)
+        {
+            best_shed = Some((sc.clone(), out.shed_total()));
         }
         pool.push((sc, out.interactive_p99_ns, out.proximity));
     }
@@ -920,6 +1072,10 @@ pub fn run_campaign(config: &FuzzConfig) -> CampaignReport {
             best = Some((child.clone(), out.interactive_p99_ns));
             improvements.push((iter, out.interactive_p99_ns));
         }
+        if out.violations.is_empty() && out.shed_total() > best_shed.as_ref().map_or(0, |(_, n)| *n)
+        {
+            best_shed = Some((child.clone(), out.shed_total()));
+        }
         // Pool update: replace the weakest member when the child beats it
         // on either signal (p99 or oracle proximity).
         let weakest = (0..pool.len())
@@ -951,13 +1107,38 @@ pub fn run_campaign(config: &FuzzConfig) -> CampaignReport {
     let final_out = replay(&worst);
     executed += 1;
     worst.expect_p99_ns = Some(final_out.interactive_p99_ns);
+    // Pin the shed count only when the schedule actually sheds: the
+    // field is omitted from serialization when `None`, which keeps
+    // pre-SLO corpus files byte-identical.
+    worst.expect_shed = (final_out.shed_total() > 0).then(|| final_out.shed_total());
     worst.name = format!("fuzz-worst-{:08x}", config.seed);
+
+    // Minimize the max-shed champion while it keeps shedding at least as
+    // much, then pin *both* counts for corpus replay.
+    let worst_shed = if let Some((champion, shed)) = best_shed {
+        let mut checks = 0usize;
+        let mut m = minimize(&champion, 1_500, |cand| {
+            checks += 1;
+            let out = replay(cand);
+            out.violations.is_empty() && out.shed_total() >= shed
+        });
+        executed += checks;
+        let out = replay(&m);
+        executed += 1;
+        m.expect_p99_ns = Some(out.interactive_p99_ns);
+        m.expect_shed = Some(out.shed_total());
+        m.name = format!("fuzz-shed-{:08x}", config.seed);
+        Some(m)
+    } else {
+        None
+    };
 
     CampaignReport {
         config: config.clone(),
         executed,
         worst_p99_ns: final_out.interactive_p99_ns,
         worst,
+        worst_shed,
         improvements,
         violations,
     }
@@ -984,6 +1165,7 @@ pub fn baseline_scenarios() -> Vec<Scenario> {
         aging_step_ns: 1_000_000,
         sizing,
         expect_p99_ns: None,
+        expect_shed: None,
         events: Vec::new(),
     };
     let dynamic = SizingSpec::Dynamic {
@@ -1091,12 +1273,20 @@ impl Scenario {
                 let _ = writeln!(s, "    expect_p99_ns: None,");
             }
         }
+        // Omitted (not `None`) when unset: pre-SLO corpus files round-trip
+        // byte-identically through a serializer that never saw the field.
+        if let Some(v) = self.expect_shed {
+            let _ = writeln!(s, "    expect_shed: Some({v}),");
+        }
         let _ = writeln!(s, "    events: [");
         for ev in &self.events {
             let line = match *ev {
                 Event::Advance(ns) => format!("Advance({ns})"),
                 Event::Submit(class, service) => {
                     format!("Submit({}, {service})", class_token(class))
+                }
+                Event::SubmitSlo(class, service, slo) => {
+                    format!("SubmitSlo({}, {service}, {slo})", class_token(class))
                 }
                 Event::Wave => "Wave".to_string(),
                 Event::Stall(lane, dur) => format!("Stall({lane}, {dur})"),
@@ -1127,6 +1317,7 @@ impl Scenario {
             aging_step_ns: 0,
             sizing: SizingSpec::Fixed,
             expect_p99_ns: None,
+            expect_shed: None,
             events: Vec::new(),
         };
         loop {
@@ -1144,6 +1335,7 @@ impl Scenario {
                 "aging_step_ns" => sc.aging_step_ns = p.number()?,
                 "sizing" => sc.sizing = p.sizing()?,
                 "expect_p99_ns" => sc.expect_p99_ns = p.option_number()?,
+                "expect_shed" => sc.expect_shed = p.option_number()?,
                 "events" => sc.events = p.events()?,
                 other => return Err(format!("unknown scenario field `{other}`")),
             }
@@ -1345,6 +1537,16 @@ impl Parser {
                     self.expect(")")?;
                     Event::Submit(class, service)
                 }
+                "SubmitSlo" => {
+                    self.expect("(")?;
+                    let class = class_from_token(&self.ident()?)?;
+                    self.eat(",");
+                    let service = self.number()?;
+                    self.eat(",");
+                    let slo = self.number()?;
+                    self.expect(")")?;
+                    Event::SubmitSlo(class, service, slo)
+                }
                 "Wave" => Event::Wave,
                 "Stall" => {
                     self.expect("(")?;
@@ -1384,6 +1586,7 @@ mod tests {
                 alpha_milli: 250,
             },
             expect_p99_ns: None,
+            expect_shed: None,
             events: vec![
                 Event::Submit(Priority::Batch, 300_000),
                 Event::Advance(1_500_000),

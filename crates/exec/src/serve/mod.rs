@@ -223,6 +223,16 @@ pub struct ServeConfig {
     /// the differential suite uses it to compare the live dispatcher's
     /// decisions against the `ScriptedServe` twin, wave for wave.
     pub record_dispatch: bool,
+    /// Least-urgent end of the classes eligible for **predictive
+    /// admission shedding**: an SLO-carrying submit into a class at least
+    /// this far down the urgency order is rejected up front with
+    /// [`ServeError::Shed`] when the predicted queue wait (lane depth ×
+    /// EWMA service estimate ÷ workers) already exceeds its deadline —
+    /// overload sheds cheap work *before* it queues. `None` disables the
+    /// check; the default sheds `BestEffort` only (set
+    /// `Some(Priority::Batch)` to cover `Batch` too). Inert until the
+    /// dynamic controller has an EWMA, and for requests without an SLO.
+    pub predictive_shed_from: Option<Priority>,
 }
 
 impl Default for ServeConfig {
@@ -234,6 +244,7 @@ impl Default for ServeConfig {
             sizing: WaveSizing::default(),
             aging_step: Duration::from_millis(25),
             record_dispatch: false,
+            predictive_shed_from: Some(Priority::BestEffort),
         }
     }
 }
@@ -249,6 +260,15 @@ pub enum ServeError {
     /// The serving loop no longer accepts requests (explicit shutdown or
     /// every client handle was dropped).
     Shutdown,
+    /// The request was load-shed against its end-to-end SLO: evicted from
+    /// its lane after the deadline passed, cancelled mid-service when the
+    /// deadline passed in flight, or rejected at submit because the
+    /// predicted queue wait already exceeded it. `waited` is how long the
+    /// request had been in the system when it was shed.
+    Shed {
+        /// submit → shed span.
+        waited: Duration,
+    },
     /// The request was admitted and executed, but the run failed.
     Exec(ExecError),
 }
@@ -261,6 +281,9 @@ impl fmt::Display for ServeError {
                 write!(f, "admission deadline exceeded while lane was full")
             }
             ServeError::Shutdown => write!(f, "serving loop has shut down"),
+            ServeError::Shed { waited } => {
+                write!(f, "request shed against its SLO after {waited:?}")
+            }
             ServeError::Exec(e) => write!(f, "request execution failed: {e}"),
         }
     }
@@ -390,10 +413,26 @@ pub struct ClassStats {
     /// `submit_deadline` calls of this class that waited out their
     /// deadline.
     pub expired: u64,
-    /// Requests of this class that completed with a successful run.
+    /// Requests of this class that completed with a successful run
+    /// delivered to a live ticket.
     pub completed: u64,
     /// Requests of this class that completed with an execution error.
     pub failed: u64,
+    /// Requests of this class evicted at pop time: their end-to-end
+    /// deadline had already passed when the dispatcher reached them, so
+    /// they were discarded instead of burning a wave slot.
+    pub shed: u64,
+    /// Requests of this class cancelled mid-service: the deadline passed
+    /// after dispatch, while the run was in flight.
+    pub shed_inflight: u64,
+    /// Requests of this class rejected at submit by predictive admission
+    /// shedding (predicted wait already exceeded the SLO; never queued).
+    pub shed_predicted: u64,
+    /// Requests of this class whose result had no receiver: the client
+    /// dropped the [`ServeTicket`] before delivery. The run still
+    /// executed; the answer went nowhere. Split from `completed` so
+    /// goodput accounting cannot mistake abandoned work for served work.
+    pub abandoned: u64,
     /// Requests of this class sitting in the lane right now.
     pub queue_depth: usize,
     /// enqueue → dispatch (time spent queued).
@@ -418,10 +457,19 @@ pub struct ServeStats {
     pub rejected: u64,
     /// `submit_deadline` calls that waited out their deadline.
     pub expired: u64,
-    /// Requests that completed with a successful run.
+    /// Requests that completed with a successful run delivered to a live
+    /// ticket.
     pub completed: u64,
     /// Requests that completed with an execution error.
     pub failed: u64,
+    /// Requests evicted at pop time against their SLO (all classes).
+    pub shed: u64,
+    /// Requests cancelled mid-service against their SLO (all classes).
+    pub shed_inflight: u64,
+    /// Requests rejected at submit by predictive shedding (all classes).
+    pub shed_predicted: u64,
+    /// Requests whose ticket was dropped before delivery (all classes).
+    pub abandoned: u64,
     /// Dispatch waves formed.
     pub batches: u64,
     /// Requests sitting in the queue right now (all classes).
@@ -432,6 +480,11 @@ pub struct ServeStats {
     /// [`WaveSizing::Fixed`], live controller output under
     /// [`WaveSizing::Dynamic`].
     pub wave_target: usize,
+    /// The controller's current per-request service EWMA, nanoseconds —
+    /// `0` until the first dynamic-sizing observation (and always under
+    /// [`WaveSizing::Fixed`]). This is the estimate predictive shedding
+    /// and cluster routing divide by.
+    pub service_ewma_ns: u64,
     /// enqueue → dispatch (time spent queued), all classes.
     pub wait: LatencyPercentiles,
     /// dispatch → complete (time spent executing, including wave joins).
@@ -447,12 +500,17 @@ impl ServeStats {
     pub fn summary(&self) -> String {
         format!(
             "submitted={} completed={} failed={} rejected={} expired={} \
-             depth={} in_flight={} wave={} total_p50={:.0}µs p95={:.0}µs p99={:.0}µs",
+             shed={}/{}/{} abandoned={} depth={} in_flight={} wave={} \
+             total_p50={:.0}µs p95={:.0}µs p99={:.0}µs",
             self.submitted,
             self.completed,
             self.failed,
             self.rejected,
             self.expired,
+            self.shed,
+            self.shed_inflight,
+            self.shed_predicted,
+            self.abandoned,
             self.queue_depth,
             self.in_flight,
             self.wave_target,
@@ -467,7 +525,7 @@ impl ServeStats {
         let mut out = String::new();
         for p in Priority::ALL {
             let c = &self.classes[p.index()];
-            if c.submitted == 0 && c.rejected == 0 && c.expired == 0 {
+            if c.submitted == 0 && c.rejected == 0 && c.expired == 0 && c.shed_predicted == 0 {
                 continue;
             }
             if !out.is_empty() {
@@ -475,13 +533,18 @@ impl ServeStats {
             }
             out.push_str(&format!(
                 "{:<12} submitted={} completed={} failed={} rejected={} expired={} \
-                 depth={} wait_p95={:.0}µs total_p50={:.0}µs p95={:.0}µs p99={:.0}µs",
+                 shed={}/{}/{} abandoned={} depth={} wait_p95={:.0}µs \
+                 total_p50={:.0}µs p95={:.0}µs p99={:.0}µs",
                 p.name(),
                 c.submitted,
                 c.completed,
                 c.failed,
                 c.rejected,
                 c.expired,
+                c.shed,
+                c.shed_inflight,
+                c.shed_predicted,
+                c.abandoned,
                 c.queue_depth,
                 c.wait.p95_us,
                 c.total.p50_us,
@@ -503,13 +566,55 @@ pub struct WaveRecord {
     /// Admission sequence numbers (0 = first accepted request) in
     /// dispatch order within the wave.
     pub seqs: Vec<u64>,
+    /// Admission sequence numbers of requests popped while forming this
+    /// wave but **evicted** instead of dispatched: their end-to-end
+    /// deadline had already passed. Eviction is part of the scheduling
+    /// decision, so the differential suite compares it twin-for-twin.
+    pub shed_seqs: Vec<u64>,
 }
 
-/// One queued request: feeds in, result channel out. Class and enqueue
-/// timestamp ride in the [`Queued`] wrapper the lane keeps.
+/// One queued request: feeds in, result channel out. Class, enqueue
+/// timestamp, and deadline ride in the [`Queued`] wrapper the lane keeps.
 struct Request {
     feeds: Vec<Tensor>,
-    tx: Sender<Result<Vec<Tensor>, ExecError>>,
+    tx: Sender<Result<Vec<Tensor>, ServeError>>,
+}
+
+/// A cheap point-in-time load snapshot of one serving loop, for
+/// join-shortest-queue replica routing (`rdg_cluster::serve_real`): queue
+/// depth and in-flight count plus the service EWMA to turn depth into a
+/// predicted wait. Reading one costs a short lock plus two atomic loads —
+/// cheap enough to take per routing decision. A snapshot is immediately
+/// stale, of course; the router treats it as a hint, never a guarantee.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplicaSnapshot {
+    /// Requests queued across all lanes at snapshot time.
+    pub queue_depth: usize,
+    /// Root frames in flight at snapshot time.
+    pub in_flight: usize,
+    /// Per-request service EWMA, nanoseconds (`0` = no estimate yet).
+    pub service_ewma_ns: u64,
+    /// The loop's worker count (what the queue drains through).
+    pub workers: usize,
+}
+
+impl ReplicaSnapshot {
+    /// Nominal per-request service estimate used before the replica has
+    /// observed anything: 1 ms, so early routing degrades to plain
+    /// shortest-queue-length comparison.
+    pub const DEFAULT_SERVICE_NS: u64 = 1_000_000;
+
+    /// Predicted wait for one more request behind this snapshot's load:
+    /// `(queued + in flight) × ewma ÷ workers` (the same prediction rule
+    /// predictive admission shedding uses).
+    pub fn predicted_wait_ns(&self) -> u64 {
+        let ewma = if self.service_ewma_ns == 0 {
+            Self::DEFAULT_SERVICE_NS
+        } else {
+            self.service_ewma_ns
+        };
+        controller::predicted_wait_ns(self.queue_depth + self.in_flight, ewma, self.workers)
+    }
 }
 
 struct QueueState {
@@ -528,6 +633,10 @@ struct ClassLedger {
     expired: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    shed: AtomicU64,
+    shed_inflight: AtomicU64,
+    shed_predicted: AtomicU64,
+    abandoned: AtomicU64,
     wait: LatencyTrack,
     service: LatencyTrack,
     total: LatencyTrack,
@@ -541,6 +650,10 @@ impl ClassLedger {
             expired: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            shed_inflight: AtomicU64::new(0),
+            shed_predicted: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
             wait: LatencyTrack::new(window),
             service: LatencyTrack::new(window),
             total: LatencyTrack::new(window),
@@ -556,6 +669,10 @@ struct StatsInner {
     in_flight: AtomicUsize,
     /// The controller's current wave target, published after every wave.
     wave_target: AtomicUsize,
+    /// The controller's service EWMA in nanoseconds (`0` = none yet),
+    /// published after every wave so the submit path can predict queue
+    /// waits without talking to the dispatcher thread.
+    ewma_ns: AtomicU64,
     /// Aggregate latency windows (kept separately from the per-class
     /// windows — percentile windows cannot be merged after the fact).
     wait: LatencyTrack,
@@ -571,6 +688,9 @@ struct StatsInner {
 /// as long as any client (or undelivered ticket) needs it.
 pub struct ServeQueue {
     capacity: usize,
+    /// The executor's worker count — the denominator of every predicted-
+    /// wait computation (admission shedding, replica snapshots).
+    workers: usize,
     state: Mutex<QueueState>,
     /// Signals the dispatcher: work arrived, or shutdown began.
     not_empty: Condvar,
@@ -608,6 +728,7 @@ impl ServeQueue {
             WaveController::new(config.sizing, config.batch_multiple, exec.n_threads()).target();
         let shared = Arc::new(ServeQueue {
             capacity,
+            workers: exec.n_threads().max(1),
             state: Mutex::new(QueueState {
                 queue: ClassQueues::new(aging_ns),
                 open: true,
@@ -624,6 +745,7 @@ impl ServeQueue {
                 batches: AtomicU64::new(0),
                 in_flight: AtomicUsize::new(0),
                 wave_target: AtomicUsize::new(initial_target),
+                ewma_ns: AtomicU64::new(0),
                 wait: LatencyTrack::new(window),
                 service: LatencyTrack::new(window),
                 total: LatencyTrack::new(window),
@@ -655,7 +777,23 @@ impl ServeQueue {
 /// The dispatcher: drains the class lanes in controller-sized waves via
 /// the aged-priority pop, launches each wave as concurrent root frames,
 /// joins it, and answers the tickets. Runs until shutdown *and* empty
-/// lanes — every accepted request is answered before the thread exits.
+/// lanes — every accepted request is answered before the thread exits
+/// (with its result, or with [`ServeError::Shed`] when its SLO ran out
+/// first).
+///
+/// SLO enforcement happens at two of the three lifecycle points here
+/// (the third, predictive admission shedding, lives in the submit path):
+///
+/// * **pop-time eviction** — a popped request whose deadline has already
+///   passed is discarded instead of dispatched; its ticket resolves to
+///   [`ServeError::Shed`] and the class's `shed` counter ticks. Evicted
+///   requests never consume wave slots, so one expired burst cannot
+///   starve the wave of live work.
+/// * **mid-service cancellation** — when the join loop reaches a handle
+///   whose deadline has passed and whose run has not finished, it cancels
+///   through [`RunHandle::cancel`] (freeing the worker) and accounts the
+///   request as `shed_inflight`. A run that finished before the check
+///   keeps its result — an answer that exists is delivered, late or not.
 fn dispatcher_loop(
     shared: &Arc<ServeQueue>,
     exec: &Arc<Executor>,
@@ -668,6 +806,7 @@ fn dispatcher_loop(
         exec.n_threads(),
     );
     let mut wave: Vec<Queued<Request>> = Vec::with_capacity(controller.target());
+    let mut evicted: Vec<(Priority, u64, Sender<Result<Vec<Tensor>, ServeError>>)> = Vec::new();
     loop {
         {
             let mut st = shared.state.lock();
@@ -682,9 +821,17 @@ fn dispatcher_loop(
             }
             let target = controller.target();
             let now = shared.now_ns();
+            let mut shed_seqs = Vec::new();
             while wave.len() < target {
                 match st.queue.pop_next(now) {
-                    Some(q) => wave.push(q),
+                    Some(q) => {
+                        if q.deadline_ns.map_or(false, |d| now >= d) {
+                            shed_seqs.push(q.seq);
+                            evicted.push((q.class, now.saturating_sub(q.enqueued_ns), q.item.tx));
+                        } else {
+                            wave.push(q);
+                        }
+                    }
                     None => break,
                 }
             }
@@ -692,11 +839,27 @@ fn dispatcher_loop(
                 shared.dispatch_log.lock().push(WaveRecord {
                     target,
                     seqs: wave.iter().map(|q| q.seq).collect(),
+                    shed_seqs,
                 });
             }
         }
         // Slots freed: wake every blocked submitter (they re-check space).
         shared.not_full.notify_all();
+        // Resolve pop-time evictions outside the lock. Eviction is a shed,
+        // full stop — a dropped ticket on top of it stays a shed (the
+        // `abandoned` counter splits only the completed/failed path).
+        for (class, waited_ns, tx) in evicted.drain(..) {
+            shared.stats.classes[class.index()]
+                .shed
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Err(ServeError::Shed {
+                waited: Duration::from_nanos(waited_ns),
+            }));
+        }
+        if wave.is_empty() {
+            // Everything popped this round was expired: nothing to run.
+            continue;
+        }
         let dispatched_ns = shared.now_ns();
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
         shared.stats.in_flight.store(wave.len(), Ordering::Relaxed);
@@ -706,7 +869,8 @@ fn dispatcher_loop(
         type Waiting = (
             Priority,
             u64,
-            Sender<Result<Vec<Tensor>, ExecError>>,
+            Option<u64>,
+            Sender<Result<Vec<Tensor>, ServeError>>,
             Result<RunHandle, ExecError>,
         );
         let in_flight: Vec<Waiting> = wave
@@ -716,50 +880,87 @@ fn dispatcher_loop(
                     item: Request { feeds, tx },
                     class,
                     enqueued_ns,
+                    deadline_ns,
                     ..
                 } = q;
                 let wait_ns = dispatched_ns.saturating_sub(enqueued_ns);
                 shared.stats.wait.record_ns(wait_ns);
                 shared.stats.classes[class.index()].wait.record_ns(wait_ns);
                 let submitted = exec.submit(plan, params, feeds, None, None);
-                (class, enqueued_ns, tx, submitted)
+                (class, enqueued_ns, deadline_ns, tx, submitted)
             })
             .collect();
         let wave_len = in_flight.len();
         let mut last_done_ns = dispatched_ns;
-        for (class, enqueued_ns, tx, submitted) in in_flight {
+        for (class, enqueued_ns, deadline_ns, tx, submitted) in in_flight {
+            let mut cancelled_for_slo = false;
             let result = match submitted {
-                Ok(handle) => handle.wait(),
+                Ok(handle) => {
+                    if let Some(d) = deadline_ns {
+                        if shared.now_ns() >= d && !handle.is_finished() {
+                            handle.cancel();
+                            cancelled_for_slo = true;
+                        }
+                    }
+                    handle.wait()
+                }
                 Err(e) => Err(e),
             };
             let done_ns = shared.now_ns();
             last_done_ns = done_ns;
+            let ledger = &shared.stats.classes[class.index()];
+            shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            // If the cancel raced the run finishing, the run kept its
+            // result (`RunHandle::cancel` never discards a finished run)
+            // and we fall through to normal delivery below.
+            if cancelled_for_slo && matches!(result, Err(ExecError::Cancelled)) {
+                ledger.shed_inflight.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Err(ServeError::Shed {
+                    waited: Duration::from_nanos(done_ns.saturating_sub(enqueued_ns)),
+                }));
+                continue;
+            }
             let service_ns = done_ns.saturating_sub(dispatched_ns);
             let total_ns = done_ns.saturating_sub(enqueued_ns);
-            let ledger = &shared.stats.classes[class.index()];
             shared.stats.service.record_ns(service_ns);
             shared.stats.total.record_ns(total_ns);
             ledger.service.record_ns(service_ns);
             ledger.total.record_ns(total_ns);
-            match &result {
-                Ok(_) => ledger.completed.fetch_add(1, Ordering::Relaxed),
-                Err(_) => ledger.failed.fetch_add(1, Ordering::Relaxed),
+            // Count before sending: a client that has seen its ticket
+            // resolve must also see the counter (the `submitted ≥
+            // completed + failed` snapshot invariant). A failed send
+            // means no receiver existed — nobody raced us — so the
+            // reclassification below is invisible to any live ticket.
+            let counter = if result.is_ok() {
+                &ledger.completed
+            } else {
+                &ledger.failed
             };
-            shared.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
-            // A dropped ticket is fine: the send just goes nowhere.
-            let _ = tx.send(result);
+            counter.fetch_add(1, Ordering::Relaxed);
+            if tx.send(result.map_err(ServeError::Exec)).is_err() {
+                // The client dropped its ticket before delivery. The work
+                // still ran — count it as abandoned, not completed, so
+                // goodput stays honest.
+                counter.fetch_sub(1, Ordering::Relaxed);
+                ledger.abandoned.fetch_add(1, Ordering::Relaxed);
+            }
         }
         // The controller observes the *wave*, not the per-request join
         // latencies: joining in submission order means a later request's
         // individual dispatch→complete span includes earlier joins, which
         // would double-count intra-wave queueing and bias the EWMA high.
         controller.observe_wave(wave_len, last_done_ns.saturating_sub(dispatched_ns));
-        // Publish the adapted target so stats snapshots (and tests
-        // watching convergence) see the decision the next wave will use.
+        // Publish the adapted target and EWMA so stats snapshots (and the
+        // predictive-shedding submit path) see the decision the next wave
+        // will use.
         shared
             .stats
             .wave_target
             .store(controller.target(), Ordering::Relaxed);
+        shared.stats.ewma_ns.store(
+            controller.ewma_ns().map_or(0, |e| e.max(0.0) as u64),
+            Ordering::Relaxed,
+        );
     }
 }
 
@@ -843,7 +1044,7 @@ impl ServeClient {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::QueueFull);
         }
-        Ok(self.enqueue(st, class, feeds))
+        Ok(self.enqueue(st, class, feeds, None))
     }
 
     /// Blocking admission into the client's default class.
@@ -866,7 +1067,7 @@ impl ServeClient {
                 return Err(ServeError::Shutdown);
             }
             if st.queue.len_class(class) < self.shared.capacity {
-                return Ok(self.enqueue(st, class, feeds));
+                return Ok(self.enqueue(st, class, feeds, None));
             }
             self.shared.not_full.wait(&mut st);
         }
@@ -898,7 +1099,7 @@ impl ServeClient {
                 return Err(ServeError::Shutdown);
             }
             if st.queue.len_class(class) < self.shared.capacity {
-                return Ok(self.enqueue(st, class, feeds));
+                return Ok(self.enqueue(st, class, feeds, None));
             }
             let elapsed = t0.elapsed();
             if elapsed >= deadline {
@@ -909,6 +1110,84 @@ impl ServeClient {
                 return Err(ServeError::DeadlineExceeded);
             }
             let _ = self.shared.not_full.wait_for(&mut st, deadline - elapsed);
+        }
+    }
+
+    /// Blocking admission into the client's default class with an
+    /// end-to-end SLO. See [`ServeClient::submit_slo_with`].
+    pub fn submit_slo(&self, feeds: Vec<Tensor>, slo: Duration) -> Result<ServeTicket, ServeError> {
+        self.submit_slo_with(self.class, feeds, slo)
+    }
+
+    /// Blocking admission into `class` with an end-to-end SLO: the
+    /// request must *complete* within `slo` of this call, or it is shed.
+    ///
+    /// The SLO is enforced at three lifecycle points:
+    ///
+    /// 1. **Predictive admission** (here): if the class is at or past
+    ///    [`ServeConfig::predictive_shed_from`] and the dispatcher has a
+    ///    service EWMA, a request whose predicted queue wait
+    ///    (`lane depth × EWMA ÷ workers`) already overruns the deadline is
+    ///    shed immediately with [`ServeError::Shed`] — it never queues,
+    ///    never counts as `submitted`, and ticks `shed_predicted`.
+    /// 2. **Pop-time eviction**: an admitted request whose deadline has
+    ///    passed when the dispatcher pops it is discarded (ticket resolves
+    ///    to [`ServeError::Shed`], counted `shed`).
+    /// 3. **Mid-service cancellation**: a request whose deadline passes
+    ///    while its run is in flight is cancelled and counted
+    ///    `shed_inflight`.
+    ///
+    /// Submit-side blocking is bounded by the same deadline: if no lane
+    /// slot frees before the SLO is already blown, the call gives up with
+    /// [`ServeError::DeadlineExceeded`] (counted `expired`), matching
+    /// [`ServeClient::submit_deadline_with`].
+    pub fn submit_slo_with(
+        &self,
+        class: Priority,
+        feeds: Vec<Tensor>,
+        slo: Duration,
+    ) -> Result<ServeTicket, ServeError> {
+        let t0 = Instant::now();
+        let slo_ns = u64::try_from(slo.as_nanos()).unwrap_or(u64::MAX);
+        let deadline_abs = self.shared.now_ns().saturating_add(slo_ns);
+        let mut st = self.shared.state.lock();
+        loop {
+            if !st.open {
+                return Err(ServeError::Shutdown);
+            }
+            if st.queue.len_class(class) < self.shared.capacity {
+                if let Some(from) = self.shared.config.predictive_shed_from {
+                    if class.index() >= from.index() {
+                        let ewma = self.shared.stats.ewma_ns.load(Ordering::Relaxed);
+                        if ewma > 0 {
+                            let predicted = controller::predicted_wait_ns(
+                                st.queue.len_class(class),
+                                ewma,
+                                self.shared.workers,
+                            );
+                            if self.shared.now_ns().saturating_add(predicted) > deadline_abs {
+                                drop(st);
+                                self.shared.stats.classes[class.index()]
+                                    .shed_predicted
+                                    .fetch_add(1, Ordering::Relaxed);
+                                return Err(ServeError::Shed {
+                                    waited: t0.elapsed(),
+                                });
+                            }
+                        }
+                    }
+                }
+                return Ok(self.enqueue(st, class, feeds, Some(deadline_abs)));
+            }
+            if self.shared.now_ns() >= deadline_abs {
+                drop(st);
+                self.shared.stats.classes[class.index()]
+                    .expired
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineExceeded);
+            }
+            let remaining = slo.saturating_sub(t0.elapsed());
+            let _ = self.shared.not_full.wait_for(&mut st, remaining);
         }
     }
 
@@ -923,10 +1202,12 @@ impl ServeClient {
         mut st: MutexGuard<'_, QueueState>,
         class: Priority,
         feeds: Vec<Tensor>,
+        deadline_ns: Option<u64>,
     ) -> ServeTicket {
         let (tx, rx) = bounded(1);
         let now = self.shared.now_ns();
-        st.queue.push(class, Request { feeds, tx }, now);
+        st.queue
+            .push_deadline(class, Request { feeds, tx }, now, deadline_ns);
         // Count before releasing the lock: the dispatcher cannot pop (and
         // so cannot complete) this request until the lock drops, which
         // keeps `submitted ≥ completed + failed` in every stats snapshot.
@@ -948,6 +1229,30 @@ impl ServeClient {
     /// The per-class admission-lane slot count.
     pub fn capacity(&self) -> usize {
         self.shared.capacity
+    }
+
+    /// The dispatcher's current per-request service EWMA, nanoseconds —
+    /// `None` until the first dynamically-sized wave completes (or under
+    /// [`WaveSizing::Fixed`], which never observes).
+    pub fn service_ewma_ns(&self) -> Option<u64> {
+        match self.shared.stats.ewma_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(ns),
+        }
+    }
+
+    /// A point-in-time load snapshot of this replica for routing
+    /// decisions: queued + in-flight depth, service EWMA, worker count.
+    /// The cluster's join-shortest-queue router compares these across
+    /// replicas via [`ReplicaSnapshot::predicted_wait_ns`].
+    pub fn load_snapshot(&self) -> ReplicaSnapshot {
+        let queue_depth = self.shared.state.lock().queue.len();
+        ReplicaSnapshot {
+            queue_depth,
+            in_flight: self.shared.stats.in_flight.load(Ordering::Relaxed),
+            service_ewma_ns: self.shared.stats.ewma_ns.load(Ordering::Relaxed),
+            workers: self.shared.workers,
+        }
     }
 
     /// The dispatch waves recorded so far — empty unless the loop was
@@ -973,6 +1278,7 @@ impl ServeClient {
             batches: s.batches.load(Ordering::Relaxed),
             in_flight: s.in_flight.load(Ordering::Relaxed),
             wave_target: s.wave_target.load(Ordering::Relaxed),
+            service_ewma_ns: s.ewma_ns.load(Ordering::Relaxed),
             wait: s.wait.percentiles(),
             service: s.service.percentiles(),
             total: s.total.percentiles(),
@@ -987,6 +1293,10 @@ impl ServeClient {
                 expired: ledger.expired.load(Ordering::Relaxed),
                 completed: ledger.completed.load(Ordering::Relaxed),
                 failed: ledger.failed.load(Ordering::Relaxed),
+                shed: ledger.shed.load(Ordering::Relaxed),
+                shed_inflight: ledger.shed_inflight.load(Ordering::Relaxed),
+                shed_predicted: ledger.shed_predicted.load(Ordering::Relaxed),
+                abandoned: ledger.abandoned.load(Ordering::Relaxed),
                 queue_depth: depths[i],
                 wait: ledger.wait.percentiles(),
                 service: ledger.service.percentiles(),
@@ -997,6 +1307,10 @@ impl ServeClient {
             agg.expired += c.expired;
             agg.completed += c.completed;
             agg.failed += c.failed;
+            agg.shed += c.shed;
+            agg.shed_inflight += c.shed_inflight;
+            agg.shed_predicted += c.shed_predicted;
+            agg.abandoned += c.abandoned;
             agg.queue_depth += c.queue_depth;
             agg.classes[i] = c;
         }
@@ -1025,7 +1339,7 @@ impl ServeClient {
 /// even after every client is dropped (accepted requests are drained on
 /// shutdown, never discarded).
 pub struct ServeTicket {
-    rx: Receiver<Result<Vec<Tensor>, ExecError>>,
+    rx: Receiver<Result<Vec<Tensor>, ServeError>>,
 }
 
 impl fmt::Debug for ServeTicket {
@@ -1035,10 +1349,11 @@ impl fmt::Debug for ServeTicket {
 }
 
 impl ServeTicket {
-    /// Blocks until the request completes and returns its outputs.
+    /// Blocks until the request resolves: its outputs, the run's error,
+    /// or [`ServeError::Shed`] if the request's SLO ran out first.
     pub fn wait(self) -> Result<Vec<Tensor>, ServeError> {
         match self.rx.recv() {
-            Ok(result) => result.map_err(ServeError::Exec),
+            Ok(result) => result,
             // The dispatcher answers every accepted request before it
             // exits; a closed channel therefore means the process is
             // tearing the loop down around us.

@@ -33,7 +33,7 @@
 //! advances by the wave's simulated drain time.
 
 use super::classes::ClassQueues;
-use super::controller::WaveController;
+use super::controller::{predicted_wait_ns, WaveController};
 use super::{Priority, ServeConfig};
 
 /// One request's life through a scripted wave, all timestamps in
@@ -47,14 +47,57 @@ pub struct ScriptedRequest {
     pub class: Priority,
     /// Virtual time the request entered its lane.
     pub enqueued_ns: u64,
+    /// Absolute deadline carried by the request, if it was submitted with
+    /// an SLO ([`ScriptedServe::submit_deadline`]).
+    pub deadline_ns: Option<u64>,
     /// enqueue → dispatch: what the request waited in the queue.
     pub wait_ns: u64,
     /// dispatch → observed completion (join order included) — what the
     /// request's `ServeStats` service entry would record. The controller
     /// is fed the wave-level observation instead (see `run_wave`).
     pub service_ns: u64,
-    /// Virtual time the request's completion was observed.
+    /// Virtual time the request's completion was observed. For a
+    /// mid-service-shed request this is the time the join loop reached
+    /// (and cancelled) it.
     pub done_ns: u64,
+    /// The request dispatched but its deadline passed before the join
+    /// loop observed it finish: the live loop cancels it through
+    /// `RunHandle::cancel` and counts `shed_inflight` instead of
+    /// `completed`.
+    pub shed_inflight: bool,
+}
+
+/// One request the dispatcher discarded at pop time because its deadline
+/// had already passed — the scripted analogue of
+/// [`super::ServeError::Shed`] resolved against an undispatched ticket.
+#[derive(Clone, Debug)]
+pub struct ScriptedShed {
+    /// Caller-chosen request id.
+    pub id: u64,
+    /// Admission class the request was submitted with.
+    pub class: Priority,
+    /// Virtual time the request entered its lane.
+    pub enqueued_ns: u64,
+    /// The absolute deadline the request missed.
+    pub deadline_ns: u64,
+    /// Virtual time the eviction happened (the wave's pop time). Always
+    /// `>= deadline_ns` — the never-evicted-early oracle.
+    pub shed_ns: u64,
+}
+
+/// Outcome of one [`ScriptedServe::submit_deadline`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScriptedAdmission {
+    /// The request entered its lane (carrying its absolute deadline).
+    Admitted,
+    /// Lane full or admission closed — the analogues of
+    /// [`super::ServeError::QueueFull`] / [`super::ServeError::Shutdown`].
+    Rejected,
+    /// Predictive admission shedding fired: the predicted lane wait
+    /// (depth × EWMA ÷ workers) already overruns the SLO, so the request
+    /// was shed before queueing ([`super::ServeError::Shed`], counted
+    /// `shed_predicted`).
+    Shed,
 }
 
 /// One dispatch wave formed and "executed" by [`ScriptedServe::run_wave`].
@@ -67,6 +110,10 @@ pub struct ScriptedWave {
     /// The wave's requests, **in dispatch order** — the order the
     /// aged-priority pop emitted them.
     pub requests: Vec<ScriptedRequest>,
+    /// Requests popped this wave whose deadline had already passed:
+    /// discarded without dispatching (they consume no wave slots), in
+    /// pop order.
+    pub evicted: Vec<ScriptedShed>,
 }
 
 impl ScriptedWave {
@@ -109,6 +156,12 @@ pub struct ScriptedServe {
     open: bool,
     /// Scripted client-handle count; hitting zero closes admission.
     clients: usize,
+    /// Least-urgent end of the classes eligible for predictive admission
+    /// shedding (copied from [`ServeConfig::predictive_shed_from`]).
+    predictive_shed_from: Option<Priority>,
+    /// Per-class predictive-shed tally — the twin of the live
+    /// `shed_predicted` counters.
+    shed_predicted: [u64; Priority::COUNT],
 }
 
 impl ScriptedServe {
@@ -127,6 +180,8 @@ impl ScriptedServe {
             stall_until: vec![0; workers],
             open: true,
             clients: 1,
+            predictive_shed_from: config.predictive_shed_from,
+            shed_predicted: [0; Priority::COUNT],
         }
     }
 
@@ -152,6 +207,47 @@ impl ScriptedServe {
         }
         self.queues.push(class, id, self.now_ns);
         true
+    }
+
+    /// Submits request `id` into `class` with an end-to-end SLO of
+    /// `slo_ns`: the request carries the absolute deadline `now + slo_ns`
+    /// through its lane, and the same three shed points the live loop
+    /// enforces apply — predictive admission here, pop-time eviction and
+    /// mid-service cancellation in [`ScriptedServe::run_wave`].
+    pub fn submit_deadline(&mut self, class: Priority, id: u64, slo_ns: u64) -> ScriptedAdmission {
+        if !self.open || self.queues.len_class(class) >= self.capacity {
+            return ScriptedAdmission::Rejected;
+        }
+        if let Some(from) = self.predictive_shed_from {
+            if class.index() >= from.index() {
+                if let Some(ewma) = self.controller.ewma_ns() {
+                    let predicted = predicted_wait_ns(
+                        self.queues.len_class(class),
+                        ewma.max(0.0) as u64,
+                        self.workers,
+                    );
+                    // `now + predicted > now + slo` ⇔ `predicted > slo`:
+                    // same inequality the live submit path evaluates.
+                    if predicted > slo_ns {
+                        self.shed_predicted[class.index()] += 1;
+                        return ScriptedAdmission::Shed;
+                    }
+                }
+            }
+        }
+        self.queues.push_deadline(
+            class,
+            id,
+            self.now_ns,
+            Some(self.now_ns.saturating_add(slo_ns)),
+        );
+        ScriptedAdmission::Admitted
+    }
+
+    /// Per-class predictive-shed counts so far (the twin of the live
+    /// `shed_predicted` stats), indexed by [`Priority::index`].
+    pub fn shed_predicted(&self) -> [u64; Priority::COUNT] {
+        self.shed_predicted
     }
 
     /// Whether admission is still open (no scripted shutdown yet and at
@@ -218,11 +314,18 @@ impl ScriptedServe {
 
     /// Forms and "executes" the next wave: pops up to the controller's
     /// target with the aged-priority rule at the current virtual time,
-    /// runs each request for `service_ns(id)` nanoseconds on `workers`
-    /// greedy simulated lanes, observes completions in dispatch order
-    /// (like the live join loop), feeds the controller the wave's
-    /// request count + drain time, and advances the clock to the wave's
-    /// last completion. Returns `None` when nothing is queued.
+    /// **evicting** any popped request whose deadline has already passed
+    /// (evictions consume no wave slots — exactly the live pop-time shed),
+    /// runs each surviving request for `service_ns(id)` nanoseconds on
+    /// `workers` greedy simulated lanes, observes completions in dispatch
+    /// order (like the live join loop, cancelling any request whose
+    /// deadline passes before the join reaches a finished run —
+    /// `shed_inflight`), feeds the controller the wave's request count +
+    /// drain time, and advances the clock to the wave's last completion.
+    ///
+    /// Returns `None` when nothing is queued. A wave in which *every*
+    /// popped request was evicted comes back with empty `requests` — like
+    /// the live loop it counts no batch and feeds the controller nothing.
     pub fn run_wave(&mut self, service_ns: impl Fn(u64) -> u64) -> Option<ScriptedWave> {
         if self.queues.is_empty() {
             return None;
@@ -230,9 +333,22 @@ impl ScriptedServe {
         let target = self.controller.target();
         let dispatched_ns = self.now_ns;
         let mut popped = Vec::new();
+        let mut evicted = Vec::new();
         while popped.len() < target {
             match self.queues.pop_next(self.now_ns) {
-                Some(q) => popped.push(q),
+                Some(q) => {
+                    if let Some(d) = q.deadline_ns.filter(|&d| self.now_ns >= d) {
+                        evicted.push(ScriptedShed {
+                            id: q.item,
+                            class: q.class,
+                            enqueued_ns: q.enqueued_ns,
+                            deadline_ns: d,
+                            shed_ns: self.now_ns,
+                        });
+                    } else {
+                        popped.push(q);
+                    }
+                }
                 None => break,
             }
         }
@@ -254,28 +370,56 @@ impl ScriptedServe {
             finishes.push(finish);
         }
         // Completions observed in dispatch order, exactly like the live
-        // dispatcher joining handles in submission order.
+        // dispatcher joining handles in submission order. The live join
+        // loop reaches each handle at the current observation time and
+        // cancels it there if its deadline has passed and the run is not
+        // finished; a finished run keeps its result however late. The
+        // cancelled run's worker reservation is kept — the scripted lane
+        // schedule is fixed at dispatch (the live cancel can free a
+        // worker a little earlier; differential scenarios pin the points
+        // where the two agree exactly).
         let mut requests = Vec::with_capacity(popped.len());
         let mut observed = dispatched_ns;
         for (q, finish) in popped.into_iter().zip(finishes) {
+            let cancel = q
+                .deadline_ns
+                .map_or(false, |d| observed >= d && finish > observed);
+            if cancel {
+                requests.push(ScriptedRequest {
+                    id: q.item,
+                    class: q.class,
+                    enqueued_ns: q.enqueued_ns,
+                    deadline_ns: q.deadline_ns,
+                    wait_ns: dispatched_ns.saturating_sub(q.enqueued_ns),
+                    service_ns: observed - dispatched_ns,
+                    done_ns: observed,
+                    shed_inflight: true,
+                });
+                continue;
+            }
             observed = observed.max(finish);
             let service = observed - dispatched_ns;
             requests.push(ScriptedRequest {
                 id: q.item,
                 class: q.class,
                 enqueued_ns: q.enqueued_ns,
+                deadline_ns: q.deadline_ns,
                 wait_ns: dispatched_ns.saturating_sub(q.enqueued_ns),
                 service_ns: service,
                 done_ns: observed,
+                shed_inflight: false,
             });
         }
-        self.controller
-            .observe_wave(requests.len(), observed - dispatched_ns);
+        if !requests.is_empty() {
+            self.controller
+                .observe_wave(requests.len(), observed - dispatched_ns);
+        }
         self.now_ns = observed;
         Some(ScriptedWave {
             target,
             dispatched_ns,
             requests,
+            evicted,
         })
     }
 

@@ -5,19 +5,27 @@
 //! that only means anything if the twin and the live dispatcher actually
 //! make the *same* decisions from the same queue state. This test pins
 //! that correspondence: one scenario (a blocker occupying the single
-//! worker while ten mixed-class requests pile up, then one drain wave)
-//! is run through real threads with [`ServeConfig::record_dispatch`] on,
-//! and through the scripted twin on the virtual clock, and the two
-//! dispatch logs — wave targets and per-wave admission sequence numbers
-//! in pop order — must be identical.
+//! worker while ten mixed-class requests — plus two already-expired
+//! SLO requests — pile up, then one drain wave) is run through real
+//! threads with [`ServeConfig::record_dispatch`] on, and through the
+//! scripted twin on the virtual clock, and the two dispatch logs — wave
+//! targets, per-wave admission sequence numbers in pop order, *and*
+//! pop-time shed decisions — must be identical.
 //!
-//! The live side races wall time (the blocker must outlive our ten tiny
+//! The SLO half uses zero-duration SLOs deliberately: `deadline = now`
+//! is expired at any later pop on both clocks, so the eviction decision
+//! is deterministic even though the live side runs on wall time (and
+//! fixed sizing keeps the EWMA unset, so predictive admission shedding
+//! stays inert on both sides — the shed must happen at pop, nowhere
+//! else).
+//!
+//! The live side races wall time (the blocker must outlive our twelve
 //! submits), so the scenario is retried a few times and skipped with a
 //! note on hosts too fast to hold the race open — the *decision* logic
 //! itself is still covered deterministically by the twin suites.
 
-use rdg_exec::serve::test_support::ScriptedServe;
-use rdg_exec::{Executor, Priority, ServeConfig, Session, WaveRecord, WaveSizing};
+use rdg_exec::serve::test_support::{ScriptedAdmission, ScriptedServe};
+use rdg_exec::{Executor, Priority, ServeConfig, ServeError, Session, WaveRecord, WaveSizing};
 use rdg_graph::{Module, ModuleBuilder};
 use rdg_tensor::{DType, Tensor};
 use std::time::Duration;
@@ -79,6 +87,10 @@ fn config() -> ServeConfig {
     }
 }
 
+/// The classes of the two already-expired SLO requests queued after the
+/// mix (admission sequence numbers 11 and 12).
+const SLO_MIX: [Priority; 2] = [Priority::Interactive, Priority::Batch];
+
 /// The twin's dispatch log for the scenario, on the virtual clock.
 fn scripted_log() -> Vec<WaveRecord> {
     let mut s = ScriptedServe::new(1, &config());
@@ -91,14 +103,25 @@ fn scripted_log() -> Vec<WaveRecord> {
     log.push(WaveRecord {
         target: w.target,
         seqs: w.ids(),
+        shed_seqs: w.evicted.iter().map(|e| e.id).collect(),
     });
     for (i, class) in MIX.iter().enumerate() {
         assert!(s.submit(*class, 1 + i as u64), "request {i} admitted");
+    }
+    for (i, class) in SLO_MIX.iter().enumerate() {
+        // SLO 0: the deadline is `now`, expired at any later pop.
+        assert_eq!(
+            s.submit_deadline(*class, 11 + i as u64, 0),
+            ScriptedAdmission::Admitted,
+            "expired-SLO request {i} admitted (predictive shed inert \
+             under fixed sizing)"
+        );
     }
     let w = s.run_wave(service).expect("drain wave");
     log.push(WaveRecord {
         target: w.target,
         seqs: w.ids(),
+        shed_seqs: w.evicted.iter().map(|e| e.id).collect(),
     });
     assert!(
         s.run_wave(service).is_none(),
@@ -108,7 +131,7 @@ fn scripted_log() -> Vec<WaveRecord> {
 }
 
 /// One live attempt; `None` when the timing race didn't hold (the
-/// blocker finished before the ten requests were all queued).
+/// blocker finished before the twelve requests were all queued).
 fn live_log_attempt() -> Option<Vec<WaveRecord>> {
     let s = Session::new(Executor::with_threads(1), sum_module()).unwrap();
     let client = s.serve_with(config());
@@ -127,15 +150,43 @@ fn live_log_attempt() -> Option<Vec<WaveRecord>> {
                 .unwrap()
         })
         .collect();
+    let shed_tickets: Vec<_> = SLO_MIX
+        .iter()
+        .map(|&class| {
+            client
+                .submit_slo_with(class, vec![Tensor::scalar_i32(5)], Duration::ZERO)
+                .expect("zero-SLO request admits (lane has space, no EWMA yet)")
+        })
+        .collect();
     blocker.wait().unwrap();
     for t in tickets {
         t.wait().unwrap();
     }
+    for t in shed_tickets {
+        // The shed decision must also reach the ticket itself.
+        assert!(
+            matches!(t.wait(), Err(ServeError::Shed { .. })),
+            "expired-SLO ticket resolves Shed"
+        );
+    }
     client.shutdown();
+    let stats = client.stats();
     let log = client.dispatch_log();
     // The race held only if the blocker wave contained exactly the
-    // blocker and one drain wave took all ten.
+    // blocker and one drain wave took all ten live plus both sheds.
     if log.len() == 2 && log[0].seqs == [0] && log[1].seqs.len() == MIX.len() {
+        assert_eq!(
+            stats.classes[Priority::Interactive.index()].shed,
+            1,
+            "one interactive pop-time shed"
+        );
+        assert_eq!(
+            stats.classes[Priority::Batch.index()].shed,
+            1,
+            "one batch pop-time shed"
+        );
+        assert_eq!(stats.shed_inflight, 0, "no mid-service cancels here");
+        assert_eq!(stats.shed_predicted, 0, "predictive shedding was inert");
         Some(log)
     } else {
         None
@@ -145,12 +196,14 @@ fn live_log_attempt() -> Option<Vec<WaveRecord>> {
 #[test]
 fn live_dispatcher_and_scripted_twin_agree_wave_for_wave() {
     let expected = scripted_log();
-    // Sanity on the twin itself: fixed waves of 1 × 16, strict priority.
+    // Sanity on the twin itself: fixed waves of 1 × 16, strict priority,
+    // and both expired requests shed at pop in pop order.
     assert_eq!(
         expected[0],
         WaveRecord {
             target: 16,
-            seqs: vec![0]
+            seqs: vec![0],
+            shed_seqs: vec![],
         }
     );
     assert_eq!(expected[1].target, 16);
@@ -159,18 +212,24 @@ fn live_dispatcher_and_scripted_twin_agree_wave_for_wave() {
         vec![2, 4, 7, 9, 1, 5, 8, 3, 6, 10],
         "strict priority, FIFO within class, over the MIX pattern"
     );
+    assert_eq!(
+        expected[1].shed_seqs,
+        vec![11, 12],
+        "expired SLO requests evicted in pop order (interactive lane \
+         first, then batch), consuming no wave slots"
+    );
     for attempt in 0..5 {
         if let Some(live) = live_log_attempt() {
             assert_eq!(
                 live, expected,
                 "live dispatcher diverged from the scripted twin \
                  (attempt {attempt}): same queue state must produce the \
-                 same wave targets and pop order"
+                 same wave targets, pop order, and shed decisions"
             );
             return;
         }
     }
-    // Five misses means the blocker kept finishing before ten tiny
+    // Five misses means the blocker kept finishing before twelve tiny
     // submits — a host too fast for this race. The decision logic is
     // still asserted above and across the twin suites.
     eprintln!("host too fast to hold the blocker race open; skipping live half");

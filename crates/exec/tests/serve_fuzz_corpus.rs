@@ -52,8 +52,8 @@ fn load_corpus() -> Vec<(String, String, Scenario)> {
 fn corpus_has_at_least_five_minimized_scenarios() {
     let corpus = load_corpus();
     assert!(
-        corpus.len() >= 5,
-        "expected ≥ 5 committed scenarios, found {}",
+        corpus.len() >= 7,
+        "expected ≥ 7 committed scenarios, found {}",
         corpus.len()
     );
     for (name, _, sc) in &corpus {
@@ -66,6 +66,14 @@ fn corpus_has_at_least_five_minimized_scenarios() {
             "{name}: corpus scenarios must pin their expected p99"
         );
     }
+    let with_shed = corpus
+        .iter()
+        .filter(|(_, _, sc)| sc.expect_shed.is_some())
+        .count();
+    assert!(
+        with_shed >= 2,
+        "expected ≥ 2 scenarios pinning exact shed counts, found {with_shed}"
+    );
 }
 
 #[test]
@@ -98,6 +106,14 @@ fn corpus_replays_clean_and_reproduces_pinned_p99() {
              (a scheduling change moved this worst case — regenerate the \
              corpus deliberately if the change is intended)"
         );
+        if let Some(pin) = sc.expect_shed {
+            assert_eq!(
+                out.shed_total(),
+                pin,
+                "{name}: shed count (pop + in-flight + predictive) drifted \
+                 from the committed pin"
+            );
+        }
         // Determinism: an identical second replay, wave for wave.
         let again = replay(&sc);
         assert_eq!(

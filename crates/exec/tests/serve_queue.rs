@@ -413,15 +413,18 @@ fn stress_three_classes_with_deadlines_and_abandons() {
         ..ServeConfig::default()
     });
     // Per-class tallies kept by the clients themselves, to check the
-    // ledger against ground truth: [admitted, expired_locally, waited].
+    // ledger against ground truth: admitted, locally-expired, and
+    // dropped-without-waiting tickets.
     let admitted: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
     let expired: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
+    let dropped: Vec<Arc<AtomicU64>> = (0..3).map(|_| Arc::new(AtomicU64::new(0))).collect();
     let mut workers = Vec::new();
     for (ci, class) in Priority::ALL.into_iter().enumerate() {
         for t in 0..PER_CLASS_CLIENTS {
             let client = client.with_priority(class);
             let admitted = Arc::clone(&admitted[ci]);
             let expired = Arc::clone(&expired[ci]);
+            let dropped = Arc::clone(&dropped[ci]);
             workers.push(std::thread::spawn(move || {
                 for i in 0..PER_CLIENT {
                     let n = ((ci * 97 + t * 31 + i * 7) % 300) as i32;
@@ -452,6 +455,7 @@ fn stress_three_classes_with_deadlines_and_abandons() {
                     };
                     admitted.fetch_add(1, Ordering::Relaxed);
                     if i % 5 == 0 {
+                        dropped.fetch_add(1, Ordering::Relaxed);
                         drop(ticket); // abandon: result discarded, run not
                     } else {
                         let out = ticket.wait().unwrap();
@@ -501,13 +505,32 @@ fn stress_three_classes_with_deadlines_and_abandons() {
             "{p}: every local deadline expiry is in the ledger"
         );
         assert_eq!(
-            c.completed + c.failed,
+            c.completed + c.failed + c.abandoned,
             c.submitted,
-            "{p}: every admitted request was answered (abandons included)"
+            "{p}: every admitted request was answered or abandoned — exact closure"
+        );
+        // A dropped ticket counts `abandoned` only when the drop beat the
+        // dispatcher's send (a buffered send that lands first is a
+        // completion nobody read) — so the split is bounded, not exact.
+        assert!(
+            c.abandoned <= dropped[ci].load(Ordering::Relaxed),
+            "{p}: abandoned ({}) cannot exceed tickets the clients dropped ({})",
+            c.abandoned,
+            dropped[ci].load(Ordering::Relaxed),
         );
         assert_eq!(c.failed, 0, "{p}: no request may fail");
+        assert_eq!(
+            c.shed + c.shed_inflight + c.shed_predicted,
+            0,
+            "{p}: no SLO traffic in this storm, so nothing may shed"
+        );
         assert_eq!(c.queue_depth, 0, "{p}: clean shutdown leaves no work");
     }
-    assert_eq!(st.completed + st.failed, st.submitted);
+    assert_eq!(st.completed + st.failed + st.abandoned, st.submitted);
+    assert_eq!(
+        st.abandoned,
+        st.classes.iter().map(|c| c.abandoned).sum::<u64>(),
+        "aggregate abandoned is the sum of the classes"
+    );
     assert_eq!(st.queue_depth, 0);
 }

@@ -166,9 +166,18 @@ fn main() {
         batch.total.p95_us,
     );
     // Accounting must close: every admitted request was answered, in every
-    // class, and nothing remains queued.
+    // class, and nothing remains queued. This loop submits without SLOs and
+    // waits on every ticket, so every shed counter and the abandoned
+    // counter must stay at exactly zero — the full lifecycle closure
+    // `completed + failed + shed + shed_inflight + abandoned == submitted`
+    // collapses to its PR 5 form.
     assert_eq!(stats.completed + stats.failed, stats.submitted);
     assert_eq!(stats.failed, 0, "no request may fail");
+    assert_eq!(
+        stats.shed + stats.shed_inflight + stats.shed_predicted + stats.abandoned,
+        0,
+        "no SLOs and no dropped tickets in this loop, so nothing sheds or abandons"
+    );
     assert_eq!(
         inter.completed + inter.failed,
         inter.submitted,
