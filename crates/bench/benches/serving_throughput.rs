@@ -179,6 +179,152 @@ fn record_serving_throughput(opts: &BenchOpts, sess: &Session, requests: &[Vec<T
     table.emit("serving_throughput");
 }
 
+/// The cross-request batching fixture: the same mixed-depth tree pool as
+/// [`serving_fixture`], but at serving-scale model dimensions
+/// (embed 256, hidden 768). At the paper's toy dims (32) the weight
+/// matrices live in L1 and per-request time is all executor machinery,
+/// which fusing kernel calls cannot touch; at serving scale the combine
+/// matrix alone is ~4.5 MB — past L2 — so every scalar GEMV re-streams
+/// it and a fused row block reads it once. That is the regime dynamic
+/// batching exists for.
+fn batching_fixture(threads: usize, quick: bool) -> (Session, Vec<Vec<Tensor>>) {
+    let cfg = ModelConfig {
+        kind: ModelKind::TreeRnn,
+        vocab: 2000,
+        embed: 256,
+        hidden: 768,
+        classes: 2,
+        batch: 1,
+        seed: 20180423,
+    };
+    let data = Dataset::generate(DatasetConfig {
+        vocab: cfg.vocab,
+        n_train: 64,
+        n_valid: 0,
+        min_len: 4,
+        max_len: if quick { 24 } else { 48 },
+        shape: TreeShape::Moderate,
+        seed: 20240715,
+        ..DatasetConfig::default()
+    });
+    let m = build_recursive(&cfg).expect("build recursive");
+    let sess = Session::new(Executor::with_threads(threads), m).expect("session");
+    let requests = Dataset::feeds_per_instance(data.split(Split::Train));
+    (sess, requests)
+}
+
+/// One cross-request-batching measurement: a closed loop of `conc`
+/// offered requests through the admission queue, with the dispatch-time
+/// kernel fuser either off (the scalar PR 5–7 path) or on. Fixed wave
+/// sizing at a saturating multiple keeps both arms' admission schedules
+/// identical, so the fuser is the only variable. Returns the requests/s
+/// plus the client's final `ServeStats` (latency percentiles and the
+/// fusion telemetry rows).
+fn batching_arm(
+    sess: &Session,
+    requests: &[Vec<Tensor>],
+    window: Duration,
+    conc: usize,
+    fused: bool,
+) -> (f64, ServeStats) {
+    let client = sess.serve_with(ServeConfig {
+        capacity: 64,
+        batch_multiple: 16,
+        sizing: WaveSizing::Fixed,
+        cross_request_batching: fused,
+        ..ServeConfig::default()
+    });
+    let mut cursor = 0usize;
+    let rps = throughput(conc, window, || {
+        let tickets: Vec<_> = (0..conc)
+            .map(|k| {
+                let feeds = requests[(cursor + k) % requests.len()].clone();
+                client.submit(feeds).expect("admit")
+            })
+            .collect();
+        cursor = (cursor + conc) % requests.len();
+        for t in tickets {
+            t.wait().expect("request");
+        }
+    });
+    let st = client.stats();
+    client.shutdown();
+    (rps, st)
+}
+
+/// The cross-request batching A/B table: identical saturating mixed-depth
+/// traffic, scalar dispatch vs the dispatch-time fuser, with the fusion
+/// telemetry (groups formed, instances fused, eligible instances, fused
+/// fraction) carried per row. Appended to
+/// `results/serving_throughput.json`.
+///
+/// With `RDG_ASSERT_SPEEDUP=1` the arm also enforces the PR 8 acceptance
+/// floor — fused ≥ 1.3× scalar requests/s and ≥ 50% of eligible
+/// instances fused — which on a busy or single-core host is advisory
+/// only (see ROADMAP.md on wall-clock asserts).
+fn record_batching_ab(opts: &BenchOpts) {
+    let (sess, requests) = batching_fixture(opts.threads.max(2), opts.quick);
+    let (sess, requests) = (&sess, &requests[..]);
+    let window = Duration::from_secs_f64(opts.seconds);
+    const CONC: usize = 32;
+    let mut table = Table::new(
+        format!(
+            "Cross-request batching A/B: mixed-depth TreeRNN at serving \
+             scale (embed 256, hidden 768), {} offered requests \
+             closed-loop, {} worker threads, {:.1}s window; fused rows \
+             stack same-shape kernels across requests at dispatch time",
+            CONC,
+            opts.threads.max(2),
+            opts.seconds
+        ),
+        &[
+            "mode",
+            "concurrency",
+            "requests/s",
+            "p50_us",
+            "p99_us",
+            "fused_groups",
+            "fused_instances",
+            "fused_eligible",
+            "fused_frac",
+        ],
+    );
+    let mut rps_by_mode = [0.0f64; 2];
+    let mut last_frac = 0.0f64;
+    for (i, (mode, fused)) in [("queued-scalar", false), ("queued-fused", true)]
+        .into_iter()
+        .enumerate()
+    {
+        let (rps, st) = batching_arm(sess, requests, window, CONC, fused);
+        rps_by_mode[i] = rps;
+        last_frac = st.fused_fraction();
+        table.row(&[
+            mode.into(),
+            CONC.to_string(),
+            fmt_thr(rps),
+            format!("{:.0}", st.total.p50_us),
+            format!("{:.0}", st.total.p99_us),
+            st.fusion_groups.to_string(),
+            st.fusion_instances.to_string(),
+            st.fusion_eligible.to_string(),
+            format!("{:.3}", last_frac),
+        ]);
+    }
+    table.emit("serving_throughput");
+    if std::env::var_os("RDG_ASSERT_SPEEDUP").is_some() {
+        let ratio = rps_by_mode[1] / rps_by_mode[0];
+        assert!(
+            ratio >= 1.3,
+            "fused serving only {ratio:.2}x scalar (floor 1.3x)"
+        );
+        assert!(
+            last_frac >= 0.5,
+            "only {:.0}% of eligible instances fused (floor 50%)",
+            last_frac * 100.0
+        );
+    }
+}
+
 /// One mixed-QoS measurement: `bg_threads` background clients keep
 /// `bg_outstanding` requests in flight each (a saturating stream), while
 /// the foreground thread runs a closed loop and measures every request at
@@ -442,6 +588,7 @@ fn main() {
     let mut criterion = Criterion::default();
     serving_bench(&mut criterion, &sess, &requests);
     record_serving_throughput(&opts, &sess, &requests);
+    record_batching_ab(&opts);
     record_mixed_qos(&opts, &sess, &requests);
     record_overload_shedding(&opts, &sess, &requests);
 }

@@ -49,6 +49,7 @@
 //!   pushed (and popped) under one lock acquisition via
 //!   [`ReadyQueue::push_batch`] / [`ReadyQueue::pop_batch`].
 
+use crate::batch::{self, FuseKind, GroupKey};
 use crate::cache::{BackpropCache, CacheKey};
 use crate::error::ExecError;
 use crate::kernel::{self, KernelCtx};
@@ -67,6 +68,12 @@ use std::thread::JoinHandle;
 
 /// How many tasks a worker drains from the ready queue per lock round-trip.
 const TASK_BATCH: usize = 8;
+
+/// Drain size when cross-request fusion is on. Wider pops see more
+/// concurrent frames at once, which is what creates fusable groups: the
+/// serving dispatcher's wave interleaves N requests' identical graph nodes
+/// through the FIFO queue in rough lockstep.
+const FUSED_TASK_BATCH: usize = 32;
 
 /// Continuation-chain length after which a worker releases any tasks still
 /// claimed in its local batch back to the shared queue. Bounds how long a
@@ -353,6 +360,16 @@ impl RunHandle {
     }
 }
 
+/// Runtime switch for cross-request batch fusion, shared with every worker.
+///
+/// Off by default so a bare [`Executor::run`] takes the scalar path
+/// byte-for-byte; the serving stack turns it on at dispatcher start
+/// (`ServeConfig::cross_request_batching`).
+struct FusionCtl {
+    enabled: AtomicBool,
+    max_group: AtomicUsize,
+}
+
 /// The shared worker pool plus its ready queue.
 ///
 /// One executor serves any number of concurrent runs and sessions, exactly
@@ -361,6 +378,7 @@ pub struct Executor {
     queue: Arc<ReadyQueue<Task>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<ExecStats>,
+    fusion: Arc<FusionCtl>,
     n_threads: usize,
 }
 
@@ -370,14 +388,29 @@ impl Executor {
         let n_threads = n_threads.max(1);
         let queue = Arc::new(ReadyQueue::new(kind));
         let stats = Arc::new(ExecStats::new());
+        let fusion = Arc::new(FusionCtl {
+            enabled: AtomicBool::new(false),
+            max_group: AtomicUsize::new(batch::DEFAULT_MAX_GROUP),
+        });
         let workers = (0..n_threads)
             .map(|i| {
                 let q = Arc::clone(&queue);
+                let fusion = Arc::clone(&fusion);
                 std::thread::Builder::new()
                     .name(format!("rdg-worker-{i}"))
                     .spawn(move || {
-                        let mut batch: Vec<Task> = Vec::with_capacity(TASK_BATCH);
-                        while q.pop_batch(&mut batch, TASK_BATCH) {
+                        let mut batch: Vec<Task> = Vec::with_capacity(FUSED_TASK_BATCH);
+                        loop {
+                            let fuse = fusion.enabled.load(Ordering::Relaxed);
+                            let take = if fuse { FUSED_TASK_BATCH } else { TASK_BATCH };
+                            if !q.pop_batch(&mut batch, take) {
+                                break;
+                            }
+                            if fuse {
+                                let max_group = fusion.max_group.load(Ordering::Relaxed);
+                                run_batch_fused(&mut batch, max_group);
+                                continue;
+                            }
                             // Pop from the back = FIFO order within the batch.
                             batch.reverse();
                             while let Some(task) = batch.pop() {
@@ -417,8 +450,29 @@ impl Executor {
             queue,
             workers,
             stats,
+            fusion,
             n_threads,
         })
+    }
+
+    /// Turns cross-request batch fusion on or off for this executor's
+    /// workers and sets the fused-group size clamp.
+    ///
+    /// Fusion is **off** by default: a bare [`Executor::run`] executes the
+    /// scalar path byte-for-byte. The serving dispatcher enables it when
+    /// `ServeConfig::cross_request_batching` is set. The switch is safe to
+    /// flip at any time — it only changes how workers drain the ready
+    /// queue, never what a task computes.
+    pub fn set_cross_request_fusion(&self, enabled: bool, max_group: usize) {
+        self.fusion
+            .max_group
+            .store(max_group.max(1), Ordering::Relaxed);
+        self.fusion.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether cross-request batch fusion is currently enabled.
+    pub fn cross_request_fusion(&self) -> bool {
+        self.fusion.enabled.load(Ordering::Relaxed)
     }
 
     /// FIFO executor with `n_threads` workers.
@@ -761,6 +815,12 @@ fn execute_task(task: Task) -> Option<Task> {
             }
         }
         op => {
+            // Fusion-eligibility denominator: ticked for every batchable
+            // node regardless of whether a partner was available, so the
+            // fused fraction compares like against like in scalar A/B runs.
+            if run.plan.plan(frame.gref).fuse[node.0 as usize].is_some() {
+                run.run_stats.fusable_seen.fetch_add(1, Ordering::Relaxed);
+            }
             let kctx = KernelCtx {
                 args: &frame.args,
                 params: &run.params,
@@ -787,6 +847,283 @@ fn execute_task(task: Task) -> Option<Task> {
                     });
                     None
                 }
+            }
+        }
+    }
+}
+
+/// The static fusion identity of one ready task: `Some` iff its node is
+/// batchable per the plan's precomputed `fuse` metadata. Same key ⇒ same
+/// compiled plan object, graph, and node — hence same op and param wiring.
+fn group_key(t: &Task) -> Option<GroupKey> {
+    let plan = &t.frame.run.plan;
+    plan.plan(t.frame.gref).fuse[t.node.0 as usize]?;
+    Some(GroupKey {
+        plan: Arc::as_ptr(plan) as usize,
+        gref: t.frame.gref,
+        node: t.node,
+    })
+}
+
+/// Fused drain of one popped batch: the worker's group-execute entry point.
+///
+/// Rounds: group the claimed tasks with [`batch::plan_groups`], execute
+/// singletons through the unchanged scalar path and groups through one
+/// stacked kernel call each, then feed all continuations into the next
+/// round — so same-request sibling nodes made ready together can fuse too.
+/// Every claimed task executes within its round; nothing is parked.
+fn run_batch_fused(batch: &mut Vec<Task>, max_group: usize) {
+    let mut round: Vec<Task> = batch.drain(..).collect();
+    let mut pending: Vec<Task> = Vec::new();
+    while !round.is_empty() {
+        let keys: Vec<Option<GroupKey>> = round.iter().map(group_key).collect();
+        let groups = batch::plan_groups(&keys, max_group);
+        let mut slots: Vec<Option<Task>> = round.drain(..).map(Some).collect();
+        for g in groups {
+            if g.len() == 1 {
+                let t = slots[g[0]].take().expect("group indices are disjoint");
+                if let Some(next) = execute_task(t) {
+                    next.frame
+                        .run
+                        .run_stats
+                        .continuations
+                        .fetch_add(1, Ordering::Relaxed);
+                    pending.push(next);
+                }
+            } else {
+                let members: Vec<Task> = g
+                    .iter()
+                    .map(|&i| slots[i].take().expect("group indices are disjoint"))
+                    .collect();
+                execute_group(members, &mut pending);
+            }
+        }
+        std::mem::swap(&mut round, &mut pending);
+    }
+}
+
+/// A claimed task whose inputs have already been fetched.
+struct Fetched {
+    task: Task,
+    inputs: Vec<Tensor>,
+}
+
+/// Runtime fusion signature, checked after fetch: members may share one
+/// stacked kernel call only when their shared operand is the *same buffer*
+/// with the same view (parameter reads from one store clone the `Arc`, so
+/// this is a pointer compare) and their stacked operands agree on the
+/// non-stacked dimension.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Sig {
+    shared_ptr: usize,
+    shared_rank: usize,
+    shared_dims: [usize; 3],
+    lane: usize,
+}
+
+fn buf_ptr(t: &Tensor) -> usize {
+    match t.buffer() {
+        rdg_tensor::Buffer::F32(a) => Arc::as_ptr(a) as usize,
+        rdg_tensor::Buffer::I32(a) => Arc::as_ptr(a) as usize,
+    }
+}
+
+fn sig_of(kind: FuseKind, stacked: &Tensor, shared: &Tensor) -> Option<Sig> {
+    if !matches!(stacked.buffer(), rdg_tensor::Buffer::F32(_)) {
+        return None;
+    }
+    let (r, c) = stacked.shape().as_matrix()?;
+    let lane = match kind {
+        FuseKind::RowsShared => c,
+        FuseKind::ColsShared => r,
+    };
+    let dims = shared.shape().dims();
+    if dims.len() > 3 {
+        return None;
+    }
+    let mut shared_dims = [usize::MAX; 3];
+    shared_dims[..dims.len()].copy_from_slice(dims);
+    Some(Sig {
+        shared_ptr: buf_ptr(shared),
+        shared_rank: dims.len(),
+        shared_dims,
+        lane,
+    })
+}
+
+/// Executes one claimed task whose inputs are already fetched: the scalar
+/// tail of the fused path, used for validation fallbacks, singleton
+/// subgroups, and per-member isolation after a fused kernel error. Runs the
+/// identical `kernel::execute` + `finish_node` sequence as `execute_task`.
+fn execute_fetched(task: Task, inputs: Vec<Tensor>, pending: &mut Vec<Task>) {
+    let Task { frame, node } = task;
+    let run = Arc::clone(&frame.run);
+    let n = run.plan.module.graph(frame.gref).node(node);
+    let kctx = KernelCtx {
+        args: &frame.args,
+        params: &run.params,
+        grads: run.grads.as_deref(),
+        stats: &run.run_stats,
+    };
+    match kernel::execute(&n.op, inputs, &kctx) {
+        Ok(outs) => {
+            if let Some(next) = finish_node(&run, frame, node, outs, false) {
+                next.frame
+                    .run
+                    .run_stats
+                    .continuations
+                    .fetch_add(1, Ordering::Relaxed);
+                pending.push(next);
+            }
+        }
+        Err(e) => {
+            run.fail(ExecError::Kernel {
+                graph: run.plan.module.graph_name(frame.gref),
+                node: n.name.clone(),
+                source: e,
+            });
+        }
+    }
+}
+
+/// Executes a same-node group of tasks, fusing as many members as the
+/// runtime signatures allow into single stacked kernel calls.
+///
+/// All members share `(plan, gref, node)`, so op and graph metadata come
+/// from the first member. Per-request semantics are fully preserved:
+/// cancellation and fetch errors are handled per member before stacking,
+/// and a fused kernel error falls back to per-member scalar execution so a
+/// failing instance fails only its own run.
+fn execute_group(members: Vec<Task>, pending: &mut Vec<Task>) {
+    let (op, in_ports, kind) = {
+        let f0 = &members[0].frame;
+        let g = f0.run.plan.module.graph(f0.gref);
+        let n = g.node(members[0].node);
+        let kind = f0.run.plan.plan(f0.gref).fuse[members[0].node.0 as usize]
+            .expect("grouped tasks are batchable by construction");
+        (n.op.clone(), n.inputs.clone(), kind)
+    };
+    let (stack_idx, shared_idx) = match kind {
+        FuseKind::RowsShared => (0usize, 1usize),
+        FuseKind::ColsShared => (1, 0),
+    };
+
+    let mut fetched: Vec<Fetched> = Vec::with_capacity(members.len());
+    for task in members {
+        let run = Arc::clone(&task.frame.run);
+        if run.cancelled() {
+            run.run_stats
+                .cancelled_tasks
+                .fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let mut inputs = Vec::with_capacity(in_ports.len());
+        let mut ok = true;
+        for &p in &in_ports {
+            match fetch(&task.frame, p) {
+                Ok(t) => inputs.push(t),
+                Err(e) => {
+                    run.fail(e);
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        run.run_stats.ops_executed.fetch_add(1, Ordering::Relaxed);
+        run.run_stats.fusable_seen.fetch_add(1, Ordering::Relaxed);
+        fetched.push(Fetched { task, inputs });
+    }
+    if fetched.is_empty() {
+        return;
+    }
+
+    let sigs: Vec<Option<Sig>> = fetched
+        .iter()
+        .map(|m| sig_of(kind, &m.inputs[stack_idx], &m.inputs[shared_idx]))
+        .collect();
+    let subgroups = batch::plan_groups(&sigs, usize::MAX);
+    let mut slots: Vec<Option<Fetched>> = fetched.into_iter().map(Some).collect();
+    for sub in subgroups {
+        if sub.len() == 1 {
+            let m = slots[sub[0]].take().expect("subgroup indices are disjoint");
+            execute_fetched(m.task, m.inputs, pending);
+            continue;
+        }
+        let group: Vec<Fetched> = sub
+            .iter()
+            .map(|&i| slots[i].take().expect("subgroup indices are disjoint"))
+            .collect();
+        execute_fused_subgroup(&op, kind, group, stack_idx, shared_idx, pending);
+    }
+}
+
+/// One stacked kernel call over ≥2 signature-matched members, plus the
+/// scatter back into each member's frame slot.
+fn execute_fused_subgroup(
+    op: &OpKind,
+    kind: FuseKind,
+    group: Vec<Fetched>,
+    stack_idx: usize,
+    shared_idx: usize,
+    pending: &mut Vec<Task>,
+) {
+    let parts: Vec<&Tensor> = group.iter().map(|m| &m.inputs[stack_idx]).collect();
+    let fused = match kind {
+        FuseKind::RowsShared => batch::stack_rows(&parts),
+        FuseKind::ColsShared => batch::stack_cols(&parts),
+    }
+    .and_then(|(stacked, sizes)| {
+        let out = kernel::execute_stacked(op, &stacked, &group[0].inputs[shared_idx])?;
+        match kind {
+            FuseKind::RowsShared => batch::split_rows(&out, &sizes),
+            FuseKind::ColsShared => batch::split_cols(&out, &sizes),
+        }
+    });
+    match fused {
+        Ok(outs) => {
+            debug_assert_eq!(outs.len(), group.len());
+            group[0]
+                .task
+                .frame
+                .run
+                .run_stats
+                .fused_groups
+                .fetch_add(1, Ordering::Relaxed);
+            for (m, mut out) in group.into_iter().zip(outs) {
+                // AddBias preserves its input's shape; a rank-1 member came
+                // back as `[1, n]`, so restore the original view (the buffer
+                // is untouched — reshape is metadata only).
+                if matches!(op, OpKind::AddBias) && out.shape() != m.inputs[0].shape() {
+                    match out.reshape(m.inputs[0].shape().clone()) {
+                        Ok(t) => out = t,
+                        Err(_) => {
+                            execute_fetched(m.task, m.inputs, pending);
+                            continue;
+                        }
+                    }
+                }
+                let run = Arc::clone(&m.task.frame.run);
+                run.run_stats.fused_tasks.fetch_add(1, Ordering::Relaxed);
+                let Task { frame, node } = m.task;
+                if let Some(next) = finish_node(&run, frame, node, vec![out], false) {
+                    next.frame
+                        .run
+                        .run_stats
+                        .continuations
+                        .fetch_add(1, Ordering::Relaxed);
+                    pending.push(next);
+                }
+            }
+        }
+        Err(_) => {
+            // Error isolation: a fused failure must not smear across runs.
+            // Re-run every member scalar with its own (already fetched)
+            // inputs so only genuinely failing instances fail their runs.
+            for m in group {
+                execute_fetched(m.task, m.inputs, pending);
             }
         }
     }

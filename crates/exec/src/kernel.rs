@@ -187,6 +187,34 @@ pub fn execute(
     }
 }
 
+/// Executes one *fused* kernel over a stack of group members' inputs.
+///
+/// `stacked` is the members' varying operand concatenated along the fuse
+/// axis (rows for [`crate::batch::FuseKind::RowsShared`], columns for
+/// `ColsShared`); `shared` is the operand common to every member (typically
+/// a parameter read). The op's kernel computes each output row (or column
+/// block) independently and in the scalar flop order, so the caller can
+/// slice the result back per member bit-for-bit.
+pub fn execute_stacked(
+    op: &OpKind,
+    stacked: &Tensor,
+    shared: &Tensor,
+) -> Result<Tensor, TensorError> {
+    match op {
+        OpKind::MatMul => ops::matmul(stacked, shared),
+        OpKind::MatMulBT => ops::matmul_bt(stacked, shared),
+        OpKind::AddBias => ops::add_bias(stacked, shared),
+        OpKind::Bilinear => ops::bilinear(stacked, shared),
+        // AᵀB stacks B by columns against a shared A, so the shared tensor
+        // is the *first* operand here.
+        OpKind::MatMulAT => ops::matmul_at(shared, stacked),
+        _ => Err(TensorError::invalid(format!(
+            "op {} has no stacked execution path",
+            op.mnemonic()
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

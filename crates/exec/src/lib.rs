@@ -86,6 +86,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod error;
 pub mod executor;
@@ -99,6 +100,7 @@ pub mod session;
 pub mod sim;
 pub mod stats;
 
+pub use batch::{fuse_kind, plan_groups, FuseKind, GroupKey};
 pub use cache::{BackpropCache, CacheKey, ShardedMap};
 pub use error::ExecError;
 pub use executor::{Executor, RunHandle};

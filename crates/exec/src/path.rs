@@ -25,20 +25,22 @@
 //!   strong reference to every node it ever produced), so a 20 000-deep
 //!   tail recursion cannot overflow the stack on teardown.
 //!
-//! The table is append-only for the life of the process: memory grows with
-//! the number of **distinct paths ever observed, across all runs and all
-//! modules** — a trie of every call-site chain executed so far, at roughly
-//! a hundred bytes per node. Re-running the same shapes (a training loop
-//! over a fixed module, the steady state this design optimizes) adds
-//! nothing, but workloads whose recursion shape varies per input (e.g. a
-//! treebank where every tree is a new shape) keep adding the union of
-//! their paths and never give it back. That is the deliberate trade for
-//! pointer-equality and allocation-free steady-state calls; an
-//! epoch-scoped interner that can be flushed between training steps is
-//! future work (see ROADMAP.md — note a flush must also preserve the
-//! no-recursive-drop guarantee the permanent spine currently provides).
-//! [`PathKey::interner_len`] exposes the current size for diagnostics,
-//! tests, and leak monitoring.
+//! Left alone, the table grows with the number of **distinct paths ever
+//! observed, across all runs and all modules** — a trie of every call-site
+//! chain executed so far, at roughly a hundred bytes per node. Re-running
+//! the same shapes (a training loop over a fixed module, the steady state
+//! this design optimizes) adds nothing, but workloads whose recursion
+//! shape varies per input (e.g. a treebank where every tree is a new
+//! shape) keep adding the union of their paths.
+//! [`PathKey::flush_interner`] reclaims that growth at quiescent points
+//! (between epochs, at serve shutdown): it evicts every node no live key
+//! references and cascades up each retired chain **iteratively** on a
+//! worklist, so flushing a 20 000-deep retired chain never recurses. Keys
+//! still held anywhere outside the interner — and all their ancestors —
+//! are left untouched, and the structural-equality backstop in
+//! [`PartialEq`] keeps any key that survives a flush comparable with
+//! freshly re-interned twins. [`PathKey::interner_len`] exposes the
+//! current size for diagnostics, tests, and leak monitoring.
 //!
 //! # Example
 //!
@@ -206,6 +208,84 @@ impl PathKey {
         interner().shards.iter().map(|s| s.lock().len()).sum()
     }
 
+    /// Flushes retired nodes from the process-wide interner, returning the
+    /// number of nodes reclaimed.
+    ///
+    /// A node is retired when nothing outside the interner references it:
+    /// no live [`PathKey`] held by a frame, cache, or caller, and no
+    /// interned child whose `parent` link pins it. Retired leaves are
+    /// evicted first; each eviction may retire its parent in turn, and
+    /// that cascade runs on an explicit worklist — never by recursive
+    /// `Drop` — so flushing arbitrarily deep retired chains is
+    /// stack-safe.
+    ///
+    /// Safe to call at any time: live keys (and every ancestor on their
+    /// spine) are never touched, and a key that races a flush simply
+    /// re-interns its path on next extension, with the structural
+    /// fallback in `PartialEq` keeping old and new nodes equal. Intended
+    /// for quiescent points — between training epochs or when a serving
+    /// session shuts down — where varied-shape workloads would otherwise
+    /// grow the table without bound.
+    pub fn flush_interner() -> usize {
+        let it = interner();
+        let mut worklist: Vec<Arc<PathNode>> = Vec::new();
+        // Phase 1: sweep each shard for nodes only the interner still
+        // holds (strong count 1: the map's own clone). An interned child
+        // pins its parent through `PathNode::parent`, so this set is
+        // exactly the retired leaves.
+        for shard in &it.shards {
+            let mut map = shard.lock();
+            let dead: Vec<InternKey> = map
+                .iter()
+                .filter(|(_, v)| v.0.as_ref().map_or(false, |a| Arc::strong_count(a) == 1))
+                .map(|(k, _)| *k)
+                .collect();
+            for k in dead {
+                if let Some(PathKey(Some(node))) = map.remove(&k) {
+                    worklist.push(node);
+                }
+            }
+        }
+        // Phase 2: tear down each retired node and cascade to its parent
+        // iteratively. Stealing the parent link before the node drops is
+        // what keeps deep chains off the call stack.
+        let mut flushed = 0usize;
+        while let Some(node) = worklist.pop() {
+            let Ok(mut inner) = Arc::try_unwrap(node) else {
+                // Lost a race to a concurrent re-reference; the clone we
+                // dropped leaves the node alive for its new holder.
+                continue;
+            };
+            flushed += 1;
+            let parent = std::mem::replace(&mut inner.parent, PathKey::root());
+            drop(inner);
+            if let Some(parent_arc) = parent.0 {
+                let gp_ptr = parent_arc
+                    .parent
+                    .0
+                    .as_ref()
+                    .map_or(0usize, |a| Arc::as_ptr(a) as usize);
+                let key: InternKey = (gp_ptr, parent_arc.site.0);
+                let shard = it.shard(&key);
+                let mut map = shard.lock();
+                // Retire the parent only if the map still holds this very
+                // node and the only references left are the map's clone
+                // plus ours — i.e. we just dropped its last child.
+                let retired = matches!(
+                    map.get(&key),
+                    Some(PathKey(Some(e)))
+                        if Arc::ptr_eq(e, &parent_arc) && Arc::strong_count(&parent_arc) == 2
+                );
+                if retired {
+                    map.remove(&key);
+                    drop(map);
+                    worklist.push(parent_arc);
+                }
+            }
+        }
+        flushed
+    }
+
     /// Returns `true` when `self` and `other` share the same interned node
     /// (or are both the root). Because every non-root key is produced by
     /// [`PathKey::child`], this coincides with structural equality.
@@ -318,10 +398,12 @@ mod tests {
         assert!(a.ptr_eq(&b), "interned twins must share the node");
         // Clones stay pointer-equal, of course.
         assert!(a.clone().ptr_eq(&b));
-        // And re-creating the key does not grow the interner.
+        // And re-creating the key does not grow the interner. (Compare
+        // with <=: a concurrent serve-shutdown flush elsewhere in this
+        // binary may shrink the table between the two measurements.)
         let before = PathKey::interner_len();
         let _c = PathKey::root().child(CallSiteId(41)).child(CallSiteId(42));
-        assert_eq!(PathKey::interner_len(), before);
+        assert!(PathKey::interner_len() <= before);
     }
 
     #[test]

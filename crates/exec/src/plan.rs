@@ -95,6 +95,10 @@ pub struct ExecutionPlan {
     pub keep_value: Vec<bool>,
     /// Nodes whose output shapes must be written to the shape cache.
     pub keep_shape: Vec<bool>,
+    /// Per-node batchability: `Some` iff the op is row/column stackable
+    /// across concurrent frames (see [`crate::batch::fuse_kind`]). Computed
+    /// here so dispatch-time grouping is an index, not a shape derivation.
+    pub fuse: Vec<Option<crate::batch::FuseKind>>,
     /// Pooled frame cores (pending counters + value slots) recycled across
     /// activations of this graph.
     pub(crate) pool: crate::executor::CorePool,
@@ -155,6 +159,11 @@ impl ExecutionPlan {
                 keep_shape[node.0 as usize] = true;
             }
         }
+        let fuse = g
+            .nodes
+            .iter()
+            .map(|node| crate::batch::fuse_kind(&node.op))
+            .collect();
         Ok(ExecutionPlan {
             consumers,
             pending,
@@ -165,6 +174,7 @@ impl ExecutionPlan {
             queued_sources,
             keep_value,
             keep_shape,
+            fuse,
             pool: crate::executor::CorePool::default(),
         })
     }

@@ -23,6 +23,11 @@
 //!   FIFO, strict priority for fresh submits, the aging starvation bound,
 //!   no-loss/no-dup ticket conservation, the wave-target clamp and
 //!   budget);
+//! * [`replay_fused`] replays the same scenario under the wave-granularity
+//!   model of the executor's cross-request batch fuser (same
+//!   `batch::plan_groups`, group service = member max), so every oracle is
+//!   also checked on fused completion schedules — without touching the
+//!   [`Scenario`] format or any scalar corpus pin;
 //! * [`run_campaign`] is the seeded, fully deterministic search loop:
 //!   scenarios that raise the worst observed p99 or get nearer an oracle
 //!   boundary seed the next generation (score-guided mutation in the FRET
@@ -315,6 +320,31 @@ fn p99_ns(samples: &mut Vec<u64>) -> u64 {
 /// Campaigns use it as the secondary selection signal, so the population
 /// drifts toward the oracle edges where violations would live.
 pub fn replay(scenario: &Scenario) -> ReplayOutcome {
+    replay_with(scenario, None)
+}
+
+/// [`replay`] with the executor's cross-request batch fuser modeled at
+/// wave granularity: requests whose scripted service durations are equal
+/// stand in for "same kernel shape" and group through the same
+/// `batch::plan_groups` the live fused worker loop uses, chunked at
+/// `max_group`; a group's service is the max of its members' and every
+/// member completes when the group does.
+///
+/// Every admission-order, shed, conservation, and controller oracle is
+/// checked exactly as in scalar replay — fusion reshapes completion
+/// *times*, never pop order or shed decisions, so the oracles must stay
+/// green on any schedule they hold for scalar. Completion times (and so
+/// the interactive p99) legitimately differ from scalar replay: a
+/// scenario's `expect_p99_ns` / `expect_shed` pins are scalar-mode
+/// contracts and are **not** compared here.
+pub fn replay_fused(scenario: &Scenario, max_group: usize) -> ReplayOutcome {
+    replay_with(scenario, Some(max_group))
+}
+
+/// Shared replay body. `fused: None` is the scalar twin; `Some(max_group)`
+/// runs every wave through [`ScriptedServe::run_wave_grouped`] with the
+/// service duration as the fusion signature.
+fn replay_with(scenario: &Scenario, fused: Option<usize>) -> ReplayOutcome {
     let config = scenario.serve_config();
     let mut s = ScriptedServe::new(scenario.workers, &config);
     let mut out = ReplayOutcome::default();
@@ -331,6 +361,19 @@ pub fn replay(scenario: &Scenario) -> ReplayOutcome {
         SizingSpec::Dynamic { max_multiple, .. } => (
             scenario.workers.max(1),
             scenario.workers.max(1) * max_multiple.max(1),
+        ),
+    };
+
+    // One wave step in the requested mode. In fused mode the scripted
+    // service duration doubles as the fusion signature: equal durations
+    // model equal kernel shapes, so duplicated-burst schedules (the
+    // mutator's span copies and the hand baselines) actually form groups.
+    let step = |s: &mut ScriptedServe, services: &[u64]| match fused {
+        None => s.run_wave(|id| services[id as usize]),
+        Some(mg) => s.run_wave_grouped(
+            |id| services[id as usize],
+            |id| Some(services[id as usize]),
+            mg,
         ),
     };
 
@@ -439,7 +482,7 @@ pub fn replay(scenario: &Scenario) -> ReplayOutcome {
                 }
             }
             Event::Wave => {
-                let wave = s.run_wave(|id| services[id as usize]);
+                let wave = step(&mut s, &services);
                 check_wave(&s, &mut out, wave);
             }
             Event::Stall(lane, dur) => s.stall_worker(lane, dur.min(MAX_DUR_NS)),
@@ -452,7 +495,7 @@ pub fn replay(scenario: &Scenario) -> ReplayOutcome {
     // ended, every accepted request must still dispatch (the live
     // dispatcher's drain-then-exit contract).
     loop {
-        let wave = s.run_wave(|id| services[id as usize]);
+        let wave = step(&mut s, &services);
         if !check_wave(&s, &mut out, wave) {
             break;
         }
@@ -1619,6 +1662,59 @@ mod tests {
         // The batch request aged one full step before the interactive
         // arrived: it must dispatch first (earlier enqueue, effective 0).
         assert_eq!(out.waves[0].1[0], 0, "aged batch leads the first wave");
+    }
+
+    #[test]
+    fn fused_replay_is_deterministic_and_keeps_oracles() {
+        let sc = tiny_scenario();
+        for mg in [1usize, 2, 4, 16] {
+            let a = replay_fused(&sc, mg);
+            let b = replay_fused(&sc, mg);
+            assert_eq!(a.waves, b.waves, "max_group {mg}");
+            assert!(
+                a.violations.is_empty(),
+                "max_group {mg}: {:?}",
+                a.violations
+            );
+            assert_eq!(
+                a.accepted.len(),
+                a.trace.len() + a.evicted.len(),
+                "fused conservation"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_groups_shorten_the_drain_without_reordering() {
+        // One worker, one fixed wave of eight identical 1 ms requests:
+        // same-duration ⇒ same signature, so max_group 4 yields two
+        // stacked calls of the member max (2 ms total) where the scalar
+        // twin serializes all eight (8 ms) — with an identical pop order.
+        let mut events = vec![Event::Submit(Priority::Interactive, 1_000_000); 8];
+        events.push(Event::Wave);
+        let sc = Scenario {
+            name: "fused-burst".into(),
+            seed: 0,
+            workers: 1,
+            capacity: 8,
+            batch_multiple: 8,
+            aging_step_ns: 1_000_000,
+            sizing: SizingSpec::Fixed,
+            expect_p99_ns: None,
+            expect_shed: None,
+            events,
+        };
+        let scalar = replay(&sc);
+        let fused = replay_fused(&sc, 4);
+        assert!(scalar.violations.is_empty(), "{:?}", scalar.violations);
+        assert!(fused.violations.is_empty(), "{:?}", fused.violations);
+        assert_eq!(
+            scalar.waves, fused.waves,
+            "fusion must not change pop order"
+        );
+        let drain = |o: &ReplayOutcome| o.trace.iter().map(|r| r.done_ns).max().unwrap();
+        assert_eq!(drain(&scalar), 8_000_000);
+        assert_eq!(drain(&fused), 2_000_000);
     }
 
     #[test]

@@ -90,6 +90,7 @@ use crate::error::ExecError;
 use crate::executor::{Executor, RunHandle};
 use crate::params::ParamStore;
 use crate::plan::ModulePlan;
+use crate::stats::{ExecStats, StatsSnapshot};
 use classes::{ClassQueues, Queued};
 use controller::WaveController;
 use crossbeam_channel::{bounded, Receiver, Sender};
@@ -233,6 +234,18 @@ pub struct ServeConfig {
     /// `Some(Priority::Batch)` to cover `Batch` too). Inert until the
     /// dynamic controller has an EWMA, and for requests without an SLO.
     pub predictive_shed_from: Option<Priority>,
+    /// Fuse same-shape kernels across concurrent requests into stacked
+    /// kernel calls (see `crate::batch`). **On** by default for serving —
+    /// the dispatcher enables it on the executor at start and disables it
+    /// again at shutdown — while bare [`Executor::run`] stays scalar.
+    /// Turn it off for an A/B baseline or to pin exact scalar scheduling.
+    /// Fusion never changes results: stacked kernels are bit-for-bit equal
+    /// to the scalar calls they replace.
+    pub cross_request_batching: bool,
+    /// Clamp on how many request instances one fused kernel call may
+    /// cover. Bounds stacked-tensor size and keeps a fused call's latency
+    /// close to scalar; values < 1 are treated as 1 (scalar).
+    pub max_fuse_group: usize,
 }
 
 impl Default for ServeConfig {
@@ -245,6 +258,8 @@ impl Default for ServeConfig {
             aging_step: Duration::from_millis(25),
             record_dispatch: false,
             predictive_shed_from: Some(Priority::BestEffort),
+            cross_request_batching: true,
+            max_fuse_group: crate::batch::DEFAULT_MAX_GROUP,
         }
     }
 }
@@ -491,11 +506,33 @@ pub struct ServeStats {
     pub service: LatencyPercentiles,
     /// enqueue → complete (what the client observes), all classes.
     pub total: LatencyPercentiles,
+    /// Fused kernel calls issued since this loop started (each covered ≥2
+    /// request instances). Zero when `cross_request_batching` is off.
+    pub fusion_groups: u64,
+    /// Kernel instances executed through a fused call since this loop
+    /// started — the numerator of [`ServeStats::fused_fraction`].
+    pub fusion_instances: u64,
+    /// Fusion-eligible kernel instances (batchable graph nodes) executed
+    /// since this loop started, fused or not — the denominator of
+    /// [`ServeStats::fused_fraction`]. Counted on the shared executor, so
+    /// concurrent non-serving runs on the same executor smear in; with the
+    /// usual one-loop-per-executor layout it is exact once runs complete.
+    pub fusion_eligible: u64,
     /// The per-class split, indexed by [`Priority::index`].
     pub classes: [ClassStats; Priority::COUNT],
 }
 
 impl ServeStats {
+    /// Share of fusion-eligible kernel instances that actually executed
+    /// through a fused call (`0.0` when nothing eligible ran yet).
+    pub fn fused_fraction(&self) -> f64 {
+        if self.fusion_eligible == 0 {
+            0.0
+        } else {
+            self.fusion_instances as f64 / self.fusion_eligible as f64
+        }
+    }
+
     /// One-line human-readable summary (serving-loop progress printing).
     pub fn summary(&self) -> String {
         format!(
@@ -705,6 +742,12 @@ pub struct ServeQueue {
     /// complete timestamp is `epoch.elapsed()` in nanoseconds — the same
     /// integer timeline the pure scheduling units run on under test.
     epoch: Instant,
+    /// The executor's lifetime counters, for the fusion-rate rows of
+    /// [`ServeStats`] (completed runs fold their counters in there).
+    exec_stats: Arc<ExecStats>,
+    /// What `exec_stats` read when this loop started; the fusion rows are
+    /// the delta past this baseline.
+    fusion_base: StatsSnapshot,
     config: ServeConfig,
 }
 
@@ -726,6 +769,11 @@ impl ServeQueue {
         let aging_ns = config.aging_step.as_nanos().min(u64::MAX as u128) as u64;
         let initial_target =
             WaveController::new(config.sizing, config.batch_multiple, exec.n_threads()).target();
+        // Serving turns cross-request fusion on (bare runs stay scalar);
+        // the dispatcher switches it back off when the loop shuts down.
+        exec.set_cross_request_fusion(config.cross_request_batching, config.max_fuse_group);
+        let exec_stats = Arc::clone(exec.stats());
+        let fusion_base = exec_stats.snapshot();
         let shared = Arc::new(ServeQueue {
             capacity,
             workers: exec.n_threads().max(1),
@@ -753,6 +801,8 @@ impl ServeQueue {
             dispatch_log: Mutex::new(Vec::new()),
             dispatcher: Mutex::new(None),
             epoch: Instant::now(),
+            exec_stats,
+            fusion_base,
             config,
         });
         let worker = {
@@ -815,6 +865,16 @@ fn dispatcher_loop(
                     break;
                 }
                 if !st.open {
+                    if shared.config.cross_request_batching {
+                        // The loop is over: return the executor to its
+                        // scalar default so later bare runs don't fuse.
+                        exec.set_cross_request_fusion(false, shared.config.max_fuse_group);
+                    }
+                    // Every request this session interned call-site paths;
+                    // varied-shape workloads never revisit them. Reclaim
+                    // the retired chains so long-lived services don't grow
+                    // the interner across sessions.
+                    crate::path::PathKey::flush_interner();
                     return;
                 }
                 shared.not_empty.wait(&mut st);
@@ -1274,6 +1334,12 @@ impl ServeClient {
             ]
         };
         let s = &self.shared.stats;
+        // Fusion rates: executor-lifetime counters past the loop-start
+        // baseline. Completed runs fold their per-run counters into the
+        // executor aggregate at finish, so these are exact once a wave has
+        // joined (in-flight work shows up on completion).
+        let exec_now = self.shared.exec_stats.snapshot();
+        let base = &self.shared.fusion_base;
         let mut agg = ServeStats {
             batches: s.batches.load(Ordering::Relaxed),
             in_flight: s.in_flight.load(Ordering::Relaxed),
@@ -1282,6 +1348,9 @@ impl ServeClient {
             wait: s.wait.percentiles(),
             service: s.service.percentiles(),
             total: s.total.percentiles(),
+            fusion_groups: exec_now.fused_groups - base.fused_groups,
+            fusion_instances: exec_now.fused_tasks - base.fused_tasks,
+            fusion_eligible: exec_now.fusable_seen - base.fusable_seen,
             ..ServeStats::default()
         };
         for p in Priority::ALL {

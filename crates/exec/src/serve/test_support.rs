@@ -35,6 +35,8 @@
 use super::classes::ClassQueues;
 use super::controller::{predicted_wait_ns, WaveController};
 use super::{Priority, ServeConfig};
+use crate::batch::plan_groups;
+use std::hash::Hash;
 
 /// One request's life through a scripted wave, all timestamps in
 /// nanoseconds of the harness's virtual clock.
@@ -114,6 +116,12 @@ pub struct ScriptedWave {
     /// discarded without dispatching (they consume no wave slots), in
     /// pop order.
     pub evicted: Vec<ScriptedShed>,
+    /// The fused groups this wave executed, as index groups into
+    /// `requests`, in formation (first-occurrence) order — the output of
+    /// [`crate::batch::plan_groups`] over the wave's fusion signatures.
+    /// A wave run through the scalar [`ScriptedServe::run_wave`] entry is
+    /// all singletons in dispatch order.
+    pub fused_groups: Vec<Vec<usize>>,
 }
 
 impl ScriptedWave {
@@ -327,6 +335,29 @@ impl ScriptedServe {
     /// popped request was evicted comes back with empty `requests` — like
     /// the live loop it counts no batch and feeds the controller nothing.
     pub fn run_wave(&mut self, service_ns: impl Fn(u64) -> u64) -> Option<ScriptedWave> {
+        // No fusion signature ⇒ `plan_groups` emits singletons in dispatch
+        // order, which schedules identically to per-request greedy list
+        // scheduling: the scalar entry is the degenerate grouped run.
+        self.run_wave_grouped(service_ns, |_| None::<u64>, 1)
+    }
+
+    /// [`ScriptedServe::run_wave`] with the executor's cross-request batch
+    /// fuser modeled at wave granularity: each popped request carries a
+    /// fusion signature (`None` = not fusable), the wave's signatures are
+    /// grouped with the *same* pure [`crate::batch::plan_groups`] the live
+    /// fused worker loop uses (first-occurrence order, chunked at
+    /// `max_group`), and each group executes as one unit on the earliest
+    /// free lane — its service is the **max** of its members' scripted
+    /// services, and every member completes when the group does. Pop
+    /// order, eviction, and the join-order observation rule are exactly
+    /// those of the scalar entry: fusion changes completion *times*, never
+    /// admission or dispatch decisions.
+    pub fn run_wave_grouped<K: Eq + Hash + Copy>(
+        &mut self,
+        service_ns: impl Fn(u64) -> u64,
+        fuse_sig: impl Fn(u64) -> Option<K>,
+        max_group: usize,
+    ) -> Option<ScriptedWave> {
         if self.queues.is_empty() {
             return None;
         }
@@ -352,22 +383,33 @@ impl ScriptedServe {
                 None => break,
             }
         }
-        // Greedy list scheduling in dispatch order: each request starts
-        // on the earliest-free simulated worker. A stalled lane is not
-        // free until its stall deadline passes.
+        // Group formation over the surviving pop order, then greedy list
+        // scheduling in group order: each group starts on the earliest-free
+        // simulated worker and runs for the max of its members' services
+        // (the stacked kernel returns when its widest member would). A
+        // stalled lane is not free until its stall deadline passes.
+        let keys: Vec<Option<K>> = popped.iter().map(|q| fuse_sig(q.item)).collect();
+        let groups = plan_groups(&keys, max_group);
         let mut avail: Vec<u64> = self
             .stall_until
             .iter()
             .map(|&s| s.max(dispatched_ns))
             .collect();
-        let mut finishes = Vec::with_capacity(popped.len());
-        for q in &popped {
+        let mut finishes = vec![0u64; popped.len()];
+        for g in &groups {
             let lane = (0..self.workers)
                 .min_by_key(|&w| avail[w])
                 .expect("at least one worker");
-            let finish = avail[lane] + service_ns(q.item);
+            let dur = g
+                .iter()
+                .map(|&i| service_ns(popped[i].item))
+                .max()
+                .unwrap_or(0);
+            let finish = avail[lane] + dur;
             avail[lane] = finish;
-            finishes.push(finish);
+            for &i in g {
+                finishes[i] = finish;
+            }
         }
         // Completions observed in dispatch order, exactly like the live
         // dispatcher joining handles in submission order. The live join
@@ -420,6 +462,7 @@ impl ScriptedServe {
             dispatched_ns,
             requests,
             evicted,
+            fused_groups: groups,
         })
     }
 
@@ -487,6 +530,54 @@ mod tests {
         assert_eq!(wave.requests[0].service_ns, 1_000_000);
         assert_eq!(wave.requests[3].service_ns, 2_000_000);
         assert_eq!(wave.requests[3].wait_ns, 0);
+    }
+
+    #[test]
+    fn grouped_wave_fuses_same_signature_requests_without_reordering() {
+        // Wider than the helper config: one worker, one wave of 8.
+        let mut c = config(WaveSizing::Fixed);
+        c.capacity = 8;
+        c.batch_multiple = 8;
+        let mut s = ScriptedServe::new(1, &c);
+        for id in 0..8 {
+            assert!(s.submit(Priority::Interactive, id));
+        }
+        // All eight share one signature; groups chunk at 4 ⇒ two stacked
+        // calls of 1 ms each on the single worker: 2 ms drain, versus the
+        // 8 ms a scalar wave would take.
+        let wave = s
+            .run_wave_grouped(|_| 1_000_000, |_| Some(0u64), 4)
+            .unwrap();
+        assert_eq!(wave.ids(), (0..8).collect::<Vec<_>>(), "pop order kept");
+        assert_eq!(
+            wave.fused_groups,
+            vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]],
+            "first-occurrence groups chunked at max_group"
+        );
+        assert_eq!(s.now_ns(), 2_000_000, "group service is the member max");
+        // Members complete when their group does.
+        assert!(wave.requests[..4].iter().all(|r| r.done_ns == 1_000_000));
+        assert!(wave.requests[4..].iter().all(|r| r.done_ns == 2_000_000));
+    }
+
+    #[test]
+    fn scalar_run_wave_is_the_singleton_grouped_run() {
+        let build = || {
+            let mut s = ScriptedServe::new(2, &config(WaveSizing::Fixed));
+            for id in 0..4 {
+                s.submit(Priority::ALL[id as usize % 3], id);
+            }
+            s
+        };
+        let service = |id: u64| 300_000 + id * 100_000;
+        let a = build().run_wave(service).unwrap();
+        let b = build()
+            .run_wave_grouped(service, |_| None::<u64>, 16)
+            .unwrap();
+        assert_eq!(a.ids(), b.ids());
+        let done = |w: &ScriptedWave| w.requests.iter().map(|r| r.done_ns).collect::<Vec<_>>();
+        assert_eq!(done(&a), done(&b), "no signature ⇒ scalar schedule");
+        assert_eq!(a.fused_groups.len(), a.requests.len(), "all singletons");
     }
 
     #[test]

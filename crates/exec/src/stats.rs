@@ -51,6 +51,12 @@ pub struct StatsSnapshot {
     pub prelude_published: u64,
     /// Call continuations executed.
     pub continuations: u64,
+    /// Kernel tasks whose graph node was batchable (fusion-eligible).
+    pub fusable_seen: u64,
+    /// Kernel tasks executed through a fused (stacked) kernel call.
+    pub fused_tasks: u64,
+    /// Fused kernel calls issued (each covers ≥2 member tasks).
+    pub fused_groups: u64,
 }
 
 /// Counters describing one run's activity, or — as the fold of all
@@ -75,6 +81,15 @@ pub struct ExecStats {
     pub prelude_published: AtomicU64,
     /// Tasks executed as call continuations, bypassing the ready queue.
     pub continuations: AtomicU64,
+    /// Kernel tasks whose graph node was batchable (`ExecutionPlan::fuse`),
+    /// whether or not a fusion partner was available. The denominator of
+    /// the fused fraction.
+    pub fusable_seen: AtomicU64,
+    /// Kernel tasks that executed through a fused (stacked) kernel call
+    /// instead of the scalar path. The numerator of the fused fraction.
+    pub fused_tasks: AtomicU64,
+    /// Fused kernel calls issued; each one covered ≥2 member tasks.
+    pub fused_groups: AtomicU64,
     /// Optional per-op-kind wall time, enabled by [`ExecStats::enable_profiling`].
     profile: Mutex<Option<HashMap<&'static str, (Duration, u64)>>>,
     profile_on: std::sync::atomic::AtomicBool,
@@ -133,6 +148,9 @@ impl ExecStats {
             cancelled_tasks,
             prelude_published,
             continuations,
+            fusable_seen,
+            fused_tasks,
+            fused_groups,
             profile: _,    // profiling is executor-lifetime only
             profile_on: _, // profiling is executor-lifetime only
         } = self;
@@ -146,6 +164,9 @@ impl ExecStats {
             cancelled_tasks: cancelled_tasks.load(Ordering::Relaxed),
             prelude_published: prelude_published.load(Ordering::Relaxed),
             continuations: continuations.load(Ordering::Relaxed),
+            fusable_seen: fusable_seen.load(Ordering::Relaxed),
+            fused_tasks: fused_tasks.load(Ordering::Relaxed),
+            fused_groups: fused_groups.load(Ordering::Relaxed),
         }
     }
 
@@ -185,6 +206,9 @@ impl ExecStats {
                 now.prelude_published - base.prelude_published,
             ),
             (&self.continuations, now.continuations - base.continuations),
+            (&self.fusable_seen, now.fusable_seen - base.fusable_seen),
+            (&self.fused_tasks, now.fused_tasks - base.fused_tasks),
+            (&self.fused_groups, now.fused_groups - base.fused_groups),
         ];
         for (into, delta) in pairs {
             if delta != 0 {
@@ -198,7 +222,8 @@ impl ExecStats {
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
-            "ops={} frames={} max_depth={} cache_w={} cache_r={} inplace={} prelude={} conts={}",
+            "ops={} frames={} max_depth={} cache_w={} cache_r={} inplace={} prelude={} conts={} \
+             fusable={} fused={} groups={}",
             self.ops_executed.load(Ordering::Relaxed),
             self.frames_spawned.load(Ordering::Relaxed),
             self.max_depth.load(Ordering::Relaxed),
@@ -207,6 +232,9 @@ impl ExecStats {
             self.inplace_updates.load(Ordering::Relaxed),
             self.prelude_published.load(Ordering::Relaxed),
             self.continuations.load(Ordering::Relaxed),
+            self.fusable_seen.load(Ordering::Relaxed),
+            self.fused_tasks.load(Ordering::Relaxed),
+            self.fused_groups.load(Ordering::Relaxed),
         )
     }
 }

@@ -1,0 +1,137 @@
+//! Regression coverage for the epoch-scoped `PathKey` interner flush.
+//!
+//! Long-lived services over varied-shape inputs (every request a new tree
+//! shape) used to grow the process-global interner without bound. These
+//! tests pin the reclamation contract of `PathKey::flush_interner`:
+//!
+//! 1. **Boundedness** — a service loop that interns fresh shapes each
+//!    epoch and flushes between epochs holds the table at a constant
+//!    size instead of accumulating the union of all shapes ever seen.
+//! 2. **Stack safety** — flushing a retired 20 000-deep chain cascades on
+//!    a worklist, not the call stack.
+//! 3. **Liveness** — keys held anywhere outside the interner, and every
+//!    ancestor on their spine, survive a flush untouched (still
+//!    pointer-canonical for re-derivations).
+//!
+//! The interner is process-global and this binary's tests run on
+//! parallel threads, so each test takes `FLUSH_LOCK` to keep one test's
+//! flush from reclaiming another's intentionally retired nodes
+//! mid-assertion. Site numbers are disjoint per test for the same reason.
+
+use rdg_exec::PathKey;
+use rdg_graph::CallSiteId;
+use std::sync::Mutex;
+
+static FLUSH_LOCK: Mutex<()> = Mutex::new(());
+
+fn build(sites: impl IntoIterator<Item = u32>) -> PathKey {
+    let mut p = PathKey::root();
+    for s in sites {
+        p = p.child(CallSiteId(s));
+    }
+    p
+}
+
+/// A long-lived service over varied-shape inputs: every epoch interns
+/// fresh chains (new shapes), retires them, and flushes. The table must
+/// return to its pre-epoch size each time instead of growing by the
+/// union of all shapes ever observed.
+#[test]
+fn flush_bounds_long_lived_service() {
+    let _g = FLUSH_LOCK.lock().unwrap();
+    // Settle a baseline: whatever other tests interned so far, minus
+    // anything already retired.
+    PathKey::flush_interner();
+    let baseline = PathKey::interner_len();
+    for epoch in 0..10u32 {
+        let keys: Vec<PathKey> = (0..200u32)
+            .map(|i| {
+                // Unique shape per (epoch, request): a short chain whose
+                // sites no other epoch reuses.
+                let b = 10_000 + epoch * 2_000 + i * 8;
+                build([b, b + 1, b + 2, b + 3])
+            })
+            .collect();
+        assert!(
+            PathKey::interner_len() >= baseline + 200 * 4,
+            "epoch {epoch} should have interned fresh chains"
+        );
+        drop(keys);
+        let flushed = PathKey::flush_interner();
+        assert!(
+            flushed >= 200 * 4,
+            "epoch {epoch} flush reclaimed only {flushed} nodes"
+        );
+        assert_eq!(
+            PathKey::interner_len(),
+            baseline,
+            "epoch {epoch} leaked interned nodes past the flush"
+        );
+    }
+}
+
+/// Flushing a retired deep chain must cascade iteratively: 20 000 nodes
+/// (the depth the executor's tail-recursion test reaches) reclaimed
+/// without recursing down the parent spine.
+#[test]
+fn flush_deep_chain_is_stack_safe() {
+    let _g = FLUSH_LOCK.lock().unwrap();
+    const DEPTH: u32 = 20_000;
+    let before = PathKey::interner_len();
+    let p = build((0..DEPTH).map(|i| 40_000_000 + i));
+    assert_eq!(p.len(), DEPTH);
+    assert_eq!(PathKey::interner_len(), before + DEPTH as usize);
+    drop(p);
+    // Only the leaf is externally unreferenced at sweep time; the other
+    // 19 999 nodes are reached by the worklist cascade. A recursive
+    // teardown would overflow the stack here.
+    let flushed = PathKey::flush_interner();
+    assert!(
+        flushed >= DEPTH as usize,
+        "deep-chain flush reclaimed only {flushed} of {DEPTH} nodes"
+    );
+    assert_eq!(PathKey::interner_len(), before);
+}
+
+/// Live keys pin their whole spine across a flush, and stay canonical:
+/// re-deriving a surviving path finds the same interned node, while a
+/// retired sibling branch is reclaimed and re-interns fresh.
+#[test]
+fn flush_preserves_live_spines() {
+    let _g = FLUSH_LOCK.lock().unwrap();
+    let prefix = build([60_000_000, 60_000_001]);
+    let live = prefix.child(CallSiteId(60_000_010));
+    let retired = prefix
+        .child(CallSiteId(60_000_020))
+        .child(CallSiteId(60_000_021));
+    let len_full = PathKey::interner_len();
+    drop(retired);
+    let flushed = PathKey::flush_interner();
+    assert!(flushed >= 2, "retired branch should be reclaimed");
+    // The live leaf and its two-ancestor spine survive…
+    let rebuilt = build([60_000_000, 60_000_001, 60_000_010]);
+    assert!(
+        rebuilt.ptr_eq(&live),
+        "live spine must stay pointer-canonical across a flush"
+    );
+    // …and the retired branch really left the table.
+    assert!(PathKey::interner_len() < len_full);
+    // Re-interning the retired shape works and is structurally equal to
+    // what the old key would have been (fresh node, same path).
+    let again = prefix
+        .child(CallSiteId(60_000_020))
+        .child(CallSiteId(60_000_021));
+    assert_eq!(again.sites().last(), Some(&CallSiteId(60_000_021)));
+}
+
+/// An empty flush (everything live or already reclaimed) is a no-op.
+#[test]
+fn flush_is_idempotent() {
+    let _g = FLUSH_LOCK.lock().unwrap();
+    let keep = build([70_000_000, 70_000_001, 70_000_002]);
+    PathKey::flush_interner();
+    let len = PathKey::interner_len();
+    assert_eq!(PathKey::flush_interner(), 0);
+    assert_eq!(PathKey::interner_len(), len);
+    drop(keep);
+}

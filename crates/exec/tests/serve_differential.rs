@@ -23,6 +23,12 @@
 //! submits), so the scenario is retried a few times and skipped with a
 //! note on hosts too fast to hold the race open — the *decision* logic
 //! itself is still covered deterministically by the twin suites.
+//!
+//! A second, fused pin runs the identical scenario with cross-request
+//! batch fusion enabled on both sides (the executor's dispatch-time fuser
+//! live, the twin's `run_wave_grouped` group-formation model scripted)
+//! and requires the *same* dispatch log: fusion is a property of kernel
+//! execution within a wave and must never leak into scheduling decisions.
 
 use rdg_exec::serve::test_support::{ScriptedAdmission, ScriptedServe};
 use rdg_exec::{Executor, Priority, ServeConfig, ServeError, Session, WaveRecord, WaveSizing};
@@ -73,7 +79,7 @@ const MIX: [Priority; 10] = [
     Priority::BestEffort,
 ];
 
-fn config() -> ServeConfig {
+fn config(fused: bool) -> ServeConfig {
     ServeConfig {
         capacity: 64,
         batch_multiple: 16,
@@ -83,6 +89,10 @@ fn config() -> ServeConfig {
         // regardless of how wall time maps to the virtual clock.
         aging_step: Duration::from_secs(3600),
         record_dispatch: true,
+        // The fused-wave pin runs the identical scenario with the
+        // executor's cross-request fuser on and off: the dispatch log
+        // must not notice.
+        cross_request_batching: fused,
         ..ServeConfig::default()
     }
 }
@@ -91,15 +101,26 @@ fn config() -> ServeConfig {
 /// mix (admission sequence numbers 11 and 12).
 const SLO_MIX: [Priority; 2] = [Priority::Interactive, Priority::Batch];
 
-/// The twin's dispatch log for the scenario, on the virtual clock.
-fn scripted_log() -> Vec<WaveRecord> {
-    let mut s = ScriptedServe::new(1, &config());
+/// The twin's dispatch log for the scenario, on the virtual clock. With
+/// `fused`, every wave runs through the twin's group-formation model
+/// (one shared fusion signature, groups of up to 4) instead of the scalar
+/// schedule — the dispatch log must come out identical either way,
+/// because grouping happens strictly after the pop.
+fn scripted_log(fused: bool) -> Vec<WaveRecord> {
+    let mut s = ScriptedServe::new(1, &config(fused));
     assert!(s.submit(Priority::Interactive, 0), "blocker admitted");
     let mut log = Vec::new();
     // Service times are irrelevant to the *order* here (one worker,
     // fixed waves, no aging) — any positive value works.
     let service = |_id: u64| 1_000_000u64;
-    let w = s.run_wave(service).expect("blocker wave");
+    let mut wave = |s: &mut ScriptedServe| {
+        if fused {
+            s.run_wave_grouped(service, |_| Some(0u64), 4)
+        } else {
+            s.run_wave(service)
+        }
+    };
+    let w = wave(&mut s).expect("blocker wave");
     log.push(WaveRecord {
         target: w.target,
         seqs: w.ids(),
@@ -117,24 +138,21 @@ fn scripted_log() -> Vec<WaveRecord> {
              under fixed sizing)"
         );
     }
-    let w = s.run_wave(service).expect("drain wave");
+    let w = wave(&mut s).expect("drain wave");
     log.push(WaveRecord {
         target: w.target,
         seqs: w.ids(),
         shed_seqs: w.evicted.iter().map(|e| e.id).collect(),
     });
-    assert!(
-        s.run_wave(service).is_none(),
-        "two waves drain the scenario"
-    );
+    assert!(wave(&mut s).is_none(), "two waves drain the scenario");
     log
 }
 
 /// One live attempt; `None` when the timing race didn't hold (the
 /// blocker finished before the twelve requests were all queued).
-fn live_log_attempt() -> Option<Vec<WaveRecord>> {
+fn live_log_attempt(fused: bool) -> Option<Vec<WaveRecord>> {
     let s = Session::new(Executor::with_threads(1), sum_module()).unwrap();
-    let client = s.serve_with(config());
+    let client = s.serve_with(config(fused));
     let blocker = client.submit(vec![Tensor::scalar_i32(60_000)]).unwrap();
     // Wait for the dispatcher to pop the blocker's wave: once `batches`
     // ticks, the first wave is closed and everything we submit next goes
@@ -195,7 +213,7 @@ fn live_log_attempt() -> Option<Vec<WaveRecord>> {
 
 #[test]
 fn live_dispatcher_and_scripted_twin_agree_wave_for_wave() {
-    let expected = scripted_log();
+    let expected = scripted_log(false);
     // Sanity on the twin itself: fixed waves of 1 × 16, strict priority,
     // and both expired requests shed at pop in pop order.
     assert_eq!(
@@ -219,7 +237,7 @@ fn live_dispatcher_and_scripted_twin_agree_wave_for_wave() {
          first, then batch), consuming no wave slots"
     );
     for attempt in 0..5 {
-        if let Some(live) = live_log_attempt() {
+        if let Some(live) = live_log_attempt(false) {
             assert_eq!(
                 live, expected,
                 "live dispatcher diverged from the scripted twin \
@@ -232,5 +250,34 @@ fn live_dispatcher_and_scripted_twin_agree_wave_for_wave() {
     // Five misses means the blocker kept finishing before twelve tiny
     // submits — a host too fast for this race. The decision logic is
     // still asserted above and across the twin suites.
+    eprintln!("host too fast to hold the blocker race open; skipping live half");
+}
+
+/// The fused-wave pin: cross-request batch fusion must be invisible to
+/// admission and dispatch. The twin's group-formation model and the live
+/// dispatcher with the executor's fuser enabled must both produce the
+/// exact dispatch log of the scalar scenario — fusion reshapes kernel
+/// execution inside a wave, never wave targets, pop order, or shed
+/// decisions.
+#[test]
+fn fusion_does_not_perturb_the_dispatch_log() {
+    let expected = scripted_log(false);
+    assert_eq!(
+        scripted_log(true),
+        expected,
+        "the twin's wave-granularity group formation changed a dispatch \
+         decision: grouping must happen strictly after the pop"
+    );
+    for attempt in 0..5 {
+        if let Some(live) = live_log_attempt(true) {
+            assert_eq!(
+                live, expected,
+                "live dispatcher with cross-request batching on diverged \
+                 from the scalar twin (attempt {attempt}): fusion must not \
+                 change wave targets, pop order, or shed decisions"
+            );
+            return;
+        }
+    }
     eprintln!("host too fast to hold the blocker race open; skipping live half");
 }

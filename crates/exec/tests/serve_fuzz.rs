@@ -7,7 +7,7 @@
 //! iterations finish in well under a second.
 
 use rdg_exec::serve::fuzz::{
-    generate, minimize, mutate, replay, run_campaign, FuzzConfig, FuzzRng, Scenario,
+    generate, minimize, mutate, replay, replay_fused, run_campaign, FuzzConfig, FuzzRng, Scenario,
 };
 
 fn smoke_iters() -> usize {
@@ -101,6 +101,38 @@ fn generated_scenarios_round_trip_and_replay_deterministically() {
             "nondeterministic replay at generation {i}"
         );
         assert_eq!(x.interactive_p99_ns, y.interactive_p99_ns);
+    }
+}
+
+#[test]
+fn fused_replay_keeps_every_oracle_over_generated_scenarios() {
+    // Cross-request fusion must reshape completion times only: on any
+    // schedule, class FIFO, strict priority, the aging bound, ticket
+    // conservation, the shed oracles, and the wave clamp + budget all
+    // have to hold under grouped execution exactly as they do scalar.
+    let mut rng = FuzzRng::new(0xBA7C4);
+    for i in 0..40 {
+        let sc = generate(&mut rng, 0xBA7C4, 64, 2);
+        for mg in [2usize, 4, 16] {
+            let out = replay_fused(&sc, mg);
+            assert!(
+                out.violations.is_empty(),
+                "generation {i}, max_group {mg}: fused replay broke an \
+                 oracle: {:?}\n{}",
+                out.violations,
+                sc.to_ron()
+            );
+            assert_eq!(
+                out.accepted.len(),
+                out.trace.len() + out.evicted.len(),
+                "generation {i}, max_group {mg}: fused conservation"
+            );
+            let again = replay_fused(&sc, mg);
+            assert_eq!(
+                out.waves, again.waves,
+                "generation {i}, max_group {mg}: fused replay nondeterministic"
+            );
+        }
     }
 }
 

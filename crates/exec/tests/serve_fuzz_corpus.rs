@@ -19,7 +19,7 @@
 //!   p99 than *every* hand-written stress pattern — the corpus proves
 //!   the fuzzer reaches tails the hand-written tests never did.
 
-use rdg_exec::serve::fuzz::{baseline_scenarios, replay, Scenario};
+use rdg_exec::serve::fuzz::{baseline_scenarios, replay, replay_fused, Scenario};
 use std::path::PathBuf;
 
 fn corpus_dir() -> PathBuf {
@@ -121,6 +121,45 @@ fn corpus_replays_clean_and_reproduces_pinned_p99() {
             "{name}: replay is not deterministic"
         );
         assert_eq!(out.rejected, again.rejected);
+    }
+}
+
+#[test]
+fn corpus_replays_clean_under_fused_grouping() {
+    // The committed worst cases double as adversarial inputs for the
+    // cross-request fuser's twin: every oracle must hold when the same
+    // schedule executes with wave-granularity group fusion. The p99 /
+    // shed pins are scalar-mode contracts (grouping legitimately moves
+    // completion times), so they are deliberately not compared here.
+    for (name, _, sc) in load_corpus() {
+        for mg in [2usize, 16] {
+            let out = replay_fused(&sc, mg);
+            assert!(
+                out.violations.is_empty(),
+                "{name}: oracle violation under fused replay (max_group \
+                 {mg}): {:?}",
+                out.violations
+            );
+            assert_eq!(
+                out.accepted.len(),
+                out.trace.len() + out.evicted.len(),
+                "{name}: fused conservation (max_group {mg})"
+            );
+            let again = replay_fused(&sc, mg);
+            assert_eq!(
+                out.waves, again.waves,
+                "{name}: fused replay is not deterministic (max_group {mg})"
+            );
+        }
+    }
+    for baseline in baseline_scenarios() {
+        let out = replay_fused(&baseline, 4);
+        assert!(
+            out.violations.is_empty(),
+            "baseline {} under fused replay: {:?}",
+            baseline.name,
+            out.violations
+        );
     }
 }
 

@@ -1,0 +1,174 @@
+//! Cross-request batch fusion must change the schedule, not the math.
+//!
+//! The executor's dispatch-time fuser stacks same-shape kernels from
+//! concurrent serving requests into one matmul-class call and scatters the
+//! result back per request. The stacking is row/column concatenation with
+//! the kernel loop order preserved, so fused outputs are **bit-for-bit**
+//! identical to scalar execution — not merely `allclose`. These tests pin
+//! that contract end to end, with the scalar path (fusion off, the
+//! pre-PR-8 executor behavior) as the oracle:
+//!
+//! 1. A property sweep over random tree shapes, depths, and model kinds
+//!    (TreeRNN / RNTN / TreeLSTM — covering every fusable op: `MatMul`,
+//!    `AddBias`, `Bilinear`, and the transposed variants) comparing every
+//!    output tensor of every request bitwise.
+//! 2. A deterministic saturation test that also asserts fusion actually
+//!    *engages* (groups form, instances fuse) and that per-class
+//!    accounting stays closed with batching on — fused members resolve
+//!    their own tickets exactly once.
+
+use proptest::prelude::*;
+use rdg_core::prelude::*;
+
+const KINDS: [ModelKind; 3] = [ModelKind::TreeRnn, ModelKind::Rntn, ModelKind::TreeLstm];
+
+/// Build a per-instance session plus one feed vector per tree.
+fn fixture(
+    kind: ModelKind,
+    seed: u64,
+    n: usize,
+    max_len: usize,
+    shape: TreeShape,
+) -> (Session, Vec<Vec<Tensor>>) {
+    let cfg = ModelConfig::tiny(kind, 1);
+    let data = Dataset::generate(DatasetConfig {
+        vocab: cfg.vocab,
+        n_train: n,
+        n_valid: 0,
+        min_len: 3,
+        max_len,
+        shape,
+        seed,
+        ..DatasetConfig::default()
+    });
+    let m = build_recursive(&cfg).expect("build recursive");
+    let sess = Session::new(Executor::with_threads(2), m).expect("session");
+    let requests = Dataset::feeds_per_instance(data.split(Split::Train));
+    (sess, requests)
+}
+
+/// Exact equality: same shapes, same f32 bit patterns. `allclose` would
+/// hide a fusion that silently reordered an accumulation.
+fn assert_bit_equal(scalar: &[Tensor], fused: &[Tensor], ctx: &str) {
+    assert_eq!(scalar.len(), fused.len(), "{ctx}: output arity differs");
+    for (o, (a, b)) in scalar.iter().zip(fused).enumerate() {
+        assert_eq!(a.shape(), b.shape(), "{ctx}: output {o} shape differs");
+        let (xa, xb) = (a.f32s().expect("f32 output"), b.f32s().expect("f32 output"));
+        for (j, (va, vb)) in xa.iter().zip(xb).enumerate() {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "{ctx}: output {o}[{j}] differs: scalar {va} vs fused {vb}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Random trees, random depths, random shapes, all three model kinds:
+    /// serving with cross-request batching on returns bit-identical
+    /// outputs to one-at-a-time scalar runs of the same session.
+    #[test]
+    fn fused_serving_matches_scalar_bitwise(
+        (kind_idx, seed, max_len, balanced) in (0usize..3, 0u64..1_000_000, 5usize..14, 0u8..2)
+    ) {
+        let kind = KINDS[kind_idx];
+        let shape = if balanced == 0 { TreeShape::Moderate } else { TreeShape::Balanced };
+        let (sess, requests) = fixture(kind, seed, 6, max_len, shape);
+        // Oracle first: bare runs never fuse (executor default is scalar).
+        let scalar: Vec<Vec<Tensor>> = requests
+            .iter()
+            .map(|r| sess.run(r.clone()).expect("scalar run"))
+            .collect();
+        // Then the same requests, all in flight at once, batching on
+        // (the serving default).
+        let client = sess.serve();
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| client.submit(r.clone()).expect("admit"))
+            .collect();
+        let fused: Vec<Vec<Tensor>> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("fused request"))
+            .collect();
+        let st = client.stats();
+        client.shutdown();
+        for (i, (s, f)) in scalar.iter().zip(&fused).enumerate() {
+            assert_bit_equal(s, f, &format!("{kind:?} seed {seed} request {i}"));
+        }
+        // Tickets resolve exactly once whether or not their kernels fused.
+        prop_assert_eq!(st.submitted, st.completed);
+        prop_assert_eq!(st.failed, 0);
+        prop_assert!(st.fusion_instances <= st.fusion_eligible,
+            "fused more instances than were eligible");
+    }
+}
+
+/// Saturating same-shape traffic must actually form groups: 32 identical
+/// balanced trees offered at once. Also pins per-class accounting closure
+/// with batching on, and the counter algebra of the fusion telemetry.
+#[test]
+fn fusion_engages_under_saturation_and_accounting_closes() {
+    let (sess, requests) = fixture(ModelKind::TreeRnn, 20240808, 32, 16, TreeShape::Balanced);
+    let scalar: Vec<Vec<Tensor>> = requests
+        .iter()
+        .map(|r| sess.run(r.clone()).expect("scalar run"))
+        .collect();
+    let client = sess.serve_with(ServeConfig {
+        capacity: 64,
+        ..ServeConfig::default()
+    });
+    // Mixed classes: fusion groups freely across QoS lanes (class shapes
+    // admission order, not kernel compatibility).
+    let classed: Vec<_> = Priority::ALL
+        .iter()
+        .map(|&p| client.with_priority(p))
+        .collect();
+    let tickets: Vec<_> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, r)| classed[i % classed.len()].submit(r.clone()).expect("admit"))
+        .collect();
+    let fused: Vec<Vec<Tensor>> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("fused request"))
+        .collect();
+    let st = client.stats();
+    client.shutdown();
+
+    for (i, (s, f)) in scalar.iter().zip(&fused).enumerate() {
+        assert_bit_equal(s, f, &format!("saturated request {i}"));
+    }
+    // The whole point: groups formed and fused real work.
+    assert!(st.fusion_eligible > 0, "no batchable instances observed");
+    assert!(
+        st.fusion_groups > 0,
+        "saturating identical-shape traffic formed no fused groups"
+    );
+    assert!(
+        st.fusion_instances >= 2 * st.fusion_groups,
+        "every fused group stacks at least two instances \
+         ({} instances across {} groups)",
+        st.fusion_instances,
+        st.fusion_groups
+    );
+    assert!(st.fusion_instances <= st.fusion_eligible);
+    let f = st.fused_fraction();
+    assert!((0.0..=1.0).contains(&f), "fused fraction {f} out of range");
+    // Accounting closure, per class and aggregate, with batching on.
+    assert_eq!(st.submitted, 32);
+    assert_eq!(st.completed + st.failed + st.abandoned, st.submitted);
+    assert_eq!(st.failed, 0);
+    for c in &st.classes {
+        assert_eq!(
+            c.completed + c.failed + c.abandoned,
+            c.submitted,
+            "class accounting must close exactly with batching on"
+        );
+        assert_eq!(
+            c.shed + c.shed_inflight + c.shed_predicted,
+            0,
+            "no SLO traffic here, so fusion must not invent sheds"
+        );
+    }
+}
