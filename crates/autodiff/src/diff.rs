@@ -123,6 +123,11 @@ pub fn build_training_module(fwd: &Module, loss: PortRef) -> rdg_graph::Result<M
     }
     gb.module.keep_sets = gb.keep;
     gb.module.shape_keep_sets = gb.shape_keep;
+    // Reverse-mode rules emit contributions speculatively; chains whose
+    // tail reaches a gradient-free origin (e.g. a ZerosDyn state table)
+    // end up dead. Prune them so the generated module is analyzer-clean
+    // and the executor skips the wasted kernels.
+    rdg_graph::analyze::prune_dead(&mut gb.module);
     gb.module.validate()?;
     Ok(gb.module)
 }

@@ -58,12 +58,12 @@ pub enum FuseKind {
 /// not worth fusing. Elementwise ops are deliberately excluded: they are
 /// memory-bound and fusing them buys nothing over the scalar path.
 pub fn fuse_kind(op: &OpKind) -> Option<FuseKind> {
-    match op {
-        OpKind::MatMul | OpKind::MatMulBT | OpKind::AddBias | OpKind::Bilinear => {
-            Some(FuseKind::RowsShared)
-        }
-        OpKind::MatMulAT => Some(FuseKind::ColsShared),
-        _ => None,
+    // Delegates to the static analyzer's classification so the lint-time
+    // batchability prediction and the runtime fuse decision can never
+    // drift apart: predicted-eligible ⊇ fused holds by construction.
+    match rdg_graph::analyze::fuse_class(op)? {
+        rdg_graph::analyze::FuseClass::RowsShared => Some(FuseKind::RowsShared),
+        rdg_graph::analyze::FuseClass::ColsShared => Some(FuseKind::ColsShared),
     }
 }
 

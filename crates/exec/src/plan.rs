@@ -99,6 +99,10 @@ pub struct ExecutionPlan {
     /// across concurrent frames (see [`crate::batch::fuse_kind`]). Computed
     /// here so dispatch-time grouping is an index, not a shape derivation.
     pub fuse: Vec<Option<crate::batch::FuseKind>>,
+    /// Statically inferred abstract shape per node output port, from the
+    /// plan-time analyzer's interprocedural fixpoint. `Known` dims here are
+    /// guaranteed by the analysis; consumers may specialize on them.
+    pub shapes: Vec<Vec<rdg_graph::analyze::AbsShape>>,
     /// Pooled frame cores (pending counters + value slots) recycled across
     /// activations of this graph.
     pub(crate) pool: crate::executor::CorePool,
@@ -175,6 +179,7 @@ impl ExecutionPlan {
             keep_value,
             keep_shape,
             fuse,
+            shapes: Vec::new(),
             pool: crate::executor::CorePool::default(),
         })
     }
@@ -199,13 +204,28 @@ pub struct ModulePlan {
 }
 
 impl ModulePlan {
-    /// Validates the module and computes every graph's plan.
+    /// Validates and statically analyzes the module, then computes every
+    /// graph's plan. Analyzer *errors* (definite shape/dtype mismatches,
+    /// ill-founded recursion, double publishes) reject the module before a
+    /// single frame spawns; the inferred abstract shapes are recorded on
+    /// each [`ExecutionPlan`] for downstream specialization.
     pub fn new(module: Arc<Module>) -> rdg_graph::Result<Arc<Self>> {
         module.validate()?;
-        let main = ExecutionPlan::build(&module, GraphRef::Main)?;
-        let subs = (0..module.subgraphs.len())
+        let report = rdg_graph::analyze::check_module(
+            &module,
+            &rdg_graph::analyze::AnalysisConfig::default(),
+        )?;
+        let mut main = ExecutionPlan::build(&module, GraphRef::Main)?;
+        main.shapes = report.shapes.graph_shapes(GraphRef::Main).clone();
+        let mut subs = (0..module.subgraphs.len())
             .map(|i| ExecutionPlan::build(&module, GraphRef::Sub(SubGraphId(i as u32))))
             .collect::<rdg_graph::Result<Vec<_>>>()?;
+        for (i, sub) in subs.iter_mut().enumerate() {
+            sub.shapes = report
+                .shapes
+                .graph_shapes(GraphRef::Sub(SubGraphId(i as u32)))
+                .clone();
+        }
         Ok(Arc::new(ModulePlan { module, main, subs }))
     }
 

@@ -1,0 +1,99 @@
+//! Analysis-driven dead code elimination.
+//!
+//! Removes nodes the liveness pass would flag [`super::codes::DEAD_NODE`]:
+//! nodes that contribute — transitively — to no declared output, gradient
+//! sink, effectful call site, or keep-set entry. Formal `Input` nodes are
+//! always retained (they are signature positions, not dead code).
+//!
+//! The primary client is `rdg-autodiff`: reverse-mode rules emit gradient
+//! contributions speculatively, and chains whose tail reaches a node with
+//! no gradient (e.g. a `ZerosDyn` state-table origin) end up dead. Pruning
+//! them keeps generated training modules warning-clean under the analyzer
+//! and saves the executor the wasted kernel launches.
+//!
+//! Cross-graph references (`FwdValue`/`FwdZeros` in gradient SubGraphs)
+//! are always accompanied by a keep-set entry on the referenced forward
+//! port, and keep-set entries are liveness roots — so pruning one graph
+//! can never dangle a reference held by another.
+
+use super::liveness::{effectful_subgraphs, live_set};
+use crate::graph::{Graph, NodeId};
+use crate::module::{GraphRef, Module};
+use crate::op::OpKind;
+use crate::subgraph::SubGraphId;
+
+/// Removes dead nodes from every graph in the module, remapping node ids
+/// in edges, declared outputs, and keep-sets. Returns the number of nodes
+/// removed.
+pub fn prune_dead(m: &mut Module) -> usize {
+    let effectful = effectful_subgraphs(m);
+    let mut grefs = vec![GraphRef::Main];
+    grefs.extend((0..m.subgraphs.len()).map(|k| GraphRef::Sub(SubGraphId(k as u32))));
+
+    let mut removed = 0;
+    for gref in grefs {
+        let mut live = live_set(m, gref, &effectful);
+        let g = m.graph(gref);
+        for (i, n) in g.nodes.iter().enumerate() {
+            if matches!(n.op, OpKind::Input { .. }) {
+                live[i] = true;
+            }
+        }
+        if live.iter().all(|&l| l) {
+            continue;
+        }
+        removed += live.iter().filter(|&&l| !l).count();
+
+        // Old id -> new id for retained nodes, preserving order (the graph
+        // stays topologically sorted: removing nodes cannot create a back
+        // edge among the survivors).
+        let mut remap = vec![NodeId(u32::MAX); live.len()];
+        let mut next = 0u32;
+        for (i, &l) in live.iter().enumerate() {
+            if l {
+                remap[i] = NodeId(next);
+                next += 1;
+            }
+        }
+
+        let g = graph_mut(m, gref);
+        let mut kept = Vec::with_capacity(next as usize);
+        let mut kept_dtypes = Vec::with_capacity(next as usize);
+        let dtypes = std::mem::take(&mut g.out_dtypes);
+        for ((i, mut n), dt) in std::mem::take(&mut g.nodes)
+            .into_iter()
+            .enumerate()
+            .zip(dtypes)
+        {
+            if !live[i] {
+                continue;
+            }
+            for p in &mut n.inputs {
+                p.node = remap[p.node.0 as usize];
+            }
+            kept.push(n);
+            kept_dtypes.push(dt);
+        }
+        g.nodes = kept;
+        g.out_dtypes = kept_dtypes;
+        for p in &mut g.outputs {
+            p.node = remap[p.node.0 as usize];
+        }
+        for n in &mut g.input_nodes {
+            *n = remap[n.0 as usize];
+        }
+        for sets in [&mut m.keep_sets, &mut m.shape_keep_sets] {
+            if let Some(set) = sets.get_mut(&gref) {
+                *set = set.iter().map(|&(n, p)| (remap[n.0 as usize], p)).collect();
+            }
+        }
+    }
+    removed
+}
+
+fn graph_mut(m: &mut Module, r: GraphRef) -> &mut Graph {
+    match r {
+        GraphRef::Main => &mut m.main,
+        GraphRef::Sub(id) => &mut m.subgraphs[id.0 as usize].graph,
+    }
+}

@@ -1,0 +1,418 @@
+//! Recursion well-foundedness: every recursive cycle in the SubGraph call
+//! graph must contain a conditionally reachable non-recursive exit.
+//!
+//! The call graph has one node per SubGraph and three edge flavors:
+//!
+//! * **Direct** — an `Invoke` in the body: taken unconditionally whenever
+//!   the body runs.
+//! * **Branch** — one arm of a `Cond`: taken only when the (lazy)
+//!   predicate selects it. Each branch edge knows its sibling arm.
+//! * **Always** — a `Cond` arm whose predicate traces to a compile-time
+//!   constant pinning this arm; the sibling arm is statically dead.
+//!
+//! A cycle is *guarded* when some branch edge on it has a sibling arm that
+//! cannot re-enter the cycle — the recursion's base case. The check finds
+//! strongly connected components (Tarjan), then iteratively discharges
+//! branch edges whose sibling escapes the SCC; any cycle that survives is
+//! an error: [`codes::UNREACHABLE_BASE_CASE`] when a constant predicate
+//! pinned the recursive arm, [`codes::UNGUARDED_RECURSION`] otherwise.
+//!
+//! Two extras ride along: the returned *hot set* (SubGraphs on any
+//! original-edge cycle — the ones a single inference executes repeatedly,
+//! consumed by the batchability pass), and a [`codes::DEPTH_UNBOUNDED`]
+//! warning for recursive calls that pass **every** argument unchanged from
+//! the caller's formal inputs — structurally identical state on every
+//! level, so the recursion can never bottom out by value.
+
+use super::{codes, node_diag, Diagnostic, Severity};
+use crate::graph::{Graph, NodeId, PortRef};
+use crate::module::{GraphRef, Module};
+use crate::op::OpKind;
+use crate::subgraph::SubGraphId;
+
+#[derive(Clone, Copy, PartialEq)]
+enum EdgeKind {
+    /// Unconditional `Invoke` in the source body.
+    Direct,
+    /// A `Cond` arm with a live sibling arm (`sibling` is its target).
+    Branch { sibling: usize },
+    /// A `Cond` arm pinned by a constant predicate (sibling arm is dead).
+    Always,
+}
+
+struct Edge {
+    from: usize,
+    to: usize,
+    kind: EdgeKind,
+    /// The `Invoke`/`Cond` node in `from`'s body that creates this edge.
+    node: NodeId,
+}
+
+/// Follows `Identity` chains to the real producer of a port.
+fn trace(g: &Graph, mut p: PortRef) -> PortRef {
+    loop {
+        let n = g.node(p.node);
+        if matches!(n.op, OpKind::Identity) {
+            p = n.inputs[0];
+        } else {
+            return p;
+        }
+    }
+}
+
+/// If the port is a compile-time `i32` scalar constant, its truth value.
+fn const_pred(g: &Graph, p: PortRef) -> Option<bool> {
+    let p = trace(g, p);
+    if let OpKind::Const(t) = &g.node(p.node).op {
+        return t.as_i32_scalar().ok().map(|v| v != 0);
+    }
+    None
+}
+
+/// Call-graph edges among SubGraphs (edges out of main are irrelevant to
+/// cycles — nothing invokes main).
+fn collect_edges(m: &Module) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    for (si, sg) in m.subgraphs.iter().enumerate() {
+        for (ni, n) in sg.graph.nodes.iter().enumerate() {
+            let node = NodeId(ni as u32);
+            match &n.op {
+                OpKind::Invoke { sub, .. } => edges.push(Edge {
+                    from: si,
+                    to: sub.0 as usize,
+                    kind: EdgeKind::Direct,
+                    node,
+                }),
+                OpKind::Cond {
+                    sub_then, sub_else, ..
+                } => {
+                    let (t, e) = (sub_then.0 as usize, sub_else.0 as usize);
+                    match const_pred(&sg.graph, n.inputs[0]) {
+                        Some(true) => edges.push(Edge {
+                            from: si,
+                            to: t,
+                            kind: EdgeKind::Always,
+                            node,
+                        }),
+                        Some(false) => edges.push(Edge {
+                            from: si,
+                            to: e,
+                            kind: EdgeKind::Always,
+                            node,
+                        }),
+                        None => {
+                            edges.push(Edge {
+                                from: si,
+                                to: t,
+                                kind: EdgeKind::Branch { sibling: e },
+                                node,
+                            });
+                            edges.push(Edge {
+                                from: si,
+                                to: e,
+                                kind: EdgeKind::Branch { sibling: t },
+                                node,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    edges
+}
+
+/// Tarjan SCC over `n` nodes with the given (alive) adjacency. Returns the
+/// component id of each node; components with a cycle (size ≥ 2, or a
+/// self-loop) are listed in `cyclic`.
+fn sccs(n: usize, adj: &[Vec<usize>]) -> (Vec<usize>, Vec<bool>) {
+    struct T<'a> {
+        adj: &'a [Vec<usize>],
+        index: Vec<Option<u32>>,
+        low: Vec<u32>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: u32,
+        comp: Vec<usize>,
+        n_comp: usize,
+    }
+    impl T<'_> {
+        fn visit(&mut self, v: usize) {
+            self.index[v] = Some(self.next);
+            self.low[v] = self.next;
+            self.next += 1;
+            self.stack.push(v);
+            self.on_stack[v] = true;
+            for i in 0..self.adj[v].len() {
+                let w = self.adj[v][i];
+                if self.index[w].is_none() {
+                    self.visit(w);
+                    self.low[v] = self.low[v].min(self.low[w]);
+                } else if self.on_stack[w] {
+                    self.low[v] = self.low[v].min(self.index[w].unwrap());
+                }
+            }
+            if self.low[v] == self.index[v].unwrap() {
+                loop {
+                    let w = self.stack.pop().unwrap();
+                    self.on_stack[w] = false;
+                    self.comp[w] = self.n_comp;
+                    if w == v {
+                        break;
+                    }
+                }
+                self.n_comp += 1;
+            }
+        }
+    }
+    let mut t = T {
+        adj,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        comp: vec![0; n],
+        n_comp: 0,
+    };
+    for v in 0..n {
+        if t.index[v].is_none() {
+            t.visit(v);
+        }
+    }
+    let comp = t.comp;
+    let n_comp = t.n_comp;
+    let mut size = vec![0usize; n_comp];
+    for &c in &comp {
+        size[c] += 1;
+    }
+    let mut cyclic = vec![false; n_comp];
+    for (c, s) in size.iter().enumerate() {
+        if *s >= 2 {
+            cyclic[c] = true;
+        }
+    }
+    for (v, a) in adj.iter().enumerate() {
+        if a.contains(&v) {
+            cyclic[comp[v]] = true;
+        }
+    }
+    (comp, cyclic)
+}
+
+fn adjacency(n: usize, edges: &[Edge], alive: &[bool]) -> Vec<Vec<usize>> {
+    let mut adj = vec![Vec::new(); n];
+    for (i, e) in edges.iter().enumerate() {
+        if alive[i] {
+            adj[e.from].push(e.to);
+        }
+    }
+    adj
+}
+
+/// Can `start` reach any node in `targets` over the given adjacency?
+fn reaches(start: usize, targets: &[bool], adj: &[Vec<usize>]) -> bool {
+    let mut seen = vec![false; adj.len()];
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        if targets[v] {
+            return true;
+        }
+        if std::mem::replace(&mut seen[v], true) {
+            continue;
+        }
+        stack.extend(adj[v].iter().copied().filter(|&w| !seen[w]));
+    }
+    false
+}
+
+/// Checks recursion well-foundedness and depth-boundedness. Returns the
+/// hot set: `hot[k]` is `true` when SubGraph `k` lies on a call-graph
+/// cycle (it executes repeatedly within a single inference).
+pub fn check_recursion(m: &Module, diags: &mut Vec<Diagnostic>) -> Vec<bool> {
+    let n = m.subgraphs.len();
+    let edges = collect_edges(m);
+    let full_adj = adjacency(n, &edges, &vec![true; edges.len()]);
+
+    // Hot set from the original edges: anything on a cycle runs O(depth)
+    // times per inference.
+    let (comp0, cyclic0) = sccs(n, &full_adj);
+    let hot: Vec<bool> = (0..n).map(|v| cyclic0[comp0[v]]).collect();
+
+    // Discharge branch edges whose sibling arm escapes the cycle; iterate
+    // because discharging can split an SCC and unlock further escapes.
+    // Sibling reachability is tested over the *original* edges — an arm
+    // that can re-enter the recursion by any path is not a base case.
+    let mut alive = vec![true; edges.len()];
+    loop {
+        let adj = adjacency(n, &edges, &alive);
+        let (comp, cyclic) = sccs(n, &adj);
+        let mut changed = false;
+        for (i, e) in edges.iter().enumerate() {
+            if !alive[i] || comp[e.from] != comp[e.to] || !cyclic[comp[e.from]] {
+                continue;
+            }
+            if let EdgeKind::Branch { sibling } = e.kind {
+                let in_scc: Vec<bool> = (0..n).map(|v| comp[v] == comp[e.from]).collect();
+                if !reaches(sibling, &in_scc, &full_adj) {
+                    alive[i] = false;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Whatever still cycles is ill-founded.
+    let adj = adjacency(n, &edges, &alive);
+    let (comp, cyclic) = sccs(n, &adj);
+    let mut reported = vec![false; comp.iter().map(|c| c + 1).max().unwrap_or(0)];
+    for (i, e) in edges.iter().enumerate() {
+        if !alive[i] || comp[e.from] != comp[e.to] || !cyclic[comp[e.from]] {
+            continue;
+        }
+        let c = comp[e.from];
+        if std::mem::replace(&mut reported[c], true) {
+            continue;
+        }
+        let members: Vec<String> = (0..n)
+            .filter(|&v| comp[v] == c)
+            .map(|v| m.subgraphs[v].name.clone())
+            .collect();
+        // Prefer anchoring at a constant-pinned Cond if the cycle has one:
+        // that is the precise defect (the base case exists but is dead).
+        let pinned = edges.iter().enumerate().find(|(j, e2)| {
+            alive[*j]
+                && e2.kind == EdgeKind::Always
+                && comp[e2.from] == c
+                && comp[e2.to] == c
+                && cyclic[c]
+        });
+        let (code, anchor, detail) = match pinned {
+            Some((_, e2)) => (
+                codes::UNREACHABLE_BASE_CASE,
+                (e2.from, e2.node),
+                format!(
+                    "recursive cycle {{{}}} is guarded by a constant predicate that always \
+                     takes the recursive arm; the base case is statically unreachable",
+                    members.join(", ")
+                ),
+            ),
+            None => (
+                codes::UNGUARDED_RECURSION,
+                (e.from, e.node),
+                format!(
+                    "recursive cycle {{{}}} has no conditionally reachable non-recursive \
+                     exit; every execution path re-enters the cycle",
+                    members.join(", ")
+                ),
+            ),
+        };
+        diags.push(node_diag(
+            m,
+            GraphRef::Sub(SubGraphId(anchor.0 as u32)),
+            anchor.1,
+            Severity::Error,
+            code,
+            Vec::new(),
+            detail,
+        ));
+    }
+
+    check_depth(m, diags);
+    hot
+}
+
+/// Warns when a recursive call forwards every argument unchanged from the
+/// caller's formal inputs — the recursion state is provably identical at
+/// every depth.
+fn check_depth(m: &Module, diags: &mut Vec<Diagnostic>) {
+    for (si, sg) in m.subgraphs.iter().enumerate() {
+        let sid = SubGraphId(si as u32);
+        // Direct self-invoke: W's body calls W. Mirrored (gradient)
+        // invokes are exempt: they replay the *forward* invocation path
+        // and terminate via the cached forward predicate, so unchanged
+        // arguments do not imply unbounded depth.
+        for (ni, node) in sg.graph.nodes.iter().enumerate() {
+            if let OpKind::Invoke { sub, mirror, .. } = node.op {
+                if sub == sid && !mirror && args_are_formals(&sg.graph, &node.inputs) {
+                    push_depth(m, sid, NodeId(ni as u32), node.inputs.len(), diags);
+                }
+            }
+        }
+        // One level of indirection: W's body conds into a branch whose
+        // body calls W with the branch's own formals, which route back to
+        // W's formals through the Cond's inputs.
+        for cnode in sg.graph.nodes.iter() {
+            if let OpKind::Cond {
+                sub_then,
+                sub_else,
+                n_then_in,
+                ..
+            } = cnode.op
+            {
+                for (branch, base) in [(sub_then, 1usize), (sub_else, 1 + n_then_in as usize)] {
+                    let bg = &m.subgraph(branch).graph;
+                    for (ni, inode) in bg.nodes.iter().enumerate() {
+                        let OpKind::Invoke { sub, mirror, .. } = inode.op else {
+                            continue;
+                        };
+                        if sub != sid || mirror {
+                            continue;
+                        }
+                        let all_unchanged = inode.inputs.iter().enumerate().all(|(j, &p)| {
+                            // invoke arg j → branch formal k → cond input
+                            // (base + k) → W formal j, all through
+                            // Identity only.
+                            let bp = trace(bg, p);
+                            let OpKind::Input { index: k, .. } = bg.node(bp.node).op else {
+                                return false;
+                            };
+                            let Some(&cp) = cnode.inputs.get(base + k) else {
+                                return false;
+                            };
+                            let sp = trace(&sg.graph, cp);
+                            matches!(sg.graph.node(sp.node).op,
+                                     OpKind::Input { index, .. } if index == j)
+                        });
+                        if all_unchanged && !inode.inputs.is_empty() {
+                            push_depth(m, branch, NodeId(ni as u32), inode.inputs.len(), diags);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn args_are_formals(g: &Graph, inputs: &[PortRef]) -> bool {
+    !inputs.is_empty()
+        && inputs.iter().enumerate().all(|(j, &p)| {
+            let p = trace(g, p);
+            matches!(g.node(p.node).op, OpKind::Input { index, .. } if index == j)
+        })
+}
+
+fn push_depth(
+    m: &Module,
+    gref_sub: SubGraphId,
+    node: NodeId,
+    n_args: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    diags.push(node_diag(
+        m,
+        GraphRef::Sub(gref_sub),
+        node,
+        Severity::Warning,
+        codes::DEPTH_UNBOUNDED,
+        Vec::new(),
+        format!(
+            "recursive call forwards all {n_args} argument(s) unchanged from the caller's \
+             inputs; the recursion state is identical at every depth"
+        ),
+    ));
+}

@@ -116,6 +116,7 @@ pub struct ModuleBuilder {
     next_site: u32,
     invokes: Vec<InvokeRecord>,
     conds: Vec<CondRecord>,
+    analysis: crate::analyze::AnalysisConfig,
 }
 
 impl Default for ModuleBuilder {
@@ -146,7 +147,18 @@ impl ModuleBuilder {
             next_site: 0,
             invokes: Vec::new(),
             conds: Vec::new(),
+            analysis: crate::analyze::AnalysisConfig::default(),
         }
+    }
+
+    /// Overrides the static-analysis policy applied by
+    /// [`ModuleBuilder::finish`]. The default denies errors (definite
+    /// shape/dtype mismatches, ill-founded recursion, double publishes)
+    /// and allows warnings; pass
+    /// [`AnalysisConfig::allow_all`](crate::analyze::AnalysisConfig::allow_all)
+    /// to build intentionally defective modules (fuzzers, negative tests).
+    pub fn set_analysis(&mut self, cfg: crate::analyze::AnalysisConfig) {
+        self.analysis = cfg;
     }
 
     fn top_uid(&self) -> u32 {
@@ -1049,6 +1061,11 @@ impl ModuleBuilder {
         }
         module.main = self.ctxs.remove(&0).expect("main ctx").graph;
         module.validate()?;
+        // Static analysis closes the builder's historical loophole: invoke
+        // sites only ever checked arity and dtypes, so shape-incompatible
+        // arguments sailed through to a runtime kernel error. The
+        // interprocedural shape pass rejects them here instead.
+        crate::analyze::check_module(&module, &self.analysis)?;
         Ok(module)
     }
 }

@@ -5,24 +5,43 @@
 //! shows each SubGraph as a cluster, `Invoke` edges point at the invoked
 //! cluster, and node positions correspond one-to-one to the user's code.
 
+use crate::analyze::{Diagnostic, Severity};
 use crate::module::Module;
 use crate::op::OpKind;
+use std::collections::HashMap;
 use std::fmt::Write as _;
+
+/// Diagnosed-node overlay: worst severity per `(subgraph, node)`.
+type Overlay = HashMap<(Option<u32>, u32), Severity>;
 
 /// Renders the whole module (main graph + every SubGraph) as a DOT digraph.
 pub fn module_to_dot(m: &Module) -> String {
+    module_to_dot_annotated(m, &[])
+}
+
+/// Like [`module_to_dot`], but colors diagnosed nodes: errors fill
+/// `lightcoral`, warnings `orange` (`rdg_lint --dot` uses this so a defect
+/// is visible at a glance in the rendered module).
+pub fn module_to_dot_annotated(m: &Module, diags: &[Diagnostic]) -> String {
+    let mut overlay: Overlay = HashMap::new();
+    for d in diags {
+        let Some(node) = d.node else { continue };
+        let key = (d.subgraph.map(|s| s.0), node.0);
+        let sev = overlay.entry(key).or_insert(d.severity);
+        *sev = (*sev).max(d.severity);
+    }
     let mut s = String::new();
     let _ = writeln!(s, "digraph module {{");
     let _ = writeln!(s, "  rankdir=LR; node [shape=box, fontsize=10];");
-    emit_graph(&mut s, m, None);
+    emit_graph(&mut s, m, None, &overlay);
     for sg in &m.subgraphs {
-        emit_graph(&mut s, m, Some(sg.id.0));
+        emit_graph(&mut s, m, Some(sg.id.0), &overlay);
     }
     let _ = writeln!(s, "}}");
     s
 }
 
-fn emit_graph(s: &mut String, m: &Module, sg: Option<u32>) {
+fn emit_graph(s: &mut String, m: &Module, sg: Option<u32>, overlay: &Overlay) {
     let (graph, label, prefix) = match sg {
         None => (&m.main, "main".to_string(), "m".to_string()),
         Some(i) => {
@@ -33,13 +52,18 @@ fn emit_graph(s: &mut String, m: &Module, sg: Option<u32>) {
     let _ = writeln!(s, "  subgraph cluster_{prefix} {{");
     let _ = writeln!(s, "    label=\"{}\";", escape(&label));
     for (i, node) in graph.nodes.iter().enumerate() {
-        let color = match &node.op {
-            OpKind::Invoke { .. } => ", style=filled, fillcolor=lightblue",
-            OpKind::Cond { .. } => ", style=filled, fillcolor=lightyellow",
-            OpKind::Input { .. } => ", style=filled, fillcolor=lightgray",
-            OpKind::Param(_) => ", style=filled, fillcolor=lightgreen",
-            OpKind::FwdValue { .. } => ", style=dashed",
-            _ => "",
+        // Diagnostic coloring wins over the structural palette.
+        let color = match overlay.get(&(sg, i as u32)) {
+            Some(Severity::Error) => ", style=filled, fillcolor=lightcoral, penwidth=2",
+            Some(Severity::Warning) => ", style=filled, fillcolor=orange, penwidth=2",
+            None => match &node.op {
+                OpKind::Invoke { .. } => ", style=filled, fillcolor=lightblue",
+                OpKind::Cond { .. } => ", style=filled, fillcolor=lightyellow",
+                OpKind::Input { .. } => ", style=filled, fillcolor=lightgray",
+                OpKind::Param(_) => ", style=filled, fillcolor=lightgreen",
+                OpKind::FwdValue { .. } => ", style=dashed",
+                _ => "",
+            },
         };
         let _ = writeln!(
             s,

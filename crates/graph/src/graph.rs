@@ -57,12 +57,18 @@ pub enum GraphError {
         port: String,
         /// The producer's actual output arity.
         arity: usize,
+        /// Producer node as `name (OpKind)`.
+        producer: String,
+        /// Where the reference occurred (`graph/consumer`).
+        ctx: String,
     },
     /// The graph contains a dependency cycle (within one graph — recursion
     /// between SubGraphs is fine, cycles between *nodes* are not).
     Cycle {
         /// Graph name for diagnostics.
         graph: String,
+        /// Names of (some of) the nodes stuck on the cycle.
+        nodes: String,
     },
     /// A wire was used in a scope where its defining graph is not visible.
     OutOfScope {
@@ -84,6 +90,15 @@ pub enum GraphError {
         /// Description.
         msg: String,
     },
+    /// The static analyzer rejected the module (see
+    /// [`crate::analyze::check_module`]).
+    Analysis {
+        /// The first denied diagnostic's stable code (e.g.
+        /// `"shape-mismatch"`).
+        code: &'static str,
+        /// Rendering of every denied diagnostic.
+        msg: String,
+    },
 }
 
 impl GraphError {
@@ -101,16 +116,30 @@ impl fmt::Display for GraphError {
             GraphError::DanglingNode { node, ctx } => {
                 write!(f, "dangling node id n{node} referenced from {ctx}")
             }
-            GraphError::BadPort { port, arity } => {
-                write!(f, "port {port} out of range (producer has {arity} outputs)")
+            GraphError::BadPort {
+                port,
+                arity,
+                producer,
+                ctx,
+            } => {
+                write!(
+                    f,
+                    "port {port} out of range: producer {producer} has {arity} output(s), \
+                     referenced from {ctx}"
+                )
             }
-            GraphError::Cycle { graph } => write!(f, "graph '{graph}' contains a cycle"),
+            GraphError::Cycle { graph, nodes } => {
+                write!(f, "graph '{graph}' contains a cycle through [{nodes}]")
+            }
             GraphError::OutOfScope { wire } => write!(f, "wire {wire} is not in scope"),
             GraphError::SignatureMismatch { msg } => write!(f, "signature mismatch: {msg}"),
             GraphError::Undefined { name } => {
                 write!(f, "SubGraph '{name}' was declared but never defined")
             }
             GraphError::Invalid { msg } => write!(f, "invalid graph: {msg}"),
+            GraphError::Analysis { code, msg } => {
+                write!(f, "static analysis rejected the module [{code}]: {msg}")
+            }
         }
     }
 }
@@ -236,8 +265,21 @@ impl Graph {
             }
         }
         if order.len() != n {
+            let mut done = vec![false; n];
+            for id in &order {
+                done[id.0 as usize] = true;
+            }
+            let stuck: Vec<&str> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !done[*i])
+                .map(|(_, nd)| nd.name.as_str())
+                .take(4)
+                .collect();
             return Err(GraphError::Cycle {
                 graph: name.to_string(),
+                nodes: stuck.join(", "),
             });
         }
         Ok(order)
@@ -257,9 +299,12 @@ impl Graph {
                 }
                 let arity = self.nodes[pid].op.n_outputs();
                 if inp.port as usize >= arity {
+                    let p = &self.nodes[pid];
                     return Err(GraphError::BadPort {
                         port: inp.to_string(),
                         arity,
+                        producer: format!("{} ({})", p.name, p.op.mnemonic()),
+                        ctx: format!("{name}/{}", node.name),
                     });
                 }
             }
@@ -282,9 +327,12 @@ impl Graph {
             }
             let arity = self.nodes[out.node.0 as usize].op.n_outputs();
             if out.port as usize >= arity {
+                let p = &self.nodes[out.node.0 as usize];
                 return Err(GraphError::BadPort {
                     port: out.to_string(),
                     arity,
+                    producer: format!("{} ({})", p.name, p.op.mnemonic()),
+                    ctx: format!("{name}/outputs"),
                 });
             }
         }

@@ -26,6 +26,7 @@
 //! synthesizing gradient SubGraphs with mirrored call sites.
 
 pub mod analysis;
+pub mod analyze;
 pub mod builder;
 pub mod dot;
 pub mod graph;
@@ -34,6 +35,10 @@ pub mod op;
 pub mod subgraph;
 
 pub use analysis::{op_histogram, work_span, WorkSpan};
+pub use analyze::{
+    analyze_module, check_module, fuse_class, AbsDim, AbsShape, AnalysisConfig, AnalysisReport,
+    BatchabilityReport, Diagnostic, FuseClass, Severity, ShapeMap,
+};
 pub use builder::{ModuleBuilder, SubGraphHandle, Wire};
 pub use graph::{Graph, GraphError, Node, NodeId, PortRef};
 pub use module::{GraphRef, Module, ParamSpec};

@@ -1,0 +1,244 @@
+//! `rdg_lint` — static analysis over the built-in model zoo.
+//!
+//! Runs the plan-time analyzer (interprocedural shape/dtype inference,
+//! recursion well-foundedness, liveness, batchability) over every shipped
+//! model — forward and training twins — plus the quickstart fib module,
+//! and reports structured diagnostics.
+//!
+//! ```text
+//! rdg_lint [NAME-FILTER ...] [--deny-warnings] [--quiet]
+//!          [--json <path|->] [--dot <dir>]
+//! ```
+//!
+//! * `--deny-warnings` — exit nonzero on warnings too (CI mode).
+//! * `--json` — write a machine-readable diagnostics report.
+//! * `--dot` — write one annotated Graphviz file per model; diagnosed
+//!   nodes are colored (errors `lightcoral`, warnings `orange`).
+//! * Positional arguments filter the zoo by substring match.
+//!
+//! Exit code: `0` clean under the active policy, `1` denied diagnostics,
+//! `2` usage error.
+
+use rdg::autodiff::build_training_module;
+use rdg::graph::analyze::{analyze_module, AnalysisConfig, AnalysisReport};
+use rdg::graph::dot::module_to_dot_annotated;
+use rdg::graph::{Module, ModuleBuilder};
+use rdg::models::{
+    build_iterative, build_recursive, build_td_iterative, build_td_recursive, ModelConfig,
+    ModelKind, TdConfig,
+};
+use rdg::tensor::DType;
+
+/// The fib quickstart from the crate docs: the smallest recursive module.
+fn fib_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let fib = mb.declare_subgraph("fib", &[DType::I32], &[DType::I32]);
+    mb.define_subgraph(&fib, |b| {
+        let n = b.input(0)?;
+        let one = b.const_i32(1);
+        let base = b.ile(n, one)?;
+        let out = b.cond1(
+            base,
+            DType::I32,
+            |b| b.identity(n),
+            |b| {
+                let a = b.isub(n, one)?;
+                let two = b.const_i32(2);
+                let c = b.isub(n, two)?;
+                let fa = b.invoke(&fib, &[a])?[0];
+                let fc = b.invoke(&fib, &[c])?[0];
+                b.iadd(fa, fc)
+            },
+        )?;
+        Ok(vec![out])
+    })
+    .expect("fib body");
+    let n = mb.main_input(DType::I32);
+    let out = mb.invoke(&fib, &[n]).expect("fib invoke")[0];
+    mb.set_outputs(&[out]).expect("outputs");
+    mb.finish().expect("fib module")
+}
+
+/// Builds the zoo: every shipped model (tiny config, batch 4) in forward
+/// and training form, the TD models, and the quickstart fib.
+fn zoo() -> Vec<(String, Module)> {
+    let mut out: Vec<(String, Module)> = Vec::new();
+    for (kind, kname) in [
+        (ModelKind::TreeRnn, "tree-rnn"),
+        (ModelKind::Rntn, "rntn"),
+        (ModelKind::TreeLstm, "tree-lstm"),
+    ] {
+        let cfg = ModelConfig::tiny(kind, 4);
+        for (style, build) in [
+            (
+                "rec",
+                build_recursive as fn(&ModelConfig) -> rdg::graph::Result<Module>,
+            ),
+            (
+                "itr",
+                build_iterative as fn(&ModelConfig) -> rdg::graph::Result<Module>,
+            ),
+        ] {
+            let m = build(&cfg).expect("model build");
+            let t = build_training_module(&m, m.main.outputs[0]).expect("training build");
+            out.push((format!("{kname}-{style}"), m));
+            out.push((format!("{kname}-{style}-train"), t));
+        }
+    }
+    let td = TdConfig::tiny(4);
+    let mr = build_td_recursive(&td).expect("td rec");
+    let mi = build_td_iterative(&td).expect("td itr");
+    // TD outputs: [0] generated-node count (i32), [1] mean state (f32 loss).
+    let tr = build_training_module(&mr, mr.main.outputs[1]).expect("td rec train");
+    let ti = build_training_module(&mi, mi.main.outputs[1]).expect("td itr train");
+    out.push(("td-treelstm-rec".to_string(), mr));
+    out.push(("td-treelstm-rec-train".to_string(), tr));
+    out.push(("td-treelstm-itr".to_string(), mi));
+    out.push(("td-treelstm-itr-train".to_string(), ti));
+    out.push(("quickstart-fib".to_string(), fib_module()));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn report_json(name: &str, m: &Module, report: &AnalysisReport) -> String {
+    let mut diags = Vec::new();
+    for d in &report.diagnostics {
+        let ports = d
+            .ports
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        diags.push(format!(
+            "{{\"severity\":\"{}\",\"code\":\"{}\",\"graph\":\"{}\",\"node\":{},\"ports\":[{}],\"message\":\"{}\"}}",
+            d.severity,
+            d.code,
+            json_escape(&m.graph_name(d.graph_ref())),
+            d.node.map(|n| n.0.to_string()).unwrap_or_else(|| "null".to_string()),
+            ports,
+            json_escape(&d.message),
+        ));
+    }
+    format!(
+        "{{\"model\":\"{}\",\"errors\":{},\"warnings\":{},\"hot_coverage\":{:.4},\"diagnostics\":[{}]}}",
+        json_escape(name),
+        report.errors().count(),
+        report.warnings().count(),
+        report.batchability.hot_coverage(),
+        diags.join(",")
+    )
+}
+
+fn main() {
+    let mut deny_warnings = false;
+    let mut quiet = false;
+    let mut json_path: Option<String> = None;
+    let mut dot_dir: Option<String> = None;
+    let mut filters: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--quiet" | "-q" => quiet = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => usage_error("--json requires a path (or '-')"),
+            },
+            "--dot" => match args.next() {
+                Some(d) => dot_dir = Some(d),
+                None => usage_error("--dot requires a directory"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "rdg_lint [NAME-FILTER ...] [--deny-warnings] [--quiet] \
+                     [--json <path|->] [--dot <dir>]"
+                );
+                return;
+            }
+            f if !f.starts_with('-') => filters.push(f.to_string()),
+            other => usage_error(&format!("unknown flag '{other}'")),
+        }
+    }
+
+    let cfg = if deny_warnings {
+        AnalysisConfig::deny_all()
+    } else {
+        AnalysisConfig::default()
+    };
+
+    if let Some(dir) = &dot_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("rdg_lint: cannot create {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    let mut total_denied = 0usize;
+    let mut model_jsons = Vec::new();
+    for (name, m) in zoo() {
+        if !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str())) {
+            continue;
+        }
+        let report = analyze_module(&m);
+        let denied = report.denied(&cfg).count();
+        total_denied += denied;
+        if !quiet {
+            for d in &report.diagnostics {
+                println!("{name}: {d}");
+            }
+        }
+        println!(
+            "{name}: {} error(s), {} warning(s), hot fusion coverage {:.0}%{}",
+            report.errors().count(),
+            report.warnings().count(),
+            100.0 * report.batchability.hot_coverage(),
+            if denied > 0 { "  [DENIED]" } else { "" },
+        );
+        if let Some(dir) = &dot_dir {
+            let path = format!("{dir}/{name}.dot");
+            if let Err(e) = std::fs::write(&path, module_to_dot_annotated(&m, &report.diagnostics))
+            {
+                eprintln!("rdg_lint: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        model_jsons.push(report_json(&name, &m, &report));
+    }
+
+    if let Some(path) = &json_path {
+        let body = format!(
+            "{{\"deny_warnings\":{deny_warnings},\"denied\":{total_denied},\"models\":[{}]}}\n",
+            model_jsons.join(",")
+        );
+        if path == "-" {
+            print!("{body}");
+        } else if let Err(e) = std::fs::write(path, body) {
+            eprintln!("rdg_lint: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if total_denied > 0 {
+        eprintln!("rdg_lint: {total_denied} denied diagnostic(s)");
+        std::process::exit(1);
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("rdg_lint: {msg}");
+    std::process::exit(2);
+}

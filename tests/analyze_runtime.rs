@@ -1,0 +1,81 @@
+//! Soundness of the shape analyzer against the real executor.
+//!
+//! Random constant-leaf expression graphs are built with the analyzer
+//! *disabled*, then analyzed. The contract, both directions:
+//!
+//! * analyzer-clean (zero errors) ⇒ the module plans and executes without
+//!   any runtime error — no kernel shape failure slips past the analyzer;
+//! * analyzer errors ⇒ the plan-time gate ([`ModulePlan::new`] via
+//!   [`Session::new`]) rejects the module before a single frame spawns.
+
+use proptest::prelude::*;
+use rdg::exec::{ExecError, Executor, Session};
+use rdg::graph::analyze::{analyze_module, AnalysisConfig};
+use rdg::graph::{GraphError, ModuleBuilder, Wire};
+use rdg::tensor::Tensor;
+
+/// Leaf pool: shapes chosen so some pairs are compatible (element-wise or
+/// matmul) and some are not.
+fn leaf(mb: &mut ModuleBuilder, which: u8) -> Wire {
+    let t = match which % 5 {
+        0 => Tensor::from_f32(vec![2, 3], vec![0.25; 6]).unwrap(),
+        1 => Tensor::from_f32(vec![3, 2], vec![0.5; 6]).unwrap(),
+        2 => Tensor::from_f32(vec![2, 2], vec![0.75; 4]).unwrap(),
+        3 => Tensor::from_f32(vec![3], vec![1.0; 3]).unwrap(),
+        _ => Tensor::scalar_f32(2.0),
+    };
+    mb.constant(t)
+}
+
+proptest! {
+    #[test]
+    fn analyzer_clean_graphs_execute(
+        (leaves, ops) in (
+            prop::collection::vec(0u8..5, 2..5),
+            prop::collection::vec((0u8..8, 0usize..64, 0usize..64), 1..12),
+        )
+    ) {
+        let mut mb = ModuleBuilder::new();
+        // Bypass the build-time gate: this test *wants* bad modules to get
+        // through so it can check the analyzer verdict against reality.
+        mb.set_analysis(AnalysisConfig::allow_all());
+        let mut pool: Vec<Wire> = leaves.iter().map(|&w| leaf(&mut mb, w)).collect();
+        for &(op, ai, bi) in &ops {
+            let a = pool[ai % pool.len()];
+            let b = pool[bi % pool.len()];
+            let r = match op {
+                0 => mb.add(a, b),
+                1 => mb.sub(a, b),
+                2 => mb.mul(a, b),
+                3 => mb.matmul(a, b),
+                4 => mb.concat_cols(a, b),
+                5 => mb.tanh(a),
+                6 => mb.transpose(a),
+                _ => mb.sum_all(a),
+            };
+            pool.push(r.unwrap());
+        }
+        let last = *pool.last().unwrap();
+        mb.set_outputs(&[last]).unwrap();
+        let m = mb.finish().unwrap();
+
+        let clean = analyze_module(&m).errors().count() == 0;
+        let session = Session::new(Executor::with_threads(1), m);
+        if clean {
+            let s = session.expect("analyzer-clean module must plan");
+            let out = s.run(vec![]);
+            prop_assert!(
+                out.is_ok(),
+                "analyzer-clean module failed at run time: {:?}",
+                out.err()
+            );
+        } else {
+            // The plan-time gate must stop it before execution.
+            match session {
+                Err(ExecError::Graph(GraphError::Analysis { .. })) => {}
+                Err(e) => prop_assert!(false, "expected Analysis rejection, got {e}"),
+                Ok(_) => prop_assert!(false, "dirty module planned without rejection"),
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The analyzer's false-positive and soundness contracts over shipped code.
+//!
+//! 1. Every built-in model — forward and training twin — and the quickstart
+//!    fib module must analyze *completely* clean: zero errors, zero
+//!    warnings. The lint gate in CI runs with `--deny-warnings`, so any
+//!    false positive here would block every build.
+//! 2. The static batchability prediction must be a superset of what the
+//!    serving executor actually fuses: every node the plan marks fusable
+//!    is predicted eligible.
+
+use rdg::autodiff::build_training_module;
+use rdg::exec::ModulePlan;
+use rdg::graph::analyze::analyze_module;
+use rdg::graph::{GraphRef, Module, NodeId, SubGraphId};
+use rdg::models::{
+    build_iterative, build_recursive, build_td_iterative, build_td_recursive, ModelConfig,
+    ModelKind, TdConfig,
+};
+use std::sync::Arc;
+
+fn zoo() -> Vec<(String, Module)> {
+    let mut out = Vec::new();
+    for (kind, kname) in [
+        (ModelKind::TreeRnn, "tree-rnn"),
+        (ModelKind::Rntn, "rntn"),
+        (ModelKind::TreeLstm, "tree-lstm"),
+    ] {
+        let cfg = ModelConfig::tiny(kind, 4);
+        for (style, m) in [
+            ("rec", build_recursive(&cfg).unwrap()),
+            ("itr", build_iterative(&cfg).unwrap()),
+        ] {
+            let t = build_training_module(&m, m.main.outputs[0]).unwrap();
+            out.push((format!("{kname}-{style}"), m));
+            out.push((format!("{kname}-{style}-train"), t));
+        }
+    }
+    let td = TdConfig::tiny(4);
+    for (name, m) in [
+        ("td-rec", build_td_recursive(&td).unwrap()),
+        ("td-itr", build_td_iterative(&td).unwrap()),
+    ] {
+        // TD outputs: [0] generated-node count (i32), [1] mean state (f32).
+        let t = build_training_module(&m, m.main.outputs[1]).unwrap();
+        out.push((name.to_string(), m));
+        out.push((format!("{name}-train"), t));
+    }
+    out
+}
+
+#[test]
+fn shipped_models_analyze_clean() {
+    for (name, m) in zoo() {
+        let report = analyze_module(&m);
+        assert!(
+            report.diagnostics.is_empty(),
+            "{name}: expected zero diagnostics, got: {}",
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+}
+
+#[test]
+fn batchability_prediction_covers_planned_fusion() {
+    for (name, m) in zoo() {
+        let report = analyze_module(&m);
+        let plan = ModulePlan::new(Arc::new(m)).unwrap();
+
+        let mut grefs = vec![GraphRef::Main];
+        grefs.extend((0..plan.module.subgraphs.len()).map(|k| GraphRef::Sub(SubGraphId(k as u32))));
+        let mut planned_fusable = 0usize;
+        for gref in grefs {
+            for (i, f) in plan.plan(gref).fuse.iter().enumerate() {
+                if f.is_some() {
+                    planned_fusable += 1;
+                    assert!(
+                        report.batchability.is_eligible(gref, NodeId(i as u32)),
+                        "{name}: plan fuses {} node {i} but the analyzer did not predict it",
+                        plan.module.graph_name(gref),
+                    );
+                }
+            }
+        }
+        // Sanity: the recursive models must predict *some* fusable work,
+        // otherwise the coverage metric is vacuous.
+        if name.ends_with("rec") {
+            assert!(
+                planned_fusable > 0,
+                "{name}: no fusable nodes planned at all"
+            );
+        }
+    }
+}
+
+#[test]
+fn recursive_models_report_hot_coverage() {
+    for (name, m) in zoo() {
+        let report = analyze_module(&m);
+        if name.ends_with("-rec") || name.ends_with("-rec-train") {
+            let cov = report.batchability.hot_coverage();
+            assert!(
+                cov > 0.0,
+                "{name}: recursive model should have hot fusion coverage > 0"
+            );
+        }
+    }
+}
