@@ -13,12 +13,20 @@
 //!   recursive models actually execute.
 //! * `scheduler/{fifo,depth_priority}` — scheduling-policy ablation on the
 //!   same fib shape.
+//! * `specialize/{invoke_chain/1000,fib/16}` — the same workloads through
+//!   the plan specializer (inlining + hot-shape unrolling): the B side of
+//!   the PR 10 A/B. The `dispatch`/`recursion` groups above are pinned to
+//!   [`SpecializeOptions::disabled`] so they stay the A baseline whatever
+//!   `RDG_SPECIALIZE` says.
 //!
 //! Set `CRITERION_JSON=results/executor_overhead.json` to append one JSON
 //! record per benchmark (see the criterion shim docs); `PERFORMANCE.md`
-//! tracks the medians across PRs.
+//! tracks the medians across PRs. The `specialize` group additionally
+//! appends one `{"spec_stats": …}` record per workload carrying the
+//! specializer's hit/miss/promotion counters.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdg_core::exec::SpecializeOptions;
 use rdg_core::prelude::*;
 use std::sync::Arc;
 
@@ -57,11 +65,21 @@ fn dispatch_bench(c: &mut Criterion) {
     g.sample_size(20);
     let exec = Executor::with_threads(2);
     for n in [100usize, 1000] {
-        let sess = Session::new(Arc::clone(&exec), chain_module(n)).expect("session");
+        let sess = Session::with_options(
+            Arc::clone(&exec),
+            chain_module(n),
+            SpecializeOptions::disabled(),
+        )
+        .expect("session");
         g.bench_with_input(BenchmarkId::new("op_chain", n), &n, |b, _| {
             b.iter(|| sess.run(vec![]).expect("run"))
         });
-        let sess = Session::new(Arc::clone(&exec), invoke_chain_module(n)).expect("session");
+        let sess = Session::with_options(
+            Arc::clone(&exec),
+            invoke_chain_module(n),
+            SpecializeOptions::disabled(),
+        )
+        .expect("session");
         g.bench_with_input(BenchmarkId::new("invoke_chain", n), &n, |b, _| {
             b.iter(|| sess.run(vec![]).expect("run"))
         });
@@ -110,7 +128,12 @@ fn recursion_bench(c: &mut Criterion) {
     g.sample_size(10);
     let exec = Executor::with_threads(2);
     for n in [12i32, 16] {
-        let sess = Session::new(Arc::clone(&exec), fib_module(n)).expect("session");
+        let sess = Session::with_options(
+            Arc::clone(&exec),
+            fib_module(n),
+            SpecializeOptions::disabled(),
+        )
+        .expect("session");
         g.bench_with_input(BenchmarkId::new("fib", n), &n, |b, _| {
             b.iter(|| sess.run(vec![]).expect("run"))
         });
@@ -129,11 +152,101 @@ fn scheduler_bench(c: &mut Criterion) {
         ("depth_priority", SchedulerKind::DepthPriority),
     ] {
         let exec = Executor::new(2, kind);
-        let sess = Session::new(exec, module.clone()).expect("session");
+        // Pinned general: a promoted flat plan has no frames to schedule,
+        // which would turn the policy ablation into a no-op.
+        let sess = Session::with_options(exec, module.clone(), SpecializeOptions::disabled())
+            .expect("session");
         g.bench_function(name, |b| b.iter(|| sess.run(vec![]).expect("run")));
     }
     g.finish();
 }
 
-criterion_group!(benches, dispatch_bench, recursion_bench, scheduler_bench);
+/// Appends one JSON line with the session's specializer counters to the
+/// `CRITERION_JSON` file (the same trajectory the criterion shim writes),
+/// so the A/B in `results/` carries hit-rate alongside the timings.
+fn record_spec_stats(workload: &str, sess: &Session) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let s = sess.plan().spec_stats();
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        use std::io::Write as _;
+        let hit_rate = if s.hits + s.misses > 0 {
+            s.hits as f64 / (s.hits + s.misses) as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            f,
+            "{{\"spec_stats\":\"{workload}\",\"inlined_invokes\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{hit_rate:.4},\"promotions\":{},\"promoted_plans\":{},\"unrolled_frames\":{},\"folded_ops\":{},\"residual_frames\":{},\"unix_time\":{unix_time}}}",
+            s.inlined_invokes,
+            s.hits,
+            s.misses,
+            s.promotions,
+            s.promoted_plans,
+            s.unrolled_frames,
+            s.folded_ops,
+            s.residual_frames,
+        );
+    }
+}
+
+fn specialize_bench(c: &mut Criterion) {
+    // The B side of the PR 10 A/B: identical workloads to
+    // `dispatch/invoke_chain/1000` and `recursion/fib/16`, run through the
+    // plan specializer. Two warmup runs cross the `hot_after` promotion
+    // threshold before measurement, matching a warmed serving process.
+    let mut g = c.benchmark_group("specialize");
+    g.sample_size(20);
+    let exec = Executor::with_threads(2);
+
+    let sess = Session::with_options(
+        Arc::clone(&exec),
+        invoke_chain_module(1000),
+        SpecializeOptions::default(),
+    )
+    .expect("session");
+    for _ in 0..2 {
+        sess.run(vec![]).expect("warmup");
+    }
+    g.bench_with_input(BenchmarkId::new("invoke_chain", 1000), &1000, |b, _| {
+        b.iter(|| sess.run(vec![]).expect("run"))
+    });
+    record_spec_stats("invoke_chain/1000", &sess);
+
+    let sess = Session::with_options(
+        Arc::clone(&exec),
+        fib_module(16),
+        SpecializeOptions::default(),
+    )
+    .expect("session");
+    for _ in 0..2 {
+        sess.run(vec![]).expect("warmup");
+    }
+    g.bench_with_input(BenchmarkId::new("fib", 16), &16, |b, _| {
+        b.iter(|| sess.run(vec![]).expect("run"))
+    });
+    record_spec_stats("fib/16", &sess);
+
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    dispatch_bench,
+    recursion_bench,
+    scheduler_bench,
+    specialize_bench
+);
 criterion_main!(benches);

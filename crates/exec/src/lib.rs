@@ -106,7 +106,8 @@ pub use error::ExecError;
 pub use executor::{Executor, RunHandle};
 pub use params::{GradStore, ParamStore};
 pub use path::PathKey;
-pub use plan::{ExecutionPlan, ModulePlan};
+pub use plan::specialize::{Provenance, SpecializeOptions};
+pub use plan::{ExecutionPlan, ModulePlan, SpecKey, SpecStats};
 pub use queue::SchedulerKind;
 pub use serve::{
     ClassStats, LatencyPercentiles, Priority, ReplicaSnapshot, ServeClient, ServeConfig,

@@ -61,7 +61,20 @@ use parking_lot::Mutex;
 use rdg_graph::CallSiteId;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, OnceLock};
+
+/// Quiescent points counted since the last epoch flush (see
+/// [`PathKey::note_run_quiescent`]).
+static QUIESCENT_POINTS: AtomicU32 = AtomicU32::new(0);
+
+/// Flush the interner after this many quiescent points regardless of size.
+const FLUSH_EVERY_QUIESCENT: u32 = 64;
+/// Minimum quiescent points before a size-triggered flush (avoids
+/// thrashing a workload that legitimately holds a big live path set).
+const FLUSH_MIN_QUIESCENT: u32 = 8;
+/// Size-triggered flush threshold, in interned path nodes.
+const FLUSH_LEN_TRIGGER: usize = 4096;
 
 #[derive(Debug)]
 struct PathNode {
@@ -284,6 +297,29 @@ impl PathKey {
             }
         }
         flushed
+    }
+
+    /// Notes that a run (or wave of runs) has fully completed — a
+    /// *quiescent point* where no frame holds a [`PathKey`] — and
+    /// periodically flushes the interner.
+    ///
+    /// Long-lived sessions doing bare `run`/`run_many` never pass a serve
+    /// shutdown, so without this hook every distinct recursion shape they
+    /// ever executed stays interned for the life of the process
+    /// (value-dependent `Cond` branching makes paths effectively
+    /// per-input, so varied workloads grow the table without bound). The
+    /// flush is epoch-scoped: it runs every `FLUSH_EVERY_QUIESCENT`
+    /// quiescent points, or sooner once the table exceeds
+    /// `FLUSH_LEN_TRIGGER` nodes, and reclaims only retired chains —
+    /// paths shared with in-flight runs survive untouched.
+    pub fn note_run_quiescent() {
+        let n = QUIESCENT_POINTS.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= FLUSH_EVERY_QUIESCENT
+            || (n >= FLUSH_MIN_QUIESCENT && Self::interner_len() > FLUSH_LEN_TRIGGER)
+        {
+            QUIESCENT_POINTS.store(0, Ordering::Relaxed);
+            Self::flush_interner();
+        }
     }
 
     /// Returns `true` when `self` and `other` share the same interned node

@@ -46,9 +46,14 @@
 //! assert!(main.queued_sources.is_empty());
 //! ```
 
+pub mod specialize;
+
 use rdg_graph::{GraphRef, Module, NodeId, OpKind, SubGraphId};
 use rdg_tensor::{DType, Tensor};
-use std::sync::Arc;
+use specialize::{Provenance, SpecializeOptions};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// How one prelude node's outputs are produced at frame-spawn time.
 pub enum PreludeValue {
@@ -195,12 +200,101 @@ impl ExecutionPlan {
     }
 }
 
+/// A promoted-but-unobserved feed signature, handed back by
+/// [`ModulePlan::resolve_for_feeds`] so the caller can report the run's
+/// frame count via [`ModulePlan::observe_run`] once it completes.
+pub struct SpecKey(Vec<u8>);
+
+/// Counters describing what the plan-time specializer has done for one
+/// [`ModulePlan`] so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// `Invoke` nodes eliminated by inlining at plan build.
+    pub inlined_invokes: usize,
+    /// Runs dispatched to a promoted (specialized) plan.
+    pub hits: u64,
+    /// Runs that took the general frame machinery.
+    pub misses: u64,
+    /// Feed signatures promoted to specialized plans.
+    pub promotions: u64,
+    /// Specialized plans currently cached.
+    pub promoted_plans: usize,
+    /// Call frames (`Invoke` + statically resolved `Cond`) expanded away at
+    /// plan time across all promotions.
+    pub unrolled_frames: u64,
+    /// Ops constant-folded through the kernels across all promotions.
+    pub folded_ops: u64,
+    /// Residual `Invoke`/`Cond` frames left in promoted plans (the general
+    /// fallback edges inside otherwise-flat plans).
+    pub residual_frames: u64,
+}
+
+/// One profiled feed signature: how often it recurred and (when a session
+/// observed a completed run) how many frames the general path spawned for
+/// it — the `PathKey`-derived signal that promotion is worth it.
+#[derive(Default)]
+struct ProfEntry {
+    count: u32,
+    max_frames: u64,
+}
+
+#[derive(Default)]
+struct SpecTable {
+    profile: HashMap<Vec<u8>, ProfEntry>,
+    promoted: HashMap<Vec<u8>, Arc<ModulePlan>>,
+    blacklist: HashSet<Vec<u8>>,
+}
+
+/// Feed signatures profiled before the table stops admitting new ones
+/// (bounds memory under adversarial feed streams).
+const PROFILE_CAP: usize = 4096;
+
+/// Mutable specializer state attached to a plan built with specialization
+/// enabled. Promoted plans live and die with the owning [`ModulePlan`] —
+/// dropping the plan drops its whole specialized cache, so invalidation is
+/// keyed exactly like the plan itself.
+struct SpecState {
+    opts: SpecializeOptions,
+    inlined: usize,
+    unrollable: bool,
+    table: Mutex<SpecTable>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    promotions: AtomicU64,
+    unrolled_frames: AtomicU64,
+    folded_ops: AtomicU64,
+    residual_frames: AtomicU64,
+}
+
+impl SpecState {
+    fn new(opts: SpecializeOptions, inlined: usize) -> Self {
+        SpecState {
+            opts,
+            inlined,
+            unrollable: false,
+            table: Mutex::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            promotions: AtomicU64::new(0),
+            unrolled_frames: AtomicU64::new(0),
+            folded_ops: AtomicU64::new(0),
+            residual_frames: AtomicU64::new(0),
+        }
+    }
+}
+
 /// All plans for a module, plus the module itself.
 pub struct ModulePlan {
     /// The planned module.
     pub module: Arc<Module>,
     main: ExecutionPlan,
     subs: Vec<ExecutionPlan>,
+    /// Node provenance when this plan's graphs were rewritten by the
+    /// specializer (inlined, or an unrolled promotion).
+    provenance: Option<Provenance>,
+    /// Specializer state; `None` when built with specialization disabled
+    /// (and on promoted plans, which must not re-specialize).
+    spec: Option<SpecState>,
 }
 
 impl ModulePlan {
@@ -209,16 +303,85 @@ impl ModulePlan {
     /// ill-founded recursion, double publishes) reject the module before a
     /// single frame spawns; the inferred abstract shapes are recorded on
     /// each [`ExecutionPlan`] for downstream specialization.
+    ///
+    /// Plan-time specialization runs with the environment-default options
+    /// ([`SpecializeOptions::from_env`], i.e. the `RDG_SPECIALIZE` toggle);
+    /// use [`ModulePlan::with_options`] to pin behavior programmatically.
     pub fn new(module: Arc<Module>) -> rdg_graph::Result<Arc<Self>> {
+        Self::with_options(module, SpecializeOptions::from_env())
+    }
+
+    /// Like [`ModulePlan::new`], with explicit specializer options.
+    pub fn with_options(
+        module: Arc<Module>,
+        opts: SpecializeOptions,
+    ) -> rdg_graph::Result<Arc<Self>> {
         module.validate()?;
+        let mut plan = if opts.inline {
+            match specialize::inline_trivial_invokes(&module) {
+                // The inlined module must independently survive validation
+                // and analysis; if it somehow does not, the original module
+                // is planned unchanged (inlining is an optimization, never
+                // a new failure mode).
+                Some(outcome) => {
+                    let inlined_module = Arc::new(outcome.module);
+                    match inlined_module
+                        .validate()
+                        .and_then(|()| Self::build_graphs(&inlined_module))
+                    {
+                        Ok((main, subs)) => ModulePlan {
+                            module: inlined_module,
+                            main,
+                            subs,
+                            provenance: Some(outcome.provenance),
+                            spec: Some(SpecState::new(opts.clone(), outcome.inlined)),
+                        },
+                        Err(_) => Self::build_plain(module)?,
+                    }
+                }
+                None => Self::build_plain(module)?,
+            }
+        } else {
+            Self::build_plain(module)?
+        };
+        if opts.enabled() {
+            let unrollable = opts.unroll && specialize::unroll_eligible(&plan.module);
+            match &mut plan.spec {
+                Some(s) => s.unrollable = unrollable,
+                None => {
+                    let mut s = SpecState::new(opts, 0);
+                    s.unrollable = unrollable;
+                    plan.spec = Some(s);
+                }
+            }
+        }
+        Ok(Arc::new(plan))
+    }
+
+    /// Plans a module with no specializer state attached.
+    fn build_plain(module: Arc<Module>) -> rdg_graph::Result<ModulePlan> {
+        let (main, subs) = Self::build_graphs(&module)?;
+        Ok(ModulePlan {
+            module,
+            main,
+            subs,
+            provenance: None,
+            spec: None,
+        })
+    }
+
+    /// Analysis + per-graph plan construction (shared by every path).
+    fn build_graphs(
+        module: &Arc<Module>,
+    ) -> rdg_graph::Result<(ExecutionPlan, Vec<ExecutionPlan>)> {
         let report = rdg_graph::analyze::check_module(
-            &module,
+            module,
             &rdg_graph::analyze::AnalysisConfig::default(),
         )?;
-        let mut main = ExecutionPlan::build(&module, GraphRef::Main)?;
+        let mut main = ExecutionPlan::build(module, GraphRef::Main)?;
         main.shapes = report.shapes.graph_shapes(GraphRef::Main).clone();
         let mut subs = (0..module.subgraphs.len())
-            .map(|i| ExecutionPlan::build(&module, GraphRef::Sub(SubGraphId(i as u32))))
+            .map(|i| ExecutionPlan::build(module, GraphRef::Sub(SubGraphId(i as u32))))
             .collect::<rdg_graph::Result<Vec<_>>>()?;
         for (i, sub) in subs.iter_mut().enumerate() {
             sub.shapes = report
@@ -226,7 +389,7 @@ impl ModulePlan {
                 .graph_shapes(GraphRef::Sub(SubGraphId(i as u32)))
                 .clone();
         }
-        Ok(Arc::new(ModulePlan { module, main, subs }))
+        Ok((main, subs))
     }
 
     /// The plan for one graph.
@@ -234,6 +397,140 @@ impl ModulePlan {
         match gref {
             GraphRef::Main => &self.main,
             GraphRef::Sub(id) => &self.subs[id.0 as usize],
+        }
+    }
+
+    /// Node provenance for graphs the specializer rewrote: for each node of
+    /// a rewritten graph, the `(graph, node)` of the original-module node it
+    /// was copied from (`None` for synthesized nodes, e.g. materialized
+    /// fold results). `None` when nothing was rewritten.
+    pub fn provenance(&self) -> Option<&Provenance> {
+        self.provenance.as_ref()
+    }
+
+    /// Resolves the plan to execute for one feed vector.
+    ///
+    /// With unrolling enabled, a feed signature that has recurred
+    /// [`SpecializeOptions::hot_after`] times is promoted: the module is
+    /// expanded for that signature (`specialize::unroll_for_feeds`) and
+    /// the resulting flat plan is cached on this plan, so subsequent equal
+    /// signatures dispatch with zero call/return frames. Everything else —
+    /// cold signatures, blacklisted ones, failed expansions — takes the
+    /// general frame machinery (`self`).
+    ///
+    /// The returned [`SpecKey`], when present, should be passed to
+    /// [`ModulePlan::observe_run`] with the completed run's spawned-frame
+    /// count; the profile uses it to skip signatures too small to pay for
+    /// specialization.
+    pub fn resolve_for_feeds(
+        self: &Arc<Self>,
+        feeds: &[Tensor],
+    ) -> (Arc<ModulePlan>, Option<SpecKey>) {
+        let Some(spec) = &self.spec else {
+            return (Arc::clone(self), None);
+        };
+        if !spec.unrollable {
+            return (Arc::clone(self), None);
+        }
+        let key = specialize::spec_key(feeds);
+        let mut t = spec.table.lock().expect("spec table");
+        if let Some(p) = t.promoted.get(&key) {
+            spec.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(p), None);
+        }
+        if t.blacklist.contains(&key) {
+            spec.misses.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(self), None);
+        }
+        if t.profile.len() >= PROFILE_CAP && !t.profile.contains_key(&key) {
+            spec.misses.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(self), None);
+        }
+        let entry = t.profile.entry(key.clone()).or_default();
+        entry.count += 1;
+        let hot = entry.count >= spec.opts.hot_after
+            // A signature whose observed general-path runs spawn fewer than
+            // two frames has nothing to unroll; an unobserved one (serve
+            // path) is given the benefit of the doubt — the worthwhileness
+            // check below rejects frame-free expansions anyway.
+            && (entry.max_frames >= 2 || entry.max_frames == 0);
+        if hot && t.promoted.len() < spec.opts.max_promoted {
+            // The expander recurses one Rust frame per plan-time call-chain
+            // level (bounded, but deep × debug-size frames can exceed a
+            // 2 MB caller stack), so the one-time expansion runs on a
+            // dedicated big-stack thread.
+            let expanded = std::thread::scope(|s| {
+                std::thread::Builder::new()
+                    .name("rdg-specialize".into())
+                    .stack_size(16 * 1024 * 1024)
+                    .spawn_scoped(s, || specialize::unroll_for_feeds(self, feeds, &spec.opts))
+                    .map_or(None, |h| match h.join() {
+                        Ok(outcome) => outcome,
+                        Err(p) => std::panic::resume_unwind(p),
+                    })
+            });
+            let promoted = expanded.and_then(|outcome| {
+                let counters = outcome.counters();
+                let module = Arc::new(outcome.module);
+                Self::with_options(module, SpecializeOptions::disabled())
+                    .ok()
+                    .map(|p| (p, outcome.provenance, counters))
+            });
+            match promoted {
+                Some((plan, prov, (frames, folded, residuals))) => {
+                    // Attach provenance to the freshly built plan (sole
+                    // owner at this point, so the mutation is safe).
+                    let mut plan = plan;
+                    if let Some(p) = Arc::get_mut(&mut plan) {
+                        let mut map = Provenance::new();
+                        map.insert(GraphRef::Main, prov);
+                        p.provenance = Some(map);
+                    }
+                    spec.promotions.fetch_add(1, Ordering::Relaxed);
+                    spec.hits.fetch_add(1, Ordering::Relaxed);
+                    spec.unrolled_frames.fetch_add(frames, Ordering::Relaxed);
+                    spec.folded_ops.fetch_add(folded, Ordering::Relaxed);
+                    spec.residual_frames.fetch_add(residuals, Ordering::Relaxed);
+                    t.promoted.insert(key, Arc::clone(&plan));
+                    return (plan, None);
+                }
+                None => {
+                    t.blacklist.insert(key);
+                    spec.misses.fetch_add(1, Ordering::Relaxed);
+                    return (Arc::clone(self), None);
+                }
+            }
+        }
+        spec.misses.fetch_add(1, Ordering::Relaxed);
+        (Arc::clone(self), Some(SpecKey(key)))
+    }
+
+    /// Feeds a completed general-path run's spawned-frame count back into
+    /// the shape profile (see [`ModulePlan::resolve_for_feeds`]).
+    pub fn observe_run(&self, key: SpecKey, frames_spawned: u64) {
+        if let Some(spec) = &self.spec {
+            let mut t = spec.table.lock().expect("spec table");
+            if let Some(e) = t.profile.get_mut(&key.0) {
+                e.max_frames = e.max_frames.max(frames_spawned);
+            }
+        }
+    }
+
+    /// Specializer counters for this plan (all zero when specialization is
+    /// disabled).
+    pub fn spec_stats(&self) -> SpecStats {
+        match &self.spec {
+            None => SpecStats::default(),
+            Some(s) => SpecStats {
+                inlined_invokes: s.inlined,
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                promotions: s.promotions.load(Ordering::Relaxed),
+                promoted_plans: s.table.lock().expect("spec table").promoted.len(),
+                unrolled_frames: s.unrolled_frames.load(Ordering::Relaxed),
+                folded_ops: s.folded_ops.load(Ordering::Relaxed),
+                residual_frames: s.residual_frames.load(Ordering::Relaxed),
+            },
         }
     }
 }

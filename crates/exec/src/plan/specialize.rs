@@ -1,0 +1,867 @@
+//! Plan-time specialization: trivial-invoke inlining and hot-shape
+//! unrolling.
+//!
+//! The paper's recursive `invoke` pays a frame (spawn + argument passing +
+//! return delivery) per activation. Cortex and the TF recursive-functions
+//! line of work both make the same observation: most of that cost is
+//! *compilable away* once the plan, not the frame, is the unit of
+//! optimization. This module implements the two plan-time passes:
+//!
+//! 1. **Trivial-invoke inlining** (`inline_trivial_invokes`) — a SubGraph
+//!    body that is straight-line (op-only: no control flow, no
+//!    path-dependent or effectful autodiff ops — see
+//!    [`rdg_graph::analyze::body_is_straight_line`]) is spliced into its
+//!    caller at plan build, so the call costs zero frames. Runs to a
+//!    fixpoint so a sub that *becomes* straight-line after its own callees
+//!    inline is inlined in a later pass.
+//! 2. **Hot-shape unrolling** (`unroll_for_feeds`) — given a concrete
+//!    feed signature (shapes always; values for small `i32` feeds), the
+//!    whole recursion is abstract-interpreted at plan time: every `Invoke`
+//!    is expanded in place, every `Cond` whose predicate folds to a known
+//!    constant is resolved to its taken branch, and every op whose operands
+//!    are all known is constant-folded through the *same* kernels the
+//!    executor runs (so folded results are bit-exact). What cannot be
+//!    decided statically is left behind as a *residual* `Invoke`/`Cond`
+//!    (fresh call sites, general frame machinery) — the fallback path.
+//!
+//! Both passes preserve op kinds verbatim on every surviving node, so the
+//! serving executor's cross-request fuse signature
+//! ([`crate::batch::fuse_kind`], keyed per plan by `GroupKey`) classifies a
+//! specialized node exactly like its general-plan twin. The [`Provenance`]
+//! maps record which original node each specialized node descends from;
+//! the regression suite uses them to assert that fuse-class agreement.
+//!
+//! # Safety rules (what is *never* rewritten)
+//!
+//! Node ids are load-bearing in three places, so graphs where they escape
+//! are frozen against rewriting:
+//!
+//! * graphs with non-empty keep-sets or shape-keep-sets (the sets name
+//!   `(node, port)` pairs the backprop cache interns per invocation path);
+//! * forward graphs that are some gradient SubGraph's `grad_of` target
+//!   (their node ids are referenced by `FwdValue`/`FwdZeros` in the
+//!   gradient twin, and their activations are cached per forward frame —
+//!   which also means an `Invoke` *of* such a SubGraph is never inlined:
+//!   the forward frame must actually spawn for the cache to fill);
+//! * a main graph containing `FwdValue`/`FwdZeros` (self-referential ids).
+//!
+//! Unrolling is stricter still: it requires a module with no keeps, no
+//! gradient twins, and no autodiff ops anywhere — the training path always
+//! takes the general frame machinery (and still benefits from inlining).
+
+use crate::plan::ModulePlan;
+use rdg_graph::analyze::{body_is_straight_line, AbsDim, AbsShape};
+use rdg_graph::{CallSiteId, Graph, GraphRef, Module, NodeId, OpKind, PortRef, SubGraphId};
+use rdg_tensor::{DType, Tensor};
+use std::collections::{HashMap, HashSet};
+
+/// Largest straight-line body the inliner will splice per call site.
+const MAX_INLINE_NODES: usize = 32;
+/// Deepest invocation chain the unroller will expand before leaving a
+/// residual frame (also the plan-time recursion bound of the expander).
+const MAX_UNROLL_DEPTH: usize = 512;
+/// Abstract-interpretation step budget for one unroll attempt.
+const MAX_UNROLL_VISITED: usize = 500_000;
+/// `i32` feeds up to this many elements contribute their *values* to the
+/// specialization key (and are therefore foldable); larger tensors and all
+/// `f32` feeds contribute shape only.
+const MAX_VALUE_KEY_ELEMS: usize = 64;
+
+/// Per-graph node provenance: for each node of a rewritten graph, the
+/// `(graph, node)` in the original module it was copied from (`None` for
+/// synthesized nodes such as materialized fold results).
+pub type Provenance = HashMap<GraphRef, Vec<Option<(GraphRef, NodeId)>>>;
+
+/// Knobs for the plan-time specializer. The environment default is read
+/// from `RDG_SPECIALIZE` (see [`SpecializeOptions::from_env`]); tests and
+/// benches pin behavior programmatically via `ModulePlan::with_options` /
+/// `Session::with_options`.
+#[derive(Clone, Debug)]
+pub struct SpecializeOptions {
+    /// Splice straight-line SubGraph bodies into callers at plan build.
+    pub inline: bool,
+    /// Promote recurring feed signatures to pre-expanded flat plans.
+    pub unroll: bool,
+    /// Promote a feed signature after it has been seen this many times.
+    pub hot_after: u32,
+    /// Maximum number of promoted (specialized) plans kept per module plan.
+    pub max_promoted: usize,
+    /// Node budget for one unrolled main graph; an expansion that would
+    /// exceed it is abandoned and the signature blacklisted.
+    pub max_nodes: usize,
+}
+
+impl Default for SpecializeOptions {
+    fn default() -> Self {
+        SpecializeOptions {
+            inline: true,
+            unroll: true,
+            hot_after: 2,
+            max_promoted: 8,
+            max_nodes: 50_000,
+        }
+    }
+}
+
+impl SpecializeOptions {
+    /// Both passes off: plans behave exactly as before this module existed.
+    pub fn disabled() -> Self {
+        SpecializeOptions {
+            inline: false,
+            unroll: false,
+            ..SpecializeOptions::default()
+        }
+    }
+
+    /// Reads `RDG_SPECIALIZE`: `0`/`off`/`false` disables both passes,
+    /// `inline` or `unroll` enables only that pass, anything else (or the
+    /// variable being unset) enables both.
+    pub fn from_env() -> Self {
+        match std::env::var("RDG_SPECIALIZE").as_deref() {
+            Ok("0") | Ok("off") | Ok("false") => Self::disabled(),
+            Ok("inline") => SpecializeOptions {
+                unroll: false,
+                ..SpecializeOptions::default()
+            },
+            Ok("unroll") => SpecializeOptions {
+                inline: false,
+                ..SpecializeOptions::default()
+            },
+            _ => SpecializeOptions::default(),
+        }
+    }
+
+    /// `true` when any pass is active.
+    pub fn enabled(&self) -> bool {
+        self.inline || self.unroll
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: trivial-invoke inlining
+// ---------------------------------------------------------------------
+
+/// Result of the inline pass.
+pub(crate) struct InlineOutcome {
+    /// The rewritten module (unchanged graphs are cloned as-is).
+    pub module: Module,
+    /// Number of `Invoke` nodes eliminated across all graphs and passes.
+    pub inlined: usize,
+    /// Node provenance for every rewritten graph.
+    pub provenance: Provenance,
+}
+
+/// Graphs whose node ids escape the graph (see module docs) and must not
+/// be renumbered — and whose frames must actually spawn.
+fn frozen_graphs(m: &Module) -> HashSet<GraphRef> {
+    let mut frozen = HashSet::new();
+    for (gref, set) in &m.keep_sets {
+        if !set.is_empty() {
+            frozen.insert(*gref);
+        }
+    }
+    for (gref, set) in &m.shape_keep_sets {
+        if !set.is_empty() {
+            frozen.insert(*gref);
+        }
+    }
+    for s in &m.subgraphs {
+        if let Some(fwd) = s.grad_of {
+            frozen.insert(GraphRef::Sub(fwd));
+        }
+    }
+    let self_referential = |g: &Graph| {
+        g.nodes
+            .iter()
+            .any(|n| matches!(n.op, OpKind::FwdValue { .. } | OpKind::FwdZeros { .. }))
+    };
+    if self_referential(&m.main) {
+        frozen.insert(GraphRef::Main);
+    }
+    frozen
+}
+
+/// Per-SubGraph inlinability under the current module shape.
+fn inlinable_subs(m: &Module, frozen: &HashSet<GraphRef>) -> Vec<bool> {
+    m.subgraphs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            !frozen.contains(&GraphRef::Sub(SubGraphId(i as u32)))
+                && s.grad_of.is_none()
+                && s.graph.len() <= MAX_INLINE_NODES
+                && body_is_straight_line(&s.graph)
+        })
+        .collect()
+}
+
+/// Splices every inlinable `Invoke` of `gref` in place. Returns `None`
+/// when the graph has nothing to inline (or an edge pattern the splicer
+/// does not handle, in which case the graph is left untouched).
+fn splice_graph(
+    m: &Module,
+    gref: GraphRef,
+    inlinable: &[bool],
+) -> Option<(Graph, Vec<Option<(GraphRef, NodeId)>>, usize)> {
+    let g = m.graph(gref);
+    let has_work = g.nodes.iter().any(|n| {
+        matches!(&n.op, OpKind::Invoke { sub, mirror: false, .. }
+                 if inlinable[sub.0 as usize])
+    });
+    if !has_work {
+        return None;
+    }
+
+    let mut out = Graph::new();
+    let mut prov: Vec<Option<(GraphRef, NodeId)>> = Vec::new();
+    // For each original node, its output ports in the rewritten graph.
+    let mut port_map: Vec<Vec<PortRef>> = Vec::with_capacity(g.len());
+    let map_port = |pm: &[Vec<PortRef>], p: &PortRef| -> Option<PortRef> {
+        pm.get(p.node.0 as usize)
+            .and_then(|v| v.get(p.port as usize))
+            .copied()
+    };
+    let mut inlined = 0usize;
+
+    for (idx, node) in g.nodes.iter().enumerate() {
+        let mapped: Option<Vec<PortRef>> =
+            node.inputs.iter().map(|p| map_port(&port_map, p)).collect();
+        // Builder graphs are push-ordered; a forward edge means this is not
+        // a graph we know how to rewrite. Leave it untouched.
+        let mapped = mapped?;
+        match &node.op {
+            OpKind::Invoke {
+                sub, mirror: false, ..
+            } if inlinable[sub.0 as usize] => {
+                let body = &m.subgraph(*sub).graph;
+                let mut bmap: Vec<Vec<PortRef>> = Vec::with_capacity(body.len());
+                for (bidx, bn) in body.nodes.iter().enumerate() {
+                    if let OpKind::Input { index, .. } = &bn.op {
+                        bmap.push(vec![*mapped.get(*index)?]);
+                        continue;
+                    }
+                    let bi: Option<Vec<PortRef>> =
+                        bn.inputs.iter().map(|p| map_port(&bmap, p)).collect();
+                    let nid = out.push_node(bn.op.clone(), bi?, body.out_dtypes[bidx].clone());
+                    out.nodes[nid.0 as usize].name = format!("{}.{}", node.name, bn.name);
+                    prov.push(Some((GraphRef::Sub(*sub), NodeId(bidx as u32))));
+                    bmap.push(ports_of(&out, nid));
+                }
+                let outs: Option<Vec<PortRef>> =
+                    body.outputs.iter().map(|p| map_port(&bmap, p)).collect();
+                port_map.push(outs?);
+                inlined += 1;
+            }
+            op => {
+                let nid = out.push_node(op.clone(), mapped, g.out_dtypes[idx].clone());
+                out.nodes[nid.0 as usize].name = node.name.clone();
+                prov.push(Some((gref, NodeId(idx as u32))));
+                port_map.push(ports_of(&out, nid));
+            }
+        }
+    }
+    let outs: Option<Vec<PortRef>> = g.outputs.iter().map(|p| map_port(&port_map, p)).collect();
+    out.outputs = outs?;
+    Some((out, prov, inlined))
+}
+
+fn ports_of(g: &Graph, n: NodeId) -> Vec<PortRef> {
+    (0..g.out_dtypes[n.0 as usize].len())
+        .map(|p| PortRef {
+            node: n,
+            port: p as u16,
+        })
+        .collect()
+}
+
+/// Follows provenance transitively back to the original module.
+fn resolve_prov(prov: &Provenance, gref: GraphRef, node: NodeId) -> Option<(GraphRef, NodeId)> {
+    match prov.get(&gref) {
+        Some(v) => v[node.0 as usize],
+        None => Some((gref, node)),
+    }
+}
+
+/// Runs the inline pass to a fixpoint (bounded). Returns `None` when
+/// nothing was inlined.
+pub(crate) fn inline_trivial_invokes(module: &Module) -> Option<InlineOutcome> {
+    let mut m = module.clone();
+    let mut total = 0usize;
+    let mut provenance: Provenance = HashMap::new();
+    for _pass in 0..8 {
+        let frozen = frozen_graphs(&m);
+        let inlinable = inlinable_subs(&m, &frozen);
+        if !inlinable.iter().any(|&b| b) {
+            break;
+        }
+        let mut pass_inlined = 0usize;
+        let mut rewrites: Vec<(GraphRef, Graph, Vec<Option<(GraphRef, NodeId)>>)> = Vec::new();
+        let grefs = std::iter::once(GraphRef::Main)
+            .chain((0..m.subgraphs.len()).map(|i| GraphRef::Sub(SubGraphId(i as u32))));
+        for gref in grefs {
+            if frozen.contains(&gref) {
+                continue;
+            }
+            if let Some((g, prov, n)) = splice_graph(&m, gref, &inlinable) {
+                // Compose this pass's provenance through the accumulated
+                // map so entries always point at *original* module nodes.
+                let composed = prov
+                    .into_iter()
+                    .map(|e| e.and_then(|(g2, n2)| resolve_prov(&provenance, g2, n2)))
+                    .collect();
+                rewrites.push((gref, g, composed));
+                pass_inlined += n;
+            }
+        }
+        if pass_inlined == 0 {
+            break;
+        }
+        for (gref, g, prov) in rewrites {
+            match gref {
+                GraphRef::Main => m.main = g,
+                GraphRef::Sub(id) => m.subgraphs[id.0 as usize].graph = g,
+            }
+            provenance.insert(gref, prov);
+        }
+        total += pass_inlined;
+    }
+    if total == 0 {
+        return None;
+    }
+    Some(InlineOutcome {
+        module: m,
+        inlined: total,
+        provenance,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: hot-shape unrolling (feed-signature specialization)
+// ---------------------------------------------------------------------
+
+/// `true` when the module is safe to unroll at all (see module docs) and
+/// unrolling could plausibly pay (it has at least one call site).
+pub(crate) fn unroll_eligible(m: &Module) -> bool {
+    let clean = |g: &Graph| {
+        !g.nodes.iter().any(|n| {
+            matches!(
+                n.op,
+                OpKind::FwdValue { .. }
+                    | OpKind::FwdZeros { .. }
+                    | OpKind::GradSink { .. }
+                    | OpKind::GradSinkRows { .. }
+            )
+        })
+    };
+    let has_calls = |g: &Graph| g.nodes.iter().any(|n| n.op.is_control_flow());
+    m.keep_sets.values().all(|s| s.is_empty())
+        && m.shape_keep_sets.values().all(|s| s.is_empty())
+        && m.subgraphs.iter().all(|s| s.grad_of.is_none())
+        && clean(&m.main)
+        && m.subgraphs.iter().all(|s| clean(&s.graph))
+        && (has_calls(&m.main) || m.subgraphs.iter().any(|s| has_calls(&s.graph)))
+}
+
+/// The specialization key of a feed vector: per feed, dtype + dims always,
+/// plus raw values for small `i32` tensors (the recursion drivers —
+/// depths, topologies, token ids). Two runs with equal keys are guaranteed
+/// to take identical control-flow paths through the module.
+pub(crate) fn spec_key(feeds: &[Tensor]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(feeds.len() * 16);
+    for t in feeds {
+        k.push(match t.dtype() {
+            DType::F32 => 0u8,
+            DType::I32 => 1u8,
+        });
+        let dims = t.shape().dims();
+        k.extend((dims.len() as u32).to_le_bytes());
+        for &d in dims {
+            k.extend((d as u64).to_le_bytes());
+        }
+        if value_keyed(t) {
+            k.push(1);
+            for v in t.i32s().expect("i32 feed") {
+                k.extend(v.to_le_bytes());
+            }
+        } else {
+            k.push(0);
+        }
+    }
+    k
+}
+
+/// `true` when a feed's *values* (not just shape) enter the key.
+fn value_keyed(t: &Tensor) -> bool {
+    t.dtype() == DType::I32 && t.numel() <= MAX_VALUE_KEY_ELEMS
+}
+
+/// Result of one unroll attempt.
+pub(crate) struct UnrollOutcome {
+    /// The specialized module: the original SubGraphs (residual targets)
+    /// plus a flattened main graph.
+    pub module: Module,
+    /// Provenance of the flattened main graph.
+    pub provenance: Vec<Option<(GraphRef, NodeId)>>,
+    /// `Invoke` frames expanded away at plan time.
+    pub invokes_expanded: usize,
+    /// `Cond` frames resolved to a statically taken branch.
+    pub conds_resolved: usize,
+    /// Ops constant-folded through the real kernels.
+    pub folded: usize,
+    /// Residual `Invoke`/`Cond` frames left for the general machinery.
+    pub residuals: usize,
+}
+
+impl UnrollOutcome {
+    /// `(frames expanded, ops folded, residual frames)` for the stats
+    /// counters.
+    pub(crate) fn counters(&self) -> (u64, u64, u64) {
+        (
+            (self.invokes_expanded + self.conds_resolved) as u64,
+            self.folded as u64,
+            self.residuals as u64,
+        )
+    }
+}
+
+/// One abstract value during expansion: possibly a plan-time tensor,
+/// possibly a port in the output graph, always an abstract shape.
+#[derive(Clone)]
+struct Slot {
+    known: Option<Tensor>,
+    port: Option<PortRef>,
+    abs: AbsShape,
+}
+
+impl Slot {
+    fn unknown(port: PortRef, abs: AbsShape) -> Self {
+        Slot {
+            known: None,
+            port: Some(port),
+            abs,
+        }
+    }
+
+    fn known(t: Tensor) -> Self {
+        let abs = AbsShape::from_dims(t.shape().dims());
+        Slot {
+            known: Some(t),
+            port: None,
+            abs,
+        }
+    }
+}
+
+/// Expansion abandoned (budget, depth, or an op the pass cannot handle);
+/// the caller falls back to the general plan and blacklists the key.
+struct Abort;
+
+struct Expander<'a> {
+    m: &'a Module,
+    plan: &'a ModulePlan,
+    opts: &'a SpecializeOptions,
+    out: Graph,
+    prov: Vec<Option<(GraphRef, NodeId)>>,
+    next_site: u32,
+    visited: usize,
+    invokes_expanded: usize,
+    conds_resolved: usize,
+    folded: usize,
+    residuals: usize,
+    fold_params: crate::params::ParamStore,
+    fold_stats: crate::stats::ExecStats,
+}
+
+impl<'a> Expander<'a> {
+    fn tick(&mut self) -> Result<(), Abort> {
+        self.visited += 1;
+        if self.visited > MAX_UNROLL_VISITED || self.out.len() > self.opts.max_nodes {
+            return Err(Abort);
+        }
+        Ok(())
+    }
+
+    fn emit(
+        &mut self,
+        op: OpKind,
+        inputs: Vec<PortRef>,
+        dtypes: Vec<DType>,
+        from: Option<(GraphRef, NodeId)>,
+    ) -> NodeId {
+        let nid = self.out.push_node(op, inputs, dtypes);
+        self.prov.push(from);
+        nid
+    }
+
+    fn fresh_site(&mut self) -> CallSiteId {
+        let s = CallSiteId(self.next_site);
+        self.next_site += 1;
+        s
+    }
+
+    /// Ensures a slot has a port in the output graph, materializing folded
+    /// values as `Const` nodes on demand.
+    fn materialize(&mut self, slot: &mut Slot) -> Result<PortRef, Abort> {
+        if let Some(p) = slot.port {
+            return Ok(p);
+        }
+        let t = slot.known.clone().ok_or(Abort)?;
+        let dt = t.dtype();
+        let nid = self.emit(OpKind::Const(t), Vec::new(), vec![dt], None);
+        let p = PortRef::of(nid);
+        slot.port = Some(p);
+        Ok(p)
+    }
+
+    /// Constant-folds one op through the executor's kernels.
+    fn fold(&mut self, op: &OpKind, inputs: Vec<Tensor>) -> Result<Tensor, Abort> {
+        let ctx = crate::kernel::KernelCtx {
+            args: &[],
+            params: &self.fold_params,
+            grads: None,
+            stats: &self.fold_stats,
+        };
+        let mut outs = crate::kernel::execute(op, inputs, &ctx).map_err(|_| Abort)?;
+        if outs.len() != 1 {
+            return Err(Abort);
+        }
+        self.folded += 1;
+        Ok(outs.pop().expect("one output"))
+    }
+
+    /// Expands one graph body given abstract arguments; returns the slots
+    /// of the graph's declared outputs.
+    fn expand_graph(
+        &mut self,
+        gref: GraphRef,
+        args: &[Slot],
+        depth: usize,
+    ) -> Result<Vec<Slot>, Abort> {
+        let g = self.m.graph(gref);
+        let shapes = &self.plan.plan(gref).shapes;
+        let mut slots: Vec<Vec<Slot>> = Vec::with_capacity(g.len());
+        for (idx, node) in g.nodes.iter().enumerate() {
+            self.tick()?;
+            let static_abs = |port: usize| -> AbsShape {
+                shapes
+                    .get(idx)
+                    .and_then(|v| v.get(port))
+                    .cloned()
+                    .unwrap_or(AbsShape::Top)
+            };
+            let mut ins: Vec<Slot> = Vec::with_capacity(node.inputs.len());
+            for p in &node.inputs {
+                ins.push(take_slot(&slots, p)?);
+            }
+            let row: Vec<Slot> = match &node.op {
+                OpKind::Input { index, dtype } => match gref {
+                    // The specialized main keeps the exact input signature
+                    // (the executor validates feeds against `input_nodes`),
+                    // so main inputs are always emitted — their *values*
+                    // may still be known from the key.
+                    GraphRef::Main => {
+                        let nid = self.emit(
+                            OpKind::Input {
+                                index: *index,
+                                dtype: *dtype,
+                            },
+                            Vec::new(),
+                            vec![*dtype],
+                            Some((gref, NodeId(idx as u32))),
+                        );
+                        let mut s = args.get(*index).cloned().ok_or(Abort)?;
+                        s.port = Some(PortRef::of(nid));
+                        vec![s]
+                    }
+                    GraphRef::Sub(_) => vec![args.get(*index).cloned().ok_or(Abort)?],
+                },
+                OpKind::Const(t) => vec![Slot::known(t.clone())],
+                OpKind::Identity => vec![ins[0].clone()],
+                OpKind::Invoke { sub, n_out, .. } => {
+                    if depth >= MAX_UNROLL_DEPTH {
+                        self.residual_invoke(*sub, *n_out, ins, &static_abs)?
+                    } else {
+                        self.invokes_expanded += 1;
+                        self.expand_graph(GraphRef::Sub(*sub), &ins, depth + 1)?
+                    }
+                }
+                OpKind::Cond {
+                    sub_then,
+                    sub_else,
+                    n_then_in,
+                    n_out,
+                    ..
+                } => {
+                    let pred = ins[0].known.as_ref().and_then(|t| t.as_i32_scalar().ok());
+                    match pred {
+                        Some(p) if depth < MAX_UNROLL_DEPTH => {
+                            self.conds_resolved += 1;
+                            let n_then = *n_then_in as usize;
+                            let (sub, branch_args) = if p != 0 {
+                                (*sub_then, &ins[1..1 + n_then])
+                            } else {
+                                (*sub_else, &ins[1 + n_then..])
+                            };
+                            self.expand_graph(GraphRef::Sub(sub), branch_args, depth + 1)?
+                        }
+                        _ => self.residual_cond(
+                            *sub_then,
+                            *sub_else,
+                            *n_then_in,
+                            *n_out,
+                            ins,
+                            &static_abs,
+                        )?,
+                    }
+                }
+                OpKind::FwdValue { .. }
+                | OpKind::FwdZeros { .. }
+                | OpKind::GradSink { .. }
+                | OpKind::GradSinkRows { .. } => return Err(Abort),
+                OpKind::Param(_) => {
+                    let nid = self.emit(
+                        node.op.clone(),
+                        Vec::new(),
+                        g.out_dtypes[idx].clone(),
+                        Some((gref, NodeId(idx as u32))),
+                    );
+                    vec![Slot::unknown(PortRef::of(nid), static_abs(0))]
+                }
+                op => {
+                    if ins.iter().all(|s| s.known.is_some()) {
+                        let tensors: Vec<Tensor> = ins
+                            .iter()
+                            .map(|s| s.known.clone().expect("known"))
+                            .collect();
+                        vec![Slot::known(self.fold(op, tensors)?)]
+                    } else if matches!(op, OpKind::Len) {
+                        // The analyzer's static shape can decide `Len` even
+                        // when the value cannot be folded.
+                        match numel_of(&ins[0].abs) {
+                            Some(n) => {
+                                self.folded += 1;
+                                vec![Slot::known(Tensor::scalar_i32(n as i32))]
+                            }
+                            None => self.emit_op(gref, idx, node, ins, &static_abs)?,
+                        }
+                    } else {
+                        self.emit_op(gref, idx, node, ins, &static_abs)?
+                    }
+                }
+            };
+            slots.push(row);
+        }
+        let mut outs = Vec::with_capacity(g.outputs.len());
+        for p in &g.outputs {
+            outs.push(take_slot(&slots, p)?);
+        }
+        Ok(outs)
+    }
+
+    /// Emits a surviving (unfoldable) plain op, materializing its inputs.
+    fn emit_op(
+        &mut self,
+        gref: GraphRef,
+        idx: usize,
+        node: &rdg_graph::Node,
+        mut ins: Vec<Slot>,
+        static_abs: &dyn Fn(usize) -> AbsShape,
+    ) -> Result<Vec<Slot>, Abort> {
+        let mut ports = Vec::with_capacity(ins.len());
+        for s in &mut ins {
+            ports.push(self.materialize(s)?);
+        }
+        let g = self.m.graph(gref);
+        let nid = self.emit(
+            node.op.clone(),
+            ports,
+            g.out_dtypes[idx].clone(),
+            Some((gref, NodeId(idx as u32))),
+        );
+        Ok((0..g.out_dtypes[idx].len())
+            .map(|p| {
+                Slot::unknown(
+                    PortRef {
+                        node: nid,
+                        port: p as u16,
+                    },
+                    static_abs(p),
+                )
+            })
+            .collect())
+    }
+
+    fn residual_invoke(
+        &mut self,
+        sub: SubGraphId,
+        n_out: u16,
+        mut ins: Vec<Slot>,
+        static_abs: &dyn Fn(usize) -> AbsShape,
+    ) -> Result<Vec<Slot>, Abort> {
+        let mut ports = Vec::with_capacity(ins.len());
+        for s in &mut ins {
+            ports.push(self.materialize(s)?);
+        }
+        let site = self.fresh_site();
+        let dtypes = self.m.subgraph(sub).output_dtypes.clone();
+        let nid = self.emit(
+            OpKind::Invoke {
+                sub,
+                site,
+                n_out,
+                mirror: false,
+            },
+            ports,
+            dtypes,
+            None,
+        );
+        self.residuals += 1;
+        Ok((0..n_out as usize)
+            .map(|p| {
+                Slot::unknown(
+                    PortRef {
+                        node: nid,
+                        port: p as u16,
+                    },
+                    static_abs(p),
+                )
+            })
+            .collect())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn residual_cond(
+        &mut self,
+        sub_then: SubGraphId,
+        sub_else: SubGraphId,
+        n_then_in: u16,
+        n_out: u16,
+        mut ins: Vec<Slot>,
+        static_abs: &dyn Fn(usize) -> AbsShape,
+    ) -> Result<Vec<Slot>, Abort> {
+        let mut ports = Vec::with_capacity(ins.len());
+        for s in &mut ins {
+            ports.push(self.materialize(s)?);
+        }
+        let site_then = self.fresh_site();
+        let site_else = self.fresh_site();
+        let dtypes = self.m.subgraph(sub_then).output_dtypes.clone();
+        let nid = self.emit(
+            OpKind::Cond {
+                sub_then,
+                sub_else,
+                site_then,
+                site_else,
+                n_then_in,
+                n_out,
+                mirror: false,
+            },
+            ports,
+            dtypes,
+            None,
+        );
+        self.residuals += 1;
+        Ok((0..n_out as usize)
+            .map(|p| {
+                Slot::unknown(
+                    PortRef {
+                        node: nid,
+                        port: p as u16,
+                    },
+                    static_abs(p),
+                )
+            })
+            .collect())
+    }
+}
+
+/// Looks up an already-expanded slot; a miss means a forward edge the
+/// expander cannot handle (builder graphs are push-ordered, so this only
+/// trips on hand-forged graphs).
+fn take_slot(slots: &[Vec<Slot>], p: &PortRef) -> Result<Slot, Abort> {
+    slots
+        .get(p.node.0 as usize)
+        .and_then(|v| v.get(p.port as usize))
+        .cloned()
+        .ok_or(Abort)
+}
+
+/// Product of a fully known abstract shape, or `None`.
+fn numel_of(abs: &AbsShape) -> Option<usize> {
+    match abs {
+        AbsShape::Dims(dims) => {
+            let mut n = 1usize;
+            for d in dims {
+                match d {
+                    AbsDim::Known(k) => n = n.checked_mul(*k)?,
+                    _ => return None,
+                }
+            }
+            Some(n)
+        }
+        _ => None,
+    }
+}
+
+/// Attempts to expand `plan.module`'s main graph for one concrete feed
+/// signature. Returns `None` when the expansion aborts (budget, depth, an
+/// unhandled pattern, or a kernel error during folding — the general path
+/// reproduces any such error at run time) or turns out not to eliminate a
+/// single call frame.
+pub(crate) fn unroll_for_feeds(
+    plan: &ModulePlan,
+    feeds: &[Tensor],
+    opts: &SpecializeOptions,
+) -> Option<UnrollOutcome> {
+    let m = &plan.module;
+    if m.main.input_nodes.len() != feeds.len() {
+        return None;
+    }
+    let args: Vec<Slot> = feeds
+        .iter()
+        .map(|t| Slot {
+            known: value_keyed(t).then(|| t.clone()),
+            port: None,
+            abs: AbsShape::from_dims(t.shape().dims()),
+        })
+        .collect();
+    let mut ex = Expander {
+        m,
+        plan,
+        opts,
+        out: Graph::new(),
+        prov: Vec::new(),
+        next_site: m.n_sites,
+        visited: 0,
+        invokes_expanded: 0,
+        conds_resolved: 0,
+        folded: 0,
+        residuals: 0,
+        fold_params: crate::params::ParamStore::from_module(&Module::default()),
+        fold_stats: crate::stats::ExecStats::default(),
+    };
+    let mut outs = ex.expand_graph(GraphRef::Main, &args, 0).ok()?;
+    for slot in &mut outs {
+        let p = ex.materialize(slot).ok()?;
+        ex.out.outputs.push(p);
+    }
+    if ex.invokes_expanded + ex.conds_resolved == 0 {
+        return None;
+    }
+    let module = Module {
+        subgraphs: m.subgraphs.clone(),
+        main: ex.out,
+        params: m.params.clone(),
+        n_sites: ex.next_site,
+        keep_sets: HashMap::new(),
+        shape_keep_sets: HashMap::new(),
+    };
+    Some(UnrollOutcome {
+        module,
+        provenance: ex.prov,
+        invokes_expanded: ex.invokes_expanded,
+        conds_resolved: ex.conds_resolved,
+        folded: ex.folded,
+        residuals: ex.residuals,
+    })
+}

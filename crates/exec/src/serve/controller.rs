@@ -70,7 +70,12 @@ impl WaveController {
             return;
         }
         let busy = self.workers.min(wave_len) as f64;
-        let sample = drain_ns as f64 * busy / wave_len as f64;
+        // Floor at 1ns: a zero-drain wave (clock granularity, or a wave of
+        // instantly-failing submissions) is "immeasurably fast", not free.
+        // Feeding a raw 0 would decay the EWMA toward 0, pinning `target()`
+        // at the hi clamp and publishing a 0ns estimate — which readers
+        // treat as the "no estimate yet" sentinel.
+        let sample = (drain_ns as f64 * busy / wave_len as f64).max(1.0);
         self.ewma_ns = Some(match self.ewma_ns {
             None => sample,
             Some(prev) => alpha * sample + (1.0 - alpha) * prev,
@@ -311,5 +316,45 @@ mod tests {
             c.observe_wave(3, 3);
         }
         assert_eq!(c.target(), 3, "max_multiple 1 pins the wave to workers");
+    }
+
+    #[test]
+    fn zero_drain_waves_keep_the_ewma_positive() {
+        // A run of zero-drain waves (timer granularity) must not decay the
+        // EWMA to 0: downstream publication truncates the EWMA to a u64
+        // where 0 doubles as the "no estimate" sentinel, and `target()`
+        // must keep returning something inside the clamps.
+        let mut c = WaveController::new(dynamic(8, 5, 1.0), 4, 2);
+        c.observe_wave(2, MS); // establish a real estimate first
+        for _ in 0..64 {
+            c.observe_wave(2, 0);
+        }
+        let ewma = c.ewma_ns().unwrap();
+        assert!(ewma >= 1.0, "EWMA floored at 1ns, got {ewma}");
+        let t = c.target();
+        assert!((2..=16).contains(&t), "target stays clamped: {t}");
+    }
+
+    #[test]
+    fn cold_start_zero_drain_does_not_panic_or_zero_the_target() {
+        // First-ever observation is degenerate: no panic, no zero wave.
+        let mut c = WaveController::new(dynamic(8, 5, 0.25), 4, 2);
+        c.observe_wave(4, 0);
+        assert_eq!(c.ewma_ns(), Some(1.0), "zero-drain sample floors to 1ns");
+        let t = c.target();
+        assert!(t >= 2, "target never collapses to zero: {t}");
+    }
+
+    #[test]
+    fn empty_wave_is_a_no_op_even_after_observations() {
+        // wave_len == 0 must not touch the EWMA (division by zero would
+        // produce NaN and poison every later fold).
+        let mut c = WaveController::new(dynamic(8, 5, 0.5), 4, 2);
+        c.observe_wave(2, MS);
+        let before = c.ewma_ns().unwrap();
+        c.observe_wave(0, 0);
+        c.observe_wave(0, 7 * MS);
+        assert_eq!(c.ewma_ns().unwrap(), before, "empty waves are ignored");
+        assert!(c.ewma_ns().unwrap().is_finite());
     }
 }

@@ -857,6 +857,12 @@ fn dispatcher_loop(
     );
     let mut wave: Vec<Queued<Request>> = Vec::with_capacity(controller.target());
     let mut evicted: Vec<(Priority, u64, Sender<Result<Vec<Tensor>, ServeError>>)> = Vec::new();
+    // Waves dispatched since the loop started; drives the periodic
+    // path-interner epoch flush (varied-shape request streams would
+    // otherwise grow the interner until shutdown).
+    let mut waves_dispatched: u64 = 0;
+    // Flush the path interner every this many waves.
+    const FLUSH_EVERY_WAVES: u64 = 64;
     loop {
         {
             let mut st = shared.state.lock();
@@ -931,6 +937,7 @@ fn dispatcher_loop(
             u64,
             Option<u64>,
             Sender<Result<Vec<Tensor>, ServeError>>,
+            Option<crate::SpecKey>,
             Result<RunHandle, ExecError>,
         );
         let in_flight: Vec<Waiting> = wave
@@ -946,13 +953,18 @@ fn dispatcher_loop(
                 let wait_ns = dispatched_ns.saturating_sub(enqueued_ns);
                 shared.stats.wait.record_ns(wait_ns);
                 shared.stats.classes[class.index()].wait.record_ns(wait_ns);
-                let submitted = exec.submit(plan, params, feeds, None, None);
-                (class, enqueued_ns, deadline_ns, tx, submitted)
+                // Per-request plan resolution: a hot feed signature runs
+                // its promoted flat plan. Requests resolving to the same
+                // promoted plan share its `Arc`, so cross-request fusion
+                // (`GroupKey` is keyed by plan pointer) still groups them.
+                let (req_plan, spec_key) = plan.resolve_for_feeds(&feeds);
+                let submitted = exec.submit(&req_plan, params, feeds, None, None);
+                (class, enqueued_ns, deadline_ns, tx, spec_key, submitted)
             })
             .collect();
         let wave_len = in_flight.len();
         let mut last_done_ns = dispatched_ns;
-        for (class, enqueued_ns, deadline_ns, tx, submitted) in in_flight {
+        for (class, enqueued_ns, deadline_ns, tx, spec_key, submitted) in in_flight {
             let mut cancelled_for_slo = false;
             let result = match submitted {
                 Ok(handle) => {
@@ -962,7 +974,14 @@ fn dispatcher_loop(
                             cancelled_for_slo = true;
                         }
                     }
-                    handle.wait()
+                    let run_stats = Arc::clone(handle.stats());
+                    let r = handle.wait();
+                    // Feed the completed general-path run back into the
+                    // specializer's shape profile.
+                    if let Some(key) = spec_key {
+                        plan.observe_run(key, run_stats.frames_spawned.load(Ordering::Relaxed));
+                    }
+                    r
                 }
                 Err(e) => Err(e),
             };
@@ -1010,6 +1029,14 @@ fn dispatcher_loop(
         // individual dispatch→complete span includes earlier joins, which
         // would double-count intra-wave queueing and bias the EWMA high.
         controller.observe_wave(wave_len, last_done_ns.saturating_sub(dispatched_ns));
+        // Epoch flush: retire interned path chains whose runs have all
+        // completed. Without this, only shutdown reclaims them, and a
+        // long-lived serve loop with varied-shape traffic grows the
+        // process-global interner without bound.
+        waves_dispatched += 1;
+        if waves_dispatched % FLUSH_EVERY_WAVES == 0 {
+            crate::path::PathKey::flush_interner();
+        }
         // Publish the adapted target and EWMA so stats snapshots (and the
         // predictive-shedding submit path) see the decision the next wave
         // will use.
@@ -1018,7 +1045,9 @@ fn dispatcher_loop(
             .wave_target
             .store(controller.target(), Ordering::Relaxed);
         shared.stats.ewma_ns.store(
-            controller.ewma_ns().map_or(0, |e| e.max(0.0) as u64),
+            // Floor at 1ns: a sub-nanosecond EWMA must not truncate to 0,
+            // which downstream readers treat as the "no estimate" sentinel.
+            controller.ewma_ns().map_or(0, |e| e.max(1.0) as u64),
             Ordering::Relaxed,
         );
     }

@@ -96,6 +96,20 @@ impl Session {
         Ok(Self::assemble(exec, plan, params))
     }
 
+    /// Like [`Session::new`], but with explicit plan-specializer options
+    /// instead of the `RDG_SPECIALIZE` environment default — tests and
+    /// benches use this to pin the general path (A) or the specialized
+    /// path (B) regardless of the environment.
+    pub fn with_options(
+        exec: Arc<Executor>,
+        module: Module,
+        opts: crate::SpecializeOptions,
+    ) -> Result<Self, ExecError> {
+        let plan = ModulePlan::with_options(Arc::new(module), opts)?;
+        let params = Arc::new(ParamStore::from_module(&plan.module));
+        Ok(Self::assemble(exec, plan, params))
+    }
+
     /// Plans `module` but shares an existing parameter store.
     ///
     /// The store must match the module's parameter specs — same count and,
@@ -108,6 +122,25 @@ impl Session {
         params: Arc<ParamStore>,
     ) -> Result<Self, ExecError> {
         let plan = ModulePlan::new(Arc::new(module))?;
+        Self::check_params(&plan, &params)?;
+        Ok(Self::assemble(exec, plan, params))
+    }
+
+    /// [`Session::with_params`] with explicit plan-specializer options —
+    /// how the equivalence suite runs a pinned-general and a specialized
+    /// session on identical weights.
+    pub fn with_params_options(
+        exec: Arc<Executor>,
+        module: Module,
+        params: Arc<ParamStore>,
+        opts: crate::SpecializeOptions,
+    ) -> Result<Self, ExecError> {
+        let plan = ModulePlan::with_options(Arc::new(module), opts)?;
+        Self::check_params(&plan, &params)?;
+        Ok(Self::assemble(exec, plan, params))
+    }
+
+    fn check_params(plan: &Arc<ModulePlan>, params: &Arc<ParamStore>) -> Result<(), ExecError> {
         if params.len() != plan.module.params.len() {
             return Err(ExecError::ParamMismatch {
                 msg: format!(
@@ -140,7 +173,7 @@ impl Session {
                 });
             }
         }
-        Ok(Self::assemble(exec, plan, params))
+        Ok(())
     }
 
     fn assemble(exec: Arc<Executor>, plan: Arc<ModulePlan>, params: Arc<ParamStore>) -> Self {
@@ -186,18 +219,48 @@ impl Session {
         &self.exec
     }
 
+    /// The session's module plan (carries the specializer state; see
+    /// [`ModulePlan::spec_stats`]).
+    pub fn plan(&self) -> &Arc<ModulePlan> {
+        &self.plan
+    }
+
     /// Inference run: no gradient accumulation, no activation caching.
+    ///
+    /// The run is dispatched through the plan specializer
+    /// ([`ModulePlan::resolve_for_feeds`]): a hot feed signature executes
+    /// its promoted flat plan, everything else takes the general frame
+    /// machinery. Completed general-path runs feed their spawned-frame
+    /// count back into the shape profile, and each run marks a
+    /// path-interner quiescent point (see
+    /// [`crate::PathKey::note_run_quiescent`]).
     pub fn run(&self, feeds: Vec<Tensor>) -> Result<Vec<Tensor>, ExecError> {
-        self.exec.run(&self.plan, &self.params, feeds, None, None)
+        let (plan, key) = self.plan.resolve_for_feeds(&feeds);
+        let handle = self.exec.submit(&plan, &self.params, feeds, None, None)?;
+        let stats = Arc::clone(handle.stats());
+        let out = handle.wait();
+        if let Some(key) = key {
+            self.plan.observe_run(
+                key,
+                stats
+                    .frames_spawned
+                    .load(std::sync::atomic::Ordering::Relaxed),
+            );
+        }
+        crate::PathKey::note_run_quiescent();
+        out
     }
 
     /// Starts an inference run without blocking (serving path).
     ///
     /// The returned [`RunHandle`] joins the run; any number may be in
-    /// flight at once, sharing the executor's worker pool.
+    /// flight at once, sharing the executor's worker pool. Hot feed
+    /// signatures dispatch to their promoted specialized plan; because the
+    /// caller owns the join, this path only *consumes* promotions (it never
+    /// feeds the shape profile).
     pub fn submit_run(&self, feeds: Vec<Tensor>) -> Result<RunHandle, ExecError> {
-        self.exec
-            .submit(&self.plan, &self.params, feeds, None, None)
+        let (plan, _key) = self.plan.resolve_for_feeds(&feeds);
+        self.exec.submit(&plan, &self.params, feeds, None, None)
     }
 
     /// Serves a batch of independent inference requests concurrently.
@@ -207,14 +270,35 @@ impl Session {
     /// back positionally; each request fails or succeeds on its own (a bad
     /// feed in one request does not poison its neighbours).
     pub fn run_many(&self, feeds_list: Vec<Vec<Tensor>>) -> Vec<Result<Vec<Tensor>, ExecError>> {
-        let handles: Vec<Result<RunHandle, ExecError>> = feeds_list
+        let handles: Vec<Result<(RunHandle, Option<crate::SpecKey>), ExecError>> = feeds_list
             .into_iter()
-            .map(|feeds| self.submit_run(feeds))
+            .map(|feeds| {
+                let (plan, key) = self.plan.resolve_for_feeds(&feeds);
+                self.exec
+                    .submit(&plan, &self.params, feeds, None, None)
+                    .map(|h| (h, key))
+            })
             .collect();
-        handles
+        let out = handles
             .into_iter()
-            .map(|h| h.and_then(RunHandle::wait))
-            .collect()
+            .map(|h| {
+                h.and_then(|(handle, key)| {
+                    let stats = Arc::clone(handle.stats());
+                    let r = handle.wait();
+                    if let Some(key) = key {
+                        self.plan.observe_run(
+                            key,
+                            stats
+                                .frames_spawned
+                                .load(std::sync::atomic::Ordering::Relaxed),
+                        );
+                    }
+                    r
+                })
+            })
+            .collect();
+        crate::PathKey::note_run_quiescent();
+        out
     }
 
     /// Opens an admission-controlled serving loop on this session with the
@@ -276,7 +360,9 @@ impl Session {
     pub fn run_training(&self, feeds: Vec<Tensor>) -> Result<Vec<Tensor>, ExecError> {
         let _step = self.begin_training_step()?;
         self.grads.clear();
-        self.submit_training(feeds)?.wait()
+        let out = self.submit_training(feeds)?.wait();
+        crate::PathKey::note_run_quiescent();
+        out
     }
 
     /// Trains a minibatch: all instances launch as concurrent root frames,
@@ -313,6 +399,7 @@ impl Session {
             .into_iter()
             .map(|h| h.and_then(RunHandle::wait))
             .collect();
+        crate::PathKey::note_run_quiescent();
         results.into_iter().collect()
     }
 }

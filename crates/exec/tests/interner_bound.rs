@@ -1,0 +1,110 @@
+//! Regression test for the `PathKey` interner leak on long-lived sessions.
+//!
+//! `PathKey::flush_interner` used to run only at serve-loop shutdown. A
+//! long-lived [`Session`] doing bare `run`/`run_many` calls over
+//! value-dependent control flow (every request descends a different
+//! then/else branch sequence, so every request interns a fresh path
+//! chain) grew the process-global interner without bound — nothing ever
+//! retired the chains of completed runs.
+//!
+//! The fix is epoch-scoped: `PathKey::note_run_quiescent`, called from
+//! the session's run-quiescent points (and periodically between serve
+//! waves), flushes retired chains every few dozen runs. This test drives
+//! 10 000 varied-shape runs through a binary-descent module — 14 levels
+//! of value-dependent `Cond`s, so each distinct feed value takes a
+//! distinct 28-site path — and pins the interner to a small bound at
+//! checkpoints throughout. Before the fix the table grows monotonically
+//! past 60 000 nodes on this workload.
+//!
+//! The interner is process-global, so this file holds exactly one test:
+//! a sibling test's interleaved interning would make the bound flaky.
+
+use rdg_exec::{Executor, PathKey, Session, SpecializeOptions};
+use rdg_graph::{Module, ModuleBuilder};
+use rdg_tensor::{DType, Tensor};
+use std::sync::Arc;
+
+/// Number of descent levels: feeds range over `[0, 2^LEVELS)` and each
+/// value's bit string picks a unique branch sequence.
+const LEVELS: usize = 14;
+
+/// Binary descent: level `k` tests bit `LEVELS-1-k` of the running value
+/// (via a threshold compare) and recurses into level `k+1` with either
+/// the reduced value or the value unchanged. The base level returns the
+/// remainder, so the module computes `n mod 1` = 0 — the *outputs* are
+/// trivial, but the *path* each run takes through the call sites encodes
+/// every bit of the input.
+fn descent_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let handles: Vec<_> = (0..=LEVELS)
+        .map(|k| mb.declare_subgraph(format!("level{k}"), &[DType::I32], &[DType::I32]))
+        .collect();
+    // Base level: return the (now fully reduced) value.
+    mb.define_subgraph(&handles[LEVELS], |b| {
+        let n = b.input(0)?;
+        Ok(vec![b.identity(n)?])
+    })
+    .expect("define base");
+    for k in (0..LEVELS).rev() {
+        let next = handles[k + 1].clone();
+        mb.define_subgraph(&handles[k], |b| {
+            let n = b.input(0)?;
+            let pow = 1i32 << (LEVELS - 1 - k);
+            let thresh = b.const_i32(pow - 1);
+            let p = b.igt(n, thresh)?;
+            let out = b.cond1(
+                p,
+                DType::I32,
+                |b| {
+                    let pw = b.const_i32(pow);
+                    let r = b.isub(n, pw)?;
+                    Ok(b.invoke(&next, &[r])?[0])
+                },
+                |b| Ok(b.invoke(&next, &[n])?[0]),
+            )?;
+            Ok(vec![out])
+        })
+        .expect("define level");
+    }
+    let n = mb.main_input(DType::I32);
+    let out = mb.invoke(&handles[0], &[n]).expect("invoke root")[0];
+    mb.set_outputs(&[out]).expect("outputs");
+    mb.finish().expect("finish")
+}
+
+#[test]
+fn interner_stays_bounded_across_10k_varied_shape_runs() {
+    // Start from a clean table so the bound is about *this* workload.
+    PathKey::flush_interner();
+    let baseline = PathKey::interner_len();
+
+    let exec = Executor::with_threads(2);
+    // Specialization off: this test pins the *general* frame path, where
+    // every run walks real call sites and interns a real chain.
+    let sess = Session::with_options(Arc::clone(&exec), descent_module(), {
+        SpecializeOptions::disabled()
+    })
+    .expect("session");
+
+    // Every run should intern nodes past what flushes reclaim between
+    // checkpoints; this is the slack on top of the baseline. A leaking
+    // interner blows through it within ~2 000 runs (16 384 distinct
+    // values × ~28 nodes each ≈ 60 000+ nodes by run 10 000).
+    const BOUND: usize = 6_000;
+    for i in 0..10_000u64 {
+        // Knuth-hash the run index so consecutive runs take wildly
+        // different branch sequences (no prefix warm-up effects).
+        let n = ((i.wrapping_mul(2_654_435_761)) % (1 << LEVELS)) as i32;
+        let out = sess.run(vec![Tensor::scalar_i32(n)]).expect("run");
+        let v = out[0].i32s().expect("i32 output")[0];
+        assert_eq!(v, 0, "descent fully reduces the value");
+        if i % 500 == 499 {
+            let len = PathKey::interner_len();
+            assert!(
+                len <= baseline + BOUND,
+                "run {i}: interner grew to {len} (baseline {baseline}) — \
+                 epoch flush is not reclaiming retired path chains"
+            );
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Plan-specialization contracts: the compiler passes added for the
+//! specializer (trivial-invoke inlining + hot-shape unrolling) must be
+//! *invisible* except for speed.
+//!
+//! 1. **Bit-exactness** — a session running through the specializer
+//!    produces byte-identical outputs (and, for training twins, identical
+//!    `GradStore` contents) to a session pinned to the general frame
+//!    path, on shared weights, across all three model families in both
+//!    recursive and iterative form. Property-tested over dataset seeds.
+//! 2. **Fuse-signature preservation** — every node a rewritten plan maps
+//!    back to an original node (via [`ModulePlan::provenance`]) must have
+//!    the same `analyze::fuse_class` and the same plan-level `FuseKind`,
+//!    across the whole shipped-model zoo. A specialized node whose fuse
+//!    signature drifted from its general-plan twin would silently drop
+//!    out of cross-request fusion groups (`fused_fraction` collapses with
+//!    no correctness signal).
+//! 3. **Fallback** — an unobserved feed signature takes the general path
+//!    and completes; promotion only ever swaps in a plan for signatures
+//!    the profile has seen.
+
+use proptest::prelude::*;
+use rdg::exec::{ModulePlan, SpecializeOptions};
+use rdg::graph::analyze::fuse_class;
+use rdg::graph::GraphRef;
+use rdg::prelude::*;
+use std::sync::Arc;
+
+fn tiny_dataset(batch: usize, seed: u64) -> Vec<Tensor> {
+    let d = Dataset::generate(DatasetConfig {
+        vocab: 100,
+        n_train: batch,
+        n_valid: 0,
+        min_len: 3,
+        max_len: 10,
+        seed,
+        ..DatasetConfig::default()
+    });
+    Dataset::feeds_for(&d.split(Split::Train).to_vec())
+}
+
+/// The shipped-model zoo: all three families × {recursive, iterative} ×
+/// {forward, training}, the TD models, and the quickstart fib — the same
+/// 17 modules the lint gate covers.
+fn zoo() -> Vec<(String, Module)> {
+    let mut out = Vec::new();
+    for (kind, kname) in [
+        (ModelKind::TreeRnn, "tree-rnn"),
+        (ModelKind::Rntn, "rntn"),
+        (ModelKind::TreeLstm, "tree-lstm"),
+    ] {
+        let cfg = ModelConfig::tiny(kind, 4);
+        for (style, m) in [
+            ("rec", build_recursive(&cfg).unwrap()),
+            ("itr", build_iterative(&cfg).unwrap()),
+        ] {
+            let t = build_training_module(&m, m.main.outputs[0]).unwrap();
+            out.push((format!("{kname}-{style}"), m));
+            out.push((format!("{kname}-{style}-train"), t));
+        }
+    }
+    let td = TdConfig::tiny(4);
+    for (name, m) in [
+        ("td-rec", build_td_recursive(&td).unwrap()),
+        ("td-itr", build_td_iterative(&td).unwrap()),
+    ] {
+        let t = build_training_module(&m, m.main.outputs[1]).unwrap();
+        out.push((name.to_string(), m));
+        out.push((format!("{name}-train"), t));
+    }
+    out.push(("quickstart-fib".to_string(), fib_module()));
+    out
+}
+
+/// The quickstart recursive fib (value-dependent `Cond`, doubly recursive).
+fn fib_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let fib = mb.declare_subgraph("fib", &[DType::I32], &[DType::I32]);
+    mb.define_subgraph(&fib, |b| {
+        let n = b.input(0)?;
+        let one = b.const_i32(1);
+        let base = b.ile(n, one)?;
+        let out = b.cond1(
+            base,
+            DType::I32,
+            |b| b.identity(n),
+            |b| {
+                let a = b.isub(n, one)?;
+                let two = b.const_i32(2);
+                let c = b.isub(n, two)?;
+                let fa = b.invoke(&fib, &[a])?[0];
+                let fc = b.invoke(&fib, &[c])?[0];
+                b.iadd(fa, fc)
+            },
+        )?;
+        Ok(vec![out])
+    })
+    .expect("fib body");
+    let n = mb.main_input(DType::I32);
+    let out = mb.invoke(&fib, &[n]).expect("fib invoke")[0];
+    mb.set_outputs(&[out]).expect("outputs");
+    mb.finish().expect("fib module")
+}
+
+/// A main graph chaining `n` invokes of a straight-line "dense" SubGraph
+/// (MatMul + AddBias + Tanh) — the canonical inline target, with fusable
+/// ops inside the body so inlining must carry their fuse signatures.
+fn dense_chain_module(n: usize) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let w = mb
+        .param_wire("w", Tensor::from_f32([4, 4], vec![0.1; 16]).unwrap())
+        .unwrap();
+    let bias = mb
+        .param_wire("b", Tensor::from_f32([1, 4], vec![0.01; 4]).unwrap())
+        .unwrap();
+    let h = mb
+        .subgraph("dense", &[DType::F32], &[DType::F32], |b| {
+            let x = b.input(0)?;
+            let y = b.matmul(x, w)?;
+            let y = b.add_bias(y, bias)?;
+            Ok(vec![b.tanh(y)?])
+        })
+        .unwrap();
+    let mut x = mb.constant(Tensor::from_f32([1, 4], vec![1.0; 4]).unwrap());
+    for _ in 0..n {
+        x = mb.invoke(&h, &[x]).unwrap()[0];
+    }
+    mb.set_outputs(&[x]).unwrap();
+    mb.finish().unwrap()
+}
+
+/// Asserts every provenance-mapped node of `spec`'s rewritten module has
+/// the same analyzer fuse class and the same plan-level `FuseKind` as the
+/// original node it came from. Returns the number of mapped nodes.
+fn assert_fuse_signatures_preserved(
+    name: &str,
+    original: &Module,
+    general: &ModulePlan,
+    spec: &ModulePlan,
+) -> usize {
+    let Some(prov) = spec.provenance() else {
+        return 0;
+    };
+    let mut mapped = 0usize;
+    for (gref, nodes) in prov {
+        for (idx, entry) in nodes.iter().enumerate() {
+            let Some((ogref, onode)) = entry else {
+                continue;
+            };
+            mapped += 1;
+            let new_op = &spec.module.graph(*gref).nodes[idx].op;
+            let old_op = &original.graph(*ogref).nodes[onode.0 as usize].op;
+            assert_eq!(
+                fuse_class(new_op),
+                fuse_class(old_op),
+                "{name}: fuse_class drifted at {} node {idx} \
+                 (from {} node {})",
+                spec.module.graph_name(*gref),
+                original.graph_name(*ogref),
+                onode.0,
+            );
+            let new_fuse = spec.plan(*gref).fuse[idx];
+            let old_fuse = general.plan(*ogref).fuse[onode.0 as usize];
+            assert_eq!(
+                new_fuse,
+                old_fuse,
+                "{name}: plan-level FuseKind drifted at {} node {idx} — \
+                 the specialized twin would drop out of fusion groups",
+                spec.module.graph_name(*gref),
+            );
+        }
+    }
+    mapped
+}
+
+/// Satellite regression: `fuse_class` agreement between specialized and
+/// general plans across the entire shipped-model zoo.
+#[test]
+fn inlining_preserves_fuse_signatures_across_the_zoo() {
+    for (name, m) in zoo() {
+        let original = m.clone();
+        let general =
+            ModulePlan::with_options(Arc::new(m.clone()), SpecializeOptions::disabled()).unwrap();
+        let spec = ModulePlan::with_options(
+            Arc::new(m),
+            SpecializeOptions {
+                unroll: false,
+                ..SpecializeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_fuse_signatures_preserved(&name, &original, &general, &spec);
+    }
+    // Non-vacuity: a module built around an inlinable fusable body must
+    // actually inline and must map its MatMul/AddBias nodes.
+    let m = dense_chain_module(8);
+    let original = m.clone();
+    let general =
+        ModulePlan::with_options(Arc::new(m.clone()), SpecializeOptions::disabled()).unwrap();
+    let spec = ModulePlan::with_options(
+        Arc::new(m),
+        SpecializeOptions {
+            unroll: false,
+            ..SpecializeOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        spec.spec_stats().inlined_invokes,
+        8,
+        "every dense invoke should inline"
+    );
+    let mapped = assert_fuse_signatures_preserved("dense-chain", &original, &general, &spec);
+    assert!(
+        mapped >= 8 * 3,
+        "inlined bodies should map their ops through provenance, got {mapped}"
+    );
+}
+
+/// Hot-shape promotion preserves fuse signatures too: promote fib, then
+/// walk the promoted plan's provenance against the original module.
+#[test]
+fn promoted_plans_preserve_fuse_signatures() {
+    let m = fib_module();
+    let original = m.clone();
+    let general =
+        ModulePlan::with_options(Arc::new(m.clone()), SpecializeOptions::disabled()).unwrap();
+    let exec = Executor::with_threads(2);
+    let sess = Session::with_options(Arc::clone(&exec), m, SpecializeOptions::default()).unwrap();
+    let feeds = vec![Tensor::scalar_i32(10)];
+    for _ in 0..3 {
+        sess.run(feeds.clone()).unwrap();
+    }
+    let stats = sess.plan().spec_stats();
+    assert!(
+        stats.promotions >= 1,
+        "fib(10) should promote after {} runs: {stats:?}",
+        3
+    );
+    let (promoted, key) = sess.plan().resolve_for_feeds(&feeds);
+    assert!(key.is_none(), "a promoted signature resolves with no key");
+    assert!(
+        !Arc::ptr_eq(&promoted, sess.plan()),
+        "promotion swaps in a distinct plan"
+    );
+    assert_fuse_signatures_preserved("fib-promoted", &original, &general, &promoted);
+}
+
+/// Tentpole correctness: fib through the specializer (which constant-folds
+/// the whole recursion at plan time) equals fib through the general frame
+/// machinery, and an *unobserved* signature still completes via fallback.
+#[test]
+fn fib_specialized_matches_general_and_falls_back_on_new_shapes() {
+    let exec = Executor::with_threads(2);
+    let gen = Session::with_options(
+        Arc::clone(&exec),
+        fib_module(),
+        SpecializeOptions::disabled(),
+    )
+    .unwrap();
+    let spec = Session::with_options(
+        Arc::clone(&exec),
+        fib_module(),
+        SpecializeOptions::default(),
+    )
+    .unwrap();
+    for n in [1i32, 2, 7, 12] {
+        let feeds = vec![Tensor::scalar_i32(n)];
+        let want = gen.run(feeds.clone()).unwrap()[0].i32s().unwrap()[0];
+        for run in 0..4 {
+            let got = spec.run(feeds.clone()).unwrap()[0].i32s().unwrap()[0];
+            assert_eq!(got, want, "fib({n}) diverged on run {run}");
+        }
+    }
+    let stats = spec.plan().spec_stats();
+    assert!(
+        stats.promotions >= 1 && stats.hits >= 1,
+        "repeated fib signatures should promote and hit: {stats:?}"
+    );
+    assert!(
+        stats.folded_ops > 0,
+        "fib unrolling should constant-fold the recursion: {stats:?}"
+    );
+    // Fallback: a signature never seen before resolves to the general
+    // plan (key present, same Arc) and completes correctly.
+    let fresh = vec![Tensor::scalar_i32(13)];
+    let (plan, key) = spec.plan().resolve_for_feeds(&fresh);
+    assert!(key.is_some(), "unobserved shape must carry a profile key");
+    assert!(
+        Arc::ptr_eq(&plan, spec.plan()),
+        "unobserved shape must take the general plan"
+    );
+    let want = gen.run(fresh.clone()).unwrap()[0].i32s().unwrap()[0];
+    assert_eq!(spec.run(fresh).unwrap()[0].i32s().unwrap()[0], want);
+}
+
+/// Bitwise output equality between a pinned-general and a specializing
+/// session on shared weights, for one (module, feeds) pair. The spec
+/// session runs `rounds` times so later runs cross the promotion
+/// threshold and execute the promoted plan if one exists.
+fn assert_outputs_bit_identical(name: &str, m: Module, feeds: Vec<Tensor>, rounds: usize) {
+    let exec = Executor::with_threads(2);
+    let gen = Session::with_options(Arc::clone(&exec), m.clone(), {
+        SpecializeOptions::disabled()
+    })
+    .unwrap();
+    let spec = Session::with_params_options(
+        Arc::clone(&exec),
+        m,
+        Arc::clone(gen.params()),
+        SpecializeOptions::default(),
+    )
+    .unwrap();
+    let want = gen.run(feeds.clone()).unwrap();
+    for round in 0..rounds {
+        let got = spec.run(feeds.clone()).unwrap();
+        assert_eq!(got.len(), want.len(), "{name}: output arity");
+        for (i, (a, b)) in want.iter().zip(got.iter()).enumerate() {
+            assert_eq!(a.dtype(), b.dtype(), "{name}: output {i} dtype");
+            assert_eq!(
+                a.shape().dims(),
+                b.shape().dims(),
+                "{name}: output {i} shape (round {round})"
+            );
+            match a.dtype() {
+                DType::F32 => assert_eq!(
+                    a.f32s().unwrap(),
+                    b.f32s().unwrap(),
+                    "{name}: output {i} not bit-identical (round {round})"
+                ),
+                DType::I32 => assert_eq!(
+                    a.i32s().unwrap(),
+                    b.i32s().unwrap(),
+                    "{name}: output {i} not bit-identical (round {round})"
+                ),
+            }
+        }
+    }
+}
+
+/// Identical `GradStore` contents between a pinned-general and a
+/// specializing session on shared weights. Single-threaded executor so
+/// accumulation order is deterministic and the comparison can be bitwise.
+fn assert_grads_bit_identical(name: &str, m: &Module, feeds: Vec<Tensor>) {
+    let t = build_training_module(m, m.main.outputs[0]).unwrap();
+    let exec = Executor::with_threads(1);
+    let gen = Session::with_options(Arc::clone(&exec), t.clone(), {
+        SpecializeOptions::disabled()
+    })
+    .unwrap();
+    let spec = Session::with_params_options(
+        Arc::clone(&exec),
+        t,
+        Arc::clone(gen.params()),
+        SpecializeOptions::default(),
+    )
+    .unwrap();
+    gen.run_training(feeds.clone()).unwrap();
+    spec.run_training(feeds).unwrap();
+    for (i, p) in gen.module().params.iter().enumerate() {
+        let pid = ParamId(i as u32);
+        match (gen.grads().get(pid), spec.grads().get(pid)) {
+            (None, None) => {}
+            (Some(a), Some(b)) => assert_eq!(
+                a.f32s().unwrap(),
+                b.f32s().unwrap(),
+                "{name}: gradient of '{}' not bit-identical",
+                p.name
+            ),
+            _ => panic!("{name}: gradient of '{}' present on one side only", p.name),
+        }
+    }
+}
+
+/// All three model families, indexed by a property-test seed so the 48
+/// generated cases spread evenly across kinds.
+fn kind_for(seed: u64) -> ModelKind {
+    [ModelKind::TreeRnn, ModelKind::Rntn, ModelKind::TreeLstm][(seed % 3) as usize]
+}
+
+proptest! {
+    /// Satellite property: specialized/unrolled plans are bit-identical
+    /// to the general frame path (both model styles, shared weights) over
+    /// random datasets.
+    #[test]
+    fn specialized_outputs_bit_identical((seed, batch) in (0u64..10_000, 1usize..4)) {
+        let kind = kind_for(seed);
+        let cfg = ModelConfig::tiny(kind, batch);
+        let feeds = tiny_dataset(batch, seed);
+        assert_outputs_bit_identical(
+            &format!("{kind:?}-rec"),
+            build_recursive(&cfg).unwrap(),
+            feeds.clone(),
+            4,
+        );
+        assert_outputs_bit_identical(
+            &format!("{kind:?}-itr"),
+            build_iterative(&cfg).unwrap(),
+            feeds,
+            4,
+        );
+    }
+
+    /// Satellite property: training twins accumulate identical gradients
+    /// through the specializer.
+    #[test]
+    fn specialized_grads_bit_identical(seed in 0u64..10_000) {
+        let kind = kind_for(seed);
+        let cfg = ModelConfig::tiny(kind, 2);
+        let feeds = tiny_dataset(2, seed);
+        assert_grads_bit_identical(
+            &format!("{kind:?}-rec"),
+            &build_recursive(&cfg).unwrap(),
+            feeds.clone(),
+        );
+        assert_grads_bit_identical(
+            &format!("{kind:?}-itr"),
+            &build_iterative(&cfg).unwrap(),
+            feeds,
+        );
+    }
+}
+
+/// Inlined plans must still fuse in the *executor*: the dense-chain module
+/// runs with identical results whether or not its invokes were spliced,
+/// and the spliced plan reports every invoke gone.
+#[test]
+fn inlined_dense_chain_runs_bit_identical() {
+    assert_outputs_bit_identical("dense-chain-100", dense_chain_module(100), vec![], 3);
+    let spec = ModulePlan::with_options(
+        Arc::new(dense_chain_module(100)),
+        SpecializeOptions {
+            unroll: false,
+            ..SpecializeOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(spec.spec_stats().inlined_invokes, 100);
+}
+
+/// `GraphRef::Main` must appear in provenance whenever main was rewritten
+/// — downstream consumers (the fuse regression above) key on it.
+#[test]
+fn provenance_covers_rewritten_main() {
+    let spec = ModulePlan::with_options(
+        Arc::new(dense_chain_module(4)),
+        SpecializeOptions {
+            unroll: false,
+            ..SpecializeOptions::default()
+        },
+    )
+    .unwrap();
+    let prov = spec.provenance().expect("inlining rewrote main");
+    let main = prov.get(&GraphRef::Main).expect("main provenance");
+    assert_eq!(main.len(), spec.module.main.nodes.len());
+}
